@@ -1,0 +1,43 @@
+//! Criterion bench behind Fig. 17: writing a checkpoint vs reloading it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::schema::TableSchema;
+use logbase_common::Value;
+use logbase_dfs::{Dfs, DfsConfig};
+
+const N: u64 = 5_000;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_5k_records");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let server = TabletServer::create(dfs.clone(), ServerConfig::new("ckpt-bench")).unwrap();
+    server
+        .create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
+    let value = Value::from(vec![0u8; 1024]);
+    for i in 0..N {
+        server
+            .put("t", 0, logbase_workload::encode_key(i), value.clone())
+            .unwrap();
+    }
+
+    group.bench_function("write_checkpoint", |b| {
+        b.iter(|| server.checkpoint().unwrap());
+    });
+    group.bench_function("reload_checkpoint", |b| {
+        b.iter(|| {
+            let recovered =
+                TabletServer::open(dfs.clone(), ServerConfig::new("ckpt-bench")).unwrap();
+            assert_eq!(recovered.stats().index_entries, N);
+            recovered
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Index-structure comparison: the B-link tree (the structure the paper
+//! says its indexes resemble, §3.5) vs the reader-writer-locked B-tree
+//! the tablet server uses, on insert and probe paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase_common::{LogPtr, RowKey, Timestamp};
+use logbase_index::{BlinkTree, MultiVersionIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: u64 = 20_000;
+
+fn keys() -> Vec<RowKey> {
+    (0..N)
+        .map(|i| RowKey::from(format!("key-{:08}", (i * 2654435761) % N).into_bytes()))
+        .collect()
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let ks = keys();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("index_insert");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("blink_tree", |b| {
+        let t = BlinkTree::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = &ks[(i % N) as usize];
+            t.insert(k.clone(), Timestamp(i), LogPtr::new(0, i, 8));
+            i += 1;
+        });
+    });
+    group.bench_function("rwlock_btree", |b| {
+        let t = MultiVersionIndex::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let k = &ks[(i % N) as usize];
+            t.insert(k.clone(), Timestamp(i), LogPtr::new(0, i, 8));
+            i += 1;
+        });
+    });
+    group.finish();
+
+    let blink = BlinkTree::new();
+    let mv = MultiVersionIndex::new();
+    for (i, k) in ks.iter().enumerate() {
+        blink.insert(k.clone(), Timestamp(i as u64), LogPtr::new(0, i as u64, 8));
+        mv.insert(k.clone(), Timestamp(i as u64), LogPtr::new(0, i as u64, 8));
+    }
+
+    let mut group = c.benchmark_group("index_probe_latest");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("blink_tree", |b| {
+        b.iter(|| {
+            let k = &ks[rng.gen_range(0..N as usize)];
+            blink.latest_at(k, Timestamp::MAX)
+        });
+    });
+    group.bench_function("rwlock_btree", |b| {
+        b.iter(|| {
+            let k = &ks[rng.gen_range(0..N as usize)];
+            mv.latest_at(k, Timestamp::MAX)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

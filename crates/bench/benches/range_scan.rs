@@ -1,0 +1,59 @@
+//! Criterion bench behind Fig. 10: range-scan latency before vs after
+//! log compaction, against HBase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase_bench::SingleNode;
+use logbase_common::schema::KeyRange;
+use logbase_common::Value;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+const N: u64 = 5_000;
+const TUPLES: u64 = 80;
+
+fn shuffled_load(rig: &SingleNode) {
+    let mut order: Vec<u64> = (0..N).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(3));
+    let value = Value::from(vec![0u8; 1024]);
+    for i in order {
+        rig.engine
+            .put(0, logbase_workload::encode_key(i), value.clone())
+            .unwrap();
+    }
+}
+
+fn bench_range_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_scan_80");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let logbase = SingleNode::logbase(0).unwrap();
+    shuffled_load(&logbase);
+    let hbase = SingleNode::hbase(512 * 1024, 16 << 20).unwrap();
+    shuffled_load(&hbase);
+    hbase.engine.sync().unwrap();
+
+    let scan = |rig: &SingleNode, rng: &mut StdRng| {
+        let start = rng.gen_range(0..N - TUPLES);
+        let range = KeyRange::new(
+            logbase_workload::encode_key(start),
+            logbase_workload::encode_key(start + TUPLES),
+        );
+        let out = rig.engine.range_scan(0, &range, usize::MAX).unwrap();
+        assert_eq!(out.len() as u64, TUPLES);
+    };
+
+    group.bench_function("logbase_before_compaction", |b| {
+        b.iter(|| scan(&logbase, &mut rng));
+    });
+    group.bench_function("hbase", |b| b.iter(|| scan(&hbase, &mut rng)));
+    logbase.logbase.as_ref().unwrap().compact().unwrap();
+    group.bench_function("logbase_after_compaction", |b| {
+        b.iter(|| scan(&logbase, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_scans);
+criterion_main!(benches);

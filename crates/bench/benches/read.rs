@@ -1,0 +1,67 @@
+//! Criterion bench behind Figs 7, 8 and 20: point-read cost, cold
+//! (no cache — the long-tail case) and warm (caches enabled).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase_bench::SingleNode;
+use logbase_common::RowKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: u64 = 5_000;
+
+fn loaded(rig: SingleNode) -> (SingleNode, Vec<RowKey>) {
+    let keys = rig.load(N, 1024).unwrap();
+    rig.engine.sync().unwrap();
+    (rig, keys)
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut group = c.benchmark_group("read_cold");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let cold: Vec<(&str, (SingleNode, Vec<RowKey>))> = vec![
+        ("logbase", loaded(SingleNode::logbase(0).unwrap())),
+        ("hbase", loaded(SingleNode::hbase(512 * 1024, 0).unwrap())),
+        ("lrs", loaded(SingleNode::lrs().unwrap())),
+    ];
+    for (name, (rig, keys)) in &cold {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let k = &keys[rng.gen_range(0..keys.len())];
+                rig.engine.get(0, k).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("read_warm");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let warm: Vec<(&str, (SingleNode, Vec<RowKey>))> = vec![
+        ("logbase", loaded(SingleNode::logbase(64 << 20).unwrap())),
+        (
+            "hbase",
+            loaded(SingleNode::hbase(512 * 1024, 64 << 20).unwrap()),
+        ),
+    ];
+    // Warm the caches with one pass over a hot subset.
+    for (_, (rig, keys)) in &warm {
+        for k in keys.iter().take(500) {
+            rig.engine.get(0, k).unwrap();
+        }
+    }
+    for (name, (rig, keys)) in &warm {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let k = &keys[rng.gen_range(0..500)];
+                rig.engine.get(0, k).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

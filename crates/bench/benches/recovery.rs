@@ -1,0 +1,61 @@
+//! Criterion bench behind Fig. 18: recovery time with vs without a
+//! checkpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::schema::TableSchema;
+use logbase_common::Value;
+use logbase_dfs::{Dfs, DfsConfig};
+
+const N: u64 = 4_000;
+
+fn build(dfs: &Dfs, name: &str, with_checkpoint: bool) {
+    let server = TabletServer::create(dfs.clone(), ServerConfig::new(name)).unwrap();
+    server
+        .create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
+    let value = Value::from(vec![0u8; 1024]);
+    for i in 0..N / 2 {
+        server
+            .put("t", 0, logbase_workload::encode_key(i), value.clone())
+            .unwrap();
+    }
+    if with_checkpoint {
+        server.checkpoint().unwrap();
+    }
+    for i in N / 2..N {
+        server
+            .put("t", 0, logbase_workload::encode_key(i), value.clone())
+            .unwrap();
+    }
+    // Crash: drop without further persistence.
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_4k_records");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    build(&dfs, "with-ckpt", true);
+    build(&dfs, "no-ckpt", false);
+
+    group.bench_function("with_checkpoint", |b| {
+        b.iter(|| {
+            let s = TabletServer::open(dfs.clone(), ServerConfig::new("with-ckpt")).unwrap();
+            assert_eq!(s.stats().index_entries, N);
+            s
+        });
+    });
+    group.bench_function("without_checkpoint", |b| {
+        b.iter(|| {
+            let s = TabletServer::open(dfs.clone(), ServerConfig::new("no-ckpt")).unwrap();
+            assert_eq!(s.stats().index_entries, N);
+            s
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind Figs 9 and 21: full-table sequential scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase_bench::SingleNode;
+
+const N: u64 = 5_000;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_scan_5k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    let rigs: Vec<(&str, SingleNode)> = vec![
+        ("logbase", SingleNode::logbase(16 << 20).unwrap()),
+        ("hbase", SingleNode::hbase(512 * 1024, 16 << 20).unwrap()),
+        ("lrs", SingleNode::lrs().unwrap()),
+    ];
+    for (name, rig) in &rigs {
+        rig.load(N, 1024).unwrap();
+        rig.engine.sync().unwrap();
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let n = rig.engine.full_scan(0).unwrap();
+                assert_eq!(n, N);
+                n
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench behind Figs 15–16: TPC-W transactions (read-only
+//! product detail vs read-modify-write order placement) under MVOCC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logbase_cluster::tpcw::TpcwCluster;
+use logbase_common::Value;
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_workload::tpcw::TpcwTxn;
+
+fn bench_txns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcw_txn");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let cluster = TpcwCluster::create(dfs, 3, 10_000).unwrap();
+    cluster
+        .load(2_000, 200, &Value::from(vec![0u8; 256]))
+        .unwrap();
+
+    let mut item = 0u64;
+    group.bench_function("product_detail_readonly", |b| {
+        b.iter(|| {
+            item = (item + 37) % 2_000;
+            cluster
+                .execute(&TpcwTxn::ProductDetail {
+                    item: logbase_workload::encode_key(item),
+                })
+                .unwrap()
+        });
+    });
+
+    let mut order = 0u64;
+    group.bench_function("place_order_read_modify_write", |b| {
+        b.iter(|| {
+            order += 1;
+            cluster
+                .execute(&TpcwTxn::PlaceOrder {
+                    cart: logbase_workload::encode_key(order % 200),
+                    order: logbase_workload::encode_key(1 << 41 | order),
+                    payload: Value::from_static(b"order-payload"),
+                })
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_txns);
+criterion_main!(benches);

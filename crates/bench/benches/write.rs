@@ -1,0 +1,38 @@
+//! Criterion bench behind Figs 6, 11 and 19: single-record write cost
+//! per engine (LogBase vs HBase-model vs LRS).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use logbase_bench::SingleNode;
+use logbase_common::Value;
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_1kb");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let value = Value::from(vec![0u8; 1024]);
+
+    // HBase flush threshold sized so flushes occur within the run
+    // (the WAL+Data double write the paper charges it for).
+    let rigs: Vec<(&str, SingleNode)> = vec![
+        ("logbase", SingleNode::logbase(16 << 20).unwrap()),
+        ("hbase", SingleNode::hbase(256 * 1024, 16 << 20).unwrap()),
+        ("lrs", SingleNode::lrs().unwrap()),
+    ];
+    for (name, rig) in &rigs {
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || {
+                    let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    logbase_workload::encode_key(i)
+                },
+                |key| rig.engine.put(0, key, value.clone()).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_writes);
+criterion_main!(benches);

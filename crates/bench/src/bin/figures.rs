@@ -1,0 +1,100 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! figures [all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig17|fig18|
+//!          fig19|fig22|ablations] [--scale F] [--json PATH]
+//! ```
+//!
+//! `fig12` runs Figs 12–14 (one experiment), `fig15` runs Figs 15–16,
+//! `fig19` runs Figs 19–21. `--scale` multiplies record/op counts
+//! (default 1.0 ≈ 1% of the paper's sizes); `--json` additionally dumps
+//! all rows as JSON for plotting.
+
+use logbase_bench::experiments::{ablation, cluster, micro, recovery, tpcw};
+use logbase_bench::{Figure, Scale};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [all|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig17|fig18|fig19|fig22|ablations] [--scale F] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut targets: Vec<String> = Vec::new();
+    let mut scale_factor = 1.0f64;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale_factor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let scale = Scale::default().factor(scale_factor);
+    println!(
+        "LogBase figure harness — {} records base, clusters {:?}, {} ops/node (scale {scale_factor})",
+        scale.records, scale.cluster_sizes, scale.ops_per_node
+    );
+    println!("Absolute numbers are simulation-scale; compare shapes against the paper.\n");
+
+    let mut figures: Vec<Figure> = Vec::new();
+    let mut run = |name: &str, figs: Vec<Figure>| {
+        for f in figs {
+            println!("{}", f.render());
+            figures.push(f);
+        }
+        let _ = name;
+    };
+
+    let want = |t: &str| targets.iter().any(|x| x == "all" || x == t);
+    let started = Instant::now();
+    macro_rules! attempt {
+        ($name:expr, $expr:expr) => {
+            if want($name) {
+                let t = Instant::now();
+                match $expr {
+                    Ok(figs) => {
+                        run($name, figs);
+                        eprintln!("[{}] done in {:.1?}", $name, t.elapsed());
+                    }
+                    Err(e) => eprintln!("[{}] FAILED: {e}", $name),
+                }
+            }
+        };
+    }
+
+    attempt!("fig6", micro::fig6_sequential_write(&scale).map(|f| vec![f]));
+    attempt!("fig7", micro::fig7_random_read_cold(&scale).map(|f| vec![f]));
+    attempt!("fig8", micro::fig8_random_read_cached(&scale).map(|f| vec![f]));
+    attempt!("fig9", micro::fig9_sequential_scan(&scale).map(|f| vec![f]));
+    attempt!("fig10", micro::fig10_range_scan(&scale).map(|f| vec![f]));
+    attempt!("fig11", cluster::fig11_load_time(&scale).map(|f| vec![f]));
+    attempt!("fig12", cluster::fig12_13_14_mixed(&scale));
+    attempt!("fig15", tpcw::fig15_16_tpcw(&scale));
+    attempt!("fig17", recovery::fig17_checkpoint_cost(&scale).map(|f| vec![f]));
+    attempt!("fig18", recovery::fig18_recovery_time(&scale).map(|f| vec![f]));
+    attempt!("fig19", micro::fig19_20_21_vs_lrs(&scale));
+    attempt!("fig22", cluster::fig22_lrs_throughput(&scale).map(|f| vec![f]));
+    attempt!("ablations", ablation::all(&scale));
+
+    eprintln!("total: {:.1?}", started.elapsed());
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&figures).expect("figures serialize");
+        std::fs::write(&path, json).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+}

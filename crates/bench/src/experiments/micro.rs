@@ -1,0 +1,429 @@
+//! Micro-benchmarks (§4.2 and §4.6): Figs 6–10 and 19–21.
+
+use crate::report::Figure;
+use crate::setup::{Scale, SingleNode};
+use logbase_common::schema::KeyRange;
+use logbase_common::{Result, RowKey, Value};
+use logbase_workload::zipf::Zipfian;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use std::time::Instant;
+
+fn size_label(n: u64, base: u64) -> String {
+    // Map scaled sizes onto the paper's labels: base == the paper's 1M.
+    if n * 4 <= base {
+        "250K".to_string()
+    } else if n * 2 <= base {
+        "500K".to_string()
+    } else {
+        "1M".to_string()
+    }
+}
+
+/// Fig. 6: time to insert 250K/500K/1M records — LogBase vs HBase.
+pub fn fig6_sequential_write(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig6",
+        "Sequential write (sec, lower is better)",
+        "LogBase outperforms HBase by ~50% (data written once vs WAL + memtable flush)",
+    );
+    for frac in [4u64, 2, 1] {
+        let n = scale.records / frac;
+        let label = size_label(n, scale.records);
+        let rig = SingleNode::logbase(16 << 20)?;
+        let t = Instant::now();
+        rig.load(n, scale.value_bytes)?;
+        fig.push("LogBase", &label, t.elapsed().as_secs_f64(), "sec");
+
+        let rig = SingleNode::hbase(scale.hbase_flush_bytes(n), 16 << 20)?;
+        let t = Instant::now();
+        rig.load(n, scale.value_bytes)?;
+        fig.push("HBase", &label, t.elapsed().as_secs_f64(), "sec");
+    }
+    Ok(fig)
+}
+
+fn read_counts(scale: &Scale) -> Vec<(u64, String)> {
+    // The paper reads 0.5K/1K/2K/4K tuples (absolute counts) out of the
+    // loaded table; keys are sampled with replacement, so the counts
+    // stay paper-absolute regardless of the load scale.
+    let _ = scale;
+    [(500u64, "0.5K"), (1000, "1K"), (2000, "2K"), (4000, "4K")]
+        .iter()
+        .map(|(n, label)| (*n, (*label).to_string()))
+        .collect()
+}
+
+/// Fig. 7: random reads with **no cache** — the long-tail case where
+/// LogBase's dense in-memory index shines.
+pub fn fig7_random_read_cold(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig7",
+        "Random read without cache (sec, lower is better)",
+        "LogBase far below HBase: one seek via dense in-memory index vs block fetch + scan through sparse index",
+    );
+    let logbase = SingleNode::logbase(0)?; // read buffer disabled
+    let lb_keys = logbase.load(scale.records, scale.value_bytes)?;
+    let hbase = SingleNode::hbase(scale.hbase_flush_bytes(scale.records), 0)?;
+    let hb_keys = hbase.load(scale.records, scale.value_bytes)?;
+    hbase.engine.sync()?; // flush memtables so reads hit data files
+
+    let mut rng = StdRng::seed_from_u64(42);
+    for (count, label) in read_counts(scale) {
+        let sample: Vec<&RowKey> = (0..count)
+            .map(|_| &lb_keys[rng.gen_range(0..lb_keys.len())])
+            .collect();
+        let t = Instant::now();
+        for k in &sample {
+            logbase.engine.get(0, k)?;
+        }
+        fig.push("LogBase", &label, t.elapsed().as_secs_f64(), "sec");
+
+        let sample: Vec<&RowKey> = (0..count)
+            .map(|_| &hb_keys[rng.gen_range(0..hb_keys.len())])
+            .collect();
+        let t = Instant::now();
+        for k in &sample {
+            hbase.engine.get(0, k)?;
+        }
+        fig.push("HBase", &label, t.elapsed().as_secs_f64(), "sec");
+    }
+    Ok(fig)
+}
+
+/// Fig. 8: random reads **with caches** — the gap narrows.
+pub fn fig8_random_read_cached(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig8",
+        "Random read with cache (sec, lower is better)",
+        "Gap between LogBase and HBase narrows once block/read caches absorb repeat accesses",
+    );
+    let logbase = SingleNode::logbase(64 << 20)?;
+    let lb_keys = logbase.load(scale.records, scale.value_bytes)?;
+    let hbase = SingleNode::hbase(scale.hbase_flush_bytes(scale.records), 64 << 20)?;
+    let hb_keys = hbase.load(scale.records, scale.value_bytes)?;
+    hbase.engine.sync()?;
+
+    // Zipfian accesses (θ=1.0) so the cache is effective; warm it first.
+    let zipf = Zipfian::new(lb_keys.len() as u64, 1.0);
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..scale.records / 4 {
+        let i = zipf.sample(&mut rng) as usize;
+        logbase.engine.get(0, &lb_keys[i])?;
+        hbase.engine.get(0, &hb_keys[i])?;
+    }
+    for (count, label) in [
+        (300u64, "300"),
+        (600, "600"),
+        (1000, "1K"),
+        (1500, "1.5K"),
+        (2000, "2K"),
+    ] {
+        let idx: Vec<usize> = (0..count.max(5))
+            .map(|_| zipf.sample(&mut rng) as usize)
+            .collect();
+        let t = Instant::now();
+        for &i in &idx {
+            logbase.engine.get(0, &lb_keys[i])?;
+        }
+        fig.push("LogBase", label, t.elapsed().as_secs_f64(), "sec");
+        let t = Instant::now();
+        for &i in &idx {
+            hbase.engine.get(0, &hb_keys[i])?;
+        }
+        fig.push("HBase", label, t.elapsed().as_secs_f64(), "sec");
+    }
+    Ok(fig)
+}
+
+/// Fig. 9: sequential scan of the whole table.
+pub fn fig9_sequential_scan(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig9",
+        "Sequential scan (sec, lower is better)",
+        "LogBase slightly slower than HBase: log entries carry extra metadata, so the scanned file is larger",
+    );
+    for frac in [4u64, 2, 1] {
+        let n = scale.records / frac;
+        let label = size_label(n, scale.records);
+        let logbase = SingleNode::logbase(16 << 20)?;
+        logbase.load(n, scale.value_bytes)?;
+        let m0 = logbase.dfs.metrics().snapshot();
+        let t = Instant::now();
+        let scanned = logbase.engine.full_scan(0)?;
+        fig.push("LogBase", &label, t.elapsed().as_secs_f64(), "sec");
+        let lb_bytes = logbase.dfs.metrics().snapshot().delta_since(&m0).seq_bytes_read;
+        assert_eq!(scanned, n, "LogBase scan missed records");
+
+        let hbase = SingleNode::hbase(scale.hbase_flush_bytes(n), 16 << 20)?;
+        hbase.load(n, scale.value_bytes)?;
+        hbase.engine.sync()?;
+        let m0 = hbase.dfs.metrics().snapshot();
+        let t = Instant::now();
+        let scanned = hbase.engine.full_scan(0)?;
+        fig.push("HBase", &label, t.elapsed().as_secs_f64(), "sec");
+        let hb_bytes = hbase
+            .dfs
+            .metrics()
+            .snapshot()
+            .delta_since(&m0)
+            .seq_bytes_read
+            + hbase.dfs.metrics().snapshot().delta_since(&m0).rand_bytes_read;
+        assert_eq!(scanned, n, "HBase scan missed records");
+
+        // The paper's cost driver is bytes scanned: log entries carry
+        // extra metadata, so LogBase reads more. On our CPU-bound
+        // simulation the wall clock can invert (LogBase parallelizes
+        // over segments); the byte series preserves the mechanism.
+        fig.push("LogBase MB scanned", &label, lb_bytes as f64 / 1e6, "MB");
+        fig.push("HBase MB scanned", &label, hb_bytes as f64 / 1e6, "MB");
+    }
+    Ok(fig)
+}
+
+/// Fig. 10: range scan latency, before vs after log compaction.
+pub fn fig10_range_scan(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig10",
+        "Range scan latency (ms per scan, lower is better)",
+        "LogBase before compaction worst (scattered log reads); after compaction it beats HBase (dense index over clustered data)",
+    );
+    // Load keys in shuffled order so adjacent keys are scattered in the
+    // log — the worst case compaction repairs.
+    let logbase = SingleNode::logbase(0)?;
+    let n = scale.records;
+    let mut order: Vec<u64> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(5));
+    let value = Value::from(vec![0xcdu8; scale.value_bytes]);
+    for &i in &order {
+        logbase
+            .engine
+            .put(0, logbase_workload::encode_key(i), value.clone())?;
+    }
+    let hbase = SingleNode::hbase(scale.hbase_flush_bytes(n), 16 << 20)?;
+    for &i in &order {
+        hbase
+            .engine
+            .put(0, logbase_workload::encode_key(i), value.clone())?;
+    }
+    hbase.engine.sync()?;
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let measure = |rig: &SingleNode, tuples: u64, rng: &mut StdRng| -> Result<f64> {
+        let scans = 20;
+        let t = Instant::now();
+        for _ in 0..scans {
+            let start = rng.gen_range(0..n - tuples);
+            let range = KeyRange::new(
+                logbase_workload::encode_key(start),
+                logbase_workload::encode_key(start + tuples),
+            );
+            let got = rig.engine.range_scan(0, &range, usize::MAX)?;
+            assert_eq!(got.len() as u64, tuples);
+        }
+        Ok(t.elapsed().as_secs_f64() * 1000.0 / f64::from(scans))
+    };
+
+    for tuples in [20u64, 40, 80, 160] {
+        let label = tuples.to_string();
+        let ms = measure(&logbase, tuples, &mut rng)?;
+        fig.push("LogBase before compaction", &label, ms, "ms");
+        let ms = measure(&hbase, tuples, &mut rng)?;
+        fig.push("HBase", &label, ms, "ms");
+    }
+    logbase
+        .logbase
+        .as_ref()
+        .expect("logbase rig")
+        .compact()?;
+    for tuples in [20u64, 40, 80, 160] {
+        let label = tuples.to_string();
+        let ms = measure(&logbase, tuples, &mut rng)?;
+        fig.push("LogBase after compaction", &label, ms, "ms");
+    }
+    Ok(fig)
+}
+
+/// Figs 19–21: LogBase vs LRS on sequential write, random read (cold)
+/// and sequential scan.
+pub fn fig19_20_21_vs_lrs(scale: &Scale) -> Result<Vec<Figure>> {
+    let mut fig19 = Figure::new(
+        "fig19",
+        "Sequential write vs LRS (sec)",
+        "LRS slightly slower than LogBase (LSM index maintenance on the write path)",
+    );
+    let mut fig20 = Figure::new(
+        "fig20",
+        "Random read without cache vs LRS (sec)",
+        "LRS slightly slower (index probe may touch disk before the log seek)",
+    );
+    let mut fig21 = Figure::new(
+        "fig21",
+        "Sequential scan vs LRS (sec)",
+        "LogBase faster: version-currency checks against the LSM index cost LRS more than in-memory probes",
+    );
+
+    for frac in [4u64, 2, 1] {
+        let n = scale.records / frac;
+        let label = size_label(n, scale.records);
+        let logbase = SingleNode::logbase(0)?;
+        let t = Instant::now();
+        let lb_keys = logbase.load(n, scale.value_bytes)?;
+        fig19.push("LogBase", &label, t.elapsed().as_secs_f64(), "sec");
+
+        let lrs = SingleNode::lrs()?;
+        let t = Instant::now();
+        let lrs_keys = lrs.load(n, scale.value_bytes)?;
+        fig19.push("LRS", &label, t.elapsed().as_secs_f64(), "sec");
+
+        if frac == 1 {
+            // Fig 20 reads out of the full-size load.
+            let mut rng = StdRng::seed_from_u64(44);
+            for (count, rlabel) in read_counts(scale) {
+                let idx: Vec<usize> =
+                    (0..count).map(|_| rng.gen_range(0..lb_keys.len())).collect();
+                let t = Instant::now();
+                for &i in &idx {
+                    logbase.engine.get(0, &lb_keys[i])?;
+                }
+                fig20.push("LogBase", &rlabel, t.elapsed().as_secs_f64(), "sec");
+                let t = Instant::now();
+                for &i in &idx {
+                    lrs.engine.get(0, &lrs_keys[i])?;
+                }
+                fig20.push("LRS", &rlabel, t.elapsed().as_secs_f64(), "sec");
+            }
+        }
+
+        let t = Instant::now();
+        logbase.engine.full_scan(0)?;
+        fig21.push("LogBase", &label, t.elapsed().as_secs_f64(), "sec");
+        let t = Instant::now();
+        lrs.engine.full_scan(0)?;
+        fig21.push("LRS", &label, t.elapsed().as_secs_f64(), "sec");
+    }
+    Ok(vec![fig19, fig20, fig21])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_runs_and_hbase_writes_data_twice() {
+        // Wall-clock shapes are checked by the release-mode `figures`
+        // run; unit tests assert the deterministic I/O mechanism behind
+        // Fig. 6 — HBase persists the payload twice (WAL + flush),
+        // LogBase once.
+        let scale = Scale::tiny();
+        let fig = fig6_sequential_write(&scale).unwrap();
+        assert_eq!(fig.rows.len(), 6);
+
+        let n = scale.records;
+        let logbase = SingleNode::logbase(16 << 20).unwrap();
+        logbase.load(n, scale.value_bytes).unwrap();
+        let lb_written = logbase.dfs.metrics().snapshot().seq_bytes_written;
+        let hbase = SingleNode::hbase(scale.hbase_flush_bytes(n), 16 << 20).unwrap();
+        hbase.load(n, scale.value_bytes).unwrap();
+        let hb = hbase.dfs.metrics().snapshot();
+        assert!(hb.flushes > 0, "HBase must have flushed its memtable");
+        assert!(
+            hb.seq_bytes_written as f64 > 1.4 * lb_written as f64,
+            "WAL+Data should write substantially more bytes: hbase {} vs logbase {lb_written}",
+            hb.seq_bytes_written
+        );
+    }
+
+    #[test]
+    fn fig7_logbase_cold_reads_move_fewer_bytes() {
+        // Fig. 7's mechanism: a LogBase long-tail read is one seek for
+        // exactly the record; HBase fetches a whole block.
+        let scale = Scale::tiny();
+        let fig = fig7_random_read_cold(&scale).unwrap();
+        assert_eq!(fig.rows.len(), 8);
+
+        let logbase = SingleNode::logbase(0).unwrap();
+        let lb_keys = logbase.load(scale.records, scale.value_bytes).unwrap();
+        let hbase = SingleNode::hbase(scale.hbase_flush_bytes(scale.records), 0).unwrap();
+        let hb_keys = hbase.load(scale.records, scale.value_bytes).unwrap();
+        hbase.engine.sync().unwrap();
+        let lb0 = logbase.dfs.metrics().snapshot();
+        let hb0 = hbase.dfs.metrics().snapshot();
+        for i in (0..scale.records as usize).step_by(7) {
+            logbase.engine.get(0, &lb_keys[i]).unwrap();
+            hbase.engine.get(0, &hb_keys[i]).unwrap();
+        }
+        let lb_bytes = logbase.dfs.metrics().snapshot().delta_since(&lb0).rand_bytes_read;
+        let hb_bytes = hbase.dfs.metrics().snapshot().delta_since(&hb0).rand_bytes_read;
+        assert!(
+            hb_bytes > 2 * lb_bytes,
+            "block fetches should dwarf record fetches: hbase {hb_bytes} vs logbase {lb_bytes}"
+        );
+    }
+
+    #[test]
+    fn fig10_compaction_cuts_scan_reads() {
+        // Deterministic core of Fig. 10: after compaction a range scan
+        // needs fewer DFS reads (pointers coalesce over clustered data).
+        let scale = Scale::tiny();
+        let fig = fig10_range_scan(&scale).unwrap();
+        assert_eq!(fig.rows.len(), 12);
+
+        // Tiny records sit close together in the log, so shrink the
+        // coalescing gap to keep pre-compaction scans genuinely
+        // scattered (at real scale the default gap behaves this way).
+        let dfs = logbase_dfs::Dfs::new(logbase_dfs::DfsConfig::in_memory(3, 3));
+        let mut config = logbase::ServerConfig::new("fig10-test").with_read_buffer(0);
+        config.scan_coalesce_gap = 64;
+        let server = logbase::TabletServer::create(dfs.clone(), config).unwrap();
+        server
+            .create_table(logbase_common::schema::TableSchema::single_group(
+                crate::setup::BENCH_TABLE,
+                &["v"],
+            ))
+            .unwrap();
+        let logbase = SingleNode {
+            dfs,
+            engine: std::sync::Arc::new(logbase::server::LogBaseEngine::new(
+                std::sync::Arc::clone(&server),
+                crate::setup::BENCH_TABLE,
+            )),
+            logbase: Some(server),
+        };
+        let n = scale.records;
+        let mut order: Vec<u64> = (0..n).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(5));
+        let value = Value::from(vec![0u8; scale.value_bytes]);
+        for &i in &order {
+            logbase
+                .engine
+                .put(0, logbase_workload::encode_key(i), value.clone())
+                .unwrap();
+        }
+        let range = KeyRange::new(
+            logbase_workload::encode_key(10),
+            logbase_workload::encode_key(90),
+        );
+        let m0 = logbase.dfs.metrics().snapshot();
+        logbase.engine.range_scan(0, &range, usize::MAX).unwrap();
+        let before = logbase.dfs.metrics().snapshot().delta_since(&m0).dfs_reads;
+        logbase.logbase.as_ref().unwrap().compact().unwrap();
+        let m1 = logbase.dfs.metrics().snapshot();
+        logbase.engine.range_scan(0, &range, usize::MAX).unwrap();
+        let after = logbase.dfs.metrics().snapshot().delta_since(&m1).dfs_reads;
+        assert!(
+            after < before,
+            "compaction should reduce scan reads: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn lrs_figures_have_both_series() {
+        let figs = fig19_20_21_vs_lrs(&Scale::tiny()).unwrap();
+        assert_eq!(figs.len(), 3);
+        for f in &figs {
+            assert!(f.series_total("LogBase") > 0.0);
+            assert!(f.series_total("LRS") > 0.0);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment runners, one module per figure family.
+
+pub mod ablation;
+pub mod cluster;
+pub mod micro;
+pub mod recovery;
+pub mod tpcw;

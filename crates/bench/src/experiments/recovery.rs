@@ -1,0 +1,129 @@
+//! Checkpoint and recovery experiments (§4.5): Figs 17–18.
+
+use crate::report::Figure;
+use crate::setup::Scale;
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::config::human_bytes;
+use logbase_common::schema::TableSchema;
+use logbase_common::{Result, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use std::time::Instant;
+
+fn fresh_server(dfs: &Dfs, name: &str) -> Result<std::sync::Arc<TabletServer>> {
+    let s = TabletServer::create(
+        dfs.clone(),
+        ServerConfig::new(name).with_segment_bytes(8 * 1024 * 1024),
+    )?;
+    s.create_table(TableSchema::single_group("t", &["v"]))?;
+    Ok(s)
+}
+
+fn load_records(
+    server: &TabletServer,
+    from: u64,
+    to: u64,
+    value_bytes: usize,
+) -> Result<()> {
+    let value = Value::from(vec![0x77u8; value_bytes]);
+    for i in from..to {
+        server.put("t", 0, logbase_workload::encode_key(i), value.clone())?;
+    }
+    Ok(())
+}
+
+/// Fig. 17: cost to write a checkpoint vs to reload it, at growing data
+/// sizes (the paper's 250 MB / 500 MB / 1 GB thresholds, scaled).
+pub fn fig17_checkpoint_cost(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig17",
+        "Checkpoint cost (sec)",
+        "Writing a checkpoint is cheaper than reloading it (HDFS optimized for write throughput)",
+    );
+    // The paper's x axis is data size at checkpoint time; scale.records
+    // plays the role of the 1 GB point.
+    for frac in [4u64, 2, 1] {
+        let n = scale.records / frac;
+        let label = human_bytes(n * scale.value_bytes as u64);
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+        let server = fresh_server(&dfs, "ckpt-srv")?;
+        load_records(&server, 0, n, scale.value_bytes)?;
+
+        let t = Instant::now();
+        server.checkpoint()?;
+        fig.push("Write checkpoint", &label, t.elapsed().as_secs_f64(), "sec");
+
+        drop(server);
+        let t = Instant::now();
+        let recovered = TabletServer::open(
+            dfs.clone(),
+            ServerConfig::new("ckpt-srv").with_segment_bytes(8 * 1024 * 1024),
+        )?;
+        fig.push("Reload checkpoint", &label, t.elapsed().as_secs_f64(), "sec");
+        assert_eq!(recovered.stats().index_entries, n);
+    }
+    Ok(fig)
+}
+
+/// Fig. 18: recovery time with vs without a checkpoint. The checkpoint
+/// is taken at the "500 MB" point; the server is killed at 600–900 MB
+/// (scaled via `scale.records` == the 1 GB point).
+pub fn fig18_recovery_time(scale: &Scale) -> Result<Figure> {
+    let mut fig = Figure::new(
+        "fig18",
+        "Recovery time (sec)",
+        "Recovery with a checkpoint is several times faster: reload index files + scan only the log tail",
+    );
+    let unit = scale.records; // == "1 GB"
+    let ckpt_at = unit / 2; // == "500 MB"
+    for tenths in [6u64, 7, 8, 9] {
+        let kill_at = unit * tenths / 10;
+        let label = human_bytes(kill_at * scale.value_bytes as u64);
+        for with_checkpoint in [true, false] {
+            let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+            {
+                let server = fresh_server(&dfs, "rec-srv")?;
+                load_records(&server, 0, ckpt_at, scale.value_bytes)?;
+                if with_checkpoint {
+                    server.checkpoint()?;
+                }
+                load_records(&server, ckpt_at, kill_at, scale.value_bytes)?;
+                // Kill: drop without any further persistence.
+            }
+            let t = Instant::now();
+            let recovered = TabletServer::open(
+                dfs,
+                ServerConfig::new("rec-srv").with_segment_bytes(8 * 1024 * 1024),
+            )?;
+            let series = if with_checkpoint {
+                "With checkpoint"
+            } else {
+                "Without checkpoint"
+            };
+            fig.push(series, &label, t.elapsed().as_secs_f64(), "sec");
+            assert_eq!(recovered.stats().index_entries, kill_at);
+        }
+    }
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_produces_both_series() {
+        let fig = fig17_checkpoint_cost(&Scale::tiny()).unwrap();
+        assert!(fig.series_total("Write checkpoint") > 0.0);
+        assert!(fig.series_total("Reload checkpoint") > 0.0);
+        assert_eq!(fig.rows.len(), 6);
+    }
+
+    #[test]
+    fn fig18_checkpoint_speeds_recovery() {
+        let fig = fig18_recovery_time(&Scale::tiny()).unwrap();
+        assert!(
+            fig.series_total("With checkpoint") < fig.series_total("Without checkpoint"),
+            "checkpointed recovery must beat full log scan"
+        );
+    }
+}

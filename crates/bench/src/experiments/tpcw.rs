@@ -1,0 +1,97 @@
+//! TPC-W transaction experiments (§4.4): Figs 15–16.
+
+use crate::report::Figure;
+use crate::setup::Scale;
+use logbase_cluster::tpcw::TpcwCluster;
+use logbase_common::{Result, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_workload::tpcw::{Mix, TpcwConfig, TpcwWorkload};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Figs 15–16: transaction latency and throughput for the browsing /
+/// shopping / ordering mixes across cluster sizes. Returns
+/// `[fig15, fig16]`.
+pub fn fig15_16_tpcw(scale: &Scale) -> Result<Vec<Figure>> {
+    let mut fig15 = Figure::new(
+        "fig15",
+        "TPC-W transaction latency (ms)",
+        "Near-flat latency as nodes grow for browsing and shopping mixes; ordering (50% update) highest",
+    );
+    let mut fig16 = Figure::new(
+        "fig16",
+        "TPC-W transaction throughput (TPS)",
+        "Throughput scales close to linearly with nodes (MVOCC: read-mostly mixes commit without conflict checks)",
+    );
+    for &nodes in &scale.cluster_sizes {
+        let label = format!("{nodes} nodes");
+        let items = scale.records_per_node * nodes as u64;
+        for mix in Mix::all() {
+            let dfs = Dfs::new(DfsConfig::in_memory(nodes.max(3), 3));
+            let cluster = TpcwCluster::create(dfs, nodes, items.max(10))?;
+            cluster.load(
+                items.max(10),
+                (items / 10).max(5),
+                &Value::from(vec![0x11u8; scale.value_bytes.min(256)]),
+            )?;
+
+            let txn_ns = AtomicU64::new(0);
+            let txn_count = AtomicU64::new(0);
+            let started = Instant::now();
+            std::thread::scope(|s| -> Result<()> {
+                let mut handles = Vec::new();
+                for node in 0..nodes {
+                    let cluster = &cluster;
+                    let txn_ns = &txn_ns;
+                    let txn_count = &txn_count;
+                    handles.push(s.spawn(move || -> Result<()> {
+                        let mut cfg = TpcwConfig::new(items.max(10), mix);
+                        cfg.customers = (items / 10).max(5);
+                        cfg.seed = 500 + node as u64;
+                        let mut w = TpcwWorkload::new(cfg);
+                        for _ in 0..scale.ops_per_node {
+                            let txn = w.next_txn(node as u64);
+                            let took = cluster.execute(&txn)?;
+                            txn_ns.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+                            txn_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("TPC-W client panicked")?;
+                }
+                Ok(())
+            })?;
+            let elapsed = started.elapsed().as_secs_f64();
+            let count = txn_count.load(Ordering::Relaxed);
+            let avg_ms = txn_ns.load(Ordering::Relaxed) as f64 / count.max(1) as f64 / 1e6;
+            fig15.push(format!("{} mix", mix.name()), &label, avg_ms, "ms");
+            fig16.push(
+                format!("{} mix", mix.name()),
+                &label,
+                count as f64 / elapsed,
+                "TPS",
+            );
+        }
+    }
+    Ok(vec![fig15, fig16])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpcw_figures_cover_all_mixes() {
+        let scale = Scale::tiny();
+        let figs = fig15_16_tpcw(&scale).unwrap();
+        assert_eq!(figs.len(), 2);
+        for f in &figs {
+            for mix in ["browsing mix", "shopping mix", "ordering mix"] {
+                assert!(f.series_total(mix) > 0.0, "{}: missing {mix}", f.id);
+            }
+            assert_eq!(f.rows.len(), 3 * scale.cluster_sizes.len());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Result rows and paper-style table printing.
+
+use serde::Serialize;
+
+/// One measured point of a figure: a named series at an x position.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Series (e.g. `"LogBase"`, `"HBase 95% update"`).
+    pub series: String,
+    /// X-axis label (e.g. `"250K"`, `"3 nodes"`).
+    pub x: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of the value (e.g. `"sec"`, `"ops/sec"`, `"ms"`).
+    pub unit: String,
+}
+
+/// One regenerated figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig6"`.
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// What the paper reports, for eyeball comparison.
+    pub paper_expectation: String,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl Figure {
+    /// Build a figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        paper_expectation: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            paper_expectation: paper_expectation.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a measured point.
+    pub fn push(&mut self, series: impl Into<String>, x: impl Into<String>, value: f64, unit: &str) {
+        self.rows.push(Row {
+            series: series.into(),
+            x: x.into(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// Render a paper-style text table: one column per x value, one line
+    /// per series.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {}", self.id, self.title);
+        let _ = writeln!(out, "    paper: {}", self.paper_expectation);
+        // Collect x labels in first-appearance order.
+        let mut xs: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !xs.contains(&r.x.as_str()) {
+                xs.push(&r.x);
+            }
+        }
+        let mut series: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !series.contains(&r.series.as_str()) {
+                series.push(&r.series);
+            }
+        }
+        let unit = self.rows.first().map(|r| r.unit.as_str()).unwrap_or("");
+        let name_w = series
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(8)
+            .max("series".len());
+        let col_w = xs.iter().map(|x| x.len().max(10)).collect::<Vec<_>>();
+        let _ = write!(out, "    {:name_w$}", format!("({unit})"));
+        for (x, w) in xs.iter().zip(&col_w) {
+            let _ = write!(out, "  {x:>w$}");
+        }
+        let _ = writeln!(out);
+        for s in &series {
+            let _ = write!(out, "    {s:name_w$}");
+            for (x, w) in xs.iter().zip(&col_w) {
+                let v = self
+                    .rows
+                    .iter()
+                    .find(|r| r.series == *s && r.x == *x)
+                    .map(|r| r.value);
+                match v {
+                    Some(v) if v >= 1000.0 => {
+                        let _ = write!(out, "  {v:>w$.0}");
+                    }
+                    Some(v) => {
+                        let _ = write!(out, "  {v:>w$.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>w$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// The value of `(series, x)`, if measured.
+    pub fn value(&self, series: &str, x: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.series == series && r.x == x)
+            .map(|r| r.value)
+    }
+
+    /// Sum of a series across all x (sanity checks in tests).
+    pub fn series_total(&self, series: &str) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.series == series)
+            .map(|r| r.value)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_points() {
+        let mut f = Figure::new("figX", "Test figure", "A beats B");
+        f.push("A", "1K", 1.5, "sec");
+        f.push("A", "2K", 3.0, "sec");
+        f.push("B", "1K", 2.5, "sec");
+        let s = f.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("A beats B"));
+        assert!(s.contains("1.500"));
+        assert!(s.contains("3.000"));
+        // Missing (B, 2K) renders as "-".
+        assert!(s.contains('-'));
+        assert_eq!(f.value("A", "2K"), Some(3.0));
+        assert_eq!(f.value("B", "2K"), None);
+        assert!((f.series_total("A") - 4.5).abs() < 1e-9);
+    }
+}

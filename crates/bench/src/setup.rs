@@ -1,0 +1,185 @@
+//! Shared experiment scaffolding: scale knobs and single-node rigs.
+
+use logbase::server::LogBaseEngine;
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::engine::StorageEngine;
+use logbase_common::schema::TableSchema;
+use logbase_common::{Result, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_hbase_model::{HBaseConfig, HBaseEngine};
+use logbase_lrs::{LrsConfig, LrsEngine};
+use std::sync::Arc;
+
+/// The benchmark table every micro experiment uses.
+pub const BENCH_TABLE: &str = "usertable";
+
+/// Scale knobs. `Scale::default()` targets ~1% of the paper's sizes so
+/// the full figure suite completes in minutes on a laptop; multiply with
+/// [`Scale::factor`] to approach the paper.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Base record count for micro benchmarks (paper: 1 000 000).
+    pub records: u64,
+    /// Record payload size (paper: 1 KB).
+    pub value_bytes: usize,
+    /// Cluster sizes for scalability figures (paper: 3, 6, 12, 24).
+    pub cluster_sizes: Vec<usize>,
+    /// Records loaded per cluster node (paper: 1 000 000).
+    pub records_per_node: u64,
+    /// Experiment-phase operations per node (paper: 5 000 after 15 000
+    /// warm-up).
+    pub ops_per_node: usize,
+    /// Warm-up operations per node.
+    pub warmup_per_node: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            records: 10_000,
+            value_bytes: 1024,
+            cluster_sizes: vec![3, 6, 12, 24],
+            records_per_node: 2_000,
+            ops_per_node: 1_000,
+            warmup_per_node: 300,
+        }
+    }
+}
+
+impl Scale {
+    /// A very small scale for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        Scale {
+            records: 600,
+            value_bytes: 128,
+            cluster_sizes: vec![2, 3],
+            records_per_node: 150,
+            ops_per_node: 80,
+            warmup_per_node: 20,
+        }
+    }
+
+    /// Multiply record/op counts by `f` (cluster sizes unchanged).
+    #[must_use]
+    pub fn factor(mut self, f: f64) -> Self {
+        let scale = |v: u64| ((v as f64 * f) as u64).max(1);
+        self.records = scale(self.records);
+        self.records_per_node = scale(self.records_per_node);
+        self.ops_per_node = scale(self.ops_per_node as u64) as usize;
+        self.warmup_per_node = scale(self.warmup_per_node as u64) as usize;
+        self
+    }
+
+    /// HBase flush threshold preserving the paper's data-to-flush ratio
+    /// (1 GB of data against 64 MB memtables ⇒ ~16 flushes per run).
+    pub fn hbase_flush_bytes(&self, records: u64) -> u64 {
+        (records * self.value_bytes as u64 / 16).max(16 * 1024)
+    }
+}
+
+/// A single-node rig: one engine over a 3-data-node DFS — the §4.2
+/// micro-benchmark setup ("a single tablet server storing data on a
+/// 3-node HDFS").
+pub struct SingleNode {
+    /// The DFS under the engine.
+    pub dfs: Dfs,
+    /// The engine under test.
+    pub engine: Arc<dyn StorageEngine>,
+    /// The LogBase server when the engine is LogBase (for compaction /
+    /// checkpoint hooks).
+    pub logbase: Option<Arc<TabletServer>>,
+}
+
+impl SingleNode {
+    /// LogBase on a fresh in-memory DFS.
+    pub fn logbase(read_buffer_bytes: u64) -> Result<SingleNode> {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+        let server = TabletServer::create(
+            dfs.clone(),
+            ServerConfig::new("bench-logbase")
+                .with_segment_bytes(8 * 1024 * 1024)
+                .with_read_buffer(read_buffer_bytes),
+        )?;
+        server.create_table(TableSchema::single_group(BENCH_TABLE, &["v"]))?;
+        Ok(SingleNode {
+            dfs,
+            engine: Arc::new(LogBaseEngine::new(Arc::clone(&server), BENCH_TABLE)),
+            logbase: Some(server),
+        })
+    }
+
+    /// HBase model on a fresh in-memory DFS.
+    pub fn hbase(flush_bytes: u64, block_cache_bytes: u64) -> Result<SingleNode> {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+        let engine = HBaseEngine::create(
+            dfs.clone(),
+            HBaseConfig::new("bench-hbase")
+                .with_flush_bytes(flush_bytes)
+                .with_block_cache(block_cache_bytes),
+        )?;
+        Ok(SingleNode {
+            dfs,
+            engine,
+            logbase: None,
+        })
+    }
+
+    /// LRS on a fresh in-memory DFS.
+    pub fn lrs() -> Result<SingleNode> {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+        let engine = LrsEngine::create(dfs.clone(), LrsConfig::new("bench-lrs"))?;
+        Ok(SingleNode {
+            dfs,
+            engine,
+            logbase: None,
+        })
+    }
+
+    /// Load `n` sequential records of `value_bytes` each. Returns the
+    /// keys in insertion order.
+    pub fn load(&self, n: u64, value_bytes: usize) -> Result<Vec<logbase_common::RowKey>> {
+        let value = Value::from(vec![0xabu8; value_bytes]);
+        let mut keys = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let key = logbase_workload::encode_key(i * 7919 % logbase_common::config::YCSB_MAX_KEY);
+            self.engine.put(0, key.clone(), value.clone())?;
+            keys.push(key);
+        }
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigs_build_and_serve() {
+        for rig in [
+            SingleNode::logbase(1 << 20).unwrap(),
+            SingleNode::hbase(1 << 20, 1 << 20).unwrap(),
+            SingleNode::lrs().unwrap(),
+        ] {
+            let keys = rig.load(50, 64).unwrap();
+            assert_eq!(keys.len(), 50);
+            assert!(rig.engine.get(0, &keys[25]).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn scale_factor_scales_counts() {
+        let s = Scale::default().factor(0.1);
+        assert_eq!(s.records, 1000);
+        assert_eq!(s.ops_per_node, 100);
+        assert_eq!(s.cluster_sizes, vec![3, 6, 12, 24]);
+    }
+
+    #[test]
+    fn flush_ratio_matches_paper() {
+        let s = Scale::default();
+        // The paper's 1M × 1KB records against 64 MB memtables give ~16
+        // flushes per run; the scaled threshold preserves that ratio.
+        let data_bytes = 1_000_000 * s.value_bytes as u64;
+        assert_eq!(s.hbase_flush_bytes(1_000_000), data_bytes / 16);
+    }
+}

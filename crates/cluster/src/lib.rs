@@ -1,0 +1,589 @@
+//! Multi-node cluster simulation (paper §3.3, §4).
+//!
+//! The paper's testbed runs one tablet-server process and one DFS data
+//! node per machine, with one benchmark client per node. Here a
+//! [`Cluster`] hosts `n` storage-engine instances (LogBase, the
+//! HBase-model baseline, or LRS) over one shared simulated DFS whose
+//! data-node count equals the cluster size; a range [`Router`] plays the
+//! master's tablet-assignment role, and clients are benchmark threads.
+//!
+//! LogBase-specific cluster features — master election bookkeeping,
+//! tablet assignment, crash/recovery of a member server, and the TPC-W
+//! transaction executor — live in [`tpcw`] and the failover helpers.
+
+mod router;
+pub mod tpcw;
+
+pub use router::{Route, Router};
+
+use logbase::server::LogBaseEngine;
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::engine::{ScanItem, StorageEngine};
+use logbase_common::metrics::MetricsHandle;
+use logbase_common::schema::{split_uniform, KeyRange, TableSchema};
+use logbase_common::{Result, RowKey, Timestamp, Value};
+use logbase_coordination::{LockService, MemberState, Registry, TimestampOracle};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_hbase_model::{HBaseConfig, HBaseEngine};
+use logbase_lrs::{LrsConfig, LrsEngine};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which engine the cluster members run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// LogBase tablet servers.
+    LogBase,
+    /// WAL+Data baseline.
+    HBase,
+    /// Log-structured record store baseline.
+    Lrs,
+}
+
+impl EngineKind {
+    /// Engine label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::LogBase => "logbase",
+            EngineKind::HBase => "hbase-model",
+            EngineKind::Lrs => "lrs",
+        }
+    }
+}
+
+/// Cluster construction knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Member count (each member is one engine + one DFS data node).
+    pub nodes: usize,
+    /// DFS replication factor.
+    pub replication: usize,
+    /// Key domain routed over (keys are 8-byte big-endian integers).
+    pub key_domain: u64,
+    /// Engine kind.
+    pub engine: EngineKind,
+    /// Log/WAL segment size for every member.
+    pub segment_bytes: u64,
+    /// HBase memtable flush threshold (ignored by other engines).
+    pub hbase_flush_bytes: u64,
+    /// The benchmark table name.
+    pub table: String,
+}
+
+impl ClusterConfig {
+    /// Paper-shaped defaults for `nodes` members running `engine`.
+    pub fn new(nodes: usize, engine: EngineKind) -> Self {
+        ClusterConfig {
+            nodes,
+            replication: 3.min(nodes.max(1)),
+            key_domain: logbase_common::config::YCSB_MAX_KEY,
+            engine,
+            segment_bytes: 4 * 1024 * 1024,
+            hbase_flush_bytes: 4 * 1024 * 1024,
+            table: "usertable".to_string(),
+        }
+    }
+}
+
+/// A simulated cluster of storage engines behind a range router.
+pub struct Cluster {
+    config: ClusterConfig,
+    dfs: Dfs,
+    engines: Vec<Arc<dyn StorageEngine>>,
+    logbase_servers: Vec<Arc<TabletServer>>,
+    router: Router,
+    registry: Registry,
+    oracle: TimestampOracle,
+    locks: LockService,
+}
+
+impl Cluster {
+    /// Bring up a cluster over a fresh in-memory DFS.
+    pub fn create(config: ClusterConfig) -> Result<Self> {
+        let dfs = Dfs::new(DfsConfig::in_memory(
+            config.nodes.max(config.replication),
+            config.replication,
+        ));
+        Self::create_on(config, dfs)
+    }
+
+    /// Bring up a cluster over an existing DFS (disk-backed benches).
+    pub fn create_on(config: ClusterConfig, dfs: Dfs) -> Result<Self> {
+        let registry = Registry::new();
+        registry.register("master-0", MemberState::MasterCandidate);
+        let oracle = TimestampOracle::new();
+        let locks = LockService::new();
+        let router = Router::new(config.nodes as u32, config.key_domain);
+
+        let mut engines: Vec<Arc<dyn StorageEngine>> = Vec::with_capacity(config.nodes);
+        let mut logbase_servers = Vec::new();
+        for i in 0..config.nodes {
+            let name = format!("srv-{i}");
+            registry.register(&name, MemberState::TabletServer);
+            match config.engine {
+                EngineKind::LogBase => {
+                    let server = TabletServer::create_with(
+                        dfs.clone(),
+                        ServerConfig::new(&name).with_segment_bytes(config.segment_bytes),
+                        oracle.clone(),
+                        locks.clone(),
+                    )?;
+                    server.register_table(TableSchema::single_group(&config.table, &["v"]))?;
+                    // Master role: assign this member its key-range tablet.
+                    let descs = split_uniform(&config.table, config.nodes as u32, config.key_domain);
+                    server.assign_tablet(descs[i].clone())?;
+                    engines.push(Arc::new(LogBaseEngine::new(
+                        Arc::clone(&server),
+                        &config.table,
+                    )));
+                    logbase_servers.push(server);
+                }
+                EngineKind::HBase => {
+                    let engine = HBaseEngine::create_with(
+                        dfs.clone(),
+                        HBaseConfig::new(&name)
+                            .with_flush_bytes(config.hbase_flush_bytes),
+                        oracle.clone(),
+                    )?;
+                    engines.push(engine);
+                }
+                EngineKind::Lrs => {
+                    let mut lrs_config = LrsConfig::new(&name);
+                    lrs_config.segment_bytes = config.segment_bytes;
+                    let engine = LrsEngine::create_with(dfs.clone(), lrs_config, oracle.clone())?;
+                    engines.push(engine);
+                }
+            }
+        }
+        Ok(Cluster {
+            config,
+            dfs,
+            engines,
+            logbase_servers,
+            router,
+            registry,
+            oracle,
+            locks,
+        })
+    }
+
+    /// Member count.
+    pub fn nodes(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Shared metrics sink (the DFS's).
+    pub fn metrics(&self) -> &MetricsHandle {
+        self.dfs.metrics()
+    }
+
+    /// The shared DFS.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The membership registry (master election state).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The engine serving `key`.
+    pub fn engine_for(&self, key: &[u8]) -> &Arc<dyn StorageEngine> {
+        &self.engines[self.router.route(key) as usize]
+    }
+
+    /// Engine of member `i`.
+    pub fn engine(&self, i: usize) -> &Arc<dyn StorageEngine> {
+        &self.engines[i]
+    }
+
+    /// LogBase tablet server of member `i` (LogBase clusters only).
+    pub fn logbase_server(&self, i: usize) -> Option<&Arc<TabletServer>> {
+        self.logbase_servers.get(i)
+    }
+
+    /// Routed single-record write.
+    pub fn put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
+        self.engine_for(&key).put(cg, key, value)
+    }
+
+    /// Routed point read.
+    pub fn get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        self.engine_for(key).get(cg, key)
+    }
+
+    /// Routed multiversion read.
+    pub fn get_at(&self, cg: u16, key: &[u8], at: Timestamp) -> Result<Option<Value>> {
+        self.engine_for(key).get_at(cg, key, at)
+    }
+
+    /// Routed delete.
+    pub fn delete(&self, cg: u16, key: &[u8]) -> Result<()> {
+        self.engine_for(key).delete(cg, key)
+    }
+
+    /// Cluster-wide range scan: fan out to every member, merge in key
+    /// order (sub-ranges are disjoint, so concatenation in node order is
+    /// already sorted).
+    pub fn range_scan(&self, cg: u16, range: &KeyRange, limit: usize) -> Result<Vec<ScanItem>> {
+        let mut out = Vec::new();
+        for engine in &self.engines {
+            if out.len() >= limit {
+                break;
+            }
+            out.extend(engine.range_scan(cg, range, limit - out.len())?);
+        }
+        Ok(out)
+    }
+
+    /// Parallel bulk load (the YCSB load phase): one loader thread per
+    /// member inserts that member's keys. Returns the wall-clock time.
+    pub fn parallel_load(
+        &self,
+        cg: u16,
+        keys_per_node: &[Vec<RowKey>],
+        value_bytes: usize,
+    ) -> Result<Duration> {
+        assert_eq!(keys_per_node.len(), self.nodes());
+        let start = Instant::now();
+        std::thread::scope(|s| -> Result<()> {
+            let mut handles = Vec::new();
+            for (i, keys) in keys_per_node.iter().enumerate() {
+                let engine = Arc::clone(&self.engines[i]);
+                handles.push(s.spawn(move || -> Result<()> {
+                    let value = Value::from(vec![0x5au8; value_bytes]);
+                    for key in keys {
+                        engine.put(cg, key.clone(), value.clone())?;
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join().expect("loader thread panicked")?;
+            }
+            Ok(())
+        })?;
+        Ok(start.elapsed())
+    }
+
+    /// Partition arbitrary keys into per-node batches by routing.
+    pub fn partition_keys(&self, keys: impl IntoIterator<Item = RowKey>) -> Vec<Vec<RowKey>> {
+        let mut out = vec![Vec::new(); self.nodes()];
+        for key in keys {
+            out[self.router.route(&key) as usize].push(key);
+        }
+        out
+    }
+
+    /// Flush/checkpoint every member (between benchmark phases).
+    pub fn sync_all(&self) -> Result<()> {
+        for e in &self.engines {
+            e.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Elastic scale-out (the paper's dynamic-scalability desideratum):
+    /// add a LogBase member, split the widest member's key range at its
+    /// midpoint, migrate the upper half's records to the newcomer (they
+    /// are re-appended to its own log with their original timestamps),
+    /// and update the routing table. Returns the new member's index.
+    pub fn scale_out_logbase(&mut self) -> Result<usize> {
+        assert_eq!(
+            self.config.engine,
+            EngineKind::LogBase,
+            "scale_out_logbase requires a LogBase cluster"
+        );
+        let new_id = self.engines.len() as u32;
+        // Donor: the member owning the widest range.
+        let donor = {
+            let snap = self.router.snapshot();
+            let widest = snap
+                .iter()
+                .max_by_key(|r| {
+                    let start = u64::from_be_bytes({
+                        let mut b = [0u8; 8];
+                        let n = r.range.start.len().min(8);
+                        b[..n].copy_from_slice(&r.range.start[..n]);
+                        b
+                    });
+                    let end = r.range.end.as_ref().map_or(self.config.key_domain, |e| {
+                        let mut b = [0u8; 8];
+                        let n = e.len().min(8);
+                        b[..n].copy_from_slice(&e[..n]);
+                        u64::from_be_bytes(b)
+                    });
+                    end.saturating_sub(start)
+                })
+                .expect("router is never empty");
+            widest.member
+        };
+        let (mid, upper) = self
+            .router
+            .split_member(donor, new_id, self.config.key_domain)?;
+
+        // Bring up the newcomer with the upper half assigned.
+        let name = format!("srv-{new_id}");
+        self.registry.register(&name, MemberState::TabletServer);
+        let server = TabletServer::create_with(
+            self.dfs.clone(),
+            ServerConfig::new(&name).with_segment_bytes(self.config.segment_bytes),
+            self.oracle.clone(),
+            self.locks.clone(),
+        )?;
+        server.register_table(TableSchema::single_group(&self.config.table, &["v"]))?;
+        server.assign_tablet(logbase_common::schema::TabletDesc {
+            id: logbase_common::schema::TabletId {
+                table: self.config.table.clone(),
+                range_index: new_id,
+            },
+            range: upper.clone(),
+        })?;
+
+        // Migrate the upper half's records, preserving timestamps.
+        let donor_server = Arc::clone(&self.logbase_servers[donor as usize]);
+        let moved = donor_server.range_scan_at(
+            &self.config.table,
+            0,
+            &upper,
+            Timestamp::MAX,
+            usize::MAX,
+        )?;
+        for (key, ts, value) in moved {
+            server.ingest_record(&self.config.table, 0, key, ts, value)?;
+        }
+
+        // Shrink the donor's tablet and prune its indexes.
+        let donor_tablet = donor_server
+            .table_names()
+            .iter()
+            .find(|t| *t == &self.config.table)
+            .and_then(|_| {
+                // Each member serves exactly one tablet of the table.
+                donor_server
+                    .tablet_descs(&self.config.table)
+                    .into_iter()
+                    .find(|d| d.range.contains(&mid) || d.range.end.as_deref() == Some(&mid[..]) || d.range.contains(&upper.start))
+            });
+        let donor_desc = donor_tablet.ok_or_else(|| {
+            logbase_common::Error::TabletNotServed(format!(
+                "donor member {donor} serves no tablet containing the split point"
+            ))
+        })?;
+        let lower = KeyRange {
+            start: donor_desc.range.start.clone(),
+            end: Some(mid),
+        };
+        donor_server.resize_tablet(&self.config.table, donor_desc.id.range_index, lower)?;
+
+        self.engines.push(Arc::new(LogBaseEngine::new(
+            Arc::clone(&server),
+            &self.config.table,
+        )));
+        self.logbase_servers.push(server);
+        Ok(new_id as usize)
+    }
+
+    /// Elastic scale-in: drain LogBase member `victim` by merging its
+    /// range into its left neighbour and migrating its records there.
+    /// The drained member stays in the member list but serves no keys.
+    /// Returns the heir member's index.
+    pub fn scale_in_logbase(&mut self, victim: usize) -> Result<usize> {
+        assert_eq!(
+            self.config.engine,
+            EngineKind::LogBase,
+            "scale_in_logbase requires a LogBase cluster"
+        );
+        let (heir, absorbed) = self.router.merge_into_left_neighbour(victim as u32)?;
+        let victim_server = Arc::clone(&self.logbase_servers[victim]);
+        let heir_server = Arc::clone(&self.logbase_servers[heir as usize]);
+
+        // Victim hands its tablet off.
+        let victim_desc = victim_server
+            .tablet_descs(&self.config.table)
+            .into_iter()
+            .find(|d| d.range.start == absorbed.start)
+            .ok_or_else(|| {
+                logbase_common::Error::TabletNotServed(format!(
+                    "member {victim} serves no tablet starting at the absorbed range"
+                ))
+            })?;
+        let (_, contents) =
+            victim_server.release_tablet(&self.config.table, victim_desc.id.range_index)?;
+
+        // Heir widens its tablet to cover the absorbed range...
+        let heir_desc = heir_server
+            .tablet_descs(&self.config.table)
+            .into_iter()
+            .find(|d| d.range.end.as_deref() == Some(&absorbed.start[..]))
+            .ok_or_else(|| {
+                logbase_common::Error::TabletNotServed(format!(
+                    "heir member {heir} serves no tablet adjacent to the absorbed range"
+                ))
+            })?;
+        let merged = KeyRange {
+            start: heir_desc.range.start.clone(),
+            end: absorbed.end.clone(),
+        };
+        heir_server.resize_tablet(&self.config.table, heir_desc.id.range_index, merged)?;
+        // ...and ingests the records.
+        for (cg, items) in contents {
+            for (key, ts, value) in items {
+                heir_server.ingest_record(&self.config.table, cg, key, ts, value)?;
+            }
+        }
+        Ok(heir as usize)
+    }
+
+    /// Simulate a permanent crash of LogBase member `i` followed by
+    /// takeover: the member's state is dropped and rebuilt from the
+    /// shared DFS (checkpoint + log redo, §3.8). Returns the recovery
+    /// wall-clock time. Panics if the cluster does not run LogBase.
+    pub fn crash_and_recover_logbase(&mut self, i: usize) -> Result<Duration> {
+        assert_eq!(
+            self.config.engine,
+            EngineKind::LogBase,
+            "crash_and_recover_logbase requires a LogBase cluster"
+        );
+        let name = format!("srv-{i}");
+        // Drop the in-memory state (the crash).
+        self.logbase_servers.remove(i);
+        self.engines.remove(i);
+        let start = Instant::now();
+        let server = TabletServer::open_with(
+            self.dfs.clone(),
+            ServerConfig::new(&name).with_segment_bytes(self.config.segment_bytes),
+            self.oracle.clone(),
+            self.locks.clone(),
+        )?;
+        let elapsed = start.elapsed();
+        self.engines.insert(
+            i,
+            Arc::new(LogBaseEngine::new(Arc::clone(&server), &self.config.table)),
+        );
+        self.logbase_servers.insert(i, server);
+        Ok(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: u64) -> RowKey {
+        logbase_workload::encode_key(k)
+    }
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    fn check_basic_ops(engine: EngineKind) {
+        let c = Cluster::create(ClusterConfig::new(3, engine)).unwrap();
+        let domain = c.config().key_domain;
+        for i in 0..30u64 {
+            let k = i * (domain / 30);
+            c.put(0, key(k), val(&format!("v{i}"))).unwrap();
+        }
+        for i in 0..30u64 {
+            let k = i * (domain / 30);
+            assert_eq!(
+                c.get(0, &key(k)).unwrap(),
+                Some(val(&format!("v{i}"))),
+                "{}: key {k}",
+                engine.name()
+            );
+        }
+        c.delete(0, &key(0)).unwrap();
+        assert!(c.get(0, &key(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn logbase_cluster_basic_ops() {
+        check_basic_ops(EngineKind::LogBase);
+    }
+
+    #[test]
+    fn hbase_cluster_basic_ops() {
+        check_basic_ops(EngineKind::HBase);
+    }
+
+    #[test]
+    fn lrs_cluster_basic_ops() {
+        check_basic_ops(EngineKind::Lrs);
+    }
+
+    #[test]
+    fn keys_are_spread_over_members() {
+        let c = Cluster::create(ClusterConfig::new(4, EngineKind::LogBase)).unwrap();
+        let keys: Vec<RowKey> = (0..1000u64)
+            .map(|i| key(i * (c.config().key_domain / 1000)))
+            .collect();
+        let parts = c.partition_keys(keys);
+        assert_eq!(parts.len(), 4);
+        for (i, p) in parts.iter().enumerate() {
+            assert!(
+                p.len() > 150,
+                "member {i} received only {} of 1000 keys",
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_load_then_cluster_scan() {
+        let c = Cluster::create(ClusterConfig::new(3, EngineKind::LogBase)).unwrap();
+        let keys: Vec<RowKey> = (0..300u64)
+            .map(|i| key(i * (c.config().key_domain / 300)))
+            .collect();
+        let parts = c.partition_keys(keys);
+        c.parallel_load(0, &parts, 64).unwrap();
+        let out = c.range_scan(0, &KeyRange::all(), usize::MAX).unwrap();
+        assert_eq!(out.len(), 300);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        let limited = c.range_scan(0, &KeyRange::all(), 50).unwrap();
+        assert_eq!(limited.len(), 50);
+    }
+
+    #[test]
+    fn logbase_member_crash_recovery() {
+        let mut c = Cluster::create(ClusterConfig::new(3, EngineKind::LogBase)).unwrap();
+        let domain = c.config().key_domain;
+        for i in 0..90u64 {
+            c.put(0, key(i * (domain / 90)), val("v")).unwrap();
+        }
+        // Checkpoint member 1 so its recovery is fast, then crash it.
+        c.logbase_server(1).unwrap().checkpoint().unwrap();
+        let took = c.crash_and_recover_logbase(1).unwrap();
+        assert!(took < Duration::from_secs(10));
+        for i in 0..90u64 {
+            assert_eq!(c.get(0, &key(i * (domain / 90))).unwrap(), Some(val("v")));
+        }
+    }
+
+    #[test]
+    fn master_failover_in_registry() {
+        let c = Cluster::create(ClusterConfig::new(2, EngineKind::LogBase)).unwrap();
+        let (master_id, name) = c.registry().active_master().unwrap();
+        assert_eq!(name, "master-0");
+        c.registry().mark_dead(master_id);
+        assert!(c.registry().active_master().is_none());
+    }
+
+    #[test]
+    fn timestamps_are_globally_ordered_across_members() {
+        let c = Cluster::create(ClusterConfig::new(3, EngineKind::LogBase)).unwrap();
+        let domain = c.config().key_domain;
+        let mut last = Timestamp::ZERO;
+        for i in 0..30u64 {
+            let ts = c.put(0, key(i * (domain / 30)), val("v")).unwrap();
+            assert!(ts > last, "global commit order violated");
+            last = ts;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Range routing of keys to cluster members (the master's tablet map).
+//!
+//! The routing table is dynamic: elastic scale-out splits a member's
+//! range in two and assigns the upper half to a new member; scale-in
+//! merges a member's range back into its left neighbour — the paper's
+//! desideratum of "the ability to scale out and scale back on demand".
+
+use logbase_common::schema::{KeyRange, TabletDesc, TabletId};
+use logbase_common::{Error, Result, RowKey};
+use parking_lot::RwLock;
+
+/// One routing entry: a key range owned by a member.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// The key range, contiguous with its neighbours.
+    pub range: KeyRange,
+    /// Member index owning the range.
+    pub member: u32,
+}
+
+/// Routes 8-byte big-endian keys to members by contiguous key ranges.
+pub struct Router {
+    ranges: RwLock<Vec<Route>>,
+}
+
+fn key_to_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+impl Router {
+    /// Router over `nodes` members covering `key_domain`, uniform split.
+    pub fn new(nodes: u32, key_domain: u64) -> Self {
+        let ranges = logbase_common::schema::split_uniform("route", nodes, key_domain)
+            .into_iter()
+            .map(|t| Route {
+                range: t.range,
+                member: t.id.range_index,
+            })
+            .collect();
+        Router {
+            ranges: RwLock::new(ranges),
+        }
+    }
+
+    /// Member index serving `key`.
+    pub fn route(&self, key: &[u8]) -> u32 {
+        self.ranges
+            .read()
+            .iter()
+            .find(|r| r.range.contains(key))
+            .map(|r| r.member)
+            .expect("routing table covers the whole key space")
+    }
+
+    /// Number of routing entries (≥ member count).
+    pub fn nodes(&self) -> usize {
+        self.ranges.read().len()
+    }
+
+    /// The ranges of member `m`, as tablet descriptors for assignment.
+    pub fn ranges_of(&self, m: u32, table: &str) -> Vec<TabletDesc> {
+        self.ranges
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.member == m)
+            .map(|(i, r)| TabletDesc {
+                id: TabletId {
+                    table: table.to_string(),
+                    range_index: i as u32,
+                },
+                range: r.range.clone(),
+            })
+            .collect()
+    }
+
+    /// The single routing entry of member `m` (panics if it owns
+    /// several; used by the scale operations which keep one range per
+    /// member).
+    pub fn range_of(&self, m: usize) -> Route {
+        let ranges = self.ranges.read();
+        let owned: Vec<&Route> = ranges.iter().filter(|r| r.member == m as u32).collect();
+        assert_eq!(owned.len(), 1, "member {m} owns {} ranges", owned.len());
+        owned[0].clone()
+    }
+
+    /// Split member `donor`'s range at its midpoint, assigning the
+    /// upper half to `new_member`. Returns `(split key, upper range)`.
+    pub fn split_member(
+        &self,
+        donor: u32,
+        new_member: u32,
+        key_domain: u64,
+    ) -> Result<(RowKey, KeyRange)> {
+        let mut ranges = self.ranges.write();
+        let pos = ranges
+            .iter()
+            .position(|r| r.member == donor)
+            .ok_or_else(|| Error::InvalidArgument(format!("no range owned by member {donor}")))?;
+        let start = key_to_u64(&ranges[pos].range.start);
+        let end = ranges[pos]
+            .range
+            .end
+            .as_ref()
+            .map_or(key_domain, |e| key_to_u64(e));
+        if end <= start + 1 {
+            return Err(Error::InvalidArgument(format!(
+                "member {donor}'s range is too narrow to split"
+            )));
+        }
+        let mid = start + (end - start) / 2;
+        let mid_key = RowKey::copy_from_slice(&mid.to_be_bytes());
+        let upper = KeyRange {
+            start: mid_key.clone(),
+            end: ranges[pos].range.end.clone(),
+        };
+        ranges[pos].range.end = Some(mid_key.clone());
+        ranges.insert(
+            pos + 1,
+            Route {
+                range: upper.clone(),
+                member: new_member,
+            },
+        );
+        Ok((mid_key, upper))
+    }
+
+    /// Merge member `victim`'s range into its left neighbour. Returns
+    /// the heir member and the range it absorbed.
+    pub fn merge_into_left_neighbour(&self, victim: u32) -> Result<(u32, KeyRange)> {
+        let mut ranges = self.ranges.write();
+        let pos = ranges
+            .iter()
+            .position(|r| r.member == victim)
+            .ok_or_else(|| Error::InvalidArgument(format!("no range owned by member {victim}")))?;
+        if pos == 0 {
+            return Err(Error::InvalidArgument(
+                "the first member has no left neighbour".to_string(),
+            ));
+        }
+        let absorbed = ranges[pos].range.clone();
+        let heir = ranges[pos - 1].member;
+        ranges[pos - 1].range.end = absorbed.end.clone();
+        ranges.remove(pos);
+        Ok((heir, absorbed))
+    }
+
+    /// Snapshot of the routing table.
+    pub fn snapshot(&self) -> Vec<Route> {
+        self.ranges.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_covers_domain_contiguously() {
+        let r = Router::new(4, 1 << 32);
+        assert_eq!(r.nodes(), 4);
+        assert_eq!(r.route(&0u64.to_be_bytes()), 0);
+        assert_eq!(r.route(&((1u64 << 32) - 1).to_be_bytes()), 3);
+        let mut last = 0;
+        for i in 0..64u64 {
+            let m = r.route(&(i * (1 << 26)).to_be_bytes());
+            assert!(m >= last);
+            last = m;
+        }
+    }
+
+    #[test]
+    fn single_node_routes_everything() {
+        let r = Router::new(1, 100);
+        assert_eq!(r.route(&u64::MAX.to_be_bytes()), 0);
+        assert_eq!(r.route(b""), 0);
+    }
+
+    #[test]
+    fn split_moves_upper_half_to_new_member() {
+        let r = Router::new(2, 1000);
+        // Member 1 owns [500, ∞); split it → member 2 gets [750, ∞).
+        let (mid, upper) = r.split_member(1, 2, 1000).unwrap();
+        assert_eq!(key_to_u64(&mid), 750);
+        assert!(upper.end.is_none());
+        assert_eq!(r.route(&600u64.to_be_bytes()), 1);
+        assert_eq!(r.route(&800u64.to_be_bytes()), 2);
+        assert_eq!(r.route(&100u64.to_be_bytes()), 0);
+        assert_eq!(r.nodes(), 3);
+    }
+
+    #[test]
+    fn merge_returns_range_to_left_neighbour() {
+        let r = Router::new(3, 900);
+        let (heir, absorbed) = r.merge_into_left_neighbour(1).unwrap();
+        assert_eq!(heir, 0);
+        assert_eq!(key_to_u64(&absorbed.start), 300);
+        assert_eq!(r.nodes(), 2);
+        // Keys that belonged to member 1 now route to member 0.
+        assert_eq!(r.route(&400u64.to_be_bytes()), 0);
+        assert_eq!(r.route(&700u64.to_be_bytes()), 2);
+        // The first member cannot be merged left.
+        assert!(r.merge_into_left_neighbour(0).is_err());
+    }
+
+    #[test]
+    fn split_then_merge_restores_routing() {
+        let r = Router::new(2, 1000);
+        r.split_member(0, 5, 1000).unwrap();
+        assert_eq!(r.route(&300u64.to_be_bytes()), 5);
+        let (heir, _) = r.merge_into_left_neighbour(5).unwrap();
+        assert_eq!(heir, 0);
+        assert_eq!(r.route(&300u64.to_be_bytes()), 0);
+    }
+
+    #[test]
+    fn narrow_range_refuses_split() {
+        let r = Router::new(1, 1);
+        assert!(r.split_member(0, 1, 1).is_err());
+    }
+}

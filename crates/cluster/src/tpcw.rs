@@ -1,0 +1,228 @@
+//! TPC-W transaction execution over a LogBase cluster (paper §4.4).
+//!
+//! Each member serves the item / customer / cart slices of its key
+//! range plus a full-range local `orders` tablet (orders are written on
+//! the customer's home server — the entity-group locality of §3.2 that
+//! lets transactions avoid two-phase commit).
+
+use crate::Router;
+use logbase::{ServerConfig, TabletServer, TxnManager};
+use logbase_common::schema::{split_uniform, KeyRange, TableSchema, TabletDesc, TabletId};
+use logbase_common::{Result, RowKey, Value};
+use logbase_coordination::{LockService, TimestampOracle};
+use logbase_dfs::Dfs;
+use logbase_workload::tpcw::{tables, TpcwTxn};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A LogBase cluster wired for the TPC-W schema.
+pub struct TpcwCluster {
+    servers: Vec<Arc<TabletServer>>,
+    router: Router,
+}
+
+impl TpcwCluster {
+    /// Bring up `nodes` members over `dfs`, each serving its slice of
+    /// the item/customer/cart tables (domain `0..key_domain`) plus a
+    /// local orders tablet.
+    pub fn create(dfs: Dfs, nodes: usize, key_domain: u64) -> Result<Self> {
+        let oracle = TimestampOracle::new();
+        let locks = LockService::new();
+        let router = Router::new(nodes as u32, key_domain);
+        let mut servers = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let server = TabletServer::create_with(
+                dfs.clone(),
+                ServerConfig::new(format!("tpcw-srv-{i}"))
+                    .with_segment_bytes(4 * 1024 * 1024),
+                oracle.clone(),
+                locks.clone(),
+            )?;
+            for table in [tables::ITEM, tables::CUSTOMER, tables::CART] {
+                server.register_table(TableSchema::single_group(table, &["v"]))?;
+                let descs = split_uniform(table, nodes as u32, key_domain);
+                server.assign_tablet(descs[i].clone())?;
+            }
+            // Orders: full-range local tablet (keys embed the node id, so
+            // members never collide).
+            server.register_table(TableSchema::single_group(tables::ORDERS, &["v"]))?;
+            server.assign_tablet(TabletDesc {
+                id: TabletId {
+                    table: tables::ORDERS.to_string(),
+                    range_index: 0,
+                },
+                range: KeyRange::all(),
+            })?;
+            servers.push(server);
+        }
+        Ok(TpcwCluster { servers, router })
+    }
+
+    /// Member count.
+    pub fn nodes(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Member `i`.
+    pub fn server(&self, i: usize) -> &Arc<TabletServer> {
+        &self.servers[i]
+    }
+
+    /// Load `items` products and `customers` carts, spread per routing.
+    pub fn load(&self, items: u64, customers: u64, payload: &Value) -> Result<()> {
+        for i in 0..items {
+            let key = logbase_workload::encode_key(i);
+            let server = self.home_of(&key);
+            server.put(tables::ITEM, 0, key, payload.clone())?;
+        }
+        for c in 0..customers {
+            let key = logbase_workload::encode_key(c);
+            let server = self.home_of(&key);
+            server.put(tables::CUSTOMER, 0, key.clone(), payload.clone())?;
+            server.put(tables::CART, 0, key, Value::from_static(b"cart"))?;
+        }
+        Ok(())
+    }
+
+    /// The member owning `key`'s entity group.
+    pub fn home_of(&self, key: &[u8]) -> &Arc<TabletServer> {
+        &self.servers[self.router.route(key) as usize]
+    }
+
+    /// Execute one TPC-W transaction, returning its latency.
+    pub fn execute(&self, txn: &TpcwTxn) -> Result<Duration> {
+        let start = Instant::now();
+        match txn {
+            TpcwTxn::ProductDetail { item } => {
+                let server = self.home_of(item);
+                let mut t = TxnManager::begin(server);
+                TxnManager::read(server, &mut t, tables::ITEM, 0, item)?;
+                TxnManager::commit(server, t)?;
+            }
+            TpcwTxn::PlaceOrder {
+                cart,
+                order,
+                payload,
+            } => {
+                // Entity-group locality: the cart's home server also
+                // hosts the order write — a single-site transaction.
+                let server = self.home_of(cart);
+                TxnManager::run(server, 32, |t| {
+                    let cart_contents =
+                        TxnManager::read(server, t, tables::CART, 0, cart)?.unwrap_or_default();
+                    let mut order_payload = payload.to_vec();
+                    order_payload.extend_from_slice(&cart_contents);
+                    TxnManager::write(
+                        t,
+                        tables::ORDERS,
+                        0,
+                        order.clone(),
+                        Value::from(order_payload),
+                    );
+                    Ok(())
+                })?;
+            }
+        }
+        Ok(start.elapsed())
+    }
+
+    /// Count orders placed cluster-wide (verification hook).
+    pub fn order_count(&self) -> Result<u64> {
+        let mut n = 0;
+        for s in &self.servers {
+            n += s
+                .range_scan(tables::ORDERS, 0, &KeyRange::all(), usize::MAX)?
+                .len() as u64;
+        }
+        Ok(n)
+    }
+}
+
+/// Convenience: an order key for (node, seq) — mirrors the workload's
+/// encoding.
+pub fn order_key(node: u64, seq: u64) -> RowKey {
+    logbase_workload::encode_key(node << 40 | seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_dfs::DfsConfig;
+    use logbase_workload::tpcw::{Mix, TpcwConfig, TpcwWorkload};
+
+    fn cluster(nodes: usize) -> TpcwCluster {
+        let dfs = Dfs::new(DfsConfig::in_memory(nodes.max(3), 3));
+        let c = TpcwCluster::create(dfs, nodes, 1000).unwrap();
+        c.load(100, 20, &Value::from_static(b"item-detail")).unwrap();
+        c
+    }
+
+    #[test]
+    fn product_detail_reads_loaded_items() {
+        let c = cluster(3);
+        let txn = TpcwTxn::ProductDetail {
+            item: logbase_workload::encode_key(42),
+        };
+        c.execute(&txn).unwrap();
+    }
+
+    #[test]
+    fn place_order_writes_orders_locally() {
+        let c = cluster(3);
+        let txn = TpcwTxn::PlaceOrder {
+            cart: logbase_workload::encode_key(7),
+            order: order_key(0, 1),
+            payload: Value::from_static(b"order:"),
+        };
+        c.execute(&txn).unwrap();
+        assert_eq!(c.order_count().unwrap(), 1);
+        // The order landed on customer 7's home server.
+        let home = c.home_of(&logbase_workload::encode_key(7));
+        let got = home.get(tables::ORDERS, 0, &order_key(0, 1)).unwrap().unwrap();
+        assert!(got.starts_with(b"order:"));
+        assert!(got.ends_with(b"cart"));
+    }
+
+    #[test]
+    fn mixed_workload_executes_across_members() {
+        let c = cluster(3);
+        let mut w = TpcwWorkload::new(TpcwConfig::new(100, Mix::Ordering));
+        let mut orders = 0;
+        for _ in 0..200 {
+            let txn = w.next_txn(0);
+            if matches!(txn, TpcwTxn::PlaceOrder { .. }) {
+                orders += 1;
+            }
+            c.execute(&txn).unwrap();
+        }
+        assert_eq!(c.order_count().unwrap(), orders);
+    }
+
+    #[test]
+    fn concurrent_clients_one_per_node() {
+        let c = Arc::new(cluster(3));
+        let total_orders = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for node in 0..3u64 {
+                let c = Arc::clone(&c);
+                let total = &total_orders;
+                s.spawn(move || {
+                    let mut cfg = TpcwConfig::new(100, Mix::Shopping);
+                    cfg.seed = node; // distinct streams per client
+                    let mut w = TpcwWorkload::new(cfg);
+                    for _ in 0..100 {
+                        let txn = w.next_txn(node);
+                        if matches!(txn, TpcwTxn::PlaceOrder { .. }) {
+                            total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        c.execute(&txn).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            c.order_count().unwrap(),
+            total_orders.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Byte-budgeted cache with pluggable replacement.
+//!
+//! §3.6.2: "we employ the LRU strategy ... However, we also design the
+//! replacement strategy as an abstracted interface so that users can plug
+//! in new strategies that fit their application access patterns."
+//!
+//! [`Cache`] evicts victims chosen by a [`ReplacementPolicy`] once the
+//! byte budget is exceeded. LogBase's read buffer and the baselines'
+//! block caches are both instances of it.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Chooses eviction victims. Implementations are driven by the cache
+/// under its lock, so they need no internal synchronization.
+pub trait ReplacementPolicy<K>: Send {
+    /// A key was inserted.
+    fn on_insert(&mut self, key: &K);
+    /// A key was read (cache hit).
+    fn on_access(&mut self, key: &K);
+    /// A key was removed (either evicted or explicitly invalidated).
+    fn on_remove(&mut self, key: &K);
+    /// Choose the next victim. Must return a currently resident key
+    /// (the cache removes it and then calls `on_remove`).
+    fn victim(&mut self) -> Option<K>;
+}
+
+/// Least-recently-used replacement.
+///
+/// Implemented as a recency sequence: each access stamps the key with an
+/// increasing counter; the victim is the resident key with the smallest
+/// stamp. A lazy queue keeps amortized O(1)-ish victim selection.
+pub struct LruPolicy<K> {
+    stamps: HashMap<K, u64>,
+    queue: VecDeque<(u64, K)>,
+    clock: u64,
+}
+
+impl<K> Default for LruPolicy<K> {
+    fn default() -> Self {
+        LruPolicy {
+            stamps: HashMap::new(),
+            queue: VecDeque::new(),
+            clock: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send> ReplacementPolicy<K> for LruPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        self.clock += 1;
+        self.stamps.insert(key.clone(), self.clock);
+        self.queue.push_back((self.clock, key.clone()));
+    }
+
+    fn on_access(&mut self, key: &K) {
+        self.clock += 1;
+        if let Some(s) = self.stamps.get_mut(key) {
+            *s = self.clock;
+        }
+        self.queue.push_back((self.clock, key.clone()));
+    }
+
+    fn on_remove(&mut self, key: &K) {
+        self.stamps.remove(key);
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        while let Some((stamp, key)) = self.queue.pop_front() {
+            // Skip stale queue entries (key re-accessed or removed since).
+            if self.stamps.get(&key) == Some(&stamp) {
+                return Some(key);
+            }
+        }
+        None
+    }
+}
+
+/// First-in-first-out replacement: ignores accesses.
+pub struct FifoPolicy<K> {
+    queue: VecDeque<K>,
+    resident: HashMap<K, usize>,
+}
+
+impl<K> Default for FifoPolicy<K> {
+    fn default() -> Self {
+        FifoPolicy {
+            queue: VecDeque::new(),
+            resident: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Send> ReplacementPolicy<K> for FifoPolicy<K> {
+    fn on_insert(&mut self, key: &K) {
+        *self.resident.entry(key.clone()).or_insert(0) += 1;
+        self.queue.push_back(key.clone());
+    }
+
+    fn on_access(&mut self, _key: &K) {}
+
+    fn on_remove(&mut self, key: &K) {
+        if let Some(n) = self.resident.get_mut(key) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.resident.remove(key);
+            }
+        }
+    }
+
+    fn victim(&mut self) -> Option<K> {
+        while let Some(key) = self.queue.pop_front() {
+            if self.resident.get(&key).copied().unwrap_or(0) > 0 {
+                return Some(key);
+            }
+        }
+        None
+    }
+}
+
+struct CacheInner<K, V> {
+    map: HashMap<K, (V, u64)>,
+    policy: Box<dyn ReplacementPolicy<K> + 'static>,
+    used_bytes: u64,
+}
+
+/// A byte-budgeted cache.
+pub struct Cache<K, V> {
+    inner: Mutex<CacheInner<K, V>>,
+    capacity_bytes: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone + Send + 'static, V: Clone> Cache<K, V> {
+    /// Cache with an LRU policy and the given byte budget.
+    pub fn lru(capacity_bytes: u64) -> Self {
+        Self::with_policy(capacity_bytes, Box::new(LruPolicy::default()))
+    }
+
+    /// Cache with an explicit policy.
+    pub fn with_policy(capacity_bytes: u64, policy: Box<dyn ReplacementPolicy<K>>) -> Self {
+        Cache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                policy,
+                used_bytes: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, updating hit/miss statistics and recency.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key) {
+            Some((v, _)) => {
+                let v = v.clone();
+                inner.policy.on_access(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `key` with an accounted size of `bytes`, evicting victims
+    /// as needed. Entries larger than the whole budget are not admitted.
+    pub fn insert(&self, key: K, value: V, bytes: u64) {
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some((_, old_bytes)) = inner.map.remove(&key) {
+            inner.used_bytes -= old_bytes;
+            inner.policy.on_remove(&key);
+        }
+        while inner.used_bytes + bytes > self.capacity_bytes {
+            let Some(victim) = inner.policy.victim() else {
+                break;
+            };
+            if let Some((_, vb)) = inner.map.remove(&victim) {
+                inner.used_bytes -= vb;
+            }
+            inner.policy.on_remove(&victim);
+        }
+        inner.map.insert(key.clone(), (value, bytes));
+        inner.used_bytes += bytes;
+        inner.policy.on_insert(&key);
+    }
+
+    /// Drop `key` if resident.
+    pub fn invalidate(&self, key: &K) {
+        let mut inner = self.inner.lock();
+        if let Some((_, bytes)) = inner.map.remove(key) {
+            inner.used_bytes -= bytes;
+            inner.policy.on_remove(key);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<K> = inner.map.keys().cloned().collect();
+        for k in &keys {
+            inner.policy.on_remove(k);
+        }
+        inner.map.clear();
+        inner.used_bytes = 0;
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently accounted.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let c: Cache<u32, String> = Cache::lru(100);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into(), 10);
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c: Cache<u32, u32> = Cache::lru(30);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get(&1);
+        c.insert(4, 4, 10);
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&3).is_some());
+        assert!(c.get(&4).is_some());
+        assert_eq!(c.used_bytes(), 30);
+    }
+
+    #[test]
+    fn fifo_ignores_accesses() {
+        let c: Cache<u32, u32> = Cache::with_policy(30, Box::new(FifoPolicy::default()));
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        c.get(&1); // does not protect 1 under FIFO
+        c.insert(4, 4, 10);
+        assert!(c.get(&1).is_none());
+        assert!(c.get(&2).is_some());
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        let c: Cache<u32, u32> = Cache::lru(10);
+        c.insert(1, 1, 11);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_updates_size_accounting() {
+        let c: Cache<u32, u32> = Cache::lru(100);
+        c.insert(1, 1, 60);
+        c.insert(1, 2, 10);
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.get(&1), Some(2));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let c: Cache<u32, u32> = Cache::lru(100);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.invalidate(&1);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_makes_room_for_large_entries() {
+        let c: Cache<u32, u32> = Cache::lru(100);
+        for i in 0..10 {
+            c.insert(i, i, 10);
+        }
+        c.insert(99, 99, 95);
+        assert!(c.get(&99).is_some());
+        assert!(c.used_bytes() <= 100);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let c: std::sync::Arc<Cache<u64, u64>> = std::sync::Arc::new(Cache::lru(1000));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        c.insert(t * 1000 + i, i, 8);
+                        let _ = c.get(&(t * 1000 + i / 2));
+                    }
+                });
+            }
+        });
+        assert!(c.used_bytes() <= 1000);
+    }
+}

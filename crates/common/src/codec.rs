@@ -1,0 +1,200 @@
+//! Length-prefixed, CRC32-checked framing and primitive codecs.
+//!
+//! Both the log repository and SSTable blocks store variable-length
+//! payloads. A frame is:
+//!
+//! ```text
+//! +----------+----------+==================+
+//! | len: u32 | crc: u32 | payload (len) .. |
+//! +----------+----------+==================+
+//! ```
+//!
+//! `crc` covers the payload only; `len` corruption is caught by bounds
+//! checks plus the subsequent CRC failure. All integers are little-endian.
+
+use crate::error::{Error, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Size of the frame header (length + crc).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Append one frame around `payload` to `dst`. Returns the framed length.
+pub fn encode_frame(dst: &mut BytesMut, payload: &[u8]) -> usize {
+    let crc = crc32fast::hash(payload);
+    dst.reserve(FRAME_HEADER_LEN + payload.len());
+    dst.put_u32_le(payload.len() as u32);
+    dst.put_u32_le(crc);
+    dst.put_slice(payload);
+    FRAME_HEADER_LEN + payload.len()
+}
+
+/// Decode one frame starting at the front of `src`.
+///
+/// On success returns the payload and the total number of bytes consumed.
+/// `context` names the source (for error messages).
+pub fn decode_frame(src: &[u8], context: &str) -> Result<(Bytes, usize)> {
+    if src.len() < FRAME_HEADER_LEN {
+        return Err(Error::Corruption(format!(
+            "{context}: truncated frame header ({} bytes)",
+            src.len()
+        )));
+    }
+    let mut hdr = &src[..FRAME_HEADER_LEN];
+    let len = hdr.get_u32_le() as usize;
+    let crc = hdr.get_u32_le();
+    let end = FRAME_HEADER_LEN
+        .checked_add(len)
+        .ok_or_else(|| Error::Corruption(format!("{context}: frame length overflow")))?;
+    if src.len() < end {
+        return Err(Error::Corruption(format!(
+            "{context}: truncated frame payload (want {len}, have {})",
+            src.len() - FRAME_HEADER_LEN
+        )));
+    }
+    let payload = &src[FRAME_HEADER_LEN..end];
+    let actual = crc32fast::hash(payload);
+    if actual != crc {
+        return Err(Error::ChecksumMismatch {
+            context: context.to_string(),
+            expected: crc,
+            actual,
+        });
+    }
+    Ok((Bytes::copy_from_slice(payload), end))
+}
+
+/// Write a `u32` length-prefixed byte string.
+pub fn put_bytes(dst: &mut BytesMut, bytes: &[u8]) {
+    dst.put_u32_le(bytes.len() as u32);
+    dst.put_slice(bytes);
+}
+
+/// Read a `u32` length-prefixed byte string written by [`put_bytes`].
+pub fn get_bytes(src: &mut Bytes, context: &str) -> Result<Bytes> {
+    if src.remaining() < 4 {
+        return Err(Error::Corruption(format!(
+            "{context}: truncated length prefix"
+        )));
+    }
+    let len = src.get_u32_le() as usize;
+    if src.remaining() < len {
+        return Err(Error::Corruption(format!(
+            "{context}: byte string truncated (want {len}, have {})",
+            src.remaining()
+        )));
+    }
+    Ok(src.split_to(len))
+}
+
+/// Read a `u64`, failing with a corruption error on underflow.
+pub fn get_u64(src: &mut Bytes, context: &str) -> Result<u64> {
+    if src.remaining() < 8 {
+        return Err(Error::Corruption(format!("{context}: truncated u64")));
+    }
+    Ok(src.get_u64_le())
+}
+
+/// Read a `u32`, failing with a corruption error on underflow.
+pub fn get_u32(src: &mut Bytes, context: &str) -> Result<u32> {
+    if src.remaining() < 4 {
+        return Err(Error::Corruption(format!("{context}: truncated u32")));
+    }
+    Ok(src.get_u32_le())
+}
+
+/// Read a `u16`, failing with a corruption error on underflow.
+pub fn get_u16(src: &mut Bytes, context: &str) -> Result<u16> {
+    if src.remaining() < 2 {
+        return Err(Error::Corruption(format!("{context}: truncated u16")));
+    }
+    Ok(src.get_u16_le())
+}
+
+/// Read a single byte, failing with a corruption error on underflow.
+pub fn get_u8(src: &mut Bytes, context: &str) -> Result<u8> {
+    if src.remaining() < 1 {
+        return Err(Error::Corruption(format!("{context}: truncated u8")));
+    }
+    Ok(src.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = BytesMut::new();
+        let n = encode_frame(&mut buf, b"hello world");
+        assert_eq!(n, FRAME_HEADER_LEN + 11);
+        let (payload, consumed) = decode_frame(&buf, "test").unwrap();
+        assert_eq!(&payload[..], b"hello world");
+        assert_eq!(consumed, n);
+    }
+
+    #[test]
+    fn frame_empty_payload() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"");
+        let (payload, consumed) = decode_frame(&buf, "test").unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(consumed, FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn frame_detects_flipped_bit() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"payload");
+        let mut bytes = buf.to_vec();
+        bytes[FRAME_HEADER_LEN + 2] ^= 0x40;
+        let err = decode_frame(&bytes, "test").unwrap_err();
+        assert!(matches!(err, Error::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn frame_truncated_header() {
+        let err = decode_frame(&[1, 2, 3], "test").unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn frame_truncated_payload() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"long enough payload");
+        let err = decode_frame(&buf[..buf.len() - 4], "test").unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn consecutive_frames_decode_in_sequence() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"one");
+        encode_frame(&mut buf, b"two");
+        let all = buf.freeze();
+        let (p1, n1) = decode_frame(&all, "t").unwrap();
+        let (p2, n2) = decode_frame(&all[n1..], "t").unwrap();
+        assert_eq!(&p1[..], b"one");
+        assert_eq!(&p2[..], b"two");
+        assert_eq!(n1 + n2, all.len());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"abc");
+        put_bytes(&mut buf, b"");
+        let mut src = buf.freeze();
+        assert_eq!(&get_bytes(&mut src, "t").unwrap()[..], b"abc");
+        assert!(get_bytes(&mut src, "t").unwrap().is_empty());
+        assert!(get_bytes(&mut src, "t").is_err());
+    }
+
+    #[test]
+    fn primitive_underflow_errors() {
+        let mut empty = Bytes::new();
+        assert!(get_u64(&mut empty.clone(), "t").is_err());
+        assert!(get_u32(&mut empty.clone(), "t").is_err());
+        assert!(get_u16(&mut empty.clone(), "t").is_err());
+        assert!(get_u8(&mut empty, "t").is_err());
+    }
+}

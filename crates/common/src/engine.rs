@@ -1,0 +1,49 @@
+//! The storage-engine abstraction shared by LogBase and the baselines.
+//!
+//! The paper's evaluation (§4) runs identical workloads against LogBase,
+//! an HBase-model WAL+Data engine, and LRS (a disk-based log-structured
+//! record store). [`StorageEngine`] is the common surface the benchmark
+//! harness and the cluster layer drive, mirroring the paper's Data Access
+//! Manager operations (§3.3): `Insert`, `Delete`, `Update`, `Get`, and
+//! `Scan`.
+
+use crate::error::Result;
+use crate::schema::KeyRange;
+use crate::types::{RowKey, Timestamp, Value};
+
+/// One record returned by a scan: `(key, version, value)`.
+pub type ScanItem = (RowKey, Timestamp, Value);
+
+/// Uniform single-server storage API.
+///
+/// Implementations are internally synchronized (`&self` methods,
+/// `Send + Sync`) because benchmark clients drive them from many threads.
+pub trait StorageEngine: Send + Sync {
+    /// Insert or update `key` in column group `cg` with `value`,
+    /// returning the commit timestamp assigned to the write.
+    fn put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp>;
+
+    /// Latest visible value of `key` (`None` when absent or deleted).
+    fn get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>>;
+
+    /// Value of `key` visible at timestamp `at` (multiversion read).
+    fn get_at(&self, cg: u16, key: &[u8], at: Timestamp) -> Result<Option<Value>>;
+
+    /// Delete `key` (durably — survives restart).
+    fn delete(&self, cg: u16, key: &[u8]) -> Result<()>;
+
+    /// Range scan: latest visible version of up to `limit` keys in
+    /// `range`, in key order.
+    fn range_scan(&self, cg: u16, range: &KeyRange, limit: usize) -> Result<Vec<ScanItem>>;
+
+    /// Full scan of the column group, in no particular order. Returns
+    /// the number of live records visited.
+    fn full_scan(&self, cg: u16) -> Result<u64>;
+
+    /// Force buffered state to durable storage (flush memtables /
+    /// checkpoint indexes). Used between benchmark phases.
+    fn sync(&self) -> Result<()>;
+
+    /// Engine name for reports.
+    fn engine_name(&self) -> &'static str;
+}

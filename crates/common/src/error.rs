@@ -1,0 +1,173 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps the crates' `Result` signatures uniform and
+//! lets the cluster layer propagate storage errors from any substrate
+//! without boxing. Variants are grouped by the subsystem that raises them.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the LogBase storage stack.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure (disk-backed DFS data nodes).
+    Io(std::io::Error),
+    /// A frame or block failed its CRC32 check — torn or corrupt write.
+    ChecksumMismatch {
+        /// Where the corruption was detected (file/segment name).
+        context: String,
+        /// CRC stored alongside the payload.
+        expected: u32,
+        /// CRC recomputed over the payload.
+        actual: u32,
+    },
+    /// Malformed on-disk or in-log data that is not a CRC failure.
+    Corruption(String),
+    /// Named DFS file does not exist.
+    FileNotFound(String),
+    /// Attempted to create a DFS file that already exists.
+    FileExists(String),
+    /// Read past the end of a file or segment.
+    OutOfBounds {
+        /// File being read.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+    /// Not enough live data nodes to satisfy the replication factor.
+    InsufficientReplicas {
+        /// Replicas required.
+        wanted: usize,
+        /// Live nodes available.
+        available: usize,
+    },
+    /// The addressed data node is stopped (failure injection).
+    NodeDown(String),
+    /// Table/tablet/column-group level schema errors.
+    Schema(String),
+    /// No tablet server currently owns the requested key.
+    TabletNotServed(String),
+    /// Transaction aborted by validation (first-committer-wins conflict).
+    TxnConflict {
+        /// Human-readable description of the conflicting key.
+        detail: String,
+    },
+    /// Transaction aborted explicitly or by an internal invariant.
+    TxnAborted(String),
+    /// Operation attempted on a server that is shut down or recovering.
+    Unavailable(String),
+    /// Checkpoint or recovery metadata is inconsistent.
+    Recovery(String),
+    /// Invalid argument supplied by a caller.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::ChecksumMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {context}: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::FileNotFound(name) => write!(f, "file not found: {name}"),
+            Error::FileExists(name) => write!(f, "file already exists: {name}"),
+            Error::OutOfBounds {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "read out of bounds: {file} offset {offset} len {len} but size is {size}"
+            ),
+            Error::InsufficientReplicas { wanted, available } => write!(
+                f,
+                "insufficient replicas: wanted {wanted}, only {available} live data nodes"
+            ),
+            Error::NodeDown(node) => write!(f, "data node down: {node}"),
+            Error::Schema(msg) => write!(f, "schema error: {msg}"),
+            Error::TabletNotServed(key) => write!(f, "no tablet serves key: {key}"),
+            Error::TxnConflict { detail } => write!(f, "transaction conflict: {detail}"),
+            Error::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
+            Error::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            Error::Recovery(msg) => write!(f, "recovery error: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// True when retrying the operation against a different replica or
+    /// after re-election could succeed (transient cluster conditions).
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            Error::NodeDown(_) | Error::Unavailable(_) | Error::InsufficientReplicas { .. }
+        )
+    }
+
+    /// True when the error indicates on-disk corruption rather than a
+    /// logical or transient failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::ChecksumMismatch { .. } | Error::Corruption(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = Error::ChecksumMismatch {
+            context: "segment-000001".to_string(),
+            expected: 0xdead_beef,
+            actual: 0x1234_5678,
+        };
+        let s = e.to_string();
+        assert!(s.contains("segment-000001"));
+        assert!(s.contains("0xdeadbeef"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        let e = Error::from(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retriable_classification() {
+        assert!(Error::NodeDown("dn-1".into()).is_retriable());
+        assert!(Error::Unavailable("recovering".into()).is_retriable());
+        assert!(!Error::Corruption("bad".into()).is_retriable());
+        assert!(Error::Corruption("bad".into()).is_corruption());
+        assert!(!Error::FileNotFound("x".into()).is_corruption());
+    }
+}

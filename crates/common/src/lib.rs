@@ -1,0 +1,29 @@
+//! Shared foundation types for the LogBase workspace.
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! reproduction of *LogBase: A Scalable Log-structured Database System in
+//! the Cloud* (VLDB 2012):
+//!
+//! - [`Timestamp`] and [`Lsn`] — the two monotonic counters the paper uses
+//!   (commit timestamps for versioning, log sequence numbers for recovery).
+//! - [`LogPtr`] — the `(file number, offset, length)` triple an in-memory
+//!   index entry points at (§3.5 of the paper).
+//! - [`Record`] and [`RecordMeta`] — a versioned cell of a column group.
+//! - [`schema`] — tables, column groups and the vertical-partitioning
+//!   vocabulary of §3.2.
+//! - [`codec`] — CRC-framed length-prefixed encoding used by the log and by
+//!   SSTable blocks.
+//! - [`metrics`] — cheap atomic counters used by the benchmark harness to
+//!   report I/O shapes (seeks, sequential bytes, cache hits).
+
+pub mod cache;
+pub mod codec;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod schema;
+pub mod types;
+
+pub use error::{Error, Result};
+pub use types::{Lsn, LogPtr, Record, RecordMeta, RowKey, Timestamp, Value};

@@ -1,0 +1,219 @@
+//! Cheap atomic instrumentation counters.
+//!
+//! The benchmark harness reports *shapes* (who does more seeks, who writes
+//! data twice), so every substrate increments a shared [`Metrics`] sink.
+//! Counters are relaxed atomics — they are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared handle to a metrics sink.
+pub type MetricsHandle = Arc<Metrics>;
+
+/// Atomic counters covering the I/O-relevant events in the stack.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Bytes appended sequentially (log segments, SSTable flushes).
+    pub seq_bytes_written: AtomicU64,
+    /// Bytes read by positional (random) reads.
+    pub rand_bytes_read: AtomicU64,
+    /// Bytes read by sequential scans.
+    pub seq_bytes_read: AtomicU64,
+    /// Positional read operations — a proxy for disk seeks.
+    pub seeks: AtomicU64,
+    /// DFS append calls (each is a replicated pipeline write).
+    pub dfs_appends: AtomicU64,
+    /// DFS positional-read calls.
+    pub dfs_reads: AtomicU64,
+    /// Read-cache / block-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Read-cache / block-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Records written through the public API.
+    pub records_written: AtomicU64,
+    /// Records read through the public API.
+    pub records_read: AtomicU64,
+    /// Memtable / index-spill flushes (the WAL+Data double-write events).
+    pub flushes: AtomicU64,
+    /// Compaction jobs completed.
+    pub compactions: AtomicU64,
+    /// Transactions committed.
+    pub txn_commits: AtomicU64,
+    /// Transactions aborted (validation conflicts + explicit aborts).
+    pub txn_aborts: AtomicU64,
+}
+
+impl Metrics {
+    /// New zeroed sink behind an [`Arc`].
+    pub fn new_handle() -> MetricsHandle {
+        Arc::new(Metrics::default())
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every counter into a plain struct for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_bytes_written: Self::get(&self.seq_bytes_written),
+            rand_bytes_read: Self::get(&self.rand_bytes_read),
+            seq_bytes_read: Self::get(&self.seq_bytes_read),
+            seeks: Self::get(&self.seeks),
+            dfs_appends: Self::get(&self.dfs_appends),
+            dfs_reads: Self::get(&self.dfs_reads),
+            cache_hits: Self::get(&self.cache_hits),
+            cache_misses: Self::get(&self.cache_misses),
+            records_written: Self::get(&self.records_written),
+            records_read: Self::get(&self.records_read),
+            flushes: Self::get(&self.flushes),
+            compactions: Self::get(&self.compactions),
+            txn_commits: Self::get(&self.txn_commits),
+            txn_aborts: Self::get(&self.txn_aborts),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.seq_bytes_written,
+            &self.rand_bytes_read,
+            &self.seq_bytes_read,
+            &self.seeks,
+            &self.dfs_appends,
+            &self.dfs_reads,
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.records_written,
+            &self.records_read,
+            &self.flushes,
+            &self.compactions,
+            &self.txn_commits,
+            &self.txn_aborts,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub seq_bytes_written: u64,
+    pub rand_bytes_read: u64,
+    pub seq_bytes_read: u64,
+    pub seeks: u64,
+    pub dfs_appends: u64,
+    pub dfs_reads: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub records_written: u64,
+    pub records_read: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub txn_commits: u64,
+    pub txn_aborts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Difference `self - earlier`, counter-wise (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_bytes_written: self.seq_bytes_written.saturating_sub(earlier.seq_bytes_written),
+            rand_bytes_read: self.rand_bytes_read.saturating_sub(earlier.rand_bytes_read),
+            seq_bytes_read: self.seq_bytes_read.saturating_sub(earlier.seq_bytes_read),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            dfs_appends: self.dfs_appends.saturating_sub(earlier.dfs_appends),
+            dfs_reads: self.dfs_reads.saturating_sub(earlier.dfs_reads),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            records_written: self.records_written.saturating_sub(earlier.records_written),
+            records_read: self.records_read.saturating_sub(earlier.records_read),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
+            txn_aborts: self.txn_aborts.saturating_sub(earlier.txn_aborts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = Metrics::new_handle();
+        Metrics::add(&m.seq_bytes_written, 100);
+        Metrics::incr(&m.seeks);
+        Metrics::incr(&m.seeks);
+        let s = m.snapshot();
+        assert_eq!(s.seq_bytes_written, 100);
+        assert_eq!(s.seeks, 2);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut s = MetricsSnapshot::default();
+        assert_eq!(s.cache_hit_ratio(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_is_counterwise() {
+        let m = Metrics::new_handle();
+        Metrics::add(&m.records_written, 5);
+        let before = m.snapshot();
+        Metrics::add(&m.records_written, 7);
+        Metrics::incr(&m.txn_commits);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.records_written, 7);
+        assert_eq!(d.txn_commits, 1);
+        assert_eq!(d.seeks, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = Metrics::new_handle();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        Metrics::incr(&m.records_written);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().records_written, 4000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Core value types: timestamps, LSNs, log pointers and records.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A commit timestamp / version number.
+///
+/// The paper (§3.5) composes index keys as `(primary key, timestamp)`;
+/// timestamps are issued by the cluster-wide timestamp authority so that
+/// committed update transactions are globally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest timestamp; no real write carries it.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest timestamp; used as an exclusive upper bound in reads.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Next timestamp (saturating).
+    #[must_use]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// Previous timestamp (saturating).
+    #[must_use]
+    pub fn prev(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// Log sequence number.
+///
+/// LSNs order log records within one tablet server's log instance and are
+/// the recovery cursor: a checkpoint records the LSN up to which index
+/// effects are persisted, and redo replays records with larger LSNs (§3.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// LSN zero: the log is empty / recovery starts at the beginning.
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// Next LSN (saturating).
+    #[must_use]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn:{}", self.0)
+    }
+}
+
+impl From<u64> for Lsn {
+    fn from(v: u64) -> Self {
+        Lsn(v)
+    }
+}
+
+/// Pointer from an index entry into the log repository.
+///
+/// Mirrors the paper's `Ptr` (§3.5): "the file number, the offset in the
+/// file, the record's size". Segments are identified by a dense `u32`
+/// sequence number assigned by the log writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogPtr {
+    /// Log segment (file) number.
+    pub segment: u32,
+    /// Byte offset of the framed record within the segment.
+    pub offset: u64,
+    /// Length in bytes of the framed record.
+    pub len: u32,
+}
+
+impl LogPtr {
+    /// Construct a pointer.
+    pub fn new(segment: u32, offset: u64, len: u32) -> Self {
+        LogPtr {
+            segment,
+            offset,
+            len,
+        }
+    }
+}
+
+impl fmt::Display for LogPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg:{}+{}#{}", self.segment, self.offset, self.len)
+    }
+}
+
+/// A record's primary key. Cheaply cloneable byte string.
+pub type RowKey = Bytes;
+
+/// A record's value. Cheaply cloneable byte string.
+pub type Value = Bytes;
+
+/// Metadata identifying one version of one cell (row × column group).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecordMeta {
+    /// Primary key of the row.
+    pub key: RowKey,
+    /// Column group the value belongs to (id into the table schema).
+    pub column_group: u16,
+    /// Version: the commit timestamp of the write.
+    pub timestamp: Timestamp,
+}
+
+/// One versioned value of a row's column group.
+///
+/// `value == None` encodes an *invalidated log entry* — the tombstone the
+/// paper writes on `Delete` (§3.6.3) so the deletion survives recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Identity and version of the record.
+    pub meta: RecordMeta,
+    /// The payload; `None` is a tombstone.
+    pub value: Option<Value>,
+}
+
+impl Record {
+    /// Build a live record.
+    pub fn put(key: impl Into<RowKey>, column_group: u16, ts: Timestamp, value: impl Into<Value>) -> Self {
+        Record {
+            meta: RecordMeta {
+                key: key.into(),
+                column_group,
+                timestamp: ts,
+            },
+            value: Some(value.into()),
+        }
+    }
+
+    /// Build a tombstone (invalidated entry).
+    pub fn tombstone(key: impl Into<RowKey>, column_group: u16, ts: Timestamp) -> Self {
+        Record {
+            meta: RecordMeta {
+                key: key.into(),
+                column_group,
+                timestamp: ts,
+            },
+            value: None,
+        }
+    }
+
+    /// True when this version deletes the record.
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+
+    /// Payload size in bytes (0 for tombstones).
+    pub fn value_len(&self) -> usize {
+        self.value.as_ref().map_or(0, Bytes::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_and_arithmetic() {
+        let a = Timestamp(5);
+        assert!(a < a.next());
+        assert_eq!(a.next().prev(), a);
+        assert_eq!(Timestamp::ZERO.prev(), Timestamp::ZERO);
+        assert_eq!(Timestamp::MAX.next(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn lsn_is_ordered() {
+        assert!(Lsn::ZERO < Lsn(1));
+        assert_eq!(Lsn(7).next(), Lsn(8));
+    }
+
+    #[test]
+    fn log_ptr_display() {
+        let p = LogPtr::new(3, 4096, 128);
+        assert_eq!(p.to_string(), "seg:3+4096#128");
+    }
+
+    #[test]
+    fn record_constructors() {
+        let r = Record::put(&b"user1"[..], 0, Timestamp(9), &b"v"[..]);
+        assert!(!r.is_tombstone());
+        assert_eq!(r.value_len(), 1);
+        let t = Record::tombstone(&b"user1"[..], 0, Timestamp(10));
+        assert!(t.is_tombstone());
+        assert_eq!(t.value_len(), 0);
+        assert!(t.meta.timestamp > r.meta.timestamp);
+    }
+}

@@ -1,0 +1,24 @@
+//! Coordination services — the repo's Zookeeper substitute.
+//!
+//! The paper delegates three jobs to Zookeeper (§3.3, §3.7.1):
+//!
+//! 1. **Timestamp authority** — "a global counter for generating
+//!    transaction's commit timestamps ... ensuring a global order for
+//!    committed update transactions" → [`TimestampOracle`].
+//! 2. **Distributed locks** — write locks acquired during MVOCC
+//!    validation → [`LockService`], with the paper's deadlock-avoidance
+//!    rule (acquire in key order) enforced by [`LockService::lock_all`].
+//! 3. **Membership / master election** — liveness of tablet servers and
+//!    an elected master → [`Registry`].
+//!
+//! Only the service *semantics* matter to LogBase's algorithms; the
+//! consensus protocol underneath is orthogonal to the paper's claims, so
+//! these are in-process implementations shared by all simulated nodes.
+
+mod lock;
+mod oracle;
+mod registry;
+
+pub use lock::{LockGuard, LockService};
+pub use oracle::TimestampOracle;
+pub use registry::{MemberId, MemberState, Registry};

@@ -1,0 +1,155 @@
+//! Membership registry and master election.
+//!
+//! §3.3: multiple master instances run in the cluster; "the active master
+//! is elected via Zookeeper ... If the active master fails, one of the
+//! remaining masters will take over." The registry tracks ephemeral
+//! member registrations (tablet servers and master candidates); the
+//! lowest-sequence live master candidate is the active master — the
+//! classic Zookeeper leader-election recipe.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Member identifier assigned at registration (Zookeeper sequence node).
+pub type MemberId = u64;
+
+/// What a member is registered as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// A tablet server available for tablet assignment.
+    TabletServer,
+    /// A master candidate.
+    MasterCandidate,
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    name: String,
+    state: MemberState,
+    alive: bool,
+}
+
+/// The shared membership registry.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    members: BTreeMap<MemberId, Member>,
+    next_id: MemberId,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a member; returns its sequence id.
+    pub fn register(&self, name: impl Into<String>, state: MemberState) -> MemberId {
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.members.insert(
+            id,
+            Member {
+                name: name.into(),
+                state,
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// Mark a member dead (session expiry / crash).
+    pub fn mark_dead(&self, id: MemberId) {
+        if let Some(m) = self.inner.write().members.get_mut(&id) {
+            m.alive = false;
+        }
+    }
+
+    /// Mark a member live again (restart re-registers in real ZK; we
+    /// keep the id stable for test ergonomics).
+    pub fn mark_alive(&self, id: MemberId) {
+        if let Some(m) = self.inner.write().members.get_mut(&id) {
+            m.alive = true;
+        }
+    }
+
+    /// Is the member currently live?
+    pub fn is_alive(&self, id: MemberId) -> bool {
+        self.inner
+            .read()
+            .members
+            .get(&id)
+            .is_some_and(|m| m.alive)
+    }
+
+    /// Names of live tablet servers, in registration order.
+    pub fn live_tablet_servers(&self) -> Vec<(MemberId, String)> {
+        self.inner
+            .read()
+            .members
+            .iter()
+            .filter(|(_, m)| m.alive && m.state == MemberState::TabletServer)
+            .map(|(id, m)| (*id, m.name.clone()))
+            .collect()
+    }
+
+    /// The active master: the live master candidate with the lowest id.
+    pub fn active_master(&self) -> Option<(MemberId, String)> {
+        self.inner
+            .read()
+            .members
+            .iter()
+            .find(|(_, m)| m.alive && m.state == MemberState::MasterCandidate)
+            .map(|(id, m)| (*id, m.name.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_liveness() {
+        let r = Registry::new();
+        let a = r.register("ts-a", MemberState::TabletServer);
+        let b = r.register("ts-b", MemberState::TabletServer);
+        assert!(r.is_alive(a));
+        assert_eq!(r.live_tablet_servers().len(), 2);
+        r.mark_dead(a);
+        assert!(!r.is_alive(a));
+        let live = r.live_tablet_servers();
+        assert_eq!(live, vec![(b, "ts-b".to_string())]);
+        r.mark_alive(a);
+        assert_eq!(r.live_tablet_servers().len(), 2);
+    }
+
+    #[test]
+    fn master_election_prefers_lowest_live_candidate() {
+        let r = Registry::new();
+        let m1 = r.register("master-1", MemberState::MasterCandidate);
+        let _ts = r.register("ts-a", MemberState::TabletServer);
+        let m2 = r.register("master-2", MemberState::MasterCandidate);
+        assert_eq!(r.active_master().unwrap().0, m1);
+        // Failover: kill the active master, the next candidate takes over.
+        r.mark_dead(m1);
+        assert_eq!(r.active_master().unwrap().0, m2);
+        r.mark_dead(m2);
+        assert!(r.active_master().is_none());
+        // Old master returns: lowest id wins again.
+        r.mark_alive(m1);
+        assert_eq!(r.active_master().unwrap().0, m1);
+    }
+
+    #[test]
+    fn tablet_servers_are_not_master_candidates() {
+        let r = Registry::new();
+        r.register("ts-a", MemberState::TabletServer);
+        assert!(r.active_master().is_none());
+    }
+}

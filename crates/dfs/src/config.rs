@@ -1,0 +1,97 @@
+//! DFS configuration.
+
+use logbase_common::config::{DEFAULT_REPLICATION, DEFAULT_SEGMENT_BYTES};
+use std::path::PathBuf;
+
+/// Where data-node blocks live.
+#[derive(Debug, Clone)]
+pub enum StorageBackend {
+    /// Blocks held in process memory. Fast; used by unit tests and by
+    /// benchmarks that measure algorithmic shape rather than disk cost.
+    Memory,
+    /// Blocks stored as files under `<root>/<node>/blk_<id>`. Appends are
+    /// buffered (no fsync) so the OS page cache plays the role the
+    /// cluster's disk caches played in the paper's testbed.
+    Disk(PathBuf),
+}
+
+/// Configuration for a simulated DFS instance.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Number of data nodes in the cluster.
+    pub data_nodes: usize,
+    /// Replication factor (paper default: 3).
+    pub replication: usize,
+    /// Chunk size in bytes (paper default: 64 MB).
+    pub chunk_size: u64,
+    /// Number of racks the nodes are spread over (for rack-aware
+    /// placement). Nodes are assigned round-robin to racks.
+    pub racks: usize,
+    /// Block storage backend.
+    pub backend: StorageBackend,
+}
+
+impl DfsConfig {
+    /// Memory-backed config with `data_nodes` nodes and replication `r`.
+    pub fn in_memory(data_nodes: usize, r: usize) -> Self {
+        DfsConfig {
+            data_nodes,
+            replication: r,
+            chunk_size: DEFAULT_SEGMENT_BYTES,
+            racks: 2.min(data_nodes.max(1)),
+            backend: StorageBackend::Memory,
+        }
+    }
+
+    /// Disk-backed config rooted at `root`.
+    pub fn on_disk(root: impl Into<PathBuf>, data_nodes: usize, r: usize) -> Self {
+        DfsConfig {
+            data_nodes,
+            replication: r,
+            chunk_size: DEFAULT_SEGMENT_BYTES,
+            racks: 2.min(data_nodes.max(1)),
+            backend: StorageBackend::Disk(root.into()),
+        }
+    }
+
+    /// Builder-style chunk-size override (tests use small chunks to
+    /// exercise chunk rotation cheaply).
+    #[must_use]
+    pub fn with_chunk_size(mut self, bytes: u64) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Builder-style rack-count override.
+    #[must_use]
+    pub fn with_racks(mut self, racks: usize) -> Self {
+        self.racks = racks.max(1);
+        self
+    }
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig::in_memory(DEFAULT_REPLICATION, DEFAULT_REPLICATION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DfsConfig::default();
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.chunk_size, 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = DfsConfig::in_memory(5, 3).with_chunk_size(1024).with_racks(3);
+        assert_eq!(c.chunk_size, 1024);
+        assert_eq!(c.racks, 3);
+        assert_eq!(c.data_nodes, 5);
+    }
+}

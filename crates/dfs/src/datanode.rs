@@ -1,0 +1,342 @@
+//! Data nodes: block stores with failure injection.
+
+use crate::config::StorageBackend;
+use logbase_common::{Error, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Identifier of a data node within one DFS instance.
+pub type NodeId = u32;
+
+/// Globally unique block id (assigned by the name node).
+pub type BlockId = u64;
+
+enum BlockStore {
+    Memory(RwLock<HashMap<BlockId, Mutex<Vec<u8>>>>),
+    Disk {
+        dir: PathBuf,
+        /// Open append handles, one per block, created lazily.
+        files: Mutex<HashMap<BlockId, File>>,
+    },
+}
+
+/// One simulated data node.
+///
+/// Holds replicas of chunks ("blocks") and supports kill/restart failure
+/// injection. A killed node rejects every operation with
+/// [`Error::NodeDown`]; restarting a memory-backed node loses its blocks
+/// (simulating a wiped machine) while a disk-backed node keeps them
+/// (simulating a reboot).
+pub struct DataNode {
+    id: NodeId,
+    rack: u32,
+    alive: AtomicBool,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    store: BlockStore,
+}
+
+impl DataNode {
+    /// Create a node backed per `backend`.
+    pub fn new(id: NodeId, rack: u32, backend: &StorageBackend) -> Result<Self> {
+        let store = match backend {
+            StorageBackend::Memory => BlockStore::Memory(RwLock::new(HashMap::new())),
+            StorageBackend::Disk(root) => {
+                let dir = root.join(format!("dn-{id}"));
+                std::fs::create_dir_all(&dir)?;
+                BlockStore::Disk {
+                    dir,
+                    files: Mutex::new(HashMap::new()),
+                }
+            }
+        };
+        Ok(DataNode {
+            id,
+            rack,
+            alive: AtomicBool::new(true),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            store,
+        })
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Rack the node lives in.
+    pub fn rack(&self) -> u32 {
+        self.rack
+    }
+
+    /// Liveness flag.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Kill the node: every subsequent operation fails until restart.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Restart the node. Memory-backed nodes come back empty (their RAM
+    /// is gone); disk-backed nodes keep their blocks.
+    pub fn restart(&self) {
+        if let BlockStore::Memory(blocks) = &self.store {
+            blocks.write().clear();
+        }
+        if let BlockStore::Disk { files, .. } = &self.store {
+            files.lock().clear();
+        }
+        self.alive.store(true, Ordering::Release);
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(Error::NodeDown(format!("dn-{}", self.id)))
+        }
+    }
+
+    /// Append `data` to the replica of `block`, creating it if absent.
+    /// Returns the replica length after the append.
+    pub fn append_block(&self, block: BlockId, data: &[u8]) -> Result<u64> {
+        self.check_alive()?;
+        self.bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        match &self.store {
+            BlockStore::Memory(blocks) => {
+                {
+                    let guard = blocks.read();
+                    if let Some(buf) = guard.get(&block) {
+                        let mut buf = buf.lock();
+                        buf.extend_from_slice(data);
+                        return Ok(buf.len() as u64);
+                    }
+                }
+                let mut guard = blocks.write();
+                let buf = guard.entry(block).or_insert_with(|| Mutex::new(Vec::new()));
+                let mut buf = buf.lock();
+                buf.extend_from_slice(data);
+                Ok(buf.len() as u64)
+            }
+            BlockStore::Disk { dir, files } => {
+                let mut files = files.lock();
+                let file = match files.entry(block) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let path = dir.join(format!("blk_{block}"));
+                        let f = OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .read(true)
+                            .open(path)?;
+                        e.insert(f)
+                    }
+                };
+                file.write_all(data)?;
+                Ok(file.seek(SeekFrom::End(0))?)
+            }
+        }
+    }
+
+    /// Read `len` bytes at `offset` within the replica of `block`.
+    pub fn read_block(&self, block: BlockId, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        match &self.store {
+            BlockStore::Memory(blocks) => {
+                let guard = blocks.read();
+                let buf = guard
+                    .get(&block)
+                    .ok_or_else(|| Error::FileNotFound(format!("dn-{} blk_{block}", self.id)))?;
+                let buf = buf.lock();
+                let end = offset
+                    .checked_add(len as u64)
+                    .filter(|e| *e <= buf.len() as u64)
+                    .ok_or_else(|| Error::OutOfBounds {
+                        file: format!("dn-{} blk_{block}", self.id),
+                        offset,
+                        len: len as u64,
+                        size: buf.len() as u64,
+                    })?;
+                Ok(buf[offset as usize..end as usize].to_vec())
+            }
+            BlockStore::Disk { dir, files } => {
+                let mut files = files.lock();
+                let file = match files.entry(block) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let path = dir.join(format!("blk_{block}"));
+                        if !path.exists() {
+                            return Err(Error::FileNotFound(format!(
+                                "dn-{} blk_{block}",
+                                self.id
+                            )));
+                        }
+                        let f = OpenOptions::new().append(true).read(true).open(path)?;
+                        e.insert(f)
+                    }
+                };
+                let size = file.seek(SeekFrom::End(0))?;
+                if offset + len as u64 > size {
+                    return Err(Error::OutOfBounds {
+                        file: format!("dn-{} blk_{block}", self.id),
+                        offset,
+                        len: len as u64,
+                        size,
+                    });
+                }
+                file.seek(SeekFrom::Start(offset))?;
+                let mut out = vec![0u8; len];
+                file.read_exact(&mut out)?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Length of the local replica of `block` (0 if absent).
+    pub fn block_len(&self, block: BlockId) -> Result<u64> {
+        self.check_alive()?;
+        match &self.store {
+            BlockStore::Memory(blocks) => Ok(blocks
+                .read()
+                .get(&block)
+                .map_or(0, |b| b.lock().len() as u64)),
+            BlockStore::Disk { dir, files } => {
+                if let Some(f) = files.lock().get_mut(&block) {
+                    return Ok(f.seek(SeekFrom::End(0))?);
+                }
+                let path = dir.join(format!("blk_{block}"));
+                Ok(path.metadata().map(|m| m.len()).unwrap_or(0))
+            }
+        }
+    }
+
+    /// Whether this node holds a replica of `block`.
+    pub fn has_block(&self, block: BlockId) -> bool {
+        if !self.is_alive() {
+            return false;
+        }
+        match &self.store {
+            BlockStore::Memory(blocks) => blocks.read().contains_key(&block),
+            BlockStore::Disk { dir, files } => {
+                files.lock().contains_key(&block) || dir.join(format!("blk_{block}")).exists()
+            }
+        }
+    }
+
+    /// Drop the local replica of `block`.
+    pub fn delete_block(&self, block: BlockId) -> Result<()> {
+        self.check_alive()?;
+        match &self.store {
+            BlockStore::Memory(blocks) => {
+                blocks.write().remove(&block);
+            }
+            BlockStore::Disk { dir, files } => {
+                files.lock().remove(&block);
+                let path = dir.join(format!("blk_{block}"));
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes written to this node since creation.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read from this node since creation.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_append_and_read() {
+        let n = DataNode::new(0, 0, &StorageBackend::Memory).unwrap();
+        assert_eq!(n.append_block(1, b"abc").unwrap(), 3);
+        assert_eq!(n.append_block(1, b"def").unwrap(), 6);
+        assert_eq!(n.read_block(1, 2, 3).unwrap(), b"cde");
+        assert_eq!(n.block_len(1).unwrap(), 6);
+        assert!(n.has_block(1));
+        assert!(!n.has_block(2));
+    }
+
+    #[test]
+    fn read_out_of_bounds() {
+        let n = DataNode::new(0, 0, &StorageBackend::Memory).unwrap();
+        n.append_block(1, b"abc").unwrap();
+        assert!(matches!(
+            n.read_block(1, 2, 5),
+            Err(Error::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            n.read_block(9, 0, 1),
+            Err(Error::FileNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn kill_blocks_all_ops_and_memory_restart_wipes() {
+        let n = DataNode::new(7, 1, &StorageBackend::Memory).unwrap();
+        n.append_block(1, b"abc").unwrap();
+        n.kill();
+        assert!(!n.is_alive());
+        assert!(matches!(n.append_block(1, b"x"), Err(Error::NodeDown(_))));
+        assert!(matches!(n.read_block(1, 0, 1), Err(Error::NodeDown(_))));
+        assert!(!n.has_block(1));
+        n.restart();
+        assert!(n.is_alive());
+        // Memory nodes lose their blocks on restart.
+        assert!(!n.has_block(1));
+    }
+
+    #[test]
+    fn disk_node_survives_restart() {
+        let dir = tempfile::tempdir().unwrap();
+        let backend = StorageBackend::Disk(dir.path().to_path_buf());
+        let n = DataNode::new(3, 0, &backend).unwrap();
+        n.append_block(5, b"persistent").unwrap();
+        n.kill();
+        n.restart();
+        assert!(n.has_block(5));
+        assert_eq!(n.read_block(5, 0, 10).unwrap(), b"persistent");
+    }
+
+    #[test]
+    fn disk_append_read_delete() {
+        let dir = tempfile::tempdir().unwrap();
+        let backend = StorageBackend::Disk(dir.path().to_path_buf());
+        let n = DataNode::new(0, 0, &backend).unwrap();
+        n.append_block(1, b"hello ").unwrap();
+        assert_eq!(n.append_block(1, b"world").unwrap(), 11);
+        assert_eq!(n.read_block(1, 6, 5).unwrap(), b"world");
+        assert_eq!(n.block_len(1).unwrap(), 11);
+        n.delete_block(1).unwrap();
+        assert!(!n.has_block(1));
+        assert_eq!(n.block_len(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn io_accounting() {
+        let n = DataNode::new(0, 0, &StorageBackend::Memory).unwrap();
+        n.append_block(1, &[0u8; 100]).unwrap();
+        n.read_block(1, 0, 40).unwrap();
+        assert_eq!(n.bytes_written(), 100);
+        assert_eq!(n.bytes_read(), 40);
+    }
+}

@@ -1,0 +1,43 @@
+//! A simulated distributed file system — the repo's HDFS substitute.
+//!
+//! LogBase (§3.4) stores its log segments and index files in HDFS and
+//! relies on exactly four properties of it:
+//!
+//! 1. **Append-only sequential files** made of fixed-size chunks
+//!    (64 MB default).
+//! 2. **Synchronous n-way replication**: an append returns only after all
+//!    `n` replicas of the tail chunk have the bytes (RAID-1-equivalent,
+//!    §3.4 "Guarantee 1").
+//! 3. **Positional reads** by `(file, offset, len)` from any live replica.
+//! 4. **Rack-aware placement** so that losing one node (or one rack)
+//!    loses no data.
+//!
+//! This crate provides those properties in-process. Data nodes are either
+//! memory-backed or disk-backed (a directory per node); the name node
+//! tracks the namespace and chunk placement; failure injection kills and
+//! restarts nodes. Everything is instrumented through
+//! [`logbase_common::metrics::Metrics`] so benchmarks can report I/O
+//! shapes.
+//!
+//! # Example
+//!
+//! ```
+//! use logbase_dfs::{Dfs, DfsConfig};
+//!
+//! let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+//! dfs.create("logs/segment-000001").unwrap();
+//! let off = dfs.append("logs/segment-000001", b"hello").unwrap();
+//! assert_eq!(off, 0);
+//! let data = dfs.read("logs/segment-000001", 0, 5).unwrap();
+//! assert_eq!(&data[..], b"hello");
+//! ```
+
+mod config;
+mod datanode;
+mod namenode;
+mod system;
+
+pub use config::{DfsConfig, StorageBackend};
+pub use datanode::{DataNode, NodeId};
+pub use namenode::{ChunkMeta, FileMeta, PlacementPolicy};
+pub use system::{Dfs, DfsFileReader};

@@ -1,0 +1,450 @@
+//! Name node: namespace, chunk metadata and rack-aware placement.
+
+use crate::datanode::{BlockId, NodeId};
+use logbase_common::{Error, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Metadata of one chunk of a file.
+#[derive(Debug, Clone)]
+pub struct ChunkMeta {
+    /// Globally unique block id.
+    pub block: BlockId,
+    /// Current length of the chunk in bytes.
+    pub len: u64,
+    /// Nodes holding replicas, pipeline order.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Metadata of one file: an ordered list of chunks.
+#[derive(Debug, Clone, Default)]
+pub struct FileMeta {
+    /// Chunks in file order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Whether the file is sealed (no further appends).
+    pub sealed: bool,
+}
+
+impl FileMeta {
+    /// Total file length.
+    pub fn len(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+
+    /// True when the file holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Replica placement policy.
+///
+/// `RackAware` mirrors HDFS: first replica on a rotating "writer-local"
+/// node, second on a node in a *different* rack, third on another node in
+/// the second replica's rack. `Flat` ignores racks (round-robin), used
+/// when `racks == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// HDFS-style rack-aware placement.
+    RackAware,
+    /// Round-robin over all live nodes.
+    Flat,
+}
+
+/// The namespace and placement authority.
+pub struct NameNode {
+    files: RwLock<BTreeMap<String, FileMeta>>,
+    next_block: AtomicU64,
+    next_writer: AtomicU64,
+    policy: PlacementPolicy,
+}
+
+impl NameNode {
+    /// New empty namespace.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        NameNode {
+            files: RwLock::new(BTreeMap::new()),
+            next_block: AtomicU64::new(1),
+            next_writer: AtomicU64::new(0),
+            policy,
+        }
+    }
+
+    /// Create an empty file. Fails if it already exists.
+    pub fn create(&self, name: &str) -> Result<()> {
+        let mut files = self.files.write();
+        if files.contains_key(name) {
+            return Err(Error::FileExists(name.to_string()));
+        }
+        files.insert(name.to_string(), FileMeta::default());
+        Ok(())
+    }
+
+    /// True when `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// Current metadata snapshot of `name`.
+    pub fn stat(&self, name: &str) -> Result<FileMeta> {
+        self.files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::FileNotFound(name.to_string()))
+    }
+
+    /// List file names with the given prefix, in lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Remove `name` and return its chunks for the caller to reclaim.
+    pub fn delete(&self, name: &str) -> Result<Vec<ChunkMeta>> {
+        self.files
+            .write()
+            .remove(name)
+            .map(|m| m.chunks)
+            .ok_or_else(|| Error::FileNotFound(name.to_string()))
+    }
+
+    /// Rename `from` to `to` (fails if `to` exists).
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut files = self.files.write();
+        if files.contains_key(to) {
+            return Err(Error::FileExists(to.to_string()));
+        }
+        let meta = files
+            .remove(from)
+            .ok_or_else(|| Error::FileNotFound(from.to_string()))?;
+        files.insert(to.to_string(), meta);
+        Ok(())
+    }
+
+    /// Seal `name` against further appends.
+    pub fn seal(&self, name: &str) -> Result<()> {
+        let mut files = self.files.write();
+        let meta = files
+            .get_mut(name)
+            .ok_or_else(|| Error::FileNotFound(name.to_string()))?;
+        meta.sealed = true;
+        Ok(())
+    }
+
+    /// Plan an append of `len` bytes to `name` with chunk capacity
+    /// `chunk_size`. Returns the list of `(chunk, offset within chunk,
+    /// slice range)` writes to perform; new chunks are allocated with
+    /// replicas chosen from `live` (node id → rack). The plan is applied
+    /// with [`NameNode::commit_append`] after the replica writes succeed.
+    pub fn plan_append(
+        &self,
+        name: &str,
+        len: u64,
+        chunk_size: u64,
+        replication: usize,
+        live: &[(NodeId, u32)],
+    ) -> Result<AppendPlan> {
+        if live.len() < replication {
+            return Err(Error::InsufficientReplicas {
+                wanted: replication,
+                available: live.len(),
+            });
+        }
+        let files = self.files.read();
+        let meta = files
+            .get(name)
+            .ok_or_else(|| Error::FileNotFound(name.to_string()))?;
+        if meta.sealed {
+            return Err(Error::InvalidArgument(format!(
+                "file {name} is sealed against appends"
+            )));
+        }
+        let file_len = meta.len();
+        let mut writes = Vec::new();
+        let mut remaining = len;
+        let mut data_pos = 0u64;
+
+        // Fill the tail chunk first.
+        let mut tail_room = match meta.chunks.last() {
+            Some(c) if c.len < chunk_size => chunk_size - c.len,
+            _ => 0,
+        };
+        if tail_room > 0 && remaining > 0 {
+            let take = tail_room.min(remaining);
+            let c = meta.chunks.last().expect("tail chunk exists");
+            writes.push(ChunkWrite {
+                chunk_index: meta.chunks.len() - 1,
+                block: c.block,
+                replicas: c.replicas.clone(),
+                data_range: (data_pos, data_pos + take),
+                new_chunk: false,
+            });
+            remaining -= take;
+            data_pos += take;
+            tail_room -= take;
+            let _ = tail_room;
+        }
+        // Allocate fresh chunks for the rest.
+        let mut chunk_index = meta.chunks.len();
+        while remaining > 0 {
+            let take = chunk_size.min(remaining);
+            let block = self.next_block.fetch_add(1, Ordering::Relaxed);
+            let replicas = self.place(replication, live);
+            writes.push(ChunkWrite {
+                chunk_index,
+                block,
+                replicas,
+                data_range: (data_pos, data_pos + take),
+                new_chunk: true,
+            });
+            remaining -= take;
+            data_pos += take;
+            chunk_index += 1;
+        }
+        Ok(AppendPlan {
+            file: name.to_string(),
+            start_offset: file_len,
+            writes,
+        })
+    }
+
+    /// Record the effects of a completed append plan.
+    pub fn commit_append(&self, plan: &AppendPlan) -> Result<()> {
+        let mut files = self.files.write();
+        let meta = files
+            .get_mut(&plan.file)
+            .ok_or_else(|| Error::FileNotFound(plan.file.clone()))?;
+        for w in &plan.writes {
+            let wlen = w.data_range.1 - w.data_range.0;
+            if w.new_chunk {
+                debug_assert_eq!(w.chunk_index, meta.chunks.len());
+                meta.chunks.push(ChunkMeta {
+                    block: w.block,
+                    len: wlen,
+                    replicas: w.replicas.clone(),
+                });
+            } else {
+                let c = meta.chunks.get_mut(w.chunk_index).ok_or_else(|| {
+                    Error::Corruption(format!(
+                        "append plan refers to missing chunk {} of {}",
+                        w.chunk_index, plan.file
+                    ))
+                })?;
+                c.len += wlen;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace the replica set of one chunk (re-replication after a
+    /// node failure).
+    pub fn set_replicas(
+        &self,
+        name: &str,
+        chunk_index: usize,
+        replicas: Vec<NodeId>,
+    ) -> Result<()> {
+        let mut files = self.files.write();
+        let meta = files
+            .get_mut(name)
+            .ok_or_else(|| Error::FileNotFound(name.to_string()))?;
+        let chunk = meta.chunks.get_mut(chunk_index).ok_or_else(|| {
+            Error::Corruption(format!("{name}: no chunk at index {chunk_index}"))
+        })?;
+        chunk.replicas = replicas;
+        Ok(())
+    }
+
+    /// Choose `replication` nodes for a new chunk.
+    fn place(&self, replication: usize, live: &[(NodeId, u32)]) -> Vec<NodeId> {
+        let start = self.next_writer.fetch_add(1, Ordering::Relaxed) as usize % live.len();
+        match self.policy {
+            PlacementPolicy::Flat => (0..replication)
+                .map(|i| live[(start + i) % live.len()].0)
+                .collect(),
+            PlacementPolicy::RackAware => {
+                let mut chosen: Vec<(NodeId, u32)> = Vec::with_capacity(replication);
+                // First replica: "local" (rotating) node.
+                chosen.push(live[start]);
+                // Second: different rack if possible.
+                if replication > 1 {
+                    let second = live
+                        .iter()
+                        .cycle()
+                        .skip(start + 1)
+                        .take(live.len())
+                        .find(|(id, rack)| *rack != chosen[0].1 && *id != chosen[0].0)
+                        .or_else(|| {
+                            live.iter()
+                                .cycle()
+                                .skip(start + 1)
+                                .take(live.len())
+                                .find(|(id, _)| *id != chosen[0].0)
+                        });
+                    if let Some(&n) = second {
+                        chosen.push(n);
+                    }
+                }
+                // Third and beyond: same rack as second, then anywhere.
+                while chosen.len() < replication {
+                    let have: Vec<NodeId> = chosen.iter().map(|c| c.0).collect();
+                    let want_rack = chosen.get(1).map(|c| c.1);
+                    let next = live
+                        .iter()
+                        .cycle()
+                        .skip(start + chosen.len())
+                        .take(live.len())
+                        .find(|(id, rack)| {
+                            !have.contains(id) && want_rack.is_none_or(|r| *rack == r)
+                        })
+                        .or_else(|| {
+                            live.iter()
+                                .cycle()
+                                .skip(start + chosen.len())
+                                .take(live.len())
+                                .find(|(id, _)| !have.contains(id))
+                        });
+                    match next {
+                        Some(&n) => chosen.push(n),
+                        None => break,
+                    }
+                }
+                chosen.into_iter().map(|(id, _)| id).collect()
+            }
+        }
+    }
+}
+
+/// One replica-pipeline write produced by [`NameNode::plan_append`].
+#[derive(Debug, Clone)]
+pub struct ChunkWrite {
+    /// Index of the chunk within the file.
+    pub chunk_index: usize,
+    /// Block to append to.
+    pub block: BlockId,
+    /// Replica pipeline.
+    pub replicas: Vec<NodeId>,
+    /// Half-open byte range of the caller's buffer to write.
+    pub data_range: (u64, u64),
+    /// Whether this write creates the chunk.
+    pub new_chunk: bool,
+}
+
+/// A planned multi-chunk append.
+#[derive(Debug, Clone)]
+pub struct AppendPlan {
+    /// Target file.
+    pub file: String,
+    /// Offset in the file where the append starts.
+    pub start_offset: u64,
+    /// Pipeline writes to perform in order.
+    pub writes: Vec<ChunkWrite>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(n: usize, racks: u32) -> Vec<(NodeId, u32)> {
+        (0..n as u32).map(|i| (i, i % racks)).collect()
+    }
+
+    #[test]
+    fn namespace_crud() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        nn.create("a/b").unwrap();
+        assert!(nn.exists("a/b"));
+        assert!(matches!(nn.create("a/b"), Err(Error::FileExists(_))));
+        nn.create("a/c").unwrap();
+        nn.create("z").unwrap();
+        assert_eq!(nn.list("a/"), vec!["a/b".to_string(), "a/c".to_string()]);
+        nn.rename("a/c", "a/d").unwrap();
+        assert!(!nn.exists("a/c"));
+        nn.delete("a/d").unwrap();
+        assert!(matches!(nn.delete("a/d"), Err(Error::FileNotFound(_))));
+    }
+
+    #[test]
+    fn plan_append_spans_chunks() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        nn.create("f").unwrap();
+        // chunk size 10, append 25 bytes => 3 new chunks (10,10,5)
+        let plan = nn.plan_append("f", 25, 10, 2, &live(3, 1)).unwrap();
+        assert_eq!(plan.start_offset, 0);
+        assert_eq!(plan.writes.len(), 3);
+        assert!(plan.writes.iter().all(|w| w.new_chunk));
+        assert_eq!(plan.writes[2].data_range, (20, 25));
+        nn.commit_append(&plan).unwrap();
+        assert_eq!(nn.stat("f").unwrap().len(), 25);
+
+        // Next append fills the 5-byte tail first.
+        let plan2 = nn.plan_append("f", 8, 10, 2, &live(3, 1)).unwrap();
+        assert_eq!(plan2.start_offset, 25);
+        assert_eq!(plan2.writes.len(), 2);
+        assert!(!plan2.writes[0].new_chunk);
+        assert_eq!(plan2.writes[0].data_range, (0, 5));
+        assert!(plan2.writes[1].new_chunk);
+        nn.commit_append(&plan2).unwrap();
+        assert_eq!(nn.stat("f").unwrap().len(), 33);
+        assert_eq!(nn.stat("f").unwrap().chunks.len(), 4);
+    }
+
+    #[test]
+    fn append_requires_enough_replicas() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        nn.create("f").unwrap();
+        let err = nn.plan_append("f", 10, 10, 3, &live(2, 1)).unwrap_err();
+        assert!(matches!(err, Error::InsufficientReplicas { .. }));
+    }
+
+    #[test]
+    fn sealed_file_rejects_appends() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        nn.create("f").unwrap();
+        nn.seal("f").unwrap();
+        assert!(nn.plan_append("f", 1, 10, 1, &live(1, 1)).is_err());
+    }
+
+    #[test]
+    fn rack_aware_placement_spans_racks() {
+        let nn = NameNode::new(PlacementPolicy::RackAware);
+        let nodes = live(6, 2); // racks 0,1,0,1,0,1
+        for _ in 0..12 {
+            let replicas = nn.place(3, &nodes);
+            assert_eq!(replicas.len(), 3);
+            // Replicas distinct.
+            let mut sorted = replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3);
+            // At least two racks covered.
+            let racks: std::collections::BTreeSet<u32> = replicas
+                .iter()
+                .map(|id| nodes.iter().find(|(n, _)| n == id).unwrap().1)
+                .collect();
+            assert!(racks.len() >= 2, "replicas {replicas:?} all in one rack");
+        }
+    }
+
+    #[test]
+    fn rack_aware_single_rack_degrades_gracefully() {
+        let nn = NameNode::new(PlacementPolicy::RackAware);
+        let nodes = live(3, 1);
+        let replicas = nn.place(3, &nodes);
+        assert_eq!(replicas.len(), 3);
+    }
+
+    #[test]
+    fn placement_rotates_first_replica() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        let nodes = live(4, 1);
+        let firsts: Vec<NodeId> = (0..4).map(|_| nn.place(1, &nodes)[0]).collect();
+        assert_eq!(firsts, vec![0, 1, 2, 3]);
+    }
+}

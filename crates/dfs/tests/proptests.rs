@@ -1,0 +1,71 @@
+//! Property tests: the DFS behaves like a plain byte vector per file,
+//! under arbitrary append/read interleavings and chunk sizes.
+
+use logbase_dfs::{Dfs, DfsConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Appends concatenate; positional reads return exactly the model's
+    /// bytes, regardless of chunk size (so chunk-boundary handling is
+    /// exercised for every offset/length combination).
+    #[test]
+    fn prop_dfs_file_is_a_byte_vector(
+        chunk_size in 1u64..64,
+        appends in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..96), 1..16),
+        reads in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..16),
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2).with_chunk_size(chunk_size));
+        dfs.create("f").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for data in &appends {
+            let off = dfs.append("f", data).unwrap();
+            prop_assert_eq!(off, model.len() as u64);
+            model.extend_from_slice(data);
+        }
+        prop_assert_eq!(dfs.len("f").unwrap(), model.len() as u64);
+        prop_assert_eq!(&dfs.read_all("f").unwrap()[..], &model[..]);
+        for (off, len) in reads {
+            let off = u64::from(off) % (model.len() as u64 + 1);
+            let len = u64::from(len).min(model.len() as u64 - off);
+            let got = dfs.read("f", off, len).unwrap();
+            prop_assert_eq!(&got[..], &model[off as usize..(off + len) as usize]);
+        }
+    }
+
+    /// The sequential reader agrees with positional reads at every
+    /// step size.
+    #[test]
+    fn prop_sequential_reader_matches_model(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        step in 1u64..64,
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2).with_chunk_size(32));
+        dfs.create("f").unwrap();
+        dfs.append("f", &payload).unwrap();
+        let mut r = dfs.open_reader("f").unwrap();
+        let mut got = Vec::new();
+        while r.remaining() > 0 {
+            let take = r.remaining().min(step);
+            got.extend_from_slice(&r.read_exact(take).unwrap());
+        }
+        prop_assert_eq!(got, payload);
+    }
+
+    /// Any single node failure is invisible to reads at replication ≥ 2.
+    #[test]
+    fn prop_single_failure_transparent(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        victim in 0u32..3,
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2).with_chunk_size(16));
+        dfs.create("f").unwrap();
+        dfs.append("f", &payload).unwrap();
+        dfs.kill_node(victim);
+        // Replication 2 of 3 nodes: one failure may hit 0, 1 or 2 of a
+        // chunk's replicas; with r=2 at most one of them — reads succeed.
+        prop_assert_eq!(&dfs.read_all("f").unwrap()[..], &payload[..]);
+    }
+}

@@ -1,0 +1,22 @@
+//! The **WAL+Data baseline**, modeled after HBase 0.90 (paper §4, Fig. 3
+//! right).
+//!
+//! Write path: a record is (1) appended to the write-ahead log, then
+//! (2) inserted into a sorted in-memory *memtable*. When the memtable
+//! reaches its flush threshold it is written — a second time — into an
+//! SSTable on the DFS; the write that triggers the flush *waits* for it
+//! ("if the memtable is full and a minor compaction is required, the
+//! write has to wait until the memtable is persisted successfully into
+//! HDFS", §4.3). That double write and stall are exactly the WAL+Data
+//! costs LogBase removes.
+//!
+//! Read path: memtable, then SSTables newest-first through a sparse
+//! block index and an LRU block cache — on a cache miss a whole ~64 KB
+//! block is fetched to serve one record (the Fig. 7 long-tail penalty).
+//!
+//! Recovery replays the WAL from the last flush point into a fresh
+//! memtable — the data files hold everything older.
+
+mod engine;
+
+pub use engine::{HBaseConfig, HBaseEngine, HBaseStats};

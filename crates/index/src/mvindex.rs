@@ -1,0 +1,554 @@
+//! The multiversion index structure.
+
+use logbase_common::config::INDEX_ENTRY_BYTES;
+use logbase_common::schema::KeyRange;
+use logbase_common::{LogPtr, RowKey, Timestamp};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One version of one key: `(timestamp, pointer)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionedPtr {
+    /// Commit timestamp of the write.
+    pub ts: Timestamp,
+    /// Location of the record in the log.
+    pub ptr: LogPtr,
+}
+
+/// A materialized index entry (used by scans and persistence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Record primary key.
+    pub key: RowKey,
+    /// Version.
+    pub ts: Timestamp,
+    /// Log location.
+    pub ptr: LogPtr,
+}
+
+/// Size statistics of one index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total `(key, ts)` entries.
+    pub entries: u64,
+    /// Distinct keys.
+    pub keys: u64,
+    /// Approximate resident bytes (paper model: 24 B/entry + key bytes).
+    pub approx_bytes: u64,
+    /// Updates applied since the last counter reset (checkpoint trigger,
+    /// §3.6.1).
+    pub updates_since_checkpoint: u64,
+}
+
+/// A range bound over composite `(key, timestamp)` index keys.
+type KeyBound = Bound<(RowKey, Timestamp)>;
+
+/// The in-memory multiversion index: ordered map from
+/// `(key, timestamp)` to [`LogPtr`].
+///
+/// Concurrent readers proceed in parallel; writers serialize. All probe
+/// methods are `O(log n + answer)`.
+pub struct MultiVersionIndex {
+    map: RwLock<BTreeMap<(RowKey, Timestamp), LogPtr>>,
+    key_bytes: AtomicU64,
+    updates: AtomicU64,
+}
+
+impl Default for MultiVersionIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiVersionIndex {
+    /// New empty index.
+    pub fn new() -> Self {
+        MultiVersionIndex {
+            map: RwLock::new(BTreeMap::new()),
+            key_bytes: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// Insert (or overwrite) the entry for `(key, ts)`.
+    pub fn insert(&self, key: RowKey, ts: Timestamp, ptr: LogPtr) {
+        let mut map = self.map.write();
+        let klen = key.len() as u64;
+        if map.insert((key, ts), ptr).is_none() {
+            self.key_bytes.fetch_add(klen, Ordering::Relaxed);
+        }
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert a batch of entries under one lock acquisition.
+    pub fn insert_batch(&self, entries: impl IntoIterator<Item = IndexEntry>) {
+        let mut map = self.map.write();
+        let mut n = 0u64;
+        for e in entries {
+            let klen = e.key.len() as u64;
+            if map.insert((e.key, e.ts), e.ptr).is_none() {
+                self.key_bytes.fetch_add(klen, Ordering::Relaxed);
+            }
+            n += 1;
+        }
+        self.updates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Remove every version of `key` (step 1 of `Delete`, §3.6.3).
+    /// Returns the number of versions removed.
+    pub fn remove_key(&self, key: &[u8]) -> usize {
+        let mut map = self.map.write();
+        let doomed: Vec<(RowKey, Timestamp)> = map
+            .range(Self::key_bounds(key))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            map.remove(k);
+            self.key_bytes.fetch_sub(k.0.len() as u64, Ordering::Relaxed);
+        }
+        self.updates.fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        doomed.len()
+    }
+
+    /// Remove one specific version.
+    pub fn remove_version(&self, key: &[u8], ts: Timestamp) -> bool {
+        let mut map = self.map.write();
+        let k = (RowKey::copy_from_slice(key), ts);
+        let removed = map.remove(&k).is_some();
+        if removed {
+            self.key_bytes.fetch_sub(key.len() as u64, Ordering::Relaxed);
+            self.updates.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    fn key_bounds(key: &[u8]) -> (KeyBound, KeyBound) {
+        (
+            Bound::Included((RowKey::copy_from_slice(key), Timestamp::ZERO)),
+            Bound::Included((RowKey::copy_from_slice(key), Timestamp::MAX)),
+        )
+    }
+
+    /// Pointer for the exact version `(key, ts)`, if present.
+    pub fn get_version(&self, key: &[u8], ts: Timestamp) -> Option<LogPtr> {
+        self.map
+            .read()
+            .get(&(RowKey::copy_from_slice(key), ts))
+            .copied()
+    }
+
+    /// Latest version of `key`, if any.
+    pub fn latest(&self, key: &[u8]) -> Option<VersionedPtr> {
+        let map = self.map.read();
+        map.range(Self::key_bounds(key))
+            .next_back()
+            .map(|((_, ts), ptr)| VersionedPtr { ts: *ts, ptr: *ptr })
+    }
+
+    /// Latest version of `key` with timestamp `<= at` (snapshot reads).
+    pub fn latest_at(&self, key: &[u8], at: Timestamp) -> Option<VersionedPtr> {
+        let map = self.map.read();
+        map.range((
+            Bound::Included((RowKey::copy_from_slice(key), Timestamp::ZERO)),
+            Bound::Included((RowKey::copy_from_slice(key), at)),
+        ))
+        .next_back()
+        .map(|((_, ts), ptr)| VersionedPtr { ts: *ts, ptr: *ptr })
+    }
+
+    /// All versions of `key`, oldest first.
+    pub fn versions(&self, key: &[u8]) -> Vec<VersionedPtr> {
+        let map = self.map.read();
+        map.range(Self::key_bounds(key))
+            .map(|((_, ts), ptr)| VersionedPtr { ts: *ts, ptr: *ptr })
+            .collect()
+    }
+
+    /// For every key in `range`, the latest version with timestamp
+    /// `<= at`, in key order. This is the range-scan index probe
+    /// (§3.6.4); `limit` bounds the number of *keys* returned.
+    pub fn range_latest_at(
+        &self,
+        range: &KeyRange,
+        at: Timestamp,
+        limit: usize,
+    ) -> Vec<IndexEntry> {
+        let map = self.map.read();
+        let lower = Bound::Included((range.start.clone(), Timestamp::ZERO));
+        let upper = match &range.end {
+            Some(end) => Bound::Excluded((end.clone(), Timestamp::ZERO)),
+            None => Bound::Unbounded,
+        };
+        let mut out: Vec<IndexEntry> = Vec::new();
+        for ((key, ts), ptr) in map.range((lower, upper)) {
+            if *ts > at {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.key == *key => {
+                    // Later version of the same key (iteration is ts-asc).
+                    last.ts = *ts;
+                    last.ptr = *ptr;
+                }
+                _ => {
+                    if out.len() == limit {
+                        break;
+                    }
+                    out.push(IndexEntry {
+                        key: key.clone(),
+                        ts: *ts,
+                        ptr: *ptr,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop every entry whose key lies outside `range` (tablet handoff:
+    /// the shrunken tablet keeps reusing its index, pruned of moved
+    /// keys). Returns the number of entries removed.
+    pub fn retain_range(&self, range: &KeyRange) -> usize {
+        let mut map = self.map.write();
+        let doomed: Vec<(RowKey, Timestamp)> = map
+            .iter()
+            .filter(|((k, _), _)| !range.contains(k))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            map.remove(k);
+            self.key_bytes.fetch_sub(k.0.len() as u64, Ordering::Relaxed);
+        }
+        self.updates.fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        doomed.len()
+    }
+
+    /// Every entry, in `(key, ts)` order (checkpointing, compaction).
+    pub fn scan_all(&self) -> Vec<IndexEntry> {
+        let map = self.map.read();
+        map.iter()
+            .map(|((key, ts), ptr)| IndexEntry {
+                key: key.clone(),
+                ts: *ts,
+                ptr: *ptr,
+            })
+            .collect()
+    }
+
+    /// Replace the whole content (checkpoint reload).
+    pub fn replace_all(&self, entries: Vec<IndexEntry>) {
+        let mut map = self.map.write();
+        map.clear();
+        self.key_bytes.store(0, Ordering::Relaxed);
+        for e in entries {
+            self.key_bytes.fetch_add(e.key.len() as u64, Ordering::Relaxed);
+            map.insert((e.key, e.ts), e.ptr);
+        }
+    }
+
+    /// Clear all entries.
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.key_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of `(key, ts)` entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IndexStats {
+        let map = self.map.read();
+        let entries = map.len() as u64;
+        let mut keys = 0u64;
+        let mut prev: Option<&RowKey> = None;
+        for (k, _) in map.iter() {
+            if prev != Some(&k.0) {
+                keys += 1;
+                prev = Some(&k.0);
+            }
+        }
+        IndexStats {
+            entries,
+            keys,
+            approx_bytes: entries * INDEX_ENTRY_BYTES as u64
+                + self.key_bytes.load(Ordering::Relaxed),
+            updates_since_checkpoint: self.updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the per-checkpoint update counter (§3.6.1: "the counter is
+    /// reset to zero" after the index is merged out to an index file).
+    pub fn reset_update_counter(&self) {
+        self.updates.store(0, Ordering::Relaxed);
+    }
+
+    /// Updates since the last counter reset.
+    pub fn updates_since_checkpoint(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ptr(n: u64) -> LogPtr {
+        LogPtr::new(0, n, 10)
+    }
+
+    fn key(s: &str) -> RowKey {
+        RowKey::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn latest_picks_highest_timestamp() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("a"), Timestamp(2), ptr(1));
+        idx.insert(key("a"), Timestamp(18), ptr(2));
+        idx.insert(key("a"), Timestamp(5), ptr(3));
+        let latest = idx.latest(b"a").unwrap();
+        assert_eq!(latest.ts, Timestamp(18));
+        assert_eq!(latest.ptr, ptr(2));
+        assert!(idx.latest(b"b").is_none());
+    }
+
+    #[test]
+    fn latest_at_respects_snapshot_bound() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("a"), Timestamp(2), ptr(1));
+        idx.insert(key("a"), Timestamp(18), ptr(2));
+        assert_eq!(idx.latest_at(b"a", Timestamp(17)).unwrap().ts, Timestamp(2));
+        assert_eq!(idx.latest_at(b"a", Timestamp(18)).unwrap().ts, Timestamp(18));
+        assert!(idx.latest_at(b"a", Timestamp(1)).is_none());
+    }
+
+    #[test]
+    fn versions_are_ordered_oldest_first() {
+        let idx = MultiVersionIndex::new();
+        for t in [9u64, 3, 7] {
+            idx.insert(key("k"), Timestamp(t), ptr(t));
+        }
+        let v: Vec<u64> = idx.versions(b"k").iter().map(|e| e.ts.0).collect();
+        assert_eq!(v, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn prefix_probe_does_not_leak_into_neighbours() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("ab"), Timestamp(1), ptr(1));
+        idx.insert(key("abc"), Timestamp(2), ptr(2));
+        idx.insert(key("abd"), Timestamp(3), ptr(3));
+        // "ab" has exactly one version even though "abc" sorts adjacent.
+        assert_eq!(idx.versions(b"ab").len(), 1);
+        assert_eq!(idx.latest(b"ab").unwrap().ts, Timestamp(1));
+    }
+
+    #[test]
+    fn remove_key_removes_all_versions() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("a"), Timestamp(1), ptr(1));
+        idx.insert(key("a"), Timestamp(2), ptr(2));
+        idx.insert(key("b"), Timestamp(1), ptr(3));
+        assert_eq!(idx.remove_key(b"a"), 2);
+        assert!(idx.latest(b"a").is_none());
+        assert!(idx.latest(b"b").is_some());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_version_is_surgical() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("a"), Timestamp(1), ptr(1));
+        idx.insert(key("a"), Timestamp(2), ptr(2));
+        assert!(idx.remove_version(b"a", Timestamp(2)));
+        assert!(!idx.remove_version(b"a", Timestamp(9)));
+        assert_eq!(idx.latest(b"a").unwrap().ts, Timestamp(1));
+    }
+
+    #[test]
+    fn range_latest_at_returns_one_entry_per_key() {
+        let idx = MultiVersionIndex::new();
+        for (k, t) in [("a", 1u64), ("a", 5), ("b", 2), ("c", 3), ("c", 9), ("d", 4)] {
+            idx.insert(key(k), Timestamp(t), ptr(t));
+        }
+        let r = KeyRange::new(&b"a"[..], &b"d"[..]);
+        let out = idx.range_latest_at(&r, Timestamp::MAX, usize::MAX);
+        let got: Vec<(&str, u64)> = out
+            .iter()
+            .map(|e| (std::str::from_utf8(&e.key).unwrap(), e.ts.0))
+            .collect();
+        assert_eq!(got, vec![("a", 5), ("b", 2), ("c", 9)]);
+
+        // Snapshot at t=4 hides a@5 and c@9.
+        let out = idx.range_latest_at(&r, Timestamp(4), usize::MAX);
+        let got: Vec<(&str, u64)> = out
+            .iter()
+            .map(|e| (std::str::from_utf8(&e.key).unwrap(), e.ts.0))
+            .collect();
+        assert_eq!(got, vec![("a", 1), ("b", 2), ("c", 3)]);
+    }
+
+    #[test]
+    fn range_latest_limit_counts_keys() {
+        let idx = MultiVersionIndex::new();
+        for (k, t) in [("a", 1u64), ("a", 2), ("b", 1), ("c", 1)] {
+            idx.insert(key(k), Timestamp(t), ptr(t));
+        }
+        let out = idx.range_latest_at(&KeyRange::all(), Timestamp::MAX, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(&out[0].key[..], b"a");
+        assert_eq!(out[0].ts, Timestamp(2));
+        assert_eq!(&out[1].key[..], b"b");
+    }
+
+    #[test]
+    fn unbounded_range_scans_everything() {
+        let idx = MultiVersionIndex::new();
+        for i in 0..10u64 {
+            idx.insert(key(&format!("k{i}")), Timestamp(1), ptr(i));
+        }
+        assert_eq!(
+            idx.range_latest_at(&KeyRange::all(), Timestamp::MAX, usize::MAX)
+                .len(),
+            10
+        );
+    }
+
+    #[test]
+    fn stats_track_entries_keys_and_bytes() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("aa"), Timestamp(1), ptr(1));
+        idx.insert(key("aa"), Timestamp(2), ptr(2));
+        idx.insert(key("bb"), Timestamp(1), ptr(3));
+        let s = idx.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.keys, 2);
+        assert_eq!(s.approx_bytes, 3 * 24 + 6);
+        assert_eq!(s.updates_since_checkpoint, 3);
+        idx.reset_update_counter();
+        assert_eq!(idx.updates_since_checkpoint(), 0);
+        idx.insert(key("cc"), Timestamp(1), ptr(4));
+        assert_eq!(idx.updates_since_checkpoint(), 1);
+    }
+
+    #[test]
+    fn replace_all_installs_snapshot() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("old"), Timestamp(1), ptr(1));
+        idx.replace_all(vec![
+            IndexEntry {
+                key: key("new1"),
+                ts: Timestamp(5),
+                ptr: ptr(10),
+            },
+            IndexEntry {
+                key: key("new2"),
+                ts: Timestamp(6),
+                ptr: ptr(11),
+            },
+        ]);
+        assert!(idx.latest(b"old").is_none());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.latest(b"new1").unwrap().ptr, ptr(10));
+    }
+
+    #[test]
+    fn overwriting_same_version_updates_pointer() {
+        let idx = MultiVersionIndex::new();
+        idx.insert(key("a"), Timestamp(1), ptr(1));
+        idx.insert(key("a"), Timestamp(1), ptr(2));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.latest(b"a").unwrap().ptr, ptr(2));
+        // Byte accounting must not double count.
+        assert_eq!(idx.stats().approx_bytes, 24 + 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let idx = std::sync::Arc::new(MultiVersionIndex::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let idx = std::sync::Arc::clone(&idx);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        idx.insert(key(&format!("{t}-{i}")), Timestamp(i), ptr(i));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let idx = std::sync::Arc::clone(&idx);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _ = idx.latest(b"0-100");
+                        let _ = idx.range_latest_at(&KeyRange::all(), Timestamp::MAX, 50);
+                    }
+                });
+            }
+        });
+        assert_eq!(idx.len(), 2000);
+    }
+
+    proptest! {
+        /// The index agrees with a model: a plain map of key -> sorted
+        /// version list.
+        #[test]
+        fn prop_matches_model(ops in proptest::collection::vec(
+            (0u8..3, 0u8..8, 1u64..20), 1..200)
+        ) {
+            let idx = MultiVersionIndex::new();
+            let mut model: std::collections::BTreeMap<Vec<u8>, std::collections::BTreeMap<u64, LogPtr>> =
+                std::collections::BTreeMap::new();
+            let mut counter = 0u64;
+            for (op, k, t) in ops {
+                let kb = vec![b'k', k];
+                match op {
+                    0 => {
+                        counter += 1;
+                        let p = ptr(counter);
+                        idx.insert(RowKey::from(kb.clone()), Timestamp(t), p);
+                        model.entry(kb).or_default().insert(t, p);
+                    }
+                    1 => {
+                        idx.remove_key(&kb);
+                        model.remove(&kb);
+                    }
+                    _ => {
+                        idx.remove_version(&kb, Timestamp(t));
+                        if let Some(m) = model.get_mut(&kb) {
+                            m.remove(&t);
+                            if m.is_empty() { model.remove(&kb); }
+                        }
+                    }
+                }
+            }
+            // Compare latest() for all keys, and latest_at for a few bounds.
+            for k in 0u8..8 {
+                let kb = vec![b'k', k];
+                let expect = model.get(&kb).and_then(|m| m.iter().next_back())
+                    .map(|(t, p)| (Timestamp(*t), *p));
+                let got = idx.latest(&kb).map(|v| (v.ts, v.ptr));
+                prop_assert_eq!(expect, got);
+                for bound in [0u64, 5, 10, 19] {
+                    let expect = model.get(&kb)
+                        .and_then(|m| m.range(..=bound).next_back())
+                        .map(|(t, p)| (Timestamp(*t), *p));
+                    let got = idx.latest_at(&kb, Timestamp(bound)).map(|v| (v.ts, v.ptr));
+                    prop_assert_eq!(expect, got);
+                }
+            }
+            // Entry count agrees.
+            let model_entries: usize = model.values().map(|m| m.len()).sum();
+            prop_assert_eq!(idx.len(), model_entries);
+        }
+    }
+}

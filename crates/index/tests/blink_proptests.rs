@@ -1,0 +1,98 @@
+//! Differential property tests: the B-link tree agrees with both a
+//! plain `BTreeMap` model and the production `MultiVersionIndex` on
+//! arbitrary operation sequences.
+
+use logbase_common::{LogPtr, RowKey, Timestamp};
+use logbase_index::{BlinkTree, MultiVersionIndex};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8, u64),
+    Remove(u8, u8),
+    Get(u8, u8),
+    LatestAt(u8, u8),
+    Scan(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u8..16, any::<u64>()).prop_map(|(k, t, p)| Op::Insert(k, t, p)),
+        1 => (any::<u8>(), 0u8..16).prop_map(|(k, t)| Op::Remove(k, t)),
+        2 => (any::<u8>(), 0u8..16).prop_map(|(k, t)| Op::Get(k, t)),
+        2 => (any::<u8>(), 0u8..16).prop_map(|(k, t)| Op::LatestAt(k, t)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+fn key_of(k: u8) -> RowKey {
+    RowKey::from(vec![b'k', k])
+}
+
+fn ptr_of(p: u64) -> LogPtr {
+    LogPtr::new((p % 7) as u32, p, 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_blink_matches_model_and_mvindex(
+        ops in proptest::collection::vec(op_strategy(), 1..400)
+    ) {
+        let blink = BlinkTree::new();
+        let mv = MultiVersionIndex::new();
+        let mut model: BTreeMap<(RowKey, Timestamp), LogPtr> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, t, p) => {
+                    blink.insert(key_of(*k), Timestamp(u64::from(*t)), ptr_of(*p));
+                    mv.insert(key_of(*k), Timestamp(u64::from(*t)), ptr_of(*p));
+                    model.insert((key_of(*k), Timestamp(u64::from(*t))), ptr_of(*p));
+                }
+                Op::Remove(k, t) => {
+                    let was = model.remove(&(key_of(*k), Timestamp(u64::from(*t)))).is_some();
+                    prop_assert_eq!(blink.remove(&key_of(*k), Timestamp(u64::from(*t))), was);
+                    mv.remove_version(&key_of(*k), Timestamp(u64::from(*t)));
+                }
+                Op::Get(k, t) => {
+                    let expect = model.get(&(key_of(*k), Timestamp(u64::from(*t)))).copied();
+                    prop_assert_eq!(blink.get(&key_of(*k), Timestamp(u64::from(*t))), expect);
+                    prop_assert_eq!(
+                        mv.get_version(&key_of(*k), Timestamp(u64::from(*t))),
+                        expect
+                    );
+                }
+                Op::LatestAt(k, t) => {
+                    let at = Timestamp(u64::from(*t));
+                    let expect = model
+                        .range((key_of(*k), Timestamp::ZERO)..=(key_of(*k), at))
+                        .next_back()
+                        .map(|((_, ts), p)| (*ts, *p));
+                    prop_assert_eq!(blink.latest_at(&key_of(*k), at), expect);
+                    prop_assert_eq!(
+                        mv.latest_at(&key_of(*k), at).map(|v| (v.ts, v.ptr)),
+                        expect
+                    );
+                }
+                Op::Scan(a, b) => {
+                    let start = (key_of(*a), Timestamp::ZERO);
+                    let end = (key_of(*b), Timestamp::ZERO);
+                    let mut got = Vec::new();
+                    blink.scan_range(&start, Some(&end), |k, p| {
+                        got.push((k.clone(), *p));
+                        true
+                    });
+                    let expect: Vec<((RowKey, Timestamp), LogPtr)> = model
+                        .range(start..end)
+                        .map(|(k, p)| (k.clone(), *p))
+                        .collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+        }
+        prop_assert_eq!(blink.len(), model.len());
+        prop_assert_eq!(mv.len(), model.len());
+    }
+}

@@ -1,0 +1,3 @@
+//! Anchor crate for the workspace-root `tests/` directory; the
+//! integration tests themselves live in `../../tests/*.rs` and span
+//! every crate in the workspace.

@@ -1,0 +1,205 @@
+//! Checkpoint metadata (§3.8).
+//!
+//! A checkpoint persists two things: (1) index files — snapshots of the
+//! in-memory indexes — and (2) a metadata descriptor recording the log
+//! position (segment, offset) and LSN whose effects the index files
+//! cover, plus the schema/tablet assignment and the sorted-segment
+//! directory. Checkpoints live under `<server>/ckpt/<seq>/`; `meta.json`
+//! is written *last*, so its presence implies a complete checkpoint.
+
+use logbase_common::schema::{KeyRange, TableSchema, TabletDesc, TabletId};
+use logbase_common::{Error, Result, RowKey};
+use logbase_dfs::Dfs;
+use serde::{Deserialize, Serialize};
+
+/// Hex-encode arbitrary key bytes for JSON metadata.
+pub fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Decode [`hex`].
+pub fn unhex(s: &str) -> Result<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return Err(Error::Corruption(format!("odd-length hex string: {s}")));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| Error::Corruption(format!("bad hex byte in {s}")))
+        })
+        .collect()
+}
+
+/// One tablet's persisted description.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TabletMeta {
+    /// Range index within the table.
+    pub range_index: u32,
+    /// Hex-encoded inclusive start key.
+    pub start: String,
+    /// Hex-encoded exclusive end key (`None` = unbounded).
+    pub end: Option<String>,
+    /// Index file per column group (cg order), relative DFS names.
+    pub index_files: Vec<String>,
+}
+
+impl TabletMeta {
+    /// Reconstruct the tablet descriptor.
+    pub fn to_desc(&self, table: &str) -> Result<TabletDesc> {
+        Ok(TabletDesc {
+            id: TabletId {
+                table: table.to_string(),
+                range_index: self.range_index,
+            },
+            range: KeyRange {
+                start: RowKey::from(unhex(&self.start)?),
+                end: match &self.end {
+                    Some(e) => Some(RowKey::from(unhex(e)?)),
+                    None => None,
+                },
+            },
+        })
+    }
+}
+
+/// One table's persisted description.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Full schema.
+    pub schema: TableSchema,
+    /// Tablets served at checkpoint time.
+    pub tablets: Vec<TabletMeta>,
+}
+
+/// The checkpoint descriptor.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// First LSN *not* covered by the index files (redo starts here).
+    pub next_lsn: u64,
+    /// Log segment of the redo start position.
+    pub log_segment: u32,
+    /// Offset within that segment.
+    pub log_offset: u64,
+    /// Highest commit timestamp issued before the checkpoint.
+    pub max_timestamp: u64,
+    /// Hosted tables.
+    pub tables: Vec<TableMeta>,
+    /// Sorted-segment directory (`id → file name`).
+    pub sorted_segments: Vec<(u32, String)>,
+}
+
+/// Directory of checkpoint `seq` under `server_prefix`.
+pub fn checkpoint_dir(server_prefix: &str, seq: u64) -> String {
+    format!("{server_prefix}/ckpt/{seq:010}")
+}
+
+/// Name of a tablet/cg index file within a checkpoint directory.
+pub fn index_file_name(dir: &str, table: &str, range_index: u32, cg: u16) -> String {
+    format!("{dir}/idx-{table}-{range_index}-{cg}")
+}
+
+/// Persist the descriptor (the final step of a checkpoint).
+pub fn write_meta(dfs: &Dfs, server_prefix: &str, meta: &CheckpointMeta) -> Result<()> {
+    let name = format!("{}/meta.json", checkpoint_dir(server_prefix, meta.seq));
+    let body = serde_json::to_vec_pretty(meta)
+        .map_err(|e| Error::Corruption(format!("checkpoint serialization failed: {e}")))?;
+    dfs.create(&name)?;
+    dfs.append(&name, &body)?;
+    dfs.seal(&name)?;
+    Ok(())
+}
+
+/// Find and load the most recent complete checkpoint, if any.
+pub fn latest_checkpoint(dfs: &Dfs, server_prefix: &str) -> Result<Option<CheckpointMeta>> {
+    let metas: Vec<String> = dfs
+        .list(&format!("{server_prefix}/ckpt/"))
+        .into_iter()
+        .filter(|n| n.ends_with("/meta.json"))
+        .collect();
+    let Some(name) = metas.last() else {
+        return Ok(None);
+    };
+    let raw = dfs.read_all(name)?;
+    let meta: CheckpointMeta = serde_json::from_slice(&raw)
+        .map_err(|e| Error::Corruption(format!("{name}: bad checkpoint descriptor: {e}")))?;
+    Ok(Some(meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_dfs::DfsConfig;
+
+    fn sample(seq: u64) -> CheckpointMeta {
+        CheckpointMeta {
+            seq,
+            next_lsn: 500,
+            log_segment: 3,
+            log_offset: 4096,
+            max_timestamp: 777,
+            tables: vec![TableMeta {
+                schema: TableSchema::single_group("users", &["profile"]),
+                tablets: vec![TabletMeta {
+                    range_index: 0,
+                    start: String::new(),
+                    end: Some(hex(&42u64.to_be_bytes())),
+                    index_files: vec!["srv/ckpt/0000000001/idx-users-0-0".into()],
+                }],
+            }],
+            sorted_segments: vec![(0x8000_0000, "srv/sorted/gen1/seg-0".into())],
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for bytes in [vec![], vec![0u8], vec![0xde, 0xad, 0xbe, 0xef]] {
+            assert_eq!(unhex(&hex(&bytes)).unwrap(), bytes);
+        }
+        assert!(unhex("abc").is_err());
+        assert!(unhex("zz").is_err());
+    }
+
+    #[test]
+    fn meta_round_trips_through_dfs() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let meta = sample(1);
+        write_meta(&dfs, "srv", &meta).unwrap();
+        let loaded = latest_checkpoint(&dfs, "srv").unwrap().unwrap();
+        assert_eq!(loaded, meta);
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_highest_seq() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        write_meta(&dfs, "srv", &sample(1)).unwrap();
+        write_meta(&dfs, "srv", &sample(2)).unwrap();
+        write_meta(&dfs, "srv", &sample(10)).unwrap();
+        assert_eq!(latest_checkpoint(&dfs, "srv").unwrap().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn no_checkpoint_returns_none() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        assert!(latest_checkpoint(&dfs, "srv").unwrap().is_none());
+    }
+
+    #[test]
+    fn incomplete_checkpoint_is_invisible() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        // Index files written but meta.json missing (crash mid-checkpoint).
+        dfs.create("srv/ckpt/0000000007/idx-users-0-0").unwrap();
+        assert!(latest_checkpoint(&dfs, "srv").unwrap().is_none());
+    }
+
+    #[test]
+    fn tablet_meta_reconstructs_desc() {
+        let meta = sample(1);
+        let desc = meta.tables[0].tablets[0].to_desc("users").unwrap();
+        assert_eq!(desc.id.range_index, 0);
+        assert!(desc.range.contains(&1u64.to_be_bytes()));
+        assert!(!desc.range.contains(&100u64.to_be_bytes()));
+    }
+}

@@ -1,0 +1,55 @@
+//! **LogBase** — a log-structured database system where the log is the
+//! *only* data repository (reproduction of Vo et al., PVLDB 5(10), 2012).
+//!
+//! A [`TabletServer`] records every write of every tablet it serves into
+//! a single segmented log in the DFS and keeps an in-memory multiversion
+//! index per column group pointing back into that log. Nothing is ever
+//! written twice: the write path is *append to log → update index →
+//! (optionally) populate the read buffer* (§3.6.1, Fig. 3 left).
+//!
+//! Feature map (paper section → module):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §3.1–3.2 data model & partitioning | [`partition`], schemas from `logbase_common::schema` |
+//! | §3.4 log repository | `logbase_wal` + [`server`] |
+//! | §3.5 in-memory multiversion index | `logbase_index` + [`spill`] (LSM-backed overflow) |
+//! | §3.6 tablet serving (write/read/delete/scan) | [`server`], [`read_buffer`] |
+//! | §3.6.5 log compaction | [`compaction`] |
+//! | §3.7 transactions (MVOCC, snapshot isolation) | [`txn`] |
+//! | §3.8 checkpoint & recovery | [`checkpoint`], recovery in [`server`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use logbase::{ServerConfig, TabletServer};
+//! use logbase_common::schema::TableSchema;
+//! use logbase_dfs::{Dfs, DfsConfig};
+//!
+//! let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+//! let server = TabletServer::create(dfs, ServerConfig::new("srv-0")).unwrap();
+//! server.create_table(TableSchema::single_group("users", &["profile"])).unwrap();
+//!
+//! let ts = server.put("users", 0, "alice".into(), "hello".into()).unwrap();
+//! assert_eq!(server.get("users", 0, b"alice").unwrap().unwrap(), "hello");
+//! assert!(server.get_at("users", 0, b"alice", ts.prev()).unwrap().is_none());
+//! ```
+
+pub mod checkpoint;
+pub mod compaction;
+pub mod partition;
+pub mod read_buffer;
+pub mod secondary;
+pub mod server;
+pub mod spill;
+pub mod txn;
+
+mod segdir;
+pub mod tablet;
+
+pub use logbase_wal::GroupCommitConfig;
+pub use read_buffer::ReadBuffer;
+pub use segdir::SegmentDirectory;
+pub use server::{ServerConfig, ServerStats, TabletServer};
+pub use spill::SpillConfig;
+pub use txn::{Transaction, TxnManager};

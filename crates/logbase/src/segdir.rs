@@ -1,0 +1,146 @@
+//! Segment directory: pointer segment id → DFS file name.
+//!
+//! Log pointers carry a `u32` segment number. Regular log segments
+//! resolve by naming convention under the server's log prefix; sorted
+//! segments produced by compaction (§3.6.5) live under a different
+//! prefix and are registered here explicitly. Ids at or above
+//! [`SORTED_BASE`] are reserved for sorted segments.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// First segment id reserved for sorted (compacted) segments.
+pub const SORTED_BASE: u32 = 0x8000_0000;
+
+/// Maps sorted-segment ids to file names; plain ids fall through to the
+/// log's naming convention.
+pub struct SegmentDirectory {
+    log_prefix: String,
+    sorted: RwLock<HashMap<u32, String>>,
+    next_sorted: AtomicU32,
+}
+
+impl SegmentDirectory {
+    /// Directory for a log rooted at `log_prefix`.
+    pub fn new(log_prefix: impl Into<String>) -> Self {
+        SegmentDirectory {
+            log_prefix: log_prefix.into(),
+            sorted: RwLock::new(HashMap::new()),
+            next_sorted: AtomicU32::new(SORTED_BASE),
+        }
+    }
+
+    /// Resolve a pointer's segment id to a DFS file name.
+    pub fn resolve(&self, segment: u32) -> String {
+        if segment >= SORTED_BASE {
+            self.sorted
+                .read()
+                .get(&segment)
+                .cloned()
+                .unwrap_or_else(|| format!("{}/missing-sorted-{segment}", self.log_prefix))
+        } else {
+            logbase_wal::segment_name(&self.log_prefix, segment)
+        }
+    }
+
+    /// Allocate a fresh sorted-segment id bound to `name`.
+    pub fn register_sorted(&self, name: String) -> u32 {
+        let id = self.next_sorted.fetch_add(1, Ordering::Relaxed);
+        self.sorted.write().insert(id, name);
+        id
+    }
+
+    /// Re-install a persisted mapping (recovery).
+    pub fn restore(&self, entries: impl IntoIterator<Item = (u32, String)>) {
+        let mut sorted = self.sorted.write();
+        let mut max = SORTED_BASE;
+        for (id, name) in entries {
+            max = max.max(id + 1);
+            sorted.insert(id, name);
+        }
+        self.next_sorted.fetch_max(max, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the sorted-segment mapping (checkpoint metadata).
+    pub fn snapshot(&self) -> Vec<(u32, String)> {
+        let mut v: Vec<(u32, String)> = self
+            .sorted
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Drop mappings for ids not in `keep` (after compaction retires a
+    /// generation). Returns the retired file names.
+    pub fn retain(&self, keep: &[u32]) -> Vec<String> {
+        let mut sorted = self.sorted.write();
+        let keep: std::collections::HashSet<u32> = keep.iter().copied().collect();
+        let doomed: Vec<u32> = sorted
+            .keys()
+            .filter(|id| !keep.contains(id))
+            .copied()
+            .collect();
+        doomed
+            .into_iter()
+            .filter_map(|id| sorted.remove(&id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ids_use_log_naming() {
+        let d = SegmentDirectory::new("srv/log");
+        assert_eq!(d.resolve(3), "srv/log/segment-000003");
+    }
+
+    #[test]
+    fn sorted_ids_resolve_registered_names() {
+        let d = SegmentDirectory::new("srv/log");
+        let id = d.register_sorted("srv/sorted/gen1/seg-0".to_string());
+        assert!(id >= SORTED_BASE);
+        assert_eq!(d.resolve(id), "srv/sorted/gen1/seg-0");
+        let id2 = d.register_sorted("srv/sorted/gen1/seg-1".to_string());
+        assert_eq!(id2, id + 1);
+    }
+
+    #[test]
+    fn restore_continues_allocation_after_restart() {
+        let d = SegmentDirectory::new("srv/log");
+        d.restore(vec![
+            (SORTED_BASE, "a".to_string()),
+            (SORTED_BASE + 5, "b".to_string()),
+        ]);
+        assert_eq!(d.resolve(SORTED_BASE + 5), "b");
+        let next = d.register_sorted("c".to_string());
+        assert_eq!(next, SORTED_BASE + 6);
+    }
+
+    #[test]
+    fn retain_drops_old_generations() {
+        let d = SegmentDirectory::new("srv/log");
+        let a = d.register_sorted("gen1/a".to_string());
+        let b = d.register_sorted("gen2/b".to_string());
+        let dropped = d.retain(&[b]);
+        assert_eq!(dropped, vec!["gen1/a".to_string()]);
+        assert_eq!(d.resolve(b), "gen2/b");
+        assert!(d.resolve(a).contains("missing-sorted"));
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let d = SegmentDirectory::new("srv/log");
+        d.register_sorted("x".to_string());
+        d.register_sorted("y".to_string());
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].0 < snap[1].0);
+    }
+}

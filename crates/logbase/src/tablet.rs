@@ -1,0 +1,218 @@
+//! Table and tablet state held by a tablet server.
+
+use crate::spill::{SpillConfig, SpillableIndex};
+use logbase_common::schema::{TableSchema, TabletDesc};
+use logbase_common::{Error, Result};
+use logbase_dfs::Dfs;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One tablet being served: its key range plus one multiversion index
+/// per column group (§3.5: "tablet servers build a multiversion index
+/// ... for each column group in a tablet").
+pub struct TabletState {
+    /// Identity and key range.
+    pub desc: TabletDesc,
+    /// Index per column group, `cg` id order.
+    pub indexes: Vec<Arc<SpillableIndex>>,
+}
+
+impl TabletState {
+    /// Build tablet state with one index per column group of `schema`.
+    pub fn new(
+        desc: TabletDesc,
+        schema: &TableSchema,
+        spill: Option<(&Dfs, &SpillConfig, &str)>,
+    ) -> Result<Self> {
+        let mut indexes = Vec::with_capacity(schema.column_groups.len());
+        for cg in &schema.column_groups {
+            indexes.push(Arc::new(match spill {
+                Some((dfs, cfg, server)) => SpillableIndex::with_spill(
+                    dfs.clone(),
+                    &format!(
+                        "{server}/spill/{}/{}/{}",
+                        desc.id.table, desc.id.range_index, cg.id
+                    ),
+                    cfg,
+                )?,
+                None => SpillableIndex::in_memory(),
+            }));
+        }
+        Ok(TabletState { desc, indexes })
+    }
+
+    /// Index for column group `cg`.
+    pub fn index(&self, cg: u16) -> Result<&Arc<SpillableIndex>> {
+        self.indexes.get(cg as usize).ok_or_else(|| {
+            Error::Schema(format!(
+                "tablet {} has no column group {cg}",
+                self.desc.id
+            ))
+        })
+    }
+}
+
+/// One table hosted (fully or partly) on a tablet server.
+pub struct TableState {
+    /// Table name (shared with read-buffer keys).
+    pub name: Arc<str>,
+    /// Schema (column groups).
+    pub schema: TableSchema,
+    /// Tablets of this table served here.
+    pub tablets: RwLock<Vec<Arc<TabletState>>>,
+}
+
+impl TableState {
+    /// New table with no tablets assigned yet.
+    pub fn new(schema: TableSchema) -> Result<Self> {
+        schema.validate()?;
+        Ok(TableState {
+            name: Arc::from(schema.name.as_str()),
+            schema,
+            tablets: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The tablet whose range contains `key`.
+    pub fn route(&self, key: &[u8]) -> Result<Arc<TabletState>> {
+        self.tablets
+            .read()
+            .iter()
+            .find(|t| t.desc.range.contains(key))
+            .cloned()
+            .ok_or_else(|| {
+                Error::TabletNotServed(format!(
+                    "{}: no local tablet covers key {:02x?}",
+                    self.name,
+                    &key[..key.len().min(16)]
+                ))
+            })
+    }
+
+    /// Tablet by range index.
+    pub fn tablet(&self, range_index: u32) -> Option<Arc<TabletState>> {
+        self.tablets
+            .read()
+            .iter()
+            .find(|t| t.desc.id.range_index == range_index)
+            .cloned()
+    }
+
+    /// Add a tablet (assignment from the master).
+    pub fn add_tablet(&self, tablet: Arc<TabletState>) {
+        self.tablets.write().push(tablet);
+    }
+
+    /// Remove a tablet (reassignment); returns it if present.
+    pub fn remove_tablet(&self, range_index: u32) -> Option<Arc<TabletState>> {
+        let mut tablets = self.tablets.write();
+        let pos = tablets
+            .iter()
+            .position(|t| t.desc.id.range_index == range_index)?;
+        Some(tablets.remove(pos))
+    }
+
+    /// Narrow (or widen) a served tablet's key range in place, reusing
+    /// its indexes. The caller prunes the indexes afterwards.
+    pub fn replace_tablet_range(
+        &self,
+        range_index: u32,
+        new_range: logbase_common::schema::KeyRange,
+    ) -> Result<Arc<TabletState>> {
+        let mut tablets = self.tablets.write();
+        let pos = tablets
+            .iter()
+            .position(|t| t.desc.id.range_index == range_index)
+            .ok_or_else(|| {
+                Error::TabletNotServed(format!(
+                    "{}/{range_index} not served here",
+                    self.name
+                ))
+            })?;
+        let old = &tablets[pos];
+        let replacement = Arc::new(TabletState {
+            desc: TabletDesc {
+                id: old.desc.id.clone(),
+                range: new_range,
+            },
+            indexes: old.indexes.clone(),
+        });
+        tablets[pos] = Arc::clone(&replacement);
+        Ok(replacement)
+    }
+
+    /// Snapshot of served tablets.
+    pub fn tablets_snapshot(&self) -> Vec<Arc<TabletState>> {
+        self.tablets.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_common::schema::{split_uniform, KeyRange, TabletId};
+
+    fn schema() -> TableSchema {
+        TableSchema::with_groups("t", &[("a", &["x"]), ("b", &["y"])])
+    }
+
+    #[test]
+    fn tablet_has_index_per_column_group() {
+        let t = TabletState::new(
+            TabletDesc {
+                id: TabletId {
+                    table: "t".into(),
+                    range_index: 0,
+                },
+                range: KeyRange::all(),
+            },
+            &schema(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(t.indexes.len(), 2);
+        assert!(t.index(0).is_ok());
+        assert!(t.index(1).is_ok());
+        assert!(matches!(t.index(2), Err(Error::Schema(_))));
+    }
+
+    #[test]
+    fn routing_by_key_range() {
+        let table = TableState::new(schema()).unwrap();
+        for desc in split_uniform("t", 4, 1 << 32) {
+            table.add_tablet(Arc::new(TabletState::new(desc, &schema(), None).unwrap()));
+        }
+        let k_low = 1u64.to_be_bytes();
+        let k_high = ((1u64 << 32) - 1).to_be_bytes();
+        assert_eq!(table.route(&k_low).unwrap().desc.id.range_index, 0);
+        assert_eq!(table.route(&k_high).unwrap().desc.id.range_index, 3);
+    }
+
+    #[test]
+    fn routing_fails_without_covering_tablet() {
+        let table = TableState::new(schema()).unwrap();
+        assert!(matches!(
+            table.route(b"anything"),
+            Err(Error::TabletNotServed(_))
+        ));
+    }
+
+    #[test]
+    fn add_remove_tablets() {
+        let table = TableState::new(schema()).unwrap();
+        for desc in split_uniform("t", 2, 1 << 32) {
+            table.add_tablet(Arc::new(TabletState::new(desc, &schema(), None).unwrap()));
+        }
+        assert_eq!(table.tablets_snapshot().len(), 2);
+        let removed = table.remove_tablet(0).unwrap();
+        assert_eq!(removed.desc.id.range_index, 0);
+        assert!(table.remove_tablet(0).is_none());
+        assert!(table.tablet(1).is_some());
+    }
+
+    #[test]
+    fn invalid_schema_is_rejected() {
+        let bad = TableSchema::with_groups("t", &[("a", &["x"]), ("b", &["x"])]);
+        assert!(TableState::new(bad).is_err());
+    }
+}

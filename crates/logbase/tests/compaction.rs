@@ -1,0 +1,254 @@
+//! Log compaction (§3.6.5): garbage collection, clustering, retention,
+//! serving during/after compaction, interaction with recovery.
+
+use logbase::compaction::CompactionConfig;
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::schema::{KeyRange, TableSchema};
+use logbase_common::{RowKey, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use std::sync::Arc;
+
+fn key(s: &str) -> RowKey {
+    RowKey::copy_from_slice(s.as_bytes())
+}
+
+fn val(s: &str) -> Value {
+    Value::copy_from_slice(s.as_bytes())
+}
+
+fn server(dfs: &Dfs, name: &str) -> Arc<TabletServer> {
+    let s = TabletServer::create(
+        dfs.clone(),
+        ServerConfig::new(name).with_segment_bytes(8 * 1024),
+    )
+    .unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s
+}
+
+#[test]
+fn compaction_preserves_all_reads() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    for i in 0..100 {
+        s.put("t", 0, key(&format!("k{i:03}")), val(&format!("v{i}")))
+            .unwrap();
+    }
+    let report = s.compact().unwrap();
+    assert_eq!(report.output_entries, 100);
+    assert!(report.sorted_segments_written >= 1);
+    for i in [0, 42, 99] {
+        assert_eq!(
+            s.get("t", 0, format!("k{i:03}").as_bytes()).unwrap(),
+            Some(val(&format!("v{i}"))),
+            "key k{i:03} after compaction"
+        );
+    }
+    let out = s.range_scan("t", 0, &KeyRange::all(), usize::MAX).unwrap();
+    assert_eq!(out.len(), 100);
+}
+
+#[test]
+fn compaction_drops_deleted_records() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    for i in 0..50 {
+        s.put("t", 0, key(&format!("k{i:03}")), val("v")).unwrap();
+    }
+    for i in 0..25 {
+        s.delete("t", 0, format!("k{i:03}").as_bytes()).unwrap();
+    }
+    let report = s.compact().unwrap();
+    // 50 writes + 25 tombstones in, 25 live out.
+    assert_eq!(report.output_entries, 25);
+    assert!(s.get("t", 0, b"k010").unwrap().is_none());
+    assert_eq!(s.get("t", 0, b"k040").unwrap(), Some(val("v")));
+}
+
+#[test]
+fn compaction_reclaims_log_space() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    // Heavy overwrite: 20 keys × 50 versions.
+    for round in 0..50 {
+        for i in 0..20 {
+            s.put("t", 0, key(&format!("k{i:02}")), val(&format!("v{round}")))
+                .unwrap();
+        }
+    }
+    let report = s
+        .compact_with(&CompactionConfig {
+            max_versions: Some(1),
+        })
+        .unwrap();
+    assert_eq!(report.output_entries, 20);
+    assert!(report.segments_deleted > 0);
+    // Latest values retained; history pruned.
+    assert_eq!(s.get("t", 0, b"k05").unwrap(), Some(val("v49")));
+    let files = dfs.list("srv/");
+    let log_files: Vec<&String> = files
+        .iter()
+        .filter(|f| f.contains("/log/segment-"))
+        .collect();
+    assert!(
+        log_files.len() <= 2,
+        "old log segments should be deleted, found {log_files:?}"
+    );
+}
+
+#[test]
+fn compaction_keeps_full_history_by_default() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    let t1 = s.put("t", 0, key("k"), val("v1")).unwrap();
+    let t2 = s.put("t", 0, key("k"), val("v2")).unwrap();
+    s.compact().unwrap();
+    assert_eq!(s.get_at("t", 0, b"k", t1).unwrap(), Some(val("v1")));
+    assert_eq!(s.get_at("t", 0, b"k", t2).unwrap(), Some(val("v2")));
+}
+
+#[test]
+fn version_retention_prunes_index_too() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    let t1 = s.put("t", 0, key("k"), val("v1")).unwrap();
+    s.put("t", 0, key("k"), val("v2")).unwrap();
+    let t3 = s.put("t", 0, key("k"), val("v3")).unwrap();
+    s.compact_with(&CompactionConfig {
+        max_versions: Some(2),
+    })
+    .unwrap();
+    assert!(s.get_at("t", 0, b"k", t1).unwrap().is_none());
+    assert_eq!(s.get("t", 0, b"k").unwrap(), Some(val("v3")));
+    assert_eq!(s.get_at("t", 0, b"k", t3.prev()).unwrap(), Some(val("v2")));
+}
+
+#[test]
+fn writes_during_and_after_compaction_survive() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    for i in 0..40 {
+        s.put("t", 0, key(&format!("old{i:02}")), val("o")).unwrap();
+    }
+    s.compact().unwrap();
+    for i in 0..40 {
+        s.put("t", 0, key(&format!("new{i:02}")), val("n")).unwrap();
+    }
+    // Second round compacts the post-compaction writes too.
+    let report = s.compact().unwrap();
+    assert_eq!(report.output_entries, 80);
+    assert_eq!(s.get("t", 0, b"old13").unwrap(), Some(val("o")));
+    assert_eq!(s.get("t", 0, b"new13").unwrap(), Some(val("n")));
+    assert_eq!(s.full_scan("t", 0).unwrap(), 80);
+}
+
+#[test]
+fn compaction_clusters_data_for_range_scans() {
+    // Fig. 10's mechanism: before compaction a range scan issues many
+    // scattered reads; after compaction the records are contiguous and
+    // the scan coalesces them into few DFS reads.
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    // Interleave writes so adjacent keys are far apart in the log.
+    for round in 0..10 {
+        for i in 0..100 {
+            if (i + round) % 10 == 0 {
+                s.put(
+                    "t",
+                    0,
+                    key(&format!("k{i:03}")),
+                    val(&"x".repeat(128)),
+                )
+                .unwrap();
+            }
+        }
+    }
+    let range = KeyRange::new(&b"k010"[..], &b"k060"[..]);
+    let before = s.metrics().snapshot();
+    let r1 = s.range_scan("t", 0, &range, usize::MAX).unwrap();
+    let reads_before = s.metrics().snapshot().delta_since(&before).dfs_reads;
+
+    s.compact().unwrap();
+
+    let mid = s.metrics().snapshot();
+    let r2 = s.range_scan("t", 0, &range, usize::MAX).unwrap();
+    let reads_after = s.metrics().snapshot().delta_since(&mid).dfs_reads;
+
+    assert_eq!(r1.len(), r2.len());
+    assert!(
+        reads_after < reads_before,
+        "clustered scan should need fewer reads: {reads_after} vs {reads_before}"
+    );
+}
+
+#[test]
+fn recovery_after_compaction_finds_sorted_segments() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    {
+        let s = server(&dfs, "srv");
+        for i in 0..60 {
+            s.put("t", 0, key(&format!("k{i:03}")), val(&format!("v{i}")))
+                .unwrap();
+        }
+        s.compact().unwrap(); // ends with a checkpoint
+        for i in 60..70 {
+            s.put("t", 0, key(&format!("k{i:03}")), val(&format!("v{i}")))
+                .unwrap();
+        }
+    }
+    let s = TabletServer::open(dfs, ServerConfig::new("srv").with_segment_bytes(8 * 1024))
+        .unwrap();
+    assert_eq!(s.stats().index_entries, 70);
+    // Pre-compaction record now lives in a sorted segment; pointer must
+    // resolve through the restored segment directory.
+    assert_eq!(s.get("t", 0, b"k010").unwrap(), Some(val("v10")));
+    assert_eq!(s.get("t", 0, b"k065").unwrap(), Some(val("v65")));
+}
+
+#[test]
+fn uncommitted_txn_writes_are_vacuumed() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    s.put("t", 0, key("live"), val("v")).unwrap();
+    // Forge an uncommitted transactional write in the log.
+    s.log_for_tests()
+        .append(
+            "t",
+            logbase_wal::LogEntryKind::Write {
+                txn_id: 42,
+                tablet: 0,
+                record: logbase_common::Record::put(key("ghost"), 0, s.oracle().next(), val("g")),
+            },
+        )
+        .unwrap();
+    let report = s.compact().unwrap();
+    assert_eq!(report.output_entries, 1, "only the committed write survives");
+    assert_eq!(s.get("t", 0, b"live").unwrap(), Some(val("v")));
+    assert!(s.get("t", 0, b"ghost").unwrap().is_none());
+}
+
+#[test]
+fn concurrent_reads_during_compaction() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs, "srv");
+    for i in 0..200 {
+        s.put("t", 0, key(&format!("k{i:03}")), val("v")).unwrap();
+    }
+    std::thread::scope(|scope| {
+        let reader = {
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    for i in [0, 50, 100, 150, 199] {
+                        assert_eq!(
+                            s.get("t", 0, format!("k{i:03}").as_bytes()).unwrap(),
+                            Some(val("v"))
+                        );
+                    }
+                }
+            })
+        };
+        s.compact().unwrap();
+        reader.join().unwrap();
+    });
+}

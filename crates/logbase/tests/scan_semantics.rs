@@ -1,0 +1,187 @@
+//! Scan semantics (§3.6.4): snapshot range scans, scans across segment
+//! rotations, scans interleaved with maintenance, and parallel full-scan
+//! version checking.
+
+use logbase::{ServerConfig, TabletServer, TxnManager};
+use logbase_common::schema::{KeyRange, TableSchema};
+use logbase_common::{RowKey, Timestamp, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_workload::encode_key;
+use std::sync::Arc;
+
+fn server(segment_bytes: u64) -> Arc<TabletServer> {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = TabletServer::create(
+        dfs,
+        ServerConfig::new("scan-srv").with_segment_bytes(segment_bytes),
+    )
+    .unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s
+}
+
+#[test]
+fn snapshot_range_scan_sees_a_consistent_cut() {
+    let s = server(1 << 20);
+    let mut snapshot_ts = Timestamp::ZERO;
+    for round in 0..3u64 {
+        for i in 0..20u64 {
+            let ts = s
+                .put("t", 0, encode_key(i), Value::from(format!("r{round}").into_bytes()))
+                .unwrap();
+            if round == 1 && i == 19 {
+                snapshot_ts = ts;
+            }
+        }
+    }
+    // A scan at the end of round 1 sees every key at exactly round 1.
+    let out = s
+        .range_scan_at("t", 0, &KeyRange::all(), snapshot_ts, usize::MAX)
+        .unwrap();
+    assert_eq!(out.len(), 20);
+    for (_, ts, v) in &out {
+        assert_eq!(&v[..], b"r1");
+        assert!(*ts <= snapshot_ts);
+    }
+    // The latest scan sees round 2.
+    let out = s.range_scan("t", 0, &KeyRange::all(), usize::MAX).unwrap();
+    assert!(out.iter().all(|(_, _, v)| &v[..] == b"r2"));
+}
+
+#[test]
+fn scans_span_segment_rotations() {
+    // Tiny segments force many rotations; scans must stitch pointers
+    // across all of them.
+    let s = server(2048);
+    for i in 0..200u64 {
+        s.put("t", 0, encode_key(i), Value::from(vec![0u8; 256])).unwrap();
+    }
+    assert!(s.stats().log_segment > 5, "expected many segments");
+    let out = s.range_scan("t", 0, &KeyRange::all(), usize::MAX).unwrap();
+    assert_eq!(out.len(), 200);
+    assert_eq!(s.full_scan("t", 0).unwrap(), 200);
+}
+
+#[test]
+fn full_scan_is_stable_under_concurrent_writes() {
+    let s = server(1 << 16);
+    for i in 0..300u64 {
+        s.put("t", 0, encode_key(i), Value::from_static(b"base")).unwrap();
+    }
+    std::thread::scope(|scope| {
+        let writer = {
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                for i in 300..400u64 {
+                    s.put("t", 0, encode_key(i), Value::from_static(b"new")).unwrap();
+                }
+            })
+        };
+        // Scans during the write burst see at least the base records.
+        for _ in 0..5 {
+            let n = s.full_scan("t", 0).unwrap();
+            assert!(n >= 300, "scan undercounted: {n}");
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(s.full_scan("t", 0).unwrap(), 400);
+}
+
+#[test]
+fn snapshot_scan_inside_transaction_matches_reads() {
+    let s = server(1 << 20);
+    for i in 0..10u64 {
+        s.put("t", 0, encode_key(i), Value::from_static(b"v0")).unwrap();
+    }
+    let mut txn = TxnManager::begin(&s);
+    let snap = txn.snapshot();
+    // Concurrent updates after the snapshot.
+    for i in 0..10u64 {
+        s.put("t", 0, encode_key(i), Value::from_static(b"v1")).unwrap();
+    }
+    // A snapshot scan at the txn's timestamp agrees with its point reads.
+    let scan = s
+        .range_scan_at("t", 0, &KeyRange::all(), snap, usize::MAX)
+        .unwrap();
+    assert!(scan.iter().all(|(_, _, v)| &v[..] == b"v0"));
+    for i in 0..10u64 {
+        let got = TxnManager::read(&s, &mut txn, "t", 0, &encode_key(i)).unwrap();
+        assert_eq!(got.as_deref(), Some(&b"v0"[..]));
+    }
+    TxnManager::commit(&s, txn).unwrap();
+}
+
+#[test]
+fn range_scan_bounds_are_half_open() {
+    let s = server(1 << 20);
+    for i in 0..10u64 {
+        s.put("t", 0, encode_key(i), Value::from_static(b"x")).unwrap();
+    }
+    let out = s
+        .range_scan(
+            "t",
+            0,
+            &KeyRange::new(encode_key(3), encode_key(7)),
+            usize::MAX,
+        )
+        .unwrap();
+    let keys: Vec<u64> = out
+        .iter()
+        .map(|(k, _, _)| logbase_workload::decode_key(k).unwrap())
+        .collect();
+    assert_eq!(keys, vec![3, 4, 5, 6]);
+    // Empty and inverted ranges return nothing.
+    assert!(s
+        .range_scan("t", 0, &KeyRange::new(encode_key(5), encode_key(5)), 10)
+        .unwrap()
+        .is_empty());
+    assert!(s
+        .range_scan("t", 0, &KeyRange::new(encode_key(7), encode_key(3)), 10)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn scan_skips_keys_deleted_after_snapshot_correctly() {
+    let s = server(1 << 20);
+    let t_live = s.put("t", 0, encode_key(1), Value::from_static(b"v")).unwrap();
+    s.delete("t", 0, &encode_key(1)).unwrap();
+    // Latest scan: gone. Snapshot scan at t_live: also gone — the
+    // paper's delete removes all index versions (§3.6.3), trading
+    // historical reads of deleted keys for simpler recovery.
+    assert!(s
+        .range_scan("t", 0, &KeyRange::all(), usize::MAX)
+        .unwrap()
+        .is_empty());
+    assert!(s
+        .range_scan_at("t", 0, &KeyRange::all(), t_live, usize::MAX)
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn scan_with_multibyte_keys_and_prefix_neighbours() {
+    let s = server(1 << 20);
+    for k in ["a", "ab", "abc", "b", "ba"] {
+        s.put(
+            "t",
+            0,
+            RowKey::copy_from_slice(k.as_bytes()),
+            Value::from_static(b"x"),
+        )
+        .unwrap();
+    }
+    let out = s
+        .range_scan(
+            "t",
+            0,
+            &KeyRange::new(&b"ab"[..], &b"b"[..]),
+            usize::MAX,
+        )
+        .unwrap();
+    let keys: Vec<String> = out
+        .iter()
+        .map(|(k, _, _)| String::from_utf8(k.to_vec()).unwrap())
+        .collect();
+    assert_eq!(keys, vec!["ab".to_string(), "abc".to_string()]);
+}

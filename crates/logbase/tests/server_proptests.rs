@@ -1,0 +1,115 @@
+//! Property tests on the tablet server: arbitrary operation sequences
+//! with maintenance events (checkpoint, compaction, crash/recovery)
+//! interleaved must always agree with a plain map model — including
+//! multiversion reads against a versioned model.
+
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::schema::{KeyRange, TableSchema};
+use logbase_common::{RowKey, Timestamp, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Put(u8, u8),
+    Delete(u8),
+    Checkpoint,
+    Compact,
+    CrashRecover,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Step::Put(k, v)),
+        2 => any::<u8>().prop_map(Step::Delete),
+        1 => Just(Step::Checkpoint),
+        1 => Just(Step::Compact),
+        1 => Just(Step::CrashRecover),
+    ]
+}
+
+fn key_of(k: u8) -> RowKey {
+    RowKey::from(vec![b'k', k])
+}
+
+fn new_server(dfs: &Dfs) -> Arc<TabletServer> {
+    let s = TabletServer::create(
+        dfs.clone(),
+        ServerConfig::new("prop-srv").with_segment_bytes(4096),
+    )
+    .unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn prop_server_with_maintenance_matches_model(
+        steps in proptest::collection::vec(step_strategy(), 1..80)
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+        let mut server = new_server(&dfs);
+        // model: key → (version ts, value); versioned history per key.
+        let mut latest: BTreeMap<RowKey, Value> = BTreeMap::new();
+        let mut history: Vec<(Timestamp, RowKey, Option<Value>)> = Vec::new();
+
+        for step in &steps {
+            match step {
+                Step::Put(k, v) => {
+                    let value = Value::from(vec![b'v', *v]);
+                    let ts = server.put("t", 0, key_of(*k), value.clone()).unwrap();
+                    latest.insert(key_of(*k), value.clone());
+                    history.push((ts, key_of(*k), Some(value)));
+                }
+                Step::Delete(k) => {
+                    server.delete("t", 0, &key_of(*k)).unwrap();
+                    latest.remove(&key_of(*k));
+                    // Deletes drop all history for the key (§3.6.3).
+                    history.retain(|(_, hk, _)| hk != &key_of(*k));
+                }
+                Step::Checkpoint => {
+                    server.checkpoint().unwrap();
+                }
+                Step::Compact => {
+                    server.compact().unwrap();
+                }
+                Step::CrashRecover => {
+                    drop(server);
+                    server = TabletServer::open(
+                        dfs.clone(),
+                        ServerConfig::new("prop-srv").with_segment_bytes(4096),
+                    )
+                    .unwrap();
+                }
+            }
+            // Spot-check a few keys after every step.
+            for k in [0u8, 128, 255] {
+                let got = server.get("t", 0, &key_of(k)).unwrap();
+                prop_assert_eq!(got.as_ref(), latest.get(&key_of(k)));
+            }
+        }
+
+        // Full-state comparison at the end.
+        let scan = server
+            .range_scan("t", 0, &KeyRange::all(), usize::MAX)
+            .unwrap();
+        let got: BTreeMap<RowKey, Value> =
+            scan.into_iter().map(|(k, _, v)| (k, v)).collect();
+        prop_assert_eq!(&got, &latest);
+
+        // Multiversion reads: every surviving historical version is
+        // visible at its own timestamp.
+        for (ts, k, v) in &history {
+            let at_ts = server.get_at("t", 0, k, *ts).unwrap();
+            prop_assert_eq!(
+                at_ts.as_ref(),
+                v.as_ref(),
+                "history diverged for key {:?} at {}", k, ts
+            );
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! MVOCC transactions and snapshot isolation (§3.7).
+//!
+//! Each test exercises one of the isolation phenomena the paper lists
+//! (§3.7.1) or a mechanical property of the commit protocol.
+
+use logbase::{ServerConfig, TabletServer, TxnManager};
+use logbase_common::schema::TableSchema;
+use logbase_common::{Error, RowKey, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use std::sync::Arc;
+
+fn key(s: &str) -> RowKey {
+    RowKey::copy_from_slice(s.as_bytes())
+}
+
+fn val(s: &str) -> Value {
+    Value::copy_from_slice(s.as_bytes())
+}
+
+fn server() -> Arc<TabletServer> {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = TabletServer::create(dfs, ServerConfig::new("srv")).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s
+}
+
+#[test]
+fn read_your_own_writes() {
+    let s = server();
+    let mut txn = TxnManager::begin(&s);
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("mine"));
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("mine"))
+    );
+    // Not visible outside before commit.
+    assert!(s.get("t", 0, b"k").unwrap().is_none());
+    TxnManager::commit(&s, txn).unwrap();
+    assert_eq!(s.get("t", 0, b"k").unwrap(), Some(val("mine")));
+}
+
+#[test]
+fn read_only_transactions_always_commit() {
+    let s = server();
+    s.put("t", 0, key("k"), val("v0")).unwrap();
+    let mut txn = TxnManager::begin(&s);
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v0"))
+    );
+    // A concurrent update does not abort a read-only transaction.
+    s.put("t", 0, key("k"), val("v1")).unwrap();
+    assert!(txn.is_read_only());
+    TxnManager::commit(&s, txn).unwrap();
+}
+
+#[test]
+fn snapshot_reads_ignore_later_commits() {
+    // "Fuzzy read" prevention: both reads inside the txn see the
+    // snapshot version despite an interleaved committed update.
+    let s = server();
+    s.put("t", 0, key("k"), val("v0")).unwrap();
+    let mut txn = TxnManager::begin(&s);
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v0"))
+    );
+    s.put("t", 0, key("k"), val("v1")).unwrap();
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v0")),
+        "snapshot must be stable within the transaction"
+    );
+}
+
+#[test]
+fn read_skew_is_prevented() {
+    // r1[x]...w2[x]w2[y]c2...r1[y] must not mix versions.
+    let s = server();
+    s.put("t", 0, key("x"), val("x0")).unwrap();
+    s.put("t", 0, key("y"), val("y0")).unwrap();
+    let mut t1 = TxnManager::begin(&s);
+    assert_eq!(
+        TxnManager::read(&s, &mut t1, "t", 0, b"x").unwrap(),
+        Some(val("x0"))
+    );
+    // T2 updates both and commits.
+    let mut t2 = TxnManager::begin(&s);
+    TxnManager::write(&mut t2, "t", 0, key("x"), val("x1"));
+    TxnManager::write(&mut t2, "t", 0, key("y"), val("y1"));
+    TxnManager::commit(&s, t2).unwrap();
+    // T1 still sees the pair from its snapshot.
+    assert_eq!(
+        TxnManager::read(&s, &mut t1, "t", 0, b"y").unwrap(),
+        Some(val("y0"))
+    );
+}
+
+#[test]
+fn lost_update_is_prevented() {
+    // r1[x] r2[x] w2[x] c2 w1[x] c1 → T1 must abort (first committer
+    // wins).
+    let s = server();
+    s.put("t", 0, key("x"), val("0")).unwrap();
+    let mut t1 = TxnManager::begin(&s);
+    let mut t2 = TxnManager::begin(&s);
+    TxnManager::read(&s, &mut t1, "t", 0, b"x").unwrap();
+    TxnManager::read(&s, &mut t2, "t", 0, b"x").unwrap();
+    TxnManager::write(&mut t2, "t", 0, key("x"), val("t2"));
+    TxnManager::commit(&s, t2).unwrap();
+    TxnManager::write(&mut t1, "t", 0, key("x"), val("t1"));
+    let err = TxnManager::commit(&s, t1).unwrap_err();
+    assert!(matches!(err, Error::TxnConflict { .. }));
+    assert_eq!(s.get("t", 0, b"x").unwrap(), Some(val("t2")));
+}
+
+#[test]
+fn dirty_write_is_prevented_by_validation() {
+    // Two blind writers to the same key: one commits, the other
+    // validates against the snapshot and fails.
+    let s = server();
+    let mut t1 = TxnManager::begin(&s);
+    let mut t2 = TxnManager::begin(&s);
+    TxnManager::write(&mut t1, "t", 0, key("x"), val("t1"));
+    TxnManager::write(&mut t2, "t", 0, key("x"), val("t2"));
+    TxnManager::commit(&s, t1).unwrap();
+    assert!(TxnManager::commit(&s, t2).is_err());
+    assert_eq!(s.get("t", 0, b"x").unwrap(), Some(val("t1")));
+}
+
+#[test]
+fn write_skew_is_admitted() {
+    // SI's known anomaly (§3.7.1 Fig. 5): disjoint write sets with
+    // crossed reads both commit. The test documents the semantics.
+    let s = server();
+    s.put("t", 0, key("x"), val("1")).unwrap();
+    s.put("t", 0, key("y"), val("1")).unwrap();
+    let mut t1 = TxnManager::begin(&s);
+    let mut t2 = TxnManager::begin(&s);
+    TxnManager::read(&s, &mut t1, "t", 0, b"x").unwrap();
+    TxnManager::read(&s, &mut t2, "t", 0, b"y").unwrap();
+    TxnManager::write(&mut t1, "t", 0, key("y"), val("t1"));
+    TxnManager::write(&mut t2, "t", 0, key("x"), val("t2"));
+    TxnManager::commit(&s, t1).unwrap();
+    TxnManager::commit(&s, t2).unwrap();
+    assert_eq!(s.get("t", 0, b"x").unwrap(), Some(val("t2")));
+    assert_eq!(s.get("t", 0, b"y").unwrap(), Some(val("t1")));
+}
+
+#[test]
+fn transactional_delete_applies_at_commit() {
+    let s = server();
+    s.put("t", 0, key("k"), val("v")).unwrap();
+    let mut txn = TxnManager::begin(&s);
+    TxnManager::delete(&mut txn, "t", 0, key("k"));
+    assert_eq!(TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(), None);
+    assert_eq!(s.get("t", 0, b"k").unwrap(), Some(val("v")));
+    TxnManager::commit(&s, txn).unwrap();
+    assert!(s.get("t", 0, b"k").unwrap().is_none());
+}
+
+#[test]
+fn abort_discards_writes() {
+    let s = server();
+    let mut txn = TxnManager::begin(&s);
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("v"));
+    TxnManager::abort(&s, txn);
+    assert!(s.get("t", 0, b"k").unwrap().is_none());
+    assert_eq!(s.metrics().snapshot().txn_aborts, 1);
+}
+
+#[test]
+fn multi_record_commit_is_atomic() {
+    let s = server();
+    let mut txn = TxnManager::begin(&s);
+    for i in 0..10 {
+        TxnManager::write(&mut txn, "t", 0, key(&format!("k{i}")), val("v"));
+    }
+    let commit_ts = TxnManager::commit(&s, txn).unwrap();
+    // All writes carry the same commit timestamp.
+    for i in 0..10 {
+        assert_eq!(
+            s.visible_version("t", 0, format!("k{i}").as_bytes(), commit_ts)
+                .unwrap(),
+            Some(commit_ts)
+        );
+    }
+}
+
+#[test]
+fn run_helper_retries_conflicts() {
+    let s = server();
+    s.put("t", 0, key("counter"), val("0")).unwrap();
+    // 8 threads × 10 increments with retry → exactly 80.
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    TxnManager::run(&s, 1000, |txn| {
+                        let cur = TxnManager::read(&s, txn, "t", 0, b"counter")?
+                            .map(|v| String::from_utf8(v.to_vec()).unwrap())
+                            .unwrap_or_default()
+                            .parse::<u64>()
+                            .unwrap_or(0);
+                        TxnManager::write(
+                            txn,
+                            "t",
+                            0,
+                            key("counter"),
+                            val(&(cur + 1).to_string()),
+                        );
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(s.get("t", 0, b"counter").unwrap(), Some(val("80")));
+    // Conflicts actually happened (the retry path was exercised) —
+    // with 8 racing threads this is overwhelmingly likely but not
+    // guaranteed; assert only on the final value above.
+}
+
+#[test]
+fn commit_timestamps_are_globally_ordered() {
+    let s = server();
+    let mut last = logbase_common::Timestamp::ZERO;
+    for i in 0..20 {
+        let mut txn = TxnManager::begin(&s);
+        TxnManager::write(&mut txn, "t", 0, key(&format!("k{i}")), val("v"));
+        let ts = TxnManager::commit(&s, txn).unwrap();
+        assert!(ts > last);
+        last = ts;
+    }
+}
+
+#[test]
+fn commit_record_and_writes_are_one_batch() {
+    // Mechanical check on Guarantee 3: writes + commit record must land
+    // durably before commit() returns.
+    let s = server();
+    let appends_before = s.metrics().snapshot().dfs_appends;
+    let mut txn = TxnManager::begin(&s);
+    for i in 0..5 {
+        TxnManager::write(&mut txn, "t", 0, key(&format!("k{i}")), val("v"));
+    }
+    TxnManager::commit(&s, txn).unwrap();
+    let appends = s.metrics().snapshot().dfs_appends - appends_before;
+    assert!(
+        appends <= 2,
+        "6 log records should group-commit into ≤2 appends, got {appends}"
+    );
+}
+
+#[test]
+fn cross_table_transactions() {
+    let s = server();
+    s.create_table(TableSchema::single_group("orders", &["v"]))
+        .unwrap();
+    // TPC-W order shape: read the cart (t), write the order (orders).
+    s.put("t", 0, key("cart:1"), val("book=2")).unwrap();
+    let (_, _ts) = TxnManager::run(&s, 10, |txn| {
+        let cart = TxnManager::read(&s, txn, "t", 0, b"cart:1")?.unwrap();
+        TxnManager::write(txn, "orders", 0, key("order:1"), cart);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(s.get("orders", 0, b"order:1").unwrap(), Some(val("book=2")));
+}

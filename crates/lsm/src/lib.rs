@@ -1,0 +1,23 @@
+//! A leveled LSM-tree — the repo's LevelDB substitute.
+//!
+//! Two roles in the reproduction:
+//!
+//! 1. **LRS index** (§4.6): the LRS baseline "stores data on disks and
+//!    indexes them with log-structured merge trees (LSM-tree) ... in this
+//!    experiment we use LevelDB". The paper's knobs — a moderate write
+//!    buffer (4 MB) and read cache (8 MB) — map to
+//!    [`LsmConfig::write_buffer_bytes`] and the shared block cache.
+//! 2. **Index spill for LogBase** (§3.5): "LogBase can employ a similar
+//!    method to log-structured merge-tree for merging out part of the
+//!    in-memory indexes into disks" — the `spill` ablation backs the
+//!    in-memory multiversion index with this tree.
+//!
+//! Structure: an active memtable, a level-0 set of overlapping
+//! tables (newest first), and leveled runs L1..Ln of non-overlapping
+//! tables. When L0 grows past `l0_compaction_trigger`, L0∪L1 merge into
+//! a fresh L1.
+
+mod tree;
+
+pub use logbase_sstable::merge_entries;
+pub use tree::{LsmConfig, LsmStats, LsmTree};

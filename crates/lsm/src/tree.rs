@@ -1,0 +1,526 @@
+//! The LSM-tree proper.
+
+use logbase_sstable::merge_entries;
+use logbase_common::schema::KeyRange;
+use logbase_common::{Result, RowKey, Timestamp, Value};
+use logbase_dfs::Dfs;
+use logbase_sstable::{
+    BlockCache, BlockEntry, Memtable, SsTableConfig, SsTableReader, SsTableWriter,
+};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// LSM-tree knobs. Defaults follow the paper's LRS experiment: 4 MB
+/// write buffer, 8 MB read (block) cache.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// DFS name prefix for the tree's tables.
+    pub prefix: String,
+    /// Memtable flush threshold.
+    pub write_buffer_bytes: u64,
+    /// Block cache budget.
+    pub block_cache_bytes: u64,
+    /// L0 table count that triggers an L0→L1 merge.
+    pub l0_compaction_trigger: usize,
+    /// SSTable layout knobs.
+    pub table: SsTableConfig,
+}
+
+impl LsmConfig {
+    /// Paper-default configuration under `prefix`.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        LsmConfig {
+            prefix: prefix.into(),
+            write_buffer_bytes: 4 * 1024 * 1024,
+            block_cache_bytes: 8 * 1024 * 1024,
+            l0_compaction_trigger: 4,
+            table: SsTableConfig::default(),
+        }
+    }
+
+    /// Builder-style write-buffer override.
+    #[must_use]
+    pub fn with_write_buffer(mut self, bytes: u64) -> Self {
+        self.write_buffer_bytes = bytes;
+        self
+    }
+
+    /// Builder-style L0 trigger override.
+    #[must_use]
+    pub fn with_l0_trigger(mut self, n: usize) -> Self {
+        self.l0_compaction_trigger = n;
+        self
+    }
+}
+
+/// Size/shape statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsmStats {
+    /// Entries buffered in the memtable.
+    pub memtable_entries: usize,
+    /// Number of L0 tables.
+    pub l0_tables: usize,
+    /// Number of L1 tables.
+    pub l1_tables: usize,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// L0→L1 compactions performed.
+    pub compactions: u64,
+}
+
+fn table_seq(name: &str) -> Option<u64> {
+    name.rsplit('-').next()?.parse().ok()
+}
+
+/// A leveled, multiversion LSM-tree over DFS-resident SSTables.
+pub struct LsmTree {
+    dfs: Dfs,
+    config: LsmConfig,
+    memtable: Memtable,
+    /// L0: newest table first (overlapping key ranges).
+    l0: RwLock<Vec<Arc<SsTableReader>>>,
+    /// L1: one sorted run (non-overlapping; merged wholesale).
+    l1: RwLock<Vec<Arc<SsTableReader>>>,
+    cache: BlockCache,
+    next_table: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    /// Serializes flush/compaction against each other.
+    maintenance: Mutex<()>,
+}
+
+impl LsmTree {
+    /// Create an empty tree.
+    pub fn new(dfs: Dfs, config: LsmConfig) -> Self {
+        let cache = BlockCache::new(config.block_cache_bytes);
+        LsmTree {
+            dfs,
+            config,
+            memtable: Memtable::new(),
+            l0: RwLock::new(Vec::new()),
+            l1: RwLock::new(Vec::new()),
+            cache,
+            next_table: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            maintenance: Mutex::new(()),
+        }
+    }
+
+    /// Re-open a tree from the tables already present under the
+    /// configured prefix (recovery). The memtable starts empty — any
+    /// unflushed entries must be re-derived by the caller (LogBase redoes
+    /// them from its log).
+    pub fn open(dfs: Dfs, config: LsmConfig) -> Result<Self> {
+        let tree = Self::new(dfs.clone(), config);
+        let mut l0_names: Vec<String> = dfs.list(&format!("{}/l0-", tree.config.prefix));
+        // Newest first: higher sequence numbers are newer.
+        l0_names.sort_unstable_by(|a, b| b.cmp(a));
+        let mut max_seq = 0u64;
+        {
+            let mut l0 = tree.l0.write();
+            for name in &l0_names {
+                max_seq = max_seq.max(table_seq(name).unwrap_or(0) + 1);
+                l0.push(Arc::new(SsTableReader::open(dfs.clone(), name)?));
+            }
+        }
+        {
+            let mut l1 = tree.l1.write();
+            for name in dfs.list(&format!("{}/l1-", tree.config.prefix)) {
+                max_seq = max_seq.max(table_seq(&name).unwrap_or(0) + 1);
+                l1.push(Arc::new(SsTableReader::open(dfs.clone(), &name)?));
+            }
+        }
+        tree.next_table.store(max_seq, Ordering::Relaxed);
+        Ok(tree)
+    }
+
+    /// Insert a version. Triggers a flush (and possibly a compaction)
+    /// when the write buffer fills — synchronously, like LevelDB with a
+    /// full level-0 (this is the write stall the paper charges WAL+Data
+    /// systems for).
+    pub fn put(&self, key: RowKey, ts: Timestamp, value: Option<Value>) -> Result<()> {
+        self.memtable.put(key, ts, value);
+        if self.memtable.approx_bytes() >= self.config.write_buffer_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the memtable into a fresh L0 table.
+    pub fn flush(&self) -> Result<()> {
+        let _guard = self.maintenance.lock();
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let entries = self.memtable.entries();
+        let seq = self.next_table.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{}/l0-{seq:06}", self.config.prefix);
+        let mut w = SsTableWriter::create(self.dfs.clone(), &name, self.config.table.clone())?;
+        for e in &entries {
+            w.add(e)?;
+        }
+        w.finish()?;
+        let reader = Arc::new(SsTableReader::open(self.dfs.clone(), &name)?);
+        self.l0.write().insert(0, reader);
+        self.memtable.clear();
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        logbase_common::metrics::Metrics::incr(&self.dfs.metrics().flushes);
+
+        if self.l0.read().len() >= self.config.l0_compaction_trigger {
+            self.compact_locked()?;
+        }
+        Ok(())
+    }
+
+    /// Merge L0 and L1 into a single fresh L1 run.
+    pub fn compact(&self) -> Result<()> {
+        let _guard = self.maintenance.lock();
+        self.compact_locked()
+    }
+
+    fn compact_locked(&self) -> Result<()> {
+        let l0_tables: Vec<Arc<SsTableReader>> = self.l0.read().clone();
+        let l1_tables: Vec<Arc<SsTableReader>> = self.l1.read().clone();
+        if l0_tables.is_empty() && l1_tables.len() <= 1 {
+            return Ok(());
+        }
+        // Inputs ordered newest → oldest so exact duplicates resolve to
+        // the newest copy.
+        let mut inputs = Vec::new();
+        for t in l0_tables.iter().chain(l1_tables.iter()) {
+            let mut it = t.iter(Some(&self.cache));
+            let mut v = Vec::with_capacity(t.count() as usize);
+            while let Some(e) = it.next()? {
+                v.push(e);
+            }
+            inputs.push(v);
+        }
+        let merged = merge_entries(inputs);
+        let seq = self.next_table.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{}/l1-{seq:06}", self.config.prefix);
+        let mut w = SsTableWriter::create(self.dfs.clone(), &name, self.config.table.clone())?;
+        for e in &merged {
+            w.add(e)?;
+        }
+        w.finish()?;
+        let reader = Arc::new(SsTableReader::open(self.dfs.clone(), &name)?);
+
+        // Install the new L1, then delete the inputs.
+        let old_l0 = std::mem::take(&mut *self.l0.write());
+        let old_l1 = std::mem::replace(&mut *self.l1.write(), vec![reader]);
+        for t in old_l0.iter().chain(old_l1.iter()) {
+            self.dfs.delete(t.name())?;
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        logbase_common::metrics::Metrics::incr(&self.dfs.metrics().compactions);
+        Ok(())
+    }
+
+    /// Latest version of `key` with `ts <= at`. `Some(None)` = tombstone.
+    pub fn get_at(&self, key: &[u8], at: Timestamp) -> Result<Option<(Timestamp, Option<Value>)>> {
+        let mut best: Option<(Timestamp, Option<Value>)> = None;
+        let consider =
+            |best: &mut Option<(Timestamp, Option<Value>)>, ts: Timestamp, v: Option<Value>| {
+                if best.as_ref().is_none_or(|(bt, _)| ts > *bt) {
+                    *best = Some((ts, v));
+                }
+            };
+        if let Some((ts, v)) = self
+            .memtable
+            .versions(key)
+            .into_iter()
+            .rfind(|(ts, _)| *ts <= at)
+        {
+            consider(&mut best, ts, v);
+        }
+        for t in self.l0.read().iter() {
+            if let Some(e) = t.get_at(key, at, Some(&self.cache))? {
+                consider(&mut best, e.ts, e.value);
+            }
+        }
+        for t in self.l1.read().iter() {
+            if let Some(e) = t.get_at(key, at, Some(&self.cache))? {
+                consider(&mut best, e.ts, e.value);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Latest visible value of `key` (tombstones resolve to `None`).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        Ok(self.get_at(key, Timestamp::MAX)?.and_then(|(_, v)| v))
+    }
+
+    /// Every stored version of exactly `key`, oldest first. Exact
+    /// `(key, ts)` duplicates across sources resolve to the newest
+    /// source (memtable over L0 over L1).
+    pub fn versions(&self, key: &[u8]) -> Result<Vec<(Timestamp, Option<Value>)>> {
+        // [key, key ++ 0x00) contains exactly the versions of `key`.
+        let mut end = key.to_vec();
+        end.push(0);
+        let range = KeyRange::new(RowKey::copy_from_slice(key), RowKey::from(end));
+        let mut inputs = Vec::new();
+        inputs.push(
+            self.memtable
+                .versions(key)
+                .into_iter()
+                .map(|(ts, v)| BlockEntry {
+                    key: RowKey::copy_from_slice(key),
+                    ts,
+                    value: v,
+                })
+                .collect::<Vec<_>>(),
+        );
+        for t in self.l0.read().iter().chain(self.l1.read().iter()) {
+            let mut it = t.range_iter(range.clone(), Some(&self.cache));
+            let mut v = Vec::new();
+            while let Some(e) = it.next()? {
+                v.push(e);
+            }
+            inputs.push(v);
+        }
+        Ok(merge_entries(inputs)
+            .into_iter()
+            .map(|e| (e.ts, e.value))
+            .collect())
+    }
+
+    /// Latest visible version per key in `range`, up to `limit` keys.
+    /// Tombstoned keys are skipped.
+    pub fn range_scan(
+        &self,
+        range: &KeyRange,
+        at: Timestamp,
+        limit: usize,
+    ) -> Result<Vec<(RowKey, Timestamp, Value)>> {
+        let mut inputs = Vec::new();
+        inputs.push(self.memtable.range_latest_at(range, at));
+        for t in self.l0.read().iter().chain(self.l1.read().iter()) {
+            let mut it = t.range_iter(range.clone(), Some(&self.cache));
+            let mut v = Vec::new();
+            while let Some(e) = it.next()? {
+                if e.ts <= at {
+                    v.push(e);
+                }
+            }
+            inputs.push(v);
+        }
+        let merged = merge_entries(inputs);
+        // Collapse to latest version per key, skip tombstones.
+        let mut out: Vec<(RowKey, Timestamp, Value)> = Vec::new();
+        let mut current: Option<BlockEntry> = None;
+        for e in merged {
+            match &mut current {
+                Some(c) if c.key == e.key => {
+                    if e.ts > c.ts {
+                        *c = e;
+                    }
+                }
+                _ => {
+                    if let Some(c) = current.take() {
+                        if let Some(v) = c.value {
+                            out.push((c.key, c.ts, v));
+                            if out.len() == limit {
+                                return Ok(out);
+                            }
+                        }
+                    }
+                    current = Some(e);
+                }
+            }
+        }
+        if let Some(c) = current {
+            if let Some(v) = c.value {
+                if out.len() < limit {
+                    out.push((c.key, c.ts, v));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Visit every stored entry (all versions); returns the count.
+    pub fn scan_all_versions(&self) -> Result<u64> {
+        let mut n = self.memtable.len() as u64;
+        for t in self.l0.read().iter().chain(self.l1.read().iter()) {
+            let mut it = t.iter(Some(&self.cache));
+            while it.next()?.is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LsmStats {
+        LsmStats {
+            memtable_entries: self.memtable.len(),
+            l0_tables: self.l0.read().len(),
+            l1_tables: self.l1.read().len(),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The tree's block cache (shared with callers for stats).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_dfs::DfsConfig;
+
+    fn tree(write_buffer: u64) -> LsmTree {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        LsmTree::new(
+            dfs,
+            LsmConfig::new("lsm").with_write_buffer(write_buffer).with_l0_trigger(3),
+        )
+    }
+
+    fn key(s: &str) -> RowKey {
+        RowKey::copy_from_slice(s.as_bytes())
+    }
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_through_memtable() {
+        let t = tree(1 << 20);
+        t.put(key("a"), Timestamp(1), Some(val("v1"))).unwrap();
+        t.put(key("a"), Timestamp(5), Some(val("v2"))).unwrap();
+        assert_eq!(t.get(b"a").unwrap(), Some(val("v2")));
+        assert_eq!(
+            t.get_at(b"a", Timestamp(3)).unwrap().unwrap().1,
+            Some(val("v1"))
+        );
+        assert!(t.get(b"zzz").unwrap().is_none());
+    }
+
+    #[test]
+    fn flush_moves_data_to_l0_and_reads_still_work() {
+        let t = tree(1 << 20);
+        for i in 0..100u64 {
+            t.put(key(&format!("k{i:03}")), Timestamp(i + 1), Some(val("x")))
+                .unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.stats().memtable_entries, 0);
+        assert_eq!(t.stats().l0_tables, 1);
+        assert_eq!(t.get(b"k042").unwrap(), Some(val("x")));
+    }
+
+    #[test]
+    fn automatic_flush_on_write_buffer_full() {
+        let t = tree(512);
+        for i in 0..200u64 {
+            t.put(key(&format!("k{i:05}")), Timestamp(i + 1), Some(val("0123456789")))
+                .unwrap();
+        }
+        assert!(t.stats().flushes > 0, "write buffer should have flushed");
+    }
+
+    #[test]
+    fn compaction_merges_l0_into_single_l1() {
+        let t = tree(1 << 20);
+        for round in 0..3u64 {
+            for i in 0..50u64 {
+                t.put(
+                    key(&format!("k{i:03}")),
+                    Timestamp(round * 100 + i + 1),
+                    Some(val(&format!("v{round}"))),
+                )
+                .unwrap();
+            }
+            t.flush().unwrap();
+        }
+        // Trigger was 3 → compaction ran.
+        let s = t.stats();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.l0_tables, 0);
+        assert_eq!(s.l1_tables, 1);
+        // Latest version visible, history retained.
+        assert_eq!(t.get(b"k010").unwrap(), Some(val("v2")));
+        assert_eq!(
+            t.get_at(b"k010", Timestamp(111)).unwrap().unwrap().1,
+            Some(val("v1"))
+        );
+        assert_eq!(t.scan_all_versions().unwrap(), 150);
+    }
+
+    #[test]
+    fn tombstones_hide_older_versions() {
+        let t = tree(1 << 20);
+        t.put(key("a"), Timestamp(1), Some(val("v"))).unwrap();
+        t.flush().unwrap();
+        t.put(key("a"), Timestamp(2), None).unwrap();
+        assert_eq!(t.get(b"a").unwrap(), None);
+        // Historical read before the delete still sees the value.
+        assert_eq!(
+            t.get_at(b"a", Timestamp(1)).unwrap().unwrap().1,
+            Some(val("v"))
+        );
+        // Range scans skip the dead key.
+        let out = t
+            .range_scan(&KeyRange::all(), Timestamp::MAX, usize::MAX)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_scan_merges_memtable_and_tables() {
+        let t = tree(1 << 20);
+        t.put(key("a"), Timestamp(1), Some(val("old-a"))).unwrap();
+        t.put(key("b"), Timestamp(2), Some(val("b"))).unwrap();
+        t.flush().unwrap();
+        t.put(key("a"), Timestamp(3), Some(val("new-a"))).unwrap();
+        t.put(key("c"), Timestamp(4), Some(val("c"))).unwrap();
+        let out = t
+            .range_scan(&KeyRange::all(), Timestamp::MAX, usize::MAX)
+            .unwrap();
+        let got: Vec<(&str, &[u8])> = out
+            .iter()
+            .map(|(k, _, v)| (std::str::from_utf8(k).unwrap(), &v[..]))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a", &b"new-a"[..]),
+                ("b", &b"b"[..]),
+                ("c", &b"c"[..]),
+            ]
+        );
+        // Limit applies per key.
+        let out = t.range_scan(&KeyRange::all(), Timestamp::MAX, 2).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn latest_version_wins_across_levels() {
+        let t = tree(1 << 20);
+        // Old version ends up in L1 via compaction, new in L0.
+        t.put(key("k"), Timestamp(1), Some(val("oldest"))).unwrap();
+        t.flush().unwrap();
+        t.put(key("k"), Timestamp(2), Some(val("middle"))).unwrap();
+        t.flush().unwrap();
+        t.put(key("k"), Timestamp(3), Some(val("newest"))).unwrap();
+        t.flush().unwrap(); // third flush triggers compaction (trigger=3)
+        t.put(key("k"), Timestamp(4), Some(val("memtable"))).unwrap();
+        assert_eq!(t.get(b"k").unwrap(), Some(val("memtable")));
+        assert_eq!(
+            t.get_at(b"k", Timestamp(3)).unwrap().unwrap().1,
+            Some(val("newest"))
+        );
+        assert_eq!(
+            t.get_at(b"k", Timestamp(1)).unwrap().unwrap().1,
+            Some(val("oldest"))
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Data blocks: sorted runs of `(key, ts, Option<value>)` entries.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use logbase_common::codec;
+use logbase_common::{Result, RowKey, Timestamp, Value};
+
+/// One entry of a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Record primary key.
+    pub key: RowKey,
+    /// Version.
+    pub ts: Timestamp,
+    /// Payload; `None` is a tombstone.
+    pub value: Option<Value>,
+}
+
+impl BlockEntry {
+    /// Approximate encoded size (for block-size budgeting).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.key.len() + 8 + 1 + self.value.as_ref().map_or(0, |v| 4 + v.len())
+    }
+}
+
+/// Builds one block of entries appended in `(key, ts)` ascending order.
+#[derive(Default)]
+pub struct BlockBuilder {
+    buf: BytesMut,
+    count: u32,
+    first_key: Option<RowKey>,
+    last: Option<(RowKey, Timestamp)>,
+}
+
+impl BlockBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry. Panics (debug) when called out of order — the
+    /// writer sorts upstream, so disorder here is a logic bug.
+    pub fn add(&mut self, entry: &BlockEntry) {
+        debug_assert!(
+            self.last
+                .as_ref()
+                .is_none_or(|(k, t)| (&entry.key, entry.ts) > (k, *t)),
+            "block entries must be added in strictly ascending (key, ts) order"
+        );
+        if self.first_key.is_none() {
+            self.first_key = Some(entry.key.clone());
+        }
+        self.last = Some((entry.key.clone(), entry.ts));
+        codec::put_bytes(&mut self.buf, &entry.key);
+        self.buf.put_u64_le(entry.ts.0);
+        match &entry.value {
+            Some(v) => {
+                self.buf.put_u8(1);
+                codec::put_bytes(&mut self.buf, v);
+            }
+            None => self.buf.put_u8(0),
+        }
+        self.count += 1;
+    }
+
+    /// Encoded byte size so far (excluding the trailing count).
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Entries added so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when no entries were added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// First key in the block (the sparse index key).
+    pub fn first_key(&self) -> Option<&RowKey> {
+        self.first_key.as_ref()
+    }
+
+    /// Last `(key, ts)` added.
+    pub fn last_key(&self) -> Option<&(RowKey, Timestamp)> {
+        self.last.as_ref()
+    }
+
+    /// Finish: returns the encoded block and resets the builder.
+    pub fn finish(&mut self) -> Bytes {
+        let mut out = std::mem::take(&mut self.buf);
+        out.put_u32_le(self.count);
+        self.count = 0;
+        self.first_key = None;
+        self.last = None;
+        out.freeze()
+    }
+}
+
+/// A decoded block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Entries in `(key, ts)` ascending order.
+    pub entries: Vec<BlockEntry>,
+}
+
+impl Block {
+    /// Decode a block produced by [`BlockBuilder::finish`].
+    pub fn decode(raw: &Bytes) -> Result<Block> {
+        let ctx = "sstable block";
+        if raw.len() < 4 {
+            return Err(logbase_common::Error::Corruption(format!(
+                "{ctx}: shorter than its count field"
+            )));
+        }
+        let count_pos = raw.len() - 4;
+        let count = u32::from_le_bytes(raw[count_pos..].try_into().expect("4 bytes"));
+        let mut src = raw.slice(0..count_pos);
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let key = codec::get_bytes(&mut src, ctx)?;
+            let ts = Timestamp(codec::get_u64(&mut src, ctx)?);
+            let has_value = codec::get_u8(&mut src, ctx)?;
+            let value = match has_value {
+                0 => None,
+                1 => Some(codec::get_bytes(&mut src, ctx)?),
+                other => {
+                    return Err(logbase_common::Error::Corruption(format!(
+                        "{ctx}: bad value flag {other}"
+                    )))
+                }
+            };
+            entries.push(BlockEntry {
+                key: RowKey::from(key),
+                ts,
+                value,
+            });
+        }
+        if !src.is_empty() {
+            return Err(logbase_common::Error::Corruption(format!(
+                "{ctx}: {} trailing bytes after {count} entries",
+                src.len()
+            )));
+        }
+        Ok(Block { entries })
+    }
+
+    /// Latest version of `key` with `ts <= at` within this block.
+    pub fn get_at(&self, key: &[u8], at: Timestamp) -> Option<&BlockEntry> {
+        // Entries are (key, ts) ascending: find the partition point past
+        // (key, at) and step back one; check it is the right key.
+        let idx = self
+            .entries
+            .partition_point(|e| (&e.key[..], e.ts) <= (key, at));
+        let candidate = self.entries.get(idx.checked_sub(1)?)?;
+        (candidate.key == key).then_some(candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, ts: u64, value: Option<&str>) -> BlockEntry {
+        BlockEntry {
+            key: RowKey::copy_from_slice(key.as_bytes()),
+            ts: Timestamp(ts),
+            value: value.map(|v| Value::copy_from_slice(v.as_bytes())),
+        }
+    }
+
+    #[test]
+    fn build_decode_round_trip() {
+        let mut b = BlockBuilder::new();
+        let entries = vec![
+            entry("a", 1, Some("v1")),
+            entry("a", 5, Some("v2")),
+            entry("b", 2, None),
+            entry("c", 3, Some("v3")),
+        ];
+        for e in &entries {
+            b.add(e);
+        }
+        assert_eq!(b.count(), 4);
+        assert_eq!(&b.first_key().unwrap()[..], b"a");
+        let raw = b.finish();
+        let block = Block::decode(&raw).unwrap();
+        assert_eq!(block.entries, entries);
+    }
+
+    #[test]
+    fn empty_block_round_trips() {
+        let mut b = BlockBuilder::new();
+        assert!(b.is_empty());
+        let raw = b.finish();
+        let block = Block::decode(&raw).unwrap();
+        assert!(block.entries.is_empty());
+    }
+
+    #[test]
+    fn builder_resets_after_finish() {
+        let mut b = BlockBuilder::new();
+        b.add(&entry("x", 1, Some("v")));
+        let _ = b.finish();
+        assert!(b.is_empty());
+        assert!(b.first_key().is_none());
+        b.add(&entry("a", 1, Some("v")));
+        assert_eq!(&b.first_key().unwrap()[..], b"a");
+    }
+
+    #[test]
+    fn get_at_picks_visible_version() {
+        let mut b = BlockBuilder::new();
+        for e in [
+            entry("a", 1, Some("v1")),
+            entry("a", 5, Some("v2")),
+            entry("a", 9, None),
+            entry("b", 2, Some("w")),
+        ] {
+            b.add(&e);
+        }
+        let block = Block::decode(&b.finish()).unwrap();
+        assert_eq!(
+            block.get_at(b"a", Timestamp(4)).unwrap().value.as_deref(),
+            Some(&b"v1"[..])
+        );
+        assert_eq!(
+            block.get_at(b"a", Timestamp(5)).unwrap().value.as_deref(),
+            Some(&b"v2"[..])
+        );
+        // At t=9 the tombstone is the visible version.
+        assert!(block.get_at(b"a", Timestamp(100)).unwrap().value.is_none());
+        assert!(block.get_at(b"a", Timestamp(0)).is_none());
+        assert!(block.get_at(b"z", Timestamp(100)).is_none());
+        // Probing "b" must not match "a"'s versions.
+        assert_eq!(
+            block.get_at(b"b", Timestamp(100)).unwrap().value.as_deref(),
+            Some(&b"w"[..])
+        );
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut b = BlockBuilder::new();
+        b.add(&entry("a", 1, Some("v")));
+        let raw = b.finish();
+        let mut bad = raw.to_vec();
+        // Claim one more entry than present.
+        let n = bad.len();
+        bad[n - 4] = 2;
+        assert!(Block::decode(&Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn encoded_len_is_close() {
+        let e = entry("key", 1, Some("value"));
+        let mut b = BlockBuilder::new();
+        b.add(&e);
+        assert_eq!(b.len_bytes(), e.encoded_len());
+    }
+}

@@ -1,0 +1,169 @@
+//! Bloom filter over record keys.
+//!
+//! Standard double-hashing construction (Kirsch–Mitzenmacher): two
+//! 64-bit FNV-1a-derived hashes combined as `h1 + i·h2` drive `k`
+//! probes. Sized at build time for a target bits-per-key.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use logbase_common::codec;
+use logbase_common::{Error, Result};
+
+/// An immutable bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+fn fnv1a(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Final avalanche (xorshift-multiply) to decorrelate low bits.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+impl BloomFilter {
+    /// Build a filter over `keys` with ~`bits_per_key` bits per key
+    /// (10 bits/key ≈ 1% false positives).
+    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a [u8]>, bits_per_key: usize) -> Self {
+        let n = keys.len().max(1);
+        let nbits = (n * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        // k = ln(2) * bits/key, clamped to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut bits = vec![0u8; nbytes];
+        let nbits = (nbytes * 8) as u64;
+        for key in keys {
+            let h1 = fnv1a(key, 0);
+            let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15);
+            for i in 0..k {
+                let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2))) % nbits;
+                bits[(bit / 8) as usize] |= 1 << (bit % 8);
+            }
+        }
+        BloomFilter { bits, k }
+    }
+
+    /// True when `key` *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = (self.bits.len() * 8) as u64;
+        if nbits == 0 {
+            return true;
+        }
+        let h1 = fnv1a(key, 0);
+        let h2 = fnv1a(key, 0x9e37_79b9_7f4a_7c15);
+        for i in 0..self.k {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2))) % nbits;
+            if self.bits[(bit / 8) as usize] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialize for the table's filter block.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.bits.len());
+        buf.put_u32_le(self.k);
+        codec::put_bytes(&mut buf, &self.bits);
+        buf.freeze()
+    }
+
+    /// Decode a filter block.
+    pub fn decode(mut src: Bytes) -> Result<Self> {
+        let k = codec::get_u32(&mut src, "bloom filter")?;
+        if k == 0 || k > 64 {
+            return Err(Error::Corruption(format!("bloom filter: bad k={k}")));
+        }
+        let bits = codec::get_bytes(&mut src, "bloom filter")?.to_vec();
+        Ok(BloomFilter { bits, k })
+    }
+
+    /// Size of the bit array in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("user-{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        for k in &ks {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            let absent = format!("absent-{i:08}");
+            if f.may_contain(absent.as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = f64::from(fp) / f64::from(probes);
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ks = keys(100);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let back = BloomFilter::decode(f.encode()).unwrap();
+        assert_eq!(back, f);
+        for k in &ks {
+            assert!(back.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn empty_filter_is_valid() {
+        let f = BloomFilter::build(std::iter::empty::<&[u8]>(), 10);
+        // No keys inserted: everything is definitely absent.
+        assert!(!f.may_contain(b"anything"));
+        let back = BloomFilter::decode(f.encode()).unwrap();
+        assert!(!back.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn decode_rejects_bad_k() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        codec::put_bytes(&mut buf, &[0u8; 8]);
+        assert!(BloomFilter::decode(buf.freeze()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_built_keys_always_match(
+            ks in proptest::collection::hash_set(
+                proptest::collection::vec(any::<u8>(), 1..32), 1..100)
+        ) {
+            let ks: Vec<Vec<u8>> = ks.into_iter().collect();
+            let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 12);
+            for k in &ks {
+                prop_assert!(f.may_contain(k));
+            }
+        }
+    }
+}

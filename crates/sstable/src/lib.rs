@@ -1,0 +1,32 @@
+//! Sorted string tables — the storage primitive of the **baselines**.
+//!
+//! The paper compares LogBase against systems that keep data in sorted
+//! data files separate from the log: HBase (memtable → SSTable flush,
+//! sparse block index, block cache) and LRS (an LSM-tree à la LevelDB).
+//! This crate provides the shared machinery both baselines are built
+//! from:
+//!
+//! - [`SsTableWriter`] / [`SsTableReader`] — a block-based sorted table
+//!   on the DFS with a *sparse* block index (one key per block — exactly
+//!   the design that loses to LogBase's *dense* in-memory index on
+//!   long-tail reads, Fig. 7) and a bloom filter for absent-key probes;
+//! - [`BlockCache`] — byte-budgeted LRU over decoded blocks;
+//! - [`Memtable`] — the sorted in-memory buffer flushed into tables.
+//!
+//! Entries are `(key, timestamp) → Option<value>` with `None` encoding a
+//! tombstone, sorted ascending by `(key, ts)` — the same composite order
+//! the rest of the workspace uses.
+
+mod block;
+mod bloom;
+mod memtable;
+mod merge;
+mod reader;
+mod writer;
+
+pub use block::{Block, BlockBuilder, BlockEntry};
+pub use bloom::BloomFilter;
+pub use memtable::Memtable;
+pub use merge::merge_entries;
+pub use reader::{BlockCache, SsTableIter, SsTableReader};
+pub use writer::{SsTableConfig, SsTableWriter};

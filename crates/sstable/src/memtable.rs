@@ -1,0 +1,215 @@
+//! Memtable: the sorted write buffer of the WAL+Data baselines.
+//!
+//! HBase buffers writes in a memtable and flushes it to an SSTable when
+//! full — the "data written twice" half of the WAL+Data bottleneck the
+//! paper removes (§1, §3.6, Fig. 3 right). The LSM-tree uses the same
+//! structure as its level-0 source.
+
+use crate::block::BlockEntry;
+use logbase_common::schema::KeyRange;
+use logbase_common::{RowKey, Timestamp, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sorted in-memory buffer of `(key, ts) → Option<value>`.
+pub struct Memtable {
+    map: RwLock<BTreeMap<(RowKey, Timestamp), Option<Value>>>,
+    bytes: AtomicU64,
+}
+
+impl Default for Memtable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memtable {
+    /// New empty memtable.
+    pub fn new() -> Self {
+        Memtable {
+            map: RwLock::new(BTreeMap::new()),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Buffer a write (or tombstone when `value` is `None`).
+    pub fn put(&self, key: RowKey, ts: Timestamp, value: Option<Value>) {
+        let sz = (key.len() + 8 + value.as_ref().map_or(0, |v| v.len()) + 24) as u64;
+        let mut map = self.map.write();
+        if let Some(old) = map.insert((key, ts), value) {
+            let old_sz = (8 + old.as_ref().map_or(0, |v| v.len()) + 24) as u64;
+            self.bytes.fetch_sub(old_sz.min(sz), Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(sz, Ordering::Relaxed);
+    }
+
+    /// Latest version of `key` with `ts <= at`.
+    /// `Some(None)` means the visible version is a tombstone.
+    pub fn get_at(&self, key: &[u8], at: Timestamp) -> Option<Option<Value>> {
+        let map = self.map.read();
+        map.range((
+            Bound::Included((RowKey::copy_from_slice(key), Timestamp::ZERO)),
+            Bound::Included((RowKey::copy_from_slice(key), at)),
+        ))
+        .next_back()
+        .map(|(_, v)| v.clone())
+    }
+
+    /// All buffered versions of exactly `key`, oldest first.
+    pub fn versions(&self, key: &[u8]) -> Vec<(Timestamp, Option<Value>)> {
+        let map = self.map.read();
+        map.range((
+            Bound::Included((RowKey::copy_from_slice(key), Timestamp::ZERO)),
+            Bound::Included((RowKey::copy_from_slice(key), Timestamp::MAX)),
+        ))
+        .map(|((_, ts), v)| (*ts, v.clone()))
+        .collect()
+    }
+
+    /// All buffered entries in `(key, ts)` order (flush input).
+    pub fn entries(&self) -> Vec<BlockEntry> {
+        let map = self.map.read();
+        map.iter()
+            .map(|((key, ts), value)| BlockEntry {
+                key: key.clone(),
+                ts: *ts,
+                value: value.clone(),
+            })
+            .collect()
+    }
+
+    /// Entries whose key lies in `range`, latest version `<= at` per key.
+    pub fn range_latest_at(&self, range: &KeyRange, at: Timestamp) -> Vec<BlockEntry> {
+        let map = self.map.read();
+        let lower = Bound::Included((range.start.clone(), Timestamp::ZERO));
+        let upper = match &range.end {
+            Some(end) => Bound::Excluded((end.clone(), Timestamp::ZERO)),
+            None => Bound::Unbounded,
+        };
+        let mut out: Vec<BlockEntry> = Vec::new();
+        for ((key, ts), value) in map.range((lower, upper)) {
+            if *ts > at {
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.key == *key => {
+                    last.ts = *ts;
+                    last.value = value.clone();
+                }
+                _ => out.push(BlockEntry {
+                    key: key.clone(),
+                    ts: *ts,
+                    value: value.clone(),
+                }),
+            }
+        }
+        out
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Buffered entry count.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drop everything (after a successful flush).
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> RowKey {
+        RowKey::copy_from_slice(s.as_bytes())
+    }
+
+    fn val(s: &str) -> Value {
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_latest() {
+        let m = Memtable::new();
+        m.put(key("a"), Timestamp(1), Some(val("v1")));
+        m.put(key("a"), Timestamp(5), Some(val("v2")));
+        assert_eq!(m.get_at(b"a", Timestamp::MAX).unwrap().unwrap(), val("v2"));
+        assert_eq!(m.get_at(b"a", Timestamp(3)).unwrap().unwrap(), val("v1"));
+        assert!(m.get_at(b"a", Timestamp::ZERO).is_none());
+        assert!(m.get_at(b"b", Timestamp::MAX).is_none());
+    }
+
+    #[test]
+    fn tombstones_are_visible_versions() {
+        let m = Memtable::new();
+        m.put(key("a"), Timestamp(1), Some(val("v")));
+        m.put(key("a"), Timestamp(2), None);
+        assert_eq!(m.get_at(b"a", Timestamp::MAX), Some(None));
+        assert_eq!(m.get_at(b"a", Timestamp(1)), Some(Some(val("v"))));
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let m = Memtable::new();
+        m.put(key("c"), Timestamp(1), Some(val("3")));
+        m.put(key("a"), Timestamp(2), Some(val("1")));
+        m.put(key("b"), Timestamp(3), Some(val("2")));
+        let e = m.entries();
+        let keys: Vec<&[u8]> = e.iter().map(|x| &x.key[..]).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c"]);
+    }
+
+    #[test]
+    fn range_latest_filters_and_dedups() {
+        let m = Memtable::new();
+        m.put(key("a"), Timestamp(1), Some(val("old")));
+        m.put(key("a"), Timestamp(9), Some(val("new")));
+        m.put(key("b"), Timestamp(2), Some(val("b")));
+        m.put(key("z"), Timestamp(3), Some(val("z")));
+        let out = m.range_latest_at(&KeyRange::new(&b"a"[..], &b"c"[..]), Timestamp(5));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value.as_ref().unwrap(), &val("old"));
+        assert_eq!(&out[1].key[..], b"b");
+    }
+
+    #[test]
+    fn byte_accounting_grows_and_clears() {
+        let m = Memtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(key("k"), Timestamp(1), Some(val("0123456789")));
+        assert!(m.approx_bytes() > 10);
+        m.clear();
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let m = std::sync::Arc::new(Memtable::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        m.put(key(&format!("{t}-{i}")), Timestamp(i), Some(val("x")));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 1000);
+    }
+}

@@ -1,0 +1,103 @@
+//! K-way merge of sorted entry streams.
+
+use crate::block::BlockEntry;
+
+/// Merge several `(key, ts)`-ascending entry vectors into one, dropping
+/// duplicates: when the same `(key, ts)` appears in more than one input,
+/// the entry from the *lower-indexed* (newer) input wins. All distinct
+/// versions are kept — the LSM-tree stays multiversion; garbage
+/// collection of old versions is a policy decision applied by callers
+/// via `retain`.
+pub fn merge_entries(mut inputs: Vec<Vec<BlockEntry>>) -> Vec<BlockEntry> {
+    // Simple loser-tree-free implementation: repeatedly take the minimum
+    // head. Input counts are small (a handful of tables per compaction).
+    let total: usize = inputs.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; inputs.len()];
+    let mut out: Vec<BlockEntry> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, input) in inputs.iter().enumerate() {
+            let Some(e) = input.get(cursors[i]) else {
+                continue;
+            };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let be = &inputs[b][cursors[b]];
+                    if (&e.key, e.ts) < (&be.key, be.ts) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(b) = best else { break };
+        let e = std::mem::replace(
+            &mut inputs[b][cursors[b]],
+            BlockEntry {
+                key: Default::default(),
+                ts: logbase_common::Timestamp::ZERO,
+                value: None,
+            },
+        );
+        cursors[b] += 1;
+        match out.last() {
+            Some(last) if last.key == e.key && last.ts == e.ts => {
+                // Same (key, ts) from an older input: drop it.
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_common::{RowKey, Timestamp, Value};
+
+    fn e(key: &str, ts: u64, v: &str) -> BlockEntry {
+        BlockEntry {
+            key: RowKey::copy_from_slice(key.as_bytes()),
+            ts: Timestamp(ts),
+            value: Some(Value::copy_from_slice(v.as_bytes())),
+        }
+    }
+
+    #[test]
+    fn merges_disjoint_streams_in_order() {
+        let out = merge_entries(vec![
+            vec![e("a", 1, "x"), e("c", 1, "x")],
+            vec![e("b", 1, "x"), e("d", 1, "x")],
+        ]);
+        let keys: Vec<&[u8]> = out.iter().map(|x| &x.key[..]).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d"]);
+    }
+
+    #[test]
+    fn keeps_all_versions_of_a_key() {
+        let out = merge_entries(vec![
+            vec![e("a", 5, "new")],
+            vec![e("a", 1, "old"), e("a", 3, "mid")],
+        ]);
+        let versions: Vec<u64> = out.iter().map(|x| x.ts.0).collect();
+        assert_eq!(versions, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn newer_input_wins_exact_duplicates() {
+        let out = merge_entries(vec![
+            vec![e("a", 1, "newer")],
+            vec![e("a", 1, "older")],
+        ]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value.as_deref(), Some(&b"newer"[..]));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_entries(vec![]).is_empty());
+        assert!(merge_entries(vec![vec![], vec![]]).is_empty());
+        let out = merge_entries(vec![vec![], vec![e("a", 1, "x")]]);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! SSTable writer: blocks + sparse index + bloom filter + footer.
+//!
+//! Layout (all sections CRC-framed):
+//!
+//! ```text
+//! [block 0][block 1]...[block n-1][index block][filter block][footer]
+//! ```
+//!
+//! The index block stores `(first_key, offset, len)` per data block —
+//! *sparse*, one key per block, the HBase design. The fixed-size footer
+//! (last 32 bytes, unframed) locates the index and filter.
+
+use crate::block::{BlockBuilder, BlockEntry};
+use crate::bloom::BloomFilter;
+use bytes::{BufMut, BytesMut};
+use logbase_common::codec;
+use logbase_common::{Result, RowKey};
+use logbase_dfs::Dfs;
+
+/// Magic number ending every SSTable.
+pub const SSTABLE_MAGIC: u64 = 0x4c6f_6742_6173_6531; // "LogBase1"
+
+/// Footer size in bytes: index off/len + filter off/len + count + magic.
+pub const FOOTER_LEN: usize = 8 + 8 + 8 + 8 + 8 + 8;
+
+/// SSTable build knobs.
+#[derive(Debug, Clone)]
+pub struct SsTableConfig {
+    /// Target uncompressed block size (HBase default: 64 KB).
+    pub block_bytes: usize,
+    /// Bloom filter bits per key (0 disables the filter).
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for SsTableConfig {
+    fn default() -> Self {
+        SsTableConfig {
+            block_bytes: 64 * 1024,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// Streams sorted entries into an SSTable file on the DFS.
+pub struct SsTableWriter {
+    dfs: Dfs,
+    name: String,
+    config: SsTableConfig,
+    buf: BytesMut,
+    builder: BlockBuilder,
+    index: Vec<(RowKey, u64, u64)>,
+    keys: Vec<RowKey>,
+    count: u64,
+    last: Option<(RowKey, logbase_common::Timestamp)>,
+}
+
+impl SsTableWriter {
+    /// Begin writing `name` (must not exist).
+    pub fn create(dfs: Dfs, name: impl Into<String>, config: SsTableConfig) -> Result<Self> {
+        let name = name.into();
+        dfs.create(&name)?;
+        Ok(SsTableWriter {
+            dfs,
+            name,
+            config,
+            buf: BytesMut::new(),
+            builder: BlockBuilder::new(),
+            index: Vec::new(),
+            keys: Vec::new(),
+            count: 0,
+            last: None,
+        })
+    }
+
+    /// Append an entry; entries must arrive in strictly ascending
+    /// `(key, ts)` order.
+    pub fn add(&mut self, entry: &BlockEntry) -> Result<()> {
+        if let Some((k, t)) = &self.last {
+            if (&entry.key, entry.ts) <= (k, *t) {
+                return Err(logbase_common::Error::InvalidArgument(format!(
+                    "SSTable {} entries out of order", self.name
+                )));
+            }
+        }
+        self.last = Some((entry.key.clone(), entry.ts));
+        // Start a new block at a key boundary once the target size is
+        // reached, so one key's versions never straddle blocks.
+        if self.builder.len_bytes() >= self.config.block_bytes
+            && self.builder.last_key().map(|(k, _)| k != &entry.key) == Some(true)
+        {
+            self.flush_block();
+        }
+        if self.keys.last() != Some(&entry.key) {
+            self.keys.push(entry.key.clone());
+        }
+        self.builder.add(entry);
+        self.count += 1;
+        Ok(())
+    }
+
+    fn flush_block(&mut self) {
+        if self.builder.is_empty() {
+            return;
+        }
+        let first_key = self.builder.first_key().expect("non-empty block").clone();
+        let raw = self.builder.finish();
+        let offset = self.buf.len() as u64;
+        let framed = codec::encode_frame(&mut self.buf, &raw);
+        self.index.push((first_key, offset, framed as u64));
+    }
+
+    /// Entries added so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalize: write blocks, index, filter and footer. Returns the
+    /// entry count.
+    pub fn finish(mut self) -> Result<u64> {
+        self.flush_block();
+
+        // Index block.
+        let mut idx = BytesMut::new();
+        idx.put_u64_le(self.index.len() as u64);
+        for (key, off, len) in &self.index {
+            codec::put_bytes(&mut idx, key);
+            idx.put_u64_le(*off);
+            idx.put_u64_le(*len);
+        }
+        let index_off = self.buf.len() as u64;
+        let index_len = codec::encode_frame(&mut self.buf, &idx) as u64;
+
+        // Filter block.
+        let filter = BloomFilter::build(
+            self.keys.iter().map(|k| &k[..]),
+            self.config.bloom_bits_per_key.max(1),
+        );
+        let filter_off = self.buf.len() as u64;
+        let filter_len = codec::encode_frame(&mut self.buf, &filter.encode()) as u64;
+
+        // Footer (fixed size, unframed).
+        self.buf.put_u64_le(index_off);
+        self.buf.put_u64_le(index_len);
+        self.buf.put_u64_le(filter_off);
+        self.buf.put_u64_le(filter_len);
+        self.buf.put_u64_le(self.count);
+        self.buf.put_u64_le(SSTABLE_MAGIC);
+
+        self.dfs.append(&self.name, &self.buf)?;
+        self.dfs.seal(&self.name)?;
+        Ok(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_common::{Timestamp, Value};
+    use logbase_dfs::DfsConfig;
+
+    fn entry(key: &str, ts: u64) -> BlockEntry {
+        BlockEntry {
+            key: RowKey::copy_from_slice(key.as_bytes()),
+            ts: Timestamp(ts),
+            value: Some(Value::copy_from_slice(b"x")),
+        }
+    }
+
+    #[test]
+    fn writer_rejects_out_of_order() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let mut w = SsTableWriter::create(dfs, "t/1", SsTableConfig::default()).unwrap();
+        w.add(&entry("b", 1)).unwrap();
+        assert!(w.add(&entry("a", 1)).is_err());
+        assert!(w.add(&entry("b", 1)).is_err()); // duplicates too
+        w.add(&entry("b", 2)).unwrap();
+    }
+
+    #[test]
+    fn writer_creates_multiple_blocks() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let mut w = SsTableWriter::create(
+            dfs.clone(),
+            "t/multi",
+            SsTableConfig {
+                block_bytes: 64,
+                bloom_bits_per_key: 10,
+            },
+        )
+        .unwrap();
+        for i in 0..100 {
+            w.add(&entry(&format!("key-{i:04}"), 1)).unwrap();
+        }
+        assert!(w.index.len() > 2, "expected several blocks");
+        assert_eq!(w.finish().unwrap(), 100);
+        assert!(dfs.len("t/multi").unwrap() > 0);
+    }
+
+    #[test]
+    fn refuses_existing_file() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        dfs.create("t/clash").unwrap();
+        assert!(SsTableWriter::create(dfs, "t/clash", SsTableConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: SSTables round-trip arbitrary sorted multiversion
+//! entry sets, and point probes agree with a model at every snapshot.
+
+use logbase_common::schema::KeyRange;
+use logbase_common::{RowKey, Timestamp, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_sstable::{BlockEntry, SsTableConfig, SsTableReader, SsTableWriter};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Model = BTreeMap<(Vec<u8>, u64), Option<Vec<u8>>>;
+
+fn entries_strategy() -> impl Strategy<Value = Model> {
+    proptest::collection::btree_map(
+        (
+            proptest::collection::vec(any::<u8>(), 1..12),
+            0u64..32,
+        ),
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
+        1..120,
+    )
+}
+
+fn build(model: &Model, block_bytes: usize) -> (Dfs, SsTableReader) {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+    let mut w = SsTableWriter::create(
+        dfs.clone(),
+        "t/prop",
+        SsTableConfig {
+            block_bytes,
+            bloom_bits_per_key: 10,
+        },
+    )
+    .unwrap();
+    for ((k, ts), v) in model {
+        w.add(&BlockEntry {
+            key: RowKey::from(k.clone()),
+            ts: Timestamp(*ts),
+            value: v.clone().map(Value::from),
+        })
+        .unwrap();
+    }
+    w.finish().unwrap();
+    let r = SsTableReader::open(dfs.clone(), "t/prop").unwrap();
+    (dfs, r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Full iteration returns exactly the model in order, for tiny
+    /// blocks (many block boundaries) and large ones alike.
+    #[test]
+    fn prop_iteration_matches_model(model in entries_strategy(), block in 16usize..256) {
+        let (_dfs, r) = build(&model, block);
+        prop_assert_eq!(r.count(), model.len() as u64);
+        let mut it = r.iter(None);
+        let mut got = Vec::new();
+        while let Some(e) = it.next().unwrap() {
+            got.push(((e.key.to_vec(), e.ts.0), e.value.map(|v| v.to_vec())));
+        }
+        let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `get_at` returns the model's latest version ≤ snapshot for every
+    /// key and several snapshot bounds.
+    #[test]
+    fn prop_get_at_matches_model(model in entries_strategy()) {
+        let (_dfs, r) = build(&model, 64);
+        let keys: std::collections::BTreeSet<Vec<u8>> =
+            model.keys().map(|(k, _)| k.clone()).collect();
+        for key in keys {
+            for at in [0u64, 7, 15, 31, u64::MAX] {
+                let expect = model
+                    .range((key.clone(), 0)..=(key.clone(), at))
+                    .next_back()
+                    .map(|((_, ts), v)| (*ts, v.clone()));
+                let got = r
+                    .get_at(&key, Timestamp(at), None)
+                    .unwrap()
+                    .map(|e| (e.ts.0, e.value.map(|v| v.to_vec())));
+                prop_assert_eq!(got, expect, "key {:?} at {}", key, at);
+            }
+        }
+    }
+
+    /// Range iteration returns exactly the model's keys in the range.
+    #[test]
+    fn prop_range_iter_matches_model(
+        model in entries_strategy(),
+        bounds in (proptest::collection::vec(any::<u8>(), 1..4),
+                   proptest::collection::vec(any::<u8>(), 1..4)),
+    ) {
+        let (lo, hi) = if bounds.0 <= bounds.1 { bounds } else { (bounds.1, bounds.0) };
+        let (_dfs, r) = build(&model, 48);
+        let range = KeyRange::new(RowKey::from(lo.clone()), RowKey::from(hi.clone()));
+        let mut it = r.range_iter(range, None);
+        let mut got = Vec::new();
+        while let Some(e) = it.next().unwrap() {
+            got.push((e.key.to_vec(), e.ts.0));
+        }
+        let expect: Vec<_> = model
+            .keys()
+            .filter(|(k, _)| *k >= lo && *k < hi)
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,354 @@
+//! Log entry model and binary codec.
+
+use bytes::{Bytes, BytesMut};
+use logbase_common::codec;
+use logbase_common::{Error, Lsn, Record, RecordMeta, Result, Timestamp};
+
+/// What a log entry records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntryKind {
+    /// A versioned write (insert/update) or tombstone (delete) of one
+    /// cell. `txn_id == 0` marks auto-committed single-record operations.
+    Write {
+        /// Transaction that produced the write (0 = auto-commit).
+        txn_id: u64,
+        /// Tablet the row belongs to (range index within the table).
+        tablet: u32,
+        /// The record: key, column group, timestamp and optional value.
+        record: Record,
+    },
+    /// Transaction commit record: writes of `txn_id` with timestamp
+    /// `commit_ts` are durable once this entry is persisted (§3.7.2).
+    Commit {
+        /// Committing transaction.
+        txn_id: u64,
+        /// Its commit timestamp.
+        commit_ts: Timestamp,
+    },
+    /// Explicit abort marker (lets compaction drop the txn's writes
+    /// without scanning past the end of the log).
+    Abort {
+        /// Aborted transaction.
+        txn_id: u64,
+    },
+    /// Checkpoint marker: index effects up to `index_lsn` are persisted
+    /// in the index file named by `index_file` (§3.8).
+    Checkpoint {
+        /// LSN covered by the persisted index files.
+        index_lsn: Lsn,
+        /// DFS name of the checkpoint descriptor.
+        index_file: String,
+    },
+    /// DDL record: a table was created with the JSON-serialized schema.
+    /// Makes schema changes durable even before the first checkpoint.
+    Schema {
+        /// `serde_json`-encoded `TableSchema`.
+        schema_json: String,
+    },
+}
+
+/// One log record: LSN + table + payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Log sequence number, unique and increasing within one log.
+    pub lsn: Lsn,
+    /// Owning table name.
+    pub table: String,
+    /// Payload.
+    pub kind: LogEntryKind,
+}
+
+const KIND_WRITE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_ABORT: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
+const KIND_SCHEMA: u8 = 5;
+
+impl LogEntry {
+    /// Serialize the entry payload (the caller frames it with a CRC).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.approx_payload_len());
+        match &self.kind {
+            LogEntryKind::Write {
+                txn_id,
+                tablet,
+                record,
+            } => {
+                buf.extend_from_slice(&[KIND_WRITE]);
+                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
+                codec::put_bytes(&mut buf, self.table.as_bytes());
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                buf.extend_from_slice(&tablet.to_le_bytes());
+                buf.extend_from_slice(&record.meta.column_group.to_le_bytes());
+                buf.extend_from_slice(&record.meta.timestamp.0.to_le_bytes());
+                codec::put_bytes(&mut buf, &record.meta.key);
+                match &record.value {
+                    Some(v) => {
+                        buf.extend_from_slice(&[1]);
+                        codec::put_bytes(&mut buf, v);
+                    }
+                    None => buf.extend_from_slice(&[0]),
+                }
+            }
+            LogEntryKind::Commit { txn_id, commit_ts } => {
+                buf.extend_from_slice(&[KIND_COMMIT]);
+                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
+                codec::put_bytes(&mut buf, self.table.as_bytes());
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+                buf.extend_from_slice(&commit_ts.0.to_le_bytes());
+            }
+            LogEntryKind::Abort { txn_id } => {
+                buf.extend_from_slice(&[KIND_ABORT]);
+                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
+                codec::put_bytes(&mut buf, self.table.as_bytes());
+                buf.extend_from_slice(&txn_id.to_le_bytes());
+            }
+            LogEntryKind::Checkpoint {
+                index_lsn,
+                index_file,
+            } => {
+                buf.extend_from_slice(&[KIND_CHECKPOINT]);
+                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
+                codec::put_bytes(&mut buf, self.table.as_bytes());
+                buf.extend_from_slice(&index_lsn.0.to_le_bytes());
+                codec::put_bytes(&mut buf, index_file.as_bytes());
+            }
+            LogEntryKind::Schema { schema_json } => {
+                buf.extend_from_slice(&[KIND_SCHEMA]);
+                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
+                codec::put_bytes(&mut buf, self.table.as_bytes());
+                codec::put_bytes(&mut buf, schema_json.as_bytes());
+            }
+        }
+        buf.freeze()
+    }
+
+    fn approx_payload_len(&self) -> usize {
+        match &self.kind {
+            LogEntryKind::Write { record, .. } => record.meta.key.len() + record.value_len(),
+            LogEntryKind::Checkpoint { index_file, .. } => index_file.len(),
+            _ => 0,
+        }
+    }
+
+    /// Decode an entry payload produced by [`LogEntry::encode`].
+    pub fn decode(mut src: Bytes) -> Result<LogEntry> {
+        let ctx = "log entry";
+        let kind = codec::get_u8(&mut src, ctx)?;
+        let lsn = Lsn(codec::get_u64(&mut src, ctx)?);
+        let table_bytes = codec::get_bytes(&mut src, ctx)?;
+        let table = String::from_utf8(table_bytes.to_vec())
+            .map_err(|_| Error::Corruption("log entry table name is not UTF-8".into()))?;
+        let kind = match kind {
+            KIND_WRITE => {
+                let txn_id = codec::get_u64(&mut src, ctx)?;
+                let tablet = codec::get_u32(&mut src, ctx)?;
+                let column_group = codec::get_u16(&mut src, ctx)?;
+                let timestamp = Timestamp(codec::get_u64(&mut src, ctx)?);
+                let key = codec::get_bytes(&mut src, ctx)?;
+                let has_value = codec::get_u8(&mut src, ctx)?;
+                let value = match has_value {
+                    0 => None,
+                    1 => Some(codec::get_bytes(&mut src, ctx)?),
+                    other => {
+                        return Err(Error::Corruption(format!(
+                            "log entry: bad value flag {other}"
+                        )))
+                    }
+                };
+                LogEntryKind::Write {
+                    txn_id,
+                    tablet,
+                    record: Record {
+                        meta: RecordMeta {
+                            key,
+                            column_group,
+                            timestamp,
+                        },
+                        value,
+                    },
+                }
+            }
+            KIND_COMMIT => LogEntryKind::Commit {
+                txn_id: codec::get_u64(&mut src, ctx)?,
+                commit_ts: Timestamp(codec::get_u64(&mut src, ctx)?),
+            },
+            KIND_ABORT => LogEntryKind::Abort {
+                txn_id: codec::get_u64(&mut src, ctx)?,
+            },
+            KIND_CHECKPOINT => {
+                let index_lsn = Lsn(codec::get_u64(&mut src, ctx)?);
+                let file_bytes = codec::get_bytes(&mut src, ctx)?;
+                LogEntryKind::Checkpoint {
+                    index_lsn,
+                    index_file: String::from_utf8(file_bytes.to_vec()).map_err(|_| {
+                        Error::Corruption("checkpoint file name is not UTF-8".into())
+                    })?,
+                }
+            }
+            KIND_SCHEMA => {
+                let json_bytes = codec::get_bytes(&mut src, ctx)?;
+                LogEntryKind::Schema {
+                    schema_json: String::from_utf8(json_bytes.to_vec()).map_err(|_| {
+                        Error::Corruption("schema entry is not UTF-8".into())
+                    })?,
+                }
+            }
+            other => {
+                return Err(Error::Corruption(format!(
+                    "log entry: unknown kind byte {other}"
+                )))
+            }
+        };
+        Ok(LogEntry { lsn, table, kind })
+    }
+
+    /// Convenience constructor for an auto-commit write.
+    pub fn write(lsn: Lsn, table: impl Into<String>, tablet: u32, record: Record) -> Self {
+        LogEntry {
+            lsn,
+            table: table.into(),
+            kind: LogEntryKind::Write {
+                txn_id: 0,
+                tablet,
+                record,
+            },
+        }
+    }
+
+    /// The record inside a `Write` entry, if any.
+    pub fn as_write(&self) -> Option<(&Record, u64, u32)> {
+        match &self.kind {
+            LogEntryKind::Write {
+                record,
+                txn_id,
+                tablet,
+            } => Some((record, *txn_id, *tablet)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(e: &LogEntry) -> LogEntry {
+        LogEntry::decode(e.encode()).unwrap()
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let e = LogEntry::write(
+            Lsn(7),
+            "users",
+            3,
+            Record::put(&b"alice"[..], 1, Timestamp(99), &b"payload"[..]),
+        );
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn tombstone_round_trip() {
+        let e = LogEntry::write(
+            Lsn(8),
+            "users",
+            0,
+            Record::tombstone(&b"bob"[..], 2, Timestamp(100)),
+        );
+        let back = round_trip(&e);
+        assert_eq!(back, e);
+        assert!(back.as_write().unwrap().0.is_tombstone());
+    }
+
+    #[test]
+    fn commit_abort_checkpoint_round_trip() {
+        for kind in [
+            LogEntryKind::Commit {
+                txn_id: 44,
+                commit_ts: Timestamp(1000),
+            },
+            LogEntryKind::Abort { txn_id: 45 },
+            LogEntryKind::Checkpoint {
+                index_lsn: Lsn(500),
+                index_file: "srv-0/ckpt/000007".to_string(),
+            },
+            LogEntryKind::Schema {
+                schema_json: r#"{"name":"orders","column_groups":[]}"#.to_string(),
+            },
+        ] {
+            let e = LogEntry {
+                lsn: Lsn(9),
+                table: "orders".to_string(),
+                kind,
+            };
+            assert_eq!(round_trip(&e), e);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let mut bytes = LogEntry::write(
+            Lsn(1),
+            "t",
+            0,
+            Record::put(&b"k"[..], 0, Timestamp(1), &b"v"[..]),
+        )
+        .encode()
+        .to_vec();
+        bytes[0] = 200;
+        assert!(LogEntry::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = LogEntry::write(
+            Lsn(1),
+            "table",
+            0,
+            Record::put(&b"key"[..], 0, Timestamp(1), &b"value"[..]),
+        )
+        .encode();
+        for cut in [0, 1, 5, 10, bytes.len() - 1] {
+            assert!(
+                LogEntry::decode(bytes.slice(0..cut)).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_write_entries_round_trip(
+            lsn in 0u64..u64::MAX,
+            table in "[a-z]{1,12}",
+            tablet in 0u32..1000,
+            txn in 0u64..1_000_000,
+            cg in 0u16..16,
+            ts in 0u64..u64::MAX,
+            key in proptest::collection::vec(any::<u8>(), 0..64),
+            value in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
+        ) {
+            let record = Record {
+                meta: RecordMeta {
+                    key: Bytes::from(key),
+                    column_group: cg,
+                    timestamp: Timestamp(ts),
+                },
+                value: value.map(Bytes::from),
+            };
+            let e = LogEntry {
+                lsn: Lsn(lsn),
+                table,
+                kind: LogEntryKind::Write { txn_id: txn, tablet, record },
+            };
+            prop_assert_eq!(LogEntry::decode(e.encode()).unwrap(), e);
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = LogEntry::decode(Bytes::from(bytes));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Cross-thread group commit.
+//!
+//! §3.7.2: "LogBase further embeds an optimization technique that
+//! processes commit and log records in batches, instead of individual log
+//! writes, in order to reduce the log persistence cost and therefore
+//! improve write throughput."
+//!
+//! [`GroupCommitLog`] runs a committer thread that drains a channel of
+//! pending appends and persists them with one [`LogWriter::append_batch`]
+//! call per drain. Callers block until their entry is durable and get its
+//! `(Lsn, LogPtr)` back.
+
+use crate::writer::LogWriter;
+use crate::LogEntryKind;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use logbase_common::{Error, LogPtr, Lsn, Result};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Group-commit tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GroupCommitConfig {
+    /// Maximum entries folded into one log write.
+    pub max_batch: usize,
+    /// How long the committer waits for the first entry of a batch.
+    pub poll_interval: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_batch: 128,
+            poll_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+struct Pending {
+    table: String,
+    kind: LogEntryKind,
+    done: Sender<Result<(Lsn, LogPtr)>>,
+}
+
+/// Batching front end over a [`LogWriter`].
+pub struct GroupCommitLog {
+    writer: Arc<LogWriter>,
+    tx: Sender<Pending>,
+    committer: Option<JoinHandle<()>>,
+}
+
+impl GroupCommitLog {
+    /// Wrap `writer` with a committer thread.
+    pub fn new(writer: Arc<LogWriter>, config: GroupCommitConfig) -> Self {
+        let (tx, rx) = bounded::<Pending>(config.max_batch * 4);
+        let committer_writer = Arc::clone(&writer);
+        let committer = std::thread::Builder::new()
+            .name("logbase-group-commit".to_string())
+            .spawn(move || committer_loop(&committer_writer, &rx, &config))
+            .expect("spawn group-commit thread");
+        GroupCommitLog {
+            writer,
+            tx,
+            committer: Some(committer),
+        }
+    }
+
+    /// The wrapped writer (for direct, non-batched appends such as
+    /// checkpoint markers).
+    pub fn writer(&self) -> &Arc<LogWriter> {
+        &self.writer
+    }
+
+    /// Submit one entry and block until it is durable.
+    pub fn append(&self, table: &str, kind: LogEntryKind) -> Result<(Lsn, LogPtr)> {
+        let (done_tx, done_rx) = bounded(1);
+        self.tx
+            .send(Pending {
+                table: table.to_string(),
+                kind,
+                done: done_tx,
+            })
+            .map_err(|_| Error::Unavailable("group commit thread stopped".into()))?;
+        done_rx
+            .recv()
+            .map_err(|_| Error::Unavailable("group commit thread dropped request".into()))?
+    }
+
+    /// Submit several entries as one unit and block until all are durable.
+    /// Used by the transaction manager to persist a transaction's writes
+    /// plus its commit record together.
+    pub fn append_all(
+        &self,
+        entries: Vec<(String, LogEntryKind)>,
+    ) -> Result<Vec<(Lsn, LogPtr)>> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (done_tx, done_rx) = bounded(entries.len());
+        let n = entries.len();
+        for (table, kind) in entries {
+            self.tx
+                .send(Pending {
+                    table,
+                    kind,
+                    done: done_tx.clone(),
+                })
+                .map_err(|_| Error::Unavailable("group commit thread stopped".into()))?;
+        }
+        drop(done_tx);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(done_rx.recv().map_err(|_| {
+                Error::Unavailable("group commit thread dropped request".into())
+            })??);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for GroupCommitLog {
+    fn drop(&mut self) {
+        // Closing the channel stops the committer after it drains.
+        let (tx, _) = bounded(0);
+        let old_tx = std::mem::replace(&mut self.tx, tx);
+        drop(old_tx);
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupCommitConfig) {
+    loop {
+        // Block for the first entry of the batch.
+        let first = match rx.recv_timeout(config.poll_interval) {
+            Ok(p) => p,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        while batch.len() < config.max_batch {
+            match rx.try_recv() {
+                Ok(p) => batch.push(p),
+                Err(_) => break,
+            }
+        }
+        let entries: Vec<(String, LogEntryKind)> = batch
+            .iter()
+            .map(|p| (p.table.clone(), p.kind.clone()))
+            .collect();
+        match writer.append_batch(&entries) {
+            Ok(positions) => {
+                for (p, pos) in batch.into_iter().zip(positions) {
+                    let _ = p.done.send(Ok(pos));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for p in batch {
+                    let _ = p.done.send(Err(Error::Unavailable(format!(
+                        "group commit failed: {msg}"
+                    ))));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::LogConfig;
+    use logbase_common::{Record, Timestamp};
+    use logbase_dfs::{Dfs, DfsConfig};
+
+    fn put_kind(key: &str, ts: u64) -> LogEntryKind {
+        LogEntryKind::Write {
+            txn_id: 0,
+            tablet: 0,
+            record: Record::put(key.as_bytes().to_vec(), 0, Timestamp(ts), vec![1u8; 8]),
+        }
+    }
+
+    fn group_log() -> (Dfs, GroupCommitLog) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = Arc::new(LogWriter::create(dfs.clone(), LogConfig::new("srv/log")).unwrap());
+        (dfs, GroupCommitLog::new(w, GroupCommitConfig::default()))
+    }
+
+    #[test]
+    fn single_append_round_trips() {
+        let (dfs, log) = group_log();
+        let (lsn, ptr) = log.append("t", put_kind("a", 1)).unwrap();
+        assert_eq!(lsn, Lsn(1));
+        let entry = crate::read_entry(&dfs, "srv/log", ptr).unwrap();
+        assert_eq!(entry.lsn, lsn);
+    }
+
+    #[test]
+    fn concurrent_appends_all_get_unique_lsns() {
+        let (_dfs, log) = group_log();
+        let log = Arc::new(log);
+        let mut lsns = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let log = Arc::clone(&log);
+                    s.spawn(move || {
+                        (0..25)
+                            .map(|i| {
+                                log.append("t", put_kind(&format!("{t}-{i}"), i))
+                                    .unwrap()
+                                    .0
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                lsns.extend(h.join().unwrap());
+            }
+        });
+        lsns.sort_unstable();
+        lsns.dedup();
+        assert_eq!(lsns.len(), 200);
+    }
+
+    #[test]
+    fn batching_reduces_dfs_appends() {
+        let (dfs, log) = group_log();
+        let log = Arc::new(log);
+        let before = dfs.metrics().snapshot().dfs_appends;
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    for i in 0..25 {
+                        log.append("t", put_kind(&format!("{t}-{i}"), i)).unwrap();
+                    }
+                });
+            }
+        });
+        let appends = dfs.metrics().snapshot().dfs_appends - before;
+        // 200 entries must take far fewer than 200 log writes.
+        assert!(
+            appends < 200,
+            "group commit did not batch: {appends} appends for 200 entries"
+        );
+    }
+
+    #[test]
+    fn append_all_returns_positions_in_order_of_durability() {
+        let (dfs, log) = group_log();
+        let entries: Vec<_> = (0..5)
+            .map(|i| ("t".to_string(), put_kind(&format!("k{i}"), i)))
+            .collect();
+        let pos = log.append_all(entries).unwrap();
+        assert_eq!(pos.len(), 5);
+        // All durable: each pointer resolves.
+        for (_, ptr) in &pos {
+            assert!(crate::read_entry(&dfs, "srv/log", *ptr).is_ok());
+        }
+    }
+
+    #[test]
+    fn drop_stops_committer_thread() {
+        let (_dfs, log) = group_log();
+        log.append("t", put_kind("a", 1)).unwrap();
+        drop(log); // must not hang
+    }
+}

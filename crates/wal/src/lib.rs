@@ -1,0 +1,58 @@
+//! The log repository (paper §3.4): LogBase's *only* data store.
+//!
+//! Each tablet server owns **one log instance** — "an infinite sequential
+//! repository which contains contiguous segments", each segment a
+//! sequential DFS file (64 MB default). A log record is
+//! `<LogKey, Data>`:
+//!
+//! - `LogKey` — log sequence number (LSN), table name, tablet info;
+//! - `Data` — `<RowKey, Value>` where `RowKey` concatenates the record's
+//!   primary key, the updated column group and the write timestamp, and
+//!   `Value` is the payload (`null` for the *invalidated log entries*
+//!   written by deletes, §3.6.3).
+//!
+//! Entries are CRC-framed; [`LogWriter::append_batch`] persists a batch
+//! in a single replicated DFS append (the paper's group-commit
+//! optimization, §3.7.2), returning the `(Lsn, LogPtr)` of every entry so
+//! the caller can update its in-memory indexes. [`GroupCommitLog`] adds a
+//! cross-thread batching front end. [`scan_log`] replays segments for
+//! recovery and compaction.
+
+mod entry;
+mod group;
+mod reader;
+mod writer;
+
+pub use entry::{LogEntry, LogEntryKind};
+pub use group::{GroupCommitConfig, GroupCommitLog};
+pub use reader::{
+    decode_entry_in_window, read_entry, read_entry_in, scan_log, scan_segment, LogCursor,
+    SegmentScanner,
+};
+pub use writer::{LogConfig, LogWriter};
+
+/// Name of the `i`-th log segment under `prefix`.
+pub fn segment_name(prefix: &str, seq: u32) -> String {
+    format!("{prefix}/segment-{seq:06}")
+}
+
+/// Parse a segment sequence number out of a name produced by
+/// [`segment_name`]. Returns `None` for foreign files.
+pub fn parse_segment_name(prefix: &str, name: &str) -> Option<u32> {
+    let rest = name.strip_prefix(prefix)?.strip_prefix("/segment-")?;
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_name_round_trip() {
+        let n = segment_name("srv-0/log", 42);
+        assert_eq!(n, "srv-0/log/segment-000042");
+        assert_eq!(parse_segment_name("srv-0/log", &n), Some(42));
+        assert_eq!(parse_segment_name("srv-1/log", &n), None);
+        assert_eq!(parse_segment_name("srv-0/log", "srv-0/log/index-000001"), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! Log writer: framed appends with segment rotation.
+
+use crate::entry::LogEntry;
+use crate::segment_name;
+use bytes::BytesMut;
+use logbase_common::codec;
+use logbase_common::config::DEFAULT_SEGMENT_BYTES;
+use logbase_common::{LogPtr, Lsn, Result};
+use logbase_dfs::Dfs;
+use parking_lot::Mutex;
+
+/// Log writer configuration.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// DFS name prefix for this log instance, e.g. `"srv-3/log"`.
+    pub prefix: String,
+    /// Segment rotation threshold in bytes (paper default 64 MB).
+    pub segment_bytes: u64,
+}
+
+impl LogConfig {
+    /// Config with the paper's default segment size.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        LogConfig {
+            prefix: prefix.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+        }
+    }
+
+    /// Builder-style segment-size override.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+}
+
+struct WriterState {
+    /// Sequence number of the open segment.
+    segment: u32,
+    /// Bytes already in the open segment.
+    segment_len: u64,
+    /// Next LSN to assign.
+    next_lsn: Lsn,
+}
+
+/// Appends framed [`LogEntry`]s to the segmented log.
+///
+/// One writer exists per tablet server (the paper's single-log-instance
+/// design choice, §3.4). The writer assigns LSNs, so entries handed to
+/// [`LogWriter::append_batch`] carry their final LSN in the result.
+pub struct LogWriter {
+    dfs: Dfs,
+    config: LogConfig,
+    state: Mutex<WriterState>,
+}
+
+impl LogWriter {
+    /// Create a fresh log (starts at segment 0, LSN 1).
+    pub fn create(dfs: Dfs, config: LogConfig) -> Result<Self> {
+        dfs.create(&segment_name(&config.prefix, 0))?;
+        Ok(LogWriter {
+            dfs,
+            config,
+            state: Mutex::new(WriterState {
+                segment: 0,
+                segment_len: 0,
+                next_lsn: Lsn(1),
+            }),
+        })
+    }
+
+    /// Re-open an existing log after recovery: continue at `next_lsn`
+    /// after the last segment found under the prefix.
+    pub fn reopen(dfs: Dfs, config: LogConfig, next_lsn: Lsn) -> Result<Self> {
+        let last = dfs
+            .list(&format!("{}/segment-", config.prefix))
+            .into_iter()
+            .filter_map(|n| crate::parse_segment_name(&config.prefix, &n))
+            .max();
+        let (segment, segment_len) = match last {
+            Some(seq) => (seq, dfs.len(&segment_name(&config.prefix, seq))?),
+            None => {
+                dfs.create(&segment_name(&config.prefix, 0))?;
+                (0, 0)
+            }
+        };
+        Ok(LogWriter {
+            dfs,
+            config,
+            state: Mutex::new(WriterState {
+                segment,
+                segment_len,
+                next_lsn,
+            }),
+        })
+    }
+
+    /// The DFS prefix of this log instance.
+    pub fn prefix(&self) -> &str {
+        &self.config.prefix
+    }
+
+    /// Sequence number of the currently open segment.
+    pub fn current_segment(&self) -> u32 {
+        self.state.lock().segment
+    }
+
+    /// The LSN the next appended entry will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.state.lock().next_lsn
+    }
+
+    /// Current append position `(segment, offset)` — everything before
+    /// it is durable. Checkpoints record this as the redo start.
+    pub fn position(&self) -> (u32, u64) {
+        let s = self.state.lock();
+        (s.segment, s.segment_len)
+    }
+
+    /// Set the next LSN (recovery: after redo determines the highest LSN
+    /// in the log, the writer resumes after it).
+    pub fn set_next_lsn(&self, lsn: Lsn) {
+        self.state.lock().next_lsn = lsn;
+    }
+
+    /// Seal the open segment and start a new one (compaction snapshots
+    /// the sealed prefix of the log this way). Returns the sequence
+    /// number of the new open segment.
+    pub fn rotate(&self) -> Result<u32> {
+        let mut state = self.state.lock();
+        let old = segment_name(&self.config.prefix, state.segment);
+        self.dfs.seal(&old)?;
+        state.segment += 1;
+        state.segment_len = 0;
+        self.dfs
+            .create(&segment_name(&self.config.prefix, state.segment))?;
+        Ok(state.segment)
+    }
+
+    /// Append one entry; see [`LogWriter::append_batch`].
+    pub fn append(&self, table: &str, kind: crate::LogEntryKind) -> Result<(Lsn, LogPtr)> {
+        let mut out = self.append_batch(&[(table.to_string(), kind)])?;
+        Ok(out.pop().expect("batch of one yields one position"))
+    }
+
+    /// Append a batch of entries in **one replicated DFS write** (group
+    /// commit). Returns the `(Lsn, LogPtr)` assigned to each entry, in
+    /// order. The call returns only after the bytes are replicated, so
+    /// a returned position implies durability (Guarantee 1).
+    pub fn append_batch(
+        &self,
+        entries: &[(String, crate::LogEntryKind)],
+    ) -> Result<Vec<(Lsn, LogPtr)>> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut state = self.state.lock();
+
+        // Rotate before the batch if the open segment is full.
+        if state.segment_len >= self.config.segment_bytes {
+            let old = segment_name(&self.config.prefix, state.segment);
+            self.dfs.seal(&old)?;
+            state.segment += 1;
+            state.segment_len = 0;
+            self.dfs
+                .create(&segment_name(&self.config.prefix, state.segment))?;
+        }
+
+        let mut buf = BytesMut::new();
+        let mut positions = Vec::with_capacity(entries.len());
+        let base_offset = state.segment_len;
+        for (table, kind) in entries {
+            let lsn = state.next_lsn;
+            state.next_lsn = state.next_lsn.next();
+            let entry = LogEntry {
+                lsn,
+                table: table.clone(),
+                kind: kind.clone(),
+            };
+            let start = buf.len() as u64;
+            let framed = codec::encode_frame(&mut buf, &entry.encode());
+            positions.push((
+                lsn,
+                LogPtr::new(state.segment, base_offset + start, framed as u32),
+            ));
+        }
+        let name = segment_name(&self.config.prefix, state.segment);
+        let off = self.dfs.append(&name, &buf)?;
+        debug_assert_eq!(off, base_offset, "append landed at planned offset");
+        state.segment_len += buf.len() as u64;
+        Ok(positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogEntryKind;
+    use logbase_common::{Record, Timestamp};
+    use logbase_dfs::DfsConfig;
+
+    fn writer(segment_bytes: u64) -> (Dfs, LogWriter) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = LogWriter::create(
+            dfs.clone(),
+            LogConfig::new("srv-0/log").with_segment_bytes(segment_bytes),
+        )
+        .unwrap();
+        (dfs, w)
+    }
+
+    fn put_kind(key: &str, ts: u64) -> LogEntryKind {
+        LogEntryKind::Write {
+            txn_id: 0,
+            tablet: 0,
+            record: Record::put(
+                key.as_bytes().to_vec(),
+                0,
+                Timestamp(ts),
+                vec![0u8; 16],
+            ),
+        }
+    }
+
+    #[test]
+    fn lsns_are_dense_and_increasing() {
+        let (_dfs, w) = writer(1 << 20);
+        let a = w.append("t", put_kind("a", 1)).unwrap();
+        let b = w.append("t", put_kind("b", 2)).unwrap();
+        assert_eq!(a.0, Lsn(1));
+        assert_eq!(b.0, Lsn(2));
+        assert!(b.1.offset > a.1.offset);
+    }
+
+    #[test]
+    fn batch_is_one_dfs_append() {
+        let (dfs, w) = writer(1 << 20);
+        let before = dfs.metrics().snapshot().dfs_appends;
+        let batch: Vec<_> = (0..10)
+            .map(|i| ("t".to_string(), put_kind(&format!("k{i}"), i)))
+            .collect();
+        let pos = w.append_batch(&batch).unwrap();
+        assert_eq!(pos.len(), 10);
+        assert_eq!(dfs.metrics().snapshot().dfs_appends - before, 1);
+        // Positions are contiguous.
+        for win in pos.windows(2) {
+            assert_eq!(
+                win[0].1.offset + u64::from(win[0].1.len),
+                win[1].1.offset
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_seals_and_creates_segments() {
+        let (dfs, w) = writer(64); // tiny segments force rotation
+        for i in 0..20 {
+            w.append("t", put_kind(&format!("key-{i}"), i)).unwrap();
+        }
+        assert!(w.current_segment() >= 2);
+        let segs = dfs.list("srv-0/log/segment-");
+        assert_eq!(segs.len() as u32, w.current_segment() + 1);
+        // All but the open segment are sealed.
+        for s in &segs[..segs.len() - 1] {
+            assert!(dfs.append(s, b"x").is_err(), "{s} should be sealed");
+        }
+    }
+
+    #[test]
+    fn reopen_continues_numbering() {
+        let (dfs, w) = writer(64);
+        for i in 0..10 {
+            w.append("t", put_kind(&format!("key-{i}"), i)).unwrap();
+        }
+        let seg = w.current_segment();
+        let next = w.next_lsn();
+        drop(w);
+        let w2 = LogWriter::reopen(
+            dfs.clone(),
+            LogConfig::new("srv-0/log").with_segment_bytes(64),
+            next,
+        )
+        .unwrap();
+        assert_eq!(w2.current_segment(), seg);
+        let (lsn, _) = w2.append("t", put_kind("after", 100)).unwrap();
+        assert_eq!(lsn, next);
+    }
+
+    #[test]
+    fn reopen_on_empty_prefix_creates_segment_zero() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = LogWriter::reopen(dfs, LogConfig::new("fresh/log"), Lsn(1)).unwrap();
+        assert_eq!(w.current_segment(), 0);
+        w.append("t", put_kind("x", 1)).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (dfs, w) = writer(1 << 20);
+        let before = dfs.metrics().snapshot().dfs_appends;
+        assert!(w.append_batch(&[]).unwrap().is_empty());
+        assert_eq!(dfs.metrics().snapshot().dfs_appends, before);
+    }
+}

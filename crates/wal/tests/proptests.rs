@@ -1,0 +1,119 @@
+//! Property tests on the log: arbitrary batch shapes and segment sizes
+//! round-trip through append → point-read → scan, and every pointer the
+//! writer returns resolves to its entry.
+
+use logbase_common::{Record, Timestamp};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_wal::{scan_log, LogConfig, LogEntryKind, LogWriter};
+use proptest::prelude::*;
+
+fn kind_of(key: Vec<u8>, ts: u64, value: Vec<u8>, tombstone: bool) -> LogEntryKind {
+    let record = if tombstone {
+        Record::tombstone(key, 0, Timestamp(ts))
+    } else {
+        Record::put(key, 0, Timestamp(ts), value)
+    };
+    LogEntryKind::Write {
+        txn_id: 0,
+        tablet: 0,
+        record,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Batches of arbitrary sizes, tiny rotating segments: LSNs are
+    /// dense, pointers resolve, scans return everything in order.
+    #[test]
+    fn prop_log_round_trip(
+        segment_bytes in 64u64..2048,
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..16),
+                 any::<u64>(),
+                 proptest::collection::vec(any::<u8>(), 0..48),
+                 any::<bool>()),
+                1..8),
+            1..12),
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let writer = LogWriter::create(
+            dfs.clone(),
+            LogConfig::new("p/log").with_segment_bytes(segment_bytes),
+        )
+        .unwrap();
+        let mut expected = Vec::new();
+        let mut positions = Vec::new();
+        for batch in &batches {
+            let entries: Vec<(String, LogEntryKind)> = batch
+                .iter()
+                .map(|(k, ts, v, tomb)| {
+                    ("t".to_string(), kind_of(k.clone(), *ts, v.clone(), *tomb))
+                })
+                .collect();
+            let pos = writer.append_batch(&entries).unwrap();
+            prop_assert_eq!(pos.len(), entries.len());
+            positions.extend(pos.iter().map(|(_, p)| *p));
+            expected.extend(entries.into_iter().map(|(_, k)| k));
+        }
+        // LSNs are dense starting at 1.
+        prop_assert_eq!(writer.next_lsn().0, expected.len() as u64 + 1);
+
+        // Every pointer resolves to its entry.
+        for (ptr, kind) in positions.iter().zip(&expected) {
+            let entry = logbase_wal::read_entry(&dfs, "p/log", *ptr).unwrap();
+            prop_assert_eq!(&entry.kind, kind);
+        }
+
+        // A full scan returns everything, in order, with matching LSNs.
+        let mut scanned = Vec::new();
+        scan_log(&dfs, "p/log", 0, 0, |ptr, entry| {
+            scanned.push((ptr, entry));
+            Ok(())
+        })
+        .unwrap();
+        prop_assert_eq!(scanned.len(), expected.len());
+        for (i, ((ptr, entry), kind)) in scanned.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(entry.lsn.0, i as u64 + 1);
+            prop_assert_eq!(&entry.kind, kind);
+            prop_assert_eq!(ptr, &positions[i]);
+        }
+    }
+
+    /// Reopening mid-stream preserves positions: entries written before
+    /// and after a reopen all scan back.
+    #[test]
+    fn prop_reopen_preserves_log(
+        first in 1usize..20,
+        second in 1usize..20,
+        segment_bytes in 64u64..512,
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let config = LogConfig::new("p/log").with_segment_bytes(segment_bytes);
+        let writer = LogWriter::create(dfs.clone(), config.clone()).unwrap();
+        for i in 0..first {
+            writer
+                .append("t", kind_of(vec![i as u8], i as u64, vec![7; 8], false))
+                .unwrap();
+        }
+        let next = writer.next_lsn();
+        drop(writer);
+        let writer = LogWriter::reopen(dfs.clone(), config, next).unwrap();
+        for i in 0..second {
+            writer
+                .append("t", kind_of(vec![i as u8], i as u64, vec![9; 8], false))
+                .unwrap();
+        }
+        let mut count = 0;
+        let mut last_lsn = 0;
+        scan_log(&dfs, "p/log", 0, 0, |_, entry| {
+            count += 1;
+            assert!(entry.lsn.0 > last_lsn, "LSNs must increase");
+            last_lsn = entry.lsn.0;
+            Ok(())
+        })
+        .unwrap();
+        prop_assert_eq!(count, first + second);
+    }
+}

@@ -1,0 +1,46 @@
+//! Benchmark workload generators (paper §4.1, §4.3, §4.4).
+//!
+//! - [`zipf::Zipfian`] / [`zipf::ScrambledZipfian`] — the YCSB key
+//!   distribution (θ = 1.0 by default, keys drawn from a 2·10⁹ domain).
+//! - [`ycsb`] — the YCSB-style benchmark: a load phase of sequential
+//!   1 KB-record inserts and an experiment phase mixing reads and
+//!   updates (the paper runs 95% and 75% update mixes).
+//! - [`tpcw`] — the TPC-W-style webshop model: browsing (5% update),
+//!   shopping (20%) and ordering (50%) mixes over item / customer /
+//!   cart / orders tables; a read-only transaction reads an item's
+//!   detail, an update transaction reads a cart and writes an order.
+
+pub mod tpcw;
+pub mod ycsb;
+pub mod zipf;
+
+use logbase_common::RowKey;
+
+/// Encode a numeric benchmark key as the 8-byte big-endian row key used
+/// throughout the workloads (order-preserving, so range partitioning by
+/// key value works).
+pub fn encode_key(k: u64) -> RowKey {
+    RowKey::copy_from_slice(&k.to_be_bytes())
+}
+
+/// Decode [`encode_key`].
+pub fn decode_key(bytes: &[u8]) -> Option<u64> {
+    bytes.try_into().ok().map(u64::from_be_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_codec_round_trip_preserves_order() {
+        let ks = [0u64, 1, 255, 1 << 20, u64::MAX];
+        for w in ks.windows(2) {
+            assert!(encode_key(w[0]) < encode_key(w[1]));
+        }
+        for k in ks {
+            assert_eq!(decode_key(&encode_key(k)), Some(k));
+        }
+        assert_eq!(decode_key(b"short"), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! TPC-W-style webshop workload (paper §4.4).
+//!
+//! Three mixes with 5% / 20% / 50% update transactions. "A read-only
+//! transaction performs one read operation to query the details of a
+//! product in the item table while an update transaction executes an
+//! order request which bundles one read operation to retrieve the
+//! user's shopping cart and one write operation into the orders table."
+
+use logbase_common::{RowKey, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three TPC-W mixes the paper runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 5% update transactions.
+    Browsing,
+    /// 20% update transactions.
+    Shopping,
+    /// 50% update transactions.
+    Ordering,
+}
+
+impl Mix {
+    /// Update-transaction fraction of the mix.
+    pub fn update_fraction(self) -> f64 {
+        match self {
+            Mix::Browsing => 0.05,
+            Mix::Shopping => 0.20,
+            Mix::Ordering => 0.50,
+        }
+    }
+
+    /// Human-readable mix name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mix::Browsing => "browsing",
+            Mix::Shopping => "shopping",
+            Mix::Ordering => "ordering",
+        }
+    }
+
+    /// All three mixes, paper order.
+    pub fn all() -> [Mix; 3] {
+        [Mix::Browsing, Mix::Shopping, Mix::Ordering]
+    }
+}
+
+/// One TPC-W transaction request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TpcwTxn {
+    /// Read-only: fetch an item's detail row.
+    ProductDetail {
+        /// Item key.
+        item: RowKey,
+    },
+    /// Update: read the customer's cart, write an order.
+    PlaceOrder {
+        /// Cart key to read.
+        cart: RowKey,
+        /// Order key to write.
+        order: RowKey,
+        /// Serialized order payload.
+        payload: Value,
+    },
+}
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct TpcwConfig {
+    /// Products loaded per node (paper: 1 M).
+    pub items: u64,
+    /// Customers (each owns one cart) loaded per node.
+    pub customers: u64,
+    /// Order payload size.
+    pub payload_bytes: usize,
+    /// Mix in effect.
+    pub mix: Mix,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpcwConfig {
+    /// Paper-shaped configuration scaled to `items` products.
+    pub fn new(items: u64, mix: Mix) -> Self {
+        TpcwConfig {
+            items,
+            customers: items / 10 + 1,
+            payload_bytes: 256,
+            mix,
+            seed: 0x7bc_57bc,
+        }
+    }
+}
+
+/// Table names used by the TPC-W schema.
+pub mod tables {
+    /// Product catalogue.
+    pub const ITEM: &str = "item";
+    /// Customer profiles.
+    pub const CUSTOMER: &str = "customer";
+    /// Shopping carts (one per customer).
+    pub const CART: &str = "cart";
+    /// Completed orders.
+    pub const ORDERS: &str = "orders";
+}
+
+/// Deterministic TPC-W-style generator.
+pub struct TpcwWorkload {
+    config: TpcwConfig,
+    rng: StdRng,
+    next_order: u64,
+}
+
+impl TpcwWorkload {
+    /// Build a generator.
+    pub fn new(config: TpcwConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        TpcwWorkload {
+            config,
+            rng,
+            next_order: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TpcwConfig {
+        &self.config
+    }
+
+    /// Item keys loaded before the run.
+    pub fn item_keys(&self) -> impl Iterator<Item = RowKey> + '_ {
+        (0..self.config.items).map(crate::encode_key)
+    }
+
+    /// Customer keys (cart keys are identical: one cart per customer,
+    /// sharing the customer's key prefix per the paper's entity-group
+    /// partitioning, §3.2).
+    pub fn customer_keys(&self) -> impl Iterator<Item = RowKey> + '_ {
+        (0..self.config.customers).map(crate::encode_key)
+    }
+
+    /// Synthetic item detail payload.
+    pub fn item_payload(&mut self) -> Value {
+        let mut v = vec![0u8; self.config.payload_bytes];
+        self.rng.fill(&mut v[..]);
+        Value::from(v)
+    }
+
+    /// Draw the next transaction request.
+    pub fn next_txn(&mut self, node_id: u64) -> TpcwTxn {
+        if self.rng.gen::<f64>() < self.config.mix.update_fraction() {
+            let customer = self.rng.gen_range(0..self.config.customers);
+            let order_id = self.next_order;
+            self.next_order += 1;
+            let mut payload = vec![0u8; self.config.payload_bytes];
+            self.rng.fill(&mut payload[..]);
+            TpcwTxn::PlaceOrder {
+                cart: crate::encode_key(customer),
+                // Order keys embed the node id so concurrent clients on
+                // different nodes never collide.
+                order: crate::encode_key(node_id << 40 | order_id),
+                payload: Value::from(payload),
+            }
+        } else {
+            TpcwTxn::ProductDetail {
+                item: crate::encode_key(self.rng.gen_range(0..self.config.items)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_match_paper() {
+        assert_eq!(Mix::Browsing.update_fraction(), 0.05);
+        assert_eq!(Mix::Shopping.update_fraction(), 0.20);
+        assert_eq!(Mix::Ordering.update_fraction(), 0.50);
+        assert_eq!(Mix::all().len(), 3);
+    }
+
+    #[test]
+    fn generated_mix_approximates_target() {
+        for mix in Mix::all() {
+            let mut w = TpcwWorkload::new(TpcwConfig::new(1000, mix));
+            let n = 20_000;
+            let updates = (0..n)
+                .filter(|_| matches!(w.next_txn(0), TpcwTxn::PlaceOrder { .. }))
+                .count();
+            let frac = updates as f64 / f64::from(n);
+            let target = mix.update_fraction();
+            assert!(
+                (frac - target).abs() < 0.02,
+                "{}: got {frac}, want {target}",
+                mix.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reads_reference_loaded_items() {
+        let mut w = TpcwWorkload::new(TpcwConfig::new(100, Mix::Browsing));
+        let items: std::collections::HashSet<RowKey> = w.item_keys().collect();
+        for _ in 0..1000 {
+            if let TpcwTxn::ProductDetail { item } = w.next_txn(0) {
+                assert!(items.contains(&item));
+            }
+        }
+    }
+
+    #[test]
+    fn order_keys_are_unique_across_nodes() {
+        let mut w1 = TpcwWorkload::new(TpcwConfig::new(100, Mix::Ordering));
+        let mut w2 = TpcwWorkload::new(TpcwConfig::new(100, Mix::Ordering));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            for (node, w) in [(1u64, &mut w1), (2u64, &mut w2)] {
+                if let TpcwTxn::PlaceOrder { order, .. } = w.next_txn(node) {
+                    assert!(seen.insert(order), "duplicate order key");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carts_reference_loaded_customers() {
+        let mut w = TpcwWorkload::new(TpcwConfig::new(100, Mix::Ordering));
+        let customers: std::collections::HashSet<RowKey> = w.customer_keys().collect();
+        for _ in 0..1000 {
+            if let TpcwTxn::PlaceOrder { cart, .. } = w.next_txn(0) {
+                assert!(customers.contains(&cart));
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! YCSB-style workload (paper §4.1, §4.3).
+
+use crate::zipf::ScrambledZipfian;
+use logbase_common::config::YCSB_MAX_KEY;
+use logbase_common::{RowKey, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Point read of `key`.
+    Read(RowKey),
+    /// Update `key` with `value`.
+    Update(RowKey, Value),
+}
+
+/// YCSB-style configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Records inserted in the load phase (paper: 1 M per node).
+    pub record_count: u64,
+    /// Key domain the records scatter over (paper: 2·10⁹).
+    pub key_domain: u64,
+    /// Value payload size (paper: 1 KB).
+    pub value_bytes: usize,
+    /// Fraction of updates in the experiment mix (paper: 0.95 / 0.75).
+    pub update_fraction: f64,
+    /// Zipfian skew (paper: 1.0).
+    pub zipf_theta: f64,
+    /// RNG seed (deterministic workloads for reproducibility).
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// Paper-shaped configuration scaled to `record_count` records.
+    pub fn new(record_count: u64, update_fraction: f64) -> Self {
+        YcsbConfig {
+            record_count,
+            key_domain: YCSB_MAX_KEY,
+            value_bytes: logbase_common::config::DEFAULT_RECORD_BYTES,
+            update_fraction,
+            zipf_theta: 1.0,
+            seed: 0x0106_ba5e,
+        }
+    }
+}
+
+/// Deterministic YCSB-style generator.
+pub struct YcsbWorkload {
+    config: YcsbConfig,
+    dist: ScrambledZipfian,
+    rng: StdRng,
+}
+
+impl YcsbWorkload {
+    /// Build a generator from `config`.
+    pub fn new(config: YcsbConfig) -> Self {
+        let dist = ScrambledZipfian::new(
+            config.record_count.max(1),
+            config.key_domain,
+            config.zipf_theta,
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        YcsbWorkload { config, dist, rng }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// Keys of the load phase, in insertion order. Every key drawn by
+    /// the experiment phase is one of these.
+    pub fn load_keys(&self) -> impl Iterator<Item = RowKey> + '_ {
+        (0..self.config.record_count).map(|i| crate::encode_key(self.dist.key_of_item(i)))
+    }
+
+    /// A fresh payload for one record.
+    pub fn make_value(&mut self) -> Value {
+        let mut v = vec![0u8; self.config.value_bytes];
+        self.rng.fill(&mut v[..]);
+        Value::from(v)
+    }
+
+    /// Draw the next experiment-phase operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = crate::encode_key(self.dist.sample(&mut self.rng));
+        if self.rng.gen::<f64>() < self.config.update_fraction {
+            let mut v = vec![0u8; self.config.value_bytes];
+            self.rng.fill(&mut v[..]);
+            Op::Update(key, Value::from(v))
+        } else {
+            Op::Read(key)
+        }
+    }
+
+    /// Draw a batch of operations.
+    pub fn ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_keys_are_unique_enough_and_in_domain() {
+        let w = YcsbWorkload::new(YcsbConfig::new(10_000, 0.95));
+        let keys: Vec<RowKey> = w.load_keys().collect();
+        assert_eq!(keys.len(), 10_000);
+        let distinct: std::collections::HashSet<&RowKey> = keys.iter().collect();
+        // FNV over 2e9 domain: collisions are rare but possible.
+        assert!(distinct.len() as f64 > 0.99 * keys.len() as f64);
+        for k in &keys {
+            assert!(crate::decode_key(k).unwrap() < YCSB_MAX_KEY);
+        }
+    }
+
+    #[test]
+    fn mix_fraction_is_respected() {
+        let mut w = YcsbWorkload::new(YcsbConfig::new(1000, 0.75));
+        let ops = w.ops(10_000);
+        let updates = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Update(_, _)))
+            .count();
+        let frac = updates as f64 / ops.len() as f64;
+        assert!((0.72..0.78).contains(&frac), "update fraction {frac}");
+    }
+
+    #[test]
+    fn experiment_keys_come_from_the_loaded_set() {
+        let mut w = YcsbWorkload::new(YcsbConfig::new(500, 0.5));
+        let loaded: std::collections::HashSet<RowKey> = w.load_keys().collect();
+        for op in w.ops(2_000) {
+            let key = match op {
+                Op::Read(k) | Op::Update(k, _) => k,
+            };
+            assert!(loaded.contains(&key));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let a: Vec<Op> = YcsbWorkload::new(YcsbConfig::new(100, 0.5)).ops(100);
+        let b: Vec<Op> = YcsbWorkload::new(YcsbConfig::new(100, 0.5)).ops(100);
+        assert_eq!(a, b);
+        let mut other_seed = YcsbConfig::new(100, 0.5);
+        other_seed.seed = 99;
+        let c: Vec<Op> = YcsbWorkload::new(other_seed).ops(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_have_configured_size() {
+        let mut w = YcsbWorkload::new(YcsbConfig::new(10, 1.0));
+        assert_eq!(w.make_value().len(), 1024);
+        for op in w.ops(50) {
+            if let Op::Update(_, v) = op {
+                assert_eq!(v.len(), 1024);
+            }
+        }
+    }
+}

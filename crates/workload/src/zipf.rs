@@ -1,0 +1,198 @@
+//! Zipfian key sampling (the YCSB generator of Gray et al.).
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew `theta` (YCSB default
+/// 0.99; the paper sets the coefficient to 1.0 — values ≥ 1 are clamped
+/// just below 1 as in the YCSB implementation, where θ must be < 1).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum is fine at benchmark scales (n ≤ a few million); for
+    // the paper's 2·10⁹ domain the scrambled generator draws from a
+    // smaller logical domain and hashes outward.
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// Distribution over `0..n` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        let theta = theta.clamp(0.0, 0.9999);
+        let zetan = zeta(n, theta);
+        let zeta2theta = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
+    }
+
+    /// Draw one sample in `0..n` (0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Effective skew after clamping.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Internal zeta(2, θ) — exposed for tests.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// FNV-1a based scrambling, spreading the zipfian head uniformly over a
+/// large key domain (YCSB's "scrambled zipfian").
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    key_domain: u64,
+}
+
+impl ScrambledZipfian {
+    /// `item_count` logical items scattered over `0..key_domain`.
+    pub fn new(item_count: u64, key_domain: u64, theta: f64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(item_count, theta),
+            key_domain: key_domain.max(1),
+        }
+    }
+
+    /// Draw a scrambled key in `0..key_domain`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let item = self.inner.sample(rng);
+        fnv64(item) % self.key_domain
+    }
+
+    /// Deterministically map logical item `i` to its key (the load phase
+    /// inserts exactly these keys so experiment-phase reads always hit).
+    pub fn key_of_item(&self, item: u64) -> u64 {
+        fnv64(item) % self.key_domain
+    }
+
+    /// Logical item count.
+    pub fn item_count(&self) -> u64 {
+        self.inner.domain()
+    }
+}
+
+fn fnv64(v: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_head() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut head = 0u32;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With θ≈1, the top 1% of items draw well over a third of
+        // accesses (uniform would give 1%).
+        let frac = f64::from(head) / f64::from(draws);
+        assert!(frac > 0.35, "head fraction too small: {frac}");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipfian::new(100, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            f64::from(max) / f64::from(min.max(1)) < 2.0,
+            "uniform draw too skewed: min={min} max={max}"
+        );
+    }
+
+    #[test]
+    fn paper_theta_clamps_below_one() {
+        let z = Zipfian::new(100, 1.0);
+        assert!(z.theta() < 1.0);
+    }
+
+    #[test]
+    fn scrambled_spreads_over_key_domain() {
+        let s = ScrambledZipfian::new(1000, 2_000_000_000, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut below_half = 0u32;
+        for _ in 0..10_000 {
+            let k = s.sample(&mut rng);
+            assert!(k < 2_000_000_000);
+            if k < 1_000_000_000 {
+                below_half += 1;
+            }
+        }
+        // Scrambling decorrelates popularity from key order.
+        assert!((3000..7000).contains(&below_half));
+    }
+
+    #[test]
+    fn scrambled_samples_always_land_on_loadable_keys() {
+        let s = ScrambledZipfian::new(500, 1 << 40, 1.0);
+        let loaded: std::collections::HashSet<u64> =
+            (0..500).map(|i| s.key_of_item(i)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..5_000 {
+            assert!(loaded.contains(&s.sample(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Differential testing: LogBase, the HBase model and LRS must agree
+//! with each other and with a plain map model on any operation sequence
+//! (property-based).
+
+use logbase_bytes_shim::*;
+
+// Small shim module so the proptest body below stays readable.
+mod logbase_bytes_shim {
+    pub use logbase_common::engine::StorageEngine;
+    pub use logbase_common::schema::KeyRange;
+    pub use logbase_common::{RowKey, Value};
+}
+
+use logbase::server::LogBaseEngine;
+use logbase::{ServerConfig, TabletServer};
+use logbase_common::schema::TableSchema;
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_hbase_model::{HBaseConfig, HBaseEngine};
+use logbase_lrs::{LrsConfig, LrsEngine};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Get(u8),
+    Scan(u8, u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..24))
+            .prop_map(|(k, v)| Action::Put(k, v)),
+        1 => any::<u8>().prop_map(Action::Delete),
+        2 => any::<u8>().prop_map(Action::Get),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Action::Scan(a.min(b), a.max(b))),
+    ]
+}
+
+fn engines() -> Vec<Arc<dyn StorageEngine>> {
+    let mut out: Vec<Arc<dyn StorageEngine>> = Vec::new();
+    {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let server = TabletServer::create(dfs, ServerConfig::new("eq-lb")).unwrap();
+        server
+            .create_table(TableSchema::single_group("t", &["v"]))
+            .unwrap();
+        out.push(Arc::new(LogBaseEngine::new(server, "t")));
+    }
+    {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        out.push(
+            HBaseEngine::create(
+                dfs,
+                HBaseConfig::new("eq-hb").with_flush_bytes(2048), // force flushes
+            )
+            .unwrap(),
+        );
+    }
+    {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let mut config = LrsConfig::new("eq-lrs");
+        config.index_write_buffer = 2048; // force LSM spills
+        out.push(LrsEngine::create(dfs, config).unwrap());
+    }
+    out
+}
+
+fn key_of(k: u8) -> RowKey {
+    RowKey::from(vec![b'k', k])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case builds three engines; keep the suite quick
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_engines_agree_with_model(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let engines = engines();
+        let mut model: BTreeMap<RowKey, Value> = BTreeMap::new();
+        for action in &actions {
+            match action {
+                Action::Put(k, v) => {
+                    let value = Value::from(v.clone());
+                    for e in &engines {
+                        e.put(0, key_of(*k), value.clone()).unwrap();
+                    }
+                    model.insert(key_of(*k), value);
+                }
+                Action::Delete(k) => {
+                    for e in &engines {
+                        e.delete(0, &key_of(*k)).unwrap();
+                    }
+                    model.remove(&key_of(*k));
+                }
+                Action::Get(k) => {
+                    let expect = model.get(&key_of(*k));
+                    for e in &engines {
+                        let got = e.get(0, &key_of(*k)).unwrap();
+                        prop_assert_eq!(
+                            got.as_ref(), expect,
+                            "{} diverged on get({})", e.engine_name(), k
+                        );
+                    }
+                }
+                Action::Scan(a, b) => {
+                    let range = KeyRange::new(key_of(*a), key_of(*b));
+                    let expect: Vec<(&RowKey, &Value)> = model
+                        .range(key_of(*a)..key_of(*b))
+                        .collect();
+                    for e in &engines {
+                        let got = e.range_scan(0, &range, usize::MAX).unwrap();
+                        prop_assert_eq!(
+                            got.len(), expect.len(),
+                            "{} scan length diverged", e.engine_name()
+                        );
+                        for ((gk, _, gv), (mk, mv)) in got.iter().zip(&expect) {
+                            prop_assert_eq!(gk, *mk, "{} scan key order", e.engine_name());
+                            prop_assert_eq!(gv, *mv, "{} scan value", e.engine_name());
+                        }
+                    }
+                }
+            }
+        }
+        // Final full-state comparison.
+        for e in &engines {
+            let got = e.range_scan(0, &KeyRange::all(), usize::MAX).unwrap();
+            prop_assert_eq!(got.len(), model.len(), "{} final size", e.engine_name());
+        }
+    }
+}
+
+/// Multiversion reads agree between LogBase and LRS (both keep full
+/// version history; the HBase model does too but through data files).
+#[test]
+fn multiversion_reads_agree_across_engines() {
+    let engines = engines();
+    // Interleave writes so every engine assigns the same sequence of
+    // version numbers (each has its own oracle starting at 1).
+    let mut history: Vec<(u64, RowKey, Value)> = Vec::new();
+    for round in 0..30u64 {
+        let key = key_of((round % 5) as u8);
+        let value = Value::from(format!("v{round}").into_bytes());
+        for e in &engines {
+            let ts = e.put(0, key.clone(), value.clone()).unwrap();
+            assert_eq!(ts.0, round + 1, "{} timestamps drifted", e.engine_name());
+        }
+        history.push((round + 1, key, value));
+    }
+    for (ts, key, value) in &history {
+        for e in &engines {
+            let got = e
+                .get_at(0, key, logbase_common::Timestamp(*ts))
+                .unwrap()
+                .unwrap_or_else(|| panic!("{}: missing version {ts}", e.engine_name()));
+            assert_eq!(&got, value, "{} version {ts} diverged", e.engine_name());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's four numbered guarantees (§3.4, §3.7, §3.8), each as an
+//! executable test.
+
+use logbase::{ServerConfig, TabletServer, TxnManager};
+use logbase_common::schema::TableSchema;
+use logbase_common::{Error, Value};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_workload::encode_key;
+use std::sync::Arc;
+
+fn server(dfs: &Dfs) -> Arc<TabletServer> {
+    let s = TabletServer::create(dfs.clone(), ServerConfig::new("srv")).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s
+}
+
+/// Guarantee 1 (stable storage): the log-only approach recovers from
+/// machine failures as well as WAL+Data — every acknowledged write is
+/// replicated n ways and survives both a data-node loss and a tablet
+/// server crash.
+#[test]
+fn guarantee_1_stable_storage() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    {
+        let s = server(&dfs);
+        for i in 0..100u64 {
+            // `put` returning implies the bytes reached all 3 replicas.
+            s.put("t", 0, encode_key(i), Value::from(format!("v{i}").into_bytes()))
+                .unwrap();
+        }
+    }
+    // One data node dies AND the server crashes.
+    dfs.kill_node(1);
+    let s = TabletServer::open(dfs, ServerConfig::new("srv")).unwrap();
+    for i in 0..100u64 {
+        assert_eq!(
+            s.get("t", 0, &encode_key(i)).unwrap().unwrap(),
+            Value::from(format!("v{i}").into_bytes())
+        );
+    }
+}
+
+/// Guarantee 2 (isolation): MVOCC provides snapshot isolation — the
+/// inconsistent-read and inconsistent-write phenomena are prevented;
+/// write skew is (by SI's definition) admitted.
+#[test]
+fn guarantee_2_snapshot_isolation() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let s = server(&dfs);
+    s.put("t", 0, encode_key(1), Value::from_static(b"x0")).unwrap();
+    s.put("t", 0, encode_key(2), Value::from_static(b"y0")).unwrap();
+
+    // Dirty read: T2 must not see T1's uncommitted write.
+    let mut t1 = TxnManager::begin(&s);
+    TxnManager::write(&mut t1, "t", 0, encode_key(1), "x1-uncommitted");
+    let mut t2 = TxnManager::begin(&s);
+    assert_eq!(
+        TxnManager::read(&s, &mut t2, "t", 0, &encode_key(1)).unwrap(),
+        Some(Value::from_static(b"x0"))
+    );
+    TxnManager::abort(&s, t1);
+    TxnManager::commit(&s, t2).unwrap();
+
+    // Fuzzy read: repeated reads in one txn see one snapshot.
+    let mut t3 = TxnManager::begin(&s);
+    let first = TxnManager::read(&s, &mut t3, "t", 0, &encode_key(1)).unwrap();
+    s.put("t", 0, encode_key(1), Value::from_static(b"x-new")).unwrap();
+    let second = TxnManager::read(&s, &mut t3, "t", 0, &encode_key(1)).unwrap();
+    assert_eq!(first, second);
+
+    // Lost update: first committer wins, the second aborts.
+    let mut ta = TxnManager::begin(&s);
+    let mut tb = TxnManager::begin(&s);
+    TxnManager::read(&s, &mut ta, "t", 0, &encode_key(2)).unwrap();
+    TxnManager::read(&s, &mut tb, "t", 0, &encode_key(2)).unwrap();
+    TxnManager::write(&mut ta, "t", 0, encode_key(2), "a");
+    TxnManager::write(&mut tb, "t", 0, encode_key(2), "b");
+    TxnManager::commit(&s, ta).unwrap();
+    assert!(matches!(
+        TxnManager::commit(&s, tb),
+        Err(Error::TxnConflict { .. })
+    ));
+
+    // Write skew: SI admits it (documented semantics).
+    let mut tc = TxnManager::begin(&s);
+    let mut td = TxnManager::begin(&s);
+    TxnManager::read(&s, &mut tc, "t", 0, &encode_key(1)).unwrap();
+    TxnManager::read(&s, &mut td, "t", 0, &encode_key(2)).unwrap();
+    TxnManager::write(&mut tc, "t", 0, encode_key(2), "skew-c");
+    TxnManager::write(&mut td, "t", 0, encode_key(1), "skew-d");
+    TxnManager::commit(&s, tc).unwrap();
+    TxnManager::commit(&s, td).unwrap();
+}
+
+/// Guarantee 3 (atomicity): all or none of a transaction's writes become
+/// visible — a persisted write without its commit record stays invisible
+/// through recovery, and scans never return uncommitted data.
+#[test]
+fn guarantee_3_atomicity() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    {
+        let s = server(&dfs);
+        // A committed multi-record transaction.
+        let mut txn = TxnManager::begin(&s);
+        for i in 0..5u64 {
+            TxnManager::write(&mut txn, "t", 0, encode_key(i), "committed");
+        }
+        TxnManager::commit(&s, txn).unwrap();
+        // Forge the crash window: writes persisted, commit record not.
+        for i in 10..15u64 {
+            s.log_for_tests()
+                .append(
+                    "t",
+                    logbase_wal_kind(i, s.oracle().next()),
+                )
+                .unwrap();
+        }
+    }
+    let s = TabletServer::open(dfs, ServerConfig::new("srv")).unwrap();
+    for i in 0..5u64 {
+        assert!(s.get("t", 0, &encode_key(i)).unwrap().is_some());
+    }
+    for i in 10..15u64 {
+        assert!(
+            s.get("t", 0, &encode_key(i)).unwrap().is_none(),
+            "uncommitted write {i} leaked"
+        );
+    }
+    // Scans agree.
+    let scan = s
+        .range_scan("t", 0, &logbase_common::schema::KeyRange::all(), usize::MAX)
+        .unwrap();
+    assert_eq!(scan.len(), 5);
+}
+
+fn logbase_wal_kind(i: u64, ts: logbase_common::Timestamp) -> logbase_wal::LogEntryKind {
+    logbase_wal::LogEntryKind::Write {
+        txn_id: 999,
+        tablet: 0,
+        record: logbase_common::Record::put(encode_key(i), 0, ts, Value::from_static(b"ghost")),
+    }
+}
+
+/// Guarantee 4 (durability): every modification confirmed to a user is
+/// persistent — across checkpoints, compaction and repeated restarts.
+#[test]
+fn guarantee_4_durability() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let mut acked: Vec<(u64, String)> = Vec::new();
+    {
+        let s = server(&dfs);
+        for i in 0..60u64 {
+            let v = format!("value-{i}");
+            s.put("t", 0, encode_key(i), Value::from(v.clone().into_bytes()))
+                .unwrap();
+            acked.push((i, v));
+            match i {
+                20 => {
+                    s.checkpoint().unwrap();
+                }
+                40 => {
+                    s.compact().unwrap();
+                }
+                _ => {}
+            }
+        }
+    }
+    // Two crash/restart cycles.
+    for _ in 0..2 {
+        let s = TabletServer::open(dfs.clone(), ServerConfig::new("srv")).unwrap();
+        for (i, v) in &acked {
+            assert_eq!(
+                s.get("t", 0, &encode_key(*i)).unwrap().unwrap(),
+                Value::from(v.clone().into_bytes()),
+                "acked write {i} lost"
+            );
+        }
+    }
+}
