@@ -77,18 +77,36 @@ fn main() {
         };
     }
 
-    attempt!("fig6", micro::fig6_sequential_write(&scale).map(|f| vec![f]));
-    attempt!("fig7", micro::fig7_random_read_cold(&scale).map(|f| vec![f]));
-    attempt!("fig8", micro::fig8_random_read_cached(&scale).map(|f| vec![f]));
+    attempt!(
+        "fig6",
+        micro::fig6_sequential_write(&scale).map(|f| vec![f])
+    );
+    attempt!(
+        "fig7",
+        micro::fig7_random_read_cold(&scale).map(|f| vec![f])
+    );
+    attempt!(
+        "fig8",
+        micro::fig8_random_read_cached(&scale).map(|f| vec![f])
+    );
     attempt!("fig9", micro::fig9_sequential_scan(&scale).map(|f| vec![f]));
     attempt!("fig10", micro::fig10_range_scan(&scale).map(|f| vec![f]));
     attempt!("fig11", cluster::fig11_load_time(&scale).map(|f| vec![f]));
     attempt!("fig12", cluster::fig12_13_14_mixed(&scale));
     attempt!("fig15", tpcw::fig15_16_tpcw(&scale));
-    attempt!("fig17", recovery::fig17_checkpoint_cost(&scale).map(|f| vec![f]));
-    attempt!("fig18", recovery::fig18_recovery_time(&scale).map(|f| vec![f]));
+    attempt!(
+        "fig17",
+        recovery::fig17_checkpoint_cost(&scale).map(|f| vec![f])
+    );
+    attempt!(
+        "fig18",
+        recovery::fig18_recovery_time(&scale).map(|f| vec![f])
+    );
     attempt!("fig19", micro::fig19_20_21_vs_lrs(&scale));
-    attempt!("fig22", cluster::fig22_lrs_throughput(&scale).map(|f| vec![f]));
+    attempt!(
+        "fig22",
+        cluster::fig22_lrs_throughput(&scale).map(|f| vec![f])
+    );
     attempt!("ablations", ablation::all(&scale));
 
     eprintln!("total: {:.1?}", started.elapsed());

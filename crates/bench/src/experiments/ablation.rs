@@ -6,12 +6,12 @@
 use crate::report::Figure;
 use crate::setup::{Scale, SingleNode, BENCH_TABLE};
 use logbase::spill::SpillConfig;
+use logbase::GroupCommitConfig;
 use logbase::{ServerConfig, TabletServer};
 use logbase_common::cache::{Cache, FifoPolicy, LruPolicy};
 use logbase_common::schema::{KeyRange, TableSchema};
 use logbase_common::{Result, Value};
 use logbase_dfs::{Dfs, DfsConfig};
-use logbase::GroupCommitConfig;
 use logbase_workload::zipf::Zipfian;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,7 +138,12 @@ pub fn ablation_spill(scale: &Scale) -> Result<Figure> {
         let value = Value::from(vec![0u8; scale.value_bytes]);
         let t = Instant::now();
         for i in 0..n {
-            server.put(BENCH_TABLE, 0, logbase_workload::encode_key(i), value.clone())?;
+            server.put(
+                BENCH_TABLE,
+                0,
+                logbase_workload::encode_key(i),
+                value.clone(),
+            )?;
         }
         fig.push(name, "write", t.elapsed().as_secs_f64(), "sec");
         let mut rng = StdRng::seed_from_u64(10);
@@ -177,7 +182,12 @@ pub fn ablation_log_per_group(scale: &Scale) -> Result<Figure> {
             let key = logbase_workload::encode_key(i);
             server.put(BENCH_TABLE, (i % 2) as u16, key, value.clone())?;
         }
-        fig.push("single log", format!("{n} writes"), t.elapsed().as_secs_f64(), "sec");
+        fig.push(
+            "single log",
+            format!("{n} writes"),
+            t.elapsed().as_secs_f64(),
+            "sec",
+        );
         let appends = dfs.metrics().snapshot().dfs_appends;
         fig.push("single log", "dfs appends", appends as f64, "count");
     }
@@ -233,7 +243,12 @@ pub fn ablation_scan_coalescing(scale: &Scale) -> Result<Figure> {
         };
         let value = Value::from(vec![0u8; scale.value_bytes]);
         for i in 0..n {
-            server.put(BENCH_TABLE, 0, logbase_workload::encode_key(i), value.clone())?;
+            server.put(
+                BENCH_TABLE,
+                0,
+                logbase_workload::encode_key(i),
+                value.clone(),
+            )?;
         }
         server.compact()?;
         let t = Instant::now();

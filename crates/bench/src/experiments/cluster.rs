@@ -54,11 +54,7 @@ pub fn fig11_load_time(scale: &Scale) -> Result<Figure> {
 
 /// One mixed-workload run: per-node client threads issue `ops` each.
 /// Returns `(ops/sec, avg update ms, avg read ms)`.
-fn run_mixed(
-    cluster: &Cluster,
-    scale: &Scale,
-    update_fraction: f64,
-) -> Result<(f64, f64, f64)> {
+fn run_mixed(cluster: &Cluster, scale: &Scale, update_fraction: f64) -> Result<(f64, f64, f64)> {
     let nodes = cluster.nodes();
     let update_ns = AtomicU64::new(0);
     let update_count = AtomicU64::new(0);
@@ -227,10 +223,7 @@ mod tests {
         let scale = Scale::tiny();
         let fig = fig22_lrs_throughput(&scale).unwrap();
         for series in ["LogBase write", "LogBase read", "LRS write", "LRS read"] {
-            assert!(
-                fig.series_total(series) > 0.0,
-                "missing series {series}"
-            );
+            assert!(fig.series_total(series) > 0.0, "missing series {series}");
         }
     }
 }

@@ -152,7 +152,12 @@ pub fn fig9_sequential_scan(scale: &Scale) -> Result<Figure> {
         let t = Instant::now();
         let scanned = logbase.engine.full_scan(0)?;
         fig.push("LogBase", &label, t.elapsed().as_secs_f64(), "sec");
-        let lb_bytes = logbase.dfs.metrics().snapshot().delta_since(&m0).seq_bytes_read;
+        let lb_bytes = logbase
+            .dfs
+            .metrics()
+            .snapshot()
+            .delta_since(&m0)
+            .seq_bytes_read;
         assert_eq!(scanned, n, "LogBase scan missed records");
 
         let hbase = SingleNode::hbase(scale.hbase_flush_bytes(n), 16 << 20)?;
@@ -168,7 +173,12 @@ pub fn fig9_sequential_scan(scale: &Scale) -> Result<Figure> {
             .snapshot()
             .delta_since(&m0)
             .seq_bytes_read
-            + hbase.dfs.metrics().snapshot().delta_since(&m0).rand_bytes_read;
+            + hbase
+                .dfs
+                .metrics()
+                .snapshot()
+                .delta_since(&m0)
+                .rand_bytes_read;
         assert_eq!(scanned, n, "HBase scan missed records");
 
         // The paper's cost driver is bytes scanned: log entries carry
@@ -231,11 +241,7 @@ pub fn fig10_range_scan(scale: &Scale) -> Result<Figure> {
         let ms = measure(&hbase, tuples, &mut rng)?;
         fig.push("HBase", &label, ms, "ms");
     }
-    logbase
-        .logbase
-        .as_ref()
-        .expect("logbase rig")
-        .compact()?;
+    logbase.logbase.as_ref().expect("logbase rig").compact()?;
     for tuples in [20u64, 40, 80, 160] {
         let label = tuples.to_string();
         let ms = measure(&logbase, tuples, &mut rng)?;
@@ -280,8 +286,9 @@ pub fn fig19_20_21_vs_lrs(scale: &Scale) -> Result<Vec<Figure>> {
             // Fig 20 reads out of the full-size load.
             let mut rng = StdRng::seed_from_u64(44);
             for (count, rlabel) in read_counts(scale) {
-                let idx: Vec<usize> =
-                    (0..count).map(|_| rng.gen_range(0..lb_keys.len())).collect();
+                let idx: Vec<usize> = (0..count)
+                    .map(|_| rng.gen_range(0..lb_keys.len()))
+                    .collect();
                 let t = Instant::now();
                 for &i in &idx {
                     logbase.engine.get(0, &lb_keys[i])?;
@@ -353,8 +360,18 @@ mod tests {
             logbase.engine.get(0, &lb_keys[i]).unwrap();
             hbase.engine.get(0, &hb_keys[i]).unwrap();
         }
-        let lb_bytes = logbase.dfs.metrics().snapshot().delta_since(&lb0).rand_bytes_read;
-        let hb_bytes = hbase.dfs.metrics().snapshot().delta_since(&hb0).rand_bytes_read;
+        let lb_bytes = logbase
+            .dfs
+            .metrics()
+            .snapshot()
+            .delta_since(&lb0)
+            .rand_bytes_read;
+        let hb_bytes = hbase
+            .dfs
+            .metrics()
+            .snapshot()
+            .delta_since(&hb0)
+            .rand_bytes_read;
         assert!(
             hb_bytes > 2 * lb_bytes,
             "block fetches should dwarf record fetches: hbase {hb_bytes} vs logbase {lb_bytes}"

@@ -18,12 +18,7 @@ fn fresh_server(dfs: &Dfs, name: &str) -> Result<std::sync::Arc<TabletServer>> {
     Ok(s)
 }
 
-fn load_records(
-    server: &TabletServer,
-    from: u64,
-    to: u64,
-    value_bytes: usize,
-) -> Result<()> {
+fn load_records(server: &TabletServer, from: u64, to: u64, value_bytes: usize) -> Result<()> {
     let value = Value::from(vec![0x77u8; value_bytes]);
     for i in from..to {
         server.put("t", 0, logbase_workload::encode_key(i), value.clone())?;
@@ -58,7 +53,12 @@ pub fn fig17_checkpoint_cost(scale: &Scale) -> Result<Figure> {
             dfs.clone(),
             ServerConfig::new("ckpt-srv").with_segment_bytes(8 * 1024 * 1024),
         )?;
-        fig.push("Reload checkpoint", &label, t.elapsed().as_secs_f64(), "sec");
+        fig.push(
+            "Reload checkpoint",
+            &label,
+            t.elapsed().as_secs_f64(),
+            "sec",
+        );
         assert_eq!(recovered.stats().index_entries, n);
     }
     Ok(fig)

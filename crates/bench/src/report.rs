@@ -44,7 +44,13 @@ impl Figure {
     }
 
     /// Append a measured point.
-    pub fn push(&mut self, series: impl Into<String>, x: impl Into<String>, value: f64, unit: &str) {
+    pub fn push(
+        &mut self,
+        series: impl Into<String>,
+        x: impl Into<String>,
+        value: f64,
+        unit: &str,
+    ) {
         self.rows.push(Row {
             series: series.into(),
             x: x.into(),

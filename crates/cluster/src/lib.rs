@@ -68,6 +68,11 @@ pub struct ClusterConfig {
     pub hbase_flush_bytes: u64,
     /// The benchmark table name.
     pub table: String,
+    /// Master seed for the DFS fault injector (0 keeps it dormant until
+    /// a test arms per-node specs through [`Dfs::fault_injector`]).
+    pub dfs_fault_seed: u64,
+    /// Run the DFS background re-replication sweeper.
+    pub dfs_auto_repair: bool,
 }
 
 impl ClusterConfig {
@@ -81,7 +86,23 @@ impl ClusterConfig {
             segment_bytes: 4 * 1024 * 1024,
             hbase_flush_bytes: 4 * 1024 * 1024,
             table: "usertable".to_string(),
+            dfs_fault_seed: 0,
+            dfs_auto_repair: false,
         }
+    }
+
+    /// Builder-style fault-injection seed.
+    #[must_use]
+    pub fn with_dfs_fault_seed(mut self, seed: u64) -> Self {
+        self.dfs_fault_seed = seed;
+        self
+    }
+
+    /// Builder-style auto-repair toggle.
+    #[must_use]
+    pub fn with_dfs_auto_repair(mut self) -> Self {
+        self.dfs_auto_repair = true;
+        self
     }
 }
 
@@ -100,10 +121,13 @@ pub struct Cluster {
 impl Cluster {
     /// Bring up a cluster over a fresh in-memory DFS.
     pub fn create(config: ClusterConfig) -> Result<Self> {
-        let dfs = Dfs::new(DfsConfig::in_memory(
-            config.nodes.max(config.replication),
-            config.replication,
-        ));
+        let mut dfs_config =
+            DfsConfig::in_memory(config.nodes.max(config.replication), config.replication)
+                .with_fault_seed(config.dfs_fault_seed);
+        if config.dfs_auto_repair {
+            dfs_config = dfs_config.with_auto_repair(Duration::from_millis(50));
+        }
+        let dfs = Dfs::new(dfs_config);
         Self::create_on(config, dfs)
     }
 
@@ -130,7 +154,8 @@ impl Cluster {
                     )?;
                     server.register_table(TableSchema::single_group(&config.table, &["v"]))?;
                     // Master role: assign this member its key-range tablet.
-                    let descs = split_uniform(&config.table, config.nodes as u32, config.key_domain);
+                    let descs =
+                        split_uniform(&config.table, config.nodes as u32, config.key_domain);
                     server.assign_tablet(descs[i].clone())?;
                     engines.push(Arc::new(LogBaseEngine::new(
                         Arc::clone(&server),
@@ -141,8 +166,7 @@ impl Cluster {
                 EngineKind::HBase => {
                     let engine = HBaseEngine::create_with(
                         dfs.clone(),
-                        HBaseConfig::new(&name)
-                            .with_flush_bytes(config.hbase_flush_bytes),
+                        HBaseConfig::new(&name).with_flush_bytes(config.hbase_flush_bytes),
                         oracle.clone(),
                     )?;
                     engines.push(engine);
@@ -368,7 +392,11 @@ impl Cluster {
                 donor_server
                     .tablet_descs(&self.config.table)
                     .into_iter()
-                    .find(|d| d.range.contains(&mid) || d.range.end.as_deref() == Some(&mid[..]) || d.range.contains(&upper.start))
+                    .find(|d| {
+                        d.range.contains(&mid)
+                            || d.range.end.as_deref() == Some(&mid[..])
+                            || d.range.contains(&upper.start)
+                    })
             });
         let donor_desc = donor_tablet.ok_or_else(|| {
             logbase_common::Error::TabletNotServed(format!(

@@ -33,8 +33,7 @@ impl TpcwCluster {
         for i in 0..nodes {
             let server = TabletServer::create_with(
                 dfs.clone(),
-                ServerConfig::new(format!("tpcw-srv-{i}"))
-                    .with_segment_bytes(4 * 1024 * 1024),
+                ServerConfig::new(format!("tpcw-srv-{i}")).with_segment_bytes(4 * 1024 * 1024),
                 oracle.clone(),
                 locks.clone(),
             )?;
@@ -153,7 +152,8 @@ mod tests {
     fn cluster(nodes: usize) -> TpcwCluster {
         let dfs = Dfs::new(DfsConfig::in_memory(nodes.max(3), 3));
         let c = TpcwCluster::create(dfs, nodes, 1000).unwrap();
-        c.load(100, 20, &Value::from_static(b"item-detail")).unwrap();
+        c.load(100, 20, &Value::from_static(b"item-detail"))
+            .unwrap();
         c
     }
 
@@ -178,7 +178,10 @@ mod tests {
         assert_eq!(c.order_count().unwrap(), 1);
         // The order landed on customer 7's home server.
         let home = c.home_of(&logbase_workload::encode_key(7));
-        let got = home.get(tables::ORDERS, 0, &order_key(0, 1)).unwrap().unwrap();
+        let got = home
+            .get(tables::ORDERS, 0, &order_key(0, 1))
+            .unwrap()
+            .unwrap();
         assert!(got.starts_with(b"order:"));
         assert!(got.ends_with(b"cart"));
     }

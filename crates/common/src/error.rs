@@ -126,11 +126,19 @@ impl From<std::io::Error> for Error {
 impl Error {
     /// True when retrying the operation against a different replica or
     /// after re-election could succeed (transient cluster conditions).
+    /// `Io` errors count only for the transient kinds the fault injector
+    /// and flaky transports produce; a hard disk error stays fatal.
     pub fn is_retriable(&self) -> bool {
-        matches!(
-            self,
-            Error::NodeDown(_) | Error::Unavailable(_) | Error::InsufficientReplicas { .. }
-        )
+        match self {
+            Error::NodeDown(_) | Error::Unavailable(_) | Error::InsufficientReplicas { .. } => true,
+            Error::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
     }
 
     /// True when the error indicates on-disk corruption rather than a
@@ -169,5 +177,19 @@ mod tests {
         assert!(!Error::Corruption("bad".into()).is_retriable());
         assert!(Error::Corruption("bad".into()).is_corruption());
         assert!(!Error::FileNotFound("x".into()).is_corruption());
+    }
+
+    #[test]
+    fn io_errors_are_retriable_only_when_transient() {
+        let transient = Error::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected fault",
+        ));
+        assert!(transient.is_retriable());
+        let hard = Error::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "disk gone",
+        ));
+        assert!(!hard.is_retriable());
     }
 }

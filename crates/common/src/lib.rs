@@ -22,8 +22,10 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub mod retry;
 pub mod schema;
 pub mod types;
 
 pub use error::{Error, Result};
-pub use types::{Lsn, LogPtr, Record, RecordMeta, RowKey, Timestamp, Value};
+pub use retry::RetryPolicy;
+pub use types::{LogPtr, Lsn, Record, RecordMeta, RowKey, Timestamp, Value};

@@ -41,6 +41,14 @@ pub struct Metrics {
     pub txn_commits: AtomicU64,
     /// Transactions aborted (validation conflicts + explicit aborts).
     pub txn_aborts: AtomicU64,
+    /// DFS pipeline/read attempts retried after a transient failure.
+    pub dfs_retries: AtomicU64,
+    /// Reads that hit a corrupt replica and recovered from another one.
+    pub corrupt_reads_recovered: AtomicU64,
+    /// Repair passes triggered (background or explicit) that found work.
+    pub repairs_triggered: AtomicU64,
+    /// Replicas recreated by re-replication repair.
+    pub replicas_repaired: AtomicU64,
 }
 
 impl Metrics {
@@ -84,6 +92,10 @@ impl Metrics {
             compactions: Self::get(&self.compactions),
             txn_commits: Self::get(&self.txn_commits),
             txn_aborts: Self::get(&self.txn_aborts),
+            dfs_retries: Self::get(&self.dfs_retries),
+            corrupt_reads_recovered: Self::get(&self.corrupt_reads_recovered),
+            repairs_triggered: Self::get(&self.repairs_triggered),
+            replicas_repaired: Self::get(&self.replicas_repaired),
         }
     }
 
@@ -104,6 +116,10 @@ impl Metrics {
             &self.compactions,
             &self.txn_commits,
             &self.txn_aborts,
+            &self.dfs_retries,
+            &self.corrupt_reads_recovered,
+            &self.repairs_triggered,
+            &self.replicas_repaired,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -127,6 +143,10 @@ pub struct MetricsSnapshot {
     pub compactions: u64,
     pub txn_commits: u64,
     pub txn_aborts: u64,
+    pub dfs_retries: u64,
+    pub corrupt_reads_recovered: u64,
+    pub repairs_triggered: u64,
+    pub replicas_repaired: u64,
 }
 
 impl MetricsSnapshot {
@@ -144,7 +164,9 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            seq_bytes_written: self.seq_bytes_written.saturating_sub(earlier.seq_bytes_written),
+            seq_bytes_written: self
+                .seq_bytes_written
+                .saturating_sub(earlier.seq_bytes_written),
             rand_bytes_read: self.rand_bytes_read.saturating_sub(earlier.rand_bytes_read),
             seq_bytes_read: self.seq_bytes_read.saturating_sub(earlier.seq_bytes_read),
             seeks: self.seeks.saturating_sub(earlier.seeks),
@@ -158,6 +180,16 @@ impl MetricsSnapshot {
             compactions: self.compactions.saturating_sub(earlier.compactions),
             txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
             txn_aborts: self.txn_aborts.saturating_sub(earlier.txn_aborts),
+            dfs_retries: self.dfs_retries.saturating_sub(earlier.dfs_retries),
+            corrupt_reads_recovered: self
+                .corrupt_reads_recovered
+                .saturating_sub(earlier.corrupt_reads_recovered),
+            repairs_triggered: self
+                .repairs_triggered
+                .saturating_sub(earlier.repairs_triggered),
+            replicas_repaired: self
+                .replicas_repaired
+                .saturating_sub(earlier.replicas_repaired),
         }
     }
 }

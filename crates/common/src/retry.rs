@@ -1,0 +1,228 @@
+//! Retry policy: exponential backoff with deterministic jitter.
+//!
+//! The DFS replication pipeline and read path retry transient failures
+//! (dead data nodes mid-restart, injected I/O faults) instead of bubbling
+//! them to the tablet server. Retry decisions key off
+//! [`Error::is_retriable`]; backoff delays are derived from a seed so a
+//! seeded test replays the exact same sleep schedule.
+
+use crate::{Error, Result};
+use std::time::Duration;
+
+/// Exponential-backoff retry schedule.
+///
+/// Attempt `n` (0-based) sleeps `base_delay * 2^n`, capped at
+/// `max_delay`, stretched by a deterministic jitter factor in
+/// `[1, 1 + jitter]`. The jitter for a given `(seed, attempt)` pair is a
+/// pure function, so two runs with the same seed produce identical
+/// schedules — the determinism contract the fault-injection tests rely
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; `1` disables retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound any single delay is clamped to.
+    pub max_delay: Duration,
+    /// Fractional jitter added on top of the exponential delay (`0.25`
+    /// stretches delays by up to 25%).
+    pub jitter: f64,
+    /// Seed the jitter sequence is derived from.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy with `max_attempts` attempts and default delays.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Policy that retries `max_attempts` times without sleeping — unit
+    /// tests use this to keep fault-injection runs fast.
+    pub fn no_delay(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Builder-style seed override (ties the jitter stream to a test's
+    /// master seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay to sleep after failed attempt `attempt` (0-based).
+    /// Deterministic in `(self, attempt)`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        if self.jitter <= 0.0 || exp.is_zero() {
+            return exp;
+        }
+        // SplitMix64 over (seed, attempt) — a pure function, no shared
+        // RNG state, so concurrent callers stay deterministic.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        exp.mul_f64(1.0 + self.jitter * unit)
+    }
+
+    /// Run `op` until it succeeds, fails with a non-retriable error, or
+    /// exhausts the attempt budget. `op` receives the 0-based attempt
+    /// number so callers can count retries.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retriable() && attempt + 1 < self.max_attempts => {
+                    let delay = self.backoff(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Like [`RetryPolicy::run`] but maps an exhausted budget to the
+    /// supplied context (callers distinguish "gave up" from "failed").
+    pub fn run_ctx<T>(&self, context: &str, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        self.run(&mut op).map_err(|e| {
+            if e.is_retriable() {
+                Error::Unavailable(format!("{context}: retries exhausted: {e}"))
+            } else {
+                e
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn succeeds_first_try_without_sleeping() {
+        let p = RetryPolicy::new(5);
+        let calls = AtomicU32::new(0);
+        let out = p
+            .run(|_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(42)
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retries_transient_errors_then_succeeds() {
+        let p = RetryPolicy::no_delay(5);
+        let out = p
+            .run(|attempt| {
+                if attempt < 3 {
+                    Err(Error::NodeDown("dn-0".into()))
+                } else {
+                    Ok(attempt)
+                }
+            })
+            .unwrap();
+        assert_eq!(out, 3);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let p = RetryPolicy::no_delay(3);
+        let calls = AtomicU32::new(0);
+        let err = p
+            .run::<()>(|_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(Error::Unavailable("still down".into()))
+            })
+            .unwrap_err();
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert!(err.is_retriable());
+    }
+
+    #[test]
+    fn non_retriable_errors_fail_fast() {
+        let p = RetryPolicy::no_delay(5);
+        let calls = AtomicU32::new(0);
+        let err = p
+            .run::<()>(|_| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err(Error::Corruption("bad bytes".into()))
+            })
+            .unwrap_err();
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(8),
+            jitter: 0.5,
+            seed: 99,
+        };
+        let q = p.clone();
+        for attempt in 0..8 {
+            let a = p.backoff(attempt);
+            let b = q.backoff(attempt);
+            assert_eq!(a, b, "same (seed, attempt) must give the same delay");
+            let floor = Duration::from_millis((1u64 << attempt).min(8));
+            assert!(a >= floor);
+            assert!(a <= floor.mul_f64(1.5));
+        }
+        // Different seeds give different jitter somewhere in the schedule.
+        let r = RetryPolicy {
+            seed: 100,
+            ..p.clone()
+        };
+        assert!((0..8).any(|i| r.backoff(i) != p.backoff(i)));
+    }
+
+    #[test]
+    fn run_ctx_labels_exhausted_budgets() {
+        let p = RetryPolicy::no_delay(2);
+        let err = p
+            .run_ctx::<()>("pipeline", |_| Err(Error::NodeDown("dn-3".into())))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("pipeline"), "missing context: {msg}");
+        assert!(msg.contains("retries exhausted"), "missing label: {msg}");
+    }
+}

@@ -136,7 +136,12 @@ pub struct Record {
 
 impl Record {
     /// Build a live record.
-    pub fn put(key: impl Into<RowKey>, column_group: u16, ts: Timestamp, value: impl Into<Value>) -> Self {
+    pub fn put(
+        key: impl Into<RowKey>,
+        column_group: u16,
+        ts: Timestamp,
+        value: impl Into<Value>,
+    ) -> Self {
         Record {
             meta: RecordMeta {
                 key: key.into(),

@@ -73,9 +73,7 @@ impl LockService {
                     Some(current) if *current == owner => break, // re-entrant
                     Some(_) => {
                         let now = std::time::Instant::now();
-                        if now >= deadline
-                            || cvar.wait_until(&mut t, deadline).timed_out()
-                        {
+                        if now >= deadline || cvar.wait_until(&mut t, deadline).timed_out() {
                             // Roll back everything we took.
                             for k in &acquired {
                                 t.held.remove(k);
@@ -204,7 +202,8 @@ mod tests {
         let g = ls.lock_all(&[key("k")], 1, Duration::from_secs(1)).unwrap();
         let ls2 = ls.clone();
         let h = std::thread::spawn(move || {
-            ls2.lock_all(&[key("k")], 2, Duration::from_secs(5)).is_some()
+            ls2.lock_all(&[key("k")], 2, Duration::from_secs(5))
+                .is_some()
         });
         std::thread::sleep(Duration::from_millis(20));
         drop(g);

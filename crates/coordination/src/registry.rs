@@ -81,11 +81,7 @@ impl Registry {
 
     /// Is the member currently live?
     pub fn is_alive(&self, id: MemberId) -> bool {
-        self.inner
-            .read()
-            .members
-            .get(&id)
-            .is_some_and(|m| m.alive)
+        self.inner.read().members.get(&id).is_some_and(|m| m.alive)
     }
 
     /// Names of live tablet servers, in registration order.

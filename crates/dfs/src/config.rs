@@ -1,7 +1,32 @@
 //! DFS configuration.
 
 use logbase_common::config::{DEFAULT_REPLICATION, DEFAULT_SEGMENT_BYTES};
+use logbase_common::RetryPolicy;
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// Background self-healing settings (opt-in).
+///
+/// When enabled, the DFS runs a repair thread that polls for
+/// under-replicated chunks every `interval` and re-replicates them, with
+/// at least `min_gap` between consecutive repair sweeps (a crude rate
+/// limit so repair traffic cannot swamp foreground I/O).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutoRepairConfig {
+    /// How often the repair thread polls for under-replicated chunks.
+    pub interval: Duration,
+    /// Minimum gap between consecutive repair sweeps.
+    pub min_gap: Duration,
+}
+
+impl Default for AutoRepairConfig {
+    fn default() -> Self {
+        AutoRepairConfig {
+            interval: Duration::from_millis(50),
+            min_gap: Duration::from_millis(25),
+        }
+    }
+}
 
 /// Where data-node blocks live.
 #[derive(Debug, Clone)]
@@ -29,6 +54,16 @@ pub struct DfsConfig {
     pub racks: usize,
     /// Block storage backend.
     pub backend: StorageBackend,
+    /// Retry schedule for transient replica failures on the append and
+    /// read paths.
+    pub retry: RetryPolicy,
+    /// Master seed for the per-node fault injector (deterministic fault
+    /// replay). The injector stays dormant until a test arms it with
+    /// fault specs, so the seed is free to set unconditionally.
+    pub fault_seed: u64,
+    /// Background repair thread settings; `None` (the default) leaves
+    /// repair to explicit [`crate::Dfs::rereplicate`] calls.
+    pub auto_repair: Option<AutoRepairConfig>,
 }
 
 impl DfsConfig {
@@ -40,6 +75,9 @@ impl DfsConfig {
             chunk_size: DEFAULT_SEGMENT_BYTES,
             racks: 2.min(data_nodes.max(1)),
             backend: StorageBackend::Memory,
+            retry: RetryPolicy::default(),
+            fault_seed: 0,
+            auto_repair: None,
         }
     }
 
@@ -51,6 +89,9 @@ impl DfsConfig {
             chunk_size: DEFAULT_SEGMENT_BYTES,
             racks: 2.min(data_nodes.max(1)),
             backend: StorageBackend::Disk(root.into()),
+            retry: RetryPolicy::default(),
+            fault_seed: 0,
+            auto_repair: None,
         }
     }
 
@@ -66,6 +107,33 @@ impl DfsConfig {
     #[must_use]
     pub fn with_racks(mut self, racks: usize) -> Self {
         self.racks = racks.max(1);
+        self
+    }
+
+    /// Builder-style retry-policy override.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style fault-seed override. Also seeds the retry jitter so
+    /// one seed pins the whole fault/retry schedule.
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self.retry = self.retry.with_seed(seed);
+        self
+    }
+
+    /// Enable background self-healing with the given poll interval
+    /// (`min_gap` defaults to half the interval).
+    #[must_use]
+    pub fn with_auto_repair(mut self, interval: Duration) -> Self {
+        self.auto_repair = Some(AutoRepairConfig {
+            interval,
+            min_gap: interval / 2,
+        });
         self
     }
 }
@@ -89,7 +157,9 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let c = DfsConfig::in_memory(5, 3).with_chunk_size(1024).with_racks(3);
+        let c = DfsConfig::in_memory(5, 3)
+            .with_chunk_size(1024)
+            .with_racks(3);
         assert_eq!(c.chunk_size, 1024);
         assert_eq!(c.racks, 3);
         assert_eq!(c.data_nodes, 5);

@@ -1,6 +1,7 @@
-//! Data nodes: block stores with failure injection.
+//! Data nodes: checksummed block stores with failure injection.
 
 use crate::config::StorageBackend;
+use crate::fault::{FaultAction, FaultInjector, OpClass};
 use logbase_common::{Error, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -8,6 +9,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a data node within one DFS instance.
 pub type NodeId = u32;
@@ -15,22 +17,82 @@ pub type NodeId = u32;
 /// Globally unique block id (assigned by the name node).
 pub type BlockId = u64;
 
+/// Checksum granularity: one CRC32 per 512-byte sub-block, HDFS-style
+/// (`io.bytes.per.checksum`). Reads verify every sub-block they touch, so
+/// a flipped bit anywhere in the covered range surfaces as
+/// [`Error::ChecksumMismatch`] instead of silently corrupt data.
+pub const SUB_BLOCK: usize = 512;
+
+struct MemBlock {
+    data: Vec<u8>,
+    sums: Vec<u32>,
+}
+
+struct DiskState {
+    /// Open append handles, one per block, created lazily.
+    files: HashMap<BlockId, File>,
+    /// Sub-block checksums, cached from the `.crc` sidecars.
+    sums: HashMap<BlockId, Vec<u32>>,
+}
+
 enum BlockStore {
-    Memory(RwLock<HashMap<BlockId, Mutex<Vec<u8>>>>),
+    Memory(RwLock<HashMap<BlockId, Mutex<MemBlock>>>),
     Disk {
         dir: PathBuf,
-        /// Open append handles, one per block, created lazily.
-        files: Mutex<HashMap<BlockId, File>>,
+        state: Mutex<DiskState>,
     },
+}
+
+/// Recompute `sums` to cover `data`, assuming everything strictly before
+/// `from_byte`'s sub-block is unchanged. Returns the index of the first
+/// rewritten checksum (for partial sidecar writes).
+fn recompute_sums(data: &[u8], sums: &mut Vec<u32>, from_byte: usize) -> usize {
+    let first = from_byte / SUB_BLOCK;
+    sums.truncate(first);
+    for chunk in data[first * SUB_BLOCK..].chunks(SUB_BLOCK) {
+        sums.push(crc32fast::hash(chunk));
+    }
+    first
+}
+
+/// Verify the sub-blocks of `data` covering `[offset, offset + len)`
+/// against `sums` (where `sums[i]` covers `data[i*SUB_BLOCK..]`), then
+/// copy the requested range out.
+fn verified_copy(
+    context: &str,
+    data: &[u8],
+    sums: &[u32],
+    offset: usize,
+    len: usize,
+) -> Result<Vec<u8>> {
+    let first = offset / SUB_BLOCK;
+    let last = (offset + len).div_ceil(SUB_BLOCK);
+    for i in first..last {
+        let start = i * SUB_BLOCK;
+        let end = ((i + 1) * SUB_BLOCK).min(data.len());
+        let expected = *sums.get(i).ok_or_else(|| {
+            Error::Corruption(format!("{context}: missing checksum for sub-block {i}"))
+        })?;
+        let actual = crc32fast::hash(&data[start..end]);
+        if actual != expected {
+            return Err(Error::ChecksumMismatch {
+                context: format!("{context} sub-block {i}"),
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(data[offset..offset + len].to_vec())
 }
 
 /// One simulated data node.
 ///
-/// Holds replicas of chunks ("blocks") and supports kill/restart failure
-/// injection. A killed node rejects every operation with
-/// [`Error::NodeDown`]; restarting a memory-backed node loses its blocks
-/// (simulating a wiped machine) while a disk-backed node keeps them
-/// (simulating a reboot).
+/// Holds replicas of chunks ("blocks") with per-sub-block CRC32 checksums
+/// and supports failure injection two ways: coarse kill/restart (a killed
+/// node rejects every operation with [`Error::NodeDown`]; restarting a
+/// memory-backed node loses its blocks, a disk-backed node keeps them),
+/// and a seeded [`FaultInjector`] consulted before every block operation
+/// for transient errors, latency, torn appends and bit flips.
 pub struct DataNode {
     id: NodeId,
     rack: u32,
@@ -38,11 +100,18 @@ pub struct DataNode {
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
     store: BlockStore,
+    faults: Arc<FaultInjector>,
 }
 
 impl DataNode {
-    /// Create a node backed per `backend`.
-    pub fn new(id: NodeId, rack: u32, backend: &StorageBackend) -> Result<Self> {
+    /// Create a node backed per `backend`, consulting `faults` before
+    /// every block operation.
+    pub fn new(
+        id: NodeId,
+        rack: u32,
+        backend: &StorageBackend,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Self> {
         let store = match backend {
             StorageBackend::Memory => BlockStore::Memory(RwLock::new(HashMap::new())),
             StorageBackend::Disk(root) => {
@@ -50,7 +119,10 @@ impl DataNode {
                 std::fs::create_dir_all(&dir)?;
                 BlockStore::Disk {
                     dir,
-                    files: Mutex::new(HashMap::new()),
+                    state: Mutex::new(DiskState {
+                        files: HashMap::new(),
+                        sums: HashMap::new(),
+                    }),
                 }
             }
         };
@@ -61,6 +133,7 @@ impl DataNode {
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             store,
+            faults,
         })
     }
 
@@ -90,8 +163,10 @@ impl DataNode {
         if let BlockStore::Memory(blocks) = &self.store {
             blocks.write().clear();
         }
-        if let BlockStore::Disk { files, .. } = &self.store {
-            files.lock().clear();
+        if let BlockStore::Disk { state, .. } = &self.store {
+            let mut state = state.lock();
+            state.files.clear();
+            state.sums.clear();
         }
         self.alive.store(true, Ordering::Release);
     }
@@ -104,31 +179,118 @@ impl DataNode {
         }
     }
 
+    fn context(&self, block: BlockId) -> String {
+        format!("dn-{} blk_{block}", self.id)
+    }
+
+    /// Consult the fault injector for `class`: sleeps any injected
+    /// latency, then returns the action for the caller to apply.
+    fn fault(&self, class: OpClass) -> FaultAction {
+        let decision = self.faults.decide(self.id, class);
+        if let Some(latency) = decision.latency {
+            std::thread::sleep(latency);
+        }
+        decision.action
+    }
+
+    fn sidecar(dir: &std::path::Path, block: BlockId) -> PathBuf {
+        dir.join(format!("blk_{block}.crc"))
+    }
+
+    fn load_sums(dir: &std::path::Path, block: BlockId) -> Result<Vec<u32>> {
+        match std::fs::read(Self::sidecar(dir, block)) {
+            Ok(raw) => Ok(raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Persist `sums[from..]` into the sidecar, truncating it to the
+    /// current checksum count.
+    fn store_sums(dir: &std::path::Path, block: BlockId, sums: &[u32], from: usize) -> Result<()> {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(Self::sidecar(dir, block))?;
+        f.set_len((sums.len() * 4) as u64)?;
+        f.seek(SeekFrom::Start((from * 4) as u64))?;
+        let mut buf = Vec::with_capacity((sums.len() - from) * 4);
+        for s in &sums[from..] {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        f.write_all(&buf)?;
+        Ok(())
+    }
+
     /// Append `data` to the replica of `block`, creating it if absent.
     /// Returns the replica length after the append.
     pub fn append_block(&self, block: BlockId, data: &[u8]) -> Result<u64> {
         self.check_alive()?;
+        match self.fault(OpClass::Append) {
+            FaultAction::Proceed | FaultAction::BitFlip { .. } => {}
+            FaultAction::TransientIo => {
+                return Err(FaultInjector::transient_error(self.id, OpClass::Append))
+            }
+            FaultAction::Crash => {
+                self.kill();
+                return Err(Error::NodeDown(format!("dn-{} (injected crash)", self.id)));
+            }
+            FaultAction::TornAppend { keep } => {
+                // Persist a prefix, then die: the classic torn write.
+                let keep = keep.min(data.len());
+                let _ = self.append_raw(block, &data[..keep]);
+                self.kill();
+                return Err(Error::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!(
+                        "injected torn append on dn-{}: kept {keep}/{} bytes",
+                        self.id,
+                        data.len()
+                    ),
+                )));
+            }
+        }
+        self.append_raw(block, data)
+    }
+
+    fn append_raw(&self, block: BlockId, data: &[u8]) -> Result<u64> {
         self.bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         match &self.store {
             BlockStore::Memory(blocks) => {
+                let extend = |b: &Mutex<MemBlock>| {
+                    let mut b = b.lock();
+                    let from = b.data.len();
+                    b.data.extend_from_slice(data);
+                    let MemBlock { data: buf, sums } = &mut *b;
+                    recompute_sums(buf, sums, from);
+                    buf.len() as u64
+                };
                 {
                     let guard = blocks.read();
-                    if let Some(buf) = guard.get(&block) {
-                        let mut buf = buf.lock();
-                        buf.extend_from_slice(data);
-                        return Ok(buf.len() as u64);
+                    if let Some(b) = guard.get(&block) {
+                        return Ok(extend(b));
                     }
                 }
                 let mut guard = blocks.write();
-                let buf = guard.entry(block).or_insert_with(|| Mutex::new(Vec::new()));
-                let mut buf = buf.lock();
-                buf.extend_from_slice(data);
-                Ok(buf.len() as u64)
+                let b = guard.entry(block).or_insert_with(|| {
+                    Mutex::new(MemBlock {
+                        data: Vec::new(),
+                        sums: Vec::new(),
+                    })
+                });
+                Ok(extend(b))
             }
-            BlockStore::Disk { dir, files } => {
-                let mut files = files.lock();
-                let file = match files.entry(block) {
+            BlockStore::Disk { dir, state } => {
+                let mut state = state.lock();
+                if let std::collections::hash_map::Entry::Vacant(e) = state.sums.entry(block) {
+                    e.insert(Self::load_sums(dir, block)?);
+                }
+                let file = match state.files.entry(block) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         let path = dir.join(format!("blk_{block}"));
@@ -140,45 +302,74 @@ impl DataNode {
                         e.insert(f)
                     }
                 };
+                let from = file.seek(SeekFrom::End(0))? as usize;
                 file.write_all(data)?;
-                Ok(file.seek(SeekFrom::End(0))?)
+                let new_len = file.seek(SeekFrom::End(0))?;
+                // Rehash the affected tail: the last pre-append sub-block
+                // (if partial) plus everything new.
+                let first = from / SUB_BLOCK;
+                let tail_start = (first * SUB_BLOCK) as u64;
+                file.seek(SeekFrom::Start(tail_start))?;
+                let mut tail = vec![0u8; (new_len - tail_start) as usize];
+                file.read_exact(&mut tail)?;
+                let sums = state.sums.get_mut(&block).expect("sums loaded above");
+                sums.truncate(first);
+                for chunk in tail.chunks(SUB_BLOCK) {
+                    sums.push(crc32fast::hash(chunk));
+                }
+                Self::store_sums(dir, block, sums, first)?;
+                Ok(new_len)
             }
         }
     }
 
-    /// Read `len` bytes at `offset` within the replica of `block`.
+    /// Read `len` bytes at `offset` within the replica of `block`,
+    /// verifying the checksums of every sub-block the range touches.
     pub fn read_block(&self, block: BlockId, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.check_alive()?;
+        match self.fault(OpClass::Read) {
+            FaultAction::Proceed | FaultAction::TornAppend { .. } => {}
+            FaultAction::TransientIo => {
+                return Err(FaultInjector::transient_error(self.id, OpClass::Read))
+            }
+            FaultAction::Crash => {
+                self.kill();
+                return Err(Error::NodeDown(format!("dn-{} (injected crash)", self.id)));
+            }
+            FaultAction::BitFlip { byte_seed, bit } => {
+                self.flip_bit(block, byte_seed, bit)?;
+            }
+        }
         self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         match &self.store {
             BlockStore::Memory(blocks) => {
                 let guard = blocks.read();
-                let buf = guard
+                let b = guard
                     .get(&block)
-                    .ok_or_else(|| Error::FileNotFound(format!("dn-{} blk_{block}", self.id)))?;
-                let buf = buf.lock();
-                let end = offset
+                    .ok_or_else(|| Error::FileNotFound(self.context(block)))?;
+                let b = b.lock();
+                offset
                     .checked_add(len as u64)
-                    .filter(|e| *e <= buf.len() as u64)
+                    .filter(|e| *e <= b.data.len() as u64)
                     .ok_or_else(|| Error::OutOfBounds {
-                        file: format!("dn-{} blk_{block}", self.id),
+                        file: self.context(block),
                         offset,
                         len: len as u64,
-                        size: buf.len() as u64,
+                        size: b.data.len() as u64,
                     })?;
-                Ok(buf[offset as usize..end as usize].to_vec())
+                verified_copy(&self.context(block), &b.data, &b.sums, offset as usize, len)
             }
-            BlockStore::Disk { dir, files } => {
-                let mut files = files.lock();
-                let file = match files.entry(block) {
+            BlockStore::Disk { dir, state } => {
+                let mut state = state.lock();
+                if let std::collections::hash_map::Entry::Vacant(e) = state.sums.entry(block) {
+                    e.insert(Self::load_sums(dir, block)?);
+                }
+                let file = match state.files.entry(block) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         let path = dir.join(format!("blk_{block}"));
                         if !path.exists() {
-                            return Err(Error::FileNotFound(format!(
-                                "dn-{} blk_{block}",
-                                self.id
-                            )));
+                            return Err(Error::FileNotFound(format!("dn-{} blk_{block}", self.id)));
                         }
                         let f = OpenOptions::new().append(true).read(true).open(path)?;
                         e.insert(f)
@@ -187,16 +378,120 @@ impl DataNode {
                 let size = file.seek(SeekFrom::End(0))?;
                 if offset + len as u64 > size {
                     return Err(Error::OutOfBounds {
-                        file: format!("dn-{} blk_{block}", self.id),
+                        file: self.context(block),
                         offset,
                         len: len as u64,
                         size,
                     });
                 }
-                file.seek(SeekFrom::Start(offset))?;
-                let mut out = vec![0u8; len];
-                file.read_exact(&mut out)?;
-                Ok(out)
+                // Read whole covering sub-blocks so their checksums can
+                // be verified, then slice out the requested range.
+                let aligned_start = (offset as usize / SUB_BLOCK) * SUB_BLOCK;
+                let aligned_end =
+                    ((offset as usize + len).div_ceil(SUB_BLOCK) * SUB_BLOCK).min(size as usize);
+                file.seek(SeekFrom::Start(aligned_start as u64))?;
+                let mut raw = vec![0u8; aligned_end - aligned_start];
+                file.read_exact(&mut raw)?;
+                let sums = state.sums.get(&block).expect("sums loaded above");
+                let first = aligned_start / SUB_BLOCK;
+                // `raw` starts at global sub-block `first`; shift the sums
+                // so index 0 of the slice covers index 0 of `raw`.
+                let shifted: Vec<u32> = sums.get(first..).map(<[u32]>::to_vec).unwrap_or_default();
+                verified_copy(
+                    &self.context(block),
+                    &raw,
+                    &shifted,
+                    offset as usize - aligned_start,
+                    len,
+                )
+            }
+        }
+    }
+
+    /// Flip one bit of the stored replica (fault injection). The target
+    /// byte is `byte_seed % block_len`; an absent or empty block is left
+    /// alone. Checksums are deliberately *not* updated — the next read
+    /// covering the byte fails with [`Error::ChecksumMismatch`].
+    fn flip_bit(&self, block: BlockId, byte_seed: u64, bit: u8) -> Result<()> {
+        match &self.store {
+            BlockStore::Memory(blocks) => {
+                let guard = blocks.read();
+                if let Some(b) = guard.get(&block) {
+                    let mut b = b.lock();
+                    if !b.data.is_empty() {
+                        let at = (byte_seed % b.data.len() as u64) as usize;
+                        b.data[at] ^= 1 << (bit % 8);
+                    }
+                }
+            }
+            BlockStore::Disk { dir, state } => {
+                let _state = state.lock();
+                let path = dir.join(format!("blk_{block}"));
+                if let Ok(mut f) = OpenOptions::new().read(true).write(true).open(path) {
+                    let size = f.seek(SeekFrom::End(0))?;
+                    if size > 0 {
+                        let at = byte_seed % size;
+                        let mut byte = [0u8];
+                        f.seek(SeekFrom::Start(at))?;
+                        f.read_exact(&mut byte)?;
+                        byte[0] ^= 1 << (bit % 8);
+                        f.seek(SeekFrom::Start(at))?;
+                        f.write_all(&byte)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shrink the replica of `block` to `len` bytes (no-op when the
+    /// replica is absent or already at/below `len`). The replication
+    /// pipeline uses this to undo partial appends before re-driving a
+    /// write.
+    pub fn truncate_block(&self, block: BlockId, len: u64) -> Result<()> {
+        self.check_alive()?;
+        match &self.store {
+            BlockStore::Memory(blocks) => {
+                let guard = blocks.read();
+                if let Some(b) = guard.get(&block) {
+                    let mut b = b.lock();
+                    if (b.data.len() as u64) > len {
+                        b.data.truncate(len as usize);
+                        let MemBlock { data: buf, sums } = &mut *b;
+                        recompute_sums(buf, sums, len as usize);
+                    }
+                }
+                Ok(())
+            }
+            BlockStore::Disk { dir, state } => {
+                let mut state = state.lock();
+                let path = dir.join(format!("blk_{block}"));
+                if !path.exists() {
+                    return Ok(());
+                }
+                let size = path.metadata()?.len();
+                if size <= len {
+                    return Ok(());
+                }
+                if let Some(f) = state.files.get_mut(&block) {
+                    f.set_len(len)?;
+                } else {
+                    OpenOptions::new().write(true).open(&path)?.set_len(len)?;
+                }
+                // Rehash the now-partial final sub-block.
+                let mut sums = Self::load_sums(dir, block)?;
+                let first = (len as usize) / SUB_BLOCK;
+                sums.truncate(first);
+                if len as usize % SUB_BLOCK != 0 {
+                    let mut f = OpenOptions::new().read(true).open(&path)?;
+                    f.seek(SeekFrom::Start((first * SUB_BLOCK) as u64))?;
+                    let mut tail = vec![0u8; len as usize - first * SUB_BLOCK];
+                    f.read_exact(&mut tail)?;
+                    sums.push(crc32fast::hash(&tail));
+                }
+                Self::store_sums(dir, block, &sums, first.min(sums.len()))?;
+                state.sums.insert(block, sums);
+                Ok(())
             }
         }
     }
@@ -208,9 +503,9 @@ impl DataNode {
             BlockStore::Memory(blocks) => Ok(blocks
                 .read()
                 .get(&block)
-                .map_or(0, |b| b.lock().len() as u64)),
-            BlockStore::Disk { dir, files } => {
-                if let Some(f) = files.lock().get_mut(&block) {
+                .map_or(0, |b| b.lock().data.len() as u64)),
+            BlockStore::Disk { dir, state } => {
+                if let Some(f) = state.lock().files.get_mut(&block) {
                     return Ok(f.seek(SeekFrom::End(0))?);
                 }
                 let path = dir.join(format!("blk_{block}"));
@@ -226,24 +521,66 @@ impl DataNode {
         }
         match &self.store {
             BlockStore::Memory(blocks) => blocks.read().contains_key(&block),
-            BlockStore::Disk { dir, files } => {
-                files.lock().contains_key(&block) || dir.join(format!("blk_{block}")).exists()
+            BlockStore::Disk { dir, state } => {
+                state.lock().files.contains_key(&block) || dir.join(format!("blk_{block}")).exists()
             }
         }
     }
 
-    /// Drop the local replica of `block`.
+    /// Block report: every block id this node holds a replica of. The
+    /// name node diffs this against its chunk table to reclaim orphaned
+    /// replicas after a restart.
+    pub fn list_blocks(&self) -> Vec<BlockId> {
+        match &self.store {
+            BlockStore::Memory(blocks) => blocks.read().keys().copied().collect(),
+            BlockStore::Disk { dir, state } => {
+                let _state = state.lock();
+                let mut out = Vec::new();
+                if let Ok(entries) = std::fs::read_dir(dir) {
+                    for entry in entries.flatten() {
+                        let name = entry.file_name();
+                        let Some(name) = name.to_str() else { continue };
+                        if let Some(id) = name.strip_prefix("blk_") {
+                            if let Ok(id) = id.parse::<BlockId>() {
+                                out.push(id);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Drop the local replica of `block` (and its checksum sidecar).
     pub fn delete_block(&self, block: BlockId) -> Result<()> {
         self.check_alive()?;
+        match self.fault(OpClass::Delete) {
+            FaultAction::Proceed | FaultAction::BitFlip { .. } | FaultAction::TornAppend { .. } => {
+            }
+            FaultAction::TransientIo => {
+                return Err(FaultInjector::transient_error(self.id, OpClass::Delete))
+            }
+            FaultAction::Crash => {
+                self.kill();
+                return Err(Error::NodeDown(format!("dn-{} (injected crash)", self.id)));
+            }
+        }
         match &self.store {
             BlockStore::Memory(blocks) => {
                 blocks.write().remove(&block);
             }
-            BlockStore::Disk { dir, files } => {
-                files.lock().remove(&block);
+            BlockStore::Disk { dir, state } => {
+                let mut state = state.lock();
+                state.files.remove(&block);
+                state.sums.remove(&block);
                 let path = dir.join(format!("blk_{block}"));
                 if path.exists() {
                     std::fs::remove_file(path)?;
+                }
+                let crc = Self::sidecar(dir, block);
+                if crc.exists() {
+                    std::fs::remove_file(crc)?;
                 }
             }
         }
@@ -264,10 +601,15 @@ impl DataNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultSpec, ScheduledFault};
+
+    fn quiet(id: NodeId, rack: u32, backend: &StorageBackend) -> DataNode {
+        DataNode::new(id, rack, backend, Arc::new(FaultInjector::disabled())).unwrap()
+    }
 
     #[test]
     fn memory_append_and_read() {
-        let n = DataNode::new(0, 0, &StorageBackend::Memory).unwrap();
+        let n = quiet(0, 0, &StorageBackend::Memory);
         assert_eq!(n.append_block(1, b"abc").unwrap(), 3);
         assert_eq!(n.append_block(1, b"def").unwrap(), 6);
         assert_eq!(n.read_block(1, 2, 3).unwrap(), b"cde");
@@ -278,21 +620,18 @@ mod tests {
 
     #[test]
     fn read_out_of_bounds() {
-        let n = DataNode::new(0, 0, &StorageBackend::Memory).unwrap();
+        let n = quiet(0, 0, &StorageBackend::Memory);
         n.append_block(1, b"abc").unwrap();
         assert!(matches!(
             n.read_block(1, 2, 5),
             Err(Error::OutOfBounds { .. })
         ));
-        assert!(matches!(
-            n.read_block(9, 0, 1),
-            Err(Error::FileNotFound(_))
-        ));
+        assert!(matches!(n.read_block(9, 0, 1), Err(Error::FileNotFound(_))));
     }
 
     #[test]
     fn kill_blocks_all_ops_and_memory_restart_wipes() {
-        let n = DataNode::new(7, 1, &StorageBackend::Memory).unwrap();
+        let n = quiet(7, 1, &StorageBackend::Memory);
         n.append_block(1, b"abc").unwrap();
         n.kill();
         assert!(!n.is_alive());
@@ -309,7 +648,7 @@ mod tests {
     fn disk_node_survives_restart() {
         let dir = tempfile::tempdir().unwrap();
         let backend = StorageBackend::Disk(dir.path().to_path_buf());
-        let n = DataNode::new(3, 0, &backend).unwrap();
+        let n = quiet(3, 0, &backend);
         n.append_block(5, b"persistent").unwrap();
         n.kill();
         n.restart();
@@ -321,7 +660,7 @@ mod tests {
     fn disk_append_read_delete() {
         let dir = tempfile::tempdir().unwrap();
         let backend = StorageBackend::Disk(dir.path().to_path_buf());
-        let n = DataNode::new(0, 0, &backend).unwrap();
+        let n = quiet(0, 0, &backend);
         n.append_block(1, b"hello ").unwrap();
         assert_eq!(n.append_block(1, b"world").unwrap(), 11);
         assert_eq!(n.read_block(1, 6, 5).unwrap(), b"world");
@@ -333,10 +672,141 @@ mod tests {
 
     #[test]
     fn io_accounting() {
-        let n = DataNode::new(0, 0, &StorageBackend::Memory).unwrap();
+        let n = quiet(0, 0, &StorageBackend::Memory);
         n.append_block(1, &[0u8; 100]).unwrap();
         n.read_block(1, 0, 40).unwrap();
         assert_eq!(n.bytes_written(), 100);
         assert_eq!(n.bytes_read(), 40);
+    }
+
+    #[test]
+    fn checksums_span_sub_blocks() {
+        for backend in [
+            StorageBackend::Memory,
+            StorageBackend::Disk(tempfile::tempdir().unwrap().path().to_path_buf()),
+        ] {
+            let n = quiet(0, 0, &backend);
+            // Build a block spanning several sub-blocks from ragged
+            // appends, then read at assorted alignments.
+            let mut expect = Vec::new();
+            for i in 0..20u32 {
+                let piece = vec![i as u8; 137];
+                expect.extend_from_slice(&piece);
+                n.append_block(1, &piece).unwrap();
+            }
+            assert_eq!(n.block_len(1).unwrap(), expect.len() as u64);
+            for (off, len) in [
+                (0usize, 10usize),
+                (500, 600),
+                (511, 2),
+                (1024, 512),
+                (2000, 740),
+            ] {
+                assert_eq!(
+                    n.read_block(1, off as u64, len).unwrap(),
+                    &expect[off..off + len],
+                    "range {off}+{len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_read_checksums() {
+        for backend in [
+            StorageBackend::Memory,
+            StorageBackend::Disk(tempfile::tempdir().unwrap().path().to_path_buf()),
+        ] {
+            let faults = Arc::new(FaultInjector::new(42));
+            let n = DataNode::new(0, 0, &backend, Arc::clone(&faults)).unwrap();
+            n.append_block(1, &[7u8; 2000]).unwrap();
+            faults.set_spec(
+                0,
+                OpClass::Read,
+                FaultSpec::default().with_scheduled(1, ScheduledFault::BitFlip),
+            );
+            let err = n.read_block(1, 0, 2000).unwrap_err();
+            assert!(err.is_corruption(), "expected checksum failure, got {err}");
+            // The corruption is persistent: later reads of the damaged
+            // sub-block keep failing even with no further faults.
+            assert!(n.read_block(1, 0, 2000).is_err());
+        }
+    }
+
+    #[test]
+    fn torn_append_persists_prefix_and_kills_node() {
+        let dir = tempfile::tempdir().unwrap();
+        let faults = Arc::new(FaultInjector::new(9));
+        let n = DataNode::new(
+            2,
+            0,
+            &StorageBackend::Disk(dir.path().to_path_buf()),
+            Arc::clone(&faults),
+        )
+        .unwrap();
+        n.append_block(1, b"committed").unwrap();
+        faults.set_spec(
+            2,
+            OpClass::Append,
+            FaultSpec::default().with_scheduled(1, ScheduledFault::TornAppend { keep: 3 }),
+        );
+        let err = n.append_block(1, b"doomed-write").unwrap_err();
+        assert!(
+            err.is_retriable(),
+            "torn append should read as transient: {err}"
+        );
+        assert!(!n.is_alive());
+        n.restart();
+        assert_eq!(n.block_len(1).unwrap(), 12); // "committed" + "doo"
+        assert_eq!(n.read_block(1, 0, 12).unwrap(), b"committeddoo");
+    }
+
+    #[test]
+    fn truncate_undoes_partial_appends() {
+        for backend in [
+            StorageBackend::Memory,
+            StorageBackend::Disk(tempfile::tempdir().unwrap().path().to_path_buf()),
+        ] {
+            let n = quiet(0, 0, &backend);
+            n.append_block(1, &[1u8; 700]).unwrap();
+            n.append_block(1, &[2u8; 300]).unwrap();
+            n.truncate_block(1, 700).unwrap();
+            assert_eq!(n.block_len(1).unwrap(), 700);
+            assert_eq!(n.read_block(1, 0, 700).unwrap(), &[1u8; 700]);
+            // Truncating to a larger size is a no-op.
+            n.truncate_block(1, 5000).unwrap();
+            assert_eq!(n.block_len(1).unwrap(), 700);
+            // Re-appending after truncation keeps checksums consistent.
+            n.append_block(1, &[3u8; 100]).unwrap();
+            let got = n.read_block(1, 600, 200).unwrap();
+            assert_eq!(&got[..100], &[1u8; 100]);
+            assert_eq!(&got[100..], &[3u8; 100]);
+        }
+    }
+
+    #[test]
+    fn block_report_lists_replicas() {
+        let dir = tempfile::tempdir().unwrap();
+        let backend = StorageBackend::Disk(dir.path().to_path_buf());
+        let n = quiet(0, 0, &backend);
+        n.append_block(3, b"x").unwrap();
+        n.append_block(9, b"y").unwrap();
+        let mut blocks = n.list_blocks();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![3, 9]);
+        n.delete_block(3).unwrap();
+        assert_eq!(n.list_blocks(), vec![9]);
+    }
+
+    #[test]
+    fn injected_transient_errors_are_retriable() {
+        let faults = Arc::new(FaultInjector::new(1));
+        let n = DataNode::new(0, 0, &StorageBackend::Memory, Arc::clone(&faults)).unwrap();
+        n.append_block(1, b"abc").unwrap();
+        faults.set_spec(0, OpClass::Read, FaultSpec::transient(1.0));
+        let err = n.read_block(1, 0, 3).unwrap_err();
+        assert!(err.is_retriable());
+        faults.clear();
+        assert_eq!(n.read_block(1, 0, 3).unwrap(), b"abc");
     }
 }

@@ -1,0 +1,406 @@
+//! Deterministic fault injection for the simulated DFS.
+//!
+//! A [`FaultInjector`] sits between the [`crate::Dfs`] facade and each
+//! data node's block store. Every block operation first asks the injector
+//! for a [`FaultDecision`]; the injector can delay the operation (slow
+//! node), fail it with a transient I/O error, tear an append (persist
+//! only a prefix of the bytes, then kill the node), or flip a bit of the
+//! stored block so the read-path checksums catch it.
+//!
+//! # Determinism contract
+//!
+//! Faults are driven by one master seed. Each `(node, op class)` pair —
+//! a *lane* — owns an independent SplitMix64 stream derived from the
+//! seed, and every decision is a pure function of the lane's seed and the
+//! lane's own operation counter. Thread interleaving across nodes
+//! therefore never changes which decision the Nth append on node 3
+//! receives: replaying a workload with the same seed replays the same
+//! per-lane fault sequence. Scheduled faults (`at op N, do X`) are exact;
+//! probabilistic faults reproduce exactly as well because the Bernoulli
+//! draws come from the lane stream in lane-op order.
+
+use crate::datanode::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The class of block operation a fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Block appends (the replication pipeline's write).
+    Append,
+    /// Positional block reads.
+    Read,
+    /// Block deletions (file delete, orphan sweeps).
+    Delete,
+}
+
+/// A fault scheduled to fire at an exact lane-operation index.
+#[derive(Debug, Clone)]
+pub enum ScheduledFault {
+    /// Fail the operation with a transient (retriable) I/O error.
+    TransientIo,
+    /// Persist only the first `keep` bytes of the append, then kill the
+    /// node — a torn write at the moment of a crash. Append lanes only.
+    TornAppend {
+        /// Bytes of the append payload that reach storage.
+        keep: usize,
+    },
+    /// Flip one bit of the stored block before serving the read, so the
+    /// sub-block checksum verification detects corruption. Read lanes
+    /// only.
+    BitFlip,
+    /// Kill the node without touching the bytes.
+    Crash,
+}
+
+/// Per-lane fault configuration.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSpec {
+    /// Probability in `[0, 1]` that an operation fails with a transient
+    /// I/O error (drawn from the lane's deterministic stream).
+    pub io_error_prob: f64,
+    /// Fixed latency added to every operation (slow node).
+    pub fixed_latency: Option<Duration>,
+    /// Additional random latency, uniform in `[0, d]`.
+    pub random_latency: Option<Duration>,
+    /// Faults that fire when the lane's 1-based op counter hits the
+    /// given index. Exact and interleaving-independent.
+    pub scheduled: Vec<(u64, ScheduledFault)>,
+}
+
+impl FaultSpec {
+    /// Spec that fails operations with probability `p`.
+    pub fn transient(p: f64) -> Self {
+        FaultSpec {
+            io_error_prob: p,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Spec that delays every operation by `d` (slow node).
+    pub fn slow(d: Duration) -> Self {
+        FaultSpec {
+            fixed_latency: Some(d),
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Builder-style scheduled fault at 1-based lane op `at`.
+    #[must_use]
+    pub fn with_scheduled(mut self, at: u64, fault: ScheduledFault) -> Self {
+        self.scheduled.push((at, fault));
+        self
+    }
+}
+
+/// What the data node must do for one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Execute normally.
+    Proceed,
+    /// Fail with a transient (retriable) I/O error.
+    TransientIo,
+    /// Persist `keep` bytes of the append, kill the node, fail the call.
+    TornAppend {
+        /// Prefix length that reaches storage.
+        keep: usize,
+    },
+    /// Flip bit `bit` of the byte selected by `byte_seed % block_len`
+    /// in the stored block, then serve the (now corrupt) read normally.
+    BitFlip {
+        /// Seed the data node reduces modulo the block length.
+        byte_seed: u64,
+        /// Bit index in `0..8`.
+        bit: u8,
+    },
+    /// Kill the node and fail the call with `NodeDown`.
+    Crash,
+}
+
+/// One decision: optional latency plus the action to take.
+#[derive(Debug, Clone)]
+pub struct FaultDecision {
+    /// Sleep this long before acting (slow-node simulation).
+    pub latency: Option<Duration>,
+    /// The action to take.
+    pub action: FaultAction,
+}
+
+impl FaultDecision {
+    const PROCEED: FaultDecision = FaultDecision {
+        latency: None,
+        action: FaultAction::Proceed,
+    };
+}
+
+/// SplitMix64 — the lane streams' generator. Kept local so the injector
+/// is self-contained and its streams are stable across dependency
+/// changes.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+struct Lane {
+    spec: FaultSpec,
+    rng: SplitMix64,
+    ops: u64,
+}
+
+/// Seeded, per-node, per-op-class fault source. See the module docs for
+/// the determinism contract.
+pub struct FaultInjector {
+    seed: u64,
+    /// Fast path: `false` until the first spec is installed, letting an
+    /// un-faulted cluster skip the lane lock entirely.
+    armed: AtomicBool,
+    lanes: Mutex<HashMap<(NodeId, OpClass), Lane>>,
+}
+
+impl FaultInjector {
+    /// Injector with a master seed. No faults fire until a spec is set.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            armed: AtomicBool::new(false),
+            lanes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Injector that never fires (the default for production clusters).
+    pub fn disabled() -> Self {
+        FaultInjector::new(0)
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn lane_seed(&self, node: NodeId, class: OpClass) -> u64 {
+        let class_tag = match class {
+            OpClass::Append => 0x61u64,
+            OpClass::Read => 0x72u64,
+            OpClass::Delete => 0x64u64,
+        };
+        // Mix the lane coordinates into the master seed; SplitMix64's
+        // output function scrambles whatever structure remains.
+        self.seed
+            ^ (u64::from(node).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            ^ (class_tag.wrapping_mul(0xCA5A_8268_95B6_07C9))
+    }
+
+    /// Install (or replace) the fault spec for one `(node, class)` lane.
+    /// Resets the lane's op counter and stream so the schedule is
+    /// reproducible from the moment of installation.
+    pub fn set_spec(&self, node: NodeId, class: OpClass, spec: FaultSpec) {
+        let mut lanes = self.lanes.lock();
+        lanes.insert(
+            (node, class),
+            Lane {
+                spec,
+                rng: SplitMix64::new(self.lane_seed(node, class)),
+                ops: 0,
+            },
+        );
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Remove every installed spec (the injector goes quiet; op counters
+    /// are discarded).
+    pub fn clear(&self) {
+        self.lanes.lock().clear();
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Operations the lane has decided so far.
+    pub fn ops(&self, node: NodeId, class: OpClass) -> u64 {
+        self.lanes
+            .lock()
+            .get(&(node, class))
+            .map_or(0, |lane| lane.ops)
+    }
+
+    /// Decide the fate of one operation on `node`'s `class` lane.
+    pub fn decide(&self, node: NodeId, class: OpClass) -> FaultDecision {
+        if !self.armed.load(Ordering::Acquire) {
+            return FaultDecision::PROCEED;
+        }
+        let mut lanes = self.lanes.lock();
+        let Some(lane) = lanes.get_mut(&(node, class)) else {
+            return FaultDecision::PROCEED;
+        };
+        lane.ops += 1;
+        let op = lane.ops;
+
+        let mut latency = lane.spec.fixed_latency;
+        if let Some(max) = lane.spec.random_latency {
+            let extra = max.mul_f64(lane.rng.next_f64());
+            latency = Some(latency.unwrap_or(Duration::ZERO) + extra);
+        }
+
+        let scheduled = lane
+            .spec
+            .scheduled
+            .iter()
+            .find(|(at, _)| *at == op)
+            .map(|(_, f)| f.clone());
+        let action = if let Some(fault) = scheduled {
+            match fault {
+                ScheduledFault::TransientIo => FaultAction::TransientIo,
+                ScheduledFault::TornAppend { keep } => FaultAction::TornAppend { keep },
+                ScheduledFault::BitFlip => FaultAction::BitFlip {
+                    byte_seed: lane.rng.next_u64(),
+                    bit: (lane.rng.next_u64() % 8) as u8,
+                },
+                ScheduledFault::Crash => FaultAction::Crash,
+            }
+        } else if lane.spec.io_error_prob > 0.0 && lane.rng.next_f64() < lane.spec.io_error_prob {
+            FaultAction::TransientIo
+        } else {
+            FaultAction::Proceed
+        };
+        FaultDecision { latency, action }
+    }
+
+    /// The error a [`FaultAction::TransientIo`] decision turns into:
+    /// `Interrupted`, which [`logbase_common::Error::is_retriable`]
+    /// classifies as transient.
+    pub fn transient_error(node: NodeId, class: OpClass) -> logbase_common::Error {
+        logbase_common::Error::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("injected transient fault: dn-{node} {class:?}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(inj: &FaultInjector, node: NodeId, class: OpClass, n: u64) -> Vec<FaultAction> {
+        (0..n).map(|_| inj.decide(node, class).action).collect()
+    }
+
+    #[test]
+    fn unarmed_injector_always_proceeds() {
+        let inj = FaultInjector::disabled();
+        for a in drive(&inj, 0, OpClass::Append, 100) {
+            assert_eq!(a, FaultAction::Proceed);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_lane_sequence() {
+        let make = || {
+            let inj = FaultInjector::new(0xBEEF);
+            inj.set_spec(1, OpClass::Append, FaultSpec::transient(0.3));
+            inj.set_spec(2, OpClass::Read, FaultSpec::transient(0.5));
+            inj
+        };
+        let a = make();
+        let b = make();
+        // Interleave lanes differently on the two injectors; per-lane
+        // sequences must still match exactly.
+        let mut a1 = Vec::new();
+        let mut a2 = Vec::new();
+        for _ in 0..200 {
+            a1.push(a.decide(1, OpClass::Append).action);
+            a2.push(a.decide(2, OpClass::Read).action);
+        }
+        let b2: Vec<_> = drive(&b, 2, OpClass::Read, 200);
+        let b1: Vec<_> = drive(&b, 1, OpClass::Append, 200);
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+        // And the fault mix is non-trivial at p=0.3 over 200 ops.
+        assert!(a1.contains(&FaultAction::TransientIo));
+        assert!(a1.contains(&FaultAction::Proceed));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::new(1);
+        let b = FaultInjector::new(2);
+        for inj in [&a, &b] {
+            inj.set_spec(0, OpClass::Append, FaultSpec::transient(0.5));
+        }
+        assert_ne!(
+            drive(&a, 0, OpClass::Append, 64),
+            drive(&b, 0, OpClass::Append, 64)
+        );
+    }
+
+    #[test]
+    fn scheduled_faults_fire_exactly_once_at_their_index() {
+        let inj = FaultInjector::new(7);
+        inj.set_spec(
+            3,
+            OpClass::Append,
+            FaultSpec::default()
+                .with_scheduled(2, ScheduledFault::TornAppend { keep: 4 })
+                .with_scheduled(5, ScheduledFault::Crash),
+        );
+        let acts = drive(&inj, 3, OpClass::Append, 6);
+        assert_eq!(acts[0], FaultAction::Proceed);
+        assert_eq!(acts[1], FaultAction::TornAppend { keep: 4 });
+        assert_eq!(acts[2], FaultAction::Proceed);
+        assert_eq!(acts[4], FaultAction::Crash);
+        assert_eq!(acts[5], FaultAction::Proceed);
+    }
+
+    #[test]
+    fn latency_is_reported_and_bounded() {
+        let inj = FaultInjector::new(11);
+        let spec = FaultSpec {
+            fixed_latency: Some(Duration::from_micros(100)),
+            random_latency: Some(Duration::from_micros(50)),
+            ..FaultSpec::default()
+        };
+        inj.set_spec(0, OpClass::Read, spec);
+        for _ in 0..32 {
+            let d = inj.decide(0, OpClass::Read);
+            let lat = d.latency.expect("latency configured");
+            assert!(lat >= Duration::from_micros(100));
+            assert!(lat <= Duration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let inj = FaultInjector::new(5);
+        inj.set_spec(0, OpClass::Append, FaultSpec::transient(1.0));
+        // Read lane of the same node has no spec: always proceeds.
+        assert_eq!(
+            inj.decide(0, OpClass::Append).action,
+            FaultAction::TransientIo
+        );
+        assert_eq!(inj.decide(0, OpClass::Read).action, FaultAction::Proceed);
+        assert_eq!(inj.ops(0, OpClass::Append), 1);
+        assert_eq!(inj.ops(0, OpClass::Read), 0);
+    }
+
+    #[test]
+    fn transient_error_is_retriable() {
+        assert!(FaultInjector::transient_error(3, OpClass::Append).is_retriable());
+    }
+}

@@ -34,10 +34,12 @@
 
 mod config;
 mod datanode;
+mod fault;
 mod namenode;
 mod system;
 
-pub use config::{DfsConfig, StorageBackend};
-pub use datanode::{DataNode, NodeId};
+pub use config::{AutoRepairConfig, DfsConfig, StorageBackend};
+pub use datanode::{BlockId, DataNode, NodeId, SUB_BLOCK};
+pub use fault::{FaultAction, FaultDecision, FaultInjector, FaultSpec, OpClass, ScheduledFault};
 pub use namenode::{ChunkMeta, FileMeta, PlacementPolicy};
 pub use system::{Dfs, DfsFileReader};

@@ -3,7 +3,7 @@
 use crate::datanode::{BlockId, NodeId};
 use logbase_common::{Error, Result};
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Metadata of one chunk of a file.
@@ -184,6 +184,7 @@ impl NameNode {
                 replicas: c.replicas.clone(),
                 data_range: (data_pos, data_pos + take),
                 new_chunk: false,
+                chunk_offset: c.len,
             });
             remaining -= take;
             data_pos += take;
@@ -202,6 +203,7 @@ impl NameNode {
                 replicas,
                 data_range: (data_pos, data_pos + take),
                 new_chunk: true,
+                chunk_offset: 0,
             });
             remaining -= take;
             data_pos += take;
@@ -237,6 +239,10 @@ impl NameNode {
                     ))
                 })?;
                 c.len += wlen;
+                // The pipeline may have swapped failed replicas for
+                // replacements mid-append; the chunk's authoritative
+                // replica set is whatever the pipeline actually wrote.
+                c.replicas.clone_from(&w.replicas);
             }
         }
         Ok(())
@@ -254,11 +260,39 @@ impl NameNode {
         let meta = files
             .get_mut(name)
             .ok_or_else(|| Error::FileNotFound(name.to_string()))?;
-        let chunk = meta.chunks.get_mut(chunk_index).ok_or_else(|| {
-            Error::Corruption(format!("{name}: no chunk at index {chunk_index}"))
-        })?;
+        let chunk = meta
+            .chunks
+            .get_mut(chunk_index)
+            .ok_or_else(|| Error::Corruption(format!("{name}: no chunk at index {chunk_index}")))?;
         chunk.replicas = replicas;
         Ok(())
+    }
+
+    /// Choose one live node not in `exclude` to replace a failed
+    /// pipeline replica. Uses the same rotating cursor as fresh
+    /// placement so replacements spread over the cluster.
+    pub fn pick_replacement(&self, exclude: &[NodeId], live: &[(NodeId, u32)]) -> Option<NodeId> {
+        if live.is_empty() {
+            return None;
+        }
+        let start = self.next_writer.fetch_add(1, Ordering::Relaxed) as usize % live.len();
+        live.iter()
+            .cycle()
+            .skip(start)
+            .take(live.len())
+            .map(|(id, _)| *id)
+            .find(|id| !exclude.contains(id))
+    }
+
+    /// Every block id referenced by some file's chunk table. Data nodes
+    /// diff their block reports against this set to reclaim orphaned
+    /// replicas (blocks whose file was deleted while the node was down).
+    pub fn referenced_blocks(&self) -> HashSet<BlockId> {
+        self.files
+            .read()
+            .values()
+            .flat_map(|m| m.chunks.iter().map(|c| c.block))
+            .collect()
     }
 
     /// Choose `replication` nodes for a new chunk.
@@ -334,6 +368,11 @@ pub struct ChunkWrite {
     pub data_range: (u64, u64),
     /// Whether this write creates the chunk.
     pub new_chunk: bool,
+    /// Committed length of the chunk before this append (0 for new
+    /// chunks). The pipeline uses it to detect and repair torn replicas:
+    /// a healthy replica is exactly `chunk_offset` bytes long before the
+    /// write and `chunk_offset + write len` after.
+    pub chunk_offset: u64,
 }
 
 /// A planned multi-chunk append.
@@ -438,6 +477,46 @@ mod tests {
         let nodes = live(3, 1);
         let replicas = nn.place(3, &nodes);
         assert_eq!(replicas.len(), 3);
+    }
+
+    #[test]
+    fn plan_append_records_chunk_offsets() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        nn.create("f").unwrap();
+        let plan = nn.plan_append("f", 7, 10, 1, &live(1, 1)).unwrap();
+        assert_eq!(plan.writes[0].chunk_offset, 0);
+        nn.commit_append(&plan).unwrap();
+        // Tail fill resumes at the committed chunk length.
+        let plan2 = nn.plan_append("f", 8, 10, 1, &live(1, 1)).unwrap();
+        assert_eq!(plan2.writes[0].chunk_offset, 7);
+        assert_eq!(plan2.writes[1].chunk_offset, 0);
+    }
+
+    #[test]
+    fn pick_replacement_skips_excluded_nodes() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        let nodes = live(4, 1);
+        for _ in 0..8 {
+            let got = nn.pick_replacement(&[0, 2], &nodes).unwrap();
+            assert!(got == 1 || got == 3);
+        }
+        assert_eq!(nn.pick_replacement(&[0, 1, 2, 3], &nodes), None);
+        assert_eq!(nn.pick_replacement(&[], &[]), None);
+    }
+
+    #[test]
+    fn referenced_blocks_tracks_chunk_tables() {
+        let nn = NameNode::new(PlacementPolicy::Flat);
+        nn.create("f").unwrap();
+        let plan = nn.plan_append("f", 25, 10, 1, &live(1, 1)).unwrap();
+        nn.commit_append(&plan).unwrap();
+        let blocks = nn.referenced_blocks();
+        assert_eq!(blocks.len(), 3);
+        for w in &plan.writes {
+            assert!(blocks.contains(&w.block));
+        }
+        nn.delete("f").unwrap();
+        assert!(nn.referenced_blocks().is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The DFS facade: replicated append/read over data nodes + name node.
 
 use crate::config::DfsConfig;
-use crate::datanode::{DataNode, NodeId};
-use crate::namenode::{FileMeta, NameNode, PlacementPolicy};
+use crate::datanode::{BlockId, DataNode, NodeId};
+use crate::fault::FaultInjector;
+use crate::namenode::{ChunkMeta, FileMeta, NameNode, PlacementPolicy};
 use bytes::Bytes;
 use logbase_common::metrics::{Metrics, MetricsHandle};
 use logbase_common::{Error, Result};
@@ -14,7 +15,10 @@ use std::sync::Arc;
 /// Cloning the handle is cheap; all clones address the same cluster.
 /// Appends are *synchronous*: the call returns only after every replica of
 /// every touched chunk has the bytes, matching HDFS pipeline semantics the
-/// paper relies on for Guarantee 1 (§3.4).
+/// paper relies on for Guarantee 1 (§3.4). A replica that fails mid-append
+/// is retried per the configured [`logbase_common::RetryPolicy`], then
+/// excluded and replaced with a fresh node — an acknowledged append is
+/// never under-replicated or divergent.
 #[derive(Clone)]
 pub struct Dfs {
     inner: Arc<DfsInner>,
@@ -24,10 +28,15 @@ struct DfsInner {
     config: DfsConfig,
     namenode: NameNode,
     datanodes: Vec<DataNode>,
+    faults: Arc<FaultInjector>,
     /// Serializes appends per file (HDFS: single writer per file).
     append_locks: Mutex<std::collections::HashMap<String, Arc<Mutex<()>>>>,
     metrics: MetricsHandle,
 }
+
+/// Undo record for one pipeline write: `(block, committed length before
+/// the write, whether the write created the block, replicas written)`.
+type UndoRecord = (BlockId, u64, bool, Vec<NodeId>);
 
 impl Dfs {
     /// Bring up a cluster per `config`.
@@ -47,21 +56,51 @@ impl Dfs {
         } else {
             PlacementPolicy::Flat
         };
+        let faults = Arc::new(FaultInjector::new(config.fault_seed));
         let datanodes = (0..config.data_nodes as NodeId)
             .map(|id| {
-                DataNode::new(id, id % config.racks as u32, &config.backend)
-                    .expect("data node directory creation failed")
+                DataNode::new(
+                    id,
+                    id % config.racks as u32,
+                    &config.backend,
+                    Arc::clone(&faults),
+                )
+                .expect("data node directory creation failed")
             })
             .collect();
-        Dfs {
+        let dfs = Dfs {
             inner: Arc::new(DfsInner {
                 namenode: NameNode::new(policy),
                 datanodes,
+                faults,
                 append_locks: Mutex::new(std::collections::HashMap::new()),
                 metrics,
                 config,
             }),
+        };
+        if let Some(repair) = dfs.inner.config.auto_repair.clone() {
+            // The repair thread holds only a weak reference so dropping
+            // the last user handle tears the cluster (and the thread)
+            // down.
+            let weak = Arc::downgrade(&dfs.inner);
+            std::thread::spawn(move || {
+                let mut last_sweep: Option<std::time::Instant> = None;
+                loop {
+                    std::thread::sleep(repair.interval);
+                    let Some(inner) = weak.upgrade() else { break };
+                    let dfs = Dfs { inner };
+                    if last_sweep.is_some_and(|t| t.elapsed() < repair.min_gap) {
+                        continue;
+                    }
+                    if dfs.under_replicated_chunks() > 0 {
+                        Metrics::incr(&dfs.inner.metrics.repairs_triggered);
+                        let _ = dfs.rereplicate();
+                        last_sweep = Some(std::time::Instant::now());
+                    }
+                }
+            });
         }
+        dfs
     }
 
     /// The cluster's metrics sink.
@@ -72,6 +111,11 @@ impl Dfs {
     /// The configuration the cluster was created with.
     pub fn config(&self) -> &DfsConfig {
         &self.inner.config
+    }
+
+    /// The cluster's fault injector (dormant unless armed with specs).
+    pub fn fault_injector(&self) -> &Arc<FaultInjector> {
+        &self.inner.faults
     }
 
     fn live_nodes(&self) -> Vec<(NodeId, u32)> {
@@ -85,6 +129,11 @@ impl Dfs {
 
     fn node(&self, id: NodeId) -> &DataNode {
         &self.inner.datanodes[id as usize]
+    }
+
+    fn file_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        let mut locks = self.inner.append_locks.lock();
+        Arc::clone(locks.entry(name.to_string()).or_default())
     }
 
     /// Create an empty file.
@@ -128,12 +177,14 @@ impl Dfs {
     }
 
     /// Delete a file and reclaim its chunks on all live replicas.
+    ///
+    /// Dead replicas are skipped; their blocks are orphaned until the
+    /// node restarts and [`Dfs::sweep_orphans`] reconciles its block
+    /// report against the namespace (HDFS does the same).
     pub fn delete(&self, name: &str) -> Result<()> {
         let chunks = self.inner.namenode.delete(name)?;
         for c in chunks {
             for r in c.replicas {
-                // Dead replicas are skipped; their blocks are orphaned,
-                // exactly as in HDFS until the next block report.
                 let _ = self.node(r).delete_block(c.block);
             }
         }
@@ -143,26 +194,87 @@ impl Dfs {
     /// Append `data` to `name`, returning the offset at which it landed.
     ///
     /// The write is replicated synchronously: every replica of every
-    /// touched chunk acknowledges before the call returns.
+    /// touched chunk acknowledges before the call returns. A replica that
+    /// fails transiently is retried per the configured policy; a replica
+    /// that stays down is excluded and replaced with a freshly-placed
+    /// node (healed up to the committed chunk offset from a surviving
+    /// peer), so a successful return always means `replication` complete,
+    /// identical replicas. On overall failure every partial replica write
+    /// is rolled back before the error is returned.
     pub fn append(&self, name: &str, data: &[u8]) -> Result<u64> {
-        let file_lock = {
-            let mut locks = self.inner.append_locks.lock();
-            Arc::clone(locks.entry(name.to_string()).or_default())
-        };
+        let file_lock = self.file_lock(name);
         let _guard = file_lock.lock();
 
-        let plan = self.inner.namenode.plan_append(
+        let mut plan = self.inner.namenode.plan_append(
             name,
             data.len() as u64,
             self.inner.config.chunk_size,
             self.inner.config.replication,
             &self.live_nodes(),
         )?;
-        for w in &plan.writes {
+        let retry = self.inner.config.retry.clone();
+        // Nodes that failed during this append; never picked again.
+        let mut failed: Vec<NodeId> = Vec::new();
+        // Completed (block, base, new, replicas) for rollback on failure.
+        let mut undo: Vec<UndoRecord> = Vec::new();
+        for w in &mut plan.writes {
             let slice = &data[w.data_range.0 as usize..w.data_range.1 as usize];
-            for &r in &w.replicas {
-                self.node(r).append_block(w.block, slice)?;
+            let base = w.chunk_offset;
+            let mut completed: Vec<NodeId> = Vec::new();
+            let mut i = 0;
+            while i < w.replicas.len() {
+                let r = w.replicas[i];
+                let outcome = retry.run(|attempt| {
+                    if attempt > 0 {
+                        Metrics::incr(&self.inner.metrics.dfs_retries);
+                    }
+                    // Prefix-heal sources: replicas that already took this
+                    // write, then the not-yet-written original replicas
+                    // (they hold exactly `base` committed bytes).
+                    let sources: Vec<NodeId> = completed
+                        .iter()
+                        .chain(w.replicas.iter().filter(|n| !failed.contains(n)))
+                        .copied()
+                        .filter(|n| *n != r)
+                        .collect();
+                    self.write_replica(r, w.block, base, slice, &sources)
+                });
+                match outcome {
+                    Ok(()) => {
+                        completed.push(r);
+                        i += 1;
+                    }
+                    Err(e) if e.is_retriable() => {
+                        // Replica is gone for good (retries exhausted):
+                        // exclude it and re-drive the write on a
+                        // replacement node.
+                        failed.push(r);
+                        let live = self.live_nodes();
+                        let mut exclude = w.replicas.clone();
+                        exclude.extend_from_slice(&failed);
+                        match self.inner.namenode.pick_replacement(&exclude, &live) {
+                            Some(sub) => w.replicas[i] = sub,
+                            None => {
+                                undo.push((w.block, base, w.new_chunk, completed));
+                                self.rollback_append(&undo);
+                                return Err(Error::InsufficientReplicas {
+                                    wanted: self.inner.config.replication,
+                                    available: live
+                                        .iter()
+                                        .filter(|(id, _)| !failed.contains(id))
+                                        .count(),
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        undo.push((w.block, base, w.new_chunk, completed));
+                        self.rollback_append(&undo);
+                        return Err(e);
+                    }
+                }
             }
+            undo.push((w.block, base, w.new_chunk, completed));
         }
         self.inner.namenode.commit_append(&plan)?;
         Metrics::incr(&self.inner.metrics.dfs_appends);
@@ -173,10 +285,73 @@ impl Dfs {
         Ok(plan.start_offset)
     }
 
+    /// Drive one replica of one pipeline write to exactly
+    /// `base + data.len()` bytes: undo any leftover torn tail, heal a
+    /// missing committed prefix from `sources`, append, verify.
+    fn write_replica(
+        &self,
+        r: NodeId,
+        block: BlockId,
+        base: u64,
+        data: &[u8],
+        sources: &[NodeId],
+    ) -> Result<()> {
+        let node = self.node(r);
+        let cur = node.block_len(block)?;
+        if cur > base {
+            // Torn tail from an earlier failed attempt.
+            node.truncate_block(block, base)?;
+        } else if cur < base {
+            // Fresh replacement (or stale replica): copy the committed
+            // prefix from any peer that has it.
+            let missing = (base - cur) as usize;
+            let mut fill = None;
+            for &s in sources {
+                if let Ok(b) = self.node(s).read_block(block, cur, missing) {
+                    fill = Some(b);
+                    break;
+                }
+            }
+            let fill = fill.ok_or_else(|| {
+                Error::Unavailable(format!(
+                    "no source to heal replica dn-{r} of blk_{block} to offset {base}"
+                ))
+            })?;
+            node.append_block(block, &fill)?;
+        }
+        let end = node.append_block(block, data)?;
+        let want = base + data.len() as u64;
+        if end != want {
+            let _ = node.truncate_block(block, base);
+            return Err(Error::Unavailable(format!(
+                "replica dn-{r} of blk_{block} diverged: length {end}, expected {want}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Best-effort undo of partial pipeline writes (no replica may keep
+    /// bytes the caller was told failed).
+    fn rollback_append(&self, undo: &[UndoRecord]) {
+        for (block, base, new_chunk, replicas) in undo {
+            for &r in replicas {
+                let node = self.node(r);
+                if *new_chunk {
+                    let _ = node.delete_block(*block);
+                } else {
+                    let _ = node.truncate_block(*block, *base);
+                }
+            }
+        }
+    }
+
     /// Positional read of `len` bytes at `offset`.
     ///
     /// Reads from the first live replica of each chunk, failing over to
-    /// the others. Counted as a random read (a "seek") in metrics.
+    /// the others and retrying transient failures. A replica that fails
+    /// its checksum is quarantined (its corrupt copy dropped so repair
+    /// restores it) once a healthy replica has served the bytes. Counted
+    /// as a random read (a "seek") in metrics.
     pub fn read(&self, name: &str, offset: u64, len: u64) -> Result<Bytes> {
         let meta = self.inner.namenode.stat(name)?;
         let size = meta.len();
@@ -199,29 +374,13 @@ impl Dfs {
         let mut chunk_start = 0u64;
         let mut remaining = len;
         let mut pos = offset;
-        for c in &meta.chunks {
+        for (ci, c) in meta.chunks.iter().enumerate() {
             let chunk_end = chunk_start + c.len;
             if pos < chunk_end && remaining > 0 {
                 let within = pos - chunk_start;
                 let take = (c.len - within).min(remaining);
-                let mut got = None;
-                let mut last_err = Error::Unavailable(format!(
-                    "no live replica for chunk {} of {name}",
-                    c.block
-                ));
-                for &r in &c.replicas {
-                    match self.node(r).read_block(c.block, within, take as usize) {
-                        Ok(bytes) => {
-                            got = Some(bytes);
-                            break;
-                        }
-                        Err(e) => last_err = e,
-                    }
-                }
-                match got {
-                    Some(bytes) => out.extend_from_slice(&bytes),
-                    None => return Err(last_err),
-                }
+                let bytes = self.read_chunk(name, ci, c, within, take as usize)?;
+                out.extend_from_slice(&bytes);
                 pos += take;
                 remaining -= take;
             }
@@ -239,6 +398,75 @@ impl Dfs {
             });
         }
         Ok(Bytes::from(out))
+    }
+
+    /// Read one range of one chunk with replica failover, transient-error
+    /// retry and corruption quarantine.
+    fn read_chunk(
+        &self,
+        name: &str,
+        chunk_index: usize,
+        snapshot: &ChunkMeta,
+        within: u64,
+        take: usize,
+    ) -> Result<Vec<u8>> {
+        self.inner.config.retry.run(|attempt| {
+            if attempt > 0 {
+                Metrics::incr(&self.inner.metrics.dfs_retries);
+            }
+            // Re-stat each attempt: background repair may have moved
+            // replicas since the caller's snapshot. Fall back to the
+            // snapshot if the file was renamed or deleted under us.
+            let fresh = self
+                .inner
+                .namenode
+                .stat(name)
+                .ok()
+                .and_then(|m| m.chunks.get(chunk_index).cloned());
+            let chunk = fresh.as_ref().unwrap_or(snapshot);
+            let mut corrupt: Vec<NodeId> = Vec::new();
+            let mut transient_err: Option<Error> = None;
+            let mut last_err: Option<Error> = None;
+            let mut got: Option<Vec<u8>> = None;
+            for &r in &chunk.replicas {
+                match self.node(r).read_block(chunk.block, within, take) {
+                    Ok(bytes) => {
+                        got = Some(bytes);
+                        break;
+                    }
+                    Err(e) => {
+                        if e.is_corruption() {
+                            corrupt.push(r);
+                        } else if e.is_retriable() && transient_err.is_none() {
+                            transient_err = Some(e);
+                            continue;
+                        }
+                        last_err = Some(e);
+                    }
+                }
+            }
+            match got {
+                Some(bytes) => {
+                    // A healthy replica served the range, so corrupt
+                    // copies are safe to drop; re-replication restores
+                    // them from the good copy.
+                    for r in corrupt {
+                        let _ = self.node(r).delete_block(chunk.block);
+                        Metrics::incr(&self.inner.metrics.corrupt_reads_recovered);
+                    }
+                    Ok(bytes)
+                }
+                // Prefer the transient error so the retry policy keeps
+                // trying (a down node may restart); corruption with no
+                // healthy copy left is terminal.
+                None => Err(transient_err.or(last_err).unwrap_or_else(|| {
+                    Error::Unavailable(format!(
+                        "no live replica for chunk {} of {name}",
+                        snapshot.block
+                    ))
+                })),
+            }
+        })
     }
 
     /// Read the whole file (metrics count it as a sequential scan).
@@ -268,18 +496,23 @@ impl Dfs {
     }
 
     /// Re-replicate under-replicated chunks (the name node's response to
-    /// a lost data node in HDFS). For every chunk with fewer live
+    /// a lost data node in HDFS). For every chunk with fewer healthy
     /// replicas than the replication factor, the block is copied from a
     /// surviving replica onto live nodes that lack it and the metadata
-    /// is updated. Returns the number of new replicas created.
+    /// is updated. A replica counts as healthy only if its node is alive
+    /// *and* its copy is complete — a torn tail from a crashed append is
+    /// repaired, not trusted. Returns the number of replicas created.
     ///
-    /// Chunks with **zero** live replicas are skipped (data loss — only
-    /// a catastrophic simultaneous failure can cause it at replication
-    /// ≥ 2; such chunks surface as read errors).
+    /// Chunks with **zero** healthy replicas are skipped (data loss —
+    /// only a catastrophic simultaneous failure can cause it at
+    /// replication ≥ 2; such chunks surface as read errors).
     pub fn rereplicate(&self) -> Result<u64> {
-        let live = self.live_nodes();
         let mut created = 0u64;
         for name in self.list("") {
+            // Serialize with appends to this file so a repair copy and a
+            // pipeline write cannot interleave into divergent replicas.
+            let file_lock = self.file_lock(&name);
+            let _guard = file_lock.lock();
             let Ok(meta) = self.stat(&name) else { continue };
             for (ci, chunk) in meta.chunks.iter().enumerate() {
                 let holders: Vec<NodeId> = chunk
@@ -288,48 +521,73 @@ impl Dfs {
                     .copied()
                     .filter(|r| {
                         let n = self.node(*r);
-                        n.is_alive() && n.has_block(chunk.block)
+                        n.is_alive() && n.block_len(chunk.block).is_ok_and(|l| l >= chunk.len)
                     })
                     .collect();
                 if holders.is_empty() || holders.len() >= self.inner.config.replication {
                     continue;
                 }
-                let source = self.node(holders[0]);
-                let data = source.read_block(chunk.block, 0, chunk.len as usize)?;
+                // Checksum-verified source read, failing over between
+                // holders (one of them may hold a corrupt copy).
+                let mut data: Option<Vec<u8>> = None;
+                for &h in &holders {
+                    if let Ok(d) = self.node(h).read_block(chunk.block, 0, chunk.len as usize) {
+                        data = Some(d);
+                        break;
+                    }
+                }
+                let Some(data) = data else { continue };
                 let mut replicas = holders.clone();
-                for (candidate, _) in &live {
+                for (candidate, _) in &self.live_nodes() {
                     if replicas.len() >= self.inner.config.replication {
                         break;
                     }
                     if replicas.contains(candidate) {
                         continue;
                     }
-                    self.node(*candidate).append_block(chunk.block, &data)?;
-                    replicas.push(*candidate);
-                    created += 1;
+                    let node = self.node(*candidate);
+                    // The target may hold a stale or torn copy (it was a
+                    // replica before it crashed): reset it first.
+                    let copied: Result<()> = (|| {
+                        if node.block_len(chunk.block)? > 0 {
+                            node.truncate_block(chunk.block, 0)?;
+                        }
+                        node.append_block(chunk.block, &data)?;
+                        Ok(())
+                    })();
+                    // A candidate that fails (injected fault, crash) is
+                    // skipped, not fatal — the next sweep finishes the job.
+                    if copied.is_ok() {
+                        replicas.push(*candidate);
+                        created += 1;
+                        Metrics::incr(&self.inner.metrics.replicas_repaired);
+                    }
                 }
-                self.inner.namenode.set_replicas(&name, ci, replicas)?;
+                if replicas != chunk.replicas {
+                    self.inner.namenode.set_replicas(&name, ci, replicas)?;
+                }
             }
         }
         Ok(created)
     }
 
-    /// Number of chunks whose live replica count is below the
-    /// replication factor (monitoring hook).
+    /// Number of chunks whose healthy replica count (alive **and**
+    /// holding a complete copy) is below the replication factor
+    /// (monitoring hook; drives the auto-repair thread).
     pub fn under_replicated_chunks(&self) -> u64 {
         let mut n = 0;
         for name in self.list("") {
             let Ok(meta) = self.stat(&name) else { continue };
             for chunk in &meta.chunks {
-                let live = chunk
+                let healthy = chunk
                     .replicas
                     .iter()
                     .filter(|r| {
                         let node = self.node(**r);
-                        node.is_alive() && node.has_block(chunk.block)
+                        node.is_alive() && node.block_len(chunk.block).is_ok_and(|l| l >= chunk.len)
                     })
                     .count();
-                if live < self.inner.config.replication {
+                if healthy < self.inner.config.replication {
                     n += 1;
                 }
             }
@@ -337,14 +595,54 @@ impl Dfs {
         n
     }
 
+    /// Block-report sweep for one node: delete every local block that no
+    /// file references (its file was deleted while the node was down).
+    /// Returns the number of blocks reclaimed. Appends are excluded for
+    /// the duration so an in-flight (not yet committed) block cannot be
+    /// swept.
+    pub fn sweep_orphans(&self, id: NodeId) -> Result<u64> {
+        // Hold every file's append lock: a planned-but-uncommitted block
+        // is only reachable from inside an append, and appends all hold
+        // their file lock.
+        let mut locks: Vec<Arc<Mutex<()>>> =
+            self.inner.append_locks.lock().values().cloned().collect();
+        // Total lock order (by address) so concurrent sweeps can't
+        // deadlock against each other.
+        locks.sort_by_key(|l| Arc::as_ptr(l) as usize);
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+        let referenced = self.inner.namenode.referenced_blocks();
+        let node = self.node(id);
+        let mut removed = 0u64;
+        for block in node.list_blocks() {
+            if !referenced.contains(&block) {
+                node.delete_block(block)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// Kill a data node (failure injection).
     pub fn kill_node(&self, id: NodeId) {
         self.node(id).kill();
     }
 
-    /// Restart a data node.
+    /// Whether data node `id` is up (faults can kill nodes mid-append;
+    /// supervisors poll this to decide who needs a restart).
+    pub fn node_alive(&self, id: NodeId) -> bool {
+        self.node(id).is_alive()
+    }
+
+    /// Restart a data node. The node files a block report on the way up:
+    /// orphaned blocks (files deleted while it was down) are reclaimed.
     pub fn restart_node(&self, id: NodeId) {
         self.node(id).restart();
+        let _ = self.sweep_orphans(id);
+    }
+
+    /// Block ids node `id` currently holds (its block report).
+    pub fn node_blocks(&self, id: NodeId) -> Vec<BlockId> {
+        self.node(id).list_blocks()
     }
 
     /// Number of live data nodes.
@@ -433,7 +731,9 @@ impl DfsFileReader {
         let metrics = self.dfs.metrics();
         Metrics::incr(&metrics.dfs_reads);
         Metrics::add(&metrics.seq_bytes_read, want);
-        let bytes = self.dfs.read_internal(&self.name, &self.meta, self.pos, want)?;
+        let bytes = self
+            .dfs
+            .read_internal(&self.name, &self.meta, self.pos, want)?;
         self.buf_start = self.pos;
         self.buf = bytes;
         let out = self.buf.slice(0..len as usize);
@@ -446,6 +746,8 @@ impl DfsFileReader {
 mod tests {
     use super::*;
     use crate::config::StorageBackend;
+    use crate::fault::{FaultSpec, OpClass, ScheduledFault};
+    use logbase_common::RetryPolicy;
 
     fn small_dfs() -> Dfs {
         Dfs::new(DfsConfig::in_memory(3, 3).with_chunk_size(16))
@@ -588,7 +890,10 @@ mod tests {
         let payload: Vec<u8> = (0..=255u8).collect();
         dfs.append("wal/seg-1", &payload).unwrap();
         assert_eq!(&dfs.read_all("wal/seg-1").unwrap()[..], &payload[..]);
-        assert_eq!(&dfs.read("wal/seg-1", 100, 28).unwrap()[..], &payload[100..128]);
+        assert_eq!(
+            &dfs.read("wal/seg-1", 100, 28).unwrap()[..],
+            &payload[100..128]
+        );
     }
 
     #[test]
@@ -638,7 +943,11 @@ mod tests {
 
     #[test]
     fn rereplication_skips_chunks_with_no_live_replica() {
-        let dfs = Dfs::new(DfsConfig::in_memory(3, 2).with_chunk_size(1024));
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(3, 2)
+                .with_chunk_size(1024)
+                .with_retry(RetryPolicy::no_delay(2)),
+        );
         dfs.create("f").unwrap();
         dfs.append("f", b"data").unwrap();
         let meta = dfs.stat("f").unwrap();
@@ -674,5 +983,233 @@ mod tests {
     fn backend_enum_is_exposed() {
         let dfs = small_dfs();
         assert!(matches!(dfs.config().backend, StorageBackend::Memory));
+    }
+
+    #[test]
+    fn append_replaces_crashed_replica_mid_pipeline() {
+        // 5 nodes, replication 3: node 1 crashes on its first append.
+        // The pipeline must exclude it, bring in a replacement and ack a
+        // fully-replicated write.
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(5, 3)
+                .with_chunk_size(64)
+                .with_retry(RetryPolicy::no_delay(2)),
+        );
+        dfs.fault_injector().set_spec(
+            1,
+            OpClass::Append,
+            FaultSpec::default().with_scheduled(1, ScheduledFault::Crash),
+        );
+        dfs.create("f").unwrap();
+        dfs.append("f", &[9u8; 40]).unwrap();
+        let meta = dfs.stat("f").unwrap();
+        for c in &meta.chunks {
+            assert_eq!(c.replicas.len(), 3);
+            assert!(!c.replicas.contains(&1), "crashed node still a replica");
+            for &r in &c.replicas {
+                assert_eq!(dfs.node(r).block_len(c.block).unwrap(), c.len);
+            }
+        }
+        assert_eq!(dfs.under_replicated_chunks(), 0);
+        assert_eq!(&dfs.read_all("f").unwrap()[..], &[9u8; 40][..]);
+    }
+
+    #[test]
+    fn torn_append_is_healed_by_replacement() {
+        // Node 0 tears its copy (persists 5 of 40 bytes) and dies. The
+        // acknowledged write must still land complete on 3 replicas, and
+        // the torn copy must never be served.
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(5, 3)
+                .with_chunk_size(1024)
+                .with_retry(RetryPolicy::no_delay(2)),
+        );
+        dfs.create("f").unwrap();
+        dfs.append("f", &[1u8; 20]).unwrap(); // committed base data
+        dfs.fault_injector().set_spec(
+            0,
+            OpClass::Append,
+            FaultSpec::default().with_scheduled(1, ScheduledFault::TornAppend { keep: 5 }),
+        );
+        dfs.append("f", &[2u8; 40]).unwrap();
+        let meta = dfs.stat("f").unwrap();
+        let c = &meta.chunks[0];
+        assert_eq!(c.len, 60);
+        for &r in &c.replicas {
+            // Only count replicas that took both writes; node 0 may or
+            // may not be in the set depending on placement, but if it is,
+            // it must have been replaced (it died on the torn write).
+            assert!(dfs.node(r).is_alive());
+            assert_eq!(dfs.node(r).block_len(c.block).unwrap(), 60);
+        }
+        let all = dfs.read_all("f").unwrap();
+        assert_eq!(&all[..20], &[1u8; 20][..]);
+        assert_eq!(&all[20..], &[2u8; 40][..]);
+    }
+
+    #[test]
+    fn transient_append_faults_are_retried() {
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(3, 3)
+                .with_chunk_size(256)
+                .with_fault_seed(7)
+                .with_retry(RetryPolicy::no_delay(6)),
+        );
+        // Every node flakes 30% of the time on append; retries must make
+        // every write land anyway (same node retried until it takes it).
+        for n in 0..3 {
+            dfs.fault_injector()
+                .set_spec(n, OpClass::Append, FaultSpec::transient(0.3));
+        }
+        dfs.create("f").unwrap();
+        let mut expect = Vec::new();
+        for i in 0..30u8 {
+            dfs.append("f", &[i; 10]).unwrap();
+            expect.extend_from_slice(&[i; 10]);
+        }
+        dfs.fault_injector().clear();
+        assert_eq!(&dfs.read_all("f").unwrap()[..], &expect[..]);
+        assert!(dfs.metrics().snapshot().dfs_retries > 0);
+    }
+
+    #[test]
+    fn corrupt_replica_is_quarantined_and_repaired() {
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(3, 2)
+                .with_chunk_size(1024)
+                .with_retry(RetryPolicy::no_delay(3)),
+        );
+        dfs.create("f").unwrap();
+        dfs.append("f", &[5u8; 600]).unwrap();
+        let c = dfs.stat("f").unwrap().chunks[0].clone();
+        let first = c.replicas[0];
+        // Flip a bit in the first replica on its next read.
+        dfs.fault_injector().set_spec(
+            first,
+            OpClass::Read,
+            FaultSpec::default().with_scheduled(1, ScheduledFault::BitFlip),
+        );
+        // The read fails over to the healthy replica and quarantines the
+        // corrupt copy.
+        assert_eq!(&dfs.read("f", 0, 600).unwrap()[..], &[5u8; 600][..]);
+        let snap = dfs.metrics().snapshot();
+        assert!(snap.corrupt_reads_recovered >= 1);
+        assert!(!dfs.node(first).has_block(c.block), "corrupt copy kept");
+        assert_eq!(dfs.under_replicated_chunks(), 1);
+        // Repair restores full replication from the healthy copy.
+        dfs.fault_injector().clear();
+        assert_eq!(dfs.rereplicate().unwrap(), 1);
+        assert_eq!(dfs.under_replicated_chunks(), 0);
+        assert_eq!(&dfs.read("f", 0, 600).unwrap()[..], &[5u8; 600][..]);
+    }
+
+    #[test]
+    fn orphan_sweep_reclaims_blocks_deleted_while_down() {
+        let dir = tempfile::tempdir().unwrap();
+        let dfs = Dfs::new(DfsConfig::on_disk(dir.path(), 3, 3).with_chunk_size(32));
+        dfs.create("doomed").unwrap();
+        dfs.create("kept").unwrap();
+        dfs.append("doomed", &[1u8; 100]).unwrap();
+        dfs.append("kept", &[2u8; 50]).unwrap();
+        let doomed_blocks: Vec<BlockId> = dfs
+            .stat("doomed")
+            .unwrap()
+            .chunks
+            .iter()
+            .map(|c| c.block)
+            .collect();
+        dfs.kill_node(0);
+        // Node 0 misses the delete: its replicas of "doomed" leak.
+        dfs.delete("doomed").unwrap();
+        for b in &doomed_blocks {
+            assert!(
+                dfs.node_blocks(0).contains(b),
+                "dead node should still hold the orphaned block on disk"
+            );
+        }
+        // Restart files a block report; the sweep reclaims the orphans
+        // but keeps blocks of live files.
+        dfs.restart_node(0);
+        let after = dfs.node_blocks(0);
+        for b in &doomed_blocks {
+            assert!(!after.contains(b), "orphan {b} survived the sweep");
+        }
+        let kept_blocks: Vec<BlockId> = dfs
+            .stat("kept")
+            .unwrap()
+            .chunks
+            .iter()
+            .map(|c| c.block)
+            .collect();
+        for b in &kept_blocks {
+            assert!(after.contains(b), "live block {b} was swept");
+        }
+        assert_eq!(&dfs.read_all("kept").unwrap()[..], &[2u8; 50][..]);
+    }
+
+    #[test]
+    fn auto_repair_heals_lost_replicas_in_background() {
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(4, 3)
+                .with_chunk_size(64)
+                .with_auto_repair(std::time::Duration::from_millis(5)),
+        );
+        dfs.create("f").unwrap();
+        dfs.append("f", &[3u8; 200]).unwrap();
+        dfs.kill_node(0);
+        assert!(dfs.under_replicated_chunks() > 0);
+        // The background thread must converge without any manual call.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while dfs.under_replicated_chunks() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto-repair did not converge"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let snap = dfs.metrics().snapshot();
+        assert!(snap.repairs_triggered >= 1);
+        assert!(snap.replicas_repaired >= 1);
+        dfs.kill_node(1);
+        assert_eq!(&dfs.read_all("f").unwrap()[..], &[3u8; 200][..]);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_partial_replicas() {
+        // Replication 3 on exactly 3 nodes: when one node dies mid-append
+        // there is no replacement, so the append must fail AND leave no
+        // partial bytes behind (the next append must not diverge).
+        let dfs = Dfs::new(
+            DfsConfig::in_memory(3, 3)
+                .with_chunk_size(1024)
+                .with_retry(RetryPolicy::no_delay(2)),
+        );
+        dfs.create("f").unwrap();
+        dfs.append("f", &[1u8; 10]).unwrap();
+        dfs.fault_injector().set_spec(
+            2,
+            OpClass::Append,
+            FaultSpec::default().with_scheduled(1, ScheduledFault::Crash),
+        );
+        let err = dfs.append("f", &[2u8; 10]).unwrap_err();
+        assert!(matches!(err, Error::InsufficientReplicas { .. }));
+        assert_eq!(dfs.len("f").unwrap(), 10, "failed append changed length");
+        let c = dfs.stat("f").unwrap().chunks[0].clone();
+        for &r in &c.replicas {
+            if dfs.node(r).is_alive() {
+                assert_eq!(
+                    dfs.node(r).block_len(c.block).unwrap(),
+                    10,
+                    "partial write on dn-{r} survived rollback"
+                );
+            }
+        }
+        // Cluster heals after the dead node returns.
+        dfs.fault_injector().clear();
+        dfs.restart_node(2);
+        dfs.append("f", &[3u8; 10]).unwrap();
+        let all = dfs.read_all("f").unwrap();
+        assert_eq!(&all[..10], &[1u8; 10][..]);
+        assert_eq!(&all[10..], &[3u8; 10][..]);
     }
 }

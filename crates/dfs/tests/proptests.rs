@@ -5,7 +5,8 @@ use logbase_dfs::{Dfs, DfsConfig};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64
+        })]
 
     /// Appends concatenate; positional reads return exactly the model's
     /// bytes, regardless of chunk size (so chunk-boundary handling is

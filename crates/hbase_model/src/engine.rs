@@ -7,8 +7,7 @@ use logbase_common::{Lsn, Record, Result, RowKey, Timestamp, Value};
 use logbase_coordination::TimestampOracle;
 use logbase_dfs::Dfs;
 use logbase_sstable::{
-    merge_entries, BlockCache, BlockEntry, Memtable, SsTableConfig, SsTableReader,
-    SsTableWriter,
+    merge_entries, BlockCache, BlockEntry, Memtable, SsTableConfig, SsTableReader, SsTableWriter,
 };
 use logbase_wal::{GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter};
 use parking_lot::{Mutex, RwLock};
@@ -126,8 +125,7 @@ impl HBaseEngine {
     ) -> Result<Arc<Self>> {
         let writer = Arc::new(LogWriter::create(
             dfs.clone(),
-            LogConfig::new(format!("{}/wal", config.name))
-                .with_segment_bytes(config.segment_bytes),
+            LogConfig::new(format!("{}/wal", config.name)).with_segment_bytes(config.segment_bytes),
         )?);
         Ok(Arc::new(Self::assemble(dfs, config, writer, oracle)))
     }
@@ -138,8 +136,8 @@ impl HBaseEngine {
         writer: Arc<LogWriter>,
         oracle: TimestampOracle,
     ) -> Self {
-        let cache = (config.block_cache_bytes > 0)
-            .then(|| BlockCache::new(config.block_cache_bytes));
+        let cache =
+            (config.block_cache_bytes > 0).then(|| BlockCache::new(config.block_cache_bytes));
         HBaseEngine {
             wal: GroupCommitLog::new(writer, GroupCommitConfig::default()),
             cgs: RwLock::new(HashMap::new()),
@@ -160,7 +158,12 @@ impl HBaseEngine {
             LogConfig::new(&wal_prefix).with_segment_bytes(config.segment_bytes),
             Lsn(1),
         )?);
-        let engine = Self::assemble(dfs.clone(), config, Arc::clone(&writer), TimestampOracle::new());
+        let engine = Self::assemble(
+            dfs.clone(),
+            config,
+            Arc::clone(&writer),
+            TimestampOracle::new(),
+        );
 
         // Reopen SSTables: <name>/data/cg<id>/sst-<seq>.
         let data_prefix = format!("{}/data/", engine.config.name);
@@ -188,14 +191,17 @@ impl HBaseEngine {
         let mut writes: Vec<(u64, Record)> = Vec::new();
         let mut max_lsn = 0u64;
         let mut max_ts = 0u64;
-        logbase_wal::scan_log(&dfs, &wal_prefix, 0, 0, |_, entry| {
+        logbase_wal::scan_log_tolerant(&dfs, &wal_prefix, 0, 0, |_, entry| {
             max_lsn = max_lsn.max(entry.lsn.0);
             match entry.kind {
                 LogEntryKind::Write { record, .. } => {
                     max_ts = max_ts.max(record.meta.timestamp.0);
                     writes.push((entry.lsn.0, record));
                 }
-                LogEntryKind::Checkpoint { index_lsn, index_file } => {
+                LogEntryKind::Checkpoint {
+                    index_lsn,
+                    index_file,
+                } => {
                     if let Some(cg) = index_file
                         .strip_prefix("flush:cg")
                         .and_then(|s| s.parse::<u16>().ok())
@@ -517,11 +523,7 @@ mod tests {
 
     fn engine(flush_bytes: u64) -> Arc<HBaseEngine> {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
-        HBaseEngine::create(
-            dfs,
-            HBaseConfig::new("hb").with_flush_bytes(flush_bytes),
-        )
-        .unwrap()
+        HBaseEngine::create(dfs, HBaseConfig::new("hb").with_flush_bytes(flush_bytes)).unwrap()
     }
 
     #[test]
@@ -598,11 +600,8 @@ mod tests {
     fn recovery_replays_wal_tail() {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
         {
-            let e = HBaseEngine::create(
-                dfs.clone(),
-                HBaseConfig::new("hb").with_flush_bytes(2048),
-            )
-            .unwrap();
+            let e = HBaseEngine::create(dfs.clone(), HBaseConfig::new("hb").with_flush_bytes(2048))
+                .unwrap();
             for i in 0..50 {
                 e.put(0, key(&format!("k{i:03}")), val(&format!("v{i}")))
                     .unwrap();
@@ -643,11 +642,8 @@ mod tests {
     #[test]
     fn block_cache_serves_repeat_reads() {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
-        let e = HBaseEngine::create(
-            dfs.clone(),
-            HBaseConfig::new("hb").with_block_bytes(512),
-        )
-        .unwrap();
+        let e =
+            HBaseEngine::create(dfs.clone(), HBaseConfig::new("hb").with_block_bytes(512)).unwrap();
         for i in 0..100 {
             e.put(0, key(&format!("k{i:03}")), val("v")).unwrap();
         }
@@ -660,7 +656,6 @@ mod tests {
         assert_eq!(dfs.metrics().snapshot().dfs_reads, reads);
     }
 
-
     #[test]
     fn minor_compaction_merges_tables_and_preserves_reads() {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
@@ -669,12 +664,8 @@ mod tests {
         let e = HBaseEngine::create(dfs.clone(), config).unwrap();
         for round in 0..6u64 {
             for i in 0..20u64 {
-                e.put(
-                    0,
-                    key(&format!("k{i:03}")),
-                    val(&format!("r{round}")),
-                )
-                .unwrap();
+                e.put(0, key(&format!("k{i:03}")), val(&format!("r{round}")))
+                    .unwrap();
             }
             e.flush_all().unwrap();
         }

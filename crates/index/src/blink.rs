@@ -477,8 +477,14 @@ mod tests {
         for ts in [2u64, 8, 5] {
             t.insert(key("k"), Timestamp(ts), ptr(ts));
         }
-        assert_eq!(t.latest_at(&key("k"), Timestamp(8)), Some((Timestamp(8), ptr(8))));
-        assert_eq!(t.latest_at(&key("k"), Timestamp(7)), Some((Timestamp(5), ptr(5))));
+        assert_eq!(
+            t.latest_at(&key("k"), Timestamp(8)),
+            Some((Timestamp(8), ptr(8)))
+        );
+        assert_eq!(
+            t.latest_at(&key("k"), Timestamp(7)),
+            Some((Timestamp(5), ptr(5)))
+        );
         assert_eq!(t.latest_at(&key("k"), Timestamp(1)), None);
         assert_eq!(t.latest_at(&key("zz"), Timestamp::MAX), None);
     }

@@ -106,9 +106,11 @@ impl MultiVersionIndex {
             .collect();
         for k in &doomed {
             map.remove(k);
-            self.key_bytes.fetch_sub(k.0.len() as u64, Ordering::Relaxed);
+            self.key_bytes
+                .fetch_sub(k.0.len() as u64, Ordering::Relaxed);
         }
-        self.updates.fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        self.updates
+            .fetch_add(doomed.len() as u64, Ordering::Relaxed);
         doomed.len()
     }
 
@@ -118,7 +120,8 @@ impl MultiVersionIndex {
         let k = (RowKey::copy_from_slice(key), ts);
         let removed = map.remove(&k).is_some();
         if removed {
-            self.key_bytes.fetch_sub(key.len() as u64, Ordering::Relaxed);
+            self.key_bytes
+                .fetch_sub(key.len() as u64, Ordering::Relaxed);
             self.updates.fetch_add(1, Ordering::Relaxed);
         }
         removed
@@ -219,9 +222,11 @@ impl MultiVersionIndex {
             .collect();
         for k in &doomed {
             map.remove(k);
-            self.key_bytes.fetch_sub(k.0.len() as u64, Ordering::Relaxed);
+            self.key_bytes
+                .fetch_sub(k.0.len() as u64, Ordering::Relaxed);
         }
-        self.updates.fetch_add(doomed.len() as u64, Ordering::Relaxed);
+        self.updates
+            .fetch_add(doomed.len() as u64, Ordering::Relaxed);
         doomed.len()
     }
 
@@ -243,7 +248,8 @@ impl MultiVersionIndex {
         map.clear();
         self.key_bytes.store(0, Ordering::Relaxed);
         for e in entries {
-            self.key_bytes.fetch_add(e.key.len() as u64, Ordering::Relaxed);
+            self.key_bytes
+                .fetch_add(e.key.len() as u64, Ordering::Relaxed);
             map.insert((e.key, e.ts), e.ptr);
         }
     }
@@ -328,7 +334,10 @@ mod tests {
         idx.insert(key("a"), Timestamp(2), ptr(1));
         idx.insert(key("a"), Timestamp(18), ptr(2));
         assert_eq!(idx.latest_at(b"a", Timestamp(17)).unwrap().ts, Timestamp(2));
-        assert_eq!(idx.latest_at(b"a", Timestamp(18)).unwrap().ts, Timestamp(18));
+        assert_eq!(
+            idx.latest_at(b"a", Timestamp(18)).unwrap().ts,
+            Timestamp(18)
+        );
         assert!(idx.latest_at(b"a", Timestamp(1)).is_none());
     }
 
@@ -378,7 +387,14 @@ mod tests {
     #[test]
     fn range_latest_at_returns_one_entry_per_key() {
         let idx = MultiVersionIndex::new();
-        for (k, t) in [("a", 1u64), ("a", 5), ("b", 2), ("c", 3), ("c", 9), ("d", 4)] {
+        for (k, t) in [
+            ("a", 1u64),
+            ("a", 5),
+            ("b", 2),
+            ("c", 3),
+            ("c", 9),
+            ("d", 4),
+        ] {
             idx.insert(key(k), Timestamp(t), ptr(t));
         }
         let r = KeyRange::new(&b"a"[..], &b"d"[..]);

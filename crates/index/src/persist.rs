@@ -154,10 +154,7 @@ mod tests {
         header.put_u64_le(5);
         codec::encode_frame(&mut out, &header);
         dfs.append("bad", &out).unwrap();
-        assert!(matches!(
-            load_index(&dfs, "bad"),
-            Err(Error::Corruption(_))
-        ));
+        assert!(matches!(load_index(&dfs, "bad"), Err(Error::Corruption(_))));
     }
 
     #[test]

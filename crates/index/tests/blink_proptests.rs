@@ -35,7 +35,8 @@ fn ptr_of(p: u64) -> LogPtr {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64
+        })]
 
     #[test]
     fn prop_blink_matches_model_and_mvindex(

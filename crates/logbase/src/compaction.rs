@@ -66,6 +66,13 @@ impl TabletServer {
         //    plus the previous generation of sorted segments.
         let writer = self.log.writer();
         let new_open = writer.rotate()?;
+        // Drain in-flight writes: put/txn-commit hold the read half of
+        // `write_barrier` across (log append → index insert). A writer that
+        // appended to a now-sealed input segment but has not indexed yet
+        // would be judged dead below and its segment deleted from under it;
+        // acquiring the write half here waits those writers out, so every
+        // entry in an input segment is either indexed or genuinely dead.
+        drop(self.write_barrier.write());
         let log_prefix = format!("{}/log", self.config.name);
         // Segments before the new open one that still exist (earlier
         // rounds deleted their inputs already).
@@ -88,8 +95,7 @@ impl TabletServer {
                     break;
                 }
                 let header = scanner.read_exact(codec::FRAME_HEADER_LEN as u64)?;
-                let len =
-                    u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+                let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
                 if scanner.remaining() < len {
                     break;
                 }
@@ -172,27 +178,24 @@ impl TabletServer {
         if let Some(max) = config.max_versions {
             let mut pruned: Vec<LiveEntry> = Vec::with_capacity(live.len());
             let mut group: Vec<LiveEntry> = Vec::new();
-            let flush =
-                |group: &mut Vec<LiveEntry>, pruned: &mut Vec<LiveEntry>| -> Result<()> {
-                    let drop_n = group.len().saturating_sub(max);
-                    for doomed in group.drain(..drop_n) {
-                        // Remove the pruned version from the index too.
-                        if let Ok(table) = self.table(&doomed.table) {
-                            if let Ok(tablet) = table.route(&doomed.record.meta.key) {
-                                if let Ok(index) =
-                                    tablet.index(doomed.record.meta.column_group)
-                                {
-                                    index.remove_version(
-                                        &doomed.record.meta.key,
-                                        doomed.record.meta.timestamp,
-                                    )?;
-                                }
+            let flush = |group: &mut Vec<LiveEntry>, pruned: &mut Vec<LiveEntry>| -> Result<()> {
+                let drop_n = group.len().saturating_sub(max);
+                for doomed in group.drain(..drop_n) {
+                    // Remove the pruned version from the index too.
+                    if let Ok(table) = self.table(&doomed.table) {
+                        if let Ok(tablet) = table.route(&doomed.record.meta.key) {
+                            if let Ok(index) = tablet.index(doomed.record.meta.column_group) {
+                                index.remove_version(
+                                    &doomed.record.meta.key,
+                                    doomed.record.meta.timestamp,
+                                )?;
                             }
                         }
                     }
-                    pruned.append(group);
-                    Ok(())
-                };
+                }
+                pruned.append(group);
+                Ok(())
+            };
             for e in live {
                 let same_group = group.last().is_some_and(|g| {
                     g.table == e.table
@@ -219,41 +222,35 @@ impl TabletServer {
         let mut pending: Vec<(String, u16, logbase_common::RowKey, Timestamp, u64, u32)> =
             Vec::new();
         let mut new_sorted_ids: Vec<u32> = Vec::new();
-        let flush_segment = |buf: &mut BytesMut,
-                                 pending: &mut Vec<(
-            String,
-            u16,
-            logbase_common::RowKey,
-            Timestamp,
-            u64,
-            u32,
-        )>,
-                                 seg_in_gen: &mut u32,
-                                 new_sorted_ids: &mut Vec<u32>|
-         -> Result<()> {
-            if buf.is_empty() {
-                return Ok(());
-            }
-            let name = format!(
-                "{}/sorted/gen{generation}/seg-{seg_in_gen:06}",
-                self.config.name
-            );
-            *seg_in_gen += 1;
-            self.dfs.create(&name)?;
-            self.dfs.append(&name, buf)?;
-            self.dfs.seal(&name)?;
-            let seg_id = self.segdir.register_sorted(name);
-            new_sorted_ids.push(seg_id);
-            for (table, cg, key, ts, offset, len) in pending.drain(..) {
-                let t = self.table(&table)?;
-                let tablet = t.route(&key)?;
-                tablet
-                    .index(cg)?
-                    .insert(key, ts, LogPtr::new(seg_id, offset, len))?;
-            }
-            buf.clear();
-            Ok(())
-        };
+        let flush_segment =
+            |buf: &mut BytesMut,
+             pending: &mut Vec<(String, u16, logbase_common::RowKey, Timestamp, u64, u32)>,
+             seg_in_gen: &mut u32,
+             new_sorted_ids: &mut Vec<u32>|
+             -> Result<()> {
+                if buf.is_empty() {
+                    return Ok(());
+                }
+                let name = format!(
+                    "{}/sorted/gen{generation}/seg-{seg_in_gen:06}",
+                    self.config.name
+                );
+                *seg_in_gen += 1;
+                self.dfs.create(&name)?;
+                self.dfs.append(&name, buf)?;
+                self.dfs.seal(&name)?;
+                let seg_id = self.segdir.register_sorted(name);
+                new_sorted_ids.push(seg_id);
+                for (table, cg, key, ts, offset, len) in pending.drain(..) {
+                    let t = self.table(&table)?;
+                    let tablet = t.route(&key)?;
+                    tablet
+                        .index(cg)?
+                        .insert(key, ts, LogPtr::new(seg_id, offset, len))?;
+                }
+                buf.clear();
+                Ok(())
+            };
         for e in &live {
             let entry = LogEntry {
                 lsn: Lsn::ZERO, // sorted segments are not part of redo

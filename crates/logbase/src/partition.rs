@@ -43,11 +43,7 @@ type Grouping = Vec<Vec<usize>>;
 pub const GROUP_ACCESS_OVERHEAD: u64 = 64;
 
 /// I/O cost of `grouping` under the trace (lower is better).
-pub fn partition_cost(
-    grouping: &Grouping,
-    stats: &[ColumnStat],
-    workload: &[QueryPattern],
-) -> u64 {
+pub fn partition_cost(grouping: &Grouping, stats: &[ColumnStat], workload: &[QueryPattern]) -> u64 {
     let name_to_idx: HashMap<&str, usize> = stats
         .iter()
         .enumerate()
@@ -218,7 +214,11 @@ impl TraceRecorder {
                 frequency: *freq,
             })
             .collect();
-        out.sort_by(|a, b| b.frequency.cmp(&a.frequency).then(a.columns.cmp(&b.columns)));
+        out.sort_by(|a, b| {
+            b.frequency
+                .cmp(&a.frequency)
+                .then(a.columns.cmp(&b.columns))
+        });
         out
     }
 
@@ -244,7 +244,11 @@ impl TraceRecorder {
     /// Recommend a vertical partitioning for `columns` from the
     /// recorded trace.
     pub fn recommend(&self, columns: &[&str], default_bytes: u64) -> Vec<Vec<String>> {
-        optimal_partitioning(&self.column_stats(columns, default_bytes), &self.patterns(), 8)
+        optimal_partitioning(
+            &self.column_stats(columns, default_bytes),
+            &self.patterns(),
+            8,
+        )
     }
 
     /// Total queries recorded.
@@ -263,12 +267,7 @@ pub fn schema_from_groups(table: &str, groups: &[Vec<String>]) -> Result<TableSc
     let group_refs: Vec<(String, Vec<&str>)> = groups
         .iter()
         .enumerate()
-        .map(|(i, cols)| {
-            (
-                format!("cg{i}"),
-                cols.iter().map(String::as_str).collect(),
-            )
-        })
+        .map(|(i, cols)| (format!("cg{i}"), cols.iter().map(String::as_str).collect()))
         .collect();
     let borrowed: Vec<(&str, &[&str])> = group_refs
         .iter()
@@ -349,9 +348,7 @@ mod tests {
         let together: Grouping = vec![vec![0, 1]];
         let apart: Grouping = vec![vec![0], vec![1]];
         let narrow = vec![q(&["a"], 10)];
-        assert!(
-            partition_cost(&apart, &s, &narrow) < partition_cost(&together, &s, &narrow)
-        );
+        assert!(partition_cost(&apart, &s, &narrow) < partition_cost(&together, &s, &narrow));
         // A wide query pays the per-group overhead once when the
         // columns share a group, twice when split.
         let wide = vec![q(&["a", "b"], 10)];

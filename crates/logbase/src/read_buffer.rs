@@ -34,10 +34,7 @@ impl ReadBuffer {
 
     /// Buffer with a custom replacement policy (§3.6.2: "we also design
     /// the replacement strategy as an abstracted interface").
-    pub fn with_policy(
-        capacity_bytes: u64,
-        policy: Box<dyn ReplacementPolicy<BufferKey>>,
-    ) -> Self {
+    pub fn with_policy(capacity_bytes: u64, policy: Box<dyn ReplacementPolicy<BufferKey>>) -> Self {
         ReadBuffer {
             cache: Cache::with_policy(capacity_bytes, policy),
         }
@@ -50,25 +47,16 @@ impl ReadBuffer {
     }
 
     /// Cache a version of a record.
-    pub fn put(
-        &self,
-        table: &Arc<str>,
-        cg: u16,
-        key: &[u8],
-        ts: Timestamp,
-        value: Option<Value>,
-    ) {
+    pub fn put(&self, table: &Arc<str>, cg: u16, key: &[u8], ts: Timestamp, value: Option<Value>) {
         let bytes = (key.len() + value.as_ref().map_or(0, |v| v.len()) + 48) as u64;
-        self.cache.insert(
-            (Arc::clone(table), cg, key.to_vec()),
-            (ts, value),
-            bytes,
-        );
+        self.cache
+            .insert((Arc::clone(table), cg, key.to_vec()), (ts, value), bytes);
     }
 
     /// Drop a record's cached version (delete path).
     pub fn invalidate(&self, table: &Arc<str>, cg: u16, key: &[u8]) {
-        self.cache.invalidate(&(Arc::clone(table), cg, key.to_vec()));
+        self.cache
+            .invalidate(&(Arc::clone(table), cg, key.to_vec()));
     }
 
     /// Drop everything.

@@ -114,9 +114,7 @@ impl SecondaryRegistry {
         self.of(table, cg)
             .into_iter()
             .find(|i| i.name == name)
-            .ok_or_else(|| {
-                Error::Schema(format!("no secondary index {name} on {table}/{cg}"))
-            })
+            .ok_or_else(|| Error::Schema(format!("no secondary index {name} on {table}/{cg}")))
     }
 }
 

@@ -20,9 +20,7 @@ use logbase_common::{Error, LogPtr, Lsn, Record, Result, RowKey, Timestamp, Valu
 use logbase_coordination::{LockService, TimestampOracle};
 use logbase_dfs::Dfs;
 use logbase_index::IndexEntry;
-use logbase_wal::{
-    GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter,
-};
+use logbase_wal::{GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -168,8 +166,8 @@ impl TabletServer {
         locks: LockService,
     ) -> Self {
         let log_prefix = format!("{}/log", config.name);
-        let read_buffer = (config.read_buffer_bytes > 0)
-            .then(|| ReadBuffer::lru(config.read_buffer_bytes));
+        let read_buffer =
+            (config.read_buffer_bytes > 0).then(|| ReadBuffer::lru(config.read_buffer_bytes));
         TabletServer {
             segdir: SegmentDirectory::new(log_prefix),
             log: GroupCommitLog::new(writer, config.group_commit.clone()),
@@ -292,7 +290,10 @@ impl TabletServer {
     pub fn assign_tablet(&self, desc: TabletDesc) -> Result<()> {
         let table = self.table(&desc.id.table)?;
         if table.tablet(desc.id.range_index).is_some() {
-            return Err(Error::Schema(format!("tablet {} already assigned", desc.id)));
+            return Err(Error::Schema(format!(
+                "tablet {} already assigned",
+                desc.id
+            )));
         }
         table.add_tablet(Arc::new(self.new_tablet_state(desc, &table.schema)?));
         Ok(())
@@ -416,11 +417,7 @@ impl TabletServer {
         })?;
         let mut contents = Vec::new();
         for (cg, index) in tablet.indexes.iter().enumerate() {
-            let entries = index.range_latest_at(
-                &tablet.desc.range,
-                Timestamp::MAX,
-                usize::MAX,
-            )?;
+            let entries = index.range_latest_at(&tablet.desc.range, Timestamp::MAX, usize::MAX)?;
             let items = self.fetch_entries(entries)?;
             contents.push((cg as u16, items));
         }
@@ -429,12 +426,7 @@ impl TabletServer {
 
     /// Shrink a served tablet to `new_range`, pruning moved keys from
     /// its in-memory indexes (the donor side of a tablet handoff).
-    pub fn resize_tablet(
-        &self,
-        table: &str,
-        range_index: u32,
-        new_range: KeyRange,
-    ) -> Result<()> {
+    pub fn resize_tablet(&self, table: &str, range_index: u32, new_range: KeyRange) -> Result<()> {
         let table_state = self.table(table)?;
         let tablet = table_state.replace_tablet_range(range_index, new_range.clone())?;
         for index in &tablet.indexes {
@@ -457,13 +449,7 @@ impl TabletServer {
     }
 
     /// Value of `key` visible at `at` (multiversion read).
-    pub fn get_at(
-        &self,
-        table: &str,
-        cg: u16,
-        key: &[u8],
-        at: Timestamp,
-    ) -> Result<Option<Value>> {
+    pub fn get_at(&self, table: &str, cg: u16, key: &[u8], at: Timestamp) -> Result<Option<Value>> {
         let table_state = self.table(table)?;
         let tablet = table_state.route(key)?;
         let index = tablet.index(cg)?;
@@ -563,11 +549,11 @@ impl TabletServer {
             if sub.is_empty() && sub.end.is_some() {
                 continue;
             }
-            entries.extend(tablet.index(cg)?.range_latest_at(
-                &sub,
-                at,
-                limit - entries.len(),
-            )?);
+            entries.extend(
+                tablet
+                    .index(cg)?
+                    .range_latest_at(&sub, at, limit - entries.len())?,
+            );
         }
         self.fetch_entries(entries)
     }
@@ -593,8 +579,7 @@ impl TabletServer {
             let window = self.dfs.read(&name, start, end - start)?;
             for &i in run.iter() {
                 let e = &entries[i];
-                let entry =
-                    logbase_wal::decode_entry_in_window(&window, start, e.ptr, &name)?;
+                let entry = logbase_wal::decode_entry_in_window(&window, start, e.ptr, &name)?;
                 let (record, _, _) = entry.as_write().ok_or_else(|| {
                     Error::Corruption(format!("scan pointer {} is not a write", e.ptr))
                 })?;
@@ -611,7 +596,10 @@ impl TabletServer {
                 Some(&prev) => {
                     let p = &entries[prev];
                     p.ptr.segment != e.ptr.segment
-                        || e.ptr.offset.saturating_sub(p.ptr.offset + u64::from(p.ptr.len)) > gap
+                        || e.ptr
+                            .offset
+                            .saturating_sub(p.ptr.offset + u64::from(p.ptr.len))
+                            > gap
                 }
                 None => false,
             };
@@ -657,8 +645,7 @@ impl TabletServer {
                         let header =
                             reader.read_exact(logbase_common::codec::FRAME_HEADER_LEN as u64)?;
                         let len =
-                            u32::from_le_bytes([header[0], header[1], header[2], header[3]])
-                                as u64;
+                            u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
                         if reader.remaining() < len {
                             break;
                         }
@@ -681,7 +668,9 @@ impl TabletServer {
                         let Ok(tablet) = table_state.route(&record.meta.key) else {
                             continue;
                         };
-                        let Ok(index) = tablet.index(cg) else { continue };
+                        let Ok(index) = tablet.index(cg) else {
+                            continue;
+                        };
                         if index.latest(&record.meta.key)?.map(|vp| vp.ts)
                             == Some(record.meta.timestamp)
                         {
@@ -730,8 +719,12 @@ impl TabletServer {
                 let mut index_files = Vec::new();
                 for (cg, index) in tablet.indexes.iter().enumerate() {
                     index.flush_disk_tier()?;
-                    let file =
-                        index_file_name(&dir, &table.schema.name, tablet.desc.id.range_index, cg as u16);
+                    let file = index_file_name(
+                        &dir,
+                        &table.schema.name,
+                        tablet.desc.id.range_index,
+                        cg as u16,
+                    );
                     logbase_index::persist::save_index(&self.dfs, &file, index.mem())?;
                     index.mem().reset_update_counter();
                     index_files.push(file);
@@ -796,18 +789,14 @@ impl TabletServer {
                     let table = Arc::new(TableState::new(tm.schema.clone())?);
                     for tablet_meta in &tm.tablets {
                         let desc = tablet_meta.to_desc(&tm.schema.name)?;
-                        let tablet =
-                            Arc::new(server.new_tablet_state(desc, &tm.schema)?);
+                        let tablet = Arc::new(server.new_tablet_state(desc, &tm.schema)?);
                         for (cg, file) in tablet_meta.index_files.iter().enumerate() {
                             let loaded = logbase_index::persist::load_index(&dfs, file)?;
                             tablet.indexes[cg].mem().replace_all(loaded.scan_all());
                         }
                         table.add_tablet(tablet);
                     }
-                    server
-                        .tables
-                        .write()
-                        .insert(tm.schema.name.clone(), table);
+                    server.tables.write().insert(tm.schema.name.clone(), table);
                 }
                 (
                     m.log_segment,
@@ -821,50 +810,56 @@ impl TabletServer {
 
         // Redo pass: apply committed effects from the log tail.
         let mut pending: HashMap<u64, Vec<(String, u32, Record, LogPtr)>> = HashMap::new();
-        logbase_wal::scan_log(&dfs, &log_prefix, start_segment, start_offset, |ptr, entry| {
-            max_lsn = max_lsn.max(entry.lsn.0);
-            match entry.kind {
-                LogEntryKind::Write {
-                    txn_id,
-                    tablet,
-                    record,
-                } => {
-                    max_ts = max_ts.max(record.meta.timestamp.0);
-                    if txn_id == 0 {
-                        server.redo_record(&entry.table, tablet, &record, ptr)?;
-                    } else {
-                        pending
-                            .entry(txn_id)
-                            .or_default()
-                            .push((entry.table.clone(), tablet, record, ptr));
+        logbase_wal::scan_log_tolerant(
+            &dfs,
+            &log_prefix,
+            start_segment,
+            start_offset,
+            |ptr, entry| {
+                max_lsn = max_lsn.max(entry.lsn.0);
+                match entry.kind {
+                    LogEntryKind::Write {
+                        txn_id,
+                        tablet,
+                        record,
+                    } => {
+                        max_ts = max_ts.max(record.meta.timestamp.0);
+                        if txn_id == 0 {
+                            server.redo_record(&entry.table, tablet, &record, ptr)?;
+                        } else {
+                            pending.entry(txn_id).or_default().push((
+                                entry.table.clone(),
+                                tablet,
+                                record,
+                                ptr,
+                            ));
+                        }
                     }
-                }
-                LogEntryKind::Commit { txn_id, commit_ts } => {
-                    max_ts = max_ts.max(commit_ts.0);
-                    if let Some(writes) = pending.remove(&txn_id) {
-                        for (table, tablet, record, ptr) in writes {
-                            server.redo_record(&table, tablet, &record, ptr)?;
+                    LogEntryKind::Commit { txn_id, commit_ts } => {
+                        max_ts = max_ts.max(commit_ts.0);
+                        if let Some(writes) = pending.remove(&txn_id) {
+                            for (table, tablet, record, ptr) in writes {
+                                server.redo_record(&table, tablet, &record, ptr)?;
+                            }
+                        }
+                    }
+                    LogEntryKind::Abort { txn_id } => {
+                        pending.remove(&txn_id);
+                    }
+                    LogEntryKind::Checkpoint { .. } => {}
+                    LogEntryKind::Schema { schema_json } => {
+                        // DDL redo: recreate the table (one full-range
+                        // tablet) unless the checkpoint already restored it.
+                        if let Ok(schema) = serde_json::from_str::<TableSchema>(&schema_json) {
+                            if server.table(&schema.name).is_err() {
+                                server.create_table_unlogged(schema)?;
+                            }
                         }
                     }
                 }
-                LogEntryKind::Abort { txn_id } => {
-                    pending.remove(&txn_id);
-                }
-                LogEntryKind::Checkpoint { .. } => {}
-                LogEntryKind::Schema { schema_json } => {
-                    // DDL redo: recreate the table (one full-range
-                    // tablet) unless the checkpoint already restored it.
-                    if let Ok(schema) =
-                        serde_json::from_str::<TableSchema>(&schema_json)
-                    {
-                        if server.table(&schema.name).is_err() {
-                            server.create_table_unlogged(schema)?;
-                        }
-                    }
-                }
-            }
-            Ok(())
-        })?;
+                Ok(())
+            },
+        )?;
         // Writes with no commit record are uncommitted: ignored (§3.8).
 
         server.oracle.advance_to(Timestamp(max_ts));

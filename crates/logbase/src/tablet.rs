@@ -44,10 +44,7 @@ impl TabletState {
     /// Index for column group `cg`.
     pub fn index(&self, cg: u16) -> Result<&Arc<SpillableIndex>> {
         self.indexes.get(cg as usize).ok_or_else(|| {
-            Error::Schema(format!(
-                "tablet {} has no column group {cg}",
-                self.desc.id
-            ))
+            Error::Schema(format!("tablet {} has no column group {cg}", self.desc.id))
         })
     }
 }
@@ -124,10 +121,7 @@ impl TableState {
             .iter()
             .position(|t| t.desc.id.range_index == range_index)
             .ok_or_else(|| {
-                Error::TabletNotServed(format!(
-                    "{}/{range_index} not served here",
-                    self.name
-                ))
+                Error::TabletNotServed(format!("{}/{range_index} not served here", self.name))
             })?;
         let old = &tablets[pos];
         let replacement = Arc::new(TabletState {

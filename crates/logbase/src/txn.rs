@@ -114,10 +114,8 @@ impl TxnManager {
         key: impl Into<RowKey>,
         value: impl Into<Value>,
     ) {
-        txn.writes.insert(
-            (table.to_string(), cg, key.into()),
-            Some(value.into()),
-        );
+        txn.writes
+            .insert((table.to_string(), cg, key.into()), Some(value.into()));
     }
 
     /// Buffer a transactional delete.
@@ -210,7 +208,13 @@ impl TxnManager {
                 Some(v) => {
                     index.insert(cell.2.clone(), commit_ts, *ptr)?;
                     if let Some(rb) = &server.read_buffer {
-                        rb.put(&table_state.name, cell.1, &cell.2, commit_ts, Some(v.clone()));
+                        rb.put(
+                            &table_state.name,
+                            cell.1,
+                            &cell.2,
+                            commit_ts,
+                            Some(v.clone()),
+                        );
                     }
                 }
                 None => {

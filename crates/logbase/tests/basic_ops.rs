@@ -10,7 +10,8 @@ use std::sync::Arc;
 fn server() -> Arc<TabletServer> {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let s = TabletServer::create(dfs, ServerConfig::new("srv-0")).unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -62,10 +63,7 @@ fn delete_removes_all_versions() {
 #[test]
 fn unknown_table_and_column_group_error() {
     let s = server();
-    assert!(matches!(
-        s.get("missing", 0, b"k"),
-        Err(Error::Schema(_))
-    ));
+    assert!(matches!(s.get("missing", 0, b"k"), Err(Error::Schema(_))));
     assert!(matches!(
         s.put("t", 9, key("k"), val("v")),
         Err(Error::Schema(_))
@@ -157,12 +155,9 @@ fn read_buffer_serves_repeat_reads_without_log_io() {
 #[test]
 fn disabled_read_buffer_still_reads_correctly() {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
-    let s = TabletServer::create(
-        dfs,
-        ServerConfig::new("srv-nobuf").with_read_buffer(0),
-    )
-    .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    let s = TabletServer::create(dfs, ServerConfig::new("srv-nobuf").with_read_buffer(0)).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s.put("t", 0, key("k"), val("v")).unwrap();
     let seeks_before = s.metrics().snapshot().seeks;
     assert_eq!(s.get("t", 0, b"k").unwrap(), Some(val("v")));
@@ -179,15 +174,13 @@ fn long_tail_read_is_one_seek() {
     }
     // Use a server with the buffer disabled for a precise seek count.
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
-    let cold = TabletServer::create(
-        dfs,
-        ServerConfig::new("srv-cold").with_read_buffer(0),
-    )
-    .unwrap();
+    let cold =
+        TabletServer::create(dfs, ServerConfig::new("srv-cold").with_read_buffer(0)).unwrap();
     cold.create_table(TableSchema::single_group("t", &["v"]))
         .unwrap();
     for i in 0..100 {
-        cold.put("t", 0, key(&format!("k{i:04}")), val("x")).unwrap();
+        cold.put("t", 0, key(&format!("k{i:04}")), val("x"))
+            .unwrap();
     }
     let before = cold.metrics().snapshot().seeks;
     cold.get("t", 0, b"k0042").unwrap();
@@ -246,7 +239,8 @@ fn writes_are_sequential_appends_and_single_copy() {
     // (× replication), all sequential.
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let s = TabletServer::create(dfs, ServerConfig::new("srv-seq")).unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     let payload = vec![0u8; 1024];
     for i in 0..100u32 {
         s.put(
@@ -321,9 +315,11 @@ fn spill_mode_keeps_serving_past_memory_budget() {
         }),
     )
     .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     for i in 0..300 {
-        s.put("t", 0, key(&format!("k{i:05}")), val("payload")).unwrap();
+        s.put("t", 0, key(&format!("k{i:05}")), val("payload"))
+            .unwrap();
     }
     // Index memory stays bounded while every record remains readable.
     assert!(s.stats().index_bytes <= 3_000);

@@ -22,7 +22,8 @@ fn server(dfs: &Dfs, name: &str) -> Arc<TabletServer> {
         ServerConfig::new(name).with_segment_bytes(8 * 1024),
     )
     .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -153,13 +154,8 @@ fn compaction_clusters_data_for_range_scans() {
     for round in 0..10 {
         for i in 0..100 {
             if (i + round) % 10 == 0 {
-                s.put(
-                    "t",
-                    0,
-                    key(&format!("k{i:03}")),
-                    val(&"x".repeat(128)),
-                )
-                .unwrap();
+                s.put("t", 0, key(&format!("k{i:03}")), val(&"x".repeat(128)))
+                    .unwrap();
             }
         }
     }
@@ -196,8 +192,7 @@ fn recovery_after_compaction_finds_sorted_segments() {
                 .unwrap();
         }
     }
-    let s = TabletServer::open(dfs, ServerConfig::new("srv").with_segment_bytes(8 * 1024))
-        .unwrap();
+    let s = TabletServer::open(dfs, ServerConfig::new("srv").with_segment_bytes(8 * 1024)).unwrap();
     assert_eq!(s.stats().index_entries, 70);
     // Pre-compaction record now lives in a sorted segment; pointer must
     // resolve through the restored segment directory.
@@ -222,7 +217,10 @@ fn uncommitted_txn_writes_are_vacuumed() {
         )
         .unwrap();
     let report = s.compact().unwrap();
-    assert_eq!(report.output_entries, 1, "only the committed write survives");
+    assert_eq!(
+        report.output_entries, 1,
+        "only the committed write survives"
+    );
     assert_eq!(s.get("t", 0, b"live").unwrap(), Some(val("v")));
     assert!(s.get("t", 0, b"ghost").unwrap().is_none());
 }

@@ -15,7 +15,8 @@ fn server(dfs: &Dfs) -> Arc<TabletServer> {
         ServerConfig::new("conc-srv").with_segment_bytes(16 * 1024),
     )
     .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -76,7 +77,8 @@ fn compaction_races_writers() {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let s = server(&dfs);
     for i in 0..200u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"before")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"before"))
+            .unwrap();
     }
     std::thread::scope(|scope| {
         let writer = {
@@ -164,7 +166,10 @@ fn concurrent_transfers_conserve_total_balance() {
     let total: i64 = (0..accounts)
         .map(|a| {
             let v = s.get("t", 0, &encode_key(a)).unwrap().unwrap();
-            String::from_utf8(v.to_vec()).unwrap().parse::<i64>().unwrap()
+            String::from_utf8(v.to_vec())
+                .unwrap()
+                .parse::<i64>()
+                .unwrap()
         })
         .sum();
     assert_eq!(

@@ -18,7 +18,8 @@ fn val(s: &str) -> Value {
 
 fn fresh(dfs: &Dfs, name: &str) -> Arc<TabletServer> {
     let s = TabletServer::create(dfs.clone(), ServerConfig::new(name)).unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -52,15 +53,18 @@ fn recovery_with_checkpoint_redoes_only_the_tail() {
     {
         let s = fresh(&dfs, "srv");
         for i in 0..40 {
-            s.put("t", 0, key(&format!("k{i:03}")), val("before")).unwrap();
+            s.put("t", 0, key(&format!("k{i:03}")), val("before"))
+                .unwrap();
         }
         s.checkpoint().unwrap();
         for i in 40..60 {
-            s.put("t", 0, key(&format!("k{i:03}")), val("after")).unwrap();
+            s.put("t", 0, key(&format!("k{i:03}")), val("after"))
+                .unwrap();
         }
         // Overwrite some pre-checkpoint keys after the checkpoint.
         for i in 0..5 {
-            s.put("t", 0, key(&format!("k{i:03}")), val("updated")).unwrap();
+            s.put("t", 0, key(&format!("k{i:03}")), val("updated"))
+                .unwrap();
         }
     }
     let before = dfs.metrics().snapshot();
@@ -84,14 +88,16 @@ fn checkpointed_recovery_is_cheaper_than_full_scan() {
     for name in ["ckpt", "nockpt"] {
         let s = fresh(&dfs, name);
         for i in 0..200 {
-            s.put("t", 0, key(&format!("k{i:05}")), val(&payload)).unwrap();
+            s.put("t", 0, key(&format!("k{i:05}")), val(&payload))
+                .unwrap();
         }
         if name == "ckpt" {
             s.checkpoint().unwrap();
         }
         // Small tail after the checkpoint.
         for i in 0..10 {
-            s.put("t", 0, key(&format!("tail{i:02}")), val("t")).unwrap();
+            s.put("t", 0, key(&format!("tail{i:02}")), val("t"))
+                .unwrap();
         }
     }
     let m0 = dfs.metrics().snapshot();
@@ -182,7 +188,8 @@ fn repeated_crash_and_recovery_converges() {
         let s = TabletServer::open(dfs.clone(), ServerConfig::new("srv")).unwrap();
         assert_eq!(s.stats().index_entries, 30 + round);
         // Each round adds one write, then "crashes" again.
-        s.put("t", 0, key(&format!("round{round}")), val("v")).unwrap();
+        s.put("t", 0, key(&format!("round{round}")), val("v"))
+            .unwrap();
     }
     let s = TabletServer::open(dfs, ServerConfig::new("srv")).unwrap();
     assert_eq!(s.stats().index_entries, 33);
@@ -225,12 +232,10 @@ fn recovery_with_multiple_checkpoints_uses_the_latest() {
 #[test]
 fn auto_checkpoint_threshold_triggers() {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
-    let s = TabletServer::create(
-        dfs,
-        ServerConfig::new("srv").with_checkpoint_threshold(25),
-    )
-    .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    let s =
+        TabletServer::create(dfs, ServerConfig::new("srv").with_checkpoint_threshold(25)).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     for i in 0..60 {
         s.put("t", 0, key(&format!("k{i}")), val("v")).unwrap();
     }

@@ -16,7 +16,8 @@ fn server(segment_bytes: u64) -> Arc<TabletServer> {
         ServerConfig::new("scan-srv").with_segment_bytes(segment_bytes),
     )
     .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -27,7 +28,12 @@ fn snapshot_range_scan_sees_a_consistent_cut() {
     for round in 0..3u64 {
         for i in 0..20u64 {
             let ts = s
-                .put("t", 0, encode_key(i), Value::from(format!("r{round}").into_bytes()))
+                .put(
+                    "t",
+                    0,
+                    encode_key(i),
+                    Value::from(format!("r{round}").into_bytes()),
+                )
                 .unwrap();
             if round == 1 && i == 19 {
                 snapshot_ts = ts;
@@ -54,7 +60,8 @@ fn scans_span_segment_rotations() {
     // across all of them.
     let s = server(2048);
     for i in 0..200u64 {
-        s.put("t", 0, encode_key(i), Value::from(vec![0u8; 256])).unwrap();
+        s.put("t", 0, encode_key(i), Value::from(vec![0u8; 256]))
+            .unwrap();
     }
     assert!(s.stats().log_segment > 5, "expected many segments");
     let out = s.range_scan("t", 0, &KeyRange::all(), usize::MAX).unwrap();
@@ -66,14 +73,16 @@ fn scans_span_segment_rotations() {
 fn full_scan_is_stable_under_concurrent_writes() {
     let s = server(1 << 16);
     for i in 0..300u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"base")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"base"))
+            .unwrap();
     }
     std::thread::scope(|scope| {
         let writer = {
             let s = Arc::clone(&s);
             scope.spawn(move || {
                 for i in 300..400u64 {
-                    s.put("t", 0, encode_key(i), Value::from_static(b"new")).unwrap();
+                    s.put("t", 0, encode_key(i), Value::from_static(b"new"))
+                        .unwrap();
                 }
             })
         };
@@ -91,13 +100,15 @@ fn full_scan_is_stable_under_concurrent_writes() {
 fn snapshot_scan_inside_transaction_matches_reads() {
     let s = server(1 << 20);
     for i in 0..10u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"v0")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"v0"))
+            .unwrap();
     }
     let mut txn = TxnManager::begin(&s);
     let snap = txn.snapshot();
     // Concurrent updates after the snapshot.
     for i in 0..10u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"v1")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"v1"))
+            .unwrap();
     }
     // A snapshot scan at the txn's timestamp agrees with its point reads.
     let scan = s
@@ -115,7 +126,8 @@ fn snapshot_scan_inside_transaction_matches_reads() {
 fn range_scan_bounds_are_half_open() {
     let s = server(1 << 20);
     for i in 0..10u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"x")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"x"))
+            .unwrap();
     }
     let out = s
         .range_scan(
@@ -144,7 +156,9 @@ fn range_scan_bounds_are_half_open() {
 #[test]
 fn scan_skips_keys_deleted_after_snapshot_correctly() {
     let s = server(1 << 20);
-    let t_live = s.put("t", 0, encode_key(1), Value::from_static(b"v")).unwrap();
+    let t_live = s
+        .put("t", 0, encode_key(1), Value::from_static(b"v"))
+        .unwrap();
     s.delete("t", 0, &encode_key(1)).unwrap();
     // Latest scan: gone. Snapshot scan at t_live: also gone — the
     // paper's delete removes all index versions (§3.6.3), trading
@@ -172,12 +186,7 @@ fn scan_with_multibyte_keys_and_prefix_neighbours() {
         .unwrap();
     }
     let out = s
-        .range_scan(
-            "t",
-            0,
-            &KeyRange::new(&b"ab"[..], &b"b"[..]),
-            usize::MAX,
-        )
+        .range_scan("t", 0, &KeyRange::new(&b"ab"[..], &b"b"[..]), usize::MAX)
         .unwrap();
     let keys: Vec<String> = out
         .iter()

@@ -46,7 +46,9 @@ fn lookup_by_attribute_finds_matching_records() {
     put_user(&s, "u1", "istanbul");
     put_user(&s, "u2", "singapore");
     put_user(&s, "u3", "istanbul");
-    let hits = s.lookup_secondary("users", 0, "by_city", b"istanbul").unwrap();
+    let hits = s
+        .lookup_secondary("users", 0, "by_city", b"istanbul")
+        .unwrap();
     let ids: Vec<&[u8]> = hits.iter().map(|(k, _, _)| &k[..]).collect();
     assert_eq!(ids, vec![b"u1" as &[u8], b"u3"]);
     assert!(s
@@ -62,9 +64,13 @@ fn updates_move_records_between_attribute_values() {
         .unwrap();
     put_user(&s, "u1", "istanbul");
     put_user(&s, "u1", "singapore"); // moved
-    let ist = s.lookup_secondary("users", 0, "by_city", b"istanbul").unwrap();
+    let ist = s
+        .lookup_secondary("users", 0, "by_city", b"istanbul")
+        .unwrap();
     assert!(ist.is_empty(), "stale entry must be filtered: {ist:?}");
-    let sgp = s.lookup_secondary("users", 0, "by_city", b"singapore").unwrap();
+    let sgp = s
+        .lookup_secondary("users", 0, "by_city", b"singapore")
+        .unwrap();
     assert_eq!(sgp.len(), 1);
     assert_eq!(&sgp[0].0[..], b"u1");
 }
@@ -86,17 +92,25 @@ fn deleted_records_disappear_from_lookups() {
 fn backfill_indexes_existing_data() {
     let s = server();
     for i in 0..20 {
-        put_user(&s, &format!("u{i}"), if i % 2 == 0 { "even" } else { "odd" });
+        put_user(
+            &s,
+            &format!("u{i}"),
+            if i % 2 == 0 { "even" } else { "odd" },
+        );
     }
     // Created AFTER the writes: must backfill.
     s.create_secondary_index("users", 0, "by_city", city_extractor())
         .unwrap();
     assert_eq!(
-        s.lookup_secondary("users", 0, "by_city", b"even").unwrap().len(),
+        s.lookup_secondary("users", 0, "by_city", b"even")
+            .unwrap()
+            .len(),
         10
     );
     assert_eq!(
-        s.lookup_secondary("users", 0, "by_city", b"odd").unwrap().len(),
+        s.lookup_secondary("users", 0, "by_city", b"odd")
+            .unwrap()
+            .len(),
         10
     );
 }
@@ -148,7 +162,9 @@ fn sparse_extractor_skips_records_without_attribute() {
         .unwrap();
     put_user(&s, "u1", "istanbul");
     assert_eq!(
-        s.lookup_secondary("users", 0, "by_city", b"istanbul").unwrap().len(),
+        s.lookup_secondary("users", 0, "by_city", b"istanbul")
+            .unwrap()
+            .len(),
         1
     );
     // The record itself is still readable through the primary path.
@@ -172,6 +188,8 @@ fn secondary_survives_restart_via_recreate() {
     // recovered primary index).
     s.create_secondary_index("users", 0, "by_city", city_extractor())
         .unwrap();
-    let hits = s.lookup_secondary("users", 0, "by_city", b"istanbul").unwrap();
+    let hits = s
+        .lookup_secondary("users", 0, "by_city", b"istanbul")
+        .unwrap();
     assert_eq!(hits.len(), 1);
 }

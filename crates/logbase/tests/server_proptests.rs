@@ -40,12 +40,14 @@ fn new_server(dfs: &Dfs) -> Arc<TabletServer> {
         ServerConfig::new("prop-srv").with_segment_bytes(4096),
     )
     .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 20
+        })]
 
     #[test]
     fn prop_server_with_maintenance_matches_model(

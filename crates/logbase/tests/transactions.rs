@@ -20,7 +20,8 @@ fn val(s: &str) -> Value {
 fn server() -> Arc<TabletServer> {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let s = TabletServer::create(dfs, ServerConfig::new("srv")).unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -203,13 +204,7 @@ fn run_helper_retries_conflicts() {
                             .unwrap_or_default()
                             .parse::<u64>()
                             .unwrap_or(0);
-                        TxnManager::write(
-                            txn,
-                            "t",
-                            0,
-                            key("counter"),
-                            val(&(cur + 1).to_string()),
-                        );
+                        TxnManager::write(txn, "t", 0, key("counter"), val(&(cur + 1).to_string()));
                         Ok(())
                     })
                     .unwrap();

@@ -95,15 +95,10 @@ impl LrsEngine {
     }
 
     /// Create a fresh store sharing a cluster oracle.
-    pub fn create_with(
-        dfs: Dfs,
-        config: LrsConfig,
-        oracle: TimestampOracle,
-    ) -> Result<Arc<Self>> {
+    pub fn create_with(dfs: Dfs, config: LrsConfig, oracle: TimestampOracle) -> Result<Arc<Self>> {
         let writer = Arc::new(LogWriter::create(
             dfs.clone(),
-            LogConfig::new(format!("{}/log", config.name))
-                .with_segment_bytes(config.segment_bytes),
+            LogConfig::new(format!("{}/log", config.name)).with_segment_bytes(config.segment_bytes),
         )?);
         let index = LsmTree::new(
             dfs.clone(),
@@ -142,7 +137,7 @@ impl LrsEngine {
         };
         let mut max_lsn = 0u64;
         let mut max_ts = 0u64;
-        logbase_wal::scan_log(&dfs, &log_prefix, 0, 0, |ptr, entry| {
+        logbase_wal::scan_log_tolerant(&dfs, &log_prefix, 0, 0, |ptr, entry| {
             max_lsn = max_lsn.max(entry.lsn.0);
             if let LogEntryKind::Write { record, .. } = entry.kind {
                 max_ts = max_ts.max(record.meta.timestamp.0);
@@ -203,9 +198,9 @@ impl LrsEngine {
     fn fetch(&self, ptr: LogPtr) -> Result<Option<Value>> {
         let prefix = format!("{}/log", self.config.name);
         let entry = logbase_wal::read_entry(&self.dfs, &prefix, ptr)?;
-        let (record, _, _) = entry.as_write().ok_or_else(|| {
-            Error::Corruption(format!("LRS pointer {ptr} is not a write entry"))
-        })?;
+        let (record, _, _) = entry
+            .as_write()
+            .ok_or_else(|| Error::Corruption(format!("LRS pointer {ptr} is not a write entry")))?;
         Ok(record.value.clone())
     }
 }
@@ -336,7 +331,8 @@ mod tests {
     fn range_scan_orders_and_limits() {
         let e = engine();
         for i in [3, 1, 4, 0, 2] {
-            e.put(0, key(&format!("k{i}")), val(&format!("v{i}"))).unwrap();
+            e.put(0, key(&format!("k{i}")), val(&format!("v{i}")))
+                .unwrap();
         }
         let out = e.range_scan(0, &KeyRange::all(), 3).unwrap();
         let keys: Vec<&[u8]> = out.iter().map(|(k, _, _)| &k[..]).collect();

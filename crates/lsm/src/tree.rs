@@ -1,9 +1,9 @@
 //! The LSM-tree proper.
 
-use logbase_sstable::merge_entries;
 use logbase_common::schema::KeyRange;
 use logbase_common::{Result, RowKey, Timestamp, Value};
 use logbase_dfs::Dfs;
+use logbase_sstable::merge_entries;
 use logbase_sstable::{
     BlockCache, BlockEntry, Memtable, SsTableConfig, SsTableReader, SsTableWriter,
 };
@@ -379,7 +379,9 @@ mod tests {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
         LsmTree::new(
             dfs,
-            LsmConfig::new("lsm").with_write_buffer(write_buffer).with_l0_trigger(3),
+            LsmConfig::new("lsm")
+                .with_write_buffer(write_buffer)
+                .with_l0_trigger(3),
         )
     }
 
@@ -421,8 +423,12 @@ mod tests {
     fn automatic_flush_on_write_buffer_full() {
         let t = tree(512);
         for i in 0..200u64 {
-            t.put(key(&format!("k{i:05}")), Timestamp(i + 1), Some(val("0123456789")))
-                .unwrap();
+            t.put(
+                key(&format!("k{i:05}")),
+                Timestamp(i + 1),
+                Some(val("0123456789")),
+            )
+            .unwrap();
         }
         assert!(t.stats().flushes > 0, "write buffer should have flushed");
     }
@@ -491,11 +497,7 @@ mod tests {
             .collect();
         assert_eq!(
             got,
-            vec![
-                ("a", &b"new-a"[..]),
-                ("b", &b"b"[..]),
-                ("c", &b"c"[..]),
-            ]
+            vec![("a", &b"new-a"[..]), ("b", &b"b"[..]), ("c", &b"c"[..]),]
         );
         // Limit applies per key.
         let out = t.range_scan(&KeyRange::all(), Timestamp::MAX, 2).unwrap();
@@ -512,7 +514,8 @@ mod tests {
         t.flush().unwrap();
         t.put(key("k"), Timestamp(3), Some(val("newest"))).unwrap();
         t.flush().unwrap(); // third flush triggers compaction (trigger=3)
-        t.put(key("k"), Timestamp(4), Some(val("memtable"))).unwrap();
+        t.put(key("k"), Timestamp(4), Some(val("memtable")))
+            .unwrap();
         assert_eq!(t.get(b"k").unwrap(), Some(val("memtable")));
         assert_eq!(
             t.get_at(b"k", Timestamp(3)).unwrap().unwrap().1,

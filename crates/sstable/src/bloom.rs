@@ -97,7 +97,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn keys(n: usize) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("user-{i:08}").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("user-{i:08}").into_bytes())
+            .collect()
     }
 
     #[test]

@@ -85,10 +85,7 @@ mod tests {
 
     #[test]
     fn newer_input_wins_exact_duplicates() {
-        let out = merge_entries(vec![
-            vec![e("a", 1, "newer")],
-            vec![e("a", 1, "older")],
-        ]);
+        let out = merge_entries(vec![vec![e("a", 1, "newer")], vec![e("a", 1, "older")]]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].value.as_deref(), Some(&b"newer"[..]));
     }

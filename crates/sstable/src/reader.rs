@@ -129,7 +129,9 @@ impl SsTableReader {
     /// Index of the block that may contain `key` (the last block whose
     /// first key is `<= key`).
     fn block_for(&self, key: &[u8]) -> Option<usize> {
-        let idx = self.index.partition_point(|(first, _, _)| &first[..] <= key);
+        let idx = self
+            .index
+            .partition_point(|(first, _, _)| &first[..] <= key);
         idx.checked_sub(1)
     }
 
@@ -314,15 +316,18 @@ mod tests {
     #[test]
     fn multiversion_get_at() {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
-        let mut w =
-            SsTableWriter::create(dfs.clone(), "t/mv", SsTableConfig::default()).unwrap();
+        let mut w = SsTableWriter::create(dfs.clone(), "t/mv", SsTableConfig::default()).unwrap();
         w.add(&entry("a", 1, Some("v1"))).unwrap();
         w.add(&entry("a", 5, Some("v2"))).unwrap();
         w.add(&entry("a", 9, None)).unwrap();
         w.finish().unwrap();
         let r = SsTableReader::open(dfs, "t/mv").unwrap();
         assert_eq!(
-            r.get_at(b"a", Timestamp(6), None).unwrap().unwrap().value.as_deref(),
+            r.get_at(b"a", Timestamp(6), None)
+                .unwrap()
+                .unwrap()
+                .value
+                .as_deref(),
             Some(&b"v2"[..])
         );
         assert!(r
@@ -365,10 +370,12 @@ mod tests {
         let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
         let r = build_table(&dfs, "t/cache", 512, 100);
         let cache = BlockCache::new(1 << 20);
-        r.get_at(b"key-00050", Timestamp::MAX, Some(&cache)).unwrap();
+        r.get_at(b"key-00050", Timestamp::MAX, Some(&cache))
+            .unwrap();
         let reads_after_first = dfs.metrics().snapshot().dfs_reads;
         for _ in 0..10 {
-            r.get_at(b"key-00050", Timestamp::MAX, Some(&cache)).unwrap();
+            r.get_at(b"key-00050", Timestamp::MAX, Some(&cache))
+                .unwrap();
         }
         assert_eq!(dfs.metrics().snapshot().dfs_reads, reads_after_first);
         let (hits, misses) = cache.stats();

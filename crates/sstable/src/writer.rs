@@ -78,7 +78,8 @@ impl SsTableWriter {
         if let Some((k, t)) = &self.last {
             if (&entry.key, entry.ts) <= (k, *t) {
                 return Err(logbase_common::Error::InvalidArgument(format!(
-                    "SSTable {} entries out of order", self.name
+                    "SSTable {} entries out of order",
+                    self.name
                 )));
             }
         }

@@ -12,10 +12,7 @@ type Model = BTreeMap<(Vec<u8>, u64), Option<Vec<u8>>>;
 
 fn entries_strategy() -> impl Strategy<Value = Model> {
     proptest::collection::btree_map(
-        (
-            proptest::collection::vec(any::<u8>(), 1..12),
-            0u64..32,
-        ),
+        (proptest::collection::vec(any::<u8>(), 1..12), 0u64..32),
         proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
         1..120,
     )
@@ -46,7 +43,8 @@ fn build(model: &Model, block_bytes: usize) -> (Dfs, SsTableReader) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48
+        })]
 
     /// Full iteration returns exactly the model in order, for tiny
     /// blocks (many block boundaries) and large ones alike.

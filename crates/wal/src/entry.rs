@@ -189,9 +189,8 @@ impl LogEntry {
             KIND_SCHEMA => {
                 let json_bytes = codec::get_bytes(&mut src, ctx)?;
                 LogEntryKind::Schema {
-                    schema_json: String::from_utf8(json_bytes.to_vec()).map_err(|_| {
-                        Error::Corruption("schema entry is not UTF-8".into())
-                    })?,
+                    schema_json: String::from_utf8(json_bytes.to_vec())
+                        .map_err(|_| Error::Corruption("schema entry is not UTF-8".into()))?,
                 }
             }
             other => {

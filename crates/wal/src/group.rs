@@ -89,10 +89,7 @@ impl GroupCommitLog {
     /// Submit several entries as one unit and block until all are durable.
     /// Used by the transaction manager to persist a transaction's writes
     /// plus its commit record together.
-    pub fn append_all(
-        &self,
-        entries: Vec<(String, LogEntryKind)>,
-    ) -> Result<Vec<(Lsn, LogPtr)>> {
+    pub fn append_all(&self, entries: Vec<(String, LogEntryKind)>) -> Result<Vec<(Lsn, LogPtr)>> {
         if entries.is_empty() {
             return Ok(Vec::new());
         }
@@ -110,9 +107,11 @@ impl GroupCommitLog {
         drop(done_tx);
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(done_rx.recv().map_err(|_| {
-                Error::Unavailable("group commit thread dropped request".into())
-            })??);
+            out.push(
+                done_rx.recv().map_err(|_| {
+                    Error::Unavailable("group commit thread dropped request".into())
+                })??,
+            );
         }
         Ok(out)
     }
@@ -149,18 +148,31 @@ fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupComm
             .iter()
             .map(|p| (p.table.clone(), p.kind.clone()))
             .collect();
-        match writer.append_batch(&entries) {
-            Ok(positions) => {
+        // A panic inside the append must not take the committer down with
+        // waiters still blocked on their `done` channels — convert it into
+        // an error for every member of the batch and keep serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            writer.append_batch(&entries)
+        }));
+        match outcome {
+            Ok(Ok(positions)) => {
                 for (p, pos) in batch.into_iter().zip(positions) {
                     let _ = p.done.send(Ok(pos));
                 }
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 let msg = e.to_string();
                 for p in batch {
                     let _ = p.done.send(Err(Error::Unavailable(format!(
                         "group commit failed: {msg}"
                     ))));
+                }
+            }
+            Err(_) => {
+                for p in batch {
+                    let _ = p.done.send(Err(Error::Unavailable(
+                        "group commit committer panicked".into(),
+                    )));
                 }
             }
         }
@@ -208,11 +220,7 @@ mod tests {
                     let log = Arc::clone(&log);
                     s.spawn(move || {
                         (0..25)
-                            .map(|i| {
-                                log.append("t", put_kind(&format!("{t}-{i}"), i))
-                                    .unwrap()
-                                    .0
-                            })
+                            .map(|i| log.append("t", put_kind(&format!("{t}-{i}"), i)).unwrap().0)
                             .collect::<Vec<_>>()
                     })
                 })
@@ -261,6 +269,39 @@ mod tests {
         for (_, ptr) in &pos {
             assert!(crate::read_entry(&dfs, "srv/log", *ptr).is_ok());
         }
+    }
+
+    #[test]
+    fn dead_dfs_fails_every_waiter_without_hanging() {
+        use logbase_common::retry::RetryPolicy;
+        // Disk-backed nodes so blocks survive the full-cluster restart.
+        let dir = tempfile::tempdir().unwrap();
+        let dfs =
+            Dfs::new(DfsConfig::on_disk(dir.path(), 3, 2).with_retry(RetryPolicy::no_delay(2)));
+        let w = Arc::new(LogWriter::create(dfs.clone(), LogConfig::new("srv/log")).unwrap());
+        let log = Arc::new(GroupCommitLog::new(w, GroupCommitConfig::default()));
+        log.append("t", put_kind("a", 1)).unwrap();
+        for id in 0..3 {
+            dfs.kill_node(id);
+        }
+        // Every waiter must get an Err back — none may block forever on a
+        // batch the committer can no longer persist.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let log = Arc::clone(&log);
+                    s.spawn(move || log.append("t", put_kind(&format!("x{t}"), t)))
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap().is_err());
+            }
+        });
+        // The committer survived: once the nodes return, appends succeed.
+        for id in 0..3 {
+            dfs.restart_node(id);
+        }
+        log.append("t", put_kind("back", 9)).unwrap();
     }
 
     #[test]

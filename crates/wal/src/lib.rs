@@ -26,8 +26,8 @@ mod writer;
 pub use entry::{LogEntry, LogEntryKind};
 pub use group::{GroupCommitConfig, GroupCommitLog};
 pub use reader::{
-    decode_entry_in_window, read_entry, read_entry_in, scan_log, scan_segment, LogCursor,
-    SegmentScanner,
+    decode_entry_in_window, read_entry, read_entry_in, scan_log, scan_log_tolerant, scan_segment,
+    valid_prefix_len, LogCursor, SegmentScanner,
 };
 pub use writer::{LogConfig, LogWriter};
 
@@ -53,6 +53,9 @@ mod tests {
         assert_eq!(n, "srv-0/log/segment-000042");
         assert_eq!(parse_segment_name("srv-0/log", &n), Some(42));
         assert_eq!(parse_segment_name("srv-1/log", &n), None);
-        assert_eq!(parse_segment_name("srv-0/log", "srv-0/log/index-000001"), None);
+        assert_eq!(
+            parse_segment_name("srv-0/log", "srv-0/log/index-000001"),
+            None
+        );
     }
 }

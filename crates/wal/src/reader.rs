@@ -148,7 +148,11 @@ where
     segments.sort_unstable();
     let mut count = 0u64;
     for seg in segments {
-        let offset = if seg == start_segment { start_offset } else { 0 };
+        let offset = if seg == start_segment {
+            start_offset
+        } else {
+            0
+        };
         let mut scanner = SegmentScanner::open(dfs, prefix, seg, offset)?;
         while let Some((ptr, entry)) = scanner.next_entry()? {
             f(ptr, entry)?;
@@ -156,6 +160,84 @@ where
         }
     }
     Ok(count)
+}
+
+/// Crash-tolerant variant of [`scan_log`] used by recovery (§3.8).
+///
+/// A crash mid-append can leave a torn frame — a length field, payload or
+/// CRC that was only partially written — at the tail of the segment that
+/// was open at the time. Strict [`scan_log`] reports a CRC-bad frame as
+/// corruption; this variant treats it ARIES-style as the end of **that
+/// segment's** replay: every frame before it is replayed, the garbage
+/// tail is skipped, and the scan continues with the next segment. (The
+/// writer seals a torn segment and rotates on reopen, so valid entries
+/// can legitimately live in segments *after* the torn one.) Callbacks'
+/// own errors still abort the scan.
+pub fn scan_log_tolerant<F>(
+    dfs: &Dfs,
+    prefix: &str,
+    start_segment: u32,
+    start_offset: u64,
+    mut f: F,
+) -> Result<u64>
+where
+    F: FnMut(LogPtr, LogEntry) -> Result<()>,
+{
+    let mut segments: Vec<u32> = dfs
+        .list(&format!("{prefix}/segment-"))
+        .into_iter()
+        .filter_map(|n| parse_segment_name(prefix, &n))
+        .filter(|s| *s >= start_segment)
+        .collect();
+    segments.sort_unstable();
+    let mut count = 0u64;
+    for seg in segments {
+        let offset = if seg == start_segment {
+            start_offset
+        } else {
+            0
+        };
+        let mut scanner = SegmentScanner::open(dfs, prefix, seg, offset)?;
+        loop {
+            match scanner.next_entry() {
+                Ok(Some((ptr, entry))) => {
+                    f(ptr, entry)?;
+                    count += 1;
+                }
+                Ok(None) => break,
+                // Torn tail: everything before it replayed; move on.
+                Err(e) if e.is_corruption() => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Length of the valid frame prefix of a segment: the byte offset just
+/// past the last frame that is complete, CRC-clean and decodable. The
+/// writer uses this on reopen to detect a torn tail left by a crash.
+pub fn valid_prefix_len(dfs: &Dfs, name: &str) -> Result<u64> {
+    let mut reader = dfs.open_reader(name)?;
+    let mut valid_end = 0u64;
+    loop {
+        let remaining = reader.remaining();
+        if remaining < FRAME_HEADER_LEN as u64 {
+            break;
+        }
+        let header = reader.read_exact(FRAME_HEADER_LEN as u64)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+        if remaining < FRAME_HEADER_LEN as u64 + len {
+            break;
+        }
+        let payload = reader.read_exact(len)?;
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if crc32fast_hash(&payload) != crc || LogEntry::decode(payload).is_err() {
+            break;
+        }
+        valid_end += FRAME_HEADER_LEN as u64 + len;
+    }
+    Ok(valid_end)
 }
 
 /// Scan one whole segment, invoking `f` per entry (parallel full-table
@@ -287,6 +369,51 @@ mod tests {
         dfs.append("raw/segment-000000", &bytes).unwrap();
         let err = scan_log(&dfs, "raw", 0, 0, |_, _| Ok(())).unwrap_err();
         assert!(matches!(err, Error::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn tolerant_scan_skips_torn_segment_tail_but_replays_later_segments() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = LogWriter::create(
+            dfs.clone(),
+            LogConfig::new("srv/log").with_segment_bytes(1 << 20),
+        )
+        .unwrap();
+        w.append("t", put_kind("a", 1)).unwrap();
+        // Complete frame, valid CRC, but garbage payload — the shape a
+        // torn multi-frame batch write leaves behind.
+        let mut buf = bytes::BytesMut::new();
+        logbase_common::codec::encode_frame(&mut buf, b"not a log entry");
+        dfs.append(&segment_name("srv/log", 0), &buf).unwrap();
+        // Reopen-style rotation: the torn segment is sealed, writing
+        // continues in a fresh one.
+        w.rotate().unwrap();
+        w.append("t", put_kind("b", 2)).unwrap();
+
+        // Strict scan fails on the garbage frame...
+        assert!(scan_log(&dfs, "srv/log", 0, 0, |_, _| Ok(())).is_err());
+        // ...the tolerant scan replays everything around it.
+        let mut lsns = Vec::new();
+        let n = scan_log_tolerant(&dfs, "srv/log", 0, 0, |_, e| {
+            lsns.push(e.lsn.0);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(lsns, vec![1, 2]);
+    }
+
+    #[test]
+    fn valid_prefix_len_stops_at_first_bad_frame() {
+        let (dfs, pos) = setup(1 << 20, 3);
+        let name = segment_name("srv/log", 0);
+        let clean = dfs.len(&name).unwrap();
+        assert_eq!(valid_prefix_len(&dfs, &name).unwrap(), clean);
+        // A half-written frame extends the file but not the valid prefix.
+        dfs.append(&name, &[99u8, 0, 0, 0, 1, 2]).unwrap();
+        assert_eq!(valid_prefix_len(&dfs, &name).unwrap(), clean);
+        assert!(dfs.len(&name).unwrap() > clean);
+        let _ = pos;
     }
 
     #[test]

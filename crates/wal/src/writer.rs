@@ -72,6 +72,11 @@ impl LogWriter {
 
     /// Re-open an existing log after recovery: continue at `next_lsn`
     /// after the last segment found under the prefix.
+    ///
+    /// If a crash left a torn frame at the tail of the last segment, the
+    /// damaged segment is sealed as-is and writing resumes in a fresh
+    /// segment — new appends must never land *after* garbage bytes, or
+    /// every later scan would stop at the tear and miss them.
     pub fn reopen(dfs: Dfs, config: LogConfig, next_lsn: Lsn) -> Result<Self> {
         let last = dfs
             .list(&format!("{}/segment-", config.prefix))
@@ -79,7 +84,19 @@ impl LogWriter {
             .filter_map(|n| crate::parse_segment_name(&config.prefix, &n))
             .max();
         let (segment, segment_len) = match last {
-            Some(seq) => (seq, dfs.len(&segment_name(&config.prefix, seq))?),
+            Some(seq) => {
+                let name = segment_name(&config.prefix, seq);
+                let raw_len = dfs.len(&name)?;
+                let valid_len = crate::reader::valid_prefix_len(&dfs, &name)?;
+                if valid_len < raw_len {
+                    // Torn tail: retire the damaged segment, start clean.
+                    let _ = dfs.seal(&name);
+                    dfs.create(&segment_name(&config.prefix, seq + 1))?;
+                    (seq + 1, 0)
+                } else {
+                    (seq, raw_len)
+                }
+            }
             None => {
                 dfs.create(&segment_name(&config.prefix, 0))?;
                 (0, 0)
@@ -214,12 +231,7 @@ mod tests {
         LogEntryKind::Write {
             txn_id: 0,
             tablet: 0,
-            record: Record::put(
-                key.as_bytes().to_vec(),
-                0,
-                Timestamp(ts),
-                vec![0u8; 16],
-            ),
+            record: Record::put(key.as_bytes().to_vec(), 0, Timestamp(ts), vec![0u8; 16]),
         }
     }
 
@@ -245,10 +257,7 @@ mod tests {
         assert_eq!(dfs.metrics().snapshot().dfs_appends - before, 1);
         // Positions are contiguous.
         for win in pos.windows(2) {
-            assert_eq!(
-                win[0].1.offset + u64::from(win[0].1.len),
-                win[1].1.offset
-            );
+            assert_eq!(win[0].1.offset + u64::from(win[0].1.len), win[1].1.offset);
         }
     }
 
@@ -293,6 +302,42 @@ mod tests {
         let w = LogWriter::reopen(dfs, LogConfig::new("fresh/log"), Lsn(1)).unwrap();
         assert_eq!(w.current_segment(), 0);
         w.append("t", put_kind("x", 1)).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_rotates_to_fresh_segment() {
+        let (dfs, w) = writer(1 << 20);
+        w.append("t", put_kind("a", 1)).unwrap();
+        let (_, p2) = w.append("t", put_kind("b", 2)).unwrap();
+        let next = w.next_lsn();
+        let seg = w.current_segment();
+        drop(w);
+        // Crash mid-append: half a frame lands at the segment tail.
+        let torn = [200u8, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, b'p', b'a', b'r'];
+        dfs.append(&segment_name("srv-0/log", seg), &torn).unwrap();
+
+        let w2 = LogWriter::reopen(
+            dfs.clone(),
+            LogConfig::new("srv-0/log").with_segment_bytes(1 << 20),
+            next,
+        )
+        .unwrap();
+        // The damaged segment is retired; writing resumed in a new one.
+        assert_eq!(w2.current_segment(), seg + 1);
+        let (lsn, ptr) = w2.append("t", put_kind("c", 3)).unwrap();
+        assert_eq!(lsn, next);
+        assert_eq!(ptr.segment, seg + 1);
+        // Pre-crash entries and the post-crash entry all replay; the torn
+        // frame is skipped.
+        let mut lsns = Vec::new();
+        crate::reader::scan_log_tolerant(&dfs, "srv-0/log", 0, 0, |_, e| {
+            lsns.push(e.lsn.0);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(lsns, vec![1, 2, 3]);
+        // Point reads of pre-crash entries still work.
+        assert!(crate::reader::read_entry(&dfs, "srv-0/log", p2).is_ok());
     }
 
     #[test]

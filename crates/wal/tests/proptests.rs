@@ -21,7 +21,8 @@ fn kind_of(key: Vec<u8>, ts: u64, value: Vec<u8>, tombstone: bool) -> LogEntryKi
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32
+        })]
 
     /// Batches of arbitrary sizes, tiny rotating segments: LSNs are
     /// dense, pointers resolve, scans return everything in order.

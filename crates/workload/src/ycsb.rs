@@ -122,10 +122,7 @@ mod tests {
     fn mix_fraction_is_respected() {
         let mut w = YcsbWorkload::new(YcsbConfig::new(1000, 0.75));
         let ops = w.ops(10_000);
-        let updates = ops
-            .iter()
-            .filter(|o| matches!(o, Op::Update(_, _)))
-            .count();
+        let updates = ops.iter().filter(|o| matches!(o, Op::Update(_, _))).count();
         let frac = updates as f64 / ops.len() as f64;
         assert!((0.72..0.78).contains(&frac), "update fraction {frac}");
     }

@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn scrambled_samples_always_land_on_loadable_keys() {
         let s = ScrambledZipfian::new(500, 1 << 40, 1.0);
-        let loaded: std::collections::HashSet<u64> =
-            (0..500).map(|i| s.key_of_item(i)).collect();
+        let loaded: std::collections::HashSet<u64> = (0..500).map(|i| s.key_of_item(i)).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for _ in 0..5_000 {
             assert!(loaded.contains(&s.sample(&mut rng)));

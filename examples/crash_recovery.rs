@@ -69,7 +69,12 @@ fn main() -> logbase_common::Result<()> {
     // Bring the node back; the cluster accepts writes again at full
     // replication.
     dfs.restart_node(0);
-    b.put("events", 0, logbase_workload::encode_key(999_999), b"post-failure".to_vec().into())?;
+    b.put(
+        "events",
+        0,
+        logbase_workload::encode_key(999_999),
+        b"post-failure".to_vec().into(),
+    )?;
     println!("write after node restart: OK");
     println!("crash_recovery OK");
     Ok(())

@@ -27,7 +27,9 @@ fn main() -> logbase_common::Result<()> {
     println!("latest alice  = {}", String::from_utf8_lossy(&latest));
 
     // Multiversion access: read as of an older timestamp.
-    let old = server.get_at("users", 0, b"alice", t1)?.expect("v1 visible at t1");
+    let old = server
+        .get_at("users", 0, b"alice", t1)?
+        .expect("v1 visible at t1");
     println!("alice @ {t1} = {}", String::from_utf8_lossy(&old));
     assert_ne!(old, latest);
     assert!(t2 > t1);
@@ -57,9 +59,17 @@ fn main() -> logbase_common::Result<()> {
     // ...then simulate a crash and recover from the shared DFS.
     drop(server);
     let recovered = TabletServer::open(dfs, ServerConfig::new("srv-0"))?;
-    let alice = recovered.get("users", 0, b"alice")?.expect("alice survives");
-    println!("after recovery: alice = {}", String::from_utf8_lossy(&alice));
-    assert!(recovered.get("users", 0, b"bob")?.is_none(), "delete survives too");
+    let alice = recovered
+        .get("users", 0, b"alice")?
+        .expect("alice survives");
+    println!(
+        "after recovery: alice = {}",
+        String::from_utf8_lossy(&alice)
+    );
+    assert!(
+        recovered.get("users", 0, b"bob")?.is_none(),
+        "delete survives too"
+    );
     println!("quickstart OK");
     Ok(())
 }

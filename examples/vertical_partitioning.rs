@@ -56,14 +56,17 @@ fn main() -> Result<()> {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     // Disable the read buffer so the byte accounting below reflects log
     // I/O rather than cache hits.
-    let server = TabletServer::create(
-        dfs.clone(),
-        ServerConfig::new("ticker").with_read_buffer(0),
-    )?;
+    let server =
+        TabletServer::create(dfs.clone(), ServerConfig::new("ticker").with_read_buffer(0))?;
     server.create_table(schema)?;
     for i in 0..500u64 {
         let key = logbase_workload::encode_key(i);
-        server.put("ticks", hot_cg, key.clone(), Value::from_static(b"101.25|88k"))?;
+        server.put(
+            "ticks",
+            hot_cg,
+            key.clone(),
+            Value::from_static(b"101.25|88k"),
+        )?;
         server.put("ticks", cold_cg, key, Value::from(vec![0u8; 16_384]))?;
     }
 
@@ -73,12 +76,20 @@ fn main() -> Result<()> {
     for i in 0..500u64 {
         server.get("ticks", hot_cg, &logbase_workload::encode_key(i))?;
     }
-    let hot_bytes = dfs.metrics().snapshot().delta_since(&before).rand_bytes_read;
+    let hot_bytes = dfs
+        .metrics()
+        .snapshot()
+        .delta_since(&before)
+        .rand_bytes_read;
     let before = dfs.metrics().snapshot();
     for i in 0..500u64 {
         server.get("ticks", cold_cg, &logbase_workload::encode_key(i))?;
     }
-    let cold_bytes = dfs.metrics().snapshot().delta_since(&before).rand_bytes_read;
+    let cold_bytes = dfs
+        .metrics()
+        .snapshot()
+        .delta_since(&before)
+        .rand_bytes_read;
     println!(
         "500 hot reads moved {hot_bytes} bytes; 500 blob reads moved {cold_bytes} bytes \
          ({}x saving for the hot path)",

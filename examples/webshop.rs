@@ -10,12 +10,16 @@ use logbase::TxnManager;
 use logbase_cluster::tpcw::TpcwCluster;
 use logbase_common::{Error, Value};
 use logbase_dfs::{Dfs, DfsConfig};
-use logbase_workload::tpcw::{tables, Mix, TpcwConfig, TpcwWorkload, TpcwTxn};
+use logbase_workload::tpcw::{tables, Mix, TpcwConfig, TpcwTxn, TpcwWorkload};
 
 fn main() -> logbase_common::Result<()> {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let cluster = TpcwCluster::create(dfs, 3, 10_000)?;
-    cluster.load(1_000, 100, &Value::from_static(b"{\"title\":\"a product\"}"))?;
+    cluster.load(
+        1_000,
+        100,
+        &Value::from_static(b"{\"title\":\"a product\"}"),
+    )?;
     println!("loaded 1000 items and 100 customers across 3 servers");
 
     // Run a shopping-mix workload (20% order placements).
@@ -50,7 +54,9 @@ fn main() -> logbase_common::Result<()> {
         }
         other => panic!("expected a write-write conflict, got {other:?}"),
     }
-    let cart = server.get(tables::CART, 0, &cart_key)?.expect("cart exists");
+    let cart = server
+        .get(tables::CART, 0, &cart_key)?
+        .expect("cart exists");
     assert_eq!(&cart[..], b"t1's cart");
     println!("webshop OK");
     Ok(())

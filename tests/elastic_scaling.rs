@@ -80,10 +80,17 @@ fn scale_in_merges_back_without_loss() {
     // work cluster-wide.
     let domain = cluster.config().key_domain;
     cluster
-        .put(0, encode_key(domain / 3 + 7), Value::from_static(b"post-drain"))
+        .put(
+            0,
+            encode_key(domain / 3 + 7),
+            Value::from_static(b"post-drain"),
+        )
         .unwrap();
     assert_eq!(
-        cluster.get(0, &encode_key(domain / 3 + 7)).unwrap().unwrap(),
+        cluster
+            .get(0, &encode_key(domain / 3 + 7))
+            .unwrap()
+            .unwrap(),
         Value::from_static(b"post-drain")
     );
 }
@@ -104,8 +111,12 @@ fn migration_preserves_version_history() {
     let mut cluster = Cluster::create(cluster_config).unwrap();
     // A key in the upper half (will migrate on scale-out), two versions.
     let hot = encode_key(domain - domain / 8);
-    let t1 = cluster.put(0, hot.clone(), Value::from_static(b"v1")).unwrap();
-    let t2 = cluster.put(0, hot.clone(), Value::from_static(b"v2")).unwrap();
+    let t1 = cluster
+        .put(0, hot.clone(), Value::from_static(b"v1"))
+        .unwrap();
+    let t2 = cluster
+        .put(0, hot.clone(), Value::from_static(b"v2"))
+        .unwrap();
     cluster.scale_out_logbase().unwrap();
     // Latest version visible through the new routing.
     assert_eq!(
@@ -121,7 +132,9 @@ fn migration_preserves_version_history() {
     );
     assert!(cluster.get_at(0, &hot, t1).unwrap().is_none());
     // New commit timestamps continue past the migrated ones.
-    let t3 = cluster.put(0, hot.clone(), Value::from_static(b"v3")).unwrap();
+    let t3 = cluster
+        .put(0, hot.clone(), Value::from_static(b"v3"))
+        .unwrap();
     assert!(t3 > t2);
     assert_eq!(
         cluster.get_at(0, &hot, Timestamp::MAX).unwrap().unwrap(),

@@ -39,8 +39,7 @@ fn cluster_agrees_with_model_through_maintenance_events() {
     };
     let check_all = |cluster: &Cluster, model: &BTreeMap<RowKey, Value>| {
         let scan = cluster.range_scan(0, &KeyRange::all(), usize::MAX).unwrap();
-        let got: BTreeMap<RowKey, Value> =
-            scan.into_iter().map(|(k, _, v)| (k, v)).collect();
+        let got: BTreeMap<RowKey, Value> = scan.into_iter().map(|(k, _, v)| (k, v)).collect();
         assert_eq!(&got, model, "cluster state diverged from model");
     };
 

@@ -75,7 +75,6 @@ fn key_of(k: u8) -> RowKey {
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24, // each case builds three engines; keep the suite quick
-        .. ProptestConfig::default()
     })]
 
     #[test]

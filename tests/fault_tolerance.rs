@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 fn server(dfs: &Dfs, name: &str) -> Arc<TabletServer> {
     let s = TabletServer::create(dfs.clone(), ServerConfig::new(name)).unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -19,7 +20,8 @@ fn reads_and_writes_survive_one_data_node_loss() {
     let dfs = Dfs::new(DfsConfig::in_memory(4, 3));
     let s = server(&dfs, "srv");
     for i in 0..100u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"v")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"v"))
+            .unwrap();
     }
     dfs.kill_node(2);
     // Reads fail over to surviving replicas.
@@ -28,10 +30,13 @@ fn reads_and_writes_survive_one_data_node_loss() {
     }
     // Writes still find 3 live nodes out of 4.
     for i in 100..120u64 {
-        s.put("t", 0, encode_key(i), Value::from_static(b"w")).unwrap();
+        s.put("t", 0, encode_key(i), Value::from_static(b"w"))
+            .unwrap();
     }
     assert_eq!(
-        s.range_scan("t", 0, &KeyRange::all(), usize::MAX).unwrap().len(),
+        s.range_scan("t", 0, &KeyRange::all(), usize::MAX)
+            .unwrap()
+            .len(),
         120
     );
 }
@@ -40,7 +45,8 @@ fn reads_and_writes_survive_one_data_node_loss() {
 fn writes_fail_cleanly_below_replication_quorum_then_resume() {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let s = server(&dfs, "srv");
-    s.put("t", 0, encode_key(1), Value::from_static(b"v")).unwrap();
+    s.put("t", 0, encode_key(1), Value::from_static(b"v"))
+        .unwrap();
     dfs.kill_node(0);
     let err = s
         .put("t", 0, encode_key(2), Value::from_static(b"v"))
@@ -49,7 +55,8 @@ fn writes_fail_cleanly_below_replication_quorum_then_resume() {
     // Reads still work.
     assert!(s.get("t", 0, &encode_key(1)).unwrap().is_some());
     dfs.restart_node(0);
-    s.put("t", 0, encode_key(2), Value::from_static(b"v")).unwrap();
+    s.put("t", 0, encode_key(2), Value::from_static(b"v"))
+        .unwrap();
 }
 
 #[test]
@@ -58,8 +65,13 @@ fn crash_loop_with_interleaved_writes_never_loses_acked_data() {
     {
         let s = server(&dfs, "srv");
         for i in 0..50u64 {
-            s.put("t", 0, encode_key(i), Value::from(format!("gen0-{i}").into_bytes()))
-                .unwrap();
+            s.put(
+                "t",
+                0,
+                encode_key(i),
+                Value::from(format!("gen0-{i}").into_bytes()),
+            )
+            .unwrap();
         }
     }
     for generation in 1..=4u64 {
@@ -96,7 +108,8 @@ fn torn_log_tail_does_not_block_recovery() {
     {
         let s = server(&dfs, "srv");
         for i in 0..30u64 {
-            s.put("t", 0, encode_key(i), Value::from_static(b"v")).unwrap();
+            s.put("t", 0, encode_key(i), Value::from_static(b"v"))
+                .unwrap();
         }
     }
     // Simulate a torn final write: a frame header promising more bytes
@@ -110,7 +123,8 @@ fn torn_log_tail_does_not_block_recovery() {
     let s = TabletServer::open(dfs, ServerConfig::new("srv")).unwrap();
     assert_eq!(s.stats().index_entries, 30);
     // The server keeps accepting writes after the torn tail.
-    s.put("t", 0, encode_key(99), Value::from_static(b"post")).unwrap();
+    s.put("t", 0, encode_key(99), Value::from_static(b"post"))
+        .unwrap();
     assert!(s.get("t", 0, &encode_key(99)).unwrap().is_some());
 }
 
@@ -142,13 +156,12 @@ fn corrupted_record_is_detected_on_point_read() {
     // Flip a byte inside a record's frame on *every* replica: the read
     // must fail with a checksum error, not return garbage.
     let dfs = Dfs::new(DfsConfig::in_memory(1, 1));
-    let s = TabletServer::create(
-        dfs.clone(),
-        ServerConfig::new("srv").with_read_buffer(0),
-    )
-    .unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
-    s.put("t", 0, encode_key(1), Value::from_static(b"precious")).unwrap();
+    let s =
+        TabletServer::create(dfs.clone(), ServerConfig::new("srv").with_read_buffer(0)).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
+    s.put("t", 0, encode_key(1), Value::from_static(b"precious"))
+        .unwrap();
 
     // Overwrite the single data node's block content byte: easiest via a
     // fresh DFS is impossible, so corrupt through the block API of a
@@ -200,9 +213,7 @@ fn cluster_failover_preserves_all_members_data() {
     // Crash every member in turn; data must survive each takeover.
     for victim in 0..4 {
         cluster.crash_and_recover_logbase(victim).unwrap();
-        let scan = cluster
-            .range_scan(0, &KeyRange::all(), usize::MAX)
-            .unwrap();
+        let scan = cluster.range_scan(0, &KeyRange::all(), usize::MAX).unwrap();
         assert_eq!(scan.len(), 200, "data lost after failing member {victim}");
     }
 }

@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 fn server(dfs: &Dfs) -> Arc<TabletServer> {
     let s = TabletServer::create(dfs.clone(), ServerConfig::new("srv")).unwrap();
-    s.create_table(TableSchema::single_group("t", &["v"])).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
     s
 }
 
@@ -25,8 +26,13 @@ fn guarantee_1_stable_storage() {
         let s = server(&dfs);
         for i in 0..100u64 {
             // `put` returning implies the bytes reached all 3 replicas.
-            s.put("t", 0, encode_key(i), Value::from(format!("v{i}").into_bytes()))
-                .unwrap();
+            s.put(
+                "t",
+                0,
+                encode_key(i),
+                Value::from(format!("v{i}").into_bytes()),
+            )
+            .unwrap();
         }
     }
     // One data node dies AND the server crashes.
@@ -47,8 +53,10 @@ fn guarantee_1_stable_storage() {
 fn guarantee_2_snapshot_isolation() {
     let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
     let s = server(&dfs);
-    s.put("t", 0, encode_key(1), Value::from_static(b"x0")).unwrap();
-    s.put("t", 0, encode_key(2), Value::from_static(b"y0")).unwrap();
+    s.put("t", 0, encode_key(1), Value::from_static(b"x0"))
+        .unwrap();
+    s.put("t", 0, encode_key(2), Value::from_static(b"y0"))
+        .unwrap();
 
     // Dirty read: T2 must not see T1's uncommitted write.
     let mut t1 = TxnManager::begin(&s);
@@ -64,7 +72,8 @@ fn guarantee_2_snapshot_isolation() {
     // Fuzzy read: repeated reads in one txn see one snapshot.
     let mut t3 = TxnManager::begin(&s);
     let first = TxnManager::read(&s, &mut t3, "t", 0, &encode_key(1)).unwrap();
-    s.put("t", 0, encode_key(1), Value::from_static(b"x-new")).unwrap();
+    s.put("t", 0, encode_key(1), Value::from_static(b"x-new"))
+        .unwrap();
     let second = TxnManager::read(&s, &mut t3, "t", 0, &encode_key(1)).unwrap();
     assert_eq!(first, second);
 
@@ -109,10 +118,7 @@ fn guarantee_3_atomicity() {
         // Forge the crash window: writes persisted, commit record not.
         for i in 10..15u64 {
             s.log_for_tests()
-                .append(
-                    "t",
-                    logbase_wal_kind(i, s.oracle().next()),
-                )
+                .append("t", logbase_wal_kind(i, s.oracle().next()))
                 .unwrap();
         }
     }

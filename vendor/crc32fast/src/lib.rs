@@ -1,0 +1,91 @@
+//! Vendored CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) with the
+//! `crc32fast` API: [`hash`] and an incremental [`Hasher`]. Table-driven,
+//! one byte per step — slower than the SIMD original but bit-identical.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `buf` in one shot.
+pub fn hash(buf: &[u8]) -> u32 {
+    let mut h = Hasher::new();
+    h.update(buf);
+    h.finalize()
+}
+
+/// Incremental CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// Fresh hasher.
+    pub fn new() -> Hasher {
+        Hasher { state: !0 }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, buf: &[u8]) {
+        let mut crc = self.state;
+        for &b in buf {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(self) -> u32 {
+        !self.state
+    }
+
+    /// Reset to the initial state.
+    pub fn reset(&mut self) {
+        self.state = !0;
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Hasher {
+        Hasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(hash(b"123456789"), 0xCBF4_3926);
+        assert_eq!(hash(b""), 0);
+        assert_eq!(hash(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Hasher::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), hash(b"hello world"));
+    }
+}

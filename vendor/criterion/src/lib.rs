@@ -1,0 +1,197 @@
+//! Vendored minimal benchmarking harness exposing the `criterion` API
+//! subset this workspace's benches use. Measurement is a simple
+//! time-bounded loop reporting mean ns/iter — no statistics, plots or
+//! baselines — but timings are real and benches run to completion.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup {
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(name.as_ref(), self.measurement_time, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (this harness sizes runs by time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(name.as_ref(), self.measurement_time, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+    };
+    println!("  {name}: {per_iter:.0} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Handed to benchmark closures to drive the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly within the time budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        loop {
+            let out = routine();
+            drop(out);
+            self.iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.elapsed = elapsed;
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the reported figure.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            drop(out);
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loops_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut count = 0u64;
+        group
+            .measurement_time(Duration::from_millis(5))
+            .bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, |v| seen += v, BatchSize::SmallInput)
+        });
+        assert!(seen > 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Vendored minimal subset of `parking_lot`: `Mutex`, `RwLock` and `Condvar`
+//! with non-poisoning semantics, layered over `std::sync`. A poisoned std
+//! lock is transparently recovered (parking_lot has no poisoning).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// Mutual-exclusion lock without poisoning.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Reader-writer lock without poisoning.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+/// Condition variable compatible with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_guard(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or the timeout elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_guard(guard, |g| {
+            let (g, res) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        self.wait_for(guard, timeout)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Temporarily move a guard out of `&mut` to thread it through std's
+/// by-value condvar API.
+fn take_guard<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    // SAFETY-free dance: std's condvar consumes and returns the guard; we
+    // need it behind &mut. Use a ManuallyDrop-free approach via Option in a
+    // local by swapping with a freshly acquired... not possible without the
+    // mutex. Instead rely on `replace_with`-style unwind-aborting closure.
+    struct AbortOnDrop;
+    impl Drop for AbortOnDrop {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let bomb = AbortOnDrop;
+        let guard = std::ptr::read(slot);
+        let new = f(guard);
+        std::ptr::write(slot, new);
+        std::mem::forget(bomb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_rwlock_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_signals() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join().unwrap();
+    }
+}

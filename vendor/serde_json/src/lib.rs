@@ -1,0 +1,416 @@
+//! Vendored JSON text layer over the vendored serde facade: renders
+//! [`serde::Value`] trees as JSON and parses JSON back into them.
+
+pub use serde::Value;
+use std::fmt;
+
+/// JSON serialization / parse failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------- writing
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            write_items(out, items.len(), indent, |out, i, ind| {
+                write_value(out, &items[i], ind);
+            });
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            write_items(out, pairs.len(), indent, |out, i, ind| {
+                let (k, v) = &pairs[i];
+                write_escaped(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, ind);
+            });
+            out.push('}');
+        }
+    }
+}
+
+/// Comma/indent boilerplate shared by arrays and objects.
+fn write_items(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    mut write_item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    if len == 0 {
+        return;
+    }
+    let inner = indent.map(|i| i + 2);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = inner {
+            out.push('\n');
+            out.push_str(&" ".repeat(ind));
+        }
+        write_item(out, i, inner);
+    }
+    if let Some(ind) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(ind));
+    }
+}
+
+/// Render compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None);
+    Ok(out)
+}
+
+/// Render indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0));
+    Ok(out)
+}
+
+/// Render compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Render indented JSON bytes.
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("bad literal"))
+                }
+            }
+            b't' => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("bad literal"))
+                }
+            }
+            b'f' => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("bad literal"))
+                }
+            }
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    pairs.push((key, value));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at this byte.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() {
+            return Err(self.err("expected a value"));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parse a JSON string into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing data"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse JSON bytes into `T`.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("αβ \"quoted\"\n".into())),
+            ("n".into(), Value::UInt(42)),
+            ("neg".into(), Value::Int(-3)),
+            ("f".into(), Value::Float(1.5)),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        let compact = {
+            let mut s = String::new();
+            super::write_value(&mut s, &v, None);
+            s
+        };
+        let parsed: Value = {
+            let mut p = Parser {
+                bytes: compact.as_bytes(),
+                pos: 0,
+            };
+            p.parse_value().unwrap()
+        };
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Value::Array(vec![Value::UInt(1), Value::Str("two".into())]);
+        let mut pretty = String::new();
+        super::write_value(&mut pretty, &v, Some(0));
+        assert!(pretty.contains('\n'));
+        let mut p = Parser {
+            bytes: pretty.as_bytes(),
+            pos: 0,
+        };
+        assert_eq!(p.parse_value().unwrap(), v);
+    }
+}

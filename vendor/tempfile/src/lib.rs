@@ -1,0 +1,80 @@
+//! Vendored minimal subset of `tempfile`: [`TempDir`] / [`tempdir`].
+//! Directories are created under the system temp dir with a unique name
+//! and removed (best-effort) on drop.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted when the handle is dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh uniquely named temporary directory.
+    pub fn new() -> io::Result<TempDir> {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let name = format!(
+            "logbase-tmp-{}-{}-{nanos:09}",
+            process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        );
+        let path = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// Path of the directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persist the directory (skip deletion) and return its path.
+    pub fn into_path(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Create a fresh temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let dir = tempdir().unwrap();
+        let p = dir.path().to_path_buf();
+        assert!(p.is_dir());
+        std::fs::write(p.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn unique_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
