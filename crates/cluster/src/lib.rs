@@ -1,4 +1,4 @@
-//! Multi-node cluster simulation (paper §3.3, §4).
+//! Multi-node cluster simulation (paper §3.3, §3.8, §4).
 //!
 //! The paper's testbed runs one tablet-server process and one DFS data
 //! node per machine, with one benchmark client per node. Here a
@@ -7,13 +7,22 @@
 //! data-node count equals the cluster size; a range [`Router`] plays the
 //! master's tablet-assignment role, and clients are benchmark threads.
 //!
-//! LogBase-specific cluster features — master election bookkeeping,
-//! tablet assignment, crash/recovery of a member server, and the TPC-W
-//! transaction executor — live in [`tpcw`] and the failover helpers.
+//! Every member holds a **session lease** in the coordination registry
+//! (the paper's Zookeeper role). Leases are driven by a logical clock:
+//! [`Cluster::heartbeat_all`] renews live members, [`Cluster::tick`]
+//! advances the clock, and a member missing its TTL is declared dead.
+//! For LogBase clusters a [`master`] component then runs the §3.8
+//! takeover recipe — seal the dead server's log, split it among
+//! survivors by key range, rebuild, and swap the routing table — with
+//! no manual intervention. Deterministic tests drive the clock
+//! explicitly; [`Cluster::enable_wallclock_failover`] runs the same
+//! loop on a background thread for wall-clock operation.
 
+mod master;
 mod router;
 pub mod tpcw;
 
+pub use master::FailoverReport;
 pub use router::{Route, Router};
 
 use logbase::server::LogBaseEngine;
@@ -21,11 +30,14 @@ use logbase::{ServerConfig, TabletServer};
 use logbase_common::engine::{ScanItem, StorageEngine};
 use logbase_common::metrics::MetricsHandle;
 use logbase_common::schema::{split_uniform, KeyRange, TableSchema};
-use logbase_common::{Result, RowKey, Timestamp, Value};
-use logbase_coordination::{LockService, MemberState, Registry, TimestampOracle};
+use logbase_common::{Error, Result, RetryPolicy, RowKey, Timestamp, Value};
+use logbase_coordination::{LockService, MemberId, MemberState, Registry, Tick, TimestampOracle};
 use logbase_dfs::{Dfs, DfsConfig};
 use logbase_hbase_model::{HBaseConfig, HBaseEngine};
 use logbase_lrs::{LrsConfig, LrsEngine};
+use master::Master;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,6 +85,9 @@ pub struct ClusterConfig {
     pub dfs_fault_seed: u64,
     /// Run the DFS background re-replication sweeper.
     pub dfs_auto_repair: bool,
+    /// Session-lease TTL in logical-clock ticks: a member missing this
+    /// many ticks without a heartbeat is declared dead.
+    pub lease_ttl_ticks: Tick,
 }
 
 impl ClusterConfig {
@@ -88,6 +103,7 @@ impl ClusterConfig {
             table: "usertable".to_string(),
             dfs_fault_seed: 0,
             dfs_auto_repair: false,
+            lease_ttl_ticks: 3,
         }
     }
 
@@ -104,18 +120,47 @@ impl ClusterConfig {
         self.dfs_auto_repair = true;
         self
     }
+
+    /// Builder-style lease TTL.
+    #[must_use]
+    pub fn with_lease_ttl_ticks(mut self, ttl: Tick) -> Self {
+        self.lease_ttl_ticks = ttl.max(1);
+        self
+    }
+}
+
+/// One member's seat in the cluster: the engine handles plus its
+/// registry session. A dead member keeps its seat (name, index) but
+/// loses its handles and session until revived.
+pub(crate) struct MemberSlot {
+    pub(crate) name: String,
+    pub(crate) session: Option<MemberId>,
+    pub(crate) engine: Option<Arc<dyn StorageEngine>>,
+    pub(crate) server: Option<Arc<TabletServer>>,
+    pub(crate) heartbeating: bool,
+    pub(crate) incarnation: u32,
+}
+
+pub(crate) type MemberSlots = Arc<RwLock<Vec<MemberSlot>>>;
+
+/// A master candidate's registry session.
+struct MasterSeat {
+    id: MemberId,
+    heartbeating: bool,
 }
 
 /// A simulated cluster of storage engines behind a range router.
 pub struct Cluster {
     config: ClusterConfig,
     dfs: Dfs,
-    engines: Vec<Arc<dyn StorageEngine>>,
-    logbase_servers: Vec<Arc<TabletServer>>,
-    router: Router,
+    slots: MemberSlots,
+    router: Arc<Router>,
     registry: Registry,
     oracle: TimestampOracle,
     locks: LockService,
+    masters: Arc<Mutex<Vec<MasterSeat>>>,
+    master: Option<Arc<Master>>,
+    wallclock: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
 }
 
 impl Cluster {
@@ -134,16 +179,41 @@ impl Cluster {
     /// Bring up a cluster over an existing DFS (disk-backed benches).
     pub fn create_on(config: ClusterConfig, dfs: Dfs) -> Result<Self> {
         let registry = Registry::new();
-        registry.register("master-0", MemberState::MasterCandidate);
+        registry.set_metrics(Arc::clone(dfs.metrics()));
         let oracle = TimestampOracle::new();
         let locks = LockService::new();
-        let router = Router::new(config.nodes as u32, config.key_domain);
+        let router = Arc::new(Router::new(config.nodes as u32, config.key_domain));
 
-        let mut engines: Vec<Arc<dyn StorageEngine>> = Vec::with_capacity(config.nodes);
-        let mut logbase_servers = Vec::new();
+        // Two master candidates, both lease-holding: the active master
+        // is the lowest-id live candidate, so pausing it demotes it
+        // automatically once its lease lapses.
+        let mut seats = Vec::new();
+        for m in 0..2 {
+            let (id, _token) = registry.register_session(
+                format!("master-{m}"),
+                MemberState::MasterCandidate,
+                config.lease_ttl_ticks,
+            );
+            seats.push(MasterSeat {
+                id,
+                heartbeating: true,
+            });
+        }
+        let masters = Arc::new(Mutex::new(seats));
+
+        let mut slots_vec: Vec<MemberSlot> = Vec::with_capacity(config.nodes);
         for i in 0..config.nodes {
             let name = format!("srv-{i}");
-            registry.register(&name, MemberState::TabletServer);
+            let (session, token) =
+                registry.register_session(&name, MemberState::TabletServer, config.lease_ttl_ticks);
+            let mut slot = MemberSlot {
+                name: name.clone(),
+                session: Some(session),
+                engine: None,
+                server: None,
+                heartbeating: true,
+                incarnation: 0,
+            };
             match config.engine {
                 EngineKind::LogBase => {
                     let server = TabletServer::create_with(
@@ -157,11 +227,12 @@ impl Cluster {
                     let descs =
                         split_uniform(&config.table, config.nodes as u32, config.key_domain);
                     server.assign_tablet(descs[i].clone())?;
-                    engines.push(Arc::new(LogBaseEngine::new(
+                    server.set_fencing(token);
+                    slot.engine = Some(Arc::new(LogBaseEngine::new(
                         Arc::clone(&server),
                         &config.table,
                     )));
-                    logbase_servers.push(server);
+                    slot.server = Some(server);
                 }
                 EngineKind::HBase => {
                     let engine = HBaseEngine::create_with(
@@ -169,31 +240,50 @@ impl Cluster {
                         HBaseConfig::new(&name).with_flush_bytes(config.hbase_flush_bytes),
                         oracle.clone(),
                     )?;
-                    engines.push(engine);
+                    slot.engine = Some(engine);
                 }
                 EngineKind::Lrs => {
                     let mut lrs_config = LrsConfig::new(&name);
                     lrs_config.segment_bytes = config.segment_bytes;
                     let engine = LrsEngine::create_with(dfs.clone(), lrs_config, oracle.clone())?;
-                    engines.push(engine);
+                    slot.engine = Some(engine);
                 }
             }
+            slots_vec.push(slot);
         }
+        let slots: MemberSlots = Arc::new(RwLock::new(slots_vec));
+
+        // LogBase clusters get the failover master; its expiry watcher
+        // opens the ownership gap the moment a session dies.
+        let master = (config.engine == EngineKind::LogBase).then(|| {
+            let m = Master::new(
+                dfs.clone(),
+                registry.clone(),
+                Arc::clone(&router),
+                Arc::clone(&slots),
+                config.table.clone(),
+            );
+            m.install_watcher();
+            m
+        });
+
         Ok(Cluster {
             config,
             dfs,
-            engines,
-            logbase_servers,
+            slots,
             router,
             registry,
             oracle,
             locks,
+            masters,
+            master,
+            wallclock: None,
         })
     }
 
-    /// Member count.
+    /// Member count (seats, including dead members awaiting revival).
     pub fn nodes(&self) -> usize {
-        self.engines.len()
+        self.slots.read().len()
     }
 
     /// The configuration in effect.
@@ -211,52 +301,257 @@ impl Cluster {
         &self.dfs
     }
 
-    /// The membership registry (master election state).
+    /// The membership registry (master election + lease state).
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
 
-    /// The engine serving `key`.
-    pub fn engine_for(&self, key: &[u8]) -> &Arc<dyn StorageEngine> {
-        &self.engines[self.router.route(key) as usize]
+    /// Snapshot of the routing table.
+    pub fn routes(&self) -> Vec<Route> {
+        self.router.snapshot()
     }
 
-    /// Engine of member `i`.
-    pub fn engine(&self, i: usize) -> &Arc<dyn StorageEngine> {
-        &self.engines[i]
+    /// Registry session of member `i`, if it currently holds one.
+    pub fn session_of(&self, i: usize) -> Option<MemberId> {
+        self.slots.read().get(i).and_then(|s| s.session)
     }
 
-    /// LogBase tablet server of member `i` (LogBase clusters only).
-    pub fn logbase_server(&self, i: usize) -> Option<&Arc<TabletServer>> {
-        self.logbase_servers.get(i)
+    /// The engine serving `key`. Panics if the member is down — the
+    /// retry-aware path is [`Cluster::client_get`]/[`Cluster::client_put`].
+    pub fn engine_for(&self, key: &[u8]) -> Arc<dyn StorageEngine> {
+        let m = self.router.route(key) as usize;
+        self.slots.read()[m]
+            .engine
+            .clone()
+            .expect("member serving this key is down; use the client_* retry path")
     }
 
-    /// Routed single-record write.
+    /// Engine of member `i`. Panics if the member is down.
+    pub fn engine(&self, i: usize) -> Arc<dyn StorageEngine> {
+        self.slots.read()[i]
+            .engine
+            .clone()
+            .expect("member is down; use the client_* retry path")
+    }
+
+    /// LogBase tablet server of member `i` (LogBase clusters only,
+    /// `None` for other engines or a dead member).
+    pub fn logbase_server(&self, i: usize) -> Option<Arc<TabletServer>> {
+        self.slots.read().get(i).and_then(|s| s.server.clone())
+    }
+
+    /// Routed single-record write (panics if the member is down).
     pub fn put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
         self.engine_for(&key).put(cg, key, value)
     }
 
-    /// Routed point read.
+    /// Routed point read (panics if the member is down).
     pub fn get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>> {
         self.engine_for(key).get(cg, key)
     }
 
-    /// Routed multiversion read.
+    /// Routed multiversion read (panics if the member is down).
     pub fn get_at(&self, cg: u16, key: &[u8], at: Timestamp) -> Result<Option<Value>> {
         self.engine_for(key).get_at(cg, key, at)
     }
 
-    /// Routed delete.
+    /// Routed delete (panics if the member is down).
     pub fn delete(&self, cg: u16, key: &[u8]) -> Result<()> {
         self.engine_for(key).delete(cg, key)
     }
 
-    /// Cluster-wide range scan: fan out to every member, merge in key
-    /// order (sub-ranges are disjoint, so concatenation in node order is
-    /// already sorted).
+    /// Single-shot routed write observing failover state: fails with a
+    /// retriable `Unavailable` in the ownership gap or while the owner
+    /// is down, and remaps `TabletNotServed` (a stale route hit) to the
+    /// retriable `TabletMoved`.
+    pub fn try_put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
+        let engine = self.routed_engine(&key)?;
+        engine.put(cg, key, value).map_err(remap_stale_route)
+    }
+
+    /// Single-shot routed read observing failover state; see
+    /// [`Cluster::try_put`].
+    pub fn try_get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        let engine = self.routed_engine(key)?;
+        engine.get(cg, key).map_err(remap_stale_route)
+    }
+
+    /// Routed write that rides through failover: retries with backoff
+    /// while the key's tablet is in the ownership gap.
+    pub fn client_put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
+        RetryPolicy::new(400).run_ctx("cluster put", |_| {
+            self.try_put(cg, key.clone(), value.clone())
+        })
+    }
+
+    /// Routed read that rides through failover; see [`Cluster::client_put`].
+    pub fn client_get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        RetryPolicy::new(400).run_ctx("cluster get", |_| self.try_get(cg, key))
+    }
+
+    fn routed_engine(&self, key: &[u8]) -> Result<Arc<dyn StorageEngine>> {
+        let m = self.router.route_checked(key)? as usize;
+        self.slots.read()[m].engine.clone().ok_or_else(|| {
+            Error::Unavailable(format!("member {m} is down; failover has not completed"))
+        })
+    }
+
+    // ---- lease / failover controls -------------------------------------
+
+    /// Renew the lease of every member still heartbeating (the per-node
+    /// heartbeat threads of a real deployment, collapsed into one call
+    /// for deterministic tests).
+    pub fn heartbeat_all(&self) {
+        heartbeat_members(&self.registry, &self.slots, &self.masters);
+    }
+
+    /// Advance the lease clock, expiring sessions that missed their
+    /// TTL. Returns the number of expiries. Call
+    /// [`Cluster::heartbeat_all`] between single ticks to keep live
+    /// members alive.
+    pub fn tick(&self, ticks: Tick) -> usize {
+        self.registry.tick(ticks).len()
+    }
+
+    /// Run any queued failovers (LogBase clusters; a no-op while no
+    /// master candidate holds a live lease). Returns a report per
+    /// completed takeover.
+    pub fn run_failover(&self) -> Result<Vec<FailoverReport>> {
+        match &self.master {
+            Some(m) => m.run_pending(),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Failovers waiting on an active master.
+    pub fn pending_failovers(&self) -> usize {
+        self.master.as_ref().map_or(0, |m| m.pending_len())
+    }
+
+    /// Kill member `i`: the process dies, dropping its in-memory state
+    /// and its heartbeats. Its lease expires after the TTL and the
+    /// master reassigns its tablets — no manual recovery call.
+    pub fn kill_server(&self, i: usize) {
+        let mut slots = self.slots.write();
+        let slot = &mut slots[i];
+        slot.heartbeating = false;
+        slot.engine = None;
+        slot.server = None;
+    }
+
+    /// Pause member `i` (network partition / GC stall): the process
+    /// stays alive — the returned handle is the zombie's own view of
+    /// itself — but stops heartbeating, so its lease expires and its
+    /// tablets move. Fencing makes the zombie's later writes fail.
+    pub fn pause_server(&self, i: usize) -> Option<Arc<TabletServer>> {
+        let mut slots = self.slots.write();
+        let slot = &mut slots[i];
+        slot.heartbeating = false;
+        slot.server.clone()
+    }
+
+    /// Revive member `i` after a kill or pause: it re-registers with a
+    /// fresh session (and a strictly higher fencing epoch, so every
+    /// token from its previous life stays dead) and rejoins empty,
+    /// serving no tablets until the master assigns it some. LogBase
+    /// clusters only.
+    pub fn resume_server(&self, i: usize) -> Result<()> {
+        assert_eq!(
+            self.config.engine,
+            EngineKind::LogBase,
+            "resume_server requires a LogBase cluster"
+        );
+        let mut slots = self.slots.write();
+        let slot = &mut slots[i];
+        // Retire the old session explicitly: if the lease has not yet
+        // expired this prevents a later spurious expiry event, and if
+        // it has, this is a no-op.
+        if let Some(old) = slot.session.take() {
+            self.registry.mark_dead(old);
+        }
+        slot.incarnation += 1;
+        let base = format!("srv-{i}");
+        let name = format!("{base}-r{}", slot.incarnation);
+        let server = TabletServer::create_with(
+            self.dfs.clone(),
+            ServerConfig::new(&name).with_segment_bytes(self.config.segment_bytes),
+            self.oracle.clone(),
+            self.locks.clone(),
+        )?;
+        server.register_table(TableSchema::single_group(&self.config.table, &["v"]))?;
+        let (session, token) = self.registry.register_session(
+            &name,
+            MemberState::TabletServer,
+            self.config.lease_ttl_ticks,
+        );
+        server.set_fencing(token);
+        slot.name = name;
+        slot.session = Some(session);
+        slot.engine = Some(Arc::new(LogBaseEngine::new(
+            Arc::clone(&server),
+            &self.config.table,
+        )));
+        slot.server = Some(server);
+        slot.heartbeating = true;
+        Ok(())
+    }
+
+    /// Stop the active master's heartbeats (its lease will lapse and
+    /// the standby candidate takes over).
+    pub fn pause_master(&self, idx: usize) {
+        self.masters.lock()[idx].heartbeating = false;
+    }
+
+    /// Restart a master candidate's heartbeats, renewing its lease.
+    pub fn resume_master(&self, idx: usize) {
+        let mut seats = self.masters.lock();
+        seats[idx].heartbeating = true;
+        self.registry.mark_alive(seats[idx].id);
+    }
+
+    /// Drive heartbeats, the lease clock, and failover from a
+    /// background thread: one logical tick per `interval`, so the lease
+    /// TTL is `lease_ttl_ticks × interval` of wall-clock silence.
+    /// Deterministic tests should drive [`Cluster::tick`] directly
+    /// instead.
+    pub fn enable_wallclock_failover(&mut self, interval: Duration) {
+        if self.wallclock.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = self.registry.clone();
+        let slots = Arc::clone(&self.slots);
+        let masters = Arc::clone(&self.masters);
+        let master = self.master.clone();
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                heartbeat_members(&registry, &slots, &masters);
+                registry.tick(1);
+                if let Some(m) = &master {
+                    // Failed takeovers stay queued; retried next tick.
+                    let _ = m.run_pending();
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        self.wallclock = Some((stop, handle));
+    }
+
+    // ---- bulk / benchmark helpers --------------------------------------
+
+    /// Cluster-wide range scan: fan out to every live member, merge in
+    /// key order (sub-ranges are disjoint, so concatenation in node
+    /// order is already sorted).
     pub fn range_scan(&self, cg: u16, range: &KeyRange, limit: usize) -> Result<Vec<ScanItem>> {
+        let engines: Vec<Arc<dyn StorageEngine>> = self
+            .slots
+            .read()
+            .iter()
+            .filter_map(|s| s.engine.clone())
+            .collect();
         let mut out = Vec::new();
-        for engine in &self.engines {
+        for engine in engines {
             if out.len() >= limit {
                 break;
             }
@@ -274,11 +569,21 @@ impl Cluster {
         value_bytes: usize,
     ) -> Result<Duration> {
         assert_eq!(keys_per_node.len(), self.nodes());
+        let engines: Vec<Arc<dyn StorageEngine>> = self
+            .slots
+            .read()
+            .iter()
+            .map(|s| {
+                s.engine
+                    .clone()
+                    .expect("parallel_load needs all members up")
+            })
+            .collect();
         let start = Instant::now();
         std::thread::scope(|s| -> Result<()> {
             let mut handles = Vec::new();
             for (i, keys) in keys_per_node.iter().enumerate() {
-                let engine = Arc::clone(&self.engines[i]);
+                let engine = Arc::clone(&engines[i]);
                 handles.push(s.spawn(move || -> Result<()> {
                     let value = Value::from(vec![0x5au8; value_bytes]);
                     for key in keys {
@@ -304,9 +609,15 @@ impl Cluster {
         out
     }
 
-    /// Flush/checkpoint every member (between benchmark phases).
+    /// Flush/checkpoint every live member (between benchmark phases).
     pub fn sync_all(&self) -> Result<()> {
-        for e in &self.engines {
+        let engines: Vec<Arc<dyn StorageEngine>> = self
+            .slots
+            .read()
+            .iter()
+            .filter_map(|s| s.engine.clone())
+            .collect();
+        for e in engines {
             e.sync()?;
         }
         Ok(())
@@ -323,7 +634,7 @@ impl Cluster {
             EngineKind::LogBase,
             "scale_out_logbase requires a LogBase cluster"
         );
-        let new_id = self.engines.len() as u32;
+        let new_id = self.nodes() as u32;
         // Donor: the member owning the widest range.
         let donor = {
             let snap = self.router.snapshot();
@@ -353,7 +664,11 @@ impl Cluster {
 
         // Bring up the newcomer with the upper half assigned.
         let name = format!("srv-{new_id}");
-        self.registry.register(&name, MemberState::TabletServer);
+        let (session, token) = self.registry.register_session(
+            &name,
+            MemberState::TabletServer,
+            self.config.lease_ttl_ticks,
+        );
         let server = TabletServer::create_with(
             self.dfs.clone(),
             ServerConfig::new(&name).with_segment_bytes(self.config.segment_bytes),
@@ -368,9 +683,12 @@ impl Cluster {
             },
             range: upper.clone(),
         })?;
+        server.set_fencing(token);
 
         // Migrate the upper half's records, preserving timestamps.
-        let donor_server = Arc::clone(&self.logbase_servers[donor as usize]);
+        let donor_server = self
+            .logbase_server(donor as usize)
+            .expect("scale-out donor is alive");
         let moved = donor_server.range_scan_at(
             &self.config.table,
             0,
@@ -409,11 +727,17 @@ impl Cluster {
         };
         donor_server.resize_tablet(&self.config.table, donor_desc.id.range_index, lower)?;
 
-        self.engines.push(Arc::new(LogBaseEngine::new(
-            Arc::clone(&server),
-            &self.config.table,
-        )));
-        self.logbase_servers.push(server);
+        self.slots.write().push(MemberSlot {
+            name,
+            session: Some(session),
+            engine: Some(Arc::new(LogBaseEngine::new(
+                Arc::clone(&server),
+                &self.config.table,
+            ))),
+            server: Some(server),
+            heartbeating: true,
+            incarnation: 0,
+        });
         Ok(new_id as usize)
     }
 
@@ -428,8 +752,12 @@ impl Cluster {
             "scale_in_logbase requires a LogBase cluster"
         );
         let (heir, absorbed) = self.router.merge_into_left_neighbour(victim as u32)?;
-        let victim_server = Arc::clone(&self.logbase_servers[victim]);
-        let heir_server = Arc::clone(&self.logbase_servers[heir as usize]);
+        let victim_server = self
+            .logbase_server(victim)
+            .expect("scale-in victim is alive");
+        let heir_server = self
+            .logbase_server(heir as usize)
+            .expect("scale-in heir is alive");
 
         // Victim hands its tablet off.
         let victim_desc = victim_server
@@ -468,20 +796,30 @@ impl Cluster {
         Ok(heir as usize)
     }
 
-    /// Simulate a permanent crash of LogBase member `i` followed by
-    /// takeover: the member's state is dropped and rebuilt from the
-    /// shared DFS (checkpoint + log redo, §3.8). Returns the recovery
-    /// wall-clock time. Panics if the cluster does not run LogBase.
+    /// Simulate a *planned* restart of LogBase member `i`: the member's
+    /// in-memory state is dropped and rebuilt from the shared DFS
+    /// (checkpoint + log redo, §3.8) under the same name and a fresh
+    /// session. Returns the recovery wall-clock time. For unplanned
+    /// death, use [`Cluster::kill_server`] and let the lease machinery
+    /// take over. Panics if the cluster does not run LogBase.
     pub fn crash_and_recover_logbase(&mut self, i: usize) -> Result<Duration> {
         assert_eq!(
             self.config.engine,
             EngineKind::LogBase,
             "crash_and_recover_logbase requires a LogBase cluster"
         );
-        let name = format!("srv-{i}");
-        // Drop the in-memory state (the crash).
-        self.logbase_servers.remove(i);
-        self.engines.remove(i);
+        let (name, old_session) = {
+            let mut slots = self.slots.write();
+            let slot = &mut slots[i];
+            // Drop the in-memory state (the crash).
+            slot.engine = None;
+            slot.server = None;
+            (slot.name.clone(), slot.session.take())
+        };
+        // Planned: retire the old session without firing failover.
+        if let Some(old) = old_session {
+            self.registry.mark_dead(old);
+        }
         let start = Instant::now();
         let server = TabletServer::open_with(
             self.dfs.clone(),
@@ -490,12 +828,57 @@ impl Cluster {
             self.locks.clone(),
         )?;
         let elapsed = start.elapsed();
-        self.engines.insert(
-            i,
-            Arc::new(LogBaseEngine::new(Arc::clone(&server), &self.config.table)),
+        let (session, token) = self.registry.register_session(
+            &name,
+            MemberState::TabletServer,
+            self.config.lease_ttl_ticks,
         );
-        self.logbase_servers.insert(i, server);
+        server.set_fencing(token);
+        let mut slots = self.slots.write();
+        let slot = &mut slots[i];
+        slot.session = Some(session);
+        slot.engine = Some(Arc::new(LogBaseEngine::new(
+            Arc::clone(&server),
+            &self.config.table,
+        )));
+        slot.server = Some(server);
+        slot.heartbeating = true;
         Ok(elapsed)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some((stop, handle)) = self.wallclock.take() {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Renew the lease of every member still heartbeating (shared between
+/// [`Cluster::heartbeat_all`] and the wall-clock driver thread).
+fn heartbeat_members(registry: &Registry, slots: &MemberSlots, masters: &Mutex<Vec<MasterSeat>>) {
+    for seat in masters.lock().iter() {
+        if seat.heartbeating {
+            let _ = registry.heartbeat(seat.id);
+        }
+    }
+    for slot in slots.read().iter() {
+        if slot.heartbeating {
+            if let Some(id) = slot.session {
+                let _ = registry.heartbeat(id);
+            }
+        }
+    }
+}
+
+/// A client whose cached route raced a reassignment hit a server that
+/// no longer serves the tablet: retriable, the router has the new owner.
+fn remap_stale_route(e: Error) -> Error {
+    match e {
+        Error::TabletNotServed(d) => Error::TabletMoved(d),
+        other => other,
     }
 }
 
@@ -599,7 +982,12 @@ mod tests {
         let c = Cluster::create(ClusterConfig::new(2, EngineKind::LogBase)).unwrap();
         let (master_id, name) = c.registry().active_master().unwrap();
         assert_eq!(name, "master-0");
+        // The standby candidate takes over the instant the active
+        // master dies; only losing both leaves the cluster headless.
         c.registry().mark_dead(master_id);
+        let (standby_id, standby) = c.registry().active_master().unwrap();
+        assert_eq!(standby, "master-1");
+        c.registry().mark_dead(standby_id);
         assert!(c.registry().active_master().is_none());
     }
 
@@ -613,5 +1001,40 @@ mod tests {
             assert!(ts > last, "global commit order violated");
             last = ts;
         }
+    }
+
+    #[test]
+    fn killed_member_fails_over_without_manual_recovery() {
+        let c = Cluster::create(ClusterConfig::new(3, EngineKind::LogBase)).unwrap();
+        let domain = c.config().key_domain;
+        for i in 0..60u64 {
+            c.client_put(0, key(i * (domain / 60)), val(&format!("v{i}")))
+                .unwrap();
+        }
+        c.kill_server(1);
+        // Lease machinery: survivors heartbeat, clock ticks past the TTL.
+        let ttl = c.config().lease_ttl_ticks;
+        let mut expired = 0;
+        for _ in 0..ttl {
+            c.heartbeat_all();
+            expired += c.tick(1);
+        }
+        assert_eq!(expired, 1, "exactly the killed member's lease expires");
+        let reports = c.run_failover().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].victim, "srv-1");
+        assert!(reports[0].tablets_reassigned >= 1);
+        // No route points at the victim any more, and every write is
+        // readable through the client path.
+        assert!(c.routes().iter().all(|r| r.member != 1));
+        for i in 0..60u64 {
+            assert_eq!(
+                c.client_get(0, &key(i * (domain / 60))).unwrap(),
+                Some(val(&format!("v{i}"))),
+                "key {i} lost in failover"
+            );
+        }
+        // The seat is empty but the cluster keeps serving writes.
+        c.client_put(0, key(domain / 2), val("after")).unwrap();
     }
 }

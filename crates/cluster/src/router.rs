@@ -8,6 +8,7 @@
 use logbase_common::schema::{KeyRange, TabletDesc, TabletId};
 use logbase_common::{Error, Result, RowKey};
 use parking_lot::RwLock;
+use std::collections::HashSet;
 
 /// One routing entry: a key range owned by a member.
 #[derive(Debug, Clone)]
@@ -19,8 +20,15 @@ pub struct Route {
 }
 
 /// Routes 8-byte big-endian keys to members by contiguous key ranges.
+///
+/// During failover a member's ranges are marked *unavailable*: clients
+/// asking through [`Router::route_checked`] get `Error::Unavailable`
+/// (retriable) until the master installs the reassignment — the
+/// ownership-gap contract that keeps reads from ever hitting a stale
+/// owner.
 pub struct Router {
     ranges: RwLock<Vec<Route>>,
+    unavailable: RwLock<HashSet<u32>>,
 }
 
 fn key_to_u64(key: &[u8]) -> u64 {
@@ -42,6 +50,7 @@ impl Router {
             .collect();
         Router {
             ranges: RwLock::new(ranges),
+            unavailable: RwLock::new(HashSet::new()),
         }
     }
 
@@ -53,6 +62,65 @@ impl Router {
             .find(|r| r.range.contains(key))
             .map(|r| r.member)
             .expect("routing table covers the whole key space")
+    }
+
+    /// Like [`Router::route`], but fails with a retriable
+    /// `Error::Unavailable` while the owning member's tablets are in
+    /// the failover ownership gap.
+    pub fn route_checked(&self, key: &[u8]) -> Result<u32> {
+        let m = self.route(key);
+        if self.unavailable.read().contains(&m) {
+            return Err(Error::Unavailable(format!(
+                "member {m} is being failed over; its tablets are not yet reassigned"
+            )));
+        }
+        Ok(m)
+    }
+
+    /// Open the ownership gap for `member`: its ranges stay in the
+    /// table (so reassignment knows what to split) but routing refuses
+    /// to serve them.
+    pub fn mark_unavailable(&self, member: u32) {
+        self.unavailable.write().insert(member);
+    }
+
+    /// Whether `member` is currently in the ownership gap.
+    pub fn is_unavailable(&self, member: u32) -> bool {
+        self.unavailable.read().contains(&member)
+    }
+
+    /// Atomically close `victim`'s ownership gap by swapping its routes
+    /// to the new owners. `owners` maps each of the victim's range
+    /// *start keys* to the surviving member that rebuilt it; every
+    /// victim route must be covered. Clients racing this call see
+    /// either the gap (`Unavailable`) or the new owner — never the
+    /// victim.
+    pub fn install_reassignments(&self, victim: u32, owners: &[(RowKey, u32)]) -> Result<()> {
+        let mut ranges = self.ranges.write();
+        // Validate before mutating so a bad plan leaves routing intact.
+        let mut plan: Vec<(usize, u32)> = Vec::new();
+        for (i, route) in ranges.iter().enumerate() {
+            if route.member != victim {
+                continue;
+            }
+            let heir = owners
+                .iter()
+                .find(|(start, _)| *start == route.range.start)
+                .map(|(_, m)| *m)
+                .ok_or_else(|| {
+                    Error::InvalidArgument(format!(
+                        "reassignment left victim {victim}'s range at {:?} unowned",
+                        route.range.start
+                    ))
+                })?;
+            plan.push((i, heir));
+        }
+        for (i, heir) in plan {
+            ranges[i].member = heir;
+        }
+        drop(ranges);
+        self.unavailable.write().remove(&victim);
+        Ok(())
     }
 
     /// Number of routing entries (≥ member count).
@@ -220,5 +288,39 @@ mod tests {
     fn narrow_range_refuses_split() {
         let r = Router::new(1, 1);
         assert!(r.split_member(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn ownership_gap_rejects_routes_until_reassignment() {
+        let r = Router::new(4, 1 << 32);
+        let key = (3u64 << 30).to_be_bytes(); // lands on member 3
+        assert_eq!(r.route_checked(&key).unwrap(), 3);
+
+        r.mark_unavailable(3);
+        assert!(r.is_unavailable(3));
+        let err = r.route_checked(&key).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)));
+        assert!(err.is_retriable(), "gap errors must be retriable");
+        // Other members keep serving.
+        assert_eq!(r.route_checked(&0u64.to_be_bytes()).unwrap(), 0);
+
+        let start = r.range_of(3).range.start;
+        r.install_reassignments(3, &[(start, 1)]).unwrap();
+        assert!(!r.is_unavailable(3));
+        assert_eq!(r.route_checked(&key).unwrap(), 1);
+    }
+
+    #[test]
+    fn incomplete_reassignment_leaves_routing_untouched() {
+        let r = Router::new(2, 1000);
+        r.mark_unavailable(1);
+        // Wrong start key: the victim's range is not covered.
+        let err = r
+            .install_reassignments(1, &[(RowKey::from_static(b"nope"), 0)])
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+        // Nothing changed: still unavailable, still owned by the victim.
+        assert!(r.is_unavailable(1));
+        assert_eq!(r.route(&700u64.to_be_bytes()), 1);
     }
 }

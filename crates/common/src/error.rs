@@ -53,6 +53,21 @@ pub enum Error {
     Schema(String),
     /// No tablet server currently owns the requested key.
     TabletNotServed(String),
+    /// The tablet was reassigned to another server; re-resolve the route
+    /// and retry there.
+    TabletMoved(String),
+    /// Write rejected because the issuer's lease epoch is stale — the
+    /// server was declared dead and its tablets fenced off. Permanently
+    /// fatal for the old session: only re-registering (with a fresh,
+    /// higher epoch) clears it.
+    Fenced {
+        /// Server whose write was rejected.
+        server: String,
+        /// Epoch the zombie still holds.
+        held: u64,
+        /// Current epoch for the server's tablets.
+        current: u64,
+    },
     /// Transaction aborted by validation (first-committer-wins conflict).
     TxnConflict {
         /// Human-readable description of the conflicting key.
@@ -99,6 +114,15 @@ impl fmt::Display for Error {
             Error::NodeDown(node) => write!(f, "data node down: {node}"),
             Error::Schema(msg) => write!(f, "schema error: {msg}"),
             Error::TabletNotServed(key) => write!(f, "no tablet serves key: {key}"),
+            Error::TabletMoved(detail) => write!(f, "tablet moved: {detail}"),
+            Error::Fenced {
+                server,
+                held,
+                current,
+            } => write!(
+                f,
+                "fenced: {server} holds stale epoch {held} (current {current})"
+            ),
             Error::TxnConflict { detail } => write!(f, "transaction conflict: {detail}"),
             Error::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
             Error::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
@@ -130,7 +154,13 @@ impl Error {
     /// and flaky transports produce; a hard disk error stays fatal.
     pub fn is_retriable(&self) -> bool {
         match self {
-            Error::NodeDown(_) | Error::Unavailable(_) | Error::InsufficientReplicas { .. } => true,
+            Error::NodeDown(_)
+            | Error::Unavailable(_)
+            | Error::InsufficientReplicas { .. }
+            | Error::TabletMoved(_) => true,
+            // A fenced session can never succeed by retrying: its epoch
+            // only grows staler. The zombie must re-register instead.
+            Error::Fenced { .. } => false,
             Error::Io(e) => matches!(
                 e.kind(),
                 std::io::ErrorKind::Interrupted
@@ -177,6 +207,20 @@ mod tests {
         assert!(!Error::Corruption("bad".into()).is_retriable());
         assert!(Error::Corruption("bad".into()).is_corruption());
         assert!(!Error::FileNotFound("x".into()).is_corruption());
+    }
+
+    #[test]
+    fn tablet_moved_is_retriable_but_fenced_never_is() {
+        assert!(Error::TabletMoved("range 3 now on srv-2".into()).is_retriable());
+        let fenced = Error::Fenced {
+            server: "srv-1".into(),
+            held: 4,
+            current: 7,
+        };
+        assert!(!fenced.is_retriable());
+        assert!(!fenced.is_corruption());
+        let s = fenced.to_string();
+        assert!(s.contains("srv-1") && s.contains('4') && s.contains('7'));
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub struct Metrics {
     pub repairs_triggered: AtomicU64,
     /// Replicas recreated by re-replication repair.
     pub replicas_repaired: AtomicU64,
+    /// Heartbeat sessions expired by the registry's lease clock.
+    pub lease_expirations: AtomicU64,
+    /// Tablets moved to a survivor by master-driven failover.
+    pub tablets_reassigned: AtomicU64,
+    /// Log bytes re-scanned while rebuilding a dead server's tablets.
+    pub failover_log_bytes_redone: AtomicU64,
+    /// Writes rejected because the issuer held a stale fencing epoch.
+    pub fenced_writes_rejected: AtomicU64,
 }
 
 impl Metrics {
@@ -96,6 +104,10 @@ impl Metrics {
             corrupt_reads_recovered: Self::get(&self.corrupt_reads_recovered),
             repairs_triggered: Self::get(&self.repairs_triggered),
             replicas_repaired: Self::get(&self.replicas_repaired),
+            lease_expirations: Self::get(&self.lease_expirations),
+            tablets_reassigned: Self::get(&self.tablets_reassigned),
+            failover_log_bytes_redone: Self::get(&self.failover_log_bytes_redone),
+            fenced_writes_rejected: Self::get(&self.fenced_writes_rejected),
         }
     }
 
@@ -120,6 +132,10 @@ impl Metrics {
             &self.corrupt_reads_recovered,
             &self.repairs_triggered,
             &self.replicas_repaired,
+            &self.lease_expirations,
+            &self.tablets_reassigned,
+            &self.failover_log_bytes_redone,
+            &self.fenced_writes_rejected,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -147,6 +163,10 @@ pub struct MetricsSnapshot {
     pub corrupt_reads_recovered: u64,
     pub repairs_triggered: u64,
     pub replicas_repaired: u64,
+    pub lease_expirations: u64,
+    pub tablets_reassigned: u64,
+    pub failover_log_bytes_redone: u64,
+    pub fenced_writes_rejected: u64,
 }
 
 impl MetricsSnapshot {
@@ -190,6 +210,18 @@ impl MetricsSnapshot {
             replicas_repaired: self
                 .replicas_repaired
                 .saturating_sub(earlier.replicas_repaired),
+            lease_expirations: self
+                .lease_expirations
+                .saturating_sub(earlier.lease_expirations),
+            tablets_reassigned: self
+                .tablets_reassigned
+                .saturating_sub(earlier.tablets_reassigned),
+            failover_log_bytes_redone: self
+                .failover_log_bytes_redone
+                .saturating_sub(earlier.failover_log_bytes_redone),
+            fenced_writes_rejected: self
+                .fenced_writes_rejected
+                .saturating_sub(earlier.fenced_writes_rejected),
         }
     }
 }
@@ -231,6 +263,24 @@ mod tests {
         assert_eq!(d.records_written, 7);
         assert_eq!(d.txn_commits, 1);
         assert_eq!(d.seeks, 0);
+    }
+
+    #[test]
+    fn failover_counters_round_trip_through_snapshot() {
+        let m = Metrics::new_handle();
+        Metrics::incr(&m.lease_expirations);
+        Metrics::add(&m.tablets_reassigned, 3);
+        Metrics::add(&m.failover_log_bytes_redone, 4096);
+        Metrics::add(&m.fenced_writes_rejected, 2);
+        let s = m.snapshot();
+        assert_eq!(s.lease_expirations, 1);
+        assert_eq!(s.tablets_reassigned, 3);
+        assert_eq!(s.failover_log_bytes_redone, 4096);
+        assert_eq!(s.fenced_writes_rejected, 2);
+        let d = s.delta_since(&MetricsSnapshot::default());
+        assert_eq!(d.fenced_writes_rejected, 2);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

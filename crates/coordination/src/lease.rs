@@ -1,0 +1,99 @@
+//! Session leases and fencing epochs.
+//!
+//! §3.3/§3.8: tablet-server liveness is detected through Zookeeper
+//! ephemeral sessions — a server that stops heartbeating loses its
+//! session, the master is notified, and the dead server's tablets are
+//! reassigned. Two pieces make that transfer safe:
+//!
+//! * a **logical clock** ([`Registry::tick`]) against which leases
+//!   expire, so tests drive time deterministically while the cluster
+//!   layer ticks it from wall clock;
+//! * a **fencing epoch** per session: expiry bumps the member's epoch,
+//!   so a zombie still holding the old [`FencingToken`] has every write
+//!   rejected with [`Error::Fenced`] even though its process is alive.
+//!
+//! [`Error::Fenced`]: logbase_common::Error
+
+use crate::registry::{MemberId, MemberState, Registry};
+use logbase_common::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// Monotonically increasing fencing epoch. Every session registration
+/// and every expiry draws a fresh, strictly larger value, so a revived
+/// server always outranks its zombie predecessor.
+pub type Epoch = u64;
+
+/// Logical-clock tick. Tests advance it manually; the cluster maps wall
+/// time onto it.
+pub type Tick = u64;
+
+/// Record of one session expiry, delivered to expiry watchers and
+/// returned from [`Registry::tick`].
+#[derive(Debug, Clone)]
+pub struct SessionExpiry {
+    /// The expired member's registration id.
+    pub member: MemberId,
+    /// The expired member's name.
+    pub name: String,
+    /// What the member was registered as.
+    pub state: MemberState,
+    /// The epoch the member held while its lease was valid. The fence
+    /// bump happens at expiry, so the member's *current* epoch is
+    /// already larger than this.
+    pub epoch: Epoch,
+    /// Clock value at which the lease lapsed.
+    pub at_tick: Tick,
+}
+
+/// Callback invoked (outside the registry lock) for every session expiry.
+pub type ExpiryWatcher = Arc<dyn Fn(&SessionExpiry) + Send + Sync>;
+
+/// Capability proving ownership of a session at a given epoch.
+///
+/// Writers thread this through every log append and checkpoint: the
+/// token [`check`](FencingToken::check)s against the registry, and a
+/// stale epoch (session expired, or a newer incarnation registered)
+/// yields `Error::Fenced` — the split-brain guard of §3.8.
+#[derive(Clone)]
+pub struct FencingToken {
+    registry: Registry,
+    member: MemberId,
+    epoch: Epoch,
+}
+
+impl FencingToken {
+    pub(crate) fn new(registry: Registry, member: MemberId, epoch: Epoch) -> Self {
+        FencingToken {
+            registry,
+            member,
+            epoch,
+        }
+    }
+
+    /// The session this token belongs to.
+    pub fn member(&self) -> MemberId {
+        self.member
+    }
+
+    /// The epoch this token was minted at.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Ok while the session is live and this is its newest epoch;
+    /// `Error::Fenced` once the lease expired or a newer incarnation
+    /// took over.
+    pub fn check(&self) -> Result<()> {
+        self.registry.validate_epoch(self.member, self.epoch)
+    }
+}
+
+impl fmt::Debug for FencingToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FencingToken")
+            .field("member", &self.member)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}

@@ -15,10 +15,12 @@
 //! consensus protocol underneath is orthogonal to the paper's claims, so
 //! these are in-process implementations shared by all simulated nodes.
 
+mod lease;
 mod lock;
 mod oracle;
 mod registry;
 
+pub use lease::{Epoch, ExpiryWatcher, FencingToken, SessionExpiry, Tick};
 pub use lock::{LockGuard, LockService};
 pub use oracle::TimestampOracle;
 pub use registry::{MemberId, MemberState, Registry};

@@ -1,4 +1,4 @@
-//! Membership registry and master election.
+//! Membership registry, session leases and master election.
 //!
 //! §3.3: multiple master instances run in the cluster; "the active master
 //! is elected via Zookeeper ... If the active master fails, one of the
@@ -6,7 +6,17 @@
 //! member registrations (tablet servers and master candidates); the
 //! lowest-sequence live master candidate is the active master — the
 //! classic Zookeeper leader-election recipe.
+//!
+//! Liveness is lease-based: members registered through
+//! [`Registry::register_session`] must [`Registry::heartbeat`] within
+//! their TTL of the logical clock ([`Registry::tick`]) or their session
+//! expires — marking them dead, bumping their fencing epoch, and firing
+//! expiry watchers. The legacy `register`/`mark_dead` path remains for
+//! members whose liveness is managed externally (tests, static setups).
 
+use crate::lease::{Epoch, ExpiryWatcher, FencingToken, SessionExpiry, Tick};
+use logbase_common::metrics::{Metrics, MetricsHandle};
+use logbase_common::{Error, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -28,6 +38,11 @@ struct Member {
     name: String,
     state: MemberState,
     alive: bool,
+    /// Current fencing epoch for this member's tablets. Bumped at
+    /// session expiry so stale tokens stop validating.
+    epoch: Epoch,
+    /// `Some` for lease-holding sessions: (ttl, last heartbeat tick).
+    lease: Option<(Tick, Tick)>,
 }
 
 /// The shared membership registry.
@@ -40,6 +55,20 @@ pub struct Registry {
 struct RegistryInner {
     members: BTreeMap<MemberId, Member>,
     next_id: MemberId,
+    /// Global epoch source: strictly increasing across every
+    /// registration and expiry, so a re-registered server always holds
+    /// a higher epoch than any of its zombie predecessors.
+    next_epoch: Epoch,
+    clock: Tick,
+    watchers: Vec<ExpiryWatcher>,
+    metrics: Option<MetricsHandle>,
+}
+
+impl RegistryInner {
+    fn fresh_epoch(&mut self) -> Epoch {
+        self.next_epoch += 1;
+        self.next_epoch
+    }
 }
 
 impl Registry {
@@ -48,34 +77,186 @@ impl Registry {
         Self::default()
     }
 
-    /// Register a member; returns its sequence id.
+    /// Attach a metrics sink (counts `lease_expirations`).
+    pub fn set_metrics(&self, metrics: MetricsHandle) {
+        self.inner.write().metrics = Some(metrics);
+    }
+
+    /// Register a member without a lease; returns its sequence id.
+    /// Liveness must then be managed via [`mark_dead`](Self::mark_dead) /
+    /// [`mark_alive`](Self::mark_alive).
     pub fn register(&self, name: impl Into<String>, state: MemberState) -> MemberId {
         let mut inner = self.inner.write();
         let id = inner.next_id;
         inner.next_id += 1;
+        let epoch = inner.fresh_epoch();
         inner.members.insert(
             id,
             Member {
                 name: name.into(),
                 state,
                 alive: true,
+                epoch,
+                lease: None,
             },
         );
         id
     }
 
-    /// Mark a member dead (session expiry / crash).
+    /// Register a lease-holding session: the member stays live only
+    /// while it [`heartbeat`](Self::heartbeat)s within `ttl_ticks` of
+    /// the logical clock. Returns the id and the session's fencing
+    /// token.
+    pub fn register_session(
+        &self,
+        name: impl Into<String>,
+        state: MemberState,
+        ttl_ticks: Tick,
+    ) -> (MemberId, FencingToken) {
+        assert!(ttl_ticks > 0, "lease TTL must be positive");
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let epoch = inner.fresh_epoch();
+        let now = inner.clock;
+        inner.members.insert(
+            id,
+            Member {
+                name: name.into(),
+                state,
+                alive: true,
+                epoch,
+                lease: Some((ttl_ticks, now)),
+            },
+        );
+        (id, FencingToken::new(self.clone(), id, epoch))
+    }
+
+    /// Renew a session's lease. Fails with `Error::Fenced` once the
+    /// session has expired — the zombie learns it lost ownership and
+    /// must re-register.
+    pub fn heartbeat(&self, id: MemberId) -> Result<()> {
+        let mut inner = self.inner.write();
+        let now = inner.clock;
+        match inner.members.get_mut(&id) {
+            Some(m) if m.alive => {
+                if let Some((_, last)) = m.lease.as_mut() {
+                    *last = now;
+                }
+                Ok(())
+            }
+            Some(m) => Err(Error::Fenced {
+                server: m.name.clone(),
+                held: 0,
+                current: m.epoch,
+            }),
+            None => Err(Error::Fenced {
+                server: format!("member-{id}"),
+                held: 0,
+                current: 0,
+            }),
+        }
+    }
+
+    /// Advance the logical clock by `ticks` and expire every lease whose
+    /// TTL lapsed. Expired members are marked dead, their fencing epoch
+    /// is bumped, and expiry watchers fire (outside the registry lock).
+    /// Returns the expiries in member-id order.
+    pub fn tick(&self, ticks: Tick) -> Vec<SessionExpiry> {
+        let (expiries, watchers) = {
+            let mut inner = self.inner.write();
+            inner.clock += ticks;
+            let now = inner.clock;
+            let lapsed: Vec<MemberId> = inner
+                .members
+                .iter()
+                .filter(|(_, m)| m.alive && m.lease.is_some_and(|(ttl, last)| now >= last + ttl))
+                .map(|(id, _)| *id)
+                .collect();
+            let mut expiries = Vec::with_capacity(lapsed.len());
+            for id in lapsed {
+                let next = inner.fresh_epoch();
+                let m = inner.members.get_mut(&id).expect("member just seen");
+                m.alive = false;
+                let held = m.epoch;
+                m.epoch = next;
+                expiries.push(SessionExpiry {
+                    member: id,
+                    name: m.name.clone(),
+                    state: m.state,
+                    epoch: held,
+                    at_tick: now,
+                });
+            }
+            if let Some(metrics) = &inner.metrics {
+                Metrics::add(&metrics.lease_expirations, expiries.len() as u64);
+            }
+            (expiries, inner.watchers.clone())
+        };
+        for expiry in &expiries {
+            for watcher in &watchers {
+                watcher(expiry);
+            }
+        }
+        expiries
+    }
+
+    /// Current logical-clock value.
+    pub fn clock(&self) -> Tick {
+        self.inner.read().clock
+    }
+
+    /// Register a callback fired for every session expiry.
+    pub fn watch_expiry(&self, watcher: ExpiryWatcher) {
+        self.inner.write().watchers.push(watcher);
+    }
+
+    /// Ok while `held` is the member's current epoch and its session is
+    /// live; `Error::Fenced` otherwise.
+    pub fn validate_epoch(&self, id: MemberId, held: Epoch) -> Result<()> {
+        let inner = self.inner.read();
+        match inner.members.get(&id) {
+            Some(m) if m.alive && m.epoch == held => Ok(()),
+            Some(m) => Err(Error::Fenced {
+                server: m.name.clone(),
+                held,
+                current: m.epoch,
+            }),
+            None => Err(Error::Fenced {
+                server: format!("member-{id}"),
+                held,
+                current: 0,
+            }),
+        }
+    }
+
+    /// The member's current fencing epoch.
+    pub fn epoch_of(&self, id: MemberId) -> Option<Epoch> {
+        self.inner.read().members.get(&id).map(|m| m.epoch)
+    }
+
+    /// Mark a member dead (externally-detected crash). Bumps the fencing
+    /// epoch like a lease expiry would, but fires no watchers.
     pub fn mark_dead(&self, id: MemberId) {
-        if let Some(m) = self.inner.write().members.get_mut(&id) {
+        let mut inner = self.inner.write();
+        let next = inner.fresh_epoch();
+        if let Some(m) = inner.members.get_mut(&id) {
             m.alive = false;
+            m.epoch = next;
         }
     }
 
     /// Mark a member live again (restart re-registers in real ZK; we
-    /// keep the id stable for test ergonomics).
+    /// keep the id stable for test ergonomics). The fencing epoch stays
+    /// bumped: tokens minted before the death remain fenced.
     pub fn mark_alive(&self, id: MemberId) {
-        if let Some(m) = self.inner.write().members.get_mut(&id) {
+        let mut inner = self.inner.write();
+        let now = inner.clock;
+        if let Some(m) = inner.members.get_mut(&id) {
             m.alive = true;
+            if let Some((_, last)) = m.lease.as_mut() {
+                *last = now;
+            }
         }
     }
 
@@ -109,6 +290,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn registration_and_liveness() {
@@ -147,5 +329,81 @@ mod tests {
         let r = Registry::new();
         r.register("ts-a", MemberState::TabletServer);
         assert!(r.active_master().is_none());
+    }
+
+    #[test]
+    fn heartbeat_keeps_session_alive_past_ttl() {
+        let r = Registry::new();
+        let (id, token) = r.register_session("srv-0", MemberState::TabletServer, 3);
+        for _ in 0..5 {
+            assert!(r.tick(2).is_empty());
+            r.heartbeat(id).unwrap();
+        }
+        assert!(r.is_alive(id));
+        token.check().unwrap();
+    }
+
+    #[test]
+    fn missed_ttl_expires_session_and_bumps_epoch() {
+        let r = Registry::new();
+        let metrics = Metrics::new_handle();
+        r.set_metrics(Arc::clone(&metrics));
+        let (id, token) = r.register_session("srv-0", MemberState::TabletServer, 3);
+        let held = token.epoch();
+        let expiries = r.tick(3);
+        assert_eq!(expiries.len(), 1);
+        assert_eq!(expiries[0].member, id);
+        assert_eq!(expiries[0].epoch, held);
+        assert!(!r.is_alive(id));
+        assert!(r.epoch_of(id).unwrap() > held, "expiry must bump the epoch");
+        // The zombie's token and heartbeats are fenced from now on.
+        assert!(matches!(token.check(), Err(Error::Fenced { .. })));
+        assert!(matches!(r.heartbeat(id), Err(Error::Fenced { .. })));
+        assert_eq!(metrics.snapshot().lease_expirations, 1);
+    }
+
+    #[test]
+    fn expiry_watchers_fire_once_per_expiry() {
+        let r = Registry::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&fired);
+        r.watch_expiry(Arc::new(move |e: &SessionExpiry| {
+            assert_eq!(e.name, "srv-0");
+            seen.fetch_add(1, Ordering::SeqCst);
+        }));
+        let (_id, _token) = r.register_session("srv-0", MemberState::TabletServer, 2);
+        r.tick(2);
+        r.tick(2); // already dead: no second expiry
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn re_registration_outranks_every_zombie_token() {
+        let r = Registry::new();
+        let (_, old) = r.register_session("srv-0", MemberState::TabletServer, 2);
+        r.tick(2);
+        let (new_id, new) = r.register_session("srv-0", MemberState::TabletServer, 2);
+        assert!(new.epoch() > old.epoch());
+        assert!(new.epoch() > r.epoch_of(old.member()).unwrap());
+        new.check().unwrap();
+        assert!(old.check().is_err());
+        assert!(r.is_alive(new_id));
+    }
+
+    #[test]
+    fn paused_active_master_is_demoted_by_lease_expiry() {
+        // Satellite: no manual mark_dead — the lease clock alone demotes
+        // a stalled master and promotes the next candidate.
+        let r = Registry::new();
+        let (m1, _t1) = r.register_session("master-0", MemberState::MasterCandidate, 3);
+        let (m2, _t2) = r.register_session("master-1", MemberState::MasterCandidate, 3);
+        assert_eq!(r.active_master().unwrap().0, m1);
+        // master-0 stalls (stops heartbeating); master-1 keeps going.
+        r.tick(2);
+        r.heartbeat(m2).unwrap();
+        let expiries = r.tick(1);
+        assert_eq!(expiries.len(), 1);
+        assert_eq!(expiries[0].member, m1);
+        assert_eq!(r.active_master().unwrap().0, m2);
     }
 }

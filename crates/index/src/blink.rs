@@ -74,6 +74,20 @@ impl Node {
         let idx = self.keys.partition_point(|k| k <= key);
         Arc::clone(&self.children[idx])
     }
+
+    /// The right sibling to hop to when `key` is past this node's high
+    /// key, `None` when the key belongs here.
+    fn past_high_right(&self, key: &CompositeKey) -> Option<NodeRef> {
+        if self.past_high(key) {
+            Some(Arc::clone(
+                self.right
+                    .as_ref()
+                    .expect("past_high implies a right sibling"),
+            ))
+        } else {
+            None
+        }
+    }
 }
 
 /// A concurrent B-link tree mapping `(key, ts)` to log pointers.
@@ -125,36 +139,6 @@ impl BlinkTree {
         (current, stack)
     }
 
-    /// Write-lock the correct node for `key` at the current level,
-    /// moving right (lock per hop, released before taking the next) as
-    /// needed.
-    fn lock_for_write(mut node: NodeRef, key: &CompositeKey) -> NodeRef {
-        loop {
-            let move_right = {
-                let guard = node.read();
-                if guard.past_high(key) {
-                    Some(Arc::clone(guard.right.as_ref().expect("sibling exists")))
-                } else {
-                    None
-                }
-            };
-            match move_right {
-                Some(right) => node = right,
-                None => {
-                    // Re-check under the write lock: a split may have
-                    // raced between the read check and now.
-                    let still_ok = {
-                        let guard = node.write();
-                        !guard.past_high(key)
-                    };
-                    if still_ok {
-                        return node;
-                    }
-                }
-            }
-        }
-    }
-
     /// Insert or overwrite `(key, ts) → ptr`.
     pub fn insert(&self, key: RowKey, ts: Timestamp, ptr: LogPtr) {
         let composite = (key, ts);
@@ -177,50 +161,71 @@ impl BlinkTree {
 
     fn insert_into_leaf(
         &self,
-        leaf: NodeRef,
+        mut leaf: NodeRef,
         composite: &CompositeKey,
         ptr: LogPtr,
     ) -> Option<(CompositeKey, NodeRef)> {
-        let leaf = Self::lock_for_write(leaf, composite);
-        let mut guard = leaf.write();
-        debug_assert!(guard.leaf);
-        match guard.keys.binary_search(composite) {
-            Ok(i) => {
-                guard.vals[i] = ptr;
-                None
-            }
-            Err(i) => {
-                guard.keys.insert(i, composite.clone());
-                guard.vals.insert(i, ptr);
-                if guard.keys.len() > ORDER {
-                    Some(Self::split(&mut guard))
+        // Move right *under the write lock* (one lock at a time): a
+        // racing split between a lock-free check and the lock would
+        // otherwise let the insert land left of its node's high key,
+        // where no descent ever looks.
+        loop {
+            let right = {
+                let mut guard = leaf.write();
+                if let Some(r) = guard.past_high_right(composite) {
+                    r
                 } else {
-                    None
+                    debug_assert!(guard.leaf);
+                    return match guard.keys.binary_search(composite) {
+                        Ok(i) => {
+                            guard.vals[i] = ptr;
+                            None
+                        }
+                        Err(i) => {
+                            guard.keys.insert(i, composite.clone());
+                            guard.vals.insert(i, ptr);
+                            if guard.keys.len() > ORDER {
+                                Some(Self::split(&mut guard))
+                            } else {
+                                None
+                            }
+                        }
+                    };
                 }
-            }
+            };
+            leaf = right;
         }
     }
 
     fn insert_into_internal(
         &self,
-        node: NodeRef,
+        mut node: NodeRef,
         sep: CompositeKey,
         right_ref: NodeRef,
     ) -> Option<(CompositeKey, NodeRef)> {
-        let node = Self::lock_for_write(node, &sep);
-        let mut guard = node.write();
-        debug_assert!(!guard.leaf);
-        match guard.keys.binary_search(&sep) {
-            Ok(_) => None, // separator already posted by a racing writer
-            Err(i) => {
-                guard.keys.insert(i, sep);
-                guard.children.insert(i + 1, right_ref);
-                if guard.keys.len() > ORDER {
-                    Some(Self::split(&mut guard))
+        // Same write-locked move-right as the leaf case.
+        loop {
+            let right = {
+                let mut guard = node.write();
+                if let Some(r) = guard.past_high_right(&sep) {
+                    r
                 } else {
-                    None
+                    debug_assert!(!guard.leaf);
+                    return match guard.keys.binary_search(&sep) {
+                        Ok(_) => None, // separator already posted by a racing writer
+                        Err(i) => {
+                            guard.keys.insert(i, sep);
+                            guard.children.insert(i + 1, right_ref);
+                            if guard.keys.len() > ORDER {
+                                Some(Self::split(&mut guard))
+                            } else {
+                                None
+                            }
+                        }
+                    };
                 }
-            }
+            };
+            node = right;
         }
     }
 
@@ -335,16 +340,24 @@ impl BlinkTree {
     /// Remove one exact version. Returns whether it was present.
     pub fn remove(&self, key: &RowKey, ts: Timestamp) -> bool {
         let composite = (key.clone(), ts);
-        let (leaf, _) = self.descend(&composite);
-        let leaf = Self::lock_for_write(leaf, &composite);
-        let mut guard = leaf.write();
-        match guard.keys.binary_search(&composite) {
-            Ok(i) => {
-                guard.keys.remove(i);
-                guard.vals.remove(i);
-                true
-            }
-            Err(_) => false,
+        let (mut leaf, _) = self.descend(&composite);
+        loop {
+            let right = {
+                let mut guard = leaf.write();
+                if let Some(r) = guard.past_high_right(&composite) {
+                    r
+                } else {
+                    return match guard.keys.binary_search(&composite) {
+                        Ok(i) => {
+                            guard.keys.remove(i);
+                            guard.vals.remove(i);
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                }
+            };
+            leaf = right;
         }
     }
 

@@ -59,6 +59,7 @@ impl TabletServer {
 
     /// Run one compaction round.
     pub fn compact_with(&self, config: &CompactionConfig) -> Result<CompactionReport> {
+        self.check_fenced()?;
         let _guard = self.maintenance.lock();
         let mut report = CompactionReport::default();
 

@@ -37,6 +37,7 @@
 
 pub mod checkpoint;
 pub mod compaction;
+pub mod failover;
 pub mod partition;
 pub mod read_buffer;
 pub mod secondary;
@@ -47,6 +48,7 @@ pub mod txn;
 mod segdir;
 pub mod tablet;
 
+pub use failover::{rebuild_range, RebuiltRecord, RebuiltTablet};
 pub use logbase_wal::GroupCommitConfig;
 pub use read_buffer::ReadBuffer;
 pub use segdir::SegmentDirectory;

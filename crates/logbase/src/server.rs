@@ -17,7 +17,7 @@ use logbase_common::engine::{ScanItem, StorageEngine};
 use logbase_common::metrics::{Metrics, MetricsHandle};
 use logbase_common::schema::{KeyRange, TableSchema, TabletDesc, TabletId};
 use logbase_common::{Error, LogPtr, Lsn, Record, Result, RowKey, Timestamp, Value};
-use logbase_coordination::{LockService, TimestampOracle};
+use logbase_coordination::{FencingToken, LockService, TimestampOracle};
 use logbase_dfs::Dfs;
 use logbase_index::IndexEntry;
 use logbase_wal::{GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter};
@@ -134,6 +134,10 @@ pub struct TabletServer {
     /// persisted (otherwise an acknowledged write could be lost — redo
     /// would start past it while the index checkpoint predates it).
     pub(crate) write_barrier: RwLock<()>,
+    /// Fencing token of the server's registry session, when the cluster
+    /// layer runs lease-based membership. Guards the log (via the
+    /// writer's gate) and checkpoint/compaction DFS writes.
+    fencing: RwLock<Option<FencingToken>>,
     secondary: crate::secondary::SecondaryRegistry,
 }
 
@@ -181,6 +185,7 @@ impl TabletServer {
             compactions_run: AtomicU64::new(0),
             maintenance: Mutex::new(()),
             write_barrier: RwLock::new(()),
+            fencing: RwLock::new(None),
             secondary: crate::secondary::SecondaryRegistry::default(),
             dfs,
             config,
@@ -190,6 +195,32 @@ impl TabletServer {
     /// The server's metrics sink (shared with its DFS).
     pub fn metrics(&self) -> &MetricsHandle {
         self.dfs.metrics()
+    }
+
+    /// Install (or replace, after re-registration) the server's fencing
+    /// token. Every log append from now on is admitted only while the
+    /// token validates; a session expiry turns the server into a fenced
+    /// zombie whose writes fail with `Error::Fenced`.
+    pub fn set_fencing(&self, token: FencingToken) {
+        *self.fencing.write() = Some(token.clone());
+        let metrics = Arc::clone(self.metrics());
+        self.log.writer().set_gate(Arc::new(move || {
+            token.check().inspect_err(|_| {
+                Metrics::incr(&metrics.fenced_writes_rejected);
+            })
+        }));
+    }
+
+    /// Check the fencing token (no-op when fencing is not configured).
+    /// Maintenance paths (checkpoint, compaction) call this before
+    /// touching DFS files outside the log append path.
+    pub fn check_fenced(&self) -> Result<()> {
+        if let Some(token) = self.fencing.read().clone() {
+            token.check().inspect_err(|_| {
+                Metrics::incr(&self.metrics().fenced_writes_rejected);
+            })?;
+        }
+        Ok(())
     }
 
     /// The server's name.
@@ -695,6 +726,7 @@ impl TabletServer {
     /// Take a checkpoint: persist every in-memory index to DFS index
     /// files plus a descriptor recording the covered log position.
     pub fn checkpoint(&self) -> Result<CheckpointMeta> {
+        self.check_fenced()?;
         let _guard = self.maintenance.lock();
         let seq = self.ckpt_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let dir = checkpoint_dir(&self.config.name, seq);

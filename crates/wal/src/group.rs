@@ -160,6 +160,22 @@ fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupComm
                     let _ = p.done.send(Ok(pos));
                 }
             }
+            // A fenced batch must stay `Fenced` for every waiter: folding
+            // it into the retriable `Unavailable` would send zombie
+            // clients into a retry loop that can never succeed.
+            Ok(Err(Error::Fenced {
+                server,
+                held,
+                current,
+            })) => {
+                for p in batch {
+                    let _ = p.done.send(Err(Error::Fenced {
+                        server: server.clone(),
+                        held,
+                        current,
+                    }));
+                }
+            }
             Ok(Err(e)) => {
                 let msg = e.to_string();
                 for p in batch {
@@ -302,6 +318,32 @@ mod tests {
             dfs.restart_node(id);
         }
         log.append("t", put_kind("back", 9)).unwrap();
+    }
+
+    #[test]
+    fn fenced_batches_surface_fenced_not_unavailable() {
+        let (_dfs, log) = group_log();
+        log.append("t", put_kind("a", 1)).unwrap();
+        log.writer().set_gate(Arc::new(|| {
+            Err(Error::Fenced {
+                server: "srv".into(),
+                held: 3,
+                current: 5,
+            })
+        }));
+        let err = log.append("t", put_kind("b", 2)).unwrap_err();
+        assert!(!err.is_retriable(), "Fenced must never be retried");
+        match err {
+            Error::Fenced {
+                server,
+                held,
+                current,
+            } => {
+                assert_eq!(server, "srv");
+                assert_eq!((held, current), (3, 5));
+            }
+            other => panic!("expected Fenced, got {other}"),
+        }
     }
 
     #[test]

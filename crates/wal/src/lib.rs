@@ -29,7 +29,7 @@ pub use reader::{
     decode_entry_in_window, read_entry, read_entry_in, scan_log, scan_log_tolerant, scan_segment,
     valid_prefix_len, LogCursor, SegmentScanner,
 };
-pub use writer::{LogConfig, LogWriter};
+pub use writer::{LogConfig, LogWriter, WriteGate};
 
 /// Name of the `i`-th log segment under `prefix`.
 pub fn segment_name(prefix: &str, seq: u32) -> String {

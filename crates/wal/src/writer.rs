@@ -7,7 +7,13 @@ use logbase_common::codec;
 use logbase_common::config::DEFAULT_SEGMENT_BYTES;
 use logbase_common::{LogPtr, Lsn, Result};
 use logbase_dfs::Dfs;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// Pre-append admission check. Installed by the owning tablet server to
+/// carry its fencing token: a gate that returns `Error::Fenced` stops a
+/// zombie's appends before they reach the DFS.
+pub type WriteGate = Arc<dyn Fn() -> Result<()> + Send + Sync>;
 
 /// Log writer configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +59,7 @@ pub struct LogWriter {
     dfs: Dfs,
     config: LogConfig,
     state: Mutex<WriterState>,
+    gate: RwLock<Option<WriteGate>>,
 }
 
 impl LogWriter {
@@ -67,6 +74,7 @@ impl LogWriter {
                 segment_len: 0,
                 next_lsn: Lsn(1),
             }),
+            gate: RwLock::new(None),
         })
     }
 
@@ -110,7 +118,20 @@ impl LogWriter {
                 segment_len,
                 next_lsn,
             }),
+            gate: RwLock::new(None),
         })
+    }
+
+    /// Install (or replace) the pre-append admission gate. The gate runs
+    /// under the writer lock at the head of every
+    /// [`append_batch`](Self::append_batch), so after a gate starts
+    /// failing no further batch enters the log. An append already past
+    /// its gate check when the lease expires can still land — that
+    /// residual window is closed at the read side: failover rebuilds only
+    /// replay entries up to the rebuild's scan point, and clients never
+    /// route to the fenced server again.
+    pub fn set_gate(&self, gate: WriteGate) {
+        *self.gate.write() = Some(gate);
     }
 
     /// The DFS prefix of this log instance.
@@ -173,6 +194,12 @@ impl LogWriter {
             return Ok(Vec::new());
         }
         let mut state = self.state.lock();
+
+        // Admission check under the writer lock, before any state
+        // mutation: a fenced writer contributes nothing to the log.
+        if let Some(gate) = self.gate.read().clone() {
+            gate()?;
+        }
 
         // Rotate before the batch if the open segment is full.
         if state.segment_len >= self.config.segment_bytes {
@@ -338,6 +365,28 @@ mod tests {
         assert_eq!(lsns, vec![1, 2, 3]);
         // Point reads of pre-crash entries still work.
         assert!(crate::reader::read_entry(&dfs, "srv-0/log", p2).is_ok());
+    }
+
+    #[test]
+    fn failing_gate_rejects_appends_without_touching_the_log() {
+        use logbase_common::Error;
+        let (dfs, w) = writer(1 << 20);
+        w.append("t", put_kind("a", 1)).unwrap();
+        let before = dfs.metrics().snapshot().dfs_appends;
+        w.set_gate(Arc::new(|| {
+            Err(Error::Fenced {
+                server: "srv-0".into(),
+                held: 1,
+                current: 2,
+            })
+        }));
+        let err = w.append("t", put_kind("b", 2)).unwrap_err();
+        assert!(matches!(err, Error::Fenced { .. }));
+        assert_eq!(dfs.metrics().snapshot().dfs_appends, before);
+        assert_eq!(w.next_lsn(), Lsn(2), "rejected batch must not burn LSNs");
+        // Replacing the gate with a passing one re-admits writes.
+        w.set_gate(Arc::new(|| Ok(())));
+        w.append("t", put_kind("c", 3)).unwrap();
     }
 
     #[test]

@@ -201,7 +201,7 @@ mod logbase_wal_shim {
 }
 
 #[test]
-fn cluster_failover_preserves_all_members_data() {
+fn cluster_planned_restart_preserves_all_members_data() {
     use logbase_cluster::{Cluster, ClusterConfig, EngineKind};
     let mut cluster = Cluster::create(ClusterConfig::new(4, EngineKind::LogBase)).unwrap();
     let domain = cluster.config().key_domain;
@@ -215,5 +215,349 @@ fn cluster_failover_preserves_all_members_data() {
         cluster.crash_and_recover_logbase(victim).unwrap();
         let scan = cluster.range_scan(0, &KeyRange::all(), usize::MAX).unwrap();
         assert_eq!(scan.len(), 200, "data lost after failing member {victim}");
+    }
+}
+
+/// Automated tablet-server failover: heartbeat leases, master-driven
+/// log splitting, and zombie fencing.
+mod automated_failover {
+    use logbase_cluster::{Cluster, ClusterConfig, EngineKind};
+    use logbase_common::{Error, Value};
+    use logbase_workload::encode_key;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn cluster(nodes: usize) -> Cluster {
+        Cluster::create(ClusterConfig::new(nodes, EngineKind::LogBase)).unwrap()
+    }
+
+    /// Expire any member that stopped heartbeating: one TTL of ticks
+    /// with everyone else renewing.
+    fn expire_lapsed(c: &Cluster) -> usize {
+        let mut expired = 0;
+        for _ in 0..c.config().lease_ttl_ticks {
+            c.heartbeat_all();
+            expired += c.tick(1);
+        }
+        expired
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+        for b in bytes {
+            *hash ^= u64::from(*b);
+            *hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Seeded torture run: 4 concurrent writers, each key written
+    /// exactly once with a unique value, while a seed-chosen server is
+    /// killed mid-stream and the lease machinery fails it over. Returns
+    /// a digest of the end state (every key's value, every key's final
+    /// owner, and the failover counters).
+    fn torture_run(seed: u64) -> u64 {
+        const WRITERS: u64 = 4;
+        const KEYS_PER_WRITER: u64 = 100;
+        let c = Arc::new(cluster(4));
+        let before = c.metrics().snapshot();
+        let domain = c.config().key_domain;
+        let victim = (splitmix64(seed) % 4) as usize;
+        let stride = domain / (WRITERS * KEYS_PER_WRITER);
+
+        let completed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let c = Arc::clone(&c);
+                let completed = Arc::clone(&completed);
+                std::thread::spawn(move || {
+                    for j in 0..KEYS_PER_WRITER {
+                        let g = w * KEYS_PER_WRITER + j;
+                        // Acked or bust: client_put rides the gap with
+                        // retries; a hard failure fails the test.
+                        c.client_put(
+                            0,
+                            encode_key(g * stride),
+                            Value::from(format!("w{w}-{j}").into_bytes()),
+                        )
+                        .unwrap();
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+
+        // The cluster's heartbeat/clock/failover driver, with the kill
+        // injected a few ticks in.
+        let mut iters = 0u64;
+        loop {
+            let done = completed.load(Ordering::Relaxed) as u64;
+            c.heartbeat_all();
+            c.tick(1);
+            c.run_failover().unwrap();
+            if iters == 3 {
+                c.kill_server(victim);
+            }
+            iters += 1;
+            if done == WRITERS && iters > 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Drive the kill's failover to completion.
+        while c.pending_failovers() > 0 || c.routes().iter().any(|r| r.member == victim as u32) {
+            c.heartbeat_all();
+            c.tick(1);
+            c.run_failover().unwrap();
+        }
+
+        // Zero acked-write loss, zero stale reads: every key reads back
+        // exactly the unique value its writer acked.
+        let routes = c.routes();
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for w in 0..WRITERS {
+            for j in 0..KEYS_PER_WRITER {
+                let g = w * KEYS_PER_WRITER + j;
+                let key = encode_key(g * stride);
+                let got = c
+                    .client_get(0, &key)
+                    .unwrap()
+                    .unwrap_or_else(|| panic!("acked write {g} lost in failover"));
+                assert_eq!(
+                    got.as_ref(),
+                    format!("w{w}-{j}").as_bytes(),
+                    "stale read at key {g}"
+                );
+                let owner = routes
+                    .iter()
+                    .find(|r| r.range.contains(&key))
+                    .expect("routing covers the key space")
+                    .member;
+                fnv1a(&mut digest, &g.to_be_bytes());
+                fnv1a(&mut digest, &got);
+                fnv1a(&mut digest, &owner.to_be_bytes());
+            }
+        }
+        let delta = c.metrics().snapshot().delta_since(&before);
+        fnv1a(&mut digest, &delta.lease_expirations.to_be_bytes());
+        fnv1a(&mut digest, &delta.tablets_reassigned.to_be_bytes());
+        assert!(delta.lease_expirations >= 1);
+        assert!(delta.tablets_reassigned >= 1);
+        digest
+    }
+
+    #[test]
+    fn seeded_torture_kill_under_concurrent_writers_is_reproducible() {
+        let seeds: Vec<u64> = match std::env::var("LOGBASE_FAILOVER_SEED") {
+            Ok(s) => vec![s.parse().expect("LOGBASE_FAILOVER_SEED must be a u64")],
+            Err(_) => vec![1, 2],
+        };
+        for seed in seeds {
+            let first = torture_run(seed);
+            let second = torture_run(seed);
+            assert_eq!(
+                first, second,
+                "torture end state must be bit-for-bit reproducible from seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_during_reassignment_return_unavailable_not_wrong_data() {
+        let c = cluster(3);
+        let domain = c.config().key_domain;
+        // A key in the last third: owned by member 2.
+        let key = encode_key(domain / 6 * 5);
+        c.client_put(0, key.clone(), Value::from_static(b"safe"))
+            .unwrap();
+        c.kill_server(2);
+        assert_eq!(expire_lapsed(&c), 1);
+        // Ownership gap is open: the failover is queued but not run.
+        assert_eq!(c.pending_failovers(), 1);
+        let err = c.try_get(0, &key).unwrap_err();
+        assert!(
+            matches!(err, Error::Unavailable(_)),
+            "gap reads must fail Unavailable, got {err}"
+        );
+        assert!(err.is_retriable());
+        // Other members keep serving.
+        assert!(c.try_get(0, &encode_key(0)).unwrap().is_none());
+        // After the takeover the same read succeeds with the right data.
+        c.run_failover().unwrap();
+        assert_eq!(
+            c.try_get(0, &key).unwrap(),
+            Some(Value::from_static(b"safe"))
+        );
+    }
+
+    #[test]
+    fn revived_zombie_re_registers_with_a_new_session_and_higher_epoch() {
+        let c = cluster(3);
+        let domain = c.config().key_domain;
+        let key = encode_key(domain / 2); // member 1's range
+        c.client_put(0, key.clone(), Value::from_static(b"v1"))
+            .unwrap();
+        let old_session = c.session_of(1).unwrap();
+        let old_epoch = c.registry().epoch_of(old_session).unwrap();
+
+        // Partition member 1: it stops heartbeating but its process
+        // (the zombie handle) lives on.
+        let zombie = c.pause_server(1).unwrap();
+        assert_eq!(expire_lapsed(&c), 1);
+        c.run_failover().unwrap();
+
+        // The zombie's writes are fenced — permanently, not retriably.
+        let err = zombie
+            .put("usertable", 0, key.clone(), Value::from_static(b"stale"))
+            .unwrap_err();
+        assert!(matches!(err, Error::Fenced { .. }), "got {err}");
+        assert!(!err.is_retriable());
+        assert!(c.metrics().snapshot().fenced_writes_rejected >= 1);
+        // Its checkpoints are fenced too.
+        assert!(matches!(
+            zombie.checkpoint().unwrap_err(),
+            Error::Fenced { .. }
+        ));
+
+        // Revival: a fresh session whose epoch outranks every token of
+        // the previous life.
+        c.resume_server(1).unwrap();
+        let new_session = c.session_of(1).unwrap();
+        assert_ne!(new_session, old_session);
+        let new_epoch = c.registry().epoch_of(new_session).unwrap();
+        assert!(
+            new_epoch > old_epoch,
+            "revived epoch {new_epoch} must outrank zombie epoch {old_epoch}"
+        );
+        // The old handle stays dead even after revival.
+        assert!(matches!(
+            zombie
+                .put("usertable", 0, key.clone(), Value::from_static(b"stale"))
+                .unwrap_err(),
+            Error::Fenced { .. }
+        ));
+        // The data moved to a survivor and never saw the stale write.
+        assert_eq!(
+            c.client_get(0, &key).unwrap(),
+            Some(Value::from_static(b"v1"))
+        );
+    }
+
+    #[test]
+    fn back_to_back_failures_of_two_servers_lose_nothing() {
+        let c = cluster(4);
+        let domain = c.config().key_domain;
+        let keys: Vec<_> = (0..120u64)
+            .map(|i| encode_key(i * (domain / 120)))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            c.client_put(0, key.clone(), Value::from(format!("v{i}").into_bytes()))
+                .unwrap();
+        }
+        // First failure adopts srv-0's tablet into a survivor...
+        c.kill_server(0);
+        assert_eq!(expire_lapsed(&c), 1);
+        let first = c.run_failover().unwrap();
+        assert_eq!(first.len(), 1);
+        let adopter = c
+            .routes()
+            .iter()
+            .find(|r| r.range.start.iter().all(|b| *b == 0))
+            .unwrap()
+            .member;
+        // ...then that very adopter dies too: its rebuild must recover
+        // both its own tablet and the one it just adopted.
+        c.kill_server(adopter as usize);
+        assert_eq!(expire_lapsed(&c), 1);
+        let second = c.run_failover().unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].tablets_reassigned, 2);
+
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(
+                c.client_get(0, key).unwrap(),
+                Some(Value::from(format!("v{i}").into_bytes())),
+                "key {i} lost across back-to-back failovers"
+            );
+        }
+        // The two survivors still accept writes for the whole domain.
+        for i in 0..8u64 {
+            c.client_put(
+                0,
+                encode_key(i * (domain / 8) + 17),
+                Value::from_static(b"w"),
+            )
+            .unwrap();
+        }
+        assert_eq!(c.metrics().snapshot().lease_expirations, 2);
+    }
+
+    #[test]
+    fn failover_waits_for_an_active_master_then_completes() {
+        let c = cluster(3);
+        let domain = c.config().key_domain;
+        let key = encode_key(domain / 2);
+        c.client_put(0, key.clone(), Value::from_static(b"v"))
+            .unwrap();
+        // Both master candidates go silent, then a server dies.
+        c.pause_master(0);
+        c.pause_master(1);
+        c.kill_server(1);
+        assert_eq!(expire_lapsed(&c), 3, "two masters + one server expire");
+        assert!(c.registry().active_master().is_none());
+        // Headless: the takeover stays queued, the gap stays open.
+        assert!(c.run_failover().unwrap().is_empty());
+        assert_eq!(c.pending_failovers(), 1);
+        assert!(matches!(
+            c.try_get(0, &key).unwrap_err(),
+            Error::Unavailable(_)
+        ));
+        // A master candidate comes back and drains the queue.
+        c.resume_master(1);
+        assert_eq!(c.registry().active_master().unwrap().1, "master-1");
+        let reports = c.run_failover().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            c.client_get(0, &key).unwrap(),
+            Some(Value::from_static(b"v"))
+        );
+    }
+
+    #[test]
+    fn wallclock_driver_fails_over_without_explicit_ticks() {
+        let mut c = cluster(3);
+        let domain = c.config().key_domain;
+        let key = encode_key(domain / 2);
+        c.client_put(0, key.clone(), Value::from_static(b"v"))
+            .unwrap();
+        c.enable_wallclock_failover(Duration::from_millis(2));
+        c.kill_server(1);
+        // No manual heartbeat/tick/run_failover calls: the background
+        // driver must notice the lapsed lease and reassign.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match c.try_get(0, &key) {
+                Ok(v) => {
+                    assert_eq!(v, Some(Value::from_static(b"v")));
+                    break;
+                }
+                Err(e) => assert!(e.is_retriable(), "unexpected hard error: {e}"),
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "wall-clock failover never completed"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(c.routes().iter().all(|r| r.member != 1));
     }
 }
