@@ -25,6 +25,16 @@ pub mod tpcw;
 pub use master::FailoverReport;
 pub use router::{Route, Router};
 
+/// Crash-point sites in the master's failover takeover path, in program
+/// order. The takeover is idempotent across a crash at any of them: the
+/// victim stays queued and a retry adopts tablets assigned by the
+/// interrupted attempt instead of duplicating them.
+pub const FAILOVER_CRASH_SITES: &[&str] = &[
+    "failover.after_seal",
+    "failover.mid_ingest",
+    "failover.before_install",
+];
+
 use logbase::server::LogBaseEngine;
 use logbase::{ServerConfig, TabletServer};
 use logbase_common::engine::{ScanItem, StorageEngine};

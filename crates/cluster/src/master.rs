@@ -143,6 +143,7 @@ impl Master {
         };
 
         self.seal_victim_log(&victim_name)?;
+        logbase_dfs::crash_point!(self.dfs, "failover.after_seal");
 
         let survivors: Vec<usize> = {
             let slots = self.slots.read();
@@ -174,19 +175,25 @@ impl Master {
                 .clone()
                 .expect("survivor list only holds live servers");
             let rebuilt = rebuild_range(&self.dfs, &victim_name, &self.table, &route.range)?;
-            let range_index = heir
-                .tablet_descs(&self.table)
-                .iter()
-                .map(|d| d.id.range_index)
-                .max()
-                .map_or(0, |m| m + 1);
-            heir.assign_tablet(TabletDesc {
-                id: TabletId {
-                    table: self.table.clone(),
-                    range_index,
-                },
-                range: route.range.clone(),
-            })?;
+            // A retry of an interrupted takeover finds this exact range
+            // already assigned from the previous attempt: adopt it
+            // instead of creating a duplicate tablet (re-ingesting the
+            // same versions below is idempotent).
+            let descs = heir.tablet_descs(&self.table);
+            if descs.iter().all(|d| d.range != route.range) {
+                let range_index = descs
+                    .iter()
+                    .map(|d| d.id.range_index)
+                    .max()
+                    .map_or(0, |m| m + 1);
+                heir.assign_tablet(TabletDesc {
+                    id: TabletId {
+                        table: self.table.clone(),
+                        range_index,
+                    },
+                    range: route.range.clone(),
+                })?;
+            }
             records_recovered += rebuilt.records.len();
             for (cg, key, ts, value) in rebuilt.records {
                 heir.ingest_record(&self.table, cg, key, ts, value)?;
@@ -194,9 +201,11 @@ impl Master {
             log_bytes_redone += rebuilt.log_bytes_redone;
             Metrics::incr(&metrics.tablets_reassigned);
             owners.push((route.range.start.clone(), heir_idx as u32));
+            logbase_dfs::crash_point!(self.dfs, "failover.mid_ingest");
         }
         Metrics::add(&metrics.failover_log_bytes_redone, log_bytes_redone);
 
+        logbase_dfs::crash_point!(self.dfs, "failover.before_install");
         self.router
             .install_reassignments(victim_idx as u32, &owners)?;
         Ok(Some(FailoverReport {

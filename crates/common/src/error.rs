@@ -77,6 +77,15 @@ pub enum Error {
     TxnAborted(String),
     /// Operation attempted on a server that is shut down or recovering.
     Unavailable(String),
+    /// A named crash point fired: the process is simulating a crash at
+    /// this exact site. The error must propagate to the top of the
+    /// maintenance call without any cleanup, mimicking a process that
+    /// died mid-operation; tests then drop the server and recover from
+    /// DFS state alone.
+    CrashPoint {
+        /// The registered site name, e.g. `compaction.after_sorted_write`.
+        site: String,
+    },
     /// Checkpoint or recovery metadata is inconsistent.
     Recovery(String),
     /// Invalid argument supplied by a caller.
@@ -126,6 +135,7 @@ impl fmt::Display for Error {
             Error::TxnConflict { detail } => write!(f, "transaction conflict: {detail}"),
             Error::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
             Error::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            Error::CrashPoint { site } => write!(f, "injected crash at {site}"),
             Error::Recovery(msg) => write!(f, "recovery error: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -161,6 +171,9 @@ impl Error {
             // A fenced session can never succeed by retrying: its epoch
             // only grows staler. The zombie must re-register instead.
             Error::Fenced { .. } => false,
+            // A fired crash point simulates process death: nothing may
+            // retry past it, or the "crash" would not be a crash.
+            Error::CrashPoint { .. } => false,
             Error::Io(e) => matches!(
                 e.kind(),
                 std::io::ErrorKind::Interrupted
@@ -221,6 +234,16 @@ mod tests {
         assert!(!fenced.is_corruption());
         let s = fenced.to_string();
         assert!(s.contains("srv-1") && s.contains('4') && s.contains('7'));
+    }
+
+    #[test]
+    fn crash_point_is_neither_retriable_nor_corruption() {
+        let e = Error::CrashPoint {
+            site: "compaction.after_sorted_write".into(),
+        };
+        assert!(!e.is_retriable());
+        assert!(!e.is_corruption());
+        assert!(e.to_string().contains("compaction.after_sorted_write"));
     }
 
     #[test]

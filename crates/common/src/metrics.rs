@@ -57,6 +57,15 @@ pub struct Metrics {
     pub failover_log_bytes_redone: AtomicU64,
     /// Writes rejected because the issuer held a stale fencing epoch.
     pub fenced_writes_rejected: AtomicU64,
+    /// Orphan segment files (sorted or log) deleted by startup GC.
+    pub orphan_segments_gced: AtomicU64,
+    /// Partial checkpoint directories (no `meta.json`) removed by GC.
+    pub partial_checkpoints_removed: AtomicU64,
+    /// Named crash points that fired (simulated process deaths).
+    pub crash_sites_hit: AtomicU64,
+    /// Interrupted maintenance jobs rolled forward from their manifest
+    /// at recovery (the committed-compaction resume path).
+    pub maintenance_resumed: AtomicU64,
 }
 
 impl Metrics {
@@ -108,6 +117,10 @@ impl Metrics {
             tablets_reassigned: Self::get(&self.tablets_reassigned),
             failover_log_bytes_redone: Self::get(&self.failover_log_bytes_redone),
             fenced_writes_rejected: Self::get(&self.fenced_writes_rejected),
+            orphan_segments_gced: Self::get(&self.orphan_segments_gced),
+            partial_checkpoints_removed: Self::get(&self.partial_checkpoints_removed),
+            crash_sites_hit: Self::get(&self.crash_sites_hit),
+            maintenance_resumed: Self::get(&self.maintenance_resumed),
         }
     }
 
@@ -136,6 +149,10 @@ impl Metrics {
             &self.tablets_reassigned,
             &self.failover_log_bytes_redone,
             &self.fenced_writes_rejected,
+            &self.orphan_segments_gced,
+            &self.partial_checkpoints_removed,
+            &self.crash_sites_hit,
+            &self.maintenance_resumed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -167,6 +184,10 @@ pub struct MetricsSnapshot {
     pub tablets_reassigned: u64,
     pub failover_log_bytes_redone: u64,
     pub fenced_writes_rejected: u64,
+    pub orphan_segments_gced: u64,
+    pub partial_checkpoints_removed: u64,
+    pub crash_sites_hit: u64,
+    pub maintenance_resumed: u64,
 }
 
 impl MetricsSnapshot {
@@ -222,6 +243,16 @@ impl MetricsSnapshot {
             fenced_writes_rejected: self
                 .fenced_writes_rejected
                 .saturating_sub(earlier.fenced_writes_rejected),
+            orphan_segments_gced: self
+                .orphan_segments_gced
+                .saturating_sub(earlier.orphan_segments_gced),
+            partial_checkpoints_removed: self
+                .partial_checkpoints_removed
+                .saturating_sub(earlier.partial_checkpoints_removed),
+            crash_sites_hit: self.crash_sites_hit.saturating_sub(earlier.crash_sites_hit),
+            maintenance_resumed: self
+                .maintenance_resumed
+                .saturating_sub(earlier.maintenance_resumed),
         }
     }
 }
@@ -279,6 +310,24 @@ mod tests {
         assert_eq!(s.fenced_writes_rejected, 2);
         let d = s.delta_since(&MetricsSnapshot::default());
         assert_eq!(d.fenced_writes_rejected, 2);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn gc_counters_round_trip_through_snapshot() {
+        let m = Metrics::new_handle();
+        Metrics::add(&m.orphan_segments_gced, 4);
+        Metrics::incr(&m.partial_checkpoints_removed);
+        Metrics::add(&m.crash_sites_hit, 2);
+        Metrics::incr(&m.maintenance_resumed);
+        let s = m.snapshot();
+        assert_eq!(s.orphan_segments_gced, 4);
+        assert_eq!(s.partial_checkpoints_removed, 1);
+        assert_eq!(s.crash_sites_hit, 2);
+        assert_eq!(s.maintenance_resumed, 1);
+        let d = s.delta_since(&MetricsSnapshot::default());
+        assert_eq!(d.orphan_segments_gced, 4);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -18,6 +18,19 @@
 //! per-lane fault sequence. Scheduled faults (`at op N, do X`) are exact;
 //! probabilistic faults reproduce exactly as well because the Bernoulli
 //! draws come from the lane stream in lane-op order.
+//!
+//! # Crash points
+//!
+//! Besides block-level faults, the injector hosts a registry of **named
+//! crash points** (SyncPoint-style): maintenance code marks every
+//! mutation step with `crash_point!(dfs, "compaction.after_sorted_write")`.
+//! The call is a no-op (one relaxed atomic load) unless a test armed that
+//! exact site with [`FaultInjector::arm_crash_point`]; when armed, the
+//! Nth hit returns [`logbase_common::Error::CrashPoint`], which the
+//! maintenance path propagates without cleanup — the in-process analogue
+//! of dying at that instruction. Recording mode
+//! ([`FaultInjector::record_crash_points`]) instead notes every site
+//! reached, letting tests assert coverage against the registered list.
 
 use crate::datanode::NodeId;
 use parking_lot::Mutex;
@@ -167,6 +180,21 @@ struct Lane {
     ops: u64,
 }
 
+/// Crash-point registry state (behind one mutex; the fast path never
+/// takes it).
+#[derive(Default)]
+struct CrashPoints {
+    /// Armed site and how many hits remain before it fires (1 = next
+    /// hit fires). `None` = nothing armed.
+    armed: Option<(String, u64)>,
+    /// When true, every hit site is collected into `seen`.
+    recording: bool,
+    /// Sites reached while recording.
+    seen: std::collections::BTreeSet<String>,
+    /// Sites that actually fired (armed hits), in firing order.
+    fired: Vec<String>,
+}
+
 /// Seeded, per-node, per-op-class fault source. See the module docs for
 /// the determinism contract.
 pub struct FaultInjector {
@@ -175,6 +203,11 @@ pub struct FaultInjector {
     /// un-faulted cluster skip the lane lock entirely.
     armed: AtomicBool,
     lanes: Mutex<HashMap<(NodeId, OpClass), Lane>>,
+    /// Fast path for crash points: `false` until a site is armed or
+    /// recording starts, so production code pays one relaxed load per
+    /// `crash_point!` site.
+    crash_enabled: AtomicBool,
+    crash_points: Mutex<CrashPoints>,
 }
 
 impl FaultInjector {
@@ -184,6 +217,8 @@ impl FaultInjector {
             seed,
             armed: AtomicBool::new(false),
             lanes: Mutex::new(HashMap::new()),
+            crash_enabled: AtomicBool::new(false),
+            crash_points: Mutex::new(CrashPoints::default()),
         }
     }
 
@@ -291,6 +326,83 @@ impl FaultInjector {
             std::io::ErrorKind::Interrupted,
             format!("injected transient fault: dn-{node} {class:?}"),
         ))
+    }
+
+    // ------------------------------------------------------------------
+    // Crash points
+    // ------------------------------------------------------------------
+
+    /// Arm crash point `site`: the next hit fires
+    /// [`logbase_common::Error::CrashPoint`] and disarms the registry
+    /// (so recovery that re-traverses the same site does not crash
+    /// again).
+    pub fn arm_crash_point(&self, site: &str) {
+        self.arm_crash_point_at(site, 1);
+    }
+
+    /// Arm crash point `site` to fire on its `nth` hit (1-based).
+    pub fn arm_crash_point_at(&self, site: &str, nth: u64) {
+        let mut cp = self.crash_points.lock();
+        cp.armed = Some((site.to_string(), nth.max(1)));
+        self.crash_enabled.store(true, Ordering::Release);
+    }
+
+    /// Disarm any armed crash point (recording, if on, stays on).
+    pub fn disarm_crash_points(&self) {
+        let mut cp = self.crash_points.lock();
+        cp.armed = None;
+        self.crash_enabled.store(cp.recording, Ordering::Release);
+    }
+
+    /// Toggle recording mode: while on, every crash site reached is
+    /// collected (without firing) for coverage assertions.
+    pub fn record_crash_points(&self, on: bool) {
+        let mut cp = self.crash_points.lock();
+        cp.recording = on;
+        if !on {
+            cp.seen.clear();
+        }
+        self.crash_enabled
+            .store(cp.recording || cp.armed.is_some(), Ordering::Release);
+    }
+
+    /// Sites reached while recording, sorted by name.
+    pub fn crash_points_seen(&self) -> Vec<String> {
+        self.crash_points.lock().seen.iter().cloned().collect()
+    }
+
+    /// Sites that actually fired, in firing order.
+    pub fn crash_points_fired(&self) -> Vec<String> {
+        self.crash_points.lock().fired.clone()
+    }
+
+    /// Evaluate crash point `site`. No-op unless armed at this site (the
+    /// countdown reaches zero) or recording. Called via the
+    /// `crash_point!` macro / [`crate::Dfs::crash_point`].
+    pub fn check_crash_point(&self, site: &str) -> logbase_common::Result<()> {
+        if !self.crash_enabled.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut cp = self.crash_points.lock();
+        if cp.recording {
+            cp.seen.insert(site.to_string());
+        }
+        if let Some((armed_site, remaining)) = &mut cp.armed {
+            if armed_site == site {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    cp.fired.push(site.to_string());
+                    cp.armed = None;
+                    let recording = cp.recording;
+                    drop(cp);
+                    self.crash_enabled.store(recording, Ordering::Release);
+                    return Err(logbase_common::Error::CrashPoint {
+                        site: site.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -402,5 +514,63 @@ mod tests {
     #[test]
     fn transient_error_is_retriable() {
         assert!(FaultInjector::transient_error(3, OpClass::Append).is_retriable());
+    }
+
+    #[test]
+    fn unarmed_crash_points_are_no_ops() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..100 {
+            inj.check_crash_point("a.b").unwrap();
+        }
+        assert!(inj.crash_points_fired().is_empty());
+        assert!(inj.crash_points_seen().is_empty());
+    }
+
+    #[test]
+    fn armed_site_fires_once_then_disarms() {
+        let inj = FaultInjector::disabled();
+        inj.arm_crash_point("compaction.x");
+        inj.check_crash_point("checkpoint.y").unwrap(); // other site: no fire
+        let err = inj.check_crash_point("compaction.x").unwrap_err();
+        assert!(matches!(
+            err,
+            logbase_common::Error::CrashPoint { ref site } if site == "compaction.x"
+        ));
+        // Disarmed after firing: recovery re-traversal survives.
+        inj.check_crash_point("compaction.x").unwrap();
+        assert_eq!(inj.crash_points_fired(), vec!["compaction.x".to_string()]);
+    }
+
+    #[test]
+    fn nth_hit_arming_counts_hits() {
+        let inj = FaultInjector::disabled();
+        inj.arm_crash_point_at("s", 3);
+        inj.check_crash_point("s").unwrap();
+        inj.check_crash_point("s").unwrap();
+        assert!(inj.check_crash_point("s").is_err());
+    }
+
+    #[test]
+    fn recording_collects_sites_without_firing() {
+        let inj = FaultInjector::disabled();
+        inj.record_crash_points(true);
+        inj.check_crash_point("b").unwrap();
+        inj.check_crash_point("a").unwrap();
+        inj.check_crash_point("b").unwrap();
+        assert_eq!(
+            inj.crash_points_seen(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        inj.record_crash_points(false);
+        assert!(inj.crash_points_seen().is_empty());
+    }
+
+    #[test]
+    fn disarm_clears_a_pending_site() {
+        let inj = FaultInjector::disabled();
+        inj.arm_crash_point("s");
+        inj.disarm_crash_points();
+        inj.check_crash_point("s").unwrap();
+        assert!(inj.crash_points_fired().is_empty());
     }
 }

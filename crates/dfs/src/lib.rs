@@ -43,3 +43,26 @@ pub use datanode::{BlockId, DataNode, NodeId, SUB_BLOCK};
 pub use fault::{FaultAction, FaultDecision, FaultInjector, FaultSpec, OpClass, ScheduledFault};
 pub use namenode::{ChunkMeta, FileMeta, PlacementPolicy};
 pub use system::{Dfs, DfsFileReader};
+
+/// Mark a named crash site inside a maintenance path.
+///
+/// Expands to a [`Dfs::crash_point`] call followed by `?`, so a fired
+/// site aborts the enclosing function exactly where a real crash would:
+/// everything before the site is durable, nothing after it ran. Costs
+/// one relaxed atomic load when no test armed the registry.
+///
+/// ```
+/// use logbase_dfs::{crash_point, Dfs, DfsConfig};
+///
+/// fn compact(dfs: &Dfs) -> logbase_common::Result<()> {
+///     crash_point!(dfs, "compaction.begin");
+///     Ok(())
+/// }
+/// compact(&Dfs::new(DfsConfig::in_memory(1, 1))).unwrap();
+/// ```
+#[macro_export]
+macro_rules! crash_point {
+    ($dfs:expr, $site:expr) => {
+        $dfs.crash_point($site)?
+    };
+}

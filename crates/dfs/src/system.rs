@@ -118,6 +118,17 @@ impl Dfs {
         &self.inner.faults
     }
 
+    /// Evaluate the named crash point `site` (see [`FaultInjector`]'s
+    /// crash-point registry). A no-op unless a test armed or recorded
+    /// the site; when the site fires, the `crash_sites_hit` metric is
+    /// bumped and the `CrashPoint` error propagates up the maintenance
+    /// call stack, simulating process death at this exact step.
+    pub fn crash_point(&self, site: &str) -> Result<()> {
+        self.inner.faults.check_crash_point(site).inspect_err(|_| {
+            Metrics::incr(&self.inner.metrics.crash_sites_hit);
+        })
+    }
+
     fn live_nodes(&self) -> Vec<(NodeId, u32)> {
         self.inner
             .datanodes

@@ -89,6 +89,11 @@ pub struct CheckpointMeta {
     pub tables: Vec<TableMeta>,
     /// Sorted-segment directory (`id → file name`).
     pub sorted_segments: Vec<(u32, String)>,
+    /// Next sorted-segment id to allocate. `None` for descriptors
+    /// written before this field existed; recovery then falls back to
+    /// the floor inferred from `sorted_segments`, which stays correct
+    /// as long as no allocated-but-retired id is outstanding.
+    pub next_sorted: Option<u32>,
 }
 
 /// Directory of checkpoint `seq` under `server_prefix`.
@@ -150,6 +155,7 @@ mod tests {
                 }],
             }],
             sorted_segments: vec![(0x8000_0000, "srv/sorted/gen1/seg-0".into())],
+            next_sorted: Some(0x8000_0001),
         }
     }
 
@@ -192,6 +198,18 @@ mod tests {
         // Index files written but meta.json missing (crash mid-checkpoint).
         dfs.create("srv/ckpt/0000000007/idx-users-0-0").unwrap();
         assert!(latest_checkpoint(&dfs, "srv").unwrap().is_none());
+    }
+
+    #[test]
+    fn descriptor_without_next_sorted_still_parses() {
+        // A descriptor written before the field existed still loads
+        // (recovery then infers the allocation floor from the entries).
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let mut meta = sample(4);
+        meta.next_sorted = None;
+        write_meta(&dfs, "srv", &meta).unwrap();
+        let loaded = latest_checkpoint(&dfs, "srv").unwrap().unwrap();
+        assert_eq!(loaded.next_sorted, None);
     }
 
     #[test]

@@ -14,6 +14,20 @@
 //! `(key, timestamp)` version is still indexed), and the indexes are
 //! repointed at the sorted segments as they are written. The job ends
 //! with a checkpoint, after which the input segments are deleted.
+//!
+//! # Crash atomicity
+//!
+//! Before anything destructive happens the job writes a checksummed
+//! [`crate::manifest::MaintenanceManifest`] naming its outputs, its
+//! input log segments and the sorted generation it retires. The commit
+//! point is the embedded checkpoint (taken under the same maintenance
+//! lock acquisition, so the sequence predicted for the manifest is the
+//! one actually taken): once the checkpoint descriptor is durable,
+//! every index points at the new generation and startup GC rolls the
+//! job *forward* (finishing the deletions); before that, startup GC
+//! rolls it *back* (deleting the orphan outputs). Every step is
+//! interruptible at a named crash point from
+//! [`crate::crash_sites::COMPACTION`].
 
 use crate::server::TabletServer;
 use bytes::BytesMut;
@@ -61,6 +75,7 @@ impl TabletServer {
     pub fn compact_with(&self, config: &CompactionConfig) -> Result<CompactionReport> {
         self.check_fenced()?;
         let _guard = self.maintenance.lock();
+        logbase_dfs::crash_point!(self.dfs, "compaction.begin");
         let mut report = CompactionReport::default();
 
         // 1. Seal the active segment; inputs are everything before it,
@@ -84,6 +99,7 @@ impl TabletServer {
             })
             .collect();
         let old_sorted = self.segdir.snapshot();
+        logbase_dfs::crash_point!(self.dfs, "compaction.after_rotate");
 
         // 2. Collect candidate entries. Liveness is judged against the
         //    indexes, which never contain uncommitted or deleted
@@ -222,12 +238,12 @@ impl TabletServer {
         let mut buf = BytesMut::new();
         let mut pending: Vec<(String, u16, logbase_common::RowKey, Timestamp, u64, u32)> =
             Vec::new();
-        let mut new_sorted_ids: Vec<u32> = Vec::new();
+        let mut new_sorted: Vec<(u32, String)> = Vec::new();
         let flush_segment =
             |buf: &mut BytesMut,
              pending: &mut Vec<(String, u16, logbase_common::RowKey, Timestamp, u64, u32)>,
              seg_in_gen: &mut u32,
-             new_sorted_ids: &mut Vec<u32>|
+             new_sorted: &mut Vec<(u32, String)>|
              -> Result<()> {
                 if buf.is_empty() {
                     return Ok(());
@@ -240,8 +256,9 @@ impl TabletServer {
                 self.dfs.create(&name)?;
                 self.dfs.append(&name, buf)?;
                 self.dfs.seal(&name)?;
-                let seg_id = self.segdir.register_sorted(name);
-                new_sorted_ids.push(seg_id);
+                logbase_dfs::crash_point!(self.dfs, "compaction.after_sorted_write");
+                let seg_id = self.segdir.register_sorted(name.clone());
+                new_sorted.push((seg_id, name));
                 for (table, cg, key, ts, offset, len) in pending.drain(..) {
                     let t = self.table(&table)?;
                     let tablet = t.route(&key)?;
@@ -273,31 +290,58 @@ impl TabletServer {
                 framed as u32,
             ));
             if buf.len() as u64 >= self.config.segment_bytes {
-                flush_segment(&mut buf, &mut pending, &mut seg_in_gen, &mut new_sorted_ids)?;
+                flush_segment(&mut buf, &mut pending, &mut seg_in_gen, &mut new_sorted)?;
             }
         }
-        flush_segment(&mut buf, &mut pending, &mut seg_in_gen, &mut new_sorted_ids)?;
+        flush_segment(&mut buf, &mut pending, &mut seg_in_gen, &mut new_sorted)?;
         report.sorted_segments_written = u64::from(seg_in_gen);
 
-        // 6. Retire the inputs: drop old sorted mappings, checkpoint
-        //    (so recovery never needs the deleted segments), delete.
-        let retired = self.segdir.retain(&new_sorted_ids);
+        // 6. Declare intent: a checksummed manifest naming everything
+        //    this job will delete and everything it produced. Until the
+        //    checkpoint below commits, recovery rolls the job back off
+        //    this record; after it, forward.
+        let input_names: Vec<String> = input_log_segments
+            .iter()
+            .map(|seg| logbase_wal::segment_name(&log_prefix, *seg))
+            .collect();
+        // Only this job registers sorted segments while the maintenance
+        // lock is held, so the retired set is exactly the old snapshot.
+        let retired_names: Vec<String> = old_sorted.iter().map(|(_, n)| n.clone()).collect();
+        logbase_dfs::crash_point!(self.dfs, "compaction.before_manifest");
+        crate::manifest::write(
+            &self.dfs,
+            &self.config.name,
+            &crate::manifest::MaintenanceManifest {
+                ckpt_seq: generation,
+                generation,
+                new_sorted: new_sorted.clone(),
+                input_log_segments: input_names.clone(),
+                retired_sorted: retired_names.clone(),
+                crc32: 0,
+            },
+        )?;
+        logbase_dfs::crash_point!(self.dfs, "compaction.after_manifest");
+
+        // 7. Commit: drop old sorted mappings and checkpoint under the
+        //    *held* maintenance lock, so the descriptor's sequence is
+        //    `generation` and recovery never needs the deleted segments.
+        let new_ids: Vec<u32> = new_sorted.iter().map(|(id, _)| *id).collect();
+        self.segdir.retain(&new_ids);
         self.compactions_run.fetch_add(1, Ordering::Relaxed);
-        drop(_guard); // checkpoint() re-acquires the maintenance lock
-        self.checkpoint()?;
-        for seg in &input_log_segments {
-            let name = logbase_wal::segment_name(&log_prefix, *seg);
-            if self.dfs.exists(&name) {
-                self.dfs.delete(&name)?;
+        self.checkpoint_inner()?;
+        logbase_dfs::crash_point!(self.dfs, "compaction.after_checkpoint");
+
+        // 8. The manifest's deletions, in manifest order (startup GC
+        //    finishes them if we die part-way through).
+        for name in input_names.iter().chain(retired_names.iter()) {
+            if self.dfs.exists(name) {
+                self.dfs.delete(name)?;
                 report.segments_deleted += 1;
             }
+            logbase_dfs::crash_point!(self.dfs, "compaction.mid_delete");
         }
-        for name in retired {
-            if self.dfs.exists(&name) {
-                self.dfs.delete(&name)?;
-                report.segments_deleted += 1;
-            }
-        }
+        logbase_dfs::crash_point!(self.dfs, "compaction.before_manifest_remove");
+        crate::manifest::remove(&self.dfs, &self.config.name)?;
         if let Some(rb) = &self.read_buffer {
             // Cached versions stay valid (values unchanged), but clear
             // anyway to keep pointer-related accounting honest.

@@ -38,6 +38,8 @@
 pub mod checkpoint;
 pub mod compaction;
 pub mod failover;
+pub mod gc;
+pub mod manifest;
 pub mod partition;
 pub mod read_buffer;
 pub mod secondary;
@@ -49,9 +51,46 @@ mod segdir;
 pub mod tablet;
 
 pub use failover::{rebuild_range, RebuiltRecord, RebuiltTablet};
+pub use gc::{fsck, GcReport};
 pub use logbase_wal::GroupCommitConfig;
+pub use manifest::MaintenanceManifest;
 pub use read_buffer::ReadBuffer;
 pub use segdir::SegmentDirectory;
 pub use server::{ServerConfig, ServerStats, TabletServer};
 pub use spill::SpillConfig;
 pub use txn::{Transaction, TxnManager};
+
+/// Registered crash-point sites, grouped by the maintenance path that
+/// hosts them. The torture suite iterates these lists — a site added in
+/// code but missing here fails the coverage test, and vice versa.
+pub mod crash_sites {
+    /// Sites inside [`crate::TabletServer::compact_with`], in program
+    /// order.
+    pub const COMPACTION: &[&str] = &[
+        "compaction.begin",
+        "compaction.after_rotate",
+        "compaction.after_sorted_write",
+        "compaction.before_manifest",
+        "compaction.after_manifest",
+        "compaction.after_checkpoint",
+        "compaction.mid_delete",
+        "compaction.before_manifest_remove",
+    ];
+    /// Sites inside the checkpoint body (also traversed by the
+    /// checkpoint a compaction embeds), in program order.
+    pub const CHECKPOINT: &[&str] = &[
+        "checkpoint.begin",
+        "checkpoint.mid_index_files",
+        "checkpoint.before_meta",
+        "checkpoint.after_meta",
+        "checkpoint.before_prune",
+    ];
+    /// Sites inside the index spill path (memory tier merging out to
+    /// the LSM disk tier).
+    pub const SPILL: &[&str] = &["spill.before_merge_out", "spill.after_merge_out"];
+
+    /// Every maintenance site the crash-matrix torture test must cover.
+    pub fn maintenance() -> Vec<&'static str> {
+        COMPACTION.iter().chain(CHECKPOINT).copied().collect()
+    }
+}

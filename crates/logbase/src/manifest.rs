@@ -1,0 +1,175 @@
+//! Maintenance manifest: the crash-atomicity intent record.
+//!
+//! Compaction rewrites and then deletes parts of the server's *only*
+//! data repository (§3.6.5), so a crash between "sorted segments
+//! written" and "inputs deleted" must be classifiable at recovery.
+//! Before any destructive step, the job writes a small checksummed
+//! manifest under `<server>/maint/` naming everything it is about to
+//! create and destroy. The manifest's **commit point is the job's own
+//! checkpoint**: recovery compares the latest complete checkpoint's
+//! sequence number against the manifest's —
+//!
+//! * `latest >= manifest.ckpt_seq` — the compaction committed. Roll
+//!   **forward**: finish the interrupted deletions (input log segments,
+//!   retired sorted segments), then drop the manifest. Idempotent: every
+//!   deletion checks existence first.
+//! * `latest < manifest.ckpt_seq` (or no checkpoint) — the compaction
+//!   never committed. Roll **back**: delete the new sorted segments it
+//!   named (orphans — no index file references them), then drop the
+//!   manifest. The inputs are untouched and recovery replays them.
+//!
+//! A torn or checksum-corrupt manifest is treated as absent (the job
+//! crashed while writing it, before anything destructive happened) and
+//! removed; the generic orphan sweep reclaims any partial sorted output.
+
+use logbase_common::{Error, Result};
+use logbase_dfs::Dfs;
+use serde::{Deserialize, Serialize};
+
+/// The single manifest slot per server (maintenance jobs are serialized
+/// by the server's maintenance lock, so one slot suffices).
+pub fn manifest_name(server_prefix: &str) -> String {
+    format!("{server_prefix}/maint/compaction.json")
+}
+
+/// Intent record of one compaction job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaintenanceManifest {
+    /// Checkpoint sequence number that commits this job (the embedded
+    /// checkpoint the job takes after repointing its indexes).
+    pub ckpt_seq: u64,
+    /// Sorted-segment generation being written (equals `ckpt_seq`).
+    pub generation: u64,
+    /// Sorted segments the job wrote, `(segment id, DFS name)`.
+    pub new_sorted: Vec<(u32, String)>,
+    /// Input log segments the job will delete once committed.
+    pub input_log_segments: Vec<String>,
+    /// Previous-generation sorted segments the job will delete once
+    /// committed.
+    pub retired_sorted: Vec<String>,
+    /// CRC32 over the JSON serialization of this record with `crc32`
+    /// itself zeroed; guards against a torn manifest write.
+    pub crc32: u32,
+}
+
+impl MaintenanceManifest {
+    fn body_crc(&self) -> Result<u32> {
+        let mut zeroed = self.clone();
+        zeroed.crc32 = 0;
+        let body = serde_json::to_vec(&zeroed)
+            .map_err(|e| Error::Corruption(format!("manifest serialization failed: {e}")))?;
+        Ok(crc32fast::hash(&body))
+    }
+}
+
+/// Persist the manifest (replacing any stale leftover from an earlier
+/// failed job). Written in one append and sealed, like `meta.json`.
+pub fn write(dfs: &Dfs, server_prefix: &str, manifest: &MaintenanceManifest) -> Result<()> {
+    let mut stamped = manifest.clone();
+    stamped.crc32 = stamped.body_crc()?;
+    let body = serde_json::to_vec_pretty(&stamped)
+        .map_err(|e| Error::Corruption(format!("manifest serialization failed: {e}")))?;
+    let name = manifest_name(server_prefix);
+    if dfs.exists(&name) {
+        dfs.delete(&name)?;
+    }
+    dfs.create(&name)?;
+    dfs.append(&name, &body)?;
+    dfs.seal(&name)?;
+    Ok(())
+}
+
+/// Load the manifest if present and intact. A missing file, a parse
+/// failure, or a checksum mismatch all yield `Ok(None)` — the callers
+/// treat every malformed manifest as "the job died before its intent
+/// became durable" and fall back to the reachability sweep.
+pub fn load(dfs: &Dfs, server_prefix: &str) -> Result<Option<MaintenanceManifest>> {
+    let name = manifest_name(server_prefix);
+    if !dfs.exists(&name) {
+        return Ok(None);
+    }
+    let raw = dfs.read_all(&name)?;
+    let Ok(manifest) = serde_json::from_slice::<MaintenanceManifest>(&raw) else {
+        return Ok(None);
+    };
+    if manifest.body_crc()? != manifest.crc32 {
+        return Ok(None);
+    }
+    Ok(Some(manifest))
+}
+
+/// Remove the manifest (job complete, or classification done).
+pub fn remove(dfs: &Dfs, server_prefix: &str) -> Result<()> {
+    let name = manifest_name(server_prefix);
+    if dfs.exists(&name) {
+        dfs.delete(&name)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbase_dfs::DfsConfig;
+
+    fn sample() -> MaintenanceManifest {
+        MaintenanceManifest {
+            ckpt_seq: 7,
+            generation: 7,
+            new_sorted: vec![(0x8000_0002, "srv/sorted/gen7/seg-000000".into())],
+            input_log_segments: vec!["srv/log/segment-000000".into()],
+            retired_sorted: vec!["srv/sorted/gen3/seg-000000".into()],
+            crc32: 0,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        write(&dfs, "srv", &sample()).unwrap();
+        let loaded = load(&dfs, "srv").unwrap().unwrap();
+        assert_eq!(loaded.ckpt_seq, 7);
+        assert_eq!(loaded.new_sorted, sample().new_sorted);
+        assert_ne!(loaded.crc32, 0, "stored manifest must carry its CRC");
+        remove(&dfs, "srv").unwrap();
+        assert!(load(&dfs, "srv").unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        assert!(load(&dfs, "srv").unwrap().is_none());
+        remove(&dfs, "srv").unwrap(); // idempotent on absence
+    }
+
+    #[test]
+    fn torn_manifest_is_treated_as_absent() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let name = manifest_name("srv");
+        dfs.create(&name).unwrap();
+        dfs.append(&name, b"{\"ckpt_seq\": 7, \"gener").unwrap();
+        assert!(load(&dfs, "srv").unwrap().is_none());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_treated_as_absent() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let mut m = sample();
+        m.crc32 = 0xDEAD_BEEF; // wrong on purpose
+        let body = serde_json::to_vec_pretty(&m).unwrap();
+        let name = manifest_name("srv");
+        dfs.create(&name).unwrap();
+        dfs.append(&name, &body).unwrap();
+        assert!(load(&dfs, "srv").unwrap().is_none());
+    }
+
+    #[test]
+    fn write_replaces_a_stale_manifest() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        write(&dfs, "srv", &sample()).unwrap();
+        let mut newer = sample();
+        newer.ckpt_seq = 9;
+        write(&dfs, "srv", &newer).unwrap();
+        assert_eq!(load(&dfs, "srv").unwrap().unwrap().ckpt_seq, 9);
+    }
+}

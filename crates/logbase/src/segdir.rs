@@ -51,6 +51,22 @@ impl SegmentDirectory {
         id
     }
 
+    /// The id the next [`SegmentDirectory::register_sorted`] call will
+    /// allocate. Persisted in the checkpoint descriptor so a recovered
+    /// server never reissues an id that still names a live DFS file
+    /// (spilled LSM values durably encode segment ids — reuse would
+    /// silently repoint them at the wrong file).
+    pub fn next_sorted_id(&self) -> u32 {
+        self.next_sorted.load(Ordering::Relaxed)
+    }
+
+    /// Raise the allocation cursor to at least `to` (recovery installs
+    /// the persisted counter on top of what [`SegmentDirectory::restore`]
+    /// inferred from the restored entries).
+    pub fn advance_next_sorted(&self, to: u32) {
+        self.next_sorted.fetch_max(to, Ordering::Relaxed);
+    }
+
     /// Re-install a persisted mapping (recovery).
     pub fn restore(&self, entries: impl IntoIterator<Item = (u32, String)>) {
         let mut sorted = self.sorted.write();
@@ -121,6 +137,21 @@ mod tests {
         assert_eq!(d.resolve(SORTED_BASE + 5), "b");
         let next = d.register_sorted("c".to_string());
         assert_eq!(next, SORTED_BASE + 6);
+    }
+
+    #[test]
+    fn persisted_counter_outranks_inference() {
+        let d = SegmentDirectory::new("srv/log");
+        d.restore(vec![(SORTED_BASE, "a".to_string())]);
+        assert_eq!(d.next_sorted_id(), SORTED_BASE + 1);
+        // A crashed compaction had allocated further ids whose mappings
+        // were retired before the checkpoint; the persisted counter
+        // keeps them burned.
+        d.advance_next_sorted(SORTED_BASE + 9);
+        assert_eq!(d.register_sorted("b".to_string()), SORTED_BASE + 9);
+        // Advancing backwards is a no-op.
+        d.advance_next_sorted(SORTED_BASE + 1);
+        assert_eq!(d.next_sorted_id(), SORTED_BASE + 10);
     }
 
     #[test]

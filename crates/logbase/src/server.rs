@@ -46,6 +46,10 @@ pub struct ServerConfig {
     /// Range scans coalesce pointer reads whose gap is below this many
     /// bytes into one DFS read (pays off after compaction clusters data).
     pub scan_coalesce_gap: u64,
+    /// Complete checkpoints kept on DFS; older ones are pruned after
+    /// each checkpoint and at startup. Recovery only ever reads the
+    /// latest — the rest are bounded history. Minimum 1.
+    pub retain_checkpoints: usize,
 }
 
 impl ServerConfig {
@@ -59,6 +63,7 @@ impl ServerConfig {
             group_commit: GroupCommitConfig::default(),
             spill: None,
             scan_coalesce_gap: 64 * 1024,
+            retain_checkpoints: 2,
         }
     }
 
@@ -87,6 +92,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_spill(mut self, spill: SpillConfig) -> Self {
         self.spill = Some(spill);
+        self
+    }
+
+    /// Builder-style checkpoint-retention override (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_retain_checkpoints(mut self, keep: usize) -> Self {
+        self.retain_checkpoints = keep.max(1);
         self
     }
 }
@@ -139,6 +151,9 @@ pub struct TabletServer {
     /// writer's gate) and checkpoint/compaction DFS writes.
     fencing: RwLock<Option<FencingToken>>,
     secondary: crate::secondary::SecondaryRegistry,
+    /// What startup GC did when this server was opened (all-zero for a
+    /// freshly created server).
+    gc_report: Mutex<crate::gc::GcReport>,
 }
 
 impl TabletServer {
@@ -187,9 +202,23 @@ impl TabletServer {
             write_barrier: RwLock::new(()),
             fencing: RwLock::new(None),
             secondary: crate::secondary::SecondaryRegistry::default(),
+            gc_report: Mutex::new(crate::gc::GcReport::default()),
             dfs,
             config,
         }
+    }
+
+    /// The report from the startup GC pass [`TabletServer::open`] ran
+    /// (orphans deleted, partial checkpoints removed, interrupted
+    /// maintenance rolled forward or back).
+    pub fn startup_gc_report(&self) -> crate::gc::GcReport {
+        self.gc_report.lock().clone()
+    }
+
+    /// Audit this server's DFS files and return the unreachable ones
+    /// (see [`crate::gc::fsck`]). Empty after a clean recovery.
+    pub fn fsck(&self) -> Vec<String> {
+        crate::gc::fsck(&self.dfs, &self.config.name, &self.segdir)
     }
 
     /// The server's metrics sink (shared with its DFS).
@@ -728,6 +757,17 @@ impl TabletServer {
     pub fn checkpoint(&self) -> Result<CheckpointMeta> {
         self.check_fenced()?;
         let _guard = self.maintenance.lock();
+        self.checkpoint_inner()
+    }
+
+    /// Checkpoint body. Callers must hold the maintenance lock;
+    /// compaction embeds its commit-point checkpoint under the *same*
+    /// lock acquisition, which is what makes the sequence it records in
+    /// the maintenance manifest ([`TabletServer::next_checkpoint_seq`])
+    /// the sequence this function actually takes.
+    pub(crate) fn checkpoint_inner(&self) -> Result<CheckpointMeta> {
+        self.check_fenced()?;
+        logbase_dfs::crash_point!(self.dfs, "checkpoint.begin");
         let seq = self.ckpt_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let dir = checkpoint_dir(&self.config.name, seq);
         // Capture the redo start BEFORE persisting indexes: entries
@@ -758,6 +798,7 @@ impl TabletServer {
                         cg as u16,
                     );
                     logbase_index::persist::save_index(&self.dfs, &file, index.mem())?;
+                    logbase_dfs::crash_point!(self.dfs, "checkpoint.mid_index_files");
                     index.mem().reset_update_counter();
                     index_files.push(file);
                 }
@@ -781,9 +822,16 @@ impl TabletServer {
             max_timestamp: self.oracle.current().0,
             tables: tables_meta,
             sorted_segments: self.segdir.snapshot(),
+            next_sorted: Some(self.segdir.next_sorted_id()),
         };
+        logbase_dfs::crash_point!(self.dfs, "checkpoint.before_meta");
         checkpoint::write_meta(&self.dfs, &self.config.name, &meta)?;
+        logbase_dfs::crash_point!(self.dfs, "checkpoint.after_meta");
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        // Bound on-DFS history: older complete checkpoints are dead
+        // weight once this descriptor is durable.
+        logbase_dfs::crash_point!(self.dfs, "checkpoint.before_prune");
+        crate::gc::prune_checkpoints(&self.dfs, &self.config.name, self.config.retain_checkpoints)?;
         Ok(meta)
     }
 
@@ -817,6 +865,13 @@ impl TabletServer {
             Some(m) => {
                 server.ckpt_seq.store(m.seq, Ordering::Relaxed);
                 server.segdir.restore(m.sorted_segments.clone());
+                // The persisted allocation cursor outranks what restore()
+                // inferred: a crashed compaction may have burned ids whose
+                // mappings never reached a checkpoint, and spilled LSM
+                // values durably encode ids — reuse would repoint them.
+                if let Some(n) = m.next_sorted {
+                    server.segdir.advance_next_sorted(n);
+                }
                 for tm in &m.tables {
                     let table = Arc::new(TableState::new(tm.schema.clone())?);
                     for tablet_meta in &tm.tablets {
@@ -839,6 +894,20 @@ impl TabletServer {
             }
             None => (0, 0, 0, 0),
         };
+
+        // Startup GC: converge the DFS image after any mid-maintenance
+        // crash *before* redo touches the log — roll an interrupted
+        // compaction forward or back from its manifest, drop partial
+        // checkpoint directories, prune stale history, sweep orphan
+        // sorted segments.
+        let report = crate::gc::startup_gc(
+            &dfs,
+            &server.config.name,
+            &server.segdir,
+            meta.as_ref().map(|m| m.seq),
+            server.config.retain_checkpoints,
+        )?;
+        *server.gc_report.lock() = report;
 
         // Redo pass: apply committed effects from the log tail.
         let mut pending: HashMap<u64, Vec<(String, u32, Record, LogPtr)>> = HashMap::new();

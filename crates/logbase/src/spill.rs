@@ -55,6 +55,9 @@ fn decode_ptr(mut v: Bytes) -> Option<LogPtr> {
 pub struct SpillableIndex {
     mem: MultiVersionIndex,
     disk: Option<(LsmTree, u64)>,
+    /// DFS handle for crash-point checks on the merge-out path (`None`
+    /// in pure in-memory mode, which never touches the DFS).
+    dfs: Option<Dfs>,
 }
 
 impl SpillableIndex {
@@ -63,6 +66,7 @@ impl SpillableIndex {
         SpillableIndex {
             mem: MultiVersionIndex::new(),
             disk: None,
+            dfs: None,
         }
     }
 
@@ -70,12 +74,13 @@ impl SpillableIndex {
     /// already present under the prefix (recovery reuses this path).
     pub fn with_spill(dfs: Dfs, prefix: &str, config: &SpillConfig) -> Result<Self> {
         let lsm = LsmTree::open(
-            dfs,
+            dfs.clone(),
             LsmConfig::new(prefix).with_write_buffer(config.lsm_write_buffer_bytes),
         )?;
         Ok(SpillableIndex {
             mem: MultiVersionIndex::new(),
             disk: Some((lsm, config.mem_budget_bytes)),
+            dfs: Some(dfs),
         })
     }
 
@@ -100,15 +105,26 @@ impl SpillableIndex {
     }
 
     /// Insert an entry, merging the memory tier out if over budget.
+    ///
+    /// A crash anywhere in the merge-out loses no data: spilled entries
+    /// are index pointers, and the log records they point at are redone
+    /// from the WAL on recovery (at-least-once — re-spilling the same
+    /// pointer is idempotent).
     pub fn insert(&self, key: RowKey, ts: Timestamp, ptr: LogPtr) -> Result<()> {
         self.mem.insert(key, ts, ptr);
         if let Some((lsm, budget)) = &self.disk {
             if self.mem.stats().approx_bytes > *budget {
+                if let Some(dfs) = &self.dfs {
+                    logbase_dfs::crash_point!(dfs, "spill.before_merge_out");
+                }
                 for e in self.mem.scan_all() {
                     lsm.put(e.key, e.ts, Some(encode_ptr(e.ptr)))?;
                 }
                 self.mem.clear();
                 lsm.flush()?;
+                if let Some(dfs) = &self.dfs {
+                    logbase_dfs::crash_point!(dfs, "spill.after_merge_out");
+                }
             }
         }
         Ok(())

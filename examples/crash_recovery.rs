@@ -3,7 +3,10 @@
 //! Reproduces the §3.8/§4.5 story end to end: a server crashes, its
 //! replacement rebuilds the in-memory indexes from the shared DFS —
 //! fast with a checkpoint, slower without — and the DFS itself survives
-//! the loss of a data node thanks to 3-way replication.
+//! the loss of a data node thanks to 3-way replication. A final
+//! scenario kills the server at a named crash point *inside* a
+//! compaction and shows startup GC converging the DFS image back to a
+//! clean state.
 //!
 //! Run with: `cargo run --example crash_recovery`
 
@@ -76,6 +79,51 @@ fn main() -> logbase_common::Result<()> {
         b"post-failure".to_vec().into(),
     )?;
     println!("write after node restart: OK");
+
+    // Scenario D: crash *inside* maintenance. Arm a named crash point
+    // so the compaction dies right after writing its sorted output but
+    // before anything references it — the classic orphan-leaving crash.
+    {
+        let server = TabletServer::create(dfs.clone(), ServerConfig::new("srv-d"))?;
+        server.create_table(TableSchema::single_group("events", &["payload"]))?;
+        load(&server, 0, 2_000)?;
+        server.compact()?; // a complete generation to retire later
+        load(&server, 2_000, 4_000)?;
+        dfs.fault_injector()
+            .arm_crash_point("compaction.after_sorted_write");
+        match server.compact() {
+            Err(logbase_common::Error::CrashPoint { site }) => {
+                println!("compaction killed at crash point `{site}`");
+            }
+            other => panic!("expected an injected crash, got {other:?}"),
+        }
+        // Crash (drop): the DFS now holds unreferenced sorted files.
+    }
+    let before = dfs.metrics().snapshot();
+    let d = TabletServer::open(dfs.clone(), ServerConfig::new("srv-d"))?;
+    let delta = dfs.metrics().snapshot().delta_since(&before);
+    let report = d.startup_gc_report();
+    println!("startup GC after injected crash: {report:?}");
+    println!(
+        "  orphan_segments_gced:        {}",
+        delta.orphan_segments_gced
+    );
+    println!(
+        "  partial_checkpoints_removed: {}",
+        delta.partial_checkpoints_removed
+    );
+    println!(
+        "  crash_sites_hit:             {}",
+        dfs.metrics().snapshot().crash_sites_hit
+    );
+    println!(
+        "  maintenance_resumed:         {}",
+        delta.maintenance_resumed
+    );
+    assert!(report.orphan_segments_gced > 0, "the orphan must be swept");
+    assert!(d.fsck().is_empty(), "no unreferenced files may remain");
+    assert_eq!(d.stats().index_entries, 4_000);
+    println!("recovery after mid-compaction crash: OK (fsck clean)");
     println!("crash_recovery OK");
     Ok(())
 }
