@@ -1,4 +1,4 @@
-//! Byte-budgeted cache with pluggable replacement.
+//! Byte-budgeted, hash-sharded cache with pluggable replacement.
 //!
 //! §3.6.2: "we employ the LRU strategy ... However, we also design the
 //! replacement strategy as an abstracted interface so that users can plug
@@ -7,14 +7,96 @@
 //! [`Cache`] evicts victims chosen by a [`ReplacementPolicy`] once the
 //! byte budget is exceeded. LogBase's read buffer and the baselines'
 //! block caches are both instances of it.
+//!
+//! # Sharding
+//!
+//! A cache is split into N hash-partitioned shards, each with its own
+//! mutex, policy instance and slice of the byte budget, so concurrent
+//! readers on different keys do not serialize on one global lock. The
+//! default shard count follows the machine's available parallelism;
+//! small budgets are clamped to fewer shards (at least
+//! [`MIN_SHARD_BYTES`] each) so tiny caches keep exact global
+//! replacement order. Correctness does not depend on the shard count:
+//! the read buffer's version check (§3.6.2) makes a stale or evicted
+//! entry a miss, never a wrong answer.
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Chooses eviction victims. Implementations are driven by the cache
-/// under its lock, so they need no internal synchronization.
+/// Smallest per-shard budget the constructors will create. Requested
+/// shard counts are clamped so every shard gets at least this many
+/// bytes, keeping small caches (unit tests, tiny budgets) deterministic
+/// single-shard instances with exact global replacement order.
+pub const MIN_SHARD_BYTES: u64 = 64 * 1024;
+
+/// Default shard count: the machine's available parallelism.
+pub fn default_shard_count() -> usize {
+    crate::config::default_parallelism()
+}
+
+/// Non-cryptographic multiply-rotate hasher (the FxHash construction)
+/// used only for shard selection. Collisions are harmless — a skewed
+/// pick just loads one shard more — so we trade SipHash's resistance
+/// for a few instructions per op.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Chooses eviction victims. Implementations are driven by the owning
+/// shard under its lock, so they need no internal synchronization.
 pub trait ReplacementPolicy<K>: Send {
     /// A key was inserted.
     fn on_insert(&mut self, key: &K);
@@ -31,7 +113,11 @@ pub trait ReplacementPolicy<K>: Send {
 ///
 /// Implemented as a recency sequence: each access stamps the key with an
 /// increasing counter; the victim is the resident key with the smallest
-/// stamp. A lazy queue keeps amortized O(1)-ish victim selection.
+/// stamp. A lazy queue keeps amortized O(1)-ish victim selection. Stale
+/// queue entries (re-accessed or removed keys) are dropped both by
+/// `victim()` and by periodic compaction, so the queue stays within a
+/// constant factor of the resident set even when nothing is ever
+/// evicted (hot-key workloads under budget).
 pub struct LruPolicy<K> {
     stamps: HashMap<K, u64>,
     queue: VecDeque<(u64, K)>,
@@ -48,11 +134,31 @@ impl<K> Default for LruPolicy<K> {
     }
 }
 
+impl<K: Eq + Hash + Clone + Send> LruPolicy<K> {
+    /// Current length of the lazy recency queue (diagnostics / tests).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drop stale queue entries once the queue outgrows the resident
+    /// set by 2×. Each key has exactly one current stamp and the queue
+    /// is pushed in stamp order, so retaining current entries preserves
+    /// recency order. Amortized O(1) per access: a compaction pass is
+    /// O(queue), triggered only after O(queue) pushes.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > 16 && self.queue.len() > 2 * self.stamps.len() {
+            let stamps = &self.stamps;
+            self.queue.retain(|(s, k)| stamps.get(k) == Some(s));
+        }
+    }
+}
+
 impl<K: Eq + Hash + Clone + Send> ReplacementPolicy<K> for LruPolicy<K> {
     fn on_insert(&mut self, key: &K) {
         self.clock += 1;
         self.stamps.insert(key.clone(), self.clock);
         self.queue.push_back((self.clock, key.clone()));
+        self.maybe_compact();
     }
 
     fn on_access(&mut self, key: &K) {
@@ -61,6 +167,7 @@ impl<K: Eq + Hash + Clone + Send> ReplacementPolicy<K> for LruPolicy<K> {
             *s = self.clock;
         }
         self.queue.push_back((self.clock, key.clone()));
+        self.maybe_compact();
     }
 
     fn on_remove(&mut self, key: &K) {
@@ -126,37 +233,112 @@ struct CacheInner<K, V> {
     used_bytes: u64,
 }
 
-/// A byte-budgeted cache.
-pub struct Cache<K, V> {
+/// One hash partition: its own lock, policy and byte budget.
+struct Shard<K, V> {
     inner: Mutex<CacheInner<K, V>>,
+    capacity_bytes: u64,
+}
+
+/// A byte-budgeted, hash-sharded cache.
+pub struct Cache<K, V> {
+    shards: Vec<Shard<K, V>>,
     capacity_bytes: u64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone + Send + 'static, V: Clone> Cache<K, V> {
-    /// Cache with an LRU policy and the given byte budget.
+    /// Cache with an LRU policy, the given byte budget and the default
+    /// shard count ([`default_shard_count`], clamped for small budgets).
     pub fn lru(capacity_bytes: u64) -> Self {
-        Self::with_policy(capacity_bytes, Box::new(LruPolicy::default()))
+        Self::lru_sharded(capacity_bytes, default_shard_count())
     }
 
-    /// Cache with an explicit policy.
+    /// Cache with an LRU policy and an explicit shard count (clamped so
+    /// every shard gets at least [`MIN_SHARD_BYTES`]).
+    pub fn lru_sharded(capacity_bytes: u64, shards: usize) -> Self {
+        Self::with_policy_factory(capacity_bytes, shards, || Box::new(LruPolicy::default()))
+    }
+
+    /// Single-shard cache with an explicit policy instance. Exact global
+    /// replacement order — use for custom policies or when determinism
+    /// matters more than concurrency.
     pub fn with_policy(capacity_bytes: u64, policy: Box<dyn ReplacementPolicy<K>>) -> Self {
         Cache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                policy,
-                used_bytes: 0,
-            }),
+            shards: vec![Shard {
+                inner: Mutex::new(CacheInner {
+                    map: HashMap::new(),
+                    policy,
+                    used_bytes: 0,
+                }),
+                capacity_bytes,
+            }],
             capacity_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
+    /// Sharded cache with one policy instance per shard, built by
+    /// `factory`. The requested shard count is clamped to ≥ 1 and to at
+    /// most `capacity_bytes / MIN_SHARD_BYTES`; the budget is split
+    /// evenly (remainder to the first shards), so the sum of per-shard
+    /// budgets is exactly `capacity_bytes` and the global byte invariant
+    /// follows from the per-shard one.
+    pub fn with_policy_factory<F>(capacity_bytes: u64, shards: usize, factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn ReplacementPolicy<K>>,
+    {
+        let n = effective_shards(capacity_bytes, shards);
+        let base = capacity_bytes / n as u64;
+        let rem = capacity_bytes % n as u64;
+        let shards = (0..n)
+            .map(|i| Shard {
+                inner: Mutex::new(CacheInner {
+                    map: HashMap::new(),
+                    policy: factory(),
+                    used_bytes: 0,
+                }),
+                capacity_bytes: base + u64::from((i as u64) < rem),
+            })
+            .collect();
+        Cache {
+            shards,
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards this cache was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total byte budget across all shards.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        // Shard selection is on every cache op's fast path; a SipHash
+        // DefaultHasher here costs more than the lock it avoids. An
+        // FxHash-style multiply is enough — the pick only needs to be
+        // consistent, not collision-resistant.
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // Multiply-shift range mapping (Lemire): uses the hash's high
+        // bits and avoids a hardware divide on the fast path.
+        let idx = ((h.finish() as u128 * self.shards.len() as u128) >> 64) as usize;
+        &self.shards[idx]
+    }
+
     /// Look up `key`, updating hit/miss statistics and recency.
     pub fn get(&self, key: &K) -> Option<V> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).inner.lock();
         match inner.map.get(key) {
             Some((v, _)) => {
                 let v = v.clone();
@@ -172,33 +354,56 @@ impl<K: Eq + Hash + Clone + Send + 'static, V: Clone> Cache<K, V> {
     }
 
     /// Insert `key` with an accounted size of `bytes`, evicting victims
-    /// as needed. Entries larger than the whole budget are not admitted.
+    /// as needed. Entries larger than the owning shard's budget are not
+    /// admitted. `used_bytes <= capacity_bytes` is a hard invariant:
+    /// even a replacement policy that has desynced from the resident map
+    /// (no victim while over budget) cannot blow it — the cache falls
+    /// back to evicting an arbitrary resident entry.
     pub fn insert(&self, key: K, value: V, bytes: u64) {
-        if bytes > self.capacity_bytes {
+        let shard = self.shard(&key);
+        if bytes > shard.capacity_bytes {
             return;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = shard.inner.lock();
         if let Some((_, old_bytes)) = inner.map.remove(&key) {
             inner.used_bytes -= old_bytes;
             inner.policy.on_remove(&key);
         }
-        while inner.used_bytes + bytes > self.capacity_bytes {
-            let Some(victim) = inner.policy.victim() else {
+        while inner.used_bytes + bytes > shard.capacity_bytes {
+            if let Some(victim) = inner.policy.victim() {
+                let removed = inner.map.remove(&victim);
+                debug_assert!(
+                    removed.is_some(),
+                    "replacement policy returned a non-resident victim (policy/map desync)"
+                );
+                if let Some((_, vb)) = removed {
+                    inner.used_bytes -= vb;
+                }
+                inner.policy.on_remove(&victim);
+            } else if let Some(fallback) = inner.map.keys().next().cloned() {
+                // Policy is out of victims while residents remain: evict
+                // arbitrarily so the byte budget holds regardless.
+                if let Some((_, vb)) = inner.map.remove(&fallback) {
+                    inner.used_bytes -= vb;
+                }
+                inner.policy.on_remove(&fallback);
+            } else {
+                // Empty shard: admission check guarantees bytes fit.
                 break;
-            };
-            if let Some((_, vb)) = inner.map.remove(&victim) {
-                inner.used_bytes -= vb;
             }
-            inner.policy.on_remove(&victim);
         }
         inner.map.insert(key.clone(), (value, bytes));
         inner.used_bytes += bytes;
         inner.policy.on_insert(&key);
+        debug_assert!(
+            inner.used_bytes <= shard.capacity_bytes,
+            "shard byte budget exceeded after insert"
+        );
     }
 
     /// Drop `key` if resident.
     pub fn invalidate(&self, key: &K) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard(key).inner.lock();
         if let Some((_, bytes)) = inner.map.remove(key) {
             inner.used_bytes -= bytes;
             inner.policy.on_remove(key);
@@ -207,18 +412,20 @@ impl<K: Eq + Hash + Clone + Send + 'static, V: Clone> Cache<K, V> {
 
     /// Drop everything.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        let keys: Vec<K> = inner.map.keys().cloned().collect();
-        for k in &keys {
-            inner.policy.on_remove(k);
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let keys: Vec<K> = inner.map.keys().cloned().collect();
+            for k in &keys {
+                inner.policy.on_remove(k);
+            }
+            inner.map.clear();
+            inner.used_bytes = 0;
         }
-        inner.map.clear();
-        inner.used_bytes = 0;
     }
 
-    /// Resident entries.
+    /// Resident entries across all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
     }
 
     /// True when nothing is resident.
@@ -226,9 +433,9 @@ impl<K: Eq + Hash + Clone + Send + 'static, V: Clone> Cache<K, V> {
         self.len() == 0
     }
 
-    /// Bytes currently accounted.
+    /// Bytes currently accounted across all shards.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.lock().used_bytes
+        self.shards.iter().map(|s| s.inner.lock().used_bytes).sum()
     }
 
     /// `(hits, misses)` since creation.
@@ -238,6 +445,13 @@ impl<K: Eq + Hash + Clone + Send + 'static, V: Clone> Cache<K, V> {
             self.misses.load(Ordering::Relaxed),
         )
     }
+}
+
+/// Clamp a requested shard count: at least 1, at most what gives every
+/// shard [`MIN_SHARD_BYTES`] of budget.
+fn effective_shards(capacity_bytes: u64, requested: usize) -> usize {
+    let max_by_budget = (capacity_bytes / MIN_SHARD_BYTES).max(1);
+    requested.clamp(1, max_by_budget.min(usize::MAX as u64) as usize)
 }
 
 #[cfg(test)]
@@ -251,6 +465,14 @@ mod tests {
         c.insert(1, "one".into(), 10);
         assert_eq!(c.get(&1).as_deref(), Some("one"));
         assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn small_budgets_collapse_to_one_shard() {
+        let c: Cache<u32, u32> = Cache::lru_sharded(100, 64);
+        assert_eq!(c.shard_count(), 1);
+        let big: Cache<u32, u32> = Cache::lru_sharded(64 * MIN_SHARD_BYTES, 8);
+        assert_eq!(big.shard_count(), 8);
     }
 
     #[test]
@@ -279,6 +501,18 @@ mod tests {
         c.insert(4, 4, 10);
         assert!(c.get(&1).is_none());
         assert!(c.get(&2).is_some());
+    }
+
+    #[test]
+    fn sharded_fifo_via_factory() {
+        let c: Cache<u32, u32> =
+            Cache::with_policy_factory(8 * MIN_SHARD_BYTES, 8, || Box::new(FifoPolicy::default()));
+        assert_eq!(c.shard_count(), 8);
+        for i in 0..1000 {
+            c.insert(i, i, 1000);
+        }
+        assert!(c.used_bytes() <= 8 * MIN_SHARD_BYTES);
+        assert!(!c.is_empty());
     }
 
     #[test]
@@ -336,5 +570,66 @@ mod tests {
             }
         });
         assert!(c.used_bytes() <= 1000);
+    }
+
+    /// Regression (ISSUE 4): the LRU recency queue must stay bounded on
+    /// a hot-key workload that never evicts — every `on_access` pushes a
+    /// queue entry and only `victim()` used to drain them.
+    #[test]
+    fn lru_queue_bounded_under_hot_key_hits() {
+        let mut p: LruPolicy<u32> = LruPolicy::default();
+        for k in 0..8 {
+            p.on_insert(&k);
+        }
+        for _ in 0..1_000_000u32 {
+            p.on_access(&3);
+        }
+        assert!(
+            p.queue_len() <= 2 * 8 + 1,
+            "recency queue leaked: {} entries for 8 resident keys",
+            p.queue_len()
+        );
+        // Recency order survives compaction: 3 is hottest, 0 is coldest.
+        assert_eq!(p.victim(), Some(0));
+    }
+
+    /// A policy that has lost track of every resident entry: `victim()`
+    /// always returns `None`. Models a desynced custom policy.
+    struct AmnesiacPolicy;
+    impl ReplacementPolicy<u32> for AmnesiacPolicy {
+        fn on_insert(&mut self, _: &u32) {}
+        fn on_access(&mut self, _: &u32) {}
+        fn on_remove(&mut self, _: &u32) {}
+        fn victim(&mut self) -> Option<u32> {
+            None
+        }
+    }
+
+    /// Regression (ISSUE 4): a desynced policy must not blow the byte
+    /// budget — the cache falls back to arbitrary eviction.
+    #[test]
+    fn budget_holds_with_desynced_policy() {
+        let c: Cache<u32, u32> = Cache::with_policy(100, Box::new(AmnesiacPolicy));
+        for i in 0..50 {
+            c.insert(i, i, 30);
+            assert!(
+                c.used_bytes() <= 100,
+                "budget blown at insert {i}: {} bytes",
+                c.used_bytes()
+            );
+        }
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn lru_per_shard_in_sharded_cache() {
+        // 2 shards × MIN_SHARD_BYTES each; fill beyond budget and check
+        // the invariant holds per shard (thus globally).
+        let c: Cache<u64, Vec<u8>> = Cache::lru_sharded(2 * MIN_SHARD_BYTES, 2);
+        assert_eq!(c.shard_count(), 2);
+        for i in 0..1000u64 {
+            c.insert(i, vec![0u8; 512], 512);
+        }
+        assert!(c.used_bytes() <= 2 * MIN_SHARD_BYTES);
     }
 }

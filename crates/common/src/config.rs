@@ -20,6 +20,15 @@ pub const YCSB_MAX_KEY: u64 = 2_000_000_000;
 /// composite key + 8-byte pointer).
 pub const INDEX_ENTRY_BYTES: usize = 24;
 
+/// The machine's available parallelism (≥ 1). Default for everything
+/// that sizes itself to the core count: cache shard counts, scan worker
+/// pools, benchmark thread sweeps.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Format a byte count with binary units for reports.
 pub fn human_bytes(n: u64) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];

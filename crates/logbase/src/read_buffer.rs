@@ -24,11 +24,38 @@ pub struct ReadBuffer {
     cache: Cache<BufferKey, BufferedVersion>,
 }
 
+/// Fixed per-copy overhead accounted for each stored [`BufferKey`]:
+/// the `Arc<str>` table handle, the `u16` column group and the `Vec`
+/// header of the owned key bytes, rounded up to cover allocator slop
+/// and the map/policy entry headers.
+const KEY_COPY_OVERHEAD: usize = 48;
+
+/// Fixed overhead of the cached value tuple (timestamp + `Option<Value>`).
+const VERSION_OVERHEAD: usize = 32;
+
+/// Accounted heap footprint of one buffered record. The key bytes are
+/// owned **twice** — once by the map's `BufferKey` and once by the
+/// replacement policy's clone — so they are charged twice; the flat
+/// constant alone under-counted small-value entries by ~2×.
+fn entry_bytes(key_len: usize, value_len: usize) -> u64 {
+    (2 * (key_len + KEY_COPY_OVERHEAD) + value_len + VERSION_OVERHEAD) as u64
+}
+
 impl ReadBuffer {
-    /// Buffer with an LRU policy and `capacity_bytes` budget.
+    /// Buffer with an LRU policy, `capacity_bytes` budget and the
+    /// default shard count.
     pub fn lru(capacity_bytes: u64) -> Self {
         ReadBuffer {
             cache: Cache::lru(capacity_bytes),
+        }
+    }
+
+    /// Buffer with an LRU policy and an explicit shard count
+    /// (`ServerConfig::read_buffer_shards`; clamped by the cache so
+    /// small budgets stay single-shard).
+    pub fn lru_sharded(capacity_bytes: u64, shards: usize) -> Self {
+        ReadBuffer {
+            cache: Cache::lru_sharded(capacity_bytes, shards),
         }
     }
 
@@ -48,7 +75,7 @@ impl ReadBuffer {
 
     /// Cache a version of a record.
     pub fn put(&self, table: &Arc<str>, cg: u16, key: &[u8], ts: Timestamp, value: Option<Value>) {
-        let bytes = (key.len() + value.as_ref().map_or(0, |v| v.len()) + 48) as u64;
+        let bytes = entry_bytes(key.len(), value.as_ref().map_or(0, |v| v.len()));
         self.cache
             .insert((Arc::clone(table), cg, key.to_vec()), (ts, value), bytes);
     }
@@ -113,6 +140,38 @@ mod tests {
         let (ts, v) = rb.get(&t, 0, b"gone").unwrap();
         assert_eq!(ts, Timestamp(9));
         assert!(v.is_none());
+    }
+
+    /// Regression (ISSUE 4): entry sizing must charge the key bytes for
+    /// *both* owned copies (map key and policy clone). With the old flat
+    /// `key + value + 48` accounting, large-key/small-value workloads
+    /// were admitted at ~2× the budget's real heap footprint.
+    #[test]
+    fn entry_sizing_charges_both_key_copies() {
+        let key_len = 256usize;
+        let charged = entry_bytes(key_len, 1);
+        assert!(
+            charged >= 2 * key_len as u64,
+            "entry of a {key_len}-byte key charged only {charged} bytes"
+        );
+        // Residency follows the corrected accounting: a budget that fits
+        // ~4 corrected entries must not hold the ~8 the old math allowed.
+        let rb = ReadBuffer::lru(4 * charged + charged / 2);
+        let t = table();
+        for i in 0..64u32 {
+            let mut key = vec![0u8; key_len];
+            key[..4].copy_from_slice(&i.to_be_bytes());
+            rb.put(&t, 0, &key, Timestamp(1), Some(Value::from_static(b"x")));
+        }
+        assert!(rb.used_bytes() <= 4 * charged + charged / 2);
+        let resident = (0..64u32)
+            .filter(|i| {
+                let mut key = vec![0u8; key_len];
+                key[..4].copy_from_slice(&i.to_be_bytes());
+                rb.get(&t, 0, &key).is_some()
+            })
+            .count();
+        assert!(resident <= 4, "over-admitted: {resident} resident entries");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use logbase_index::IndexEntry;
 use logbase_wal::{GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tablet-server configuration.
@@ -46,6 +46,15 @@ pub struct ServerConfig {
     /// Range scans coalesce pointer reads whose gap is below this many
     /// bytes into one DFS read (pays off after compaction clusters data).
     pub scan_coalesce_gap: u64,
+    /// Worker threads for range/full scans: index probes fan out over
+    /// tablets and record fetches fan out over coalesced segment runs,
+    /// merging in key order. `0` = available parallelism; `1` = fully
+    /// sequential scans. Results are byte-identical at any setting.
+    pub scan_threads: usize,
+    /// Read-buffer shard count (`0` = available parallelism). Each shard
+    /// has its own lock + LRU instance, so concurrent point reads on
+    /// different keys do not serialize on one global cache mutex.
+    pub read_buffer_shards: usize,
     /// Complete checkpoints kept on DFS; older ones are pruned after
     /// each checkpoint and at startup. Recovery only ever reads the
     /// latest — the rest are bounded history. Minimum 1.
@@ -63,6 +72,8 @@ impl ServerConfig {
             group_commit: GroupCommitConfig::default(),
             spill: None,
             scan_coalesce_gap: 64 * 1024,
+            scan_threads: 0,
+            read_buffer_shards: 0,
             retain_checkpoints: 2,
         }
     }
@@ -99,6 +110,21 @@ impl ServerConfig {
     #[must_use]
     pub fn with_retain_checkpoints(mut self, keep: usize) -> Self {
         self.retain_checkpoints = keep.max(1);
+        self
+    }
+
+    /// Builder-style scan-thread override (0 = available parallelism,
+    /// 1 = sequential).
+    #[must_use]
+    pub fn with_scan_threads(mut self, threads: usize) -> Self {
+        self.scan_threads = threads;
+        self
+    }
+
+    /// Builder-style read-buffer shard-count override (0 = default).
+    #[must_use]
+    pub fn with_read_buffer_shards(mut self, shards: usize) -> Self {
+        self.read_buffer_shards = shards;
         self
     }
 }
@@ -185,8 +211,13 @@ impl TabletServer {
         locks: LockService,
     ) -> Self {
         let log_prefix = format!("{}/log", config.name);
-        let read_buffer =
-            (config.read_buffer_bytes > 0).then(|| ReadBuffer::lru(config.read_buffer_bytes));
+        let read_buffer = (config.read_buffer_bytes > 0).then(|| {
+            if config.read_buffer_shards == 0 {
+                ReadBuffer::lru(config.read_buffer_bytes)
+            } else {
+                ReadBuffer::lru_sharded(config.read_buffer_bytes, config.read_buffer_shards)
+            }
+        });
         TabletServer {
             segdir: SegmentDirectory::new(log_prefix),
             log: GroupCommitLog::new(writer, config.group_commit.clone()),
@@ -597,62 +628,125 @@ impl TabletServer {
         at: Timestamp,
         limit: usize,
     ) -> Result<Vec<ScanItem>> {
+        self.range_scan_at_threads(table, cg, range, at, limit, self.resolved_scan_threads())
+    }
+
+    /// Effective scan worker count (`scan_threads`, 0 = parallelism).
+    fn resolved_scan_threads(&self) -> usize {
+        match self.config.scan_threads {
+            0 => logbase_common::config::default_parallelism(),
+            n => n,
+        }
+    }
+
+    /// [`TabletServer::range_scan_at`] with an explicit worker count.
+    /// Index probes fan out over tablets and record fetches over
+    /// coalesced segment runs; tablets serve disjoint sorted key ranges,
+    /// so concatenating per-tablet results in range order *is* the key
+    /// order merge, and results are byte-identical at any thread count
+    /// (the benchmark ablation and scan-correctness tests rely on this).
+    #[doc(hidden)]
+    pub fn range_scan_at_threads(
+        &self,
+        table: &str,
+        cg: u16,
+        range: &KeyRange,
+        at: Timestamp,
+        limit: usize,
+        threads: usize,
+    ) -> Result<Vec<ScanItem>> {
         let table_state = self.table(table)?;
         let mut tablets = table_state.tablets_snapshot();
         tablets.sort_by(|a, b| a.desc.range.start.cmp(&b.desc.range.start));
+        let threads = threads.max(1);
         let mut entries: Vec<IndexEntry> = Vec::new();
-        for tablet in tablets {
-            if entries.len() >= limit {
-                break;
+        if threads == 1 || tablets.len() <= 1 {
+            for tablet in tablets {
+                if entries.len() >= limit {
+                    break;
+                }
+                let sub = intersect(range, &tablet.desc.range);
+                if sub.is_empty() && sub.end.is_some() {
+                    continue;
+                }
+                entries.extend(tablet.index(cg)?.range_latest_at(
+                    &sub,
+                    at,
+                    limit - entries.len(),
+                )?);
             }
-            let sub = intersect(range, &tablet.desc.range);
-            if sub.is_empty() && sub.end.is_some() {
-                continue;
+        } else {
+            // Parallel probe: each worker claims tablets off a shared
+            // cursor and probes up to `limit` entries. `range_latest_at`
+            // returns a key-ordered prefix, so per-tablet results
+            // concatenated in range order and truncated to `limit`
+            // equal the sequential early-stopping walk.
+            let slots: Vec<Mutex<Option<Result<Vec<IndexEntry>>>>> =
+                tablets.iter().map(|_| Mutex::new(None)).collect();
+            let cursor = AtomicUsize::new(0);
+            let workers = threads.min(tablets.len());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        if t >= tablets.len() {
+                            return;
+                        }
+                        let tablet = &tablets[t];
+                        let sub = intersect(range, &tablet.desc.range);
+                        if sub.is_empty() && sub.end.is_some() {
+                            *slots[t].lock() = Some(Ok(Vec::new()));
+                            continue;
+                        }
+                        let probed = tablet
+                            .index(cg)
+                            .and_then(|idx| idx.range_latest_at(&sub, at, limit));
+                        *slots[t].lock() = Some(probed);
+                    });
+                }
+            });
+            for slot in slots {
+                let probed = slot
+                    .into_inner()
+                    .expect("every tablet slot is filled by a worker")?;
+                if entries.len() >= limit {
+                    break;
+                }
+                let room = limit - entries.len();
+                entries.extend(probed.into_iter().take(room));
             }
-            entries.extend(
-                tablet
-                    .index(cg)?
-                    .range_latest_at(&sub, at, limit - entries.len())?,
-            );
         }
-        self.fetch_entries(entries)
+        self.fetch_entries_threads(entries, threads)
     }
 
     /// Fetch the records behind a batch of index entries, preserving the
     /// input order in the result.
     fn fetch_entries(&self, entries: Vec<IndexEntry>) -> Result<Vec<ScanItem>> {
+        self.fetch_entries_threads(entries, self.resolved_scan_threads())
+    }
+
+    /// [`TabletServer::fetch_entries`] with an explicit worker count.
+    /// Pointers are sorted `(segment, offset)` and coalesced into runs
+    /// (gap ≤ `scan_coalesce_gap`); each run is one batched DFS read
+    /// that decodes all of its entries, and runs execute on a bounded
+    /// worker pool. Result order is the input entry order regardless of
+    /// which worker decoded which run.
+    fn fetch_entries_threads(
+        &self,
+        entries: Vec<IndexEntry>,
+        threads: usize,
+    ) -> Result<Vec<ScanItem>> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
         // Plan reads: sort pointer order per segment, coalescing runs.
         let mut order: Vec<usize> = (0..entries.len()).collect();
         order.sort_by_key(|&i| (entries[i].ptr.segment, entries[i].ptr.offset));
-        let mut out: Vec<Option<ScanItem>> = vec![None; entries.len()];
         let gap = self.config.scan_coalesce_gap;
-        let mut run: Vec<usize> = Vec::new();
-        let flush_run = |run: &mut Vec<usize>, out: &mut Vec<Option<ScanItem>>| -> Result<()> {
-            if run.is_empty() {
-                return Ok(());
-            }
-            let seg = entries[run[0]].ptr.segment;
-            let name = self.segdir.resolve(seg);
-            let start = entries[run[0]].ptr.offset;
-            let last = &entries[*run.last().expect("non-empty run")];
-            let end = last.ptr.offset + u64::from(last.ptr.len);
-            let window = self.dfs.read(&name, start, end - start)?;
-            for &i in run.iter() {
-                let e = &entries[i];
-                let entry = logbase_wal::decode_entry_in_window(&window, start, e.ptr, &name)?;
-                let (record, _, _) = entry.as_write().ok_or_else(|| {
-                    Error::Corruption(format!("scan pointer {} is not a write", e.ptr))
-                })?;
-                if let Some(v) = record.value.clone() {
-                    out[i] = Some((e.key.clone(), e.ts, v));
-                }
-            }
-            run.clear();
-            Ok(())
-        };
+        let mut runs: Vec<Vec<usize>> = Vec::new();
         for &i in &order {
             let e = &entries[i];
-            let start_new = match run.last() {
+            let start_new = match runs.last().and_then(|r| r.last()) {
                 Some(&prev) => {
                     let p = &entries[prev];
                     p.ptr.segment != e.ptr.segment
@@ -661,22 +755,84 @@ impl TabletServer {
                             .saturating_sub(p.ptr.offset + u64::from(p.ptr.len))
                             > gap
                 }
-                None => false,
+                None => true,
             };
             if start_new {
-                flush_run(&mut run, &mut out)?;
+                runs.push(Vec::new());
             }
-            run.push(i);
+            runs.last_mut().expect("just pushed").push(i);
         }
-        flush_run(&mut run, &mut out)?;
+        // One batched DFS read per run; decode every entry in the window.
+        let exec_run = |run: &[usize]| -> Result<Vec<(usize, ScanItem)>> {
+            let seg = entries[run[0]].ptr.segment;
+            let name = self.segdir.resolve(seg);
+            let start = entries[run[0]].ptr.offset;
+            let last = &entries[*run.last().expect("non-empty run")];
+            let end = last.ptr.offset + u64::from(last.ptr.len);
+            let window = self.dfs.read(&name, start, end - start)?;
+            let mut items = Vec::with_capacity(run.len());
+            for &i in run {
+                let e = &entries[i];
+                let entry = logbase_wal::decode_entry_in_window(&window, start, e.ptr, &name)?;
+                let (record, _, _) = entry.as_write().ok_or_else(|| {
+                    Error::Corruption(format!("scan pointer {} is not a write", e.ptr))
+                })?;
+                if let Some(v) = record.value.clone() {
+                    items.push((i, (e.key.clone(), e.ts, v)));
+                }
+            }
+            Ok(items)
+        };
+        let workers = threads.max(1).min(runs.len());
+        let mut out: Vec<Option<ScanItem>> = vec![None; entries.len()];
+        if workers <= 1 {
+            for run in &runs {
+                for (i, item) in exec_run(run)? {
+                    out[i] = Some(item);
+                }
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, ScanItem)>> =
+                Mutex::new(Vec::with_capacity(entries.len()));
+            std::thread::scope(|s| -> Result<()> {
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    handles.push(s.spawn(|| -> Result<()> {
+                        loop {
+                            let r = cursor.fetch_add(1, Ordering::Relaxed);
+                            if r >= runs.len() {
+                                return Ok(());
+                            }
+                            let items = exec_run(&runs[r])?;
+                            collected.lock().extend(items);
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("scan fetch worker panicked")?;
+                }
+                Ok(())
+            })?;
+            for (i, item) in collected.into_inner() {
+                out[i] = Some(item);
+            }
+        }
         Metrics::add(&self.metrics().records_read, entries.len() as u64);
         Ok(out.into_iter().flatten().collect())
     }
 
     /// Full table scan (§3.6.4): walk every segment, counting records
     /// whose stored version matches the current version in the index.
-    /// Segments are scanned in parallel.
+    /// Segments are scanned by a bounded worker pool
+    /// (`ServerConfig::scan_threads`).
     pub fn full_scan(&self, table: &str, cg: u16) -> Result<u64> {
+        self.full_scan_threads(table, cg, self.resolved_scan_threads())
+    }
+
+    /// [`TabletServer::full_scan`] with an explicit worker count.
+    #[doc(hidden)]
+    pub fn full_scan_threads(&self, table: &str, cg: u16, threads: usize) -> Result<u64> {
         let table_state = self.table(table)?;
         let log_prefix = format!("{}/log", self.config.name);
         let mut files: Vec<String> = self
@@ -686,65 +842,73 @@ impl TabletServer {
             .collect();
         files.extend(self.segdir.snapshot().into_iter().map(|(_, name)| name));
 
+        let scan_file = |file: &str| -> Result<u64> {
+            let mut matched = 0u64;
+            let mut reader = self.dfs.open_reader(file)?;
+            loop {
+                if reader.remaining() < logbase_common::codec::FRAME_HEADER_LEN as u64 {
+                    break;
+                }
+                let header = reader.read_exact(logbase_common::codec::FRAME_HEADER_LEN as u64)?;
+                let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+                if reader.remaining() < len {
+                    break;
+                }
+                let payload = reader.read_exact(len)?;
+                let Ok(entry) = logbase_wal::LogEntry::decode(payload) else {
+                    continue;
+                };
+                if entry.table != table {
+                    continue;
+                }
+                let Some((record, _, _)) = entry.as_write() else {
+                    continue;
+                };
+                if record.meta.column_group != cg || record.is_tombstone() {
+                    continue;
+                }
+                // Version-currency check against the index.
+                let Ok(tablet) = table_state.route(&record.meta.key) else {
+                    continue;
+                };
+                let Ok(index) = tablet.index(cg) else {
+                    continue;
+                };
+                if index.latest(&record.meta.key)?.map(|vp| vp.ts) == Some(record.meta.timestamp) {
+                    matched += 1;
+                }
+            }
+            Ok(matched)
+        };
+
+        let workers = threads.max(1).min(files.len().max(1));
         let counter = AtomicU64::new(0);
-        let table_name = table.to_string();
-        std::thread::scope(|s| -> Result<()> {
-            let mut handles = Vec::new();
+        if workers <= 1 {
             for file in &files {
-                let table_state = Arc::clone(&table_state);
-                let counter = &counter;
-                let dfs = self.dfs.clone();
-                let table_name = &table_name;
-                handles.push(s.spawn(move || -> Result<()> {
-                    let mut reader = dfs.open_reader(file)?;
-                    let mut pos = 0u64;
-                    loop {
-                        if reader.remaining() < logbase_common::codec::FRAME_HEADER_LEN as u64 {
-                            break;
-                        }
-                        let header =
-                            reader.read_exact(logbase_common::codec::FRAME_HEADER_LEN as u64)?;
-                        let len =
-                            u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
-                        if reader.remaining() < len {
-                            break;
-                        }
-                        let payload = reader.read_exact(len)?;
-                        pos += logbase_common::codec::FRAME_HEADER_LEN as u64 + len;
-                        let _ = pos;
-                        let Ok(entry) = logbase_wal::LogEntry::decode(payload) else {
-                            continue;
-                        };
-                        if entry.table != *table_name {
-                            continue;
-                        }
-                        let Some((record, _, _)) = entry.as_write() else {
-                            continue;
-                        };
-                        if record.meta.column_group != cg || record.is_tombstone() {
-                            continue;
-                        }
-                        // Version-currency check against the index.
-                        let Ok(tablet) = table_state.route(&record.meta.key) else {
-                            continue;
-                        };
-                        let Ok(index) = tablet.index(cg) else {
-                            continue;
-                        };
-                        if index.latest(&record.meta.key)?.map(|vp| vp.ts)
-                            == Some(record.meta.timestamp)
-                        {
-                            counter.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    Ok(())
-                }));
+                counter.fetch_add(scan_file(file)?, Ordering::Relaxed);
             }
-            for h in handles {
-                h.join().expect("scan thread panicked")?;
-            }
-            Ok(())
-        })?;
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|s| -> Result<()> {
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    handles.push(s.spawn(|| -> Result<()> {
+                        loop {
+                            let f = cursor.fetch_add(1, Ordering::Relaxed);
+                            if f >= files.len() {
+                                return Ok(());
+                            }
+                            let matched = scan_file(&files[f])?;
+                            counter.fetch_add(matched, Ordering::Relaxed);
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("scan thread panicked")?;
+                }
+                Ok(())
+            })?;
+        }
         Ok(counter.load(Ordering::Relaxed))
     }
 

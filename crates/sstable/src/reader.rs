@@ -21,10 +21,21 @@ pub struct BlockCache {
 }
 
 impl BlockCache {
-    /// Cache with the given byte budget.
+    /// Cache with the given byte budget and the default shard count.
     pub fn new(capacity_bytes: u64) -> Self {
         BlockCache {
             cache: Cache::lru(capacity_bytes),
+        }
+    }
+
+    /// Cache with an explicit shard count (hash-partitioned; see
+    /// `logbase_common::cache`). `0` means the default shard count.
+    pub fn with_shards(capacity_bytes: u64, shards: usize) -> Self {
+        if shards == 0 {
+            return Self::new(capacity_bytes);
+        }
+        BlockCache {
+            cache: Cache::lru_sharded(capacity_bytes, shards),
         }
     }
 
