@@ -1,0 +1,110 @@
+//! **logbase-checker** — an Elle-style snapshot-isolation checker for
+//! LogBase's MVOCC transaction layer (§3.7, Guarantee 2).
+//!
+//! Three pieces:
+//!
+//! - [`si`] — the history checker: rebuilds per-cell version orders
+//!   from commit timestamps, derives ww/wr/rw dependency edges, and
+//!   reports Adya anomalies (G0, G1a/b/c, G-SI) plus direct
+//!   first-committer-wins and snapshot-visibility violations.
+//! - [`workload`] — seeded concurrent workload generator (register
+//!   RMW + bank transfers + read probes + blind writes over Zipf keys)
+//!   that drives client threads through a routing function, so the same
+//!   workload runs against one server or a failing-over cluster.
+//! - torture tests (`tests/si_torture.rs`) wiring both to the fault
+//!   injector, crash points, and cluster failover.
+//!
+//! Quick use:
+//!
+//! ```
+//! use logbase::{HistoryRecorder, ServerConfig, TabletServer};
+//! use logbase_common::schema::TableSchema;
+//! use logbase_dfs::{Dfs, DfsConfig};
+//! use std::sync::Arc;
+//!
+//! let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+//! let server = TabletServer::create(dfs, ServerConfig::new("srv-0")).unwrap();
+//! server.create_table(TableSchema::single_group("chk", &["v"])).unwrap();
+//!
+//! let cfg = logbase_checker::workload::WorkloadConfig::new(1);
+//! let s = Arc::clone(&server);
+//! let route = move |_key: &[u8]| Some(Arc::clone(&s));
+//! logbase_checker::workload::seed_accounts(&route, &cfg).unwrap();
+//!
+//! let recorder = Arc::new(HistoryRecorder::new());
+//! server.set_history_recorder(Some(Arc::clone(&recorder)));
+//! let outcome = logbase_checker::workload::run(&route, &cfg);
+//! server.set_history_recorder(None);
+//!
+//! let report = logbase_checker::check_recorded(&recorder);
+//! assert!(report.is_clean());
+//! assert!(outcome.committed > 0);
+//! ```
+
+pub mod si;
+pub mod workload;
+
+pub use si::{check, check_with_baseline, CheckReport, CheckStats, Violation, ViolationKind};
+
+use logbase::history::{Event, HistoryRecorder};
+use std::path::PathBuf;
+
+/// Check everything a recorder captured, honoring its initial-state
+/// baseline (writes that predate recording are not anomalies).
+pub fn check_recorded(recorder: &HistoryRecorder) -> CheckReport {
+    si::check_with_baseline(&recorder.events(), recorder.baseline().0)
+}
+
+/// Directory CI collects failure artifacts from (the workspace `target`
+/// directory).
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
+}
+
+/// Serialize a failing history + report to
+/// `target/checker-failure-<label>-seed<seed>.json` so CI can upload it.
+/// Returns the path written (best-effort: IO errors are reported on
+/// stderr, not fatal — the test failure itself carries the message).
+pub fn write_failure_artifact(
+    label: &str,
+    seed: u64,
+    events: &[Event],
+    report: &CheckReport,
+) -> PathBuf {
+    let path = artifact_dir().join(format!("checker-failure-{label}-seed{seed}.json"));
+    let body = format!(
+        "{{\n\"label\": \"{label}\",\n\"seed\": {seed},\n\"report\": {},\n\"history\": {}\n}}\n",
+        serde_json::to_string_pretty(report)
+            .unwrap_or_else(|e| format!("\"unserializable: {e:?}\"")),
+        serde_json::to_string_pretty(&events.to_vec())
+            .unwrap_or_else(|e| format!("\"unserializable: {e:?}\"")),
+    );
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("failed to write checker artifact {}: {e}", path.display());
+    }
+    path
+}
+
+/// Assert a report is clean; on violation, write the artifact and panic
+/// with the violation list and seed (the standard torture-test epilogue).
+pub fn assert_clean(label: &str, seed: u64, events: &[Event], report: &CheckReport) {
+    if report.is_clean() {
+        return;
+    }
+    let path = write_failure_artifact(label, seed, events, report);
+    panic!(
+        "SI violations in {label} run (seed {seed}): {} violation(s); history at {}\n{:#?}",
+        report.violations.len(),
+        path.display(),
+        report.violations
+    );
+}
+
+/// The seed for checker torture runs: `LOGBASE_CHECKER_SEED` env var,
+/// default 1 (CI matrixes over several).
+pub fn seed_from_env() -> u64 {
+    std::env::var("LOGBASE_CHECKER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,385 @@
+//! Seeded concurrent transaction workloads for the SI checker.
+//!
+//! N client threads run mixed transaction shapes — register
+//! read-modify-write, bank transfers, read-only probes (the long-fork
+//! witness), and blind writes — over Zipf-distributed keys against one
+//! or more [`TabletServer`]s, while an installed
+//! [`logbase::history::HistoryRecorder`] captures the history the
+//! checker consumes.
+//!
+//! Keys split into two disjoint spaces: *registers* (`[0, keys)`) hold
+//! decimal counters incremented by RMW transactions; *accounts*
+//! (`[keys, 2·keys)`) hold balances moved by transfer transactions, so
+//! the total balance is a standing invariant
+//! ([`verify_bank_invariant`]).
+//!
+//! The generator issues **no deletes**: `remove_key` truncates a cell's
+//! whole version history (§3.6.3), which legitimately breaks old
+//! snapshots — targeted unit tests cover delete semantics instead.
+
+use logbase::{TabletServer, TxnManager};
+use logbase_common::{Error, Result, RowKey, Value};
+use logbase_workload::encode_key;
+use logbase_workload::zipf::Zipfian;
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// Routes a key to the server currently responsible for it (`None` =
+/// nobody right now — retry later). Single-server setups return the one
+/// server unconditionally; cluster setups consult the live route table
+/// on every call so the workload follows failover.
+pub type RouteFn = dyn Fn(&[u8]) -> Option<Arc<TabletServer>> + Send + Sync;
+
+/// Workload shape and size.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Master seed; thread `i` derives `seed + i`.
+    pub seed: u64,
+    /// Client threads.
+    pub threads: usize,
+    /// Transactions attempted per thread.
+    pub txns_per_thread: usize,
+    /// Keys per space (registers and accounts each get this many).
+    pub keys: u64,
+    /// Zipf skew (0 = uniform).
+    pub theta: f64,
+    /// Target table (single column group 0).
+    pub table: String,
+    /// Initial balance per account.
+    pub initial_balance: i64,
+    /// Retries per transaction on conflicts/transient errors.
+    pub retries: usize,
+    /// Multiplier applied to key ids before encoding. Cluster routers
+    /// split a large uniform key domain into contiguous per-member
+    /// ranges, so a stride of `key_domain / (2·keys + 1)` spreads the
+    /// working set across every member instead of packing it into the
+    /// first range. Single-server runs keep the default of 1.
+    pub stride: u64,
+}
+
+impl WorkloadConfig {
+    /// A moderate default mix for `seed`.
+    pub fn new(seed: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            threads: 8,
+            txns_per_thread: 60,
+            keys: 16,
+            theta: 0.7,
+            table: "chk".to_string(),
+            initial_balance: 1000,
+            retries: 12,
+            stride: 1,
+        }
+    }
+
+    /// Spread the key spaces across a cluster's key domain.
+    pub fn with_key_domain(mut self, key_domain: u64) -> Self {
+        self.stride = (key_domain / (2 * self.keys + 1)).max(1);
+        self
+    }
+}
+
+/// Outcome counters of one workload run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadOutcome {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions abandoned after exhausting retries on conflicts.
+    pub conflicted: u64,
+    /// Transactions abandoned on non-retriable or persistent errors.
+    pub errored: u64,
+}
+
+/// Register key `i` (RMW counter space).
+pub fn register_key(cfg: &WorkloadConfig, i: u64) -> Vec<u8> {
+    encode_key((i % cfg.keys) * cfg.stride).to_vec()
+}
+
+/// Account key `i` (bank-transfer space, disjoint from registers).
+pub fn account_key(cfg: &WorkloadConfig, i: u64) -> Vec<u8> {
+    encode_key((cfg.keys + (i % cfg.keys)) * cfg.stride).to_vec()
+}
+
+fn parse_i64(v: Option<&[u8]>) -> i64 {
+    v.and_then(|b| std::str::from_utf8(b).ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Seed every account with the initial balance (plain puts; runs before
+/// the recorder is installed so setup writes don't clutter the history).
+pub fn seed_accounts(route: &RouteFn, cfg: &WorkloadConfig) -> Result<()> {
+    let balance = cfg.initial_balance.to_string();
+    for i in 0..cfg.keys {
+        let key = account_key(cfg, i);
+        let server = route(&key).ok_or_else(|| Error::Unavailable("no route".into()))?;
+        server.put(
+            &cfg.table,
+            0,
+            RowKey::copy_from_slice(&key),
+            Value::copy_from_slice(balance.as_bytes()),
+        )?;
+    }
+    Ok(())
+}
+
+/// The transaction shapes the generator mixes.
+enum Shape {
+    /// Read register k, write k+1 back.
+    RegisterRmw { key: Vec<u8> },
+    /// Move `amount` from account a to account b.
+    Transfer {
+        from: Vec<u8>,
+        to: Vec<u8>,
+        amount: i64,
+    },
+    /// Read-only probe over several cells (witnesses long forks and
+    /// read skew).
+    ReadProbe { keys: Vec<Vec<u8>> },
+    /// Blind write of a fresh value.
+    BlindWrite { key: Vec<u8>, value: String },
+}
+
+/// Both keys currently routed to the same server? Transactions run on
+/// one server, so multi-key shapes must pick co-located cells (a server
+/// refuses cells outside its tablets with `TabletNotServed`).
+fn colocated(route: &RouteFn, a: &[u8], b: &[u8]) -> bool {
+    match (route(a), route(b)) {
+        (Some(x), Some(y)) => Arc::ptr_eq(&x, &y),
+        _ => false,
+    }
+}
+
+fn pick_shape(cfg: &WorkloadConfig, zipf: &Zipfian, rng: &mut StdRng, route: &RouteFn) -> Shape {
+    match rng.gen_range(0..100u32) {
+        0..=39 => Shape::RegisterRmw {
+            key: register_key(cfg, zipf.sample(rng)),
+        },
+        40..=64 => {
+            let a = zipf.sample(rng);
+            let from = account_key(cfg, a);
+            // Scan for a co-located counterparty (routing may have
+            // moved mid-scan; a stale pick just retries as
+            // TabletNotServed).
+            let to = (1..cfg.keys)
+                .map(|off| account_key(cfg, (a + off) % cfg.keys))
+                .find(|b| colocated(route, &from, b));
+            match to {
+                Some(to) => Shape::Transfer {
+                    from,
+                    to,
+                    amount: rng.gen_range(1..10i64),
+                },
+                // Nobody co-located right now: fall back to a
+                // register RMW (never mutate a lone account — that
+                // would break the bank invariant).
+                None => Shape::RegisterRmw {
+                    key: register_key(cfg, a),
+                },
+            }
+        }
+        65..=84 => {
+            let first = if rng.gen_range(0..2u32) == 0 {
+                register_key(cfg, zipf.sample(rng))
+            } else {
+                account_key(cfg, zipf.sample(rng))
+            };
+            let extra = rng.gen_range(1..3usize);
+            let mut keys = vec![first];
+            for _ in 0..extra {
+                let k = if rng.gen_range(0..2u32) == 0 {
+                    register_key(cfg, zipf.sample(rng))
+                } else {
+                    account_key(cfg, zipf.sample(rng))
+                };
+                if colocated(route, &keys[0], &k) {
+                    keys.push(k);
+                }
+            }
+            Shape::ReadProbe { keys }
+        }
+        _ => Shape::BlindWrite {
+            key: register_key(cfg, zipf.sample(rng)),
+            value: rng.gen_range(0..1_000_000u64).to_string(),
+        },
+    }
+}
+
+/// Routing key a shape's transaction must be co-located with.
+fn anchor(shape: &Shape) -> &[u8] {
+    match shape {
+        Shape::RegisterRmw { key } => key,
+        Shape::Transfer { from, .. } => from,
+        Shape::ReadProbe { keys } => &keys[0],
+        Shape::BlindWrite { key, .. } => key,
+    }
+}
+
+/// Execute one shape inside `txn` on `server`.
+fn apply_shape(
+    server: &TabletServer,
+    txn: &mut logbase::Transaction,
+    table: &str,
+    shape: &Shape,
+) -> Result<()> {
+    match shape {
+        Shape::RegisterRmw { key } => {
+            let v = TxnManager::read(server, txn, table, 0, key)?;
+            let next = (parse_i64(v.as_deref()) + 1).to_string();
+            TxnManager::write(
+                txn,
+                table,
+                0,
+                RowKey::copy_from_slice(key),
+                Value::copy_from_slice(next.as_bytes()),
+            );
+        }
+        Shape::Transfer { from, to, amount } => {
+            let fv = TxnManager::read(server, txn, table, 0, from)?;
+            let tv = TxnManager::read(server, txn, table, 0, to)?;
+            let fb = (parse_i64(fv.as_deref()) - amount).to_string();
+            let tb = (parse_i64(tv.as_deref()) + amount).to_string();
+            TxnManager::write(
+                txn,
+                table,
+                0,
+                RowKey::copy_from_slice(from),
+                Value::copy_from_slice(fb.as_bytes()),
+            );
+            TxnManager::write(
+                txn,
+                table,
+                0,
+                RowKey::copy_from_slice(to),
+                Value::copy_from_slice(tb.as_bytes()),
+            );
+        }
+        Shape::ReadProbe { keys } => {
+            for key in keys {
+                TxnManager::read(server, txn, table, 0, key)?;
+            }
+        }
+        Shape::BlindWrite { key, value } => {
+            TxnManager::write(
+                txn,
+                table,
+                0,
+                RowKey::copy_from_slice(key),
+                Value::copy_from_slice(value.as_bytes()),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Run the workload: `cfg.threads` clients, each attempting
+/// `cfg.txns_per_thread` transactions, routing every attempt through
+/// `route` (so the workload follows tablet reassignment mid-run).
+/// Transient errors and conflicts retry up to `cfg.retries` times with
+/// a small backoff; exhausted transactions are counted, not fatal.
+pub fn run(route: &RouteFn, cfg: &WorkloadConfig) -> WorkloadOutcome {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|thread| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(thread as u64));
+                    let zipf = Zipfian::new(cfg.keys, cfg.theta);
+                    let mut outcome = WorkloadOutcome::default();
+                    for _ in 0..cfg.txns_per_thread {
+                        let shape = pick_shape(cfg, &zipf, &mut rng, route);
+                        run_one(route, cfg, &shape, &mut outcome);
+                    }
+                    outcome
+                })
+            })
+            .collect();
+        let mut total = WorkloadOutcome::default();
+        for h in handles {
+            let o = h.join().expect("workload thread panicked");
+            total.committed += o.committed;
+            total.conflicted += o.conflicted;
+            total.errored += o.errored;
+        }
+        total
+    })
+}
+
+fn run_one(route: &RouteFn, cfg: &WorkloadConfig, shape: &Shape, outcome: &mut WorkloadOutcome) {
+    let mut conflicts = 0usize;
+    for attempt in 0..=cfg.retries {
+        let Some(server) = route(anchor(shape)) else {
+            // Nobody serves the key right now (failover in progress).
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            continue;
+        };
+        let mut txn = TxnManager::begin(&server);
+        match apply_shape(&server, &mut txn, &cfg.table, shape) {
+            Ok(()) => {}
+            Err(e) => {
+                TxnManager::abort(&server, txn);
+                if retriable(&e) && attempt < cfg.retries {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    continue;
+                }
+                outcome.errored += 1;
+                return;
+            }
+        }
+        match TxnManager::commit(&server, txn) {
+            Ok(_) => {
+                outcome.committed += 1;
+                return;
+            }
+            Err(Error::TxnConflict { .. }) => {
+                conflicts += 1;
+                if attempt >= cfg.retries {
+                    break;
+                }
+            }
+            Err(e) => {
+                if retriable(&e) && attempt < cfg.retries {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    continue;
+                }
+                outcome.errored += 1;
+                return;
+            }
+        }
+    }
+    if conflicts > 0 {
+        outcome.conflicted += 1;
+    } else {
+        outcome.errored += 1;
+    }
+}
+
+/// Errors worth re-running the whole transaction for. `is_retriable`
+/// covers the transient infrastructure set; fencing and stale routes
+/// additionally resolve by re-routing to the new owner.
+fn retriable(e: &Error) -> bool {
+    e.is_retriable()
+        || matches!(
+            e,
+            Error::Fenced { .. } | Error::TabletNotServed(_) | Error::TabletMoved(_) | Error::Io(_)
+        )
+}
+
+/// Sum all account balances at the latest snapshot and compare with the
+/// seeded total. Must hold after any run whose transfers kept SI.
+pub fn verify_bank_invariant(route: &RouteFn, cfg: &WorkloadConfig) -> Result<()> {
+    let mut total = 0i64;
+    for i in 0..cfg.keys {
+        let key = account_key(cfg, i);
+        let server = route(&key).ok_or_else(|| Error::Unavailable("no route".into()))?;
+        let v = server.get(&cfg.table, 0, &key)?;
+        total += parse_i64(v.as_deref());
+    }
+    let expected = cfg.initial_balance * cfg.keys as i64;
+    if total != expected {
+        return Err(Error::Corruption(format!(
+            "bank invariant broken: balances sum to {total}, expected {expected}"
+        )));
+    }
+    Ok(())
+}

@@ -21,6 +21,6 @@ mod oracle;
 mod registry;
 
 pub use lease::{Epoch, ExpiryWatcher, FencingToken, SessionExpiry, Tick};
-pub use lock::{LockGuard, LockService};
-pub use oracle::TimestampOracle;
+pub use lock::{LockGuard, LockService, OwnerId};
+pub use oracle::{CommitReservation, TimestampOracle};
 pub use registry::{MemberId, MemberState, Registry};

@@ -11,6 +11,7 @@
 use logbase_common::RowKey;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,12 +28,23 @@ struct LockTable {
 #[derive(Clone, Default)]
 pub struct LockService {
     table: Arc<(Mutex<LockTable>, Condvar)>,
+    /// Cluster-wide transaction-id allocator. Lock ownership is keyed by
+    /// transaction id, and re-entrancy treats equal ids as the same
+    /// owner — so ids must be unique across every server sharing this
+    /// service, not merely within one server.
+    txn_ids: Arc<AtomicU64>,
 }
 
 impl LockService {
     /// New empty lock table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Allocate a transaction id unique across all servers sharing this
+    /// lock service.
+    pub fn next_txn_id(&self) -> OwnerId {
+        self.txn_ids.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Try to acquire one lock without blocking. Re-entrant for the same
@@ -236,6 +248,24 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(ls.held_count(), 0);
+    }
+
+    #[test]
+    fn txn_ids_unique_across_clones() {
+        let ls = LockService::new();
+        let ls2 = ls.clone();
+        let mut ids: Vec<u64> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ls.next_txn_id()
+                } else {
+                    ls2.next_txn_id()
+                }
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
     }
 
     #[test]

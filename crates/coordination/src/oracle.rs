@@ -1,18 +1,35 @@
 //! Global timestamp authority.
 
 use logbase_common::Timestamp;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Monotonic timestamp oracle shared by every server in a cluster.
 ///
 /// `next()` issues commit timestamps (strictly increasing, globally
-/// unique); `current()` reads the latest issued timestamp, which
-/// read-only transactions use as their snapshot (§3.7.1: "read-only
-/// transactions access a recent consistent snapshot").
+/// unique); `current()` reads the latest issued timestamp.
+///
+/// # Snapshots vs. in-flight commits
+///
+/// A commit is not atomic: its timestamp is issued first, then its log
+/// records are appended and its index entries installed. A transaction
+/// that picked `current()` as its snapshot in that window could observe
+/// *part* of the committing transaction's writes (the cells already
+/// indexed) and miss the rest — read skew inside a single snapshot.
+/// [`TimestampOracle::reserve`] therefore hands out commit timestamps as
+/// RAII reservations, and [`TimestampOracle::snapshot`] — what
+/// transaction `begin` uses — returns the largest timestamp *below every
+/// in-flight reservation*: a snapshot never includes a commit that has
+/// not finished installing its effects (§3.7.1: read-only transactions
+/// "access a recent consistent snapshot").
 #[derive(Debug, Clone, Default)]
 pub struct TimestampOracle {
     counter: Arc<AtomicU64>,
+    /// Issued-but-not-yet-applied commit timestamps. `snapshot()` stays
+    /// strictly below all of them.
+    inflight: Arc<Mutex<BTreeSet<u64>>>,
 }
 
 impl TimestampOracle {
@@ -26,23 +43,87 @@ impl TimestampOracle {
     pub fn starting_at(ts: Timestamp) -> Self {
         TimestampOracle {
             counter: Arc::new(AtomicU64::new(ts.0)),
+            inflight: Arc::new(Mutex::new(BTreeSet::new())),
         }
     }
 
     /// Issue the next commit timestamp.
     pub fn next(&self) -> Timestamp {
-        Timestamp(self.counter.fetch_add(1, Ordering::SeqCst) + 1)
+        let ts = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        // Monotonicity assertion: the counter must never wrap — a wrapped
+        // timestamp would be issued out of order.
+        assert!(ts != 0, "timestamp oracle overflow: non-monotone issue");
+        Timestamp(ts)
     }
 
-    /// Latest issued timestamp (a consistent snapshot bound).
+    /// Issue the next commit timestamp as a *reservation*: until the
+    /// returned guard is dropped, [`TimestampOracle::snapshot`] stays
+    /// strictly below it. Write paths hold the reservation across their
+    /// [log append → index install] window so no snapshot can see a
+    /// half-applied commit.
+    pub fn reserve(&self) -> CommitReservation {
+        let mut inflight = self.inflight.lock();
+        let ts = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        assert!(ts != 0, "timestamp oracle overflow: non-monotone issue");
+        // Reservations are issued under the in-flight lock, so issue
+        // order is observable here: each must exceed all earlier ones.
+        debug_assert!(
+            inflight.last().is_none_or(|&m| m < ts),
+            "oracle issued non-monotone reservation {ts}"
+        );
+        inflight.insert(ts);
+        drop(inflight);
+        CommitReservation {
+            oracle: self.clone(),
+            ts: Timestamp(ts),
+        }
+    }
+
+    /// Latest issued timestamp (diagnostics, checkpoint high-water mark).
     pub fn current(&self) -> Timestamp {
         Timestamp(self.counter.load(Ordering::SeqCst))
+    }
+
+    /// A consistent snapshot bound: the latest timestamp every commit at
+    /// or below which has fully installed its effects. Equals
+    /// [`TimestampOracle::current`] when no reservation is in flight.
+    pub fn snapshot(&self) -> Timestamp {
+        let inflight = self.inflight.lock();
+        let current = self.counter.load(Ordering::SeqCst);
+        let snap = match inflight.iter().next() {
+            Some(&min) => min - 1,
+            None => current,
+        };
+        debug_assert!(snap <= current, "snapshot above latest issued ts");
+        Timestamp(snap)
     }
 
     /// Advance the counter to at least `ts` (used when replaying a log
     /// whose records carry timestamps issued before a crash).
     pub fn advance_to(&self, ts: Timestamp) {
         self.counter.fetch_max(ts.0, Ordering::SeqCst);
+    }
+}
+
+/// RAII commit-timestamp reservation from [`TimestampOracle::reserve`].
+/// Dropping it marks the commit as fully applied, allowing snapshots at
+/// or above the timestamp.
+#[derive(Debug)]
+pub struct CommitReservation {
+    oracle: TimestampOracle,
+    ts: Timestamp,
+}
+
+impl CommitReservation {
+    /// The reserved commit timestamp.
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+}
+
+impl Drop for CommitReservation {
+    fn drop(&mut self) {
+        self.oracle.inflight.lock().remove(&self.ts.0);
     }
 }
 
@@ -103,5 +184,71 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8000);
+    }
+
+    #[test]
+    fn snapshot_excludes_inflight_reservations() {
+        let o = TimestampOracle::new();
+        o.next(); // ts 1, fully applied by definition
+        assert_eq!(o.snapshot(), Timestamp(1));
+        let r2 = o.reserve(); // ts 2, applying
+        let r3 = o.reserve(); // ts 3, applying
+        assert_eq!(r2.timestamp(), Timestamp(2));
+        assert_eq!(r3.timestamp(), Timestamp(3));
+        assert_eq!(o.current(), Timestamp(3));
+        // Snapshots stay below the oldest in-flight commit.
+        assert_eq!(o.snapshot(), Timestamp(1));
+        drop(r3);
+        assert_eq!(o.snapshot(), Timestamp(1), "ts 2 still applying");
+        drop(r2);
+        assert_eq!(
+            o.snapshot(),
+            Timestamp(3),
+            "all applied: snapshot catches up"
+        );
+    }
+
+    #[test]
+    fn reservations_interleave_with_plain_issues() {
+        let o = TimestampOracle::new();
+        let r = o.reserve(); // ts 1
+        let plain = o.next(); // ts 2
+        assert_eq!(plain, Timestamp(2));
+        assert_eq!(o.snapshot(), Timestamp(0), "reservation 1 pins snapshot");
+        drop(r);
+        assert_eq!(o.snapshot(), Timestamp(2));
+    }
+
+    #[test]
+    fn concurrent_reserve_snapshot_invariant() {
+        // Property: a snapshot never equals or exceeds a reservation
+        // that is still in flight at the moment of the call.
+        let o = TimestampOracle::new();
+        std::thread::scope(|s| {
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            for _ in 0..4 {
+                let o = o.clone();
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let r = o.reserve();
+                        let snap = o.snapshot();
+                        assert!(
+                            snap < r.timestamp(),
+                            "snapshot {snap} saw in-flight reservation {}",
+                            r.timestamp()
+                        );
+                        drop(r);
+                    }
+                });
+            }
+            let o2 = o.clone();
+            s.spawn(move || {
+                for _ in 0..20_000 {
+                    let _ = o2.snapshot();
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
     }
 }

@@ -1,0 +1,325 @@
+//! Transaction history recording for isolation checking.
+//!
+//! A [`HistoryRecorder`] attached to a [`crate::TabletServer`] logs one
+//! [`Event`] per transaction lifecycle step — begin, read, commit,
+//! abort — into a thread-safe append-only buffer. The recorded history
+//! is the input to the Elle-style snapshot-isolation checker in
+//! `crates/checker`, which rebuilds per-cell version orders from commit
+//! timestamps and searches the dependency graph for Adya anomalies.
+//!
+//! Recording is off unless a recorder is installed; the hot-path cost of
+//! the disabled state is a single relaxed atomic load per hook site.
+
+use logbase_common::Timestamp;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What kind of lifecycle step an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Transaction began; `snapshot` is set.
+    Begin,
+    /// Transaction read a cell from the store (not its own write buffer);
+    /// `observed` is the version timestamp it saw (`None` = no visible
+    /// version), `value_crc` the CRC32 of the value it saw.
+    Read,
+    /// Transaction committed; `commit_ts` and `writes` are set.
+    Commit,
+    /// Transaction aborted; `writes` records its *intended* write set
+    /// and `abort_determinate` whether the abort is guaranteed (see
+    /// [`Event::abort_determinate`]).
+    Abort,
+}
+
+/// One write in a committed (or intended, for aborts) write set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteRec {
+    /// Table name.
+    pub table: String,
+    /// Column-group index.
+    pub cg: u16,
+    /// Row key, hex-encoded (histories must serialize to JSON).
+    pub key_hex: String,
+    /// CRC32 of the written value; `None` for a delete.
+    pub value_crc: Option<u32>,
+}
+
+/// A single recorded history event. Flat by design: the vendored serde
+/// derive handles named-field structs and unit-variant enums only, so
+/// per-kind payloads live in optional fields rather than enum variants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Lifecycle step.
+    pub kind: EventKind,
+    /// Transaction id (globally unique via the shared lock service).
+    pub txn: u64,
+    /// Snapshot timestamp the transaction reads at.
+    pub snapshot: u64,
+    /// Read target table (`Read` events; empty otherwise).
+    pub table: String,
+    /// Read target column group.
+    pub cg: u16,
+    /// Read target row key, hex-encoded.
+    pub key_hex: String,
+    /// Version timestamp observed by a `Read` (`None` = cell invisible).
+    pub observed: Option<u64>,
+    /// CRC32 of the value observed by a `Read`.
+    pub value_crc: Option<u32>,
+    /// Commit timestamp (`Commit` events; 0 otherwise).
+    pub commit_ts: u64,
+    /// Write set (`Commit`/`Abort` events).
+    pub writes: Vec<WriteRec>,
+    /// For `Abort` events: `true` when the abort happened before any log
+    /// append (validation conflict, lock timeout, explicit abort) and the
+    /// writes are guaranteed invisible forever. `false` (indeterminate)
+    /// when the commit record may have reached the log before the error —
+    /// after a crash such a transaction can legitimately resurrect as
+    /// committed during replay, and the checker must tolerate either
+    /// outcome.
+    pub abort_determinate: bool,
+}
+
+impl Event {
+    /// A `Begin` event.
+    pub fn begin(txn: u64, snapshot: Timestamp) -> Self {
+        Event {
+            kind: EventKind::Begin,
+            txn,
+            snapshot: snapshot.0,
+            table: String::new(),
+            cg: 0,
+            key_hex: String::new(),
+            observed: None,
+            value_crc: None,
+            commit_ts: 0,
+            writes: Vec::new(),
+            abort_determinate: false,
+        }
+    }
+
+    /// A `Read` event for one cell.
+    pub fn read(
+        txn: u64,
+        snapshot: Timestamp,
+        table: &str,
+        cg: u16,
+        key: &[u8],
+        observed: Option<Timestamp>,
+        value: Option<&[u8]>,
+    ) -> Self {
+        Event {
+            kind: EventKind::Read,
+            txn,
+            snapshot: snapshot.0,
+            table: table.to_string(),
+            cg,
+            key_hex: to_hex(key),
+            observed: observed.map(|t| t.0),
+            value_crc: value.map(crc32fast::hash),
+            commit_ts: 0,
+            writes: Vec::new(),
+            abort_determinate: false,
+        }
+    }
+
+    /// A `Commit` event carrying the full write set.
+    pub fn commit(
+        txn: u64,
+        snapshot: Timestamp,
+        commit_ts: Timestamp,
+        writes: Vec<WriteRec>,
+    ) -> Self {
+        Event {
+            kind: EventKind::Commit,
+            txn,
+            snapshot: snapshot.0,
+            table: String::new(),
+            cg: 0,
+            key_hex: String::new(),
+            observed: None,
+            value_crc: None,
+            commit_ts: commit_ts.0,
+            writes,
+            abort_determinate: false,
+        }
+    }
+
+    /// An `Abort` event carrying the intended write set.
+    pub fn abort(txn: u64, snapshot: Timestamp, writes: Vec<WriteRec>, determinate: bool) -> Self {
+        Event {
+            kind: EventKind::Abort,
+            txn,
+            snapshot: snapshot.0,
+            table: String::new(),
+            cg: 0,
+            key_hex: String::new(),
+            observed: None,
+            value_crc: None,
+            commit_ts: 0,
+            writes,
+            abort_determinate: determinate,
+        }
+    }
+}
+
+impl WriteRec {
+    /// Build a write record; `value = None` records a delete.
+    pub fn new(table: &str, cg: u16, key: &[u8], value: Option<&[u8]>) -> Self {
+        WriteRec {
+            table: table.to_string(),
+            cg,
+            key_hex: to_hex(key),
+            value_crc: value.map(crc32fast::hash),
+        }
+    }
+}
+
+/// Thread-safe append-only event buffer.
+///
+/// Install on a server with `TabletServer::set_history_recorder`; the
+/// same recorder may be shared by several servers (a cluster) — events
+/// interleave in real time, and the checker orders them by timestamps,
+/// not arrival order.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    events: Mutex<Vec<Event>>,
+    /// Timestamp high-water mark at the moment recording started: any
+    /// version at or below it predates the history and is treated as
+    /// initial state by the checker (setup writes, prior epochs).
+    baseline: std::sync::atomic::AtomicU64,
+}
+
+impl HistoryRecorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note the oracle position at recording start. Called by
+    /// `TabletServer::set_history_recorder` on install; only raises the
+    /// baseline while the history is still empty, so re-installing the
+    /// same recorder after a crash/recovery does not swallow the
+    /// already-recorded era.
+    pub fn note_baseline(&self, ts: Timestamp) {
+        let events = self.events.lock();
+        if events.is_empty() {
+            self.baseline
+                .fetch_max(ts.0, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    /// The initial-state watermark (see [`HistoryRecorder::note_baseline`]).
+    pub fn baseline(&self) -> Timestamp {
+        Timestamp(self.baseline.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    /// Append one event.
+    pub fn record(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Serialize the whole history to JSON (CI failure artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events()).expect("history events always serialize")
+    }
+}
+
+/// Lowercase hex encoding of a byte string.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Inverse of [`to_hex`]; `None` on malformed input.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let b = s.as_bytes();
+    for pair in b.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        for bytes in [&b""[..], &b"\x00\xff\x10"[..], &b"abc"[..]] {
+            assert_eq!(from_hex(&to_hex(bytes)).unwrap(), bytes);
+        }
+        assert!(from_hex("abc").is_none()); // odd length
+        assert!(from_hex("zz").is_none()); // non-hex
+    }
+
+    #[test]
+    fn events_serialize_and_round_trip() {
+        let rec = HistoryRecorder::new();
+        rec.record(Event::begin(1, Timestamp(5)));
+        rec.record(Event::read(
+            1,
+            Timestamp(5),
+            "t",
+            0,
+            b"k",
+            Some(Timestamp(3)),
+            Some(b"v"),
+        ));
+        rec.record(Event::commit(
+            1,
+            Timestamp(5),
+            Timestamp(9),
+            vec![
+                WriteRec::new("t", 0, b"k", Some(b"v2")),
+                WriteRec::new("t", 0, b"d", None),
+            ],
+        ));
+        rec.record(Event::abort(2, Timestamp(6), vec![], true));
+        assert_eq!(rec.len(), 4);
+        let json = rec.to_json();
+        let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec.events());
+        assert_eq!(back[2].writes[1].value_crc, None, "delete has no value crc");
+    }
+
+    #[test]
+    fn recorder_is_thread_safe() {
+        let rec = std::sync::Arc::new(HistoryRecorder::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let rec = std::sync::Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        rec.record(Event::begin(t * 1000 + i, Timestamp(i)));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.len(), 800);
+    }
+}

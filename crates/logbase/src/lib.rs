@@ -39,6 +39,7 @@ pub mod checkpoint;
 pub mod compaction;
 pub mod failover;
 pub mod gc;
+pub mod history;
 pub mod manifest;
 pub mod partition;
 pub mod read_buffer;
@@ -52,13 +53,14 @@ pub mod tablet;
 
 pub use failover::{rebuild_range, RebuiltRecord, RebuiltTablet};
 pub use gc::{fsck, GcReport};
+pub use history::{Event, EventKind, HistoryRecorder, WriteRec};
 pub use logbase_wal::GroupCommitConfig;
 pub use manifest::MaintenanceManifest;
 pub use read_buffer::ReadBuffer;
 pub use segdir::SegmentDirectory;
 pub use server::{ServerConfig, ServerStats, TabletServer};
 pub use spill::SpillConfig;
-pub use txn::{Transaction, TxnManager};
+pub use txn::{lock_key_for_tests, Transaction, TxnManager};
 
 /// Registered crash-point sites, grouped by the maintenance path that
 /// hosts them. The torture suite iterates these lists — a site added in

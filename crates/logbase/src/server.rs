@@ -23,7 +23,7 @@ use logbase_index::IndexEntry;
 use logbase_wal::{GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tablet-server configuration.
@@ -159,7 +159,15 @@ pub struct TabletServer {
     pub(crate) read_buffer: Option<ReadBuffer>,
     pub(crate) oracle: TimestampOracle,
     pub(crate) locks: LockService,
-    pub(crate) txn_counter: AtomicU64,
+    /// Transaction history recorder (isolation checking); `None` unless
+    /// installed via [`TabletServer::set_history_recorder`]. The atomic
+    /// flag keeps the disabled-state cost to one relaxed load.
+    history: RwLock<Option<Arc<crate::history::HistoryRecorder>>>,
+    history_enabled: AtomicBool,
+    /// First-committer-wins validation switch; always on in production.
+    /// Tests flip it off to seed lost-update anomalies the SI checker
+    /// must catch.
+    validate_writes: AtomicBool,
     ckpt_seq: AtomicU64,
     checkpoints_taken: AtomicU64,
     pub(crate) compactions_run: AtomicU64,
@@ -225,7 +233,9 @@ impl TabletServer {
             read_buffer,
             oracle,
             locks,
-            txn_counter: AtomicU64::new(1),
+            history: RwLock::new(None),
+            history_enabled: AtomicBool::new(false),
+            validate_writes: AtomicBool::new(true),
             ckpt_seq: AtomicU64::new(0),
             checkpoints_taken: AtomicU64::new(0),
             compactions_run: AtomicU64::new(0),
@@ -291,6 +301,43 @@ impl TabletServer {
     /// The cluster timestamp oracle in use.
     pub fn oracle(&self) -> &TimestampOracle {
         &self.oracle
+    }
+
+    /// Install a transaction history recorder (isolation checking). The
+    /// same recorder may be shared by every server of a cluster. Pass
+    /// `None` to disable recording again.
+    pub fn set_history_recorder(&self, rec: Option<Arc<crate::history::HistoryRecorder>>) {
+        if let Some(rec) = &rec {
+            // Versions at or below the current oracle position predate
+            // the recorded history (setup writes, earlier epochs).
+            rec.note_baseline(self.oracle.current());
+        }
+        self.history_enabled.store(rec.is_some(), Ordering::Release);
+        *self.history.write() = rec;
+    }
+
+    /// The installed history recorder, if recording is on. Hot paths
+    /// call this once per hook site; the disabled state costs a single
+    /// relaxed atomic load.
+    pub fn history_recorder(&self) -> Option<Arc<crate::history::HistoryRecorder>> {
+        if !self.history_enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.history.read().clone()
+    }
+
+    /// Whether first-committer-wins validation is on (always, outside
+    /// checker self-tests).
+    pub(crate) fn validation_enabled(&self) -> bool {
+        self.validate_writes.load(Ordering::Relaxed)
+    }
+
+    /// Disable (or re-enable) commit validation. Exists solely so the SI
+    /// checker's self-test can seed a lost-update anomaly and prove it
+    /// detects one; never call this outside tests.
+    #[doc(hidden)]
+    pub fn set_validation_enabled_for_tests(&self, on: bool) {
+        self.validate_writes.store(on, Ordering::Relaxed);
     }
 
     /// The underlying DFS handle.
@@ -438,7 +485,11 @@ impl TabletServer {
         let table_state = self.table(table)?;
         let tablet = table_state.route(&key)?;
         let index = Arc::clone(tablet.index(cg)?);
-        let ts = self.oracle.next();
+        // Reservation: transaction snapshots exclude this timestamp until
+        // the index update below lands, so no snapshot reads a version
+        // that is durable in the log but not yet visible in the index.
+        let reservation = self.oracle.reserve();
+        let ts = reservation.timestamp();
         let record = Record::put(key.clone(), cg, ts, value.clone());
         let barrier = self.write_barrier.read();
         let (_, ptr) = self.log.append(
@@ -451,6 +502,7 @@ impl TabletServer {
         )?;
         index.insert(key.clone(), ts, ptr)?;
         drop(barrier);
+        drop(reservation);
         for sec in self.secondary.of(table, cg) {
             sec.insert(&key, ts, &value, ptr);
         }
@@ -587,7 +639,8 @@ impl TabletServer {
         let table_state = self.table(table)?;
         let tablet = table_state.route(key)?;
         let index = tablet.index(cg)?;
-        let ts = self.oracle.next();
+        let reservation = self.oracle.reserve();
+        let ts = reservation.timestamp();
         let record = Record::tombstone(RowKey::copy_from_slice(key), cg, ts);
         let barrier = self.write_barrier.read();
         self.log.append(
@@ -600,6 +653,7 @@ impl TabletServer {
         )?;
         index.remove_key(key)?;
         drop(barrier);
+        drop(reservation);
         if let Some(rb) = &self.read_buffer {
             rb.invalidate(&table_state.name, cg, key);
         }

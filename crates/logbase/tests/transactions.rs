@@ -264,3 +264,169 @@ fn cross_table_transactions() {
     .unwrap();
     assert_eq!(s.get("orders", 0, b"order:1").unwrap(), Some(val("book=2")));
 }
+
+/// A server plus handles to its (normally cluster-shared) lock service,
+/// for tests asserting on lock accounting.
+fn server_with_locks() -> (Arc<TabletServer>, logbase_coordination::LockService) {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let oracle = logbase_coordination::TimestampOracle::new();
+    let locks = logbase_coordination::LockService::new();
+    let s =
+        TabletServer::create_with(dfs, ServerConfig::new("srv"), oracle, locks.clone()).unwrap();
+    s.create_table(TableSchema::single_group("t", &["v"]))
+        .unwrap();
+    (s, locks)
+}
+
+#[test]
+fn abort_and_validation_failure_release_all_locks() {
+    let (s, locks) = server_with_locks();
+    s.put("t", 0, key("k"), val("v0")).unwrap();
+
+    // Explicit abort: no locks were ever taken.
+    let mut txn = TxnManager::begin(&s);
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("x"));
+    TxnManager::abort(&s, txn);
+    assert_eq!(locks.held_count(), 0, "abort leaked a lock");
+
+    // Validation failure: the commit path locks the whole write set,
+    // loses first-committer-wins, and must give every lock back.
+    let mut txn = TxnManager::begin(&s);
+    let _ = TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap();
+    s.put("t", 0, key("k"), val("v1")).unwrap();
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("mine"));
+    TxnManager::write(&mut txn, "t", 0, key("other"), val("mine"));
+    assert!(matches!(
+        TxnManager::commit(&s, txn),
+        Err(Error::TxnConflict { .. })
+    ));
+    assert_eq!(locks.held_count(), 0, "validation failure leaked a lock");
+}
+
+/// Regression pin: when lock acquisition itself fails midway (one cell
+/// of the write set is held by someone else), every lock acquired
+/// before the timeout must be rolled back — only the blocker's lock
+/// survives.
+#[test]
+fn lock_timeout_midway_releases_acquired_locks() {
+    use std::time::Duration;
+    let (s, locks) = server_with_locks();
+
+    // A foreign owner pins one cell in the middle of the write set.
+    let blocker_key = logbase::lock_key_for_tests("t", 0, b"b");
+    let blocker = locks
+        .lock_all(
+            std::slice::from_ref(&blocker_key),
+            u64::MAX,
+            Duration::from_secs(1),
+        )
+        .unwrap();
+    assert_eq!(locks.held_count(), 1);
+
+    let mut txn = TxnManager::begin(&s);
+    TxnManager::write(&mut txn, "t", 0, key("a"), val("x"));
+    TxnManager::write(&mut txn, "t", 0, key("b"), val("x"));
+    TxnManager::write(&mut txn, "t", 0, key("c"), val("x"));
+    assert!(matches!(
+        TxnManager::commit_with_timeout(&s, txn, Duration::from_millis(100)),
+        Err(Error::TxnConflict { .. })
+    ));
+    // `a` (acquired before blocking on `b`) must have been rolled back.
+    assert_eq!(locks.held_count(), 1, "timed-out commit leaked locks");
+    drop(blocker);
+    assert_eq!(locks.held_count(), 0);
+
+    // The cells are free again: a retry commits.
+    let mut txn = TxnManager::begin(&s);
+    TxnManager::write(&mut txn, "t", 0, key("a"), val("y"));
+    TxnManager::write(&mut txn, "t", 0, key("b"), val("y"));
+    TxnManager::commit(&s, txn).unwrap();
+    assert_eq!(locks.held_count(), 0);
+}
+
+#[test]
+fn read_your_own_writes_chain() {
+    let s = server();
+    s.put("t", 0, key("k"), val("v0")).unwrap();
+    let mut txn = TxnManager::begin(&s);
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v0"))
+    );
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("v1"));
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v1"))
+    );
+    // Overwrite of the buffered write: last write wins inside the txn.
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("v2"));
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v2"))
+    );
+    TxnManager::commit(&s, txn).unwrap();
+    assert_eq!(s.get("t", 0, b"k").unwrap(), Some(val("v2")));
+}
+
+#[test]
+fn delete_then_read_inside_txn() {
+    let s = server();
+    s.put("t", 0, key("k"), val("v0")).unwrap();
+    let mut txn = TxnManager::begin(&s);
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v0"))
+    );
+    TxnManager::delete(&mut txn, "t", 0, key("k"));
+    // The buffered delete masks the snapshot version.
+    assert_eq!(TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(), None);
+    // Delete-then-write resurrects inside the same transaction.
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("v1"));
+    assert_eq!(
+        TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(),
+        Some(val("v1"))
+    );
+    TxnManager::delete(&mut txn, "t", 0, key("k"));
+    TxnManager::commit(&s, txn).unwrap();
+    assert_eq!(s.get("t", 0, b"k").unwrap(), None);
+}
+
+/// Version-truncating compaction during a transaction: the old snapshot
+/// version is gone, so the read sees absence — and a write based on
+/// that read must fail first-committer-wins instead of silently losing
+/// the concurrent update.
+#[test]
+fn visible_version_at_compaction_boundary() {
+    use logbase::compaction::CompactionConfig;
+    let s = server();
+    let ts1 = s.put("t", 0, key("k"), val("v1")).unwrap();
+
+    let mut txn = TxnManager::begin(&s);
+    assert!(txn.snapshot() >= ts1);
+
+    // Concurrent update + compaction that truncates to the newest
+    // version only: ts1 no longer exists anywhere.
+    let ts2 = s.put("t", 0, key("k"), val("v2")).unwrap();
+    assert!(ts2 > txn.snapshot());
+    s.compact_with(&CompactionConfig {
+        max_versions: Some(1),
+    })
+    .unwrap();
+
+    // The snapshot version was compacted away: the txn reads absence,
+    // and visible_version agrees.
+    assert_eq!(
+        s.visible_version("t", 0, b"k", txn.snapshot()).unwrap(),
+        None
+    );
+    assert_eq!(TxnManager::read(&s, &mut txn, "t", 0, b"k").unwrap(), None);
+
+    // Writing through that stale read must conflict (the live version
+    // ts2 is newer than the recorded observation).
+    TxnManager::write(&mut txn, "t", 0, key("k"), val("stale"));
+    assert!(matches!(
+        TxnManager::commit(&s, txn),
+        Err(Error::TxnConflict { .. })
+    ));
+    assert_eq!(s.get("t", 0, b"k").unwrap(), Some(val("v2")));
+}
