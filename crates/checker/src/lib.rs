@@ -27,8 +27,7 @@
 //! server.create_table(TableSchema::single_group("chk", &["v"])).unwrap();
 //!
 //! let cfg = logbase_checker::workload::WorkloadConfig::new(1);
-//! let s = Arc::clone(&server);
-//! let route = move |_key: &[u8]| Some(Arc::clone(&s));
+//! let route = logbase_checker::workload::server_route(&server);
 //! logbase_checker::workload::seed_accounts(&route, &cfg).unwrap();
 //!
 //! let recorder = Arc::new(HistoryRecorder::new());

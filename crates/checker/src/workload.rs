@@ -17,18 +17,32 @@
 //! whole version history (§3.6.3), which legitimately breaks old
 //! snapshots — targeted unit tests cover delete semantics instead.
 
-use logbase::{TabletServer, TxnManager};
+use logbase::{ServerEndpoint, TabletServer, TxnEndpoint, TxnSession};
 use logbase_common::{Error, Result, RowKey, Value};
 use logbase_workload::encode_key;
 use logbase_workload::zipf::Zipfian;
 use rand::prelude::*;
 use std::sync::Arc;
 
-/// Routes a key to the server currently responsible for it (`None` =
-/// nobody right now — retry later). Single-server setups return the one
-/// server unconditionally; cluster setups consult the live route table
-/// on every call so the workload follows failover.
-pub type RouteFn = dyn Fn(&[u8]) -> Option<Arc<TabletServer>> + Send + Sync;
+/// A freshly-routed endpoint for one key (boxed so in-process and
+/// wire-backed endpoints route through the same workload).
+pub type Endpoint<'e> = Box<dyn TxnEndpoint + 'e>;
+
+/// Routes a key to an endpoint of the server currently responsible for
+/// it (`None` = nobody right now — retry later). Single-server setups
+/// return the one server unconditionally; cluster setups consult the
+/// live route table on every call so the workload follows failover —
+/// in-process via [`ServerEndpoint`], or over a real transport via the
+/// cluster client's wire endpoints.
+pub type RouteFn<'e> = dyn Fn(&[u8]) -> Option<Endpoint<'e>> + Send + Sync + 'e;
+
+/// Route every key to the one `server` (single-server harnesses).
+pub fn server_route(
+    server: &Arc<TabletServer>,
+) -> impl Fn(&[u8]) -> Option<Endpoint<'static>> + Send + Sync + 'static {
+    let server = Arc::clone(server);
+    move |_key: &[u8]| Some(Box::new(ServerEndpoint::new(Arc::clone(&server))) as Endpoint<'static>)
+}
 
 /// Workload shape and size.
 #[derive(Debug, Clone)]
@@ -109,12 +123,12 @@ fn parse_i64(v: Option<&[u8]>) -> i64 {
 
 /// Seed every account with the initial balance (plain puts; runs before
 /// the recorder is installed so setup writes don't clutter the history).
-pub fn seed_accounts(route: &RouteFn, cfg: &WorkloadConfig) -> Result<()> {
+pub fn seed_accounts(route: &RouteFn<'_>, cfg: &WorkloadConfig) -> Result<()> {
     let balance = cfg.initial_balance.to_string();
     for i in 0..cfg.keys {
         let key = account_key(cfg, i);
-        let server = route(&key).ok_or_else(|| Error::Unavailable("no route".into()))?;
-        server.put(
+        let ep = route(&key).ok_or_else(|| Error::Unavailable("no route".into()))?;
+        ep.put(
             &cfg.table,
             0,
             RowKey::copy_from_slice(&key),
@@ -144,14 +158,21 @@ enum Shape {
 /// Both keys currently routed to the same server? Transactions run on
 /// one server, so multi-key shapes must pick co-located cells (a server
 /// refuses cells outside its tablets with `TabletNotServed`).
-fn colocated(route: &RouteFn, a: &[u8], b: &[u8]) -> bool {
+/// Endpoint ids stand in for pointer identity, so this works over any
+/// transport.
+fn colocated(route: &RouteFn<'_>, a: &[u8], b: &[u8]) -> bool {
     match (route(a), route(b)) {
-        (Some(x), Some(y)) => Arc::ptr_eq(&x, &y),
+        (Some(x), Some(y)) => x.endpoint_id() == y.endpoint_id(),
         _ => false,
     }
 }
 
-fn pick_shape(cfg: &WorkloadConfig, zipf: &Zipfian, rng: &mut StdRng, route: &RouteFn) -> Shape {
+fn pick_shape(
+    cfg: &WorkloadConfig,
+    zipf: &Zipfian,
+    rng: &mut StdRng,
+    route: &RouteFn<'_>,
+) -> Shape {
     match rng.gen_range(0..100u32) {
         0..=39 => Shape::RegisterRmw {
             key: register_key(cfg, zipf.sample(rng)),
@@ -216,57 +237,48 @@ fn anchor(shape: &Shape) -> &[u8] {
     }
 }
 
-/// Execute one shape inside `txn` on `server`.
-fn apply_shape(
-    server: &TabletServer,
-    txn: &mut logbase::Transaction,
-    table: &str,
-    shape: &Shape,
-) -> Result<()> {
+/// Execute one shape inside an open `session`.
+fn apply_shape(session: &mut dyn TxnSession, table: &str, shape: &Shape) -> Result<()> {
     match shape {
         Shape::RegisterRmw { key } => {
-            let v = TxnManager::read(server, txn, table, 0, key)?;
+            let v = session.read(table, 0, key)?;
             let next = (parse_i64(v.as_deref()) + 1).to_string();
-            TxnManager::write(
-                txn,
+            session.write(
                 table,
                 0,
                 RowKey::copy_from_slice(key),
-                Value::copy_from_slice(next.as_bytes()),
+                Some(Value::copy_from_slice(next.as_bytes())),
             );
         }
         Shape::Transfer { from, to, amount } => {
-            let fv = TxnManager::read(server, txn, table, 0, from)?;
-            let tv = TxnManager::read(server, txn, table, 0, to)?;
+            let fv = session.read(table, 0, from)?;
+            let tv = session.read(table, 0, to)?;
             let fb = (parse_i64(fv.as_deref()) - amount).to_string();
             let tb = (parse_i64(tv.as_deref()) + amount).to_string();
-            TxnManager::write(
-                txn,
+            session.write(
                 table,
                 0,
                 RowKey::copy_from_slice(from),
-                Value::copy_from_slice(fb.as_bytes()),
+                Some(Value::copy_from_slice(fb.as_bytes())),
             );
-            TxnManager::write(
-                txn,
+            session.write(
                 table,
                 0,
                 RowKey::copy_from_slice(to),
-                Value::copy_from_slice(tb.as_bytes()),
+                Some(Value::copy_from_slice(tb.as_bytes())),
             );
         }
         Shape::ReadProbe { keys } => {
             for key in keys {
-                TxnManager::read(server, txn, table, 0, key)?;
+                session.read(table, 0, key)?;
             }
         }
         Shape::BlindWrite { key, value } => {
-            TxnManager::write(
-                txn,
+            session.write(
                 table,
                 0,
                 RowKey::copy_from_slice(key),
-                Value::copy_from_slice(value.as_bytes()),
+                Some(Value::copy_from_slice(value.as_bytes())),
             );
         }
     }
@@ -278,7 +290,7 @@ fn apply_shape(
 /// `route` (so the workload follows tablet reassignment mid-run).
 /// Transient errors and conflicts retry up to `cfg.retries` times with
 /// a small backoff; exhausted transactions are counted, not fatal.
-pub fn run(route: &RouteFn, cfg: &WorkloadConfig) -> WorkloadOutcome {
+pub fn run(route: &RouteFn<'_>, cfg: &WorkloadConfig) -> WorkloadOutcome {
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|thread| {
@@ -305,19 +317,35 @@ pub fn run(route: &RouteFn, cfg: &WorkloadConfig) -> WorkloadOutcome {
     })
 }
 
-fn run_one(route: &RouteFn, cfg: &WorkloadConfig, shape: &Shape, outcome: &mut WorkloadOutcome) {
+fn run_one(
+    route: &RouteFn<'_>,
+    cfg: &WorkloadConfig,
+    shape: &Shape,
+    outcome: &mut WorkloadOutcome,
+) {
     let mut conflicts = 0usize;
     for attempt in 0..=cfg.retries {
-        let Some(server) = route(anchor(shape)) else {
+        let Some(ep) = route(anchor(shape)) else {
             // Nobody serves the key right now (failover in progress).
             std::thread::sleep(std::time::Duration::from_millis(5));
             continue;
         };
-        let mut txn = TxnManager::begin(&server);
-        match apply_shape(&server, &mut txn, &cfg.table, shape) {
+        let mut session = match ep.begin() {
+            Ok(s) => s,
+            // Over a wire, even `begin` can fail transiently.
+            Err(e) => {
+                if retriable(&e) && attempt < cfg.retries {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    continue;
+                }
+                outcome.errored += 1;
+                return;
+            }
+        };
+        match apply_shape(session.as_mut(), &cfg.table, shape) {
             Ok(()) => {}
             Err(e) => {
-                TxnManager::abort(&server, txn);
+                session.abort();
                 if retriable(&e) && attempt < cfg.retries {
                     std::thread::sleep(std::time::Duration::from_millis(2));
                     continue;
@@ -326,7 +354,7 @@ fn run_one(route: &RouteFn, cfg: &WorkloadConfig, shape: &Shape, outcome: &mut W
                 return;
             }
         }
-        match TxnManager::commit(&server, txn) {
+        match session.commit() {
             Ok(_) => {
                 outcome.committed += 1;
                 return;
@@ -355,24 +383,31 @@ fn run_one(route: &RouteFn, cfg: &WorkloadConfig, shape: &Shape, outcome: &mut W
 }
 
 /// Errors worth re-running the whole transaction for. `is_retriable`
-/// covers the transient infrastructure set; fencing and stale routes
-/// additionally resolve by re-routing to the new owner.
+/// covers the transient infrastructure set (including `Busy` shedding);
+/// fencing and stale routes additionally resolve by re-routing to the
+/// new owner, transport deadlines and aborted wire sessions by simply
+/// starting over.
 fn retriable(e: &Error) -> bool {
     e.is_retriable()
         || matches!(
             e,
-            Error::Fenced { .. } | Error::TabletNotServed(_) | Error::TabletMoved(_) | Error::Io(_)
+            Error::Fenced { .. }
+                | Error::TabletNotServed(_)
+                | Error::TabletMoved(_)
+                | Error::Io(_)
+                | Error::DeadlineExceeded(_)
+                | Error::TxnAborted(_)
         )
 }
 
 /// Sum all account balances at the latest snapshot and compare with the
 /// seeded total. Must hold after any run whose transfers kept SI.
-pub fn verify_bank_invariant(route: &RouteFn, cfg: &WorkloadConfig) -> Result<()> {
+pub fn verify_bank_invariant(route: &RouteFn<'_>, cfg: &WorkloadConfig) -> Result<()> {
     let mut total = 0i64;
     for i in 0..cfg.keys {
         let key = account_key(cfg, i);
-        let server = route(&key).ok_or_else(|| Error::Unavailable("no route".into()))?;
-        let v = server.get(&cfg.table, 0, &key)?;
+        let ep = route(&key).ok_or_else(|| Error::Unavailable("no route".into()))?;
+        let v = ep.get(&cfg.table, 0, &key)?;
         total += parse_i64(v.as_deref());
     }
     let expected = cfg.initial_balance * cfg.keys as i64;

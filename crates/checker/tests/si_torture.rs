@@ -50,8 +50,7 @@ fn recorded_run(
     server: &Arc<TabletServer>,
     cfg: &WorkloadConfig,
 ) -> (workload::WorkloadOutcome, Arc<HistoryRecorder>) {
-    let s = Arc::clone(server);
-    let route = move |_key: &[u8]| Some(Arc::clone(&s));
+    let route = workload::server_route(server);
     workload::seed_accounts(&route, cfg).unwrap();
     let recorder = Arc::new(HistoryRecorder::new());
     server.set_history_recorder(Some(Arc::clone(&recorder)));
@@ -79,8 +78,7 @@ fn clean_run_is_violation_free() {
     assert!(report.stats.reads_checked > 0, "checker saw no reads");
     assert_clean("clean", seed, &recorder.events(), &report);
 
-    let s = Arc::clone(&server);
-    let route = move |_key: &[u8]| Some(Arc::clone(&s));
+    let route = workload::server_route(&server);
     workload::verify_bank_invariant(&route, &cfg).unwrap();
     assert_eq!(locks.held_count(), 0, "commit leaked write locks");
 }
@@ -142,8 +140,7 @@ fn fault_injected_run_keeps_si() {
     let server = single_server(&dfs, "srv", &oracle, &locks);
 
     let cfg = WorkloadConfig::new(seed);
-    let s = Arc::clone(&server);
-    let route = move |_key: &[u8]| Some(Arc::clone(&s));
+    let route = workload::server_route(&server);
     // Seed before the faults go live so setup is deterministic.
     workload::seed_accounts(&route, &cfg).unwrap();
     for node in 0..3 {
@@ -242,8 +239,7 @@ fn crash_recovery_run_keeps_si() {
     // Phase 2 on the recovered server, into the same recorder (the
     // baseline is already pinned by phase 1, so recovered versions are
     // checked against phase-1 commits, not grandfathered).
-    let s = Arc::clone(&recovered);
-    let route = move |_key: &[u8]| Some(Arc::clone(&s));
+    let route = workload::server_route(&recovered);
     recovered.set_history_recorder(Some(Arc::clone(&recorder)));
     let outcome2 = workload::run(&route, &cfg);
     recovered.set_history_recorder(None);
@@ -269,13 +265,20 @@ fn failover_run_keeps_si() {
     cfg.threads = 6;
     cfg.txns_per_thread = 50;
 
-    let route = {
-        let c = Arc::clone(&cluster);
-        move |key: &[u8]| {
-            let routes = c.routes();
-            let r = routes.iter().find(|r| r.range.contains(key))?;
-            c.logbase_server(r.member as usize)
-        }
+    // Route through the cluster's transport-selected client: in-process
+    // by default, real TCP frames under `LOGBASE_TRANSPORT=tcp` — the
+    // same workload tortures both wires.
+    let client = cluster.client();
+    if std::env::var("LOGBASE_TRANSPORT").as_deref() == Ok("tcp") {
+        // CI's net-torture job must actually cross sockets.
+        assert_eq!(client.transport_name(), "tcp");
+    }
+    let client_ref = &client;
+    let route = move |key: &[u8]| {
+        client_ref
+            .endpoint_for(key)
+            .ok()
+            .map(|ep| Box::new(ep) as workload::Endpoint<'_>)
     };
     workload::seed_accounts(&route, &cfg).unwrap();
 

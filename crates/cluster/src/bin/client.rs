@@ -1,0 +1,171 @@
+//! `logbase-client` — command-line client for a `logbase-server`.
+//!
+//! Talks the length-prefixed CRC-framed RPC protocol through the same
+//! retrying, deadline-capped, route-caching [`Client`] the torture
+//! suites use, and prints the RPC metrics the run accumulated.
+//!
+//! ```text
+//! logbase-client --addrs HOST:PORT[,HOST:PORT...] CMD [ARGS]
+//! logbase-client --addrs @port-file CMD [ARGS]
+//!
+//! commands:
+//!   ping                 round-trip member 0
+//!   routes               print the routing table
+//!   put KEY VALUE        routed durable write (KEY is a u64)
+//!   get KEY              routed point read
+//!   delete KEY           routed delete
+//!   scan KEY LIMIT       scan KEY's member, up to LIMIT items
+//!   bench N              N sequential routed puts + readback
+//! ```
+
+use logbase_cluster::{Client, ClientConfig, TcpTransport, Transport};
+use logbase_common::metrics::Metrics;
+use logbase_common::{Result, RowKey, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: logbase-client --addrs HOST:PORT[,..]|@FILE [--table NAME] CMD [ARGS]\n\
+         commands: ping | routes | put KEY VALUE | get KEY | delete KEY | scan KEY LIMIT | bench N"
+    );
+    std::process::exit(2);
+}
+
+fn key_arg(s: &str) -> RowKey {
+    let k: u64 = s.parse().unwrap_or_else(|_| {
+        eprintln!("KEY must be a u64, got {s:?}");
+        usage()
+    });
+    RowKey::copy_from_slice(&k.to_be_bytes())
+}
+
+fn run(client: &Client, cmd: &str, rest: &[String]) -> Result<()> {
+    match (cmd, rest) {
+        ("ping", []) => {
+            let start = Instant::now();
+            client.routes()?;
+            println!("ok ({:?})", start.elapsed());
+        }
+        ("routes", []) => {
+            for r in client.routes()? {
+                let end = r
+                    .end
+                    .as_ref()
+                    .map_or("∞".to_string(), |e| format!("{:02x?}", &e[..]));
+                println!(
+                    "member {} @ {} serves [{:02x?}, {end})",
+                    r.member,
+                    if r.addr.is_empty() {
+                        "<in-proc>"
+                    } else {
+                        &r.addr
+                    },
+                    &r.start[..],
+                );
+            }
+        }
+        ("put", [k, v]) => {
+            let ts = client.put(0, key_arg(k), Value::copy_from_slice(v.as_bytes()))?;
+            println!("ok @ {ts:?}");
+        }
+        ("get", [k]) => match client.get(0, &key_arg(k))? {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(not found)"),
+        },
+        ("delete", [k]) => {
+            client.delete(0, &key_arg(k))?;
+            println!("ok");
+        }
+        ("scan", [k, limit]) => {
+            let limit: u64 = limit.parse().unwrap_or_else(|_| usage());
+            for (key, ts, value) in client.scan_member(0, &key_arg(k), None, limit)? {
+                println!(
+                    "{:02x?} @ {ts:?} = {}",
+                    &key[..],
+                    String::from_utf8_lossy(&value)
+                );
+            }
+        }
+        ("bench", [n]) => {
+            let n: u64 = n.parse().unwrap_or_else(|_| usage());
+            let start = Instant::now();
+            for i in 0..n {
+                let key = RowKey::copy_from_slice(&i.to_be_bytes());
+                client.put(0, key, Value::copy_from_slice(format!("v{i}").as_bytes()))?;
+            }
+            let wrote = start.elapsed();
+            for i in 0..n {
+                let got = client.get(0, &i.to_be_bytes())?;
+                assert_eq!(
+                    got.as_deref(),
+                    Some(format!("v{i}").as_bytes()),
+                    "readback mismatch at key {i}"
+                );
+            }
+            println!(
+                "{n} puts in {wrote:?} ({:.0}/s), readback verified in {:?}",
+                n as f64 / wrote.as_secs_f64().max(1e-9),
+                start.elapsed() - wrote
+            );
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut addrs: Option<String> = None;
+    let mut table = "usertable".to_string();
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addrs" => addrs = args.next(),
+            "--table" => table = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let addrs = addrs.unwrap_or_else(|| usage());
+    let (cmd, cmd_args) = rest.split_first().unwrap_or_else(|| usage());
+
+    let listing = match addrs.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path).expect("read port file"),
+        None => addrs.replace(',', "\n"),
+    };
+    let seed = listing
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .enumerate()
+        .map(|(m, a)| (m as u32, a.to_string()));
+    let transport = Arc::new(TcpTransport::new(seed));
+
+    let metrics = Metrics::new_handle();
+    let client = Client::new(
+        transport as Arc<dyn Transport>,
+        table,
+        Arc::clone(&metrics),
+        ClientConfig::default(),
+    );
+    let outcome = run(&client, cmd, cmd_args);
+
+    let snap = metrics.snapshot();
+    eprintln!(
+        "rpc: requests={} retries={} timeouts={} shed={} route_invalidations={}",
+        snap.rpc_requests,
+        snap.rpc_retries,
+        snap.rpc_timeouts,
+        snap.connections_shed,
+        snap.routing_cache_invalidations
+    );
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

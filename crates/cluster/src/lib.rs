@@ -19,11 +19,17 @@
 //! loop on a background thread for wall-clock operation.
 
 mod master;
+pub mod net;
 mod router;
+pub mod service;
 pub mod tpcw;
+pub mod transport;
 
 pub use master::FailoverReport;
+pub use net::{NetServer, NetServerConfig, TcpTransport};
 pub use router::{Route, Router};
+pub use service::ClusterService;
+pub use transport::{Client, ClientConfig, ClientEndpoint, InProcessTransport, Transport};
 
 /// Crash-point sites in the master's failover takeover path, in program
 /// order. The takeover is idempotent across a crash at any of them: the
@@ -40,7 +46,7 @@ use logbase::{ServerConfig, TabletServer};
 use logbase_common::engine::{ScanItem, StorageEngine};
 use logbase_common::metrics::MetricsHandle;
 use logbase_common::schema::{split_uniform, KeyRange, TableSchema};
-use logbase_common::{Error, Result, RetryPolicy, RowKey, Timestamp, Value};
+use logbase_common::{Error, Result, RowKey, Timestamp, Value};
 use logbase_coordination::{LockService, MemberId, MemberState, Registry, Tick, TimestampOracle};
 use logbase_dfs::{Dfs, DfsConfig};
 use logbase_hbase_model::{HBaseConfig, HBaseEngine};
@@ -48,7 +54,7 @@ use logbase_lrs::{LrsConfig, LrsEngine};
 use master::Master;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Which engine the cluster members run.
@@ -171,6 +177,9 @@ pub struct Cluster {
     masters: Arc<Mutex<Vec<MasterSeat>>>,
     master: Option<Arc<Master>>,
     wallclock: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
+    service: Arc<ClusterService>,
+    net: Mutex<Option<Arc<NetServer>>>,
+    client: OnceLock<Arc<Client>>,
 }
 
 impl Cluster {
@@ -277,6 +286,12 @@ impl Cluster {
             m
         });
 
+        let service = Arc::new(ClusterService::new(
+            Arc::clone(&slots),
+            Arc::clone(&router),
+            Arc::clone(dfs.metrics()),
+        ));
+
         Ok(Cluster {
             config,
             dfs,
@@ -288,6 +303,9 @@ impl Cluster {
             masters,
             master,
             wallclock: None,
+            service,
+            net: Mutex::new(None),
+            client: OnceLock::new(),
         })
     }
 
@@ -387,16 +405,81 @@ impl Cluster {
     }
 
     /// Routed write that rides through failover: retries with backoff
-    /// while the key's tablet is in the ownership gap.
+    /// while the key's tablet is in the ownership gap. Goes through the
+    /// cluster's [`Client`] — over TCP when `LOGBASE_TRANSPORT=tcp`,
+    /// in-process otherwise.
     pub fn client_put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
-        RetryPolicy::new(400).run_ctx("cluster put", |_| {
-            self.try_put(cg, key.clone(), value.clone())
-        })
+        self.client().put(cg, key, value)
     }
 
     /// Routed read that rides through failover; see [`Cluster::client_put`].
     pub fn client_get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>> {
-        RetryPolicy::new(400).run_ctx("cluster get", |_| self.try_get(cg, key))
+        self.client().get(cg, key)
+    }
+
+    /// The shared RPC dispatcher (one per cluster, used by every
+    /// transport).
+    pub fn service(&self) -> &Arc<ClusterService> {
+        &self.service
+    }
+
+    /// Start (or return the already-running) TCP listeners for every
+    /// member seat. Listeners survive [`Cluster::kill_server`] — the
+    /// *process* answering the port stays up and sheds requests with
+    /// retriable errors, which is exactly what a stale client should
+    /// see during failover.
+    pub fn start_net(&self, config: NetServerConfig) -> Result<Arc<NetServer>> {
+        let mut net = self.net.lock();
+        if let Some(existing) = &*net {
+            return Ok(Arc::clone(existing));
+        }
+        let server = NetServer::start(
+            Arc::clone(&self.service),
+            Arc::clone(self.dfs.fault_injector()),
+            self.nodes(),
+            config,
+        )?;
+        *net = Some(Arc::clone(&server));
+        Ok(server)
+    }
+
+    /// The cluster-owned [`Client`], built on first use. The transport
+    /// is chosen by the `LOGBASE_TRANSPORT` environment variable:
+    /// `tcp` routes every request through real sockets against
+    /// [`Cluster::start_net`] listeners; anything else (or unset) uses
+    /// the zero-cost in-process transport. Both run the same retry,
+    /// deadline, and routing-cache machinery.
+    pub fn client(&self) -> Arc<Client> {
+        Arc::clone(self.client.get_or_init(|| {
+            let use_tcp = std::env::var("LOGBASE_TRANSPORT")
+                .map(|v| v.eq_ignore_ascii_case("tcp"))
+                .unwrap_or(false);
+            let transport: Arc<dyn Transport> = if use_tcp {
+                let server = self
+                    .start_net(NetServerConfig::default())
+                    .expect("bind loopback TCP listeners");
+                Arc::new(TcpTransport::for_server(&server))
+            } else {
+                Arc::new(InProcessTransport::new(Arc::clone(&self.service)))
+            };
+            Arc::new(Client::new(
+                transport,
+                self.config.table.clone(),
+                Arc::clone(self.dfs.metrics()),
+                ClientConfig::default(),
+            ))
+        }))
+    }
+
+    /// A client over an explicit transport (tests pin "tcp" vs
+    /// "inproc" independent of the environment).
+    pub fn client_with(&self, transport: Arc<dyn Transport>, config: ClientConfig) -> Client {
+        Client::new(
+            transport,
+            self.config.table.clone(),
+            Arc::clone(self.dfs.metrics()),
+            config,
+        )
     }
 
     fn routed_engine(&self, key: &[u8]) -> Result<Arc<dyn StorageEngine>> {

@@ -1,0 +1,480 @@
+//! TCP transport: per-member listeners on the server side, pooled
+//! pipelined connections on the client side.
+//!
+//! Every frame on the wire is the bounded CRC frame of
+//! [`logbase_common::rpc`]; a torn or hostile length prefix is rejected
+//! before any allocation, and any decode failure drops the connection —
+//! the peer's retry machinery (or the client's deadline) takes it from
+//! there.
+//!
+//! # Fault injection
+//!
+//! The shared [`FaultInjector`]'s *net lanes* hook two points:
+//!
+//! - **accept** — a `ConnRefuse` decision drops the just-accepted
+//!   socket before a single byte is served (the client sees a reset).
+//! - **respond** — per response, the server may reset the connection,
+//!   send a torn prefix of the frame, duplicate the frame, swallow it
+//!   entirely (half-open: the client's per-request deadline is the only
+//!   way out), or delay it.
+//!
+//! # Admission control
+//!
+//! Each member bounds concurrently executing requests; overflow is shed
+//! *cheaply* with a retriable [`Error::Busy`] response (and a
+//! `connections_shed` tick) instead of queueing without bound — the
+//! server degrades, it does not collapse.
+//!
+//! # Pipelining and duplicates
+//!
+//! Clients assign per-connection request ids and may have many requests
+//! in flight on one socket. The reader thread pairs responses to
+//! waiters by id; a response with no waiter — a fault-injected
+//! duplicate, or a response landing after its deadline abandoned it —
+//! is dropped on the floor.
+
+use crate::service::ClusterService;
+use crate::transport::Transport;
+use logbase_common::metrics::Metrics;
+use logbase_common::rpc::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, Request,
+    Response, MAX_RPC_FRAME,
+};
+use logbase_common::{Error, Result};
+use logbase_dfs::{FaultInjector, NetFaultAction, NetOp};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server-side knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Concurrently executing requests a member admits before shedding
+    /// with `Busy`.
+    pub max_in_flight: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig { max_in_flight: 64 }
+    }
+}
+
+struct MemberListener {
+    addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One TCP listener per cluster member, all dispatching into the shared
+/// [`ClusterService`].
+pub struct NetServer {
+    listeners: Mutex<Vec<MemberListener>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Bind one loopback listener per member and start serving.
+    /// Addresses are advertised through the service's `Routes` RPC.
+    pub fn start(
+        service: Arc<ClusterService>,
+        injector: Arc<FaultInjector>,
+        members: usize,
+        config: NetServerConfig,
+    ) -> Result<Arc<NetServer>> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut listeners = Vec::with_capacity(members);
+        for m in 0..members as u32 {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            listener.set_nonblocking(true)?;
+            service.set_addr(m, addr.to_string());
+            let ctx = Arc::new(MemberCtx {
+                member: m,
+                service: Arc::clone(&service),
+                injector: Arc::clone(&injector),
+                in_flight: AtomicUsize::new(0),
+                max_in_flight: config.max_in_flight,
+                stop: Arc::clone(&stop),
+            });
+            let handle = std::thread::Builder::new()
+                .name(format!("net-accept-{m}"))
+                .spawn(move || accept_loop(listener, ctx))
+                .expect("spawn accept loop");
+            listeners.push(MemberListener {
+                addr,
+                handle: Some(handle),
+            });
+        }
+        Ok(Arc::new(NetServer {
+            listeners: Mutex::new(listeners),
+            stop,
+        }))
+    }
+
+    /// The bound address of member `m`'s listener.
+    pub fn addr(&self, member: u32) -> SocketAddr {
+        self.listeners.lock()[member as usize].addr
+    }
+
+    /// All member addresses, indexed by member.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.listeners.lock().iter().map(|l| l.addr).collect()
+    }
+
+    /// Stop accepting and join the accept loops. Connection handler
+    /// threads drain on their own as clients disconnect.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let mut listeners = self.listeners.lock();
+        for l in listeners.iter_mut() {
+            if let Some(h) = l.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct MemberCtx {
+    member: u32,
+    service: Arc<ClusterService>,
+    injector: Arc<FaultInjector>,
+    in_flight: AtomicUsize,
+    max_in_flight: usize,
+    stop: Arc<AtomicBool>,
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<MemberCtx>) {
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let decision = ctx.injector.decide_net(ctx.member, NetOp::Accept);
+                if let Some(lat) = decision.latency {
+                    std::thread::sleep(lat);
+                }
+                if decision.action == NetFaultAction::ConnRefuse {
+                    drop(stream); // reset before the first byte
+                    continue;
+                }
+                let ctx = Arc::clone(&ctx);
+                let _ = std::thread::Builder::new()
+                    .name(format!("net-conn-{}", ctx.member))
+                    .spawn(move || serve_connection(stream, ctx));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one client connection until EOF, a fault drops it, or the
+/// frame stream turns undecodable. Transactions begun on this
+/// connection that are still open when it dies are aborted — the wire
+/// analogue of a client process disappearing.
+fn serve_connection(mut stream: TcpStream, ctx: Arc<MemberCtx>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut open_txns: Vec<u64> = Vec::new();
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let payload = match read_frame(&mut stream, MAX_RPC_FRAME, "rpc server") {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean close
+            Err(Error::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // idle poll so `stop` is honoured
+            }
+            // Torn frame, oversized prefix, CRC failure, hard I/O
+            // error: the stream cannot be trusted any more.
+            Err(_) => break,
+        };
+        let (req_id, req) = match decode_request(payload) {
+            Ok(x) => x,
+            Err(_) => break,
+        };
+        // A commit or abort closes its txn whatever the outcome — the
+        // service consumes the parked transaction either way.
+        let closes_txn = match &req {
+            Request::TxnCommit { txn, .. } | Request::TxnAbort { txn } => Some(*txn),
+            _ => None,
+        };
+
+        // Admission control: shed instead of queueing without bound.
+        let admitted = {
+            let prev = ctx.in_flight.fetch_add(1, Ordering::AcqRel);
+            if prev >= ctx.max_in_flight {
+                ctx.in_flight.fetch_sub(1, Ordering::AcqRel);
+                false
+            } else {
+                true
+            }
+        };
+        let resp = if admitted {
+            let resp = ctx.service.dispatch(ctx.member, req);
+            ctx.in_flight.fetch_sub(1, Ordering::AcqRel);
+            resp
+        } else {
+            Metrics::incr(&ctx.service.metrics().connections_shed);
+            Response::from_err(&Error::Busy(format!(
+                "member {} at {} in-flight requests",
+                ctx.member, ctx.max_in_flight
+            )))
+        };
+
+        // Track transaction lifecycles for disconnect cleanup.
+        if let Response::TxnBegun { txn, .. } = &resp {
+            open_txns.push(*txn);
+        }
+        if let Some(id) = closes_txn {
+            open_txns.retain(|t| *t != id);
+        }
+
+        let mut frame = bytes::BytesMut::new();
+        encode_response(&mut frame, req_id, &resp);
+
+        let decision = ctx.injector.decide_net(ctx.member, NetOp::Respond);
+        if let Some(lat) = decision.latency {
+            std::thread::sleep(lat);
+        }
+        match decision.action {
+            NetFaultAction::Proceed | NetFaultAction::ConnRefuse => {
+                if stream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            NetFaultAction::ConnReset => break,
+            NetFaultAction::TornFrame { keep_seed } => {
+                let keep = (keep_seed % frame.len() as u64) as usize;
+                let _ = stream.write_all(&frame[..keep]);
+                break;
+            }
+            NetFaultAction::DupResponse => {
+                let ok = stream.write_all(&frame).is_ok() && stream.write_all(&frame).is_ok();
+                if !ok {
+                    break;
+                }
+            }
+            NetFaultAction::HalfOpen => {
+                // Swallow the response; keep serving. The client's
+                // deadline is its only way out of this request.
+            }
+        }
+    }
+    if !open_txns.is_empty() {
+        ctx.service.abort_txns(&open_txns);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// How long a client waits for a connection to establish.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Connections pooled per member.
+const POOL_SIZE: usize = 2;
+
+type Waiter = Arc<(Mutex<Option<Result<Response>>>, Condvar)>;
+
+/// One pooled connection: a shared writer and a reader thread that
+/// pairs responses to waiters by request id.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, Waiter>>,
+    next_id: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Arc<Conn>> {
+        let sock_addr: SocketAddr = addr
+            .parse()
+            .map_err(|_| Error::InvalidArgument(format!("bad member address: {addr}")))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, CONNECT_TIMEOUT)
+            .map_err(|e| Error::Unavailable(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| Error::Unavailable(format!("clone socket {addr}: {e}")))?;
+        let conn = Arc::new(Conn {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            dead: AtomicBool::new(false),
+        });
+        let reader_conn = Arc::clone(&conn);
+        let _ = std::thread::Builder::new()
+            .name("net-client-reader".into())
+            .spawn(move || reader_loop(reader, reader_conn));
+        Ok(conn)
+    }
+
+    /// Send one request and wait for its response until `deadline`.
+    fn call(&self, req: &Request, deadline: Instant) -> Result<Response> {
+        let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let waiter: Waiter = Arc::new((Mutex::new(None), Condvar::new()));
+        self.pending.lock().insert(req_id, Arc::clone(&waiter));
+
+        let mut frame = bytes::BytesMut::new();
+        encode_request(&mut frame, req_id, req);
+        {
+            let mut w = self.writer.lock();
+            if let Err(e) = w.write_all(&frame) {
+                self.pending.lock().remove(&req_id);
+                self.dead.store(true, Ordering::Release);
+                return Err(Error::Unavailable(format!("send failed: {e}")));
+            }
+        }
+
+        let (slot, cv) = &*waiter;
+        let mut guard = slot.lock();
+        while guard.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            if cv.wait_until(&mut guard, deadline).timed_out() {
+                break;
+            }
+        }
+        match guard.take() {
+            Some(result) => result,
+            None => {
+                // Deadline elapsed: abandon the request. A late (or
+                // half-open-swallowed) response finds no waiter and is
+                // dropped; the connection is condemned because its
+                // stream may still deliver our abandoned response out
+                // of order with a future request's id space.
+                drop(guard);
+                self.pending.lock().remove(&req_id);
+                self.dead.store(true, Ordering::Release);
+                Err(Error::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "rpc deadline elapsed waiting for response",
+                )))
+            }
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>) {
+    loop {
+        match read_frame(&mut stream, MAX_RPC_FRAME, "rpc client") {
+            Ok(Some(payload)) => match decode_response(payload) {
+                Ok((req_id, resp)) => {
+                    // Unknown id → duplicate or abandoned: drop it.
+                    if let Some(waiter) = conn.pending.lock().remove(&req_id) {
+                        let (slot, cv) = &*waiter;
+                        *slot.lock() = Some(Ok(resp));
+                        cv.notify_one();
+                    }
+                }
+                Err(_) => break, // undecodable payload: condemn
+            },
+            Ok(None) => break, // server closed
+            Err(_) => break,   // torn frame / reset / oversized
+        }
+    }
+    conn.dead.store(true, Ordering::Release);
+    // Fail everything still waiting: their responses can never arrive.
+    let pending: Vec<Waiter> = conn.pending.lock().drain().map(|(_, w)| w).collect();
+    for waiter in pending {
+        let (slot, cv) = &*waiter;
+        *slot.lock() = Some(Err(Error::Unavailable(
+            "connection reset mid-request".into(),
+        )));
+        cv.notify_one();
+    }
+}
+
+/// The TCP [`Transport`]: pooled pipelined connections per member, with
+/// member addresses learned from `Routes` responses as they pass by.
+pub struct TcpTransport {
+    addrs: RwLock<HashMap<u32, String>>,
+    pools: Mutex<HashMap<u32, Vec<Arc<Conn>>>>,
+    rr: AtomicUsize,
+}
+
+impl TcpTransport {
+    /// Transport seeded with `member → address`. More members are
+    /// learned transparently from `Routes` responses.
+    pub fn new(seed_addrs: impl IntoIterator<Item = (u32, String)>) -> Self {
+        TcpTransport {
+            addrs: RwLock::new(seed_addrs.into_iter().collect()),
+            pools: Mutex::new(HashMap::new()),
+            rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Transport covering every member of `server` (test harnesses).
+    pub fn for_server(server: &NetServer) -> Self {
+        Self::new(
+            server
+                .addrs()
+                .into_iter()
+                .enumerate()
+                .map(|(m, a)| (m as u32, a.to_string())),
+        )
+    }
+
+    fn conn_for(&self, member: u32) -> Result<Arc<Conn>> {
+        let addr =
+            self.addrs.read().get(&member).cloned().ok_or_else(|| {
+                Error::Unavailable(format!("no known address for member {member}"))
+            })?;
+        let mut pools = self.pools.lock();
+        let pool = pools.entry(member).or_default();
+        pool.retain(|c| !c.dead.load(Ordering::Acquire));
+        if pool.len() < POOL_SIZE {
+            let conn = Conn::open(&addr)?;
+            pool.push(conn);
+        }
+        let idx = self.rr.fetch_add(1, Ordering::Relaxed) % pool.len();
+        Ok(Arc::clone(&pool[idx]))
+    }
+
+    fn learn_addrs(&self, resp: &Response) {
+        if let Response::Routes(routes) = resp {
+            let mut addrs = self.addrs.write();
+            for r in routes {
+                if !r.addr.is_empty() {
+                    addrs.insert(r.member, r.addr.clone());
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, member: u32, req: Request, deadline: Instant) -> Result<Response> {
+        let conn = self.conn_for(member)?;
+        let resp = conn.call(&req, deadline)?;
+        self.learn_addrs(&resp);
+        Ok(resp)
+    }
+
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+}

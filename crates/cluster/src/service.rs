@@ -1,0 +1,293 @@
+//! Server-side RPC dispatch, shared by every transport.
+//!
+//! A [`ClusterService`] answers [`Request`]s addressed to one member.
+//! Both the in-process transport and the TCP listeners route through
+//! this one dispatcher, so the two transports cannot drift: the same
+//! ownership checks run, the same errors come back, and the torture
+//! suites exercise identical server logic over either wire.
+//!
+//! Ownership protocol for key-addressed operations:
+//!
+//! 1. `route_checked(key)` — inside the failover ownership gap this is
+//!    the retriable `Unavailable`, exactly as the in-process client path
+//!    sees it.
+//! 2. The current owner must be the addressed member, else the caller's
+//!    routing cache is stale → retriable `TabletMoved` (the client
+//!    refreshes its cache and retries at the new owner).
+//! 3. A seat whose engine is gone (killed, not yet failed over) →
+//!    retriable `Unavailable`.
+//! 4. `TabletNotServed` from the engine (a reassignment raced us) is
+//!    remapped to `TabletMoved`.
+//!
+//! Wire transactions live server-side in a session table keyed by txn
+//! id: `TxnBegin` parks the [`Transaction`], `TxnRead` records reads
+//! into it for commit-time validation, and the client ships its write
+//! buffer with `TxnCommit`. A transport that loses a client (dropped
+//! TCP connection) aborts that client's open transactions via
+//! [`ClusterService::abort_txns`].
+
+use crate::router::Router;
+use crate::MemberSlots;
+use logbase::{Transaction, TxnManager};
+use logbase_common::metrics::MetricsHandle;
+use logbase_common::rpc::{Request, Response, RouteInfo};
+use logbase_common::schema::KeyRange;
+use logbase_common::{Error, Result, Timestamp};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One member-addressed request dispatcher over the cluster's slots.
+pub struct ClusterService {
+    slots: MemberSlots,
+    router: Arc<Router>,
+    metrics: MetricsHandle,
+    /// Open wire transactions: txn id → (owning member, parked txn).
+    txns: Mutex<HashMap<u64, (u32, Transaction)>>,
+    /// Transport addresses advertised in `Routes` responses (TCP only;
+    /// empty for members reachable in-process).
+    addrs: RwLock<HashMap<u32, String>>,
+}
+
+impl ClusterService {
+    pub(crate) fn new(slots: MemberSlots, router: Arc<Router>, metrics: MetricsHandle) -> Self {
+        ClusterService {
+            slots,
+            router,
+            metrics,
+            txns: Mutex::new(HashMap::new()),
+            addrs: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Shared metrics sink.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Advertise `member`'s transport address in `Routes` responses.
+    pub fn set_addr(&self, member: u32, addr: String) {
+        self.addrs.write().insert(member, addr);
+    }
+
+    /// Answer one request addressed to `member`. Application errors
+    /// come back as [`Response::Err`]; this never fails at the
+    /// transport level.
+    pub fn dispatch(&self, member: u32, req: Request) -> Response {
+        match self.try_dispatch(member, req) {
+            Ok(resp) => resp,
+            Err(e) => Response::from_err(&e),
+        }
+    }
+
+    fn try_dispatch(&self, member: u32, req: Request) -> Result<Response> {
+        let seats = self.slots.read().len();
+        if member as usize >= seats {
+            // Clients probing for the routing table sweep low member
+            // indices before they know the membership; non-retriable so
+            // the probe moves on immediately.
+            return Err(Error::InvalidArgument(format!(
+                "no member {member} in a {seats}-member cluster"
+            )));
+        }
+        match req {
+            Request::Ping => Ok(Response::Pong),
+            Request::Routes => Ok(Response::Routes(self.routes())),
+            Request::Put { key, value, cg, .. } => {
+                let engine = self.owned_engine(member, &key)?;
+                let ts = engine.put(cg, key, value).map_err(remap_stale_route)?;
+                Ok(Response::Ts(ts))
+            }
+            Request::Get { key, cg, .. } => {
+                let engine = self.owned_engine(member, &key)?;
+                let v = engine.get(cg, &key).map_err(remap_stale_route)?;
+                Ok(Response::Value(v))
+            }
+            Request::GetAt { key, cg, at, .. } => {
+                let engine = self.owned_engine(member, &key)?;
+                let v = engine.get_at(cg, &key, at).map_err(remap_stale_route)?;
+                Ok(Response::Value(v))
+            }
+            Request::Delete { key, cg, .. } => {
+                let engine = self.owned_engine(member, &key)?;
+                engine.delete(cg, &key).map_err(remap_stale_route)?;
+                Ok(Response::Unit)
+            }
+            Request::Scan {
+                cg,
+                start,
+                end,
+                limit,
+                ..
+            } => {
+                let engine = self.owned_engine(member, &start)?;
+                let range = KeyRange { start, end };
+                let items = engine
+                    .range_scan(cg, &range, limit as usize)
+                    .map_err(remap_stale_route)?;
+                Ok(Response::Scan(items))
+            }
+            Request::TxnBegin { anchor } => {
+                // A non-empty anchor catches a stale client routing
+                // cache before any transaction state is created.
+                if !anchor.is_empty() {
+                    let owner = self.router.route_checked(&anchor)?;
+                    if owner != member {
+                        return Err(Error::TabletMoved(format!(
+                            "txn anchor now owned by member {owner}, not {member}"
+                        )));
+                    }
+                }
+                let server = self.member_server(member)?;
+                let txn = TxnManager::begin(&server);
+                let (id, snapshot) = (txn.id(), txn.snapshot());
+                self.txns.lock().insert(id, (member, txn));
+                Ok(Response::TxnBegun { txn: id, snapshot })
+            }
+            Request::TxnRead {
+                txn: id,
+                table,
+                cg,
+                key,
+            } => {
+                let (member, mut txn) = self.take_txn(id)?;
+                let server = match self.member_server(member) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        // The server died mid-transaction: the txn can
+                        // never commit there, so drop it rather than
+                        // park it forever.
+                        return Err(e);
+                    }
+                };
+                let result = TxnManager::read(&server, &mut txn, &table, cg, &key);
+                self.txns.lock().insert(id, (member, txn));
+                Ok(Response::Value(result?))
+            }
+            Request::TxnCommit { txn: id, writes } => {
+                let (member, mut txn) = self.take_txn(id)?;
+                let server = self.member_server(member)?;
+                for (table, cg, key, value) in writes {
+                    apply_write(&mut txn, &table, cg, key, value);
+                }
+                let ts = TxnManager::commit(&server, txn)?;
+                Ok(Response::Ts(ts))
+            }
+            Request::TxnAbort { txn: id } => {
+                if let Ok((member, txn)) = self.take_txn(id) {
+                    if let Ok(server) = self.member_server(member) {
+                        TxnManager::abort(&server, txn);
+                    }
+                }
+                Ok(Response::Unit)
+            }
+        }
+    }
+
+    /// The routing table with advertised addresses.
+    pub fn routes(&self) -> Vec<RouteInfo> {
+        let addrs = self.addrs.read();
+        self.router
+            .snapshot()
+            .into_iter()
+            .map(|r| RouteInfo {
+                start: r.range.start,
+                end: r.range.end,
+                member: r.member,
+                addr: addrs.get(&r.member).cloned().unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    /// Abort (and forget) each of `ids` that is still open — the
+    /// transport calls this when a client connection dies with
+    /// transactions in flight.
+    pub fn abort_txns(&self, ids: &[u64]) {
+        for &id in ids {
+            let taken = self.txns.lock().remove(&id);
+            if let Some((member, txn)) = taken {
+                if let Ok(server) = self.member_server(member) {
+                    TxnManager::abort(&server, txn);
+                }
+            }
+        }
+    }
+
+    /// Open wire transactions (tests assert session-table hygiene).
+    pub fn open_txns(&self) -> usize {
+        self.txns.lock().len()
+    }
+
+    fn take_txn(&self, id: u64) -> Result<(u32, Transaction)> {
+        self.txns
+            .lock()
+            .remove(&id)
+            .ok_or_else(|| Error::TxnAborted(format!("txn {id} is not open on this server")))
+    }
+
+    /// Resolve `key`'s engine, enforcing the ownership protocol above.
+    fn owned_engine(
+        &self,
+        member: u32,
+        key: &[u8],
+    ) -> Result<Arc<dyn logbase_common::engine::StorageEngine>> {
+        let owner = self.router.route_checked(key)?;
+        if owner != member {
+            return Err(Error::TabletMoved(format!(
+                "key now owned by member {owner}, not {member}"
+            )));
+        }
+        self.slots.read()[member as usize]
+            .engine
+            .clone()
+            .ok_or_else(|| {
+                Error::Unavailable(format!(
+                    "member {member} is down; failover has not completed"
+                ))
+            })
+    }
+
+    fn member_server(&self, member: u32) -> Result<Arc<logbase::TabletServer>> {
+        self.slots
+            .read()
+            .get(member as usize)
+            .and_then(|s| s.server.clone())
+            .ok_or_else(|| {
+                Error::Unavailable(format!(
+                    "member {member} has no tablet server (down, or not a LogBase cluster)"
+                ))
+            })
+    }
+}
+
+fn apply_write(
+    txn: &mut Transaction,
+    table: &str,
+    cg: u16,
+    key: logbase_common::RowKey,
+    value: Option<logbase_common::Value>,
+) {
+    match value {
+        Some(v) => TxnManager::write(txn, table, cg, key, v),
+        None => TxnManager::delete(txn, table, cg, key),
+    }
+}
+
+/// A committed wire write's timestamp, for transports that need it
+/// typed (keeps the `Response::Ts` unwrap in one place).
+pub fn expect_ts(resp: Response) -> Result<Timestamp> {
+    match resp {
+        Response::Ts(ts) => Ok(ts),
+        Response::Err(w) => Err(w.into()),
+        other => Err(Error::Corruption(format!(
+            "unexpected response variant: {other:?}"
+        ))),
+    }
+}
+
+fn remap_stale_route(e: Error) -> Error {
+    match e {
+        Error::TabletNotServed(d) => Error::TabletMoved(d),
+        other => other,
+    }
+}

@@ -1,0 +1,566 @@
+//! The client side of the wire: a [`Transport`] carries one request to
+//! one member; a [`Client`] layers routing, retries, deadlines, and
+//! metrics on top.
+//!
+//! Two transports exist:
+//!
+//! - [`InProcessTransport`] — a function call into the shared
+//!   [`ClusterService`]. Zero marshalling, zero copies beyond `Bytes`
+//!   refcounts: the path every pre-existing test took, now expressed
+//!   through the same seam as TCP.
+//! - `TcpTransport` (in [`crate::net`]) — length-prefixed CRC frames
+//!   over pooled, pipelined connections.
+//!
+//! # Retry semantics
+//!
+//! [`Client`] mirrors the in-process `client_put`/`client_get` contract
+//! exactly: bounded exponential backoff with deterministic jitter
+//! (reusing [`RetryPolicy`]'s schedule) retries everything
+//! [`Error::is_retriable`] admits — `Unavailable` (ownership gap, dead
+//! seat, connection refused/reset), `Busy` (load shed), `TabletMoved`
+//! (stale routing cache, which also invalidates the cache), transient
+//! I/O — while `Fenced` and every other non-retriable error fails
+//! immediately. The whole retry loop runs under one per-operation
+//! deadline: when the next backoff would cross it, the operation fails
+//! with [`Error::DeadlineExceeded`] — the retry budget *is* the
+//! deadline.
+//!
+//! # Routing cache
+//!
+//! The client learns tablet locations from the `Routes` RPC (served by
+//! every member) and caches them. A `TabletMoved` response proves the
+//! cache stale: the client drops it, counts a
+//! `routing_cache_invalidations`, re-fetches, and retries at the new
+//! owner.
+
+use crate::service::ClusterService;
+use logbase::endpoint::{TxnEndpoint, TxnSession};
+use logbase_common::metrics::{Metrics, MetricsHandle};
+use logbase_common::rpc::{Request, Response, RouteInfo};
+use logbase_common::{Error, Result, RetryPolicy, RowKey, Timestamp, Value};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One hop to one member. Implementations surface transport-level
+/// failures (refused/reset connections, timeouts) as retriable errors;
+/// application errors arrive intact inside [`Response::Err`].
+pub trait Transport: Send + Sync {
+    /// Send `req` to `member`, waiting no further than `deadline`.
+    fn call(&self, member: u32, req: Request, deadline: Instant) -> Result<Response>;
+
+    /// Transport label for reports ("inproc" / "tcp").
+    fn name(&self) -> &'static str;
+}
+
+/// The zero-cost transport: requests dispatch directly into the shared
+/// [`ClusterService`].
+pub struct InProcessTransport {
+    service: Arc<ClusterService>,
+}
+
+impl InProcessTransport {
+    /// Wrap the service as a transport.
+    pub fn new(service: Arc<ClusterService>) -> Self {
+        InProcessTransport { service }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn call(&self, member: u32, req: Request, _deadline: Instant) -> Result<Response> {
+        Ok(self.service.dispatch(member, req))
+    }
+
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+}
+
+/// Client-side knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-operation deadline covering the whole retry loop.
+    pub op_deadline: Duration,
+    /// Backoff schedule (attempt budget, delays, jitter, seed).
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            // Parity with the in-process path: RetryPolicy::new(400)
+            // rides out a full lease expiry + failover.
+            op_deadline: Duration::from_secs(30),
+            retry: RetryPolicy::new(400),
+        }
+    }
+}
+
+/// A cached routing entry.
+#[derive(Clone)]
+struct CachedRoute {
+    start: RowKey,
+    end: Option<RowKey>,
+    member: u32,
+}
+
+/// Transport-agnostic cluster client: routing cache + deadline-capped
+/// retries over any [`Transport`].
+pub struct Client {
+    transport: Arc<dyn Transport>,
+    config: ClientConfig,
+    table: String,
+    metrics: MetricsHandle,
+    routes: RwLock<Vec<CachedRoute>>,
+}
+
+impl Client {
+    /// Client over `transport` for the cluster's benchmark table.
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        table: impl Into<String>,
+        metrics: MetricsHandle,
+        config: ClientConfig,
+    ) -> Self {
+        Client {
+            transport,
+            config,
+            table: table.into(),
+            metrics,
+            routes: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The transport's label.
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// The client's metrics sink.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    // ---- key-value operations ---------------------------------------
+
+    /// Routed durable write, retrying through failover.
+    pub fn put(&self, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
+        let resp = self.call_routed(&key, "put", || Request::Put {
+            table: self.table.clone(),
+            cg,
+            key: key.clone(),
+            value: value.clone(),
+        })?;
+        expect_ts(resp)
+    }
+
+    /// Routed point read, retrying through failover.
+    pub fn get(&self, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        let resp = self.call_routed(key, "get", || Request::Get {
+            table: self.table.clone(),
+            cg,
+            key: RowKey::copy_from_slice(key),
+        })?;
+        expect_value(resp)
+    }
+
+    /// Routed multiversion read.
+    pub fn get_at(&self, cg: u16, key: &[u8], at: Timestamp) -> Result<Option<Value>> {
+        let resp = self.call_routed(key, "get_at", || Request::GetAt {
+            table: self.table.clone(),
+            cg,
+            key: RowKey::copy_from_slice(key),
+            at,
+        })?;
+        expect_value(resp)
+    }
+
+    /// Routed delete.
+    pub fn delete(&self, cg: u16, key: &[u8]) -> Result<()> {
+        let resp = self.call_routed(key, "delete", || Request::Delete {
+            table: self.table.clone(),
+            cg,
+            key: RowKey::copy_from_slice(key),
+        })?;
+        match resp {
+            Response::Unit => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Scan the single member owning `start`, up to `limit` items.
+    pub fn scan_member(
+        &self,
+        cg: u16,
+        start: &[u8],
+        end: Option<RowKey>,
+        limit: u64,
+    ) -> Result<Vec<(RowKey, Timestamp, Value)>> {
+        let resp = self.call_routed(start, "scan", || Request::Scan {
+            table: self.table.clone(),
+            cg,
+            start: RowKey::copy_from_slice(start),
+            end: end.clone(),
+            limit,
+        })?;
+        match resp {
+            Response::Scan(items) => Ok(items),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The routing table as the server currently advertises it.
+    pub fn routes(&self) -> Result<Vec<RouteInfo>> {
+        let deadline = Instant::now() + self.config.op_deadline;
+        self.fetch_routes(deadline)
+    }
+
+    /// The member currently serving `key`, per the cached routing table.
+    pub fn member_for(&self, key: &[u8]) -> Result<u32> {
+        let deadline = Instant::now() + self.config.op_deadline;
+        self.resolve(key, deadline)
+    }
+
+    // ---- transactions -----------------------------------------------
+
+    /// A transaction endpoint anchored at `key`'s tablet. The endpoint
+    /// pins the member serving `key` at call time; a reassignment
+    /// surfaces as retriable errors from the endpoint's operations.
+    pub fn endpoint_for(&self, key: &[u8]) -> Result<ClientEndpoint<'_>> {
+        let deadline = Instant::now() + self.config.op_deadline;
+        let member = self.resolve(key, deadline)?;
+        Ok(ClientEndpoint {
+            client: self,
+            member,
+            anchor: RowKey::copy_from_slice(key),
+        })
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    /// One member-addressed call with the full retry loop but no
+    /// re-routing: used by transaction sessions, whose member is pinned
+    /// by the open transaction. `TabletMoved` fails fast here — only a
+    /// re-route (a fresh endpoint) can help, so retrying the pinned
+    /// member would just burn the budget.
+    fn call_member(&self, member: u32, what: &str, mk: impl Fn() -> Request) -> Result<Response> {
+        let deadline = Instant::now() + self.config.op_deadline;
+        self.retry_loop(what, deadline, false, |_| {
+            Metrics::incr(&self.metrics.rpc_requests);
+            let resp = self.transport.call(member, mk(), deadline)?;
+            match resp {
+                Response::Err(w) => Err(Error::from(w)),
+                ok => Ok(ok),
+            }
+        })
+    }
+
+    /// One key-routed call: resolve the owner from the cache, call it,
+    /// invalidate + refetch the cache on `TabletMoved`, retry with
+    /// backoff under the deadline.
+    fn call_routed(&self, key: &[u8], what: &str, mk: impl Fn() -> Request) -> Result<Response> {
+        let deadline = Instant::now() + self.config.op_deadline;
+        self.retry_loop(what, deadline, true, |_| {
+            let member = self.resolve(key, deadline)?;
+            Metrics::incr(&self.metrics.rpc_requests);
+            let resp = self.transport.call(member, mk(), deadline)?;
+            match resp {
+                Response::Err(w) => Err(Error::from(w)),
+                ok => Ok(ok),
+            }
+        })
+    }
+
+    /// The shared retry loop: retriable errors back off under the
+    /// deadline; `TabletMoved` additionally invalidates the routing
+    /// cache (and, with `retry_moved` false, fails fast so the caller
+    /// can re-route). Non-retriable errors — `Fenced` above all — fail
+    /// fast.
+    fn retry_loop<T>(
+        &self,
+        what: &str,
+        deadline: Instant,
+        retry_moved: bool,
+        mut op: impl FnMut(u32) -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retriable() => {
+                    if matches!(e, Error::TabletMoved(_)) {
+                        self.invalidate_routes();
+                        if !retry_moved {
+                            return Err(e);
+                        }
+                    }
+                    if attempt + 1 >= self.config.retry.max_attempts {
+                        return Err(Error::Unavailable(format!(
+                            "{what}: retries exhausted: {e}"
+                        )));
+                    }
+                    let delay = self.config.retry.backoff(attempt);
+                    if Instant::now() + delay >= deadline {
+                        Metrics::incr(&self.metrics.rpc_timeouts);
+                        return Err(Error::DeadlineExceeded(format!(
+                            "{what}: deadline elapsed after {} attempts: {e}",
+                            attempt + 1
+                        )));
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                    Metrics::incr(&self.metrics.rpc_retries);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Key → member through the cache, fetching the table on a miss.
+    fn resolve(&self, key: &[u8], deadline: Instant) -> Result<u32> {
+        if let Some(m) = lookup(&self.routes.read(), key) {
+            return Ok(m);
+        }
+        let fetched = self.fetch_routes(deadline)?;
+        let cached: Vec<CachedRoute> = fetched
+            .into_iter()
+            .map(|r| CachedRoute {
+                start: r.start,
+                end: r.end,
+                member: r.member,
+            })
+            .collect();
+        let m = lookup(&cached, key)
+            .ok_or_else(|| Error::TabletNotServed(format!("no route covers key {key:02x?}")))?;
+        *self.routes.write() = cached;
+        Ok(m)
+    }
+
+    /// Drop the cached routing table (counted: the satellite metric).
+    pub fn invalidate_routes(&self) {
+        let mut routes = self.routes.write();
+        if !routes.is_empty() {
+            routes.clear();
+            Metrics::incr(&self.metrics.routing_cache_invalidations);
+        }
+    }
+
+    /// Fetch the routing table from whichever member answers first.
+    /// Every member serves `Routes`, so this sweeps members (several
+    /// rounds, to ride out transient faults) until one responds.
+    fn fetch_routes(&self, deadline: Instant) -> Result<Vec<RouteInfo>> {
+        let mut last_err = Error::Unavailable("no members reachable for Routes".into());
+        for round in 0..8u32 {
+            let members = self.known_members();
+            for member in members {
+                if Instant::now() >= deadline {
+                    Metrics::incr(&self.metrics.rpc_timeouts);
+                    return Err(Error::DeadlineExceeded("routes fetch".into()));
+                }
+                Metrics::incr(&self.metrics.rpc_requests);
+                match self.transport.call(member, Request::Routes, deadline) {
+                    Ok(Response::Routes(routes)) if !routes.is_empty() => return Ok(routes),
+                    Ok(Response::Err(w)) => last_err = w.into(),
+                    Ok(other) => last_err = unexpected(other),
+                    Err(e) => last_err = e,
+                }
+            }
+            let delay = self.config.retry.backoff(round);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Members worth asking for the routing table: everyone the cache
+    /// mentions, or a small probe range when the cache is cold.
+    fn known_members(&self) -> Vec<u32> {
+        let cached: Vec<u32> = {
+            let routes = self.routes.read();
+            let mut m: Vec<u32> = routes.iter().map(|r| r.member).collect();
+            m.sort_unstable();
+            m.dedup();
+            m
+        };
+        if cached.is_empty() {
+            (0..8).collect()
+        } else {
+            cached
+        }
+    }
+}
+
+fn lookup(routes: &[CachedRoute], key: &[u8]) -> Option<u32> {
+    routes
+        .iter()
+        .find(|r| key >= &r.start[..] && r.end.as_ref().is_none_or(|e| key < &e[..]))
+        .map(|r| r.member)
+}
+
+fn expect_ts(resp: Response) -> Result<Timestamp> {
+    match resp {
+        Response::Ts(ts) => Ok(ts),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn expect_value(resp: Response) -> Result<Option<Value>> {
+    match resp {
+        Response::Value(v) => Ok(v),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn unexpected(resp: Response) -> Error {
+    Error::Corruption(format!("unexpected response variant: {resp:?}"))
+}
+
+// ---------------------------------------------------------------------
+// Wire-backed transaction endpoint
+// ---------------------------------------------------------------------
+
+/// A [`TxnEndpoint`] whose every operation crosses the client's
+/// transport. Writes buffer locally (read-your-own-writes included) and
+/// ship at commit, mirroring [`logbase::TxnManager`]'s client-side
+/// buffering.
+pub struct ClientEndpoint<'a> {
+    client: &'a Client,
+    member: u32,
+    anchor: RowKey,
+}
+
+impl ClientEndpoint<'_> {
+    /// The member this endpoint pins.
+    pub fn member(&self) -> u32 {
+        self.member
+    }
+}
+
+impl TxnEndpoint for ClientEndpoint<'_> {
+    fn endpoint_id(&self) -> u64 {
+        u64::from(self.member)
+    }
+
+    fn put(&self, table: &str, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
+        let resp = self
+            .client
+            .call_member(self.member, "ep put", || Request::Put {
+                table: table.to_string(),
+                cg,
+                key: key.clone(),
+                value: value.clone(),
+            })?;
+        expect_ts(resp)
+    }
+
+    fn get(&self, table: &str, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        let resp = self
+            .client
+            .call_member(self.member, "ep get", || Request::Get {
+                table: table.to_string(),
+                cg,
+                key: RowKey::copy_from_slice(key),
+            })?;
+        expect_value(resp)
+    }
+
+    fn begin(&self) -> Result<Box<dyn TxnSession + '_>> {
+        let resp = self
+            .client
+            .call_member(self.member, "txn begin", || Request::TxnBegin {
+                anchor: self.anchor.clone(),
+            })?;
+        match resp {
+            Response::TxnBegun { txn, .. } => Ok(Box::new(RemoteSession {
+                ep: self,
+                txn,
+                writes: BTreeMap::new(),
+                finished: false,
+            })),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Client-side state of one wire transaction.
+struct RemoteSession<'a> {
+    ep: &'a ClientEndpoint<'a>,
+    txn: u64,
+    /// The local write buffer, shipped at commit. Keyed like the
+    /// server's `CellId` so read-your-own-writes matches exactly.
+    writes: BTreeMap<(String, u16, RowKey), Option<Value>>,
+    finished: bool,
+}
+
+impl TxnSession for RemoteSession<'_> {
+    fn read(&mut self, table: &str, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        // RYOW: the local buffer wins before any wire round-trip —
+        // the same order TxnManager::read checks its buffer.
+        if let Some(v) = self
+            .writes
+            .get(&(table.to_string(), cg, RowKey::copy_from_slice(key)))
+        {
+            return Ok(v.clone());
+        }
+        let resp = self
+            .ep
+            .client
+            .call_member(self.ep.member, "txn read", || Request::TxnRead {
+                txn: self.txn,
+                table: table.to_string(),
+                cg,
+                key: RowKey::copy_from_slice(key),
+            })?;
+        expect_value(resp)
+    }
+
+    fn write(&mut self, table: &str, cg: u16, key: RowKey, value: Option<Value>) {
+        self.writes.insert((table.to_string(), cg, key), value);
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<Timestamp> {
+        self.finished = true;
+        let writes: Vec<_> = self
+            .writes
+            .iter()
+            .map(|((t, cg, k), v)| (t.clone(), *cg, k.clone(), v.clone()))
+            .collect();
+        let resp = self
+            .ep
+            .client
+            .call_member(self.ep.member, "txn commit", || Request::TxnCommit {
+                txn: self.txn,
+                writes: writes.clone(),
+            })?;
+        expect_ts(resp)
+    }
+
+    fn abort(mut self: Box<Self>) {
+        self.finished = true;
+        let _ = self
+            .ep
+            .client
+            .call_member(self.ep.member, "txn abort", || Request::TxnAbort {
+                txn: self.txn,
+            });
+    }
+}
+
+impl Drop for RemoteSession<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Best-effort single-shot abort so an abandoned session does
+            // not leak server-side state (no retry loop in a destructor).
+            let deadline = Instant::now() + Duration::from_millis(250);
+            let _ = self.ep.client.transport.call(
+                self.ep.member,
+                Request::TxnAbort { txn: self.txn },
+                deadline,
+            );
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Transport torture: the TCP stack under injected wire faults, load
+//! shedding, routing-cache churn, and kill-under-load failover — plus
+//! unit tests pinning the client's retry semantics (`Fenced` never
+//! retries, `TabletMoved` always does, deadlines cap the budget).
+//!
+//! Seeds come from `LOGBASE_NET_SEED` (default 1); CI matrixes over
+//! several. The acked-write-loss tests are the transport-level
+//! counterpart of the SI checker's guarantees: a fault-injected wire
+//! may fail or time out any request, but a positive ack is a durability
+//! contract.
+
+use logbase_cluster::{
+    Client, ClientConfig, Cluster, ClusterConfig, EngineKind, NetServerConfig, TcpTransport,
+    Transport,
+};
+use logbase_common::metrics::Metrics;
+use logbase_common::rpc::{self, Request, Response};
+use logbase_common::{Error, Result, RetryPolicy, RowKey, Value};
+use logbase_dfs::NetFaultSpec;
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn seed_from_env() -> u64 {
+    std::env::var("LOGBASE_NET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn key(k: u64) -> RowKey {
+    logbase_workload::encode_key(k)
+}
+
+fn val(s: &str) -> Value {
+    Value::copy_from_slice(s.as_bytes())
+}
+
+fn logbase_cluster(nodes: usize, seed: u64) -> Cluster {
+    Cluster::create(ClusterConfig::new(nodes, EngineKind::LogBase).with_dfs_fault_seed(seed))
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Retry-policy unit tests (over a scripted transport)
+// ---------------------------------------------------------------------
+
+/// A transport that replays a scripted error sequence, then succeeds.
+struct ScriptedTransport {
+    calls: AtomicU64,
+    script: Mutex<Vec<Option<Error>>>,
+}
+
+impl ScriptedTransport {
+    fn new(script: Vec<Option<Error>>) -> Arc<Self> {
+        Arc::new(ScriptedTransport {
+            calls: AtomicU64::new(0),
+            script: Mutex::new(script),
+        })
+    }
+}
+
+impl Transport for ScriptedTransport {
+    fn call(&self, _member: u32, req: Request, _deadline: Instant) -> Result<Response> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        // Routing probes always succeed with a single all-covering route.
+        if matches!(req, Request::Routes) {
+            return Ok(Response::Routes(vec![rpc::RouteInfo {
+                start: RowKey::new(),
+                end: None,
+                member: 0,
+                addr: String::new(),
+            }]));
+        }
+        let mut script = self.script.lock();
+        match if script.is_empty() {
+            None
+        } else {
+            Some(script.remove(0))
+        } {
+            Some(Some(e)) => Ok(Response::from_err(&e)),
+            _ => Ok(Response::Ts(logbase_common::Timestamp(1))),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+fn scripted_client(script: Vec<Option<Error>>) -> (Client, Arc<ScriptedTransport>) {
+    let transport = ScriptedTransport::new(script);
+    let client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        "t",
+        Metrics::new_handle(),
+        ClientConfig {
+            op_deadline: Duration::from_secs(5),
+            retry: RetryPolicy::no_delay(50),
+        },
+    );
+    (client, transport)
+}
+
+#[test]
+fn fenced_is_fatal_and_never_retried() {
+    let (client, transport) = scripted_client(vec![Some(Error::Fenced {
+        held: 1,
+        current: 2,
+        server: "srv-0".into(),
+    })]);
+    let err = client.put(0, key(1), val("v")).unwrap_err();
+    assert!(matches!(err, Error::Fenced { .. }), "got {err:?}");
+    // One Routes probe + exactly one (unretried) Put.
+    let puts = transport.calls.load(Ordering::SeqCst) - 1;
+    assert_eq!(puts, 1, "Fenced must not be retried");
+}
+
+#[test]
+fn tablet_moved_always_retries_and_invalidates_the_cache() {
+    let moved = || Some(Error::TabletMoved("reassigned".into()));
+    let (client, _t) = scripted_client(vec![moved(), moved(), moved()]);
+    client.put(0, key(1), val("v")).unwrap();
+    let m = client.metrics().snapshot();
+    assert!(
+        m.rpc_retries >= 3,
+        "three TabletMoved responses must cost three retries, saw {}",
+        m.rpc_retries
+    );
+    assert!(
+        m.routing_cache_invalidations >= 3,
+        "every TabletMoved must invalidate the cache, saw {}",
+        m.routing_cache_invalidations
+    );
+}
+
+#[test]
+fn busy_and_unavailable_retry_until_success() {
+    let (client, _t) = scripted_client(vec![
+        Some(Error::Busy("shed".into())),
+        Some(Error::Unavailable("gap".into())),
+        Some(Error::Busy("shed".into())),
+    ]);
+    client.put(0, key(1), val("v")).unwrap();
+    assert!(client.metrics().snapshot().rpc_retries >= 3);
+}
+
+#[test]
+fn deadline_caps_the_retry_budget() {
+    let transport = ScriptedTransport::new(
+        std::iter::repeat_with(|| Some(Error::Unavailable("down".into())))
+            .take(100_000)
+            .collect(),
+    );
+    let metrics = Metrics::new_handle();
+    let client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        "t",
+        Arc::clone(&metrics),
+        ClientConfig {
+            op_deadline: Duration::from_millis(120),
+            // A budget far larger than the deadline allows.
+            retry: RetryPolicy::new(1_000_000),
+        },
+    );
+    let start = Instant::now();
+    let err = client.put(0, key(1), val("v")).unwrap_err();
+    assert!(
+        matches!(err, Error::DeadlineExceeded(_)),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "deadline did not cap the retry loop"
+    );
+    assert!(metrics.snapshot().rpc_timeouts >= 1);
+}
+
+#[test]
+fn backoff_jitter_stays_in_bounds() {
+    let policy = RetryPolicy::new(64);
+    for seed_off in 0..16u64 {
+        let p = RetryPolicy {
+            seed: policy.seed.wrapping_add(seed_off),
+            ..policy.clone()
+        };
+        for attempt in 0..32u32 {
+            let d = p.backoff(attempt);
+            let ceiling = p.max_delay.mul_f64(1.0 + p.jitter) + Duration::from_nanos(1);
+            assert!(
+                d <= ceiling,
+                "attempt {attempt}: backoff {d:?} above jittered cap {ceiling:?}"
+            );
+            let floor = p.base_delay.min(p.max_delay);
+            assert!(
+                d >= floor,
+                "attempt {attempt}: backoff {d:?} under base {floor:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live-wire tests
+// ---------------------------------------------------------------------
+
+fn tcp_client(cluster: &Cluster, config: ClientConfig) -> Client {
+    let net = cluster.start_net(NetServerConfig::default()).unwrap();
+    cluster.client_with(Arc::new(TcpTransport::for_server(&net)), config)
+}
+
+#[test]
+fn tcp_and_inproc_clients_see_the_same_data() {
+    let cluster = logbase_cluster(3, 0);
+    let tcp = tcp_client(&cluster, ClientConfig::default());
+    let inproc = cluster.client(); // LOGBASE_TRANSPORT unset in-test ⇒ may be either; use explicit too
+    let domain = cluster.config().key_domain;
+    for i in 0..40u64 {
+        tcp.put(0, key(i * (domain / 40)), val(&format!("v{i}")))
+            .unwrap();
+    }
+    for i in 0..40u64 {
+        let k = key(i * (domain / 40));
+        assert_eq!(inproc.get(0, &k).unwrap(), Some(val(&format!("v{i}"))));
+        assert_eq!(tcp.get(0, &k).unwrap(), Some(val(&format!("v{i}"))));
+    }
+}
+
+/// Seeded torn-frame / reset / refusal / duplication run: any request
+/// may fail, but an acked write may never be lost.
+#[test]
+fn transport_faults_never_lose_acked_writes() {
+    let seed = seed_from_env();
+    let cluster = logbase_cluster(3, seed);
+    let injector = cluster.dfs().fault_injector();
+    let client = tcp_client(
+        &cluster,
+        ClientConfig {
+            // Short enough that half-open hangs resolve quickly, long
+            // enough to ride out refusal/reset bursts.
+            op_deadline: Duration::from_secs(2),
+            retry: RetryPolicy::new(400),
+        },
+    );
+    // Warm the routing cache before the wire gets hostile.
+    client.routes().unwrap();
+    for m in 0..3 {
+        injector.set_net_spec(
+            m,
+            NetFaultSpec {
+                conn_refuse_prob: 0.05,
+                conn_reset_prob: 0.05,
+                torn_frame_prob: 0.05,
+                dup_response_prob: 0.05,
+                half_open_prob: 0.01,
+                ..NetFaultSpec::default()
+            },
+        );
+    }
+
+    let domain = cluster.config().key_domain;
+    let mut acked: Vec<(u64, String)> = Vec::new();
+    for i in 0..120u64 {
+        let k = i * (domain / 120);
+        let v = format!("v{seed}-{i}");
+        match client.put(0, key(k), val(&v)) {
+            Ok(_) => acked.push((k, v)),
+            // A faulted wire may legitimately fail or time a request
+            // out; only *acked* writes carry the durability contract.
+            Err(e) => assert!(
+                matches!(e, Error::Unavailable(_) | Error::DeadlineExceeded(_)),
+                "unexpected error class under net faults: {e:?}"
+            ),
+        }
+    }
+    assert!(
+        acked.len() >= 60,
+        "wire so hostile almost nothing committed ({}/120)",
+        acked.len()
+    );
+
+    injector.clear_net();
+    for (k, v) in &acked {
+        assert_eq!(
+            client.get(0, &key(*k)).unwrap(),
+            Some(val(v)),
+            "acked write for key {k} lost"
+        );
+    }
+    let m = client.metrics().snapshot();
+    assert!(m.rpc_retries > 0, "faults armed but nothing ever retried");
+}
+
+/// With an admission cap of zero every request sheds as retriable
+/// `Busy`; the client backs off and eventually gives up cleanly.
+#[test]
+fn overloaded_member_sheds_with_busy() {
+    let cluster = logbase_cluster(2, 0);
+    let net = cluster
+        .start_net(NetServerConfig { max_in_flight: 0 })
+        .unwrap();
+    let client = cluster.client_with(
+        Arc::new(TcpTransport::for_server(&net)),
+        ClientConfig {
+            op_deadline: Duration::from_millis(300),
+            retry: RetryPolicy::no_delay(10),
+        },
+    );
+    let err = client.put(0, key(1), val("v")).unwrap_err();
+    assert!(
+        matches!(err, Error::Unavailable(_) | Error::DeadlineExceeded(_)),
+        "got {err:?}"
+    );
+    let m = client.metrics().snapshot();
+    assert!(m.connections_shed > 0, "no request was shed");
+    assert!(m.rpc_retries > 0, "Busy must be retried, not fatal");
+}
+
+/// Garbage and hostile length prefixes on a raw socket must not wedge
+/// the server: the connection dies, the listener keeps serving.
+#[test]
+fn garbage_frames_do_not_wedge_the_server() {
+    let seed = seed_from_env();
+    let cluster = logbase_cluster(2, 0);
+    let net = cluster.start_net(NetServerConfig::default()).unwrap();
+    let addr = net.addr(0);
+
+    // Fuzz-style corpus: random junk, truncated valid frames, and an
+    // oversized length prefix that must be rejected before allocation.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..20 {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        let payload: Vec<u8> = match round % 4 {
+            0 => (0..(rng() % 200)).map(|_| (rng() & 0xFF) as u8).collect(),
+            1 => {
+                // Oversized announcement: 1 GiB length, tiny body.
+                let mut f = Vec::new();
+                f.extend_from_slice(&(1u32 << 30).to_le_bytes());
+                f.extend_from_slice(&0u32.to_le_bytes());
+                f.extend_from_slice(b"junk");
+                f
+            }
+            2 => {
+                // A valid frame torn mid-payload.
+                let mut f = bytes::BytesMut::new();
+                rpc::encode_request(&mut f, 7, &Request::Ping);
+                let keep = (rng() as usize % f.len().saturating_sub(1)).max(1);
+                f[..keep].to_vec()
+            }
+            _ => {
+                // Valid header, corrupted CRC.
+                let mut f = bytes::BytesMut::new();
+                rpc::encode_request(&mut f, 7, &Request::Ping);
+                let mut v = f.to_vec();
+                let last = v.len() - 1;
+                v[last] ^= 0xFF;
+                v
+            }
+        };
+        let _ = sock.write_all(&payload);
+        drop(sock);
+    }
+
+    // The server must still answer a well-formed client.
+    let client = cluster.client_with(
+        Arc::new(TcpTransport::for_server(&net)),
+        ClientConfig::default(),
+    );
+    client.put(0, key(1), val("still alive")).unwrap();
+    assert_eq!(client.get(0, &key(1)).unwrap(), Some(val("still alive")));
+}
+
+/// A client connection that dies with a transaction open must not leak
+/// server-side session state.
+#[test]
+fn connection_death_aborts_open_wire_txns() {
+    let cluster = logbase_cluster(2, 0);
+    let net = cluster.start_net(NetServerConfig::default()).unwrap();
+    let addr = net.addr(0);
+
+    let mut sock = std::net::TcpStream::connect(addr).unwrap();
+    let mut frame = bytes::BytesMut::new();
+    // Anchor inside member 0's range (empty anchor skips the check).
+    rpc::encode_request(&mut frame, 1, &Request::TxnBegin { anchor: key(0) });
+    sock.write_all(&frame).unwrap();
+    let payload = rpc::read_frame(&mut sock, rpc::MAX_RPC_FRAME, "test")
+        .unwrap()
+        .unwrap();
+    let (_, resp) = rpc::decode_response(payload).unwrap();
+    assert!(matches!(resp, Response::TxnBegun { .. }), "got {resp:?}");
+    assert_eq!(cluster.service().open_txns(), 1);
+
+    drop(sock); // the client process "dies"
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cluster.service().open_txns() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "server never aborted the orphaned wire txn"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Kill a member under continuous TCP write load: routing caches go
+/// stale mid-flight, failover reassigns the range, and every acked
+/// write must remain readable afterwards.
+#[test]
+fn tcp_kill_under_load_keeps_all_acked_writes() {
+    let seed = seed_from_env();
+    let cluster = Arc::new(logbase_cluster(3, seed));
+    let net = cluster.start_net(NetServerConfig::default()).unwrap();
+    let domain = cluster.config().key_domain;
+    let victim = (seed % 3) as usize;
+
+    let acked: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Failover driver: kill the victim a moment in, then drive the
+        // lease clock until the takeover lands.
+        let driver = {
+            let c = Arc::clone(&cluster);
+            let done = &done;
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                c.kill_server(victim);
+                for _ in 0..10_000 {
+                    c.heartbeat_all();
+                    c.tick(1);
+                    let _ = c.run_failover();
+                    if done.load(Ordering::Relaxed)
+                        && c.pending_failovers() == 0
+                        && !c.routes().iter().any(|r| r.member == victim as u32)
+                    {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                panic!("failover of member {victim} never completed");
+            })
+        };
+
+        // Writers: 4 threads × 60 keys over their own TCP clients.
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let c = Arc::clone(&cluster);
+                let net = Arc::clone(&net);
+                let acked = &acked;
+                scope.spawn(move || {
+                    let client = c.client_with(
+                        Arc::new(TcpTransport::for_server(&net)),
+                        ClientConfig {
+                            op_deadline: Duration::from_secs(10),
+                            retry: RetryPolicy::new(400),
+                        },
+                    );
+                    for j in 0..60u64 {
+                        let g = w * 60 + j;
+                        let k = g * (domain / 240);
+                        let v = format!("w{w}-{j}");
+                        if client.put(0, key(k), val(&v)).is_ok() {
+                            acked.lock().push((k, v));
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        driver.join().unwrap();
+    });
+
+    let acked = acked.into_inner();
+    assert!(
+        acked.len() >= 200,
+        "failover ate the throughput: only {}/240 acked",
+        acked.len()
+    );
+    // Fresh client, post-failover routing table: every ack must read.
+    let reader = cluster.client_with(
+        Arc::new(TcpTransport::for_server(&net)),
+        ClientConfig::default(),
+    );
+    for (k, v) in &acked {
+        assert_eq!(
+            reader.get(0, &key(*k)).unwrap(),
+            Some(val(v)),
+            "acked write for key {k} lost in failover"
+        );
+    }
+    let m = cluster.metrics().snapshot();
+    assert!(
+        m.routing_cache_invalidations > 0,
+        "failover must have invalidated at least one client routing cache"
+    );
+}

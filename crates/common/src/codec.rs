@@ -18,6 +18,11 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// Size of the frame header (length + crc).
 pub const FRAME_HEADER_LEN: usize = 8;
 
+/// Default upper bound on a single frame's payload (16 MiB). A torn or
+/// hostile length prefix can announce up to 4 GiB; every decoder that
+/// allocates based on the prefix must bound it first.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
 /// Append one frame around `payload` to `dst`. Returns the framed length.
 pub fn encode_frame(dst: &mut BytesMut, payload: &[u8]) -> usize {
     let crc = crc32fast::hash(payload);
@@ -33,6 +38,16 @@ pub fn encode_frame(dst: &mut BytesMut, payload: &[u8]) -> usize {
 /// On success returns the payload and the total number of bytes consumed.
 /// `context` names the source (for error messages).
 pub fn decode_frame(src: &[u8], context: &str) -> Result<(Bytes, usize)> {
+    decode_frame_bounded(src, MAX_FRAME_LEN.max(src.len()), context)
+}
+
+/// [`decode_frame`] with an explicit payload-length bound.
+///
+/// A length prefix above `max_len` fails with [`Error::FrameTooLarge`]
+/// *before* any length-derived allocation or read — the defense a
+/// streaming transport needs, where "skip ahead `len` bytes" means
+/// allocating or blocking for that many bytes.
+pub fn decode_frame_bounded(src: &[u8], max_len: usize, context: &str) -> Result<(Bytes, usize)> {
     if src.len() < FRAME_HEADER_LEN {
         return Err(Error::Corruption(format!(
             "{context}: truncated frame header ({} bytes)",
@@ -42,6 +57,12 @@ pub fn decode_frame(src: &[u8], context: &str) -> Result<(Bytes, usize)> {
     let mut hdr = &src[..FRAME_HEADER_LEN];
     let len = hdr.get_u32_le() as usize;
     let crc = hdr.get_u32_le();
+    if len > max_len {
+        return Err(Error::FrameTooLarge {
+            announced: len as u64,
+            max: max_len as u64,
+        });
+    }
     let end = FRAME_HEADER_LEN
         .checked_add(len)
         .ok_or_else(|| Error::Corruption(format!("{context}: frame length overflow")))?;
@@ -163,6 +184,35 @@ mod tests {
         encode_frame(&mut buf, b"long enough payload");
         let err = decode_frame(&buf[..buf.len() - 4], "test").unwrap_err();
         assert!(matches!(err, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_payload_checks() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, b"payload");
+        let mut bytes = buf.to_vec();
+        // Corrupt the length prefix to announce ~3.7 GiB.
+        bytes[..4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        let err = decode_frame_bounded(&bytes, 1 << 20, "test").unwrap_err();
+        assert!(
+            matches!(err, Error::FrameTooLarge { announced, max }
+                if announced == 0xDEAD_BEEF && max == 1 << 20),
+            "wrong error: {err}"
+        );
+        // The unbounded entry point still refuses lengths beyond the
+        // workspace bound once the buffer itself is bigger than it.
+        let err = decode_frame_bounded(&bytes, MAX_FRAME_LEN, "test").unwrap_err();
+        assert!(matches!(err, Error::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn bounded_decode_accepts_frames_at_the_bound() {
+        let mut buf = BytesMut::new();
+        encode_frame(&mut buf, &[7u8; 64]);
+        let (payload, _) = decode_frame_bounded(&buf, 64, "test").unwrap();
+        assert_eq!(payload.len(), 64);
+        let err = decode_frame_bounded(&buf, 63, "test").unwrap_err();
+        assert!(matches!(err, Error::FrameTooLarge { .. }));
     }
 
     #[test]

@@ -77,6 +77,23 @@ pub enum Error {
     TxnAborted(String),
     /// Operation attempted on a server that is shut down or recovering.
     Unavailable(String),
+    /// Server shed the request under load (bounded accept/worker queues
+    /// are full). Retriable after backoff — unlike `Unavailable`, the
+    /// server is healthy, just momentarily saturated.
+    Busy(String),
+    /// A wire frame announced a length above the transport's bound —
+    /// either corruption of the length prefix or a hostile peer. The
+    /// connection must be dropped; the frame can never be read.
+    FrameTooLarge {
+        /// Announced payload length.
+        announced: u64,
+        /// The transport's maximum frame size.
+        max: u64,
+    },
+    /// The caller's per-operation deadline elapsed before the operation
+    /// (including retries) completed. Not retriable: the retry budget
+    /// *is* the deadline.
+    DeadlineExceeded(String),
     /// A named crash point fired: the process is simulating a crash at
     /// this exact site. The error must propagate to the top of the
     /// maintenance call without any cleanup, mimicking a process that
@@ -135,6 +152,12 @@ impl fmt::Display for Error {
             Error::TxnConflict { detail } => write!(f, "transaction conflict: {detail}"),
             Error::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
             Error::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            Error::Busy(msg) => write!(f, "server busy (load shed): {msg}"),
+            Error::FrameTooLarge { announced, max } => write!(
+                f,
+                "frame too large: announced {announced} bytes exceeds the {max}-byte bound"
+            ),
+            Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             Error::CrashPoint { site } => write!(f, "injected crash at {site}"),
             Error::Recovery(msg) => write!(f, "recovery error: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -166,6 +189,7 @@ impl Error {
         match self {
             Error::NodeDown(_)
             | Error::Unavailable(_)
+            | Error::Busy(_)
             | Error::InsufficientReplicas { .. }
             | Error::TabletMoved(_) => true,
             // A fenced session can never succeed by retrying: its epoch
@@ -187,7 +211,10 @@ impl Error {
     /// True when the error indicates on-disk corruption rather than a
     /// logical or transient failure.
     pub fn is_corruption(&self) -> bool {
-        matches!(self, Error::ChecksumMismatch { .. } | Error::Corruption(_))
+        matches!(
+            self,
+            Error::ChecksumMismatch { .. } | Error::Corruption(_) | Error::FrameTooLarge { .. }
+        )
     }
 }
 
@@ -244,6 +271,23 @@ mod tests {
         assert!(!e.is_retriable());
         assert!(!e.is_corruption());
         assert!(e.to_string().contains("compaction.after_sorted_write"));
+    }
+
+    #[test]
+    fn busy_is_retriable_but_deadline_and_oversized_frames_are_not() {
+        assert!(Error::Busy("accept queue full".into()).is_retriable());
+        let deadline = Error::DeadlineExceeded("put: 250ms elapsed".into());
+        assert!(!deadline.is_retriable());
+        assert!(deadline.to_string().contains("250ms"));
+        let oversized = Error::FrameTooLarge {
+            announced: 1 << 40,
+            max: 1 << 24,
+        };
+        assert!(!oversized.is_retriable());
+        // A bogus length prefix is corruption of the stream: the frame
+        // can never be read and the connection must be dropped.
+        assert!(oversized.is_corruption());
+        assert!(oversized.to_string().contains("bound"));
     }
 
     #[test]

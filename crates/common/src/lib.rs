@@ -23,6 +23,7 @@ pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod retry;
+pub mod rpc;
 pub mod schema;
 pub mod types;
 

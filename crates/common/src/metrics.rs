@@ -66,6 +66,16 @@ pub struct Metrics {
     /// Interrupted maintenance jobs rolled forward from their manifest
     /// at recovery (the committed-compaction resume path).
     pub maintenance_resumed: AtomicU64,
+    /// RPC requests dispatched by the client transport (all attempts).
+    pub rpc_requests: AtomicU64,
+    /// RPC attempts retried after a retriable failure.
+    pub rpc_retries: AtomicU64,
+    /// RPC attempts abandoned on a per-request deadline.
+    pub rpc_timeouts: AtomicU64,
+    /// Connections/requests shed by server admission control (`Busy`).
+    pub connections_shed: AtomicU64,
+    /// Client routing-cache entries invalidated on `TabletMoved`.
+    pub routing_cache_invalidations: AtomicU64,
 }
 
 impl Metrics {
@@ -121,6 +131,11 @@ impl Metrics {
             partial_checkpoints_removed: Self::get(&self.partial_checkpoints_removed),
             crash_sites_hit: Self::get(&self.crash_sites_hit),
             maintenance_resumed: Self::get(&self.maintenance_resumed),
+            rpc_requests: Self::get(&self.rpc_requests),
+            rpc_retries: Self::get(&self.rpc_retries),
+            rpc_timeouts: Self::get(&self.rpc_timeouts),
+            connections_shed: Self::get(&self.connections_shed),
+            routing_cache_invalidations: Self::get(&self.routing_cache_invalidations),
         }
     }
 
@@ -153,6 +168,11 @@ impl Metrics {
             &self.partial_checkpoints_removed,
             &self.crash_sites_hit,
             &self.maintenance_resumed,
+            &self.rpc_requests,
+            &self.rpc_retries,
+            &self.rpc_timeouts,
+            &self.connections_shed,
+            &self.routing_cache_invalidations,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -188,6 +208,11 @@ pub struct MetricsSnapshot {
     pub partial_checkpoints_removed: u64,
     pub crash_sites_hit: u64,
     pub maintenance_resumed: u64,
+    pub rpc_requests: u64,
+    pub rpc_retries: u64,
+    pub rpc_timeouts: u64,
+    pub connections_shed: u64,
+    pub routing_cache_invalidations: u64,
 }
 
 impl MetricsSnapshot {
@@ -253,6 +278,15 @@ impl MetricsSnapshot {
             maintenance_resumed: self
                 .maintenance_resumed
                 .saturating_sub(earlier.maintenance_resumed),
+            rpc_requests: self.rpc_requests.saturating_sub(earlier.rpc_requests),
+            rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
+            rpc_timeouts: self.rpc_timeouts.saturating_sub(earlier.rpc_timeouts),
+            connections_shed: self
+                .connections_shed
+                .saturating_sub(earlier.connections_shed),
+            routing_cache_invalidations: self
+                .routing_cache_invalidations
+                .saturating_sub(earlier.routing_cache_invalidations),
         }
     }
 }
@@ -328,6 +362,26 @@ mod tests {
         assert_eq!(s.maintenance_resumed, 1);
         let d = s.delta_since(&MetricsSnapshot::default());
         assert_eq!(d.orphan_segments_gced, 4);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn rpc_counters_round_trip_through_snapshot() {
+        let m = Metrics::new_handle();
+        Metrics::add(&m.rpc_requests, 10);
+        Metrics::add(&m.rpc_retries, 3);
+        Metrics::incr(&m.rpc_timeouts);
+        Metrics::add(&m.connections_shed, 2);
+        Metrics::incr(&m.routing_cache_invalidations);
+        let s = m.snapshot();
+        assert_eq!(s.rpc_requests, 10);
+        assert_eq!(s.rpc_retries, 3);
+        assert_eq!(s.rpc_timeouts, 1);
+        assert_eq!(s.connections_shed, 2);
+        assert_eq!(s.routing_cache_invalidations, 1);
+        let d = s.delta_since(&MetricsSnapshot::default());
+        assert_eq!(d.rpc_retries, 3);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -1,0 +1,883 @@
+//! Binary RPC protocol for over-the-wire deployment.
+//!
+//! Every message — request or response — travels as one CRC-framed
+//! payload ([`crate::codec::encode_frame`]) whose length prefix is
+//! bounded by [`MAX_RPC_FRAME`]: a torn or hostile length prefix is
+//! rejected *before* any allocation or blocking read it would imply.
+//!
+//! ```text
+//! +----------+----------+=====================================+
+//! | len: u32 | crc: u32 | req_id: u64 | opcode: u8 | body ... |
+//! +----------+----------+=====================================+
+//! ```
+//!
+//! `req_id` is a per-connection sequence number: clients pipeline many
+//! requests on one connection and match responses by id, so delayed or
+//! duplicated responses (both injected by the transport fault suite)
+//! never pair with the wrong caller — a duplicate id is dropped.
+//!
+//! The error taxonomy crosses the wire losslessly enough that
+//! [`Error::is_retriable`] gives the same answer on both sides: the
+//! client's retry loop must treat a remote `Fenced` exactly as fatal and
+//! a remote `TabletMoved` exactly as retriable as their in-process
+//! counterparts, or the two transports would diverge under faults.
+
+use crate::codec::{
+    self, decode_frame_bounded, encode_frame, get_bytes, get_u16, get_u32, get_u64, get_u8,
+    put_bytes,
+};
+use crate::error::{Error, Result};
+use crate::types::{RowKey, Timestamp, Value};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Upper bound on one RPC frame's payload. Larger than any sane
+/// request (values are capped far below), far smaller than the 4 GiB a
+/// corrupt length prefix can announce.
+pub const MAX_RPC_FRAME: usize = codec::MAX_FRAME_LEN;
+
+/// One entry of the routing table as served to clients: the key range,
+/// the owning member, and (for TCP transports) the member's address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Inclusive start key of the range.
+    pub start: RowKey,
+    /// Exclusive end key (`None` = to the end of the key space).
+    pub end: Option<RowKey>,
+    /// Member index owning the range.
+    pub member: u32,
+    /// Transport address of the member (empty for in-process).
+    pub addr: String,
+}
+
+/// A buffered transactional write shipped at commit (`None` = delete).
+pub type TxnWrite = (String, u16, RowKey, Option<Value>);
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / connection-warmup probe.
+    Ping,
+    /// Single-record write.
+    Put {
+        table: String,
+        cg: u16,
+        key: RowKey,
+        value: Value,
+    },
+    /// Latest-visible point read.
+    Get { table: String, cg: u16, key: RowKey },
+    /// Multiversion point read at a snapshot.
+    GetAt {
+        table: String,
+        cg: u16,
+        key: RowKey,
+        at: Timestamp,
+    },
+    /// Durable delete.
+    Delete { table: String, cg: u16, key: RowKey },
+    /// Range scan (latest visible versions, key order).
+    Scan {
+        table: String,
+        cg: u16,
+        start: RowKey,
+        end: Option<RowKey>,
+        limit: u64,
+    },
+    /// Routing-table snapshot (served by every member).
+    Routes,
+    /// Begin a transaction anchored at `anchor`'s tablet.
+    TxnBegin { anchor: RowKey },
+    /// Transactional snapshot read inside transaction `txn`.
+    TxnRead {
+        txn: u64,
+        table: String,
+        cg: u16,
+        key: RowKey,
+    },
+    /// Validate + commit transaction `txn` with the buffered writes.
+    TxnCommit { txn: u64, writes: Vec<TxnWrite> },
+    /// Abort transaction `txn`.
+    TxnAbort { txn: u64 },
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ping reply.
+    Pong,
+    /// Operation completed with no payload.
+    Unit,
+    /// A commit timestamp.
+    Ts(Timestamp),
+    /// A point-read result.
+    Value(Option<Value>),
+    /// Scan results.
+    Scan(Vec<(RowKey, Timestamp, Value)>),
+    /// The routing table.
+    Routes(Vec<RouteInfo>),
+    /// A transaction began.
+    TxnBegun { txn: u64, snapshot: Timestamp },
+    /// The operation failed; see [`WireError`].
+    Err(WireError),
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy over the wire
+// ---------------------------------------------------------------------
+
+/// An [`Error`] encoded for transport: a stable numeric code plus two
+/// integer payloads and a message. Round-tripping preserves the
+/// retriable / corruption / fatal classification exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    code: u8,
+    a: u64,
+    b: u64,
+    msg: String,
+}
+
+const E_OTHER: u8 = 0;
+const E_UNAVAILABLE: u8 = 1;
+const E_BUSY: u8 = 2;
+const E_TABLET_MOVED: u8 = 3;
+const E_TABLET_NOT_SERVED: u8 = 4;
+const E_FENCED: u8 = 5;
+const E_TXN_CONFLICT: u8 = 6;
+const E_TXN_ABORTED: u8 = 7;
+const E_CORRUPTION: u8 = 8;
+const E_CHECKSUM: u8 = 9;
+const E_FILE_NOT_FOUND: u8 = 10;
+const E_SCHEMA: u8 = 11;
+const E_INVALID_ARGUMENT: u8 = 12;
+const E_IO_TRANSIENT: u8 = 13;
+const E_IO_FATAL: u8 = 14;
+const E_NODE_DOWN: u8 = 15;
+const E_INSUFFICIENT_REPLICAS: u8 = 16;
+const E_DEADLINE: u8 = 17;
+const E_FRAME_TOO_LARGE: u8 = 18;
+const E_RECOVERY: u8 = 19;
+const E_CRASH_POINT: u8 = 20;
+
+impl From<&Error> for WireError {
+    fn from(e: &Error) -> Self {
+        let mk = |code, msg: String| WireError {
+            code,
+            a: 0,
+            b: 0,
+            msg,
+        };
+        match e {
+            Error::Unavailable(m) => mk(E_UNAVAILABLE, m.clone()),
+            Error::Busy(m) => mk(E_BUSY, m.clone()),
+            Error::TabletMoved(m) => mk(E_TABLET_MOVED, m.clone()),
+            Error::TabletNotServed(m) => mk(E_TABLET_NOT_SERVED, m.clone()),
+            Error::Fenced {
+                server,
+                held,
+                current,
+            } => WireError {
+                code: E_FENCED,
+                a: *held,
+                b: *current,
+                msg: server.clone(),
+            },
+            Error::TxnConflict { detail } => mk(E_TXN_CONFLICT, detail.clone()),
+            Error::TxnAborted(m) => mk(E_TXN_ABORTED, m.clone()),
+            Error::Corruption(m) => mk(E_CORRUPTION, m.clone()),
+            Error::ChecksumMismatch {
+                context,
+                expected,
+                actual,
+            } => WireError {
+                code: E_CHECKSUM,
+                a: u64::from(*expected),
+                b: u64::from(*actual),
+                msg: context.clone(),
+            },
+            Error::FileNotFound(m) => mk(E_FILE_NOT_FOUND, m.clone()),
+            Error::Schema(m) => mk(E_SCHEMA, m.clone()),
+            Error::InvalidArgument(m) => mk(E_INVALID_ARGUMENT, m.clone()),
+            Error::Io(io) => {
+                let code = if e.is_retriable() {
+                    E_IO_TRANSIENT
+                } else {
+                    E_IO_FATAL
+                };
+                mk(code, io.to_string())
+            }
+            Error::NodeDown(m) => mk(E_NODE_DOWN, m.clone()),
+            Error::InsufficientReplicas { wanted, available } => WireError {
+                code: E_INSUFFICIENT_REPLICAS,
+                a: *wanted as u64,
+                b: *available as u64,
+                msg: String::new(),
+            },
+            Error::DeadlineExceeded(m) => mk(E_DEADLINE, m.clone()),
+            Error::FrameTooLarge { announced, max } => WireError {
+                code: E_FRAME_TOO_LARGE,
+                a: *announced,
+                b: *max,
+                msg: String::new(),
+            },
+            Error::Recovery(m) => mk(E_RECOVERY, m.clone()),
+            Error::CrashPoint { site } => mk(E_CRASH_POINT, site.clone()),
+            // Structured local-only variants flatten to their display
+            // form; they are non-retriable on both sides.
+            other => mk(E_OTHER, other.to_string()),
+        }
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(w: WireError) -> Self {
+        match w.code {
+            E_UNAVAILABLE => Error::Unavailable(w.msg),
+            E_BUSY => Error::Busy(w.msg),
+            E_TABLET_MOVED => Error::TabletMoved(w.msg),
+            E_TABLET_NOT_SERVED => Error::TabletNotServed(w.msg),
+            E_FENCED => Error::Fenced {
+                server: w.msg,
+                held: w.a,
+                current: w.b,
+            },
+            E_TXN_CONFLICT => Error::TxnConflict { detail: w.msg },
+            E_TXN_ABORTED => Error::TxnAborted(w.msg),
+            E_CORRUPTION => Error::Corruption(w.msg),
+            E_CHECKSUM => Error::ChecksumMismatch {
+                context: w.msg,
+                expected: w.a as u32,
+                actual: w.b as u32,
+            },
+            E_FILE_NOT_FOUND => Error::FileNotFound(w.msg),
+            E_SCHEMA => Error::Schema(w.msg),
+            E_INVALID_ARGUMENT => Error::InvalidArgument(w.msg),
+            E_IO_TRANSIENT => {
+                Error::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, w.msg))
+            }
+            E_IO_FATAL => Error::Io(std::io::Error::other(w.msg)),
+            E_NODE_DOWN => Error::NodeDown(w.msg),
+            E_INSUFFICIENT_REPLICAS => Error::InsufficientReplicas {
+                wanted: w.a as usize,
+                available: w.b as usize,
+            },
+            E_DEADLINE => Error::DeadlineExceeded(w.msg),
+            E_FRAME_TOO_LARGE => Error::FrameTooLarge {
+                announced: w.a,
+                max: w.b,
+            },
+            E_RECOVERY => Error::Recovery(w.msg),
+            E_CRASH_POINT => Error::CrashPoint { site: w.msg },
+            _ => Error::InvalidArgument(format!("remote error: {}", w.msg)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+const OP_PING: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_GET: u8 = 3;
+const OP_GET_AT: u8 = 4;
+const OP_DELETE: u8 = 5;
+const OP_SCAN: u8 = 6;
+const OP_ROUTES: u8 = 7;
+const OP_TXN_BEGIN: u8 = 8;
+const OP_TXN_READ: u8 = 9;
+const OP_TXN_COMMIT: u8 = 10;
+const OP_TXN_ABORT: u8 = 11;
+
+const RE_PONG: u8 = 1;
+const RE_UNIT: u8 = 2;
+const RE_TS: u8 = 3;
+const RE_VALUE: u8 = 4;
+const RE_SCAN: u8 = 5;
+const RE_ROUTES: u8 = 6;
+const RE_TXN_BEGUN: u8 = 7;
+const RE_ERR: u8 = 8;
+
+fn put_opt_bytes(dst: &mut BytesMut, v: Option<&[u8]>) {
+    match v {
+        Some(b) => {
+            dst.put_u8(1);
+            put_bytes(dst, b);
+        }
+        None => dst.put_u8(0),
+    }
+}
+
+fn get_opt_bytes(src: &mut Bytes, ctx: &str) -> Result<Option<Bytes>> {
+    match get_u8(src, ctx)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_bytes(src, ctx)?)),
+        t => Err(Error::Corruption(format!("{ctx}: bad option tag {t}"))),
+    }
+}
+
+fn get_string(src: &mut Bytes, ctx: &str) -> Result<String> {
+    let b = get_bytes(src, ctx)?;
+    String::from_utf8(b.to_vec()).map_err(|_| Error::Corruption(format!("{ctx}: non-utf8 string")))
+}
+
+/// Encode `(req_id, request)` as one bounded CRC frame appended to `dst`.
+pub fn encode_request(dst: &mut BytesMut, req_id: u64, req: &Request) -> usize {
+    let mut body = BytesMut::with_capacity(64);
+    body.put_u64_le(req_id);
+    match req {
+        Request::Ping => body.put_u8(OP_PING),
+        Request::Put {
+            table,
+            cg,
+            key,
+            value,
+        } => {
+            body.put_u8(OP_PUT);
+            put_bytes(&mut body, table.as_bytes());
+            body.put_u16_le(*cg);
+            put_bytes(&mut body, key);
+            put_bytes(&mut body, value);
+        }
+        Request::Get { table, cg, key } => {
+            body.put_u8(OP_GET);
+            put_bytes(&mut body, table.as_bytes());
+            body.put_u16_le(*cg);
+            put_bytes(&mut body, key);
+        }
+        Request::GetAt { table, cg, key, at } => {
+            body.put_u8(OP_GET_AT);
+            put_bytes(&mut body, table.as_bytes());
+            body.put_u16_le(*cg);
+            put_bytes(&mut body, key);
+            body.put_u64_le(at.0);
+        }
+        Request::Delete { table, cg, key } => {
+            body.put_u8(OP_DELETE);
+            put_bytes(&mut body, table.as_bytes());
+            body.put_u16_le(*cg);
+            put_bytes(&mut body, key);
+        }
+        Request::Scan {
+            table,
+            cg,
+            start,
+            end,
+            limit,
+        } => {
+            body.put_u8(OP_SCAN);
+            put_bytes(&mut body, table.as_bytes());
+            body.put_u16_le(*cg);
+            put_bytes(&mut body, start);
+            put_opt_bytes(&mut body, end.as_deref());
+            body.put_u64_le(*limit);
+        }
+        Request::Routes => body.put_u8(OP_ROUTES),
+        Request::TxnBegin { anchor } => {
+            body.put_u8(OP_TXN_BEGIN);
+            put_bytes(&mut body, anchor);
+        }
+        Request::TxnRead {
+            txn,
+            table,
+            cg,
+            key,
+        } => {
+            body.put_u8(OP_TXN_READ);
+            body.put_u64_le(*txn);
+            put_bytes(&mut body, table.as_bytes());
+            body.put_u16_le(*cg);
+            put_bytes(&mut body, key);
+        }
+        Request::TxnCommit { txn, writes } => {
+            body.put_u8(OP_TXN_COMMIT);
+            body.put_u64_le(*txn);
+            body.put_u32_le(writes.len() as u32);
+            for (table, cg, key, value) in writes {
+                put_bytes(&mut body, table.as_bytes());
+                body.put_u16_le(*cg);
+                put_bytes(&mut body, key);
+                put_opt_bytes(&mut body, value.as_deref());
+            }
+        }
+        Request::TxnAbort { txn } => {
+            body.put_u8(OP_TXN_ABORT);
+            body.put_u64_le(*txn);
+        }
+    }
+    encode_frame(dst, &body)
+}
+
+/// Decode a request frame payload (the bytes inside the CRC frame).
+pub fn decode_request(mut payload: Bytes) -> Result<(u64, Request)> {
+    const CTX: &str = "rpc request";
+    let req_id = get_u64(&mut payload, CTX)?;
+    let op = get_u8(&mut payload, CTX)?;
+    let req = match op {
+        OP_PING => Request::Ping,
+        OP_PUT => Request::Put {
+            table: get_string(&mut payload, CTX)?,
+            cg: get_u16(&mut payload, CTX)?,
+            key: get_bytes(&mut payload, CTX)?,
+            value: get_bytes(&mut payload, CTX)?,
+        },
+        OP_GET => Request::Get {
+            table: get_string(&mut payload, CTX)?,
+            cg: get_u16(&mut payload, CTX)?,
+            key: get_bytes(&mut payload, CTX)?,
+        },
+        OP_GET_AT => Request::GetAt {
+            table: get_string(&mut payload, CTX)?,
+            cg: get_u16(&mut payload, CTX)?,
+            key: get_bytes(&mut payload, CTX)?,
+            at: Timestamp(get_u64(&mut payload, CTX)?),
+        },
+        OP_DELETE => Request::Delete {
+            table: get_string(&mut payload, CTX)?,
+            cg: get_u16(&mut payload, CTX)?,
+            key: get_bytes(&mut payload, CTX)?,
+        },
+        OP_SCAN => Request::Scan {
+            table: get_string(&mut payload, CTX)?,
+            cg: get_u16(&mut payload, CTX)?,
+            start: get_bytes(&mut payload, CTX)?,
+            end: get_opt_bytes(&mut payload, CTX)?,
+            limit: get_u64(&mut payload, CTX)?,
+        },
+        OP_ROUTES => Request::Routes,
+        OP_TXN_BEGIN => Request::TxnBegin {
+            anchor: get_bytes(&mut payload, CTX)?,
+        },
+        OP_TXN_READ => Request::TxnRead {
+            txn: get_u64(&mut payload, CTX)?,
+            table: get_string(&mut payload, CTX)?,
+            cg: get_u16(&mut payload, CTX)?,
+            key: get_bytes(&mut payload, CTX)?,
+        },
+        OP_TXN_COMMIT => {
+            let txn = get_u64(&mut payload, CTX)?;
+            let n = get_u32(&mut payload, CTX)? as usize;
+            // `n` is bounded by the frame size: each write costs ≥ 11
+            // bytes on the wire, so a hostile count cannot force a
+            // large allocation past the payload it arrived in.
+            if n > payload.len() {
+                return Err(Error::Corruption(format!(
+                    "{CTX}: txn write count {n} exceeds remaining payload"
+                )));
+            }
+            let mut writes = Vec::with_capacity(n);
+            for _ in 0..n {
+                writes.push((
+                    get_string(&mut payload, CTX)?,
+                    get_u16(&mut payload, CTX)?,
+                    get_bytes(&mut payload, CTX)?,
+                    get_opt_bytes(&mut payload, CTX)?,
+                ));
+            }
+            Request::TxnCommit { txn, writes }
+        }
+        OP_TXN_ABORT => Request::TxnAbort {
+            txn: get_u64(&mut payload, CTX)?,
+        },
+        other => return Err(Error::Corruption(format!("{CTX}: unknown opcode {other}"))),
+    };
+    Ok((req_id, req))
+}
+
+/// Encode `(req_id, response)` as one bounded CRC frame appended to `dst`.
+pub fn encode_response(dst: &mut BytesMut, req_id: u64, resp: &Response) -> usize {
+    let mut body = BytesMut::with_capacity(64);
+    body.put_u64_le(req_id);
+    match resp {
+        Response::Pong => body.put_u8(RE_PONG),
+        Response::Unit => body.put_u8(RE_UNIT),
+        Response::Ts(ts) => {
+            body.put_u8(RE_TS);
+            body.put_u64_le(ts.0);
+        }
+        Response::Value(v) => {
+            body.put_u8(RE_VALUE);
+            put_opt_bytes(&mut body, v.as_deref());
+        }
+        Response::Scan(items) => {
+            body.put_u8(RE_SCAN);
+            body.put_u32_le(items.len() as u32);
+            for (key, ts, value) in items {
+                put_bytes(&mut body, key);
+                body.put_u64_le(ts.0);
+                put_bytes(&mut body, value);
+            }
+        }
+        Response::Routes(routes) => {
+            body.put_u8(RE_ROUTES);
+            body.put_u32_le(routes.len() as u32);
+            for r in routes {
+                put_bytes(&mut body, &r.start);
+                put_opt_bytes(&mut body, r.end.as_deref());
+                body.put_u32_le(r.member);
+                put_bytes(&mut body, r.addr.as_bytes());
+            }
+        }
+        Response::TxnBegun { txn, snapshot } => {
+            body.put_u8(RE_TXN_BEGUN);
+            body.put_u64_le(*txn);
+            body.put_u64_le(snapshot.0);
+        }
+        Response::Err(w) => {
+            body.put_u8(RE_ERR);
+            body.put_u8(w.code);
+            body.put_u64_le(w.a);
+            body.put_u64_le(w.b);
+            put_bytes(&mut body, w.msg.as_bytes());
+        }
+    }
+    encode_frame(dst, &body)
+}
+
+/// Decode a response frame payload (the bytes inside the CRC frame).
+pub fn decode_response(mut payload: Bytes) -> Result<(u64, Response)> {
+    const CTX: &str = "rpc response";
+    let req_id = get_u64(&mut payload, CTX)?;
+    let tag = get_u8(&mut payload, CTX)?;
+    let resp = match tag {
+        RE_PONG => Response::Pong,
+        RE_UNIT => Response::Unit,
+        RE_TS => Response::Ts(Timestamp(get_u64(&mut payload, CTX)?)),
+        RE_VALUE => Response::Value(get_opt_bytes(&mut payload, CTX)?),
+        RE_SCAN => {
+            let n = get_u32(&mut payload, CTX)? as usize;
+            if n > payload.len() {
+                return Err(Error::Corruption(format!(
+                    "{CTX}: scan item count {n} exceeds remaining payload"
+                )));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push((
+                    get_bytes(&mut payload, CTX)?,
+                    Timestamp(get_u64(&mut payload, CTX)?),
+                    get_bytes(&mut payload, CTX)?,
+                ));
+            }
+            Response::Scan(items)
+        }
+        RE_ROUTES => {
+            let n = get_u32(&mut payload, CTX)? as usize;
+            if n > payload.len() {
+                return Err(Error::Corruption(format!(
+                    "{CTX}: route count {n} exceeds remaining payload"
+                )));
+            }
+            let mut routes = Vec::with_capacity(n);
+            for _ in 0..n {
+                routes.push(RouteInfo {
+                    start: get_bytes(&mut payload, CTX)?,
+                    end: get_opt_bytes(&mut payload, CTX)?,
+                    member: get_u32(&mut payload, CTX)?,
+                    addr: get_string(&mut payload, CTX)?,
+                });
+            }
+            Response::Routes(routes)
+        }
+        RE_TXN_BEGUN => Response::TxnBegun {
+            txn: get_u64(&mut payload, CTX)?,
+            snapshot: Timestamp(get_u64(&mut payload, CTX)?),
+        },
+        RE_ERR => Response::Err(WireError {
+            code: get_u8(&mut payload, CTX)?,
+            a: get_u64(&mut payload, CTX)?,
+            b: get_u64(&mut payload, CTX)?,
+            msg: get_string(&mut payload, CTX)?,
+        }),
+        other => {
+            return Err(Error::Corruption(format!(
+                "{CTX}: unknown response tag {other}"
+            )))
+        }
+    };
+    Ok((req_id, resp))
+}
+
+impl Response {
+    /// Wrap an error result as its wire response.
+    pub fn from_err(e: &Error) -> Response {
+        Response::Err(WireError::from(e))
+    }
+}
+
+/// Read exactly one bounded frame from a blocking reader.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (peer closed),
+/// a `Corruption` error on a torn frame (EOF mid-header or mid-payload),
+/// [`Error::FrameTooLarge`] on an oversized length prefix — checked
+/// *before* the payload buffer is allocated — and the CRC error from
+/// [`decode_frame_bounded`] on payload corruption.
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+    max_len: usize,
+    context: &str,
+) -> Result<Option<Bytes>> {
+    let mut header = [0u8; codec::FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(Error::Corruption(format!(
+                    "{context}: torn frame header ({filled} of {} bytes)",
+                    header.len()
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    if len > max_len {
+        return Err(Error::FrameTooLarge {
+            announced: len as u64,
+            max: max_len as u64,
+        });
+    }
+    let mut buf = vec![0u8; codec::FRAME_HEADER_LEN + len];
+    buf[..codec::FRAME_HEADER_LEN].copy_from_slice(&header);
+    let mut filled = codec::FRAME_HEADER_LEN;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(Error::Corruption(format!(
+                    "{context}: torn frame payload ({} of {len} bytes)",
+                    filled - codec::FRAME_HEADER_LEN
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    let (payload, _) = decode_frame_bounded(&buf, max_len, context)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) -> Request {
+        let mut buf = BytesMut::new();
+        encode_request(&mut buf, 42, &req);
+        let (payload, consumed) = codec::decode_frame(&buf, "t").unwrap();
+        assert_eq!(consumed, buf.len());
+        let (id, decoded) = decode_request(payload).unwrap();
+        assert_eq!(id, 42);
+        decoded
+    }
+
+    fn round_trip_response(resp: Response) -> Response {
+        let mut buf = BytesMut::new();
+        encode_response(&mut buf, 7, &resp);
+        let (payload, _) = codec::decode_frame(&buf, "t").unwrap();
+        let (id, decoded) = decode_response(payload).unwrap();
+        assert_eq!(id, 7);
+        decoded
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Put {
+                table: "t".into(),
+                cg: 3,
+                key: RowKey::from_static(b"k"),
+                value: Value::from_static(b"v"),
+            },
+            Request::Get {
+                table: "t".into(),
+                cg: 0,
+                key: RowKey::from_static(b"k"),
+            },
+            Request::GetAt {
+                table: "t".into(),
+                cg: 0,
+                key: RowKey::from_static(b"k"),
+                at: Timestamp(99),
+            },
+            Request::Delete {
+                table: "t".into(),
+                cg: 1,
+                key: RowKey::from_static(b"gone"),
+            },
+            Request::Scan {
+                table: "t".into(),
+                cg: 0,
+                start: RowKey::from_static(b"a"),
+                end: Some(RowKey::from_static(b"z")),
+                limit: 100,
+            },
+            Request::Routes,
+            Request::TxnBegin {
+                anchor: RowKey::from_static(b"k"),
+            },
+            Request::TxnRead {
+                txn: 5,
+                table: "t".into(),
+                cg: 0,
+                key: RowKey::from_static(b"k"),
+            },
+            Request::TxnCommit {
+                txn: 5,
+                writes: vec![
+                    (
+                        "t".into(),
+                        0,
+                        RowKey::from_static(b"a"),
+                        Some(Value::from_static(b"1")),
+                    ),
+                    ("t".into(), 0, RowKey::from_static(b"b"), None),
+                ],
+            },
+            Request::TxnAbort { txn: 5 },
+        ];
+        for req in reqs {
+            assert_eq!(round_trip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Pong,
+            Response::Unit,
+            Response::Ts(Timestamp(7)),
+            Response::Value(None),
+            Response::Value(Some(Value::from_static(b"v"))),
+            Response::Scan(vec![(
+                RowKey::from_static(b"k"),
+                Timestamp(3),
+                Value::from_static(b"v"),
+            )]),
+            Response::Routes(vec![RouteInfo {
+                start: RowKey::from_static(b""),
+                end: Some(RowKey::from_static(b"m")),
+                member: 2,
+                addr: "127.0.0.1:4300".into(),
+            }]),
+            Response::TxnBegun {
+                txn: 9,
+                snapshot: Timestamp(44),
+            },
+            Response::Err(WireError::from(&Error::TabletMoved("r3 → srv-2".into()))),
+        ];
+        for resp in resps {
+            assert_eq!(round_trip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn error_classification_survives_the_wire() {
+        let errors = vec![
+            Error::Unavailable("gap".into()),
+            Error::Busy("queue full".into()),
+            Error::TabletMoved("moved".into()),
+            Error::TabletNotServed("nope".into()),
+            Error::Fenced {
+                server: "srv-1".into(),
+                held: 3,
+                current: 7,
+            },
+            Error::TxnConflict {
+                detail: "cell changed".into(),
+            },
+            Error::TxnAborted("explicit".into()),
+            Error::Corruption("bad".into()),
+            Error::ChecksumMismatch {
+                context: "seg-1".into(),
+                expected: 1,
+                actual: 2,
+            },
+            Error::FileNotFound("f".into()),
+            Error::Schema("s".into()),
+            Error::InvalidArgument("arg".into()),
+            Error::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, "x")),
+            Error::Io(std::io::Error::other("disk gone")),
+            Error::NodeDown("dn-3".into()),
+            Error::InsufficientReplicas {
+                wanted: 3,
+                available: 1,
+            },
+            Error::DeadlineExceeded("late".into()),
+            Error::FrameTooLarge {
+                announced: 100,
+                max: 10,
+            },
+            Error::Recovery("meta".into()),
+            Error::CrashPoint {
+                site: "compaction.x".into(),
+            },
+        ];
+        for e in errors {
+            let decoded = Error::from(WireError::from(&e));
+            assert_eq!(
+                e.is_retriable(),
+                decoded.is_retriable(),
+                "retriability diverged for {e}: decoded as {decoded}"
+            );
+            assert_eq!(
+                e.is_corruption(),
+                decoded.is_corruption(),
+                "corruption class diverged for {e}"
+            );
+        }
+        // The fenced epoch pair survives exactly.
+        let fenced = Error::from(WireError::from(&Error::Fenced {
+            server: "srv-9".into(),
+            held: 11,
+            current: 12,
+        }));
+        assert!(
+            matches!(fenced, Error::Fenced { ref server, held: 11, current: 12 } if server == "srv-9")
+        );
+    }
+
+    #[test]
+    fn read_frame_handles_eof_torn_and_oversized_input() {
+        let mut buf = BytesMut::new();
+        encode_request(&mut buf, 1, &Request::Ping);
+        let bytes = buf.freeze();
+
+        // Clean decode.
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        let payload = read_frame(&mut cursor, MAX_RPC_FRAME, "t")
+            .unwrap()
+            .unwrap();
+        assert_eq!(decode_request(payload).unwrap().0, 1);
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cursor, MAX_RPC_FRAME, "t")
+            .unwrap()
+            .is_none());
+
+        // Torn header.
+        let mut cursor = std::io::Cursor::new(bytes[..4].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_RPC_FRAME, "t").unwrap_err(),
+            Error::Corruption(_)
+        ));
+
+        // Torn payload.
+        let mut cursor = std::io::Cursor::new(bytes[..bytes.len() - 2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_RPC_FRAME, "t").unwrap_err(),
+            Error::Corruption(_)
+        ));
+
+        // Oversized length prefix: rejected before allocation.
+        let mut hostile = bytes.to_vec();
+        hostile[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(hostile);
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_RPC_FRAME, "t").unwrap_err(),
+            Error::FrameTooLarge { .. }
+        ));
+    }
+}

@@ -180,6 +180,118 @@ struct Lane {
     ops: u64,
 }
 
+// ---------------------------------------------------------------------
+// Transport (network) faults
+// ---------------------------------------------------------------------
+
+/// The class of transport operation a net-fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetOp {
+    /// Accepting (or, from the client's side, establishing) a connection.
+    Accept,
+    /// Writing one RPC response back to the client.
+    Respond,
+}
+
+/// A transport fault scheduled at an exact lane-operation index.
+#[derive(Debug, Clone)]
+pub enum ScheduledNetFault {
+    /// Refuse the connection at accept time. Accept lanes only.
+    ConnRefuse,
+    /// Reset the connection instead of responding (client sees a dropped
+    /// socket mid-request). Respond lanes only.
+    ConnReset,
+    /// Send only a prefix of the response frame, then reset — a torn
+    /// frame on the wire. Respond lanes only.
+    TornFrame,
+    /// Send the response twice; the client's request-id dispatch must
+    /// drop the duplicate. Respond lanes only.
+    DupResponse,
+    /// Swallow the response and keep the connection open — a half-open
+    /// connection the client can only escape via its deadline. Respond
+    /// lanes only.
+    HalfOpen,
+}
+
+/// Per-member transport fault configuration. Same determinism contract
+/// as [`FaultSpec`]: each `(member, net op)` lane owns a SplitMix64
+/// stream, and every probabilistic decision is one draw from it in
+/// lane-op order.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultSpec {
+    /// Probability a connection attempt is refused (accept lane).
+    pub conn_refuse_prob: f64,
+    /// Probability a response is replaced by a connection reset.
+    pub conn_reset_prob: f64,
+    /// Probability a response frame is torn (prefix sent, then reset).
+    pub torn_frame_prob: f64,
+    /// Probability a response is duplicated on the wire.
+    pub dup_response_prob: f64,
+    /// Probability a response is swallowed, leaving the connection
+    /// half-open.
+    pub half_open_prob: f64,
+    /// Fixed latency added before every response (slow wire).
+    pub fixed_latency: Option<Duration>,
+    /// Additional random latency, uniform in `[0, d]`.
+    pub random_latency: Option<Duration>,
+    /// Faults that fire when the lane's 1-based op counter hits the
+    /// given index.
+    pub scheduled: Vec<(u64, ScheduledNetFault)>,
+}
+
+impl NetFaultSpec {
+    /// Builder-style scheduled fault at 1-based lane op `at`.
+    #[must_use]
+    pub fn with_scheduled(mut self, at: u64, fault: ScheduledNetFault) -> Self {
+        self.scheduled.push((at, fault));
+        self
+    }
+}
+
+/// What the transport must do for one connection attempt or response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultAction {
+    /// Execute normally.
+    Proceed,
+    /// Refuse the connection.
+    ConnRefuse,
+    /// Reset the connection without responding.
+    ConnReset,
+    /// Send `keep_seed % frame_len` bytes of the response frame (the
+    /// transport reduces the seed, mirroring [`FaultAction::BitFlip`]),
+    /// then reset.
+    TornFrame {
+        /// Seed the transport reduces modulo the frame length.
+        keep_seed: u64,
+    },
+    /// Send the response frame twice.
+    DupResponse,
+    /// Swallow the response; keep the connection open.
+    HalfOpen,
+}
+
+/// One transport decision: optional latency plus the action.
+#[derive(Debug, Clone)]
+pub struct NetFaultDecision {
+    /// Sleep this long before acting (slow-wire simulation).
+    pub latency: Option<Duration>,
+    /// The action to take.
+    pub action: NetFaultAction,
+}
+
+impl NetFaultDecision {
+    const PROCEED: NetFaultDecision = NetFaultDecision {
+        latency: None,
+        action: NetFaultAction::Proceed,
+    };
+}
+
+struct NetLane {
+    spec: NetFaultSpec,
+    rng: SplitMix64,
+    ops: u64,
+}
+
 /// Crash-point registry state (behind one mutex; the fast path never
 /// takes it).
 #[derive(Default)]
@@ -203,6 +315,10 @@ pub struct FaultInjector {
     /// un-faulted cluster skip the lane lock entirely.
     armed: AtomicBool,
     lanes: Mutex<HashMap<(NodeId, OpClass), Lane>>,
+    /// Fast path for transport faults, separate from block faults so an
+    /// un-faulted wire skips the net-lane lock entirely.
+    net_armed: AtomicBool,
+    net_lanes: Mutex<HashMap<(u32, NetOp), NetLane>>,
     /// Fast path for crash points: `false` until a site is armed or
     /// recording starts, so production code pays one relaxed load per
     /// `crash_point!` site.
@@ -217,6 +333,8 @@ impl FaultInjector {
             seed,
             armed: AtomicBool::new(false),
             lanes: Mutex::new(HashMap::new()),
+            net_armed: AtomicBool::new(false),
+            net_lanes: Mutex::new(HashMap::new()),
             crash_enabled: AtomicBool::new(false),
             crash_points: Mutex::new(CrashPoints::default()),
         }
@@ -325,6 +443,131 @@ impl FaultInjector {
         logbase_common::Error::Io(std::io::Error::new(
             std::io::ErrorKind::Interrupted,
             format!("injected transient fault: dn-{node} {class:?}"),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Transport faults
+    // ------------------------------------------------------------------
+
+    fn net_lane_seed(&self, member: u32, op: NetOp) -> u64 {
+        let op_tag = match op {
+            NetOp::Accept => 0x4Eu64,  // 'N'
+            NetOp::Respond => 0x52u64, // 'R'
+        };
+        self.seed
+            ^ (u64::from(member).wrapping_mul(0x8CB9_2BA7_2F3D_8DD7))
+            ^ (op_tag.wrapping_mul(0xAEF1_7502_C3A2_C91F))
+    }
+
+    /// Install (or replace) the transport fault spec for one member.
+    /// Both of the member's net lanes (accept and respond) are reset so
+    /// the schedule reproduces from the moment of installation.
+    pub fn set_net_spec(&self, member: u32, spec: NetFaultSpec) {
+        let mut lanes = self.net_lanes.lock();
+        for op in [NetOp::Accept, NetOp::Respond] {
+            lanes.insert(
+                (member, op),
+                NetLane {
+                    spec: spec.clone(),
+                    rng: SplitMix64::new(self.net_lane_seed(member, op)),
+                    ops: 0,
+                },
+            );
+        }
+        self.net_armed.store(true, Ordering::Release);
+    }
+
+    /// Remove every installed transport spec.
+    pub fn clear_net(&self) {
+        self.net_lanes.lock().clear();
+        self.net_armed.store(false, Ordering::Release);
+    }
+
+    /// Transport operations the lane has decided so far.
+    pub fn net_ops(&self, member: u32, op: NetOp) -> u64 {
+        self.net_lanes
+            .lock()
+            .get(&(member, op))
+            .map_or(0, |lane| lane.ops)
+    }
+
+    /// Decide the fate of one transport operation on `member`'s `op`
+    /// lane. Scheduled faults take precedence; otherwise one uniform
+    /// draw is split across the configured probabilities (so at most one
+    /// probabilistic fault fires per operation).
+    pub fn decide_net(&self, member: u32, op: NetOp) -> NetFaultDecision {
+        if !self.net_armed.load(Ordering::Acquire) {
+            return NetFaultDecision::PROCEED;
+        }
+        let mut lanes = self.net_lanes.lock();
+        let Some(lane) = lanes.get_mut(&(member, op)) else {
+            return NetFaultDecision::PROCEED;
+        };
+        lane.ops += 1;
+        let op_idx = lane.ops;
+
+        let mut latency = lane.spec.fixed_latency;
+        if let Some(max) = lane.spec.random_latency {
+            let extra = max.mul_f64(lane.rng.next_f64());
+            latency = Some(latency.unwrap_or(Duration::ZERO) + extra);
+        }
+
+        let scheduled = lane
+            .spec
+            .scheduled
+            .iter()
+            .find(|(at, _)| *at == op_idx)
+            .map(|(_, f)| f.clone());
+        let action = if let Some(fault) = scheduled {
+            match fault {
+                ScheduledNetFault::ConnRefuse => NetFaultAction::ConnRefuse,
+                ScheduledNetFault::ConnReset => NetFaultAction::ConnReset,
+                ScheduledNetFault::TornFrame => NetFaultAction::TornFrame {
+                    keep_seed: lane.rng.next_u64(),
+                },
+                ScheduledNetFault::DupResponse => NetFaultAction::DupResponse,
+                ScheduledNetFault::HalfOpen => NetFaultAction::HalfOpen,
+            }
+        } else {
+            // One draw walks the cumulative probability ladder, keyed to
+            // the lane the operation belongs to: accept lanes only
+            // refuse, respond lanes only tear/reset/dup/swallow.
+            let draw = lane.rng.next_f64();
+            match op {
+                NetOp::Accept if draw < lane.spec.conn_refuse_prob => NetFaultAction::ConnRefuse,
+                NetOp::Respond => {
+                    let s = &lane.spec;
+                    let reset_to = s.conn_reset_prob;
+                    let torn_to = reset_to + s.torn_frame_prob;
+                    let dup_to = torn_to + s.dup_response_prob;
+                    let half_to = dup_to + s.half_open_prob;
+                    if draw < reset_to {
+                        NetFaultAction::ConnReset
+                    } else if draw < torn_to {
+                        NetFaultAction::TornFrame {
+                            keep_seed: lane.rng.next_u64(),
+                        }
+                    } else if draw < dup_to {
+                        NetFaultAction::DupResponse
+                    } else if draw < half_to {
+                        NetFaultAction::HalfOpen
+                    } else {
+                        NetFaultAction::Proceed
+                    }
+                }
+                _ => NetFaultAction::Proceed,
+            }
+        };
+        NetFaultDecision { latency, action }
+    }
+
+    /// The retriable error a refused or reset connection surfaces as on
+    /// the client: the member may be fine an instant later (or after the
+    /// router points elsewhere), so the retry loop must keep going.
+    pub fn net_error(member: u32, what: &str) -> logbase_common::Error {
+        logbase_common::Error::Unavailable(format!(
+            "injected transport fault: member {member} {what}"
         ))
     }
 
@@ -563,6 +806,118 @@ mod tests {
         );
         inj.record_crash_points(false);
         assert!(inj.crash_points_seen().is_empty());
+    }
+
+    #[test]
+    fn net_lanes_are_deterministic_and_independent_of_block_lanes() {
+        let make = || {
+            let inj = FaultInjector::new(0xFACE);
+            inj.set_net_spec(
+                1,
+                NetFaultSpec {
+                    conn_reset_prob: 0.2,
+                    torn_frame_prob: 0.2,
+                    dup_response_prob: 0.2,
+                    half_open_prob: 0.2,
+                    ..NetFaultSpec::default()
+                },
+            );
+            inj
+        };
+        let a = make();
+        let b = make();
+        let seq = |inj: &FaultInjector| -> Vec<NetFaultAction> {
+            (0..100)
+                .map(|_| inj.decide_net(1, NetOp::Respond).action)
+                .collect()
+        };
+        let sa = seq(&a);
+        // Interleave block-lane traffic on `b`; net sequence must not shift.
+        b.set_spec(1, OpClass::Append, FaultSpec::transient(0.5));
+        let sb: Vec<_> = (0..100)
+            .map(|_| {
+                b.decide(1, OpClass::Append);
+                b.decide_net(1, NetOp::Respond).action
+            })
+            .collect();
+        assert_eq!(sa, sb);
+        // All four respond faults appear at p=0.2 each over 100 ops.
+        assert!(sa.iter().any(|x| matches!(x, NetFaultAction::ConnReset)));
+        assert!(sa
+            .iter()
+            .any(|x| matches!(x, NetFaultAction::TornFrame { .. })));
+        assert!(sa.iter().any(|x| matches!(x, NetFaultAction::DupResponse)));
+        assert!(sa.iter().any(|x| matches!(x, NetFaultAction::HalfOpen)));
+        assert!(sa.iter().any(|x| matches!(x, NetFaultAction::Proceed)));
+    }
+
+    #[test]
+    fn net_accept_lane_only_refuses() {
+        let inj = FaultInjector::new(3);
+        inj.set_net_spec(
+            0,
+            NetFaultSpec {
+                conn_refuse_prob: 1.0,
+                conn_reset_prob: 1.0,
+                ..NetFaultSpec::default()
+            },
+        );
+        assert_eq!(
+            inj.decide_net(0, NetOp::Accept).action,
+            NetFaultAction::ConnRefuse
+        );
+        // The respond lane never refuses; with reset_prob=1 it resets.
+        assert_eq!(
+            inj.decide_net(0, NetOp::Respond).action,
+            NetFaultAction::ConnReset
+        );
+    }
+
+    #[test]
+    fn scheduled_net_faults_fire_at_their_index() {
+        let inj = FaultInjector::new(9);
+        inj.set_net_spec(
+            2,
+            NetFaultSpec::default()
+                .with_scheduled(2, ScheduledNetFault::TornFrame)
+                .with_scheduled(3, ScheduledNetFault::HalfOpen),
+        );
+        assert_eq!(
+            inj.decide_net(2, NetOp::Respond).action,
+            NetFaultAction::Proceed
+        );
+        assert!(matches!(
+            inj.decide_net(2, NetOp::Respond).action,
+            NetFaultAction::TornFrame { .. }
+        ));
+        assert_eq!(
+            inj.decide_net(2, NetOp::Respond).action,
+            NetFaultAction::HalfOpen
+        );
+        assert_eq!(inj.net_ops(2, NetOp::Respond), 3);
+    }
+
+    #[test]
+    fn clear_net_quiesces_only_the_wire() {
+        let inj = FaultInjector::new(4);
+        inj.set_net_spec(
+            0,
+            NetFaultSpec {
+                conn_refuse_prob: 1.0,
+                ..NetFaultSpec::default()
+            },
+        );
+        inj.set_spec(0, OpClass::Append, FaultSpec::transient(1.0));
+        inj.clear_net();
+        assert_eq!(
+            inj.decide_net(0, NetOp::Accept).action,
+            NetFaultAction::Proceed
+        );
+        assert_eq!(
+            inj.decide(0, OpClass::Append).action,
+            FaultAction::TransientIo
+        );
+        assert!(FaultInjector::net_error(0, "connection refused").is_retriable());
     }
 
     #[test]

@@ -40,7 +40,10 @@ mod system;
 
 pub use config::{AutoRepairConfig, DfsConfig, StorageBackend};
 pub use datanode::{BlockId, DataNode, NodeId, SUB_BLOCK};
-pub use fault::{FaultAction, FaultDecision, FaultInjector, FaultSpec, OpClass, ScheduledFault};
+pub use fault::{
+    FaultAction, FaultDecision, FaultInjector, FaultSpec, NetFaultAction, NetFaultDecision,
+    NetFaultSpec, NetOp, OpClass, ScheduledFault, ScheduledNetFault,
+};
 pub use namenode::{ChunkMeta, FileMeta, PlacementPolicy};
 pub use system::{Dfs, DfsFileReader};
 

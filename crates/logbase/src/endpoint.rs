@@ -1,0 +1,206 @@
+//! Transport-neutral transaction endpoint.
+//!
+//! The SI checker's workload (and any other torture harness) should not
+//! care whether its operations reach a [`TabletServer`] by function call
+//! or by TCP frame. [`TxnEndpoint`] is the seam: the in-process
+//! implementation here ([`ServerEndpoint`]) forwards straight to
+//! [`TxnManager`] with zero overhead, while the cluster crate provides a
+//! wire-backed implementation whose every call crosses a (possibly
+//! fault-injected) network.
+//!
+//! Write buffering is specified client-side: a [`TxnSession`] buffers
+//! writes locally and ships them at commit, and `read` must consult that
+//! buffer first (read-your-own-writes) — exactly the contract
+//! [`TxnManager::read`] implements in-process, restated here so remote
+//! sessions behave identically.
+
+use crate::server::TabletServer;
+use crate::txn::{Transaction, TxnManager};
+use logbase_common::{Result, RowKey, Timestamp, Value};
+use std::sync::Arc;
+
+/// One logical party a workload can talk to: a tablet server reached by
+/// some transport.
+pub trait TxnEndpoint: Send + Sync {
+    /// Stable identity of the server behind this endpoint. Two routes
+    /// returning the same id reach the same server, so keys routed to
+    /// them may share one transaction (the single-tablet-server
+    /// transaction scope of §3.7).
+    fn endpoint_id(&self) -> u64;
+
+    /// Non-transactional durable write (workload seeding, probes).
+    fn put(&self, table: &str, cg: u16, key: RowKey, value: Value) -> Result<Timestamp>;
+
+    /// Non-transactional latest-visible read.
+    fn get(&self, table: &str, cg: u16, key: &[u8]) -> Result<Option<Value>>;
+
+    /// Begin a transaction on this endpoint's server.
+    fn begin(&self) -> Result<Box<dyn TxnSession + '_>>;
+}
+
+/// One open transaction. Writes buffer in the session and reach the
+/// server at [`commit`](TxnSession::commit); reads see the session's own
+/// buffered writes before any server state.
+pub trait TxnSession {
+    /// Snapshot-consistent read (RYOW over the write buffer first).
+    fn read(&mut self, table: &str, cg: u16, key: &[u8]) -> Result<Option<Value>>;
+
+    /// Buffer a write (`None` = delete) for commit time.
+    fn write(&mut self, table: &str, cg: u16, key: RowKey, value: Option<Value>);
+
+    /// Validate and commit; first-committer-wins conflicts surface as
+    /// [`logbase_common::Error::TxnConflict`].
+    fn commit(self: Box<Self>) -> Result<Timestamp>;
+
+    /// Abort, releasing any server-side state.
+    fn abort(self: Box<Self>);
+}
+
+/// The zero-cost in-process endpoint: direct calls into a
+/// [`TabletServer`] and its [`TxnManager`].
+pub struct ServerEndpoint {
+    server: Arc<TabletServer>,
+}
+
+impl ServerEndpoint {
+    /// Wrap a server as an endpoint.
+    pub fn new(server: Arc<TabletServer>) -> Self {
+        ServerEndpoint { server }
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &Arc<TabletServer> {
+        &self.server
+    }
+}
+
+impl TxnEndpoint for ServerEndpoint {
+    fn endpoint_id(&self) -> u64 {
+        Arc::as_ptr(&self.server) as u64
+    }
+
+    fn put(&self, table: &str, cg: u16, key: RowKey, value: Value) -> Result<Timestamp> {
+        self.server.put(table, cg, key, value)
+    }
+
+    fn get(&self, table: &str, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        self.server.get(table, cg, key)
+    }
+
+    fn begin(&self) -> Result<Box<dyn TxnSession + '_>> {
+        Ok(Box::new(ServerSession {
+            server: &self.server,
+            txn: Some(TxnManager::begin(&self.server)),
+        }))
+    }
+}
+
+struct ServerSession<'a> {
+    server: &'a Arc<TabletServer>,
+    txn: Option<Transaction>,
+}
+
+impl TxnSession for ServerSession<'_> {
+    fn read(&mut self, table: &str, cg: u16, key: &[u8]) -> Result<Option<Value>> {
+        let txn = self.txn.as_mut().expect("session still open");
+        TxnManager::read(self.server, txn, table, cg, key)
+    }
+
+    fn write(&mut self, table: &str, cg: u16, key: RowKey, value: Option<Value>) {
+        let txn = self.txn.as_mut().expect("session still open");
+        match value {
+            Some(v) => TxnManager::write(txn, table, cg, key, v),
+            None => TxnManager::delete(txn, table, cg, key),
+        }
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<Timestamp> {
+        let txn = self.txn.take().expect("session still open");
+        TxnManager::commit(self.server, txn)
+    }
+
+    fn abort(mut self: Box<Self>) {
+        if let Some(txn) = self.txn.take() {
+            TxnManager::abort(self.server, txn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use logbase_common::schema::TableSchema;
+    use logbase_dfs::{Dfs, DfsConfig};
+
+    fn endpoint() -> ServerEndpoint {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let server = TabletServer::create(dfs, ServerConfig::new("ep-test")).unwrap();
+        server
+            .create_table(TableSchema::single_group("t", &["v"]))
+            .unwrap();
+        ServerEndpoint::new(server)
+    }
+
+    #[test]
+    fn endpoint_round_trips_puts_and_txns() {
+        let ep = endpoint();
+        ep.put("t", 0, RowKey::from_static(b"k"), Value::from_static(b"v1"))
+            .unwrap();
+        assert_eq!(
+            ep.get("t", 0, b"k").unwrap(),
+            Some(Value::from_static(b"v1"))
+        );
+
+        let mut s = ep.begin().unwrap();
+        assert_eq!(
+            s.read("t", 0, b"k").unwrap(),
+            Some(Value::from_static(b"v1"))
+        );
+        s.write(
+            "t",
+            0,
+            RowKey::from_static(b"k"),
+            Some(Value::from_static(b"v2")),
+        );
+        // Read-your-own-writes before commit.
+        assert_eq!(
+            s.read("t", 0, b"k").unwrap(),
+            Some(Value::from_static(b"v2"))
+        );
+        s.commit().unwrap();
+        assert_eq!(
+            ep.get("t", 0, b"k").unwrap(),
+            Some(Value::from_static(b"v2"))
+        );
+    }
+
+    #[test]
+    fn aborted_session_leaves_no_trace_and_delete_buffers() {
+        let ep = endpoint();
+        ep.put("t", 0, RowKey::from_static(b"k"), Value::from_static(b"v"))
+            .unwrap();
+        let mut s = ep.begin().unwrap();
+        s.write("t", 0, RowKey::from_static(b"k"), None);
+        assert_eq!(s.read("t", 0, b"k").unwrap(), None);
+        s.abort();
+        assert_eq!(
+            ep.get("t", 0, b"k").unwrap(),
+            Some(Value::from_static(b"v"))
+        );
+
+        let mut s = ep.begin().unwrap();
+        s.write("t", 0, RowKey::from_static(b"k"), None);
+        s.commit().unwrap();
+        assert_eq!(ep.get("t", 0, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn endpoint_ids_distinguish_servers() {
+        let a = endpoint();
+        let b = endpoint();
+        assert_ne!(a.endpoint_id(), b.endpoint_id());
+        let a2 = ServerEndpoint::new(Arc::clone(a.server()));
+        assert_eq!(a.endpoint_id(), a2.endpoint_id());
+    }
+}

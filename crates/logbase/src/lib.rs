@@ -37,6 +37,7 @@
 
 pub mod checkpoint;
 pub mod compaction;
+pub mod endpoint;
 pub mod failover;
 pub mod gc;
 pub mod history;
@@ -51,6 +52,7 @@ pub mod txn;
 mod segdir;
 pub mod tablet;
 
+pub use endpoint::{ServerEndpoint, TxnEndpoint, TxnSession};
 pub use failover::{rebuild_range, RebuiltRecord, RebuiltTablet};
 pub use gc::{fsck, GcReport};
 pub use history::{Event, EventKind, HistoryRecorder, WriteRec};

@@ -94,5 +94,14 @@ fn main() -> logbase_common::Result<()> {
         "metrics: lease_expirations={} tablets_reassigned={} failover_log_bytes_redone={} fenced_writes_rejected={}",
         m.lease_expirations, m.tablets_reassigned, m.failover_log_bytes_redone, m.fenced_writes_rejected
     );
+    println!(
+        "rpc ({}): requests={} retries={} timeouts={} shed={} route_invalidations={}",
+        cluster.client().transport_name(),
+        m.rpc_requests,
+        m.rpc_retries,
+        m.rpc_timeouts,
+        m.connections_shed,
+        m.routing_cache_invalidations
+    );
     Ok(())
 }

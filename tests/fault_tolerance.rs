@@ -171,7 +171,10 @@ fn corrupted_record_is_detected_on_point_read() {
     let err = logbase_wal_read(&dfs, "srv/log", bad_ptr);
     assert!(err.is_err());
     match err.unwrap_err() {
-        Error::ChecksumMismatch { .. } | Error::Corruption(_) | Error::OutOfBounds { .. } => {}
+        Error::ChecksumMismatch { .. }
+        | Error::Corruption(_)
+        | Error::OutOfBounds { .. }
+        | Error::FrameTooLarge { .. } => {}
         other => panic!("expected a corruption-class error, got {other}"),
     }
 }
