@@ -26,10 +26,14 @@ pub mod tpcw;
 pub mod transport;
 
 pub use master::FailoverReport;
-pub use net::{NetServer, NetServerConfig, TcpTransport};
+pub use net::{
+    AdaptiveConfig, AdmissionController, AdmissionMode, NetServer, NetServerConfig, TcpTransport,
+};
 pub use router::{Route, Router};
 pub use service::ClusterService;
-pub use transport::{Client, ClientConfig, ClientEndpoint, InProcessTransport, Transport};
+pub use transport::{
+    Client, ClientConfig, ClientEndpoint, InProcessTransport, RetryBudgetConfig, Transport,
+};
 
 /// Crash-point sites in the master's failover takeover path, in program
 /// order. The takeover is idempotent across a crash at any of them: the

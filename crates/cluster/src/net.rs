@@ -7,6 +7,35 @@
 //! the peer's retry machinery (or the client's deadline) takes it from
 //! there.
 //!
+//! # Server anatomy
+//!
+//! Each member runs one accept loop, one *reader thread per connection*,
+//! and one shared *dispatch pool* of worker threads:
+//!
+//! ```text
+//! conn readers ──(admission control)──▶ member queue ──▶ dispatch pool
+//!      │  shed: Busy (allocation-free)       │ expired: dropped mid-queue
+//!      ▼                                     ▼
+//!   client                              ClusterService
+//! ```
+//!
+//! Readers drain frames *eagerly* — a request is admission-checked and
+//! timestamped the moment it leaves the socket, not when the server
+//! finally gets around to executing it. That is what makes deadline
+//! propagation honest: a request whose budget runs out while queued is
+//! dropped by the pool worker without dispatch ([`Error::Expired`]),
+//! instead of burning a worker on an answer nobody is waiting for.
+//!
+//! # Admission control
+//!
+//! [`AdmissionController`] bounds admitted-but-unfinished requests
+//! (queued + executing). Overflow is shed *cheaply* with a retriable
+//! [`Error::Busy`] carrying a retry-after hint — no allocation, no
+//! queueing, a `connections_shed` tick — so the server degrades instead
+//! of collapsing. In adaptive mode the limit follows an AIMD schedule
+//! driven by the latency gradient; priority classes give commits and
+//! maintenance RPCs headroom over fresh reads. See DESIGN.md §9.
+//!
 //! # Fault injection
 //!
 //! The shared [`FaultInjector`]'s *net lanes* hook two points:
@@ -18,50 +47,301 @@
 //!   entirely (half-open: the client's per-request deadline is the only
 //!   way out), or delay it.
 //!
-//! # Admission control
-//!
-//! Each member bounds concurrently executing requests; overflow is shed
-//! *cheaply* with a retriable [`Error::Busy`] response (and a
-//! `connections_shed` tick) instead of queueing without bound — the
-//! server degrades, it does not collapse.
-//!
 //! # Pipelining and duplicates
 //!
 //! Clients assign per-connection request ids and may have many requests
-//! in flight on one socket. The reader thread pairs responses to
-//! waiters by id; a response with no waiter — a fault-injected
-//! duplicate, or a response landing after its deadline abandoned it —
-//! is dropped on the floor.
+//! in flight on one socket. Responses may complete out of order across
+//! the dispatch pool; the client reader pairs them to waiters by id. A
+//! response with no waiter — a fault-injected duplicate, or a response
+//! landing after its deadline abandoned it — is dropped on the floor.
 
 use crate::service::ClusterService;
 use crate::transport::Transport;
 use logbase_common::metrics::Metrics;
 use logbase_common::rpc::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, Request,
-    Response, MAX_RPC_FRAME,
+    decode_request, decode_response, encode_request, encode_response, read_frame, Priority,
+    Request, Response, WireError, MAX_RPC_FRAME,
 };
 use logbase_common::{Error, Result};
 use logbase_dfs::{FaultInjector, NetFaultAction, NetOp};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+/// How the per-member admission limit is chosen.
+#[derive(Debug, Clone)]
+pub enum AdmissionMode {
+    /// A hard cap on admitted-but-unfinished requests, never adjusted.
+    /// `Fixed(64)` reproduces the pre-adaptive server for ablations.
+    Fixed(usize),
+    /// AIMD/gradient limit: grows by one after a window of fast
+    /// successes, shrinks multiplicatively on deadline misses or when
+    /// observed latency climbs well past the no-queueing floor.
+    Adaptive(AdaptiveConfig),
+}
+
+/// Knobs for [`AdmissionMode::Adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Limit at startup, before any signal has arrived.
+    pub initial_limit: usize,
+    /// The limit never shrinks below this.
+    pub min_limit: usize,
+    /// The limit never grows above this.
+    pub max_limit: usize,
+    /// Shrink when smoothed latency exceeds `floor × gradient + slack`,
+    /// where the floor is a decaying minimum of observed latency (the
+    /// no-queueing service time).
+    pub gradient: f64,
+    /// Absolute latency slack added to the gradient threshold so
+    /// microsecond-scale noise at idle never triggers a shrink.
+    pub slack: Duration,
+    /// Multiplicative decrease factor in `(0, 1)`.
+    pub shrink_factor: f64,
+    /// Minimum spacing between limit changes — one congestion event
+    /// causes one shrink, not a collapse to `min_limit`.
+    pub cooldown: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            initial_limit: 32,
+            min_limit: 2,
+            max_limit: 256,
+            gradient: 2.0,
+            slack: Duration::from_millis(1),
+            shrink_factor: 0.8,
+            cooldown: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Concurrency limiter for one member: a single `in_flight` counter
+/// acquired with a CAS loop (no overshoot window) against a limit that
+/// is fixed or AIMD-adjusted, with per-priority thresholds.
+///
+/// Priority classes ([`Request::priority`]):
+/// - `High` (commits, aborts, routes, pings) may burst to
+///   `limit + limit/4 + 1` — recovery traffic is admitted even when the
+///   base limit is saturated (or zero).
+/// - `Normal` (writes, txn steps) admits up to `limit`.
+/// - `Low` (fresh reads, scans) is shed first, at `limit - limit/8`.
+pub struct AdmissionController {
+    limit: AtomicUsize,
+    in_flight: AtomicUsize,
+    adaptive: Option<AdaptiveConfig>,
+    /// Smoothed queue+service latency in microseconds (EWMA, α=1/8).
+    ewma_us: AtomicU64,
+    /// Decaying minimum latency: the no-queueing service-time floor.
+    floor_us: AtomicU64,
+    /// Completions since the last limit change (additive-increase window).
+    successes: AtomicU64,
+    /// Microseconds since `birth` of the last limit change (cooldown).
+    last_change_us: AtomicU64,
+    birth: Instant,
+}
+
+impl AdmissionController {
+    /// A limiter in the given mode.
+    pub fn new(mode: &AdmissionMode) -> Self {
+        let (limit, adaptive) = match mode {
+            AdmissionMode::Fixed(n) => (*n, None),
+            AdmissionMode::Adaptive(cfg) => (cfg.initial_limit, Some(cfg.clone())),
+        };
+        AdmissionController {
+            limit: AtomicUsize::new(limit),
+            in_flight: AtomicUsize::new(0),
+            adaptive,
+            ewma_us: AtomicU64::new(0),
+            floor_us: AtomicU64::new(u64::MAX),
+            successes: AtomicU64::new(0),
+            last_change_us: AtomicU64::new(0),
+            birth: Instant::now(),
+        }
+    }
+
+    /// Current base limit.
+    pub fn limit(&self) -> usize {
+        self.limit.load(Ordering::Acquire)
+    }
+
+    /// Currently admitted-but-unfinished requests.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// The admission threshold for `priority` at base limit `limit`.
+    pub fn effective_limit(&self, priority: Priority) -> usize {
+        let base = self.limit();
+        match priority {
+            Priority::High => base + base / 4 + 1,
+            Priority::Normal => base,
+            Priority::Low => base - base / 8,
+        }
+    }
+
+    /// Try to admit one request of `priority`. A compare-exchange loop
+    /// means `in_flight` can never overshoot the threshold the way a
+    /// fetch-add-then-check could under a race.
+    pub fn try_acquire(&self, priority: Priority) -> bool {
+        let eff = self.effective_limit(priority);
+        let mut cur = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if cur >= eff {
+                return false;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// True when a just-shed request of `priority` would have been
+    /// admitted at the `High` threshold — it was displaced by its
+    /// class, not by raw saturation.
+    pub fn shed_by_priority(&self, priority: Priority) -> bool {
+        priority < Priority::High && self.in_flight() < self.effective_limit(Priority::High)
+    }
+
+    /// Release one admitted request.
+    pub fn release(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Feed one completion into the AIMD loop. `latency` spans
+    /// admission to completion (queue wait + service time); `congested`
+    /// marks a deadline miss observed server-side. No-op in fixed mode.
+    pub fn on_done(&self, latency: Duration, congested: bool, limit_gauge: &AtomicU64) {
+        let Some(cfg) = &self.adaptive else { return };
+        let us = (latency.as_micros() as u64).max(1);
+
+        // Decaying minimum: ratchet down on faster samples, drift up a
+        // fraction per sample so the floor forgets a stale low estimate.
+        let floor = {
+            let prev = self.floor_us.load(Ordering::Relaxed);
+            let next = if us < prev {
+                us
+            } else {
+                prev.saturating_add(prev / 512 + 1).min(us.max(prev))
+            };
+            self.floor_us.store(next, Ordering::Relaxed);
+            next
+        };
+        let ewma = {
+            let prev = self.ewma_us.load(Ordering::Relaxed);
+            let next = if prev == 0 {
+                us
+            } else {
+                prev - prev / 8 + us / 8
+            };
+            self.ewma_us.store(next, Ordering::Relaxed);
+            next
+        };
+
+        let threshold = (floor as f64 * cfg.gradient) as u64 + cfg.slack.as_micros() as u64;
+        let spike = ewma > threshold;
+        let now_us = self.birth.elapsed().as_micros() as u64;
+        let cooled = now_us.saturating_sub(self.last_change_us.load(Ordering::Relaxed))
+            >= cfg.cooldown.as_micros() as u64;
+
+        if (congested || spike) && cooled {
+            // Multiplicative decrease.
+            let cur = self.limit.load(Ordering::Acquire);
+            let next = ((cur as f64 * cfg.shrink_factor) as usize).max(cfg.min_limit);
+            if next < cur {
+                self.limit.store(next, Ordering::Release);
+                limit_gauge.store(next as u64, Ordering::Relaxed);
+            }
+            self.last_change_us.store(now_us, Ordering::Relaxed);
+            self.successes.store(0, Ordering::Relaxed);
+        } else if !congested && !spike {
+            // Additive increase: one slot per window of `limit`
+            // healthy completions.
+            let wins = self.successes.fetch_add(1, Ordering::Relaxed) + 1;
+            let cur = self.limit.load(Ordering::Acquire);
+            if wins >= cur as u64 && cooled {
+                let next = (cur + 1).min(cfg.max_limit);
+                if next > cur {
+                    self.limit.store(next, Ordering::Release);
+                    limit_gauge.store(next as u64, Ordering::Relaxed);
+                }
+                self.last_change_us.store(now_us, Ordering::Relaxed);
+                self.successes.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Suggested client backoff when shedding: roughly the smoothed
+    /// latency (one "service generation" from now), clamped to a sane
+    /// band. Fixed mode offers no hint (legacy wire behavior).
+    pub fn retry_after_hint_micros(&self) -> u64 {
+        if self.adaptive.is_none() {
+            return 0;
+        }
+        let ewma = self.ewma_us.load(Ordering::Relaxed);
+        ewma.clamp(500, 50_000)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
 
 /// Server-side knobs.
 #[derive(Debug, Clone)]
 pub struct NetServerConfig {
-    /// Concurrently executing requests a member admits before shedding
-    /// with `Busy`.
-    pub max_in_flight: usize,
+    /// Admission limiter mode (default: adaptive).
+    pub admission: AdmissionMode,
+    /// Dispatch-pool workers per member. The pool is the member's real
+    /// execution capacity; readers only move bytes.
+    pub dispatch_threads: usize,
+    /// Drop requests whose propagated deadline expired while queued
+    /// (`false` reproduces the pre-deadline server for ablations).
+    pub drop_expired: bool,
 }
 
 impl Default for NetServerConfig {
     fn default() -> Self {
-        NetServerConfig { max_in_flight: 64 }
+        NetServerConfig {
+            admission: AdmissionMode::Adaptive(AdaptiveConfig::default()),
+            dispatch_threads: default_dispatch_threads(),
+            drop_expired: true,
+        }
     }
+}
+
+impl NetServerConfig {
+    /// Legacy-style configuration: a fixed admission cap, no deadline
+    /// drops. This is the "before" arm of the overload ablation.
+    pub fn fixed(max_in_flight: usize) -> Self {
+        NetServerConfig {
+            admission: AdmissionMode::Fixed(max_in_flight),
+            dispatch_threads: default_dispatch_threads(),
+            drop_expired: false,
+        }
+    }
+}
+
+fn default_dispatch_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
 }
 
 struct MemberListener {
@@ -70,9 +350,11 @@ struct MemberListener {
 }
 
 /// One TCP listener per cluster member, all dispatching into the shared
-/// [`ClusterService`].
+/// [`ClusterService`] through per-member dispatch pools.
 pub struct NetServer {
     listeners: Mutex<Vec<MemberListener>>,
+    ctxs: Vec<Arc<MemberCtx>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -87,30 +369,52 @@ impl NetServer {
     ) -> Result<Arc<NetServer>> {
         let stop = Arc::new(AtomicBool::new(false));
         let mut listeners = Vec::with_capacity(members);
+        let mut ctxs = Vec::with_capacity(members);
+        let mut workers = Vec::new();
         for m in 0..members as u32 {
             let listener = TcpListener::bind("127.0.0.1:0")?;
             let addr = listener.local_addr()?;
             listener.set_nonblocking(true)?;
             service.set_addr(m, addr.to_string());
+            let (tx, rx) = mpsc::channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
             let ctx = Arc::new(MemberCtx {
                 member: m,
                 service: Arc::clone(&service),
                 injector: Arc::clone(&injector),
-                in_flight: AtomicUsize::new(0),
-                max_in_flight: config.max_in_flight,
+                admission: Arc::new(AdmissionController::new(&config.admission)),
+                drop_expired: config.drop_expired,
+                queue: tx,
                 stop: Arc::clone(&stop),
             });
+            service
+                .metrics()
+                .admission_limit
+                .store(ctx.admission.limit() as u64, Ordering::Relaxed);
+            for w in 0..config.dispatch_threads {
+                let ctx = Arc::clone(&ctx);
+                let rx = Arc::clone(&rx);
+                let handle = std::thread::Builder::new()
+                    .name(format!("net-dispatch-{m}-{w}"))
+                    .spawn(move || dispatch_loop(ctx, rx))
+                    .expect("spawn dispatch worker");
+                workers.push(handle);
+            }
+            let accept_ctx = Arc::clone(&ctx);
             let handle = std::thread::Builder::new()
                 .name(format!("net-accept-{m}"))
-                .spawn(move || accept_loop(listener, ctx))
+                .spawn(move || accept_loop(listener, accept_ctx))
                 .expect("spawn accept loop");
             listeners.push(MemberListener {
                 addr,
                 handle: Some(handle),
             });
+            ctxs.push(ctx);
         }
         Ok(Arc::new(NetServer {
             listeners: Mutex::new(listeners),
+            ctxs,
+            workers: Mutex::new(workers),
             stop,
         }))
     }
@@ -125,8 +429,15 @@ impl NetServer {
         self.listeners.lock().iter().map(|l| l.addr).collect()
     }
 
-    /// Stop accepting and join the accept loops. Connection handler
-    /// threads drain on their own as clients disconnect.
+    /// Member `m`'s admission controller (tests and benches observe the
+    /// live limit and in-flight count through this).
+    pub fn admission(&self, member: u32) -> Arc<AdmissionController> {
+        Arc::clone(&self.ctxs[member as usize].admission)
+    }
+
+    /// Stop accepting, join the accept loops and dispatch pools.
+    /// Connection reader threads drain on their own as clients
+    /// disconnect.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
         let mut listeners = self.listeners.lock();
@@ -134,6 +445,9 @@ impl NetServer {
             if let Some(h) = l.handle.take() {
                 let _ = h.join();
             }
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -148,9 +462,74 @@ struct MemberCtx {
     member: u32,
     service: Arc<ClusterService>,
     injector: Arc<FaultInjector>,
-    in_flight: AtomicUsize,
-    max_in_flight: usize,
+    admission: Arc<AdmissionController>,
+    drop_expired: bool,
+    queue: mpsc::Sender<Job>,
     stop: Arc<AtomicBool>,
+}
+
+/// One admitted request travelling from a connection reader to the
+/// dispatch pool.
+struct Job {
+    req_id: u64,
+    req: Request,
+    /// Propagated-deadline expiry, stamped at frame arrival.
+    expires: Option<Instant>,
+    /// Admission instant; queue wait + service time feed the limiter.
+    admitted_at: Instant,
+    conn: Arc<ServerConn>,
+}
+
+/// Server-side connection state shared by its reader thread and any
+/// pool workers holding jobs from it.
+struct ServerConn {
+    writer: Mutex<TcpStream>,
+    /// Wire transactions begun on this connection and still open.
+    open_txns: Mutex<Vec<u64>>,
+    /// Jobs admitted from this connection, not yet finished.
+    pending: AtomicUsize,
+    /// Reader exited (EOF, decode failure, reset).
+    closed: AtomicBool,
+    /// Txn-abort cleanup ran (exactly once).
+    cleaned: AtomicBool,
+}
+
+impl ServerConn {
+    /// Abort open transactions once the connection is closed *and* no
+    /// job from it is still queued or executing — the wire analogue of
+    /// a client process disappearing.
+    fn maybe_cleanup(&self, service: &ClusterService) {
+        if self.closed.load(Ordering::Acquire)
+            && self.pending.load(Ordering::Acquire) == 0
+            && !self.cleaned.swap(true, Ordering::AcqRel)
+        {
+            let txns: Vec<u64> = std::mem::take(&mut *self.open_txns.lock());
+            if !txns.is_empty() {
+                service.abort_txns(&txns);
+            }
+        }
+    }
+
+    /// Condemn the connection: stop both halves so the reader exits and
+    /// the client sees a reset.
+    fn condemn(&self) {
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+/// Serialize the allocation-free `Busy` shed response into `dst`.
+fn rpc_encode_shed(
+    dst: &mut bytes::BytesMut,
+    scratch: &mut bytes::BytesMut,
+    req_id: u64,
+    retry_after_micros: u64,
+) {
+    logbase_common::rpc::encode_response_reusing(
+        dst,
+        scratch,
+        req_id,
+        &Response::Err(WireError::busy_shed(retry_after_micros)),
+    );
 }
 
 fn accept_loop(listener: TcpListener, ctx: Arc<MemberCtx>) {
@@ -171,7 +550,7 @@ fn accept_loop(listener: TcpListener, ctx: Arc<MemberCtx>) {
                 let ctx = Arc::clone(&ctx);
                 let _ = std::thread::Builder::new()
                     .name(format!("net-conn-{}", ctx.member))
-                    .spawn(move || serve_connection(stream, ctx));
+                    .spawn(move || conn_reader(stream, ctx));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -181,14 +560,29 @@ fn accept_loop(listener: TcpListener, ctx: Arc<MemberCtx>) {
     }
 }
 
-/// Serve one client connection until EOF, a fault drops it, or the
-/// frame stream turns undecodable. Transactions begun on this
-/// connection that are still open when it dies are aborted — the wire
-/// analogue of a client process disappearing.
-fn serve_connection(mut stream: TcpStream, ctx: Arc<MemberCtx>) {
+/// Read frames off one client connection until EOF, a fault drops it,
+/// or the stream turns undecodable. Every frame is admission-checked
+/// and timestamped here, then handed to the member's dispatch pool;
+/// sheds are answered inline without touching the pool.
+fn conn_reader(mut stream: TcpStream, ctx: Arc<MemberCtx>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut open_txns: Vec<u64> = Vec::new();
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let conn = Arc::new(ServerConn {
+        writer: Mutex::new(writer),
+        open_txns: Mutex::new(Vec::new()),
+        pending: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        cleaned: AtomicBool::new(false),
+    });
+    // Reused frame + scratch buffers: after warm-up the shed path
+    // allocates nothing per rejection (`WireError::busy_shed` carries
+    // no string; `clear()` keeps both buffers' capacity).
+    let mut shed_frame = bytes::BytesMut::new();
+    let mut shed_scratch = bytes::BytesMut::new();
     loop {
         if ctx.stop.load(Ordering::Acquire) {
             break;
@@ -208,81 +602,145 @@ fn serve_connection(mut stream: TcpStream, ctx: Arc<MemberCtx>) {
             // error: the stream cannot be trusted any more.
             Err(_) => break,
         };
-        let (req_id, req) = match decode_request(payload) {
+        let arrival = Instant::now();
+        let (req_id, deadline_ms, req) = match decode_request(payload) {
             Ok(x) => x,
             Err(_) => break,
         };
-        // A commit or abort closes its txn whatever the outcome — the
-        // service consumes the parked transaction either way.
-        let closes_txn = match &req {
-            Request::TxnCommit { txn, .. } | Request::TxnAbort { txn } => Some(*txn),
-            _ => None,
-        };
+        let priority = req.priority();
 
         // Admission control: shed instead of queueing without bound.
-        let admitted = {
-            let prev = ctx.in_flight.fetch_add(1, Ordering::AcqRel);
-            if prev >= ctx.max_in_flight {
-                ctx.in_flight.fetch_sub(1, Ordering::AcqRel);
-                false
-            } else {
-                true
+        if !ctx.admission.try_acquire(priority) {
+            let metrics = ctx.service.metrics();
+            Metrics::incr(&metrics.connections_shed);
+            if ctx.admission.shed_by_priority(priority) {
+                Metrics::incr(&metrics.requests_shed_by_priority);
             }
-        };
-        let resp = if admitted {
-            let resp = ctx.service.dispatch(ctx.member, req);
-            ctx.in_flight.fetch_sub(1, Ordering::AcqRel);
-            resp
-        } else {
-            Metrics::incr(&ctx.service.metrics().connections_shed);
-            Response::from_err(&Error::Busy(format!(
-                "member {} at {} in-flight requests",
-                ctx.member, ctx.max_in_flight
-            )))
-        };
-
-        // Track transaction lifecycles for disconnect cleanup.
-        if let Response::TxnBegun { txn, .. } = &resp {
-            open_txns.push(*txn);
-        }
-        if let Some(id) = closes_txn {
-            open_txns.retain(|t| *t != id);
-        }
-
-        let mut frame = bytes::BytesMut::new();
-        encode_response(&mut frame, req_id, &resp);
-
-        let decision = ctx.injector.decide_net(ctx.member, NetOp::Respond);
-        if let Some(lat) = decision.latency {
-            std::thread::sleep(lat);
-        }
-        match decision.action {
-            NetFaultAction::Proceed | NetFaultAction::ConnRefuse => {
-                if stream.write_all(&frame).is_err() {
-                    break;
-                }
-            }
-            NetFaultAction::ConnReset => break,
-            NetFaultAction::TornFrame { keep_seed } => {
-                let keep = (keep_seed % frame.len() as u64) as usize;
-                let _ = stream.write_all(&frame[..keep]);
+            let hint = ctx.admission.retry_after_hint_micros();
+            shed_frame.clear();
+            rpc_encode_shed(&mut shed_frame, &mut shed_scratch, req_id, hint);
+            if stream.write_all(&shed_frame).is_err() {
                 break;
             }
-            NetFaultAction::DupResponse => {
-                let ok = stream.write_all(&frame).is_ok() && stream.write_all(&frame).is_ok();
-                if !ok {
-                    break;
-                }
-            }
-            NetFaultAction::HalfOpen => {
-                // Swallow the response; keep serving. The client's
-                // deadline is its only way out of this request.
-            }
+            continue;
+        }
+
+        let expires =
+            (deadline_ms > 0).then(|| arrival + Duration::from_millis(u64::from(deadline_ms)));
+        conn.pending.fetch_add(1, Ordering::AcqRel);
+        let job = Job {
+            req_id,
+            req,
+            expires,
+            admitted_at: arrival,
+            conn: Arc::clone(&conn),
+        };
+        if ctx.queue.send(job).is_err() {
+            // Server shutting down; the admission slot dies with it.
+            conn.pending.fetch_sub(1, Ordering::AcqRel);
+            ctx.admission.release();
+            break;
         }
     }
-    if !open_txns.is_empty() {
-        ctx.service.abort_txns(&open_txns);
+    conn.closed.store(true, Ordering::Release);
+    conn.maybe_cleanup(&ctx.service);
+}
+
+/// One dispatch-pool worker: pops admitted jobs, drops the expired,
+/// executes the rest, and feeds completion latency to the limiter.
+fn dispatch_loop(ctx: Arc<MemberCtx>, rx: Arc<Mutex<mpsc::Receiver<Job>>>) {
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let job = {
+            let guard = rx.lock();
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        let job = match job {
+            Ok(j) => j,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        run_job(&ctx, job);
     }
+}
+
+fn run_job(ctx: &MemberCtx, job: Job) {
+    let metrics = ctx.service.metrics();
+    let now = Instant::now();
+
+    // Mid-queue deadline shed: the client already gave up on this
+    // request; answering `Expired` is strictly cheaper than doing the
+    // work, and the miss is a congestion signal for the limiter.
+    let expired = ctx.drop_expired && job.expires.is_some_and(|t| now >= t);
+    let closes_txn = match &job.req {
+        Request::TxnCommit { txn, .. } | Request::TxnAbort { txn } => Some(*txn),
+        _ => None,
+    };
+    let resp = if expired {
+        Metrics::incr(&metrics.requests_expired);
+        let late = job
+            .expires
+            .map(|t| now.duration_since(t).as_micros() as u64)
+            .unwrap_or(0);
+        Response::Err(WireError::expired(late))
+    } else {
+        ctx.service.dispatch(ctx.member, job.req)
+    };
+    let latency = job.admitted_at.elapsed();
+    ctx.admission.release();
+    ctx.admission
+        .on_done(latency, expired, &metrics.admission_limit);
+
+    // Track transaction lifecycles for disconnect cleanup. A dispatched
+    // commit or abort closes its txn whatever the outcome — the service
+    // consumes the parked transaction either way — while an *expired*
+    // one never reached the service, so its txn stays on the list.
+    if let Response::TxnBegun { txn, .. } = &resp {
+        job.conn.open_txns.lock().push(*txn);
+    }
+    if let (false, Some(id)) = (expired, closes_txn) {
+        job.conn.open_txns.lock().retain(|t| *t != id);
+    }
+
+    let mut frame = bytes::BytesMut::new();
+    encode_response(&mut frame, job.req_id, &resp);
+
+    let decision = ctx.injector.decide_net(ctx.member, NetOp::Respond);
+    if let Some(lat) = decision.latency {
+        std::thread::sleep(lat);
+    }
+    match decision.action {
+        NetFaultAction::Proceed | NetFaultAction::ConnRefuse => {
+            if job.conn.writer.lock().write_all(&frame).is_err() {
+                job.conn.condemn();
+            }
+        }
+        NetFaultAction::ConnReset => {
+            job.conn.condemn();
+        }
+        NetFaultAction::TornFrame { keep_seed } => {
+            let keep = (keep_seed % frame.len() as u64) as usize;
+            let _ = job.conn.writer.lock().write_all(&frame[..keep]);
+            job.conn.condemn();
+        }
+        NetFaultAction::DupResponse => {
+            let mut w = job.conn.writer.lock();
+            let ok = w.write_all(&frame).is_ok() && w.write_all(&frame).is_ok();
+            drop(w);
+            if !ok {
+                job.conn.condemn();
+            }
+        }
+        NetFaultAction::HalfOpen => {
+            // Swallow the response; keep serving. The client's
+            // deadline is its only way out of this request.
+        }
+    }
+
+    job.conn.pending.fetch_sub(1, Ordering::AcqRel);
+    job.conn.maybe_cleanup(&ctx.service);
 }
 
 // ---------------------------------------------------------------------
@@ -331,13 +789,28 @@ impl Conn {
     }
 
     /// Send one request and wait for its response until `deadline`.
+    /// The remaining budget rides in the frame so the server can drop
+    /// the request once we stop caring about the answer.
     fn call(&self, req: &Request, deadline: Instant) -> Result<Response> {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "rpc deadline elapsed before send",
+            )));
+        }
+        // Remaining budget, clamped to at least 1 ms so a sub-ms
+        // remainder does not encode as "no deadline".
+        let deadline_ms = (deadline - now)
+            .as_millis()
+            .clamp(1, u64::from(u32::MAX) as u128) as u32;
+
         let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let waiter: Waiter = Arc::new((Mutex::new(None), Condvar::new()));
         self.pending.lock().insert(req_id, Arc::clone(&waiter));
 
         let mut frame = bytes::BytesMut::new();
-        encode_request(&mut frame, req_id, req);
+        encode_request(&mut frame, req_id, deadline_ms, req);
         {
             let mut w = self.writer.lock();
             if let Err(e) = w.write_all(&frame) {
@@ -476,5 +949,106 @@ impl Transport for TcpTransport {
 
     fn name(&self) -> &'static str {
         "tcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_limiter_shrinks_on_congestion_and_regrows() {
+        let cfg = AdaptiveConfig {
+            initial_limit: 32,
+            min_limit: 2,
+            max_limit: 64,
+            cooldown: Duration::ZERO,
+            ..AdaptiveConfig::default()
+        };
+        let a = AdmissionController::new(&AdmissionMode::Adaptive(cfg));
+        let gauge = AtomicU64::new(0);
+        assert_eq!(a.limit(), 32);
+        // Establish a fast floor.
+        for _ in 0..8 {
+            a.on_done(Duration::from_micros(100), false, &gauge);
+        }
+        let before = a.limit();
+        // A deadline miss is a congestion signal: multiplicative shrink.
+        a.on_done(Duration::from_micros(100), true, &gauge);
+        assert!(a.limit() < before, "limit should shrink on a miss");
+        assert_eq!(gauge.load(Ordering::Relaxed), a.limit() as u64);
+        // A run of healthy completions grows it back additively.
+        let shrunk = a.limit();
+        for _ in 0..(shrunk * 3) {
+            a.on_done(Duration::from_micros(100), false, &gauge);
+        }
+        assert!(a.limit() > shrunk, "limit should regrow on successes");
+    }
+
+    #[test]
+    fn latency_gradient_spike_shrinks_without_explicit_miss() {
+        let cfg = AdaptiveConfig {
+            initial_limit: 16,
+            cooldown: Duration::ZERO,
+            ..AdaptiveConfig::default()
+        };
+        let a = AdmissionController::new(&AdmissionMode::Adaptive(cfg));
+        let gauge = AtomicU64::new(0);
+        for _ in 0..8 {
+            a.on_done(Duration::from_micros(200), false, &gauge);
+        }
+        let before = a.limit();
+        // Latency climbs to many times the floor: the EWMA crosses the
+        // gradient threshold within a few samples.
+        for _ in 0..64 {
+            a.on_done(Duration::from_millis(20), false, &gauge);
+        }
+        assert!(a.limit() < before, "gradient spike should shrink the limit");
+    }
+
+    #[test]
+    fn fixed_mode_never_moves() {
+        let a = AdmissionController::new(&AdmissionMode::Fixed(8));
+        let gauge = AtomicU64::new(0);
+        for _ in 0..100 {
+            a.on_done(Duration::from_millis(50), true, &gauge);
+        }
+        assert_eq!(a.limit(), 8);
+        assert_eq!(a.retry_after_hint_micros(), 0);
+    }
+
+    #[test]
+    fn priority_thresholds_shed_reads_first_and_let_commits_burst() {
+        let a = AdmissionController::new(&AdmissionMode::Fixed(8));
+        assert_eq!(a.effective_limit(Priority::Normal), 8);
+        assert_eq!(a.effective_limit(Priority::Low), 7);
+        assert_eq!(a.effective_limit(Priority::High), 11);
+        // Fill to the Low threshold: reads shed, writes admitted.
+        for _ in 0..7 {
+            assert!(a.try_acquire(Priority::Normal));
+        }
+        assert!(!a.try_acquire(Priority::Low));
+        assert!(a.shed_by_priority(Priority::Low));
+        assert!(a.try_acquire(Priority::Normal));
+        assert!(!a.try_acquire(Priority::Normal));
+        // Saturated at the base limit: only High still gets in.
+        assert!(a.try_acquire(Priority::High));
+        assert_eq!(a.in_flight(), 9);
+        for _ in 0..9 {
+            a.release();
+        }
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_limit_still_admits_high_priority_recovery_traffic() {
+        let a = AdmissionController::new(&AdmissionMode::Fixed(0));
+        assert!(!a.try_acquire(Priority::Low));
+        assert!(!a.try_acquire(Priority::Normal));
+        // Routes/commits may still trickle through — failover must not
+        // deadlock behind a saturated (or zeroed) limit.
+        assert!(a.try_acquire(Priority::High));
+        assert!(!a.try_acquire(Priority::High));
+        a.release();
     }
 }

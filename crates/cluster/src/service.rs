@@ -80,6 +80,28 @@ impl ClusterService {
         }
     }
 
+    /// Like [`dispatch`](Self::dispatch), but honoring a propagated
+    /// per-request deadline: a request whose budget has already run out
+    /// is dropped without doing the work, mirroring the TCP server's
+    /// mid-queue shed so the two transports cannot drift under
+    /// overload.
+    pub fn dispatch_with_deadline(
+        &self,
+        member: u32,
+        req: Request,
+        expires: Option<std::time::Instant>,
+    ) -> Response {
+        if let Some(t) = expires {
+            let now = std::time::Instant::now();
+            if now >= t {
+                logbase_common::metrics::Metrics::incr(&self.metrics.requests_expired);
+                let late = now.duration_since(t).as_micros() as u64;
+                return Response::Err(logbase_common::rpc::WireError::expired(late));
+            }
+        }
+        self.dispatch(member, req)
+    }
+
     fn try_dispatch(&self, member: u32, req: Request) -> Result<Response> {
         let seats = self.slots.read().len();
         if member as usize >= seats {

@@ -25,6 +25,26 @@
 //! with [`Error::DeadlineExceeded`] — the retry budget *is* the
 //! deadline.
 //!
+//! # Overload discipline
+//!
+//! Three mechanisms keep a fleet of clients from amplifying a server
+//! overload into a storm (DESIGN.md §9):
+//!
+//! - **Token-bucket retry budget** ([`RetryBudgetConfig`]): each retry
+//!   spends a token, each successful operation refills a fraction of
+//!   one. When the bucket is empty the client stops retrying and fails
+//!   the operation (`retry_budget_exhausted` ticks) — under persistent
+//!   overload the fleet's retry rate converges to a bounded fraction of
+//!   its success rate instead of multiplying offered load.
+//! - **Retry-after hints**: a `Busy` shed may carry the server's
+//!   suggested backoff; the client sleeps at least that long (capped),
+//!   so shed traffic returns after the congestion window, not inside it.
+//! - **Decorrelated jitter**: a client constructed with the default
+//!   (zero) retry seed gets a unique per-client seed, and `TabletMoved`
+//!   invalidations add per-client jitter before the re-resolve — a
+//!   thousand clients with the same stale cache re-resolve spread out
+//!   rather than as one herd.
+//!
 //! # Routing cache
 //!
 //! The client learns tablet locations from the `Routes` RPC (served by
@@ -68,12 +88,44 @@ impl InProcessTransport {
 }
 
 impl Transport for InProcessTransport {
-    fn call(&self, member: u32, req: Request, _deadline: Instant) -> Result<Response> {
-        Ok(self.service.dispatch(member, req))
+    fn call(&self, member: u32, req: Request, deadline: Instant) -> Result<Response> {
+        // Deadline parity with the TCP server: an already-expired
+        // request is dropped before dispatch here too.
+        Ok(self
+            .service
+            .dispatch_with_deadline(member, req, Some(deadline)))
     }
 
     fn name(&self) -> &'static str {
         "inproc"
+    }
+}
+
+/// Token-bucket retry budget: retries spend, successes refill.
+///
+/// Accounting runs in millitokens so fractional refill rates work
+/// without floats on the hot path. The defaults are deliberately
+/// generous — a failover gap legitimately costs hundreds of retries —
+/// while still bounding a *persistent* overload: once the bucket
+/// drains, the fleet's retry rate is capped at `refill_per_success`
+/// times its success rate.
+#[derive(Debug, Clone)]
+pub struct RetryBudgetConfig {
+    /// Tokens in the bucket at client construction.
+    pub initial: u32,
+    /// Bucket capacity.
+    pub max: u32,
+    /// Tokens granted per successful operation (fractions allowed).
+    pub refill_per_success: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            initial: 1024,
+            max: 1024,
+            refill_per_success: 1.0,
+        }
     }
 }
 
@@ -82,8 +134,19 @@ impl Transport for InProcessTransport {
 pub struct ClientConfig {
     /// Per-operation deadline covering the whole retry loop.
     pub op_deadline: Duration,
-    /// Backoff schedule (attempt budget, delays, jitter, seed).
+    /// Backoff schedule (attempt budget, delays, jitter, seed). A zero
+    /// seed is replaced with a unique per-client seed at construction
+    /// so independent clients never share a jitter schedule.
     pub retry: RetryPolicy,
+    /// Cross-operation retry budget (storm prevention).
+    pub retry_budget: RetryBudgetConfig,
+    /// Upper bound of the extra per-client jitter slept after a
+    /// `TabletMoved` invalidation, so stale-cache clients fan out their
+    /// re-resolves instead of herding onto the new owner at once.
+    pub moved_refetch_jitter: Duration,
+    /// Cap applied to a server-supplied `Busy` retry-after hint (a
+    /// hostile or confused server cannot park clients forever).
+    pub retry_after_cap: Duration,
 }
 
 impl Default for ClientConfig {
@@ -93,7 +156,78 @@ impl Default for ClientConfig {
             // rides out a full lease expiry + failover.
             op_deadline: Duration::from_secs(30),
             retry: RetryPolicy::new(400),
+            retry_budget: RetryBudgetConfig::default(),
+            moved_refetch_jitter: Duration::from_millis(3),
+            retry_after_cap: Duration::from_millis(100),
         }
+    }
+}
+
+/// Live token-bucket state (millitokens).
+struct RetryBudget {
+    millitokens: std::sync::atomic::AtomicU64,
+    max_milli: u64,
+    refill_milli: u64,
+}
+
+impl RetryBudget {
+    fn new(cfg: &RetryBudgetConfig) -> Self {
+        let max_milli = u64::from(cfg.max) * 1000;
+        RetryBudget {
+            millitokens: std::sync::atomic::AtomicU64::new(
+                (u64::from(cfg.initial) * 1000).min(max_milli),
+            ),
+            max_milli,
+            refill_milli: (cfg.refill_per_success.max(0.0) * 1000.0) as u64,
+        }
+    }
+
+    /// Spend one token; `false` when the bucket cannot cover it.
+    fn try_spend(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                return false;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Credit one success.
+    fn refill(&self) {
+        use std::sync::atomic::Ordering;
+        if self.refill_milli == 0 {
+            return;
+        }
+        let mut cur = self.millitokens.load(Ordering::Relaxed);
+        loop {
+            let next = (cur + self.refill_milli).min(self.max_milli);
+            if next == cur {
+                return;
+            }
+            match self.millitokens.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    fn tokens(&self) -> f64 {
+        self.millitokens.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1000.0
     }
 }
 
@@ -113,6 +247,22 @@ pub struct Client {
     table: String,
     metrics: MetricsHandle,
     routes: RwLock<Vec<CachedRoute>>,
+    budget: RetryBudget,
+    /// Monotonic count of `TabletMoved` invalidations; feeds the
+    /// per-client re-resolve jitter stream.
+    invalidation_seq: std::sync::atomic::AtomicU64,
+}
+
+/// Process-wide client counter: mixed into default retry seeds so two
+/// clients constructed with the same (zero) seed never share a jitter
+/// schedule. Deterministic for a fixed construction order.
+static CLIENT_SALT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Client {
@@ -121,14 +271,26 @@ impl Client {
         transport: Arc<dyn Transport>,
         table: impl Into<String>,
         metrics: MetricsHandle,
-        config: ClientConfig,
+        mut config: ClientConfig,
     ) -> Self {
+        // Decorrelate default-seeded clients: identical seeds mean
+        // identical backoff schedules, which under a shared stimulus
+        // (one tablet moving under a thousand clients) synchronize the
+        // whole fleet's retries into a herd. An explicit nonzero seed
+        // is honored untouched for seeded replay tests.
+        if config.retry.seed == 0 {
+            let salt = CLIENT_SALT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            config.retry.seed = splitmix64(salt) | 1;
+        }
+        let budget = RetryBudget::new(&config.retry_budget);
         Client {
             transport,
             config,
             table: table.into(),
             metrics,
             routes: RwLock::new(Vec::new()),
+            budget,
+            invalidation_seq: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -140,6 +302,30 @@ impl Client {
     /// The client's metrics sink.
     pub fn metrics(&self) -> &MetricsHandle {
         &self.metrics
+    }
+
+    /// The (possibly salted) retry jitter seed this client ended up
+    /// with — tests assert fleet-wide decorrelation through this.
+    pub fn retry_seed(&self) -> u64 {
+        self.config.retry.seed
+    }
+
+    /// Remaining retry-budget tokens (observability + tests).
+    pub fn retry_budget_tokens(&self) -> f64 {
+        self.budget.tokens()
+    }
+
+    /// The extra jitter slept before re-resolving after the `n`-th
+    /// `TabletMoved` invalidation: a pure function of the client's seed
+    /// and `n`, uniform over `[0, moved_refetch_jitter]`.
+    pub fn moved_jitter(&self, n: u64) -> Duration {
+        let max = self.config.moved_refetch_jitter;
+        if max.is_zero() {
+            return Duration::ZERO;
+        }
+        let z = splitmix64(self.config.retry.seed ^ n.wrapping_mul(0xA24B_AED4_963E_E407));
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        max.mul_f64(unit)
     }
 
     // ---- key-value operations ---------------------------------------
@@ -287,9 +473,13 @@ impl Client {
         let mut attempt: u32 = 0;
         loop {
             match op(attempt) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.budget.refill();
+                    return Ok(v);
+                }
                 Err(e) if e.is_retriable() => {
-                    if matches!(e, Error::TabletMoved(_)) {
+                    let moved = matches!(e, Error::TabletMoved(_));
+                    if moved {
                         self.invalidate_routes();
                         if !retry_moved {
                             return Err(e);
@@ -300,7 +490,34 @@ impl Client {
                             "{what}: retries exhausted: {e}"
                         )));
                     }
-                    let delay = self.config.retry.backoff(attempt);
+                    // Retries are paid for, successes earn the tokens
+                    // back: a fleet whose server is drowning runs dry
+                    // and stops amplifying the overload instead of
+                    // multiplying every offered request by
+                    // `max_attempts`.
+                    if !self.budget.try_spend() {
+                        Metrics::incr(&self.metrics.retry_budget_exhausted);
+                        return Err(Error::Unavailable(format!(
+                            "{what}: retry budget exhausted: {e}"
+                        )));
+                    }
+                    let mut delay = self.config.retry.backoff(attempt);
+                    // A shedding server knows its own queue depth
+                    // better than our blind backoff curve does; honor
+                    // its retry-after hint, capped so a confused server
+                    // cannot park us forever.
+                    if let Some(hint) = e.retry_after() {
+                        delay = delay.max(hint.min(self.config.retry_after_cap));
+                    }
+                    if moved {
+                        // Decorrelate the re-resolve stampede: every
+                        // client holding the same stale route learns of
+                        // the move at the same instant.
+                        let n = self
+                            .invalidation_seq
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        delay += self.moved_jitter(n);
+                    }
                     if Instant::now() + delay >= deadline {
                         Metrics::incr(&self.metrics.rpc_timeouts);
                         return Err(Error::DeadlineExceeded(format!(

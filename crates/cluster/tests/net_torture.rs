@@ -99,6 +99,7 @@ fn scripted_client(script: Vec<Option<Error>>) -> (Client, Arc<ScriptedTransport
         ClientConfig {
             op_deadline: Duration::from_secs(5),
             retry: RetryPolicy::no_delay(50),
+            ..ClientConfig::default()
         },
     );
     (client, transport)
@@ -139,9 +140,9 @@ fn tablet_moved_always_retries_and_invalidates_the_cache() {
 #[test]
 fn busy_and_unavailable_retry_until_success() {
     let (client, _t) = scripted_client(vec![
-        Some(Error::Busy("shed".into())),
+        Some(Error::busy("shed")),
         Some(Error::Unavailable("gap".into())),
-        Some(Error::Busy("shed".into())),
+        Some(Error::busy("shed")),
     ]);
     client.put(0, key(1), val("v")).unwrap();
     assert!(client.metrics().snapshot().rpc_retries >= 3);
@@ -163,6 +164,7 @@ fn deadline_caps_the_retry_budget() {
             op_deadline: Duration::from_millis(120),
             // A budget far larger than the deadline allows.
             retry: RetryPolicy::new(1_000_000),
+            ..ClientConfig::default()
         },
     );
     let start = Instant::now();
@@ -242,6 +244,7 @@ fn transport_faults_never_lose_acked_writes() {
             // enough to ride out refusal/reset bursts.
             op_deadline: Duration::from_secs(2),
             retry: RetryPolicy::new(400),
+            ..ClientConfig::default()
         },
     );
     // Warm the routing cache before the wire gets hostile.
@@ -298,14 +301,13 @@ fn transport_faults_never_lose_acked_writes() {
 #[test]
 fn overloaded_member_sheds_with_busy() {
     let cluster = logbase_cluster(2, 0);
-    let net = cluster
-        .start_net(NetServerConfig { max_in_flight: 0 })
-        .unwrap();
+    let net = cluster.start_net(NetServerConfig::fixed(0)).unwrap();
     let client = cluster.client_with(
         Arc::new(TcpTransport::for_server(&net)),
         ClientConfig {
             op_deadline: Duration::from_millis(300),
             retry: RetryPolicy::no_delay(10),
+            ..ClientConfig::default()
         },
     );
     let err = client.put(0, key(1), val("v")).unwrap_err();
@@ -351,14 +353,14 @@ fn garbage_frames_do_not_wedge_the_server() {
             2 => {
                 // A valid frame torn mid-payload.
                 let mut f = bytes::BytesMut::new();
-                rpc::encode_request(&mut f, 7, &Request::Ping);
+                rpc::encode_request(&mut f, 7, 0, &Request::Ping);
                 let keep = (rng() as usize % f.len().saturating_sub(1)).max(1);
                 f[..keep].to_vec()
             }
             _ => {
                 // Valid header, corrupted CRC.
                 let mut f = bytes::BytesMut::new();
-                rpc::encode_request(&mut f, 7, &Request::Ping);
+                rpc::encode_request(&mut f, 7, 0, &Request::Ping);
                 let mut v = f.to_vec();
                 let last = v.len() - 1;
                 v[last] ^= 0xFF;
@@ -389,7 +391,7 @@ fn connection_death_aborts_open_wire_txns() {
     let mut sock = std::net::TcpStream::connect(addr).unwrap();
     let mut frame = bytes::BytesMut::new();
     // Anchor inside member 0's range (empty anchor skips the check).
-    rpc::encode_request(&mut frame, 1, &Request::TxnBegin { anchor: key(0) });
+    rpc::encode_request(&mut frame, 1, 0, &Request::TxnBegin { anchor: key(0) });
     sock.write_all(&frame).unwrap();
     let payload = rpc::read_frame(&mut sock, rpc::MAX_RPC_FRAME, "test")
         .unwrap()
@@ -460,6 +462,7 @@ fn tcp_kill_under_load_keeps_all_acked_writes() {
                         ClientConfig {
                             op_deadline: Duration::from_secs(10),
                             retry: RetryPolicy::new(400),
+                            ..ClientConfig::default()
                         },
                     );
                     for j in 0..60u64 {
@@ -504,4 +507,457 @@ fn tcp_kill_under_load_keeps_all_acked_writes() {
         m.routing_cache_invalidations > 0,
         "failover must have invalidated at least one client routing cache"
     );
+}
+
+// ---------------------------------------------------------------------
+// Overload, admission control, and deadline propagation
+// ---------------------------------------------------------------------
+
+/// Fleet decorrelation: clients constructed with a default (zero) retry
+/// seed must each receive a distinct one, and their `TabletMoved`
+/// re-resolve jitter streams must differ — otherwise every client
+/// holding the same stale route retries in lockstep and herds onto the
+/// new owner. Regression test for the synchronized-retry-storm bug.
+#[test]
+fn default_seeded_clients_never_share_a_jitter_schedule() {
+    let clients: Vec<Client> = (0..8)
+        .map(|_| {
+            let (c, _t) = scripted_client(vec![]);
+            c
+        })
+        .collect();
+    let mut seeds: Vec<u64> = clients.iter().map(|c| c.retry_seed()).collect();
+    assert!(seeds.iter().all(|&s| s != 0), "zero seed survived salting");
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 8, "two clients drew the same retry seed");
+
+    let bound = ClientConfig::default().moved_refetch_jitter;
+    for n in 0..4u64 {
+        let jitters: Vec<Duration> = clients.iter().map(|c| c.moved_jitter(n)).collect();
+        for (i, j) in jitters.iter().enumerate() {
+            assert!(
+                *j <= bound,
+                "client {i} jitter {j:?} above bound {bound:?} at step {n}"
+            );
+        }
+        let distinct: std::collections::HashSet<Duration> = jitters.iter().copied().collect();
+        assert!(
+            distinct.len() >= 6,
+            "jitter streams collapsed at step {n}: {jitters:?}"
+        );
+    }
+    // Deterministic for a fixed seed: the stream is a pure function.
+    assert_eq!(clients[0].moved_jitter(3), clients[0].moved_jitter(3));
+}
+
+/// An explicit nonzero seed is a replay contract and must be honored
+/// untouched.
+#[test]
+fn explicit_retry_seed_is_not_salted() {
+    let transport = ScriptedTransport::new(vec![]);
+    let client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        "t",
+        Metrics::new_handle(),
+        ClientConfig {
+            retry: RetryPolicy {
+                seed: 42,
+                ..RetryPolicy::no_delay(10)
+            },
+            ..ClientConfig::default()
+        },
+    );
+    assert_eq!(client.retry_seed(), 42);
+}
+
+/// A drained retry budget stops the retry loop even though the error is
+/// retriable and attempts remain — the storm-prevention contract.
+#[test]
+fn retry_budget_exhaustion_stops_retrying() {
+    let transport = ScriptedTransport::new(
+        std::iter::repeat_with(|| Some(Error::busy("drowning")))
+            .take(10_000)
+            .collect(),
+    );
+    let metrics = Metrics::new_handle();
+    let client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        "t",
+        Arc::clone(&metrics),
+        ClientConfig {
+            op_deadline: Duration::from_secs(30),
+            retry: RetryPolicy::no_delay(10_000),
+            retry_budget: logbase_cluster::RetryBudgetConfig {
+                initial: 3,
+                max: 3,
+                refill_per_success: 0.0,
+            },
+            ..ClientConfig::default()
+        },
+    );
+    let err = client.put(0, key(1), val("v")).unwrap_err();
+    assert!(
+        matches!(&err, Error::Unavailable(m) if m.contains("retry budget")),
+        "got {err:?}"
+    );
+    let m = metrics.snapshot();
+    assert_eq!(m.retry_budget_exhausted, 1, "exhaustion must be counted");
+    assert!(
+        m.rpc_retries <= 3,
+        "budget of 3 bought {} retries",
+        m.rpc_retries
+    );
+    assert_eq!(client.retry_budget_tokens(), 0.0);
+}
+
+/// Successes refill the budget, so a long healthy run never starves.
+#[test]
+fn retry_budget_refills_on_success() {
+    let (client, _t) = scripted_client(vec![Some(Error::busy("blip"))]);
+    let before = client.retry_budget_tokens();
+    client.put(0, key(1), val("v")).unwrap();
+    // One retry spent, one success refilled (routes probe also refills).
+    assert!(
+        client.retry_budget_tokens() >= before - 1.0,
+        "budget drained on a healthy run"
+    );
+}
+
+/// The server's `Busy` retry-after hint stretches the client's sleep,
+/// and the configured cap bounds a hostile hint.
+#[test]
+fn busy_retry_after_hint_is_honored_and_capped() {
+    let hinted = |us: u64| {
+        Some(Error::Busy {
+            detail: "shed".into(),
+            retry_after_micros: us,
+        })
+    };
+    // Two 40ms hints with a zero-backoff policy: only the hint sleeps.
+    let transport = ScriptedTransport::new(vec![hinted(40_000), hinted(40_000)]);
+    let client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        "t",
+        Metrics::new_handle(),
+        ClientConfig {
+            op_deadline: Duration::from_secs(10),
+            retry: RetryPolicy::no_delay(50),
+            ..ClientConfig::default()
+        },
+    );
+    let start = Instant::now();
+    client.put(0, key(1), val("v")).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(60),
+        "hints ignored: two 40ms hints slept only {elapsed:?}"
+    );
+
+    // A 10-second hint must be capped (default cap 100ms).
+    let transport = ScriptedTransport::new(vec![hinted(10_000_000)]);
+    let client = Client::new(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        "t",
+        Metrics::new_handle(),
+        ClientConfig {
+            op_deadline: Duration::from_secs(30),
+            retry: RetryPolicy::no_delay(50),
+            ..ClientConfig::default()
+        },
+    );
+    let start = Instant::now();
+    client.put(0, key(1), val("v")).unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "retry-after cap failed to bound a hostile hint"
+    );
+}
+
+/// The admission counter under a thundering acquire/release race: the
+/// CAS loop must never overshoot the per-priority threshold and must
+/// return to exactly zero when everyone is done.
+#[test]
+fn admission_counter_never_overshoots_or_leaks() {
+    use logbase_cluster::{AdmissionController, AdmissionMode};
+    use logbase_common::rpc::Priority;
+
+    let limiter = Arc::new(AdmissionController::new(&AdmissionMode::Fixed(8)));
+    let max_seen = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..16 {
+            let limiter = Arc::clone(&limiter);
+            let max_seen = Arc::clone(&max_seen);
+            scope.spawn(move || {
+                for _ in 0..5_000 {
+                    if limiter.try_acquire(Priority::Normal) {
+                        let seen = limiter.in_flight() as u64;
+                        max_seen.fetch_max(seen, Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        limiter.release();
+                    }
+                }
+            });
+        }
+    });
+    let eff = limiter.effective_limit(logbase_common::rpc::Priority::Normal);
+    assert!(
+        max_seen.load(Ordering::Relaxed) as usize <= eff,
+        "in_flight overshot the Normal threshold: {} > {eff}",
+        max_seen.load(Ordering::Relaxed)
+    );
+    assert_eq!(limiter.in_flight(), 0, "slots leaked after the race");
+}
+
+/// Connections that die with admitted requests still queued must give
+/// every slot back: pipelined writes on raw sockets, dropped mid-burst,
+/// drain to an in-flight count of exactly zero.
+#[test]
+fn dead_connections_release_their_admission_slots() {
+    let cluster = logbase_cluster(1, 0);
+    let net = cluster.start_net(NetServerConfig::default()).unwrap();
+    let addr = net.addr(0);
+    let domain = cluster.config().key_domain;
+
+    for round in 0..10u64 {
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        let mut burst = bytes::BytesMut::new();
+        for j in 0..8u64 {
+            let k = (round * 8 + j) * (domain / 100);
+            rpc::encode_request(
+                &mut burst,
+                j + 1,
+                0,
+                &Request::Put {
+                    table: cluster.config().table.clone(),
+                    cg: 0,
+                    key: key(k),
+                    value: val("doomed"),
+                },
+            );
+        }
+        sock.write_all(&burst).unwrap();
+        drop(sock); // die with the burst in flight
+    }
+
+    let admission = net.admission(0);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while admission.in_flight() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "admission slots leaked by dead connections: {} still held",
+            admission.in_flight()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The server still serves a well-mannered client at full health.
+    let client = cluster.client_with(
+        Arc::new(TcpTransport::for_server(&net)),
+        ClientConfig::default(),
+    );
+    client.put(0, key(1), val("alive")).unwrap();
+    assert_eq!(client.get(0, &key(1)).unwrap(), Some(val("alive")));
+}
+
+/// Deadline propagation end to end on the wire: with one worker and
+/// 50ms of injected service latency, a pipelined burst of 60ms-budget
+/// requests must see its tail dropped mid-queue as `Expired` — the
+/// server refuses to burn capacity on answers nobody is waiting for.
+#[test]
+fn queued_requests_past_their_deadline_are_dropped() {
+    let cluster = logbase_cluster(1, 0);
+    cluster.dfs().fault_injector().set_net_spec(
+        0,
+        NetFaultSpec {
+            fixed_latency: Some(Duration::from_millis(50)),
+            ..NetFaultSpec::default()
+        },
+    );
+    let net = cluster
+        .start_net(NetServerConfig {
+            dispatch_threads: 1,
+            ..NetServerConfig::default()
+        })
+        .unwrap();
+    let addr = net.addr(0);
+
+    let mut sock = std::net::TcpStream::connect(addr).unwrap();
+    let mut burst = bytes::BytesMut::new();
+    for id in 1..=5u64 {
+        burst.clear();
+        rpc::encode_request(&mut burst, id, 60, &Request::Ping);
+        sock.write_all(&burst).unwrap();
+    }
+
+    let mut expired = 0;
+    let mut served = 0;
+    for _ in 0..5 {
+        let payload = rpc::read_frame(&mut sock, rpc::MAX_RPC_FRAME, "test")
+            .unwrap()
+            .unwrap();
+        let (_, resp) = rpc::decode_response(payload).unwrap();
+        match resp {
+            Response::Pong => served += 1,
+            Response::Err(w) => {
+                let e = Error::from(w);
+                assert!(matches!(e, Error::Expired(_)), "got {e:?}");
+                assert!(e.is_retriable(), "Expired must be retriable");
+                expired += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(served >= 1, "the head of the burst had budget to spare");
+    assert!(
+        expired >= 2,
+        "60ms budgets queued behind 50ms services must expire, saw {expired}"
+    );
+    assert_eq!(
+        cluster.metrics().snapshot().requests_expired,
+        expired,
+        "every drop must be counted"
+    );
+}
+
+/// The tentpole torture: a load ramp drives offered load far past the
+/// capacity of a deliberately tiny dispatch pool (1 worker × 2ms
+/// injected service latency per member), forcing the adaptive limiter
+/// to shrink and shed — while a concurrent SI transaction workload
+/// commits over the same saturated wire. Contract: the limiter visibly
+/// sheds, **zero acked writes are lost**, and the recorded transaction
+/// history is anomaly-free.
+#[test]
+fn overload_ramp_loses_no_acked_writes_and_keeps_si() {
+    let seed = seed_from_env();
+    let cluster = Arc::new(logbase_cluster(3, 0));
+    let injector = cluster.dfs().fault_injector();
+    for m in 0..3 {
+        injector.set_net_spec(
+            m,
+            NetFaultSpec {
+                fixed_latency: Some(Duration::from_millis(2)),
+                ..NetFaultSpec::default()
+            },
+        );
+    }
+    let net = cluster
+        .start_net(NetServerConfig {
+            dispatch_threads: 1,
+            ..NetServerConfig::default()
+        })
+        .unwrap();
+
+    let domain = cluster.config().key_domain;
+    let mut cfg = logbase_checker::workload::WorkloadConfig::new(seed).with_key_domain(domain);
+    cfg.table = cluster.config().table.clone();
+    cfg.threads = 3;
+    cfg.txns_per_thread = 12;
+    // Blast keys sit halfway between the workload's stride multiples:
+    // disjoint from every register/account cell, so blind writes never
+    // muddy the transaction history.
+    let stride = cfg.stride;
+
+    let txn_client = cluster.client_with(
+        Arc::new(TcpTransport::for_server(&net)),
+        ClientConfig {
+            op_deadline: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    );
+    let route = {
+        let client_ref = &txn_client;
+        move |key: &[u8]| {
+            client_ref
+                .endpoint_for(key)
+                .ok()
+                .map(|ep| Box::new(ep) as logbase_checker::workload::Endpoint<'_>)
+        }
+    };
+    logbase_checker::workload::seed_accounts(&route, &cfg).unwrap();
+
+    // One shared recorder across every member, installed *after* the
+    // account seeding so setup puts stay under the baseline.
+    let recorder = Arc::new(logbase::HistoryRecorder::new());
+    for i in 0..cluster.nodes() {
+        if let Some(s) = cluster.logbase_server(i) {
+            s.set_history_recorder(Some(Arc::clone(&recorder)));
+        }
+    }
+
+    let acked: Mutex<Vec<(Vec<u8>, String)>> = Mutex::new(Vec::new());
+    let outcome = std::thread::scope(|scope| {
+        // The ramp: 12 blasters joining in staggered waves.
+        let blasters: Vec<_> = (0..12u64)
+            .map(|w| {
+                let c = Arc::clone(&cluster);
+                let net = Arc::clone(&net);
+                let acked = &acked;
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(w * 15));
+                    let client = c.client_with(
+                        Arc::new(TcpTransport::for_server(&net)),
+                        ClientConfig {
+                            op_deadline: Duration::from_secs(5),
+                            retry: RetryPolicy::new(200),
+                            ..ClientConfig::default()
+                        },
+                    );
+                    for j in 0..25u64 {
+                        let g = w * 25 + j;
+                        let k = (g % 32) * stride + stride / 2 + g / 32;
+                        let kb = logbase_workload::encode_key(k).to_vec();
+                        let v = format!("blast-{w}-{j}");
+                        if client.put(0, RowKey::copy_from_slice(&kb), val(&v)).is_ok() {
+                            acked.lock().push((kb, v));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let outcome = logbase_checker::workload::run(&route, &cfg);
+        for b in blasters {
+            b.join().unwrap();
+        }
+        outcome
+    });
+
+    for i in 0..cluster.nodes() {
+        if let Some(s) = cluster.logbase_server(i) {
+            s.set_history_recorder(None);
+        }
+    }
+
+    let m = cluster.metrics().snapshot();
+    assert!(
+        m.connections_shed > 0,
+        "offered load 5× capacity but the limiter never shed"
+    );
+    assert!(
+        outcome.committed > 0,
+        "no transaction survived the overload (committed=0)"
+    );
+
+    // Quiesce the wire; every ack must read back exactly.
+    injector.clear_net();
+    let reader = cluster.client_with(
+        Arc::new(TcpTransport::for_server(&net)),
+        ClientConfig::default(),
+    );
+    let acked = acked.into_inner();
+    assert!(
+        !acked.is_empty(),
+        "the blast phase never landed a single write"
+    );
+    for (kb, v) in &acked {
+        assert_eq!(
+            reader.get(0, kb).unwrap(),
+            Some(val(v)),
+            "acked write lost under overload shed"
+        );
+    }
+
+    let report = logbase_checker::check_recorded(&recorder);
+    logbase_checker::assert_clean("overload", seed, &recorder.events(), &report);
+    logbase_checker::workload::verify_bank_invariant(&route, &cfg).unwrap();
 }

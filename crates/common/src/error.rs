@@ -77,10 +77,20 @@ pub enum Error {
     TxnAborted(String),
     /// Operation attempted on a server that is shut down or recovering.
     Unavailable(String),
-    /// Server shed the request under load (bounded accept/worker queues
-    /// are full). Retriable after backoff — unlike `Unavailable`, the
-    /// server is healthy, just momentarily saturated.
-    Busy(String),
+    /// Server shed the request under load (admission control rejected
+    /// it). Retriable after backoff — unlike `Unavailable`, the server
+    /// is healthy, just momentarily saturated. `retry_after` is the
+    /// server's suggested backoff in microseconds (0 = no hint); clients
+    /// honor it so shed traffic returns after the congestion window, not
+    /// inside it.
+    Busy {
+        /// Human-readable shed reason (may be empty on the hot path —
+        /// the shed response is allocation-free).
+        detail: String,
+        /// Server-suggested retry delay in microseconds; 0 means the
+        /// server offered no hint.
+        retry_after_micros: u64,
+    },
     /// A wire frame announced a length above the transport's bound —
     /// either corruption of the length prefix or a hostile peer. The
     /// connection must be dropped; the frame can never be read.
@@ -94,6 +104,12 @@ pub enum Error {
     /// (including retries) completed. Not retriable: the retry budget
     /// *is* the deadline.
     DeadlineExceeded(String),
+    /// The server observed that the request's propagated deadline had
+    /// already expired before dispatch and dropped it without doing the
+    /// work. Retriable on the wire (another attempt with a fresh budget
+    /// can succeed), though a client whose own deadline has passed will
+    /// surface [`Error::DeadlineExceeded`] instead of retrying.
+    Expired(String),
     /// A named crash point fired: the process is simulating a crash at
     /// this exact site. The error must propagate to the top of the
     /// maintenance call without any cleanup, mimicking a process that
@@ -152,12 +168,22 @@ impl fmt::Display for Error {
             Error::TxnConflict { detail } => write!(f, "transaction conflict: {detail}"),
             Error::TxnAborted(msg) => write!(f, "transaction aborted: {msg}"),
             Error::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
-            Error::Busy(msg) => write!(f, "server busy (load shed): {msg}"),
+            Error::Busy {
+                detail,
+                retry_after_micros,
+            } => {
+                write!(f, "server busy (load shed): {detail}")?;
+                if *retry_after_micros > 0 {
+                    write!(f, " [retry after {retry_after_micros}us]")?;
+                }
+                Ok(())
+            }
             Error::FrameTooLarge { announced, max } => write!(
                 f,
                 "frame too large: announced {announced} bytes exceeds the {max}-byte bound"
             ),
             Error::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            Error::Expired(msg) => write!(f, "request expired before dispatch: {msg}"),
             Error::CrashPoint { site } => write!(f, "injected crash at {site}"),
             Error::Recovery(msg) => write!(f, "recovery error: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -181,6 +207,26 @@ impl From<std::io::Error> for Error {
 }
 
 impl Error {
+    /// A [`Error::Busy`] with no retry-after hint.
+    pub fn busy(detail: impl Into<String>) -> Self {
+        Error::Busy {
+            detail: detail.into(),
+            retry_after_micros: 0,
+        }
+    }
+
+    /// The server's suggested retry delay, when the error carries one.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            Error::Busy {
+                retry_after_micros, ..
+            } if *retry_after_micros > 0 => {
+                Some(std::time::Duration::from_micros(*retry_after_micros))
+            }
+            _ => None,
+        }
+    }
+
     /// True when retrying the operation against a different replica or
     /// after re-election could succeed (transient cluster conditions).
     /// `Io` errors count only for the transient kinds the fault injector
@@ -189,7 +235,8 @@ impl Error {
         match self {
             Error::NodeDown(_)
             | Error::Unavailable(_)
-            | Error::Busy(_)
+            | Error::Busy { .. }
+            | Error::Expired(_)
             | Error::InsufficientReplicas { .. }
             | Error::TabletMoved(_) => true,
             // A fenced session can never succeed by retrying: its epoch
@@ -275,7 +322,7 @@ mod tests {
 
     #[test]
     fn busy_is_retriable_but_deadline_and_oversized_frames_are_not() {
-        assert!(Error::Busy("accept queue full".into()).is_retriable());
+        assert!(Error::busy("accept queue full").is_retriable());
         let deadline = Error::DeadlineExceeded("put: 250ms elapsed".into());
         assert!(!deadline.is_retriable());
         assert!(deadline.to_string().contains("250ms"));
@@ -288,6 +335,29 @@ mod tests {
         // can never be read and the connection must be dropped.
         assert!(oversized.is_corruption());
         assert!(oversized.to_string().contains("bound"));
+    }
+
+    #[test]
+    fn busy_carries_an_optional_retry_after_hint() {
+        assert_eq!(Error::busy("shed").retry_after(), None);
+        let hinted = Error::Busy {
+            detail: String::new(),
+            retry_after_micros: 2_500,
+        };
+        assert_eq!(
+            hinted.retry_after(),
+            Some(std::time::Duration::from_micros(2_500))
+        );
+        assert!(hinted.is_retriable());
+        assert!(hinted.to_string().contains("2500us"));
+    }
+
+    #[test]
+    fn expired_is_retriable_on_the_wire() {
+        let e = Error::Expired("deadline passed 3ms before dispatch".into());
+        assert!(e.is_retriable());
+        assert!(!e.is_corruption());
+        assert!(e.to_string().contains("before dispatch"));
     }
 
     #[test]

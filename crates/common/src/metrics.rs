@@ -76,6 +76,19 @@ pub struct Metrics {
     pub connections_shed: AtomicU64,
     /// Client routing-cache entries invalidated on `TabletMoved`.
     pub routing_cache_invalidations: AtomicU64,
+    /// Current adaptive admission limit (a gauge: last value stored by
+    /// the limiter, not a monotonic count).
+    pub admission_limit: AtomicU64,
+    /// Requests dropped because their propagated deadline had already
+    /// expired before dispatch (doomed work the server skipped).
+    pub requests_expired: AtomicU64,
+    /// Requests shed at a priority-reduced threshold while the base
+    /// admission limit still had room (low-priority traffic displaced
+    /// to protect commits and maintenance RPCs).
+    pub requests_shed_by_priority: AtomicU64,
+    /// Client retries suppressed because the token-bucket retry budget
+    /// was empty (storm prevention kicked in).
+    pub retry_budget_exhausted: AtomicU64,
 }
 
 impl Metrics {
@@ -136,6 +149,10 @@ impl Metrics {
             rpc_timeouts: Self::get(&self.rpc_timeouts),
             connections_shed: Self::get(&self.connections_shed),
             routing_cache_invalidations: Self::get(&self.routing_cache_invalidations),
+            admission_limit: Self::get(&self.admission_limit),
+            requests_expired: Self::get(&self.requests_expired),
+            requests_shed_by_priority: Self::get(&self.requests_shed_by_priority),
+            retry_budget_exhausted: Self::get(&self.retry_budget_exhausted),
         }
     }
 
@@ -173,6 +190,10 @@ impl Metrics {
             &self.rpc_timeouts,
             &self.connections_shed,
             &self.routing_cache_invalidations,
+            &self.admission_limit,
+            &self.requests_expired,
+            &self.requests_shed_by_priority,
+            &self.retry_budget_exhausted,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -213,6 +234,10 @@ pub struct MetricsSnapshot {
     pub rpc_timeouts: u64,
     pub connections_shed: u64,
     pub routing_cache_invalidations: u64,
+    pub admission_limit: u64,
+    pub requests_expired: u64,
+    pub requests_shed_by_priority: u64,
+    pub retry_budget_exhausted: u64,
 }
 
 impl MetricsSnapshot {
@@ -287,6 +312,18 @@ impl MetricsSnapshot {
             routing_cache_invalidations: self
                 .routing_cache_invalidations
                 .saturating_sub(earlier.routing_cache_invalidations),
+            // A gauge, not a counter: the later observation stands on
+            // its own rather than as a difference.
+            admission_limit: self.admission_limit,
+            requests_expired: self
+                .requests_expired
+                .saturating_sub(earlier.requests_expired),
+            requests_shed_by_priority: self
+                .requests_shed_by_priority
+                .saturating_sub(earlier.requests_shed_by_priority),
+            retry_budget_exhausted: self
+                .retry_budget_exhausted
+                .saturating_sub(earlier.retry_budget_exhausted),
         }
     }
 }
@@ -382,6 +419,26 @@ mod tests {
         assert_eq!(s.routing_cache_invalidations, 1);
         let d = s.delta_since(&MetricsSnapshot::default());
         assert_eq!(d.rpc_retries, 3);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn overload_counters_round_trip_through_snapshot() {
+        let m = Metrics::new_handle();
+        m.admission_limit.store(48, Ordering::Relaxed);
+        Metrics::add(&m.requests_expired, 5);
+        Metrics::incr(&m.requests_shed_by_priority);
+        Metrics::add(&m.retry_budget_exhausted, 2);
+        let s = m.snapshot();
+        assert_eq!(s.admission_limit, 48);
+        assert_eq!(s.requests_expired, 5);
+        assert_eq!(s.requests_shed_by_priority, 1);
+        assert_eq!(s.retry_budget_exhausted, 2);
+        let d = s.delta_since(&MetricsSnapshot::default());
+        // The limit is a gauge: the later observation wins the delta.
+        assert_eq!(d.admission_limit, 48);
+        assert_eq!(d.requests_expired, 5);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -6,15 +6,26 @@
 //! rejected *before* any allocation or blocking read it would imply.
 //!
 //! ```text
-//! +----------+----------+=====================================+
-//! | len: u32 | crc: u32 | req_id: u64 | opcode: u8 | body ... |
-//! +----------+----------+=====================================+
+//! +----------+----------+======================================================+
+//! | len: u32 | crc: u32 | req_id: u64 | deadline_ms: u32 | opcode: u8 | body … |
+//! +----------+----------+======================================================+
 //! ```
 //!
 //! `req_id` is a per-connection sequence number: clients pipeline many
 //! requests on one connection and match responses by id, so delayed or
 //! duplicated responses (both injected by the transport fault suite)
 //! never pair with the wrong caller — a duplicate id is dropped.
+//!
+//! `deadline_ms` propagates the client's *remaining* per-op budget, in
+//! milliseconds at send time (0 = no deadline). Shipping a relative
+//! budget rather than an absolute wall-clock instant needs no clock
+//! synchronization: the server stamps its own arrival instant when it
+//! reads the frame and counts down from there. Transit time is not
+//! charged, which errs in the safe direction — the server never drops a
+//! request the client still considers live. Requests whose budget runs
+//! out while queued server-side are dropped without dispatch and
+//! answered with the retriable [`Error::Expired`], so the server never
+//! burns cycles on work the client has already abandoned.
 //!
 //! The error taxonomy crosses the wire losslessly enough that
 //! [`Error::is_retriable`] gives the same answer on both sides: the
@@ -100,6 +111,42 @@ pub enum Request {
     TxnAbort { txn: u64 },
 }
 
+/// Admission priority class of a request under load shed.
+///
+/// Ordered so that `Low < Normal < High`; the admission controller
+/// sheds `Low` first and grants `High` a headroom margin above the
+/// base limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Fresh reads and scans: the first traffic dropped under overload
+    /// (a shed read is cheap for the client to retry or abandon).
+    Low,
+    /// Writes and in-progress transaction steps.
+    Normal,
+    /// Transaction commits (work already invested on both sides),
+    /// routing-table fetches, and liveness probes — the RPCs that
+    /// recovery and failover depend on must not starve behind fresh
+    /// load.
+    High,
+}
+
+impl Request {
+    /// The admission priority class this request belongs to.
+    pub fn priority(&self) -> Priority {
+        match self {
+            Request::TxnCommit { .. }
+            | Request::TxnAbort { .. }
+            | Request::Routes
+            | Request::Ping => Priority::High,
+            Request::Put { .. }
+            | Request::Delete { .. }
+            | Request::TxnBegin { .. }
+            | Request::TxnRead { .. } => Priority::Normal,
+            Request::Get { .. } | Request::GetAt { .. } | Request::Scan { .. } => Priority::Low,
+        }
+    }
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -157,6 +204,34 @@ const E_DEADLINE: u8 = 17;
 const E_FRAME_TOO_LARGE: u8 = 18;
 const E_RECOVERY: u8 = 19;
 const E_CRASH_POINT: u8 = 20;
+const E_EXPIRED: u8 = 21;
+
+impl WireError {
+    /// `Busy` shed error for the server's hottest rejection path.
+    /// Allocation-free: the detail string is empty (an empty `String`
+    /// holds no heap buffer) and the retry-after hint rides in the
+    /// integer payload.
+    pub fn busy_shed(retry_after_micros: u64) -> WireError {
+        WireError {
+            code: E_BUSY,
+            a: retry_after_micros,
+            b: 0,
+            msg: String::new(),
+        }
+    }
+
+    /// Allocation-free drop notice for a request whose propagated
+    /// deadline expired before dispatch; `lateness_micros` says by how
+    /// much it missed.
+    pub fn expired(lateness_micros: u64) -> WireError {
+        WireError {
+            code: E_EXPIRED,
+            a: lateness_micros,
+            b: 0,
+            msg: String::new(),
+        }
+    }
+}
 
 impl From<&Error> for WireError {
     fn from(e: &Error) -> Self {
@@ -168,7 +243,15 @@ impl From<&Error> for WireError {
         };
         match e {
             Error::Unavailable(m) => mk(E_UNAVAILABLE, m.clone()),
-            Error::Busy(m) => mk(E_BUSY, m.clone()),
+            Error::Busy {
+                detail,
+                retry_after_micros,
+            } => WireError {
+                code: E_BUSY,
+                a: *retry_after_micros,
+                b: 0,
+                msg: detail.clone(),
+            },
             Error::TabletMoved(m) => mk(E_TABLET_MOVED, m.clone()),
             Error::TabletNotServed(m) => mk(E_TABLET_NOT_SERVED, m.clone()),
             Error::Fenced {
@@ -213,6 +296,7 @@ impl From<&Error> for WireError {
                 msg: String::new(),
             },
             Error::DeadlineExceeded(m) => mk(E_DEADLINE, m.clone()),
+            Error::Expired(m) => mk(E_EXPIRED, m.clone()),
             Error::FrameTooLarge { announced, max } => WireError {
                 code: E_FRAME_TOO_LARGE,
                 a: *announced,
@@ -232,7 +316,10 @@ impl From<WireError> for Error {
     fn from(w: WireError) -> Self {
         match w.code {
             E_UNAVAILABLE => Error::Unavailable(w.msg),
-            E_BUSY => Error::Busy(w.msg),
+            E_BUSY => Error::Busy {
+                detail: w.msg,
+                retry_after_micros: w.a,
+            },
             E_TABLET_MOVED => Error::TabletMoved(w.msg),
             E_TABLET_NOT_SERVED => Error::TabletNotServed(w.msg),
             E_FENCED => Error::Fenced {
@@ -261,6 +348,11 @@ impl From<WireError> for Error {
                 available: w.b as usize,
             },
             E_DEADLINE => Error::DeadlineExceeded(w.msg),
+            E_EXPIRED => Error::Expired(if w.msg.is_empty() && w.a > 0 {
+                format!("{}us past the propagated deadline", w.a)
+            } else {
+                w.msg
+            }),
             E_FRAME_TOO_LARGE => Error::FrameTooLarge {
                 announced: w.a,
                 max: w.b,
@@ -320,10 +412,13 @@ fn get_string(src: &mut Bytes, ctx: &str) -> Result<String> {
     String::from_utf8(b.to_vec()).map_err(|_| Error::Corruption(format!("{ctx}: non-utf8 string")))
 }
 
-/// Encode `(req_id, request)` as one bounded CRC frame appended to `dst`.
-pub fn encode_request(dst: &mut BytesMut, req_id: u64, req: &Request) -> usize {
+/// Encode `(req_id, deadline, request)` as one bounded CRC frame
+/// appended to `dst`. `deadline_ms` is the client's remaining per-op
+/// budget in milliseconds at send time; 0 means no deadline.
+pub fn encode_request(dst: &mut BytesMut, req_id: u64, deadline_ms: u32, req: &Request) -> usize {
     let mut body = BytesMut::with_capacity(64);
     body.put_u64_le(req_id);
+    body.put_u32_le(deadline_ms);
     match req {
         Request::Ping => body.put_u8(OP_PING),
         Request::Put {
@@ -407,10 +502,12 @@ pub fn encode_request(dst: &mut BytesMut, req_id: u64, req: &Request) -> usize {
     encode_frame(dst, &body)
 }
 
-/// Decode a request frame payload (the bytes inside the CRC frame).
-pub fn decode_request(mut payload: Bytes) -> Result<(u64, Request)> {
+/// Decode a request frame payload (the bytes inside the CRC frame)
+/// into `(req_id, deadline_ms, request)`.
+pub fn decode_request(mut payload: Bytes) -> Result<(u64, u32, Request)> {
     const CTX: &str = "rpc request";
     let req_id = get_u64(&mut payload, CTX)?;
+    let deadline_ms = get_u32(&mut payload, CTX)?;
     let op = get_u8(&mut payload, CTX)?;
     let req = match op {
         OP_PING => Request::Ping,
@@ -480,12 +577,26 @@ pub fn decode_request(mut payload: Bytes) -> Result<(u64, Request)> {
         },
         other => return Err(Error::Corruption(format!("{CTX}: unknown opcode {other}"))),
     };
-    Ok((req_id, req))
+    Ok((req_id, deadline_ms, req))
 }
 
 /// Encode `(req_id, response)` as one bounded CRC frame appended to `dst`.
 pub fn encode_response(dst: &mut BytesMut, req_id: u64, resp: &Response) -> usize {
     let mut body = BytesMut::with_capacity(64);
+    encode_response_reusing(dst, &mut body, req_id, resp)
+}
+
+/// Like [`encode_response`] but serializing through a caller-owned
+/// scratch buffer, so a hot path (the server's `Busy` shed response)
+/// reaches steady-state zero allocation: `clear()` keeps both buffers'
+/// capacity across calls.
+pub fn encode_response_reusing(
+    dst: &mut BytesMut,
+    body: &mut BytesMut,
+    req_id: u64,
+    resp: &Response,
+) -> usize {
+    body.clear();
     body.put_u64_le(req_id);
     match resp {
         Response::Pong => body.put_u8(RE_PONG),
@@ -496,25 +607,25 @@ pub fn encode_response(dst: &mut BytesMut, req_id: u64, resp: &Response) -> usiz
         }
         Response::Value(v) => {
             body.put_u8(RE_VALUE);
-            put_opt_bytes(&mut body, v.as_deref());
+            put_opt_bytes(body, v.as_deref());
         }
         Response::Scan(items) => {
             body.put_u8(RE_SCAN);
             body.put_u32_le(items.len() as u32);
             for (key, ts, value) in items {
-                put_bytes(&mut body, key);
+                put_bytes(body, key);
                 body.put_u64_le(ts.0);
-                put_bytes(&mut body, value);
+                put_bytes(body, value);
             }
         }
         Response::Routes(routes) => {
             body.put_u8(RE_ROUTES);
             body.put_u32_le(routes.len() as u32);
             for r in routes {
-                put_bytes(&mut body, &r.start);
-                put_opt_bytes(&mut body, r.end.as_deref());
+                put_bytes(body, &r.start);
+                put_opt_bytes(body, r.end.as_deref());
                 body.put_u32_le(r.member);
-                put_bytes(&mut body, r.addr.as_bytes());
+                put_bytes(body, r.addr.as_bytes());
             }
         }
         Response::TxnBegun { txn, snapshot } => {
@@ -527,10 +638,10 @@ pub fn encode_response(dst: &mut BytesMut, req_id: u64, resp: &Response) -> usiz
             body.put_u8(w.code);
             body.put_u64_le(w.a);
             body.put_u64_le(w.b);
-            put_bytes(&mut body, w.msg.as_bytes());
+            put_bytes(body, w.msg.as_bytes());
         }
     }
-    encode_frame(dst, &body)
+    encode_frame(dst, body)
 }
 
 /// Decode a response frame payload (the bytes inside the CRC frame).
@@ -665,11 +776,12 @@ mod tests {
 
     fn round_trip_request(req: Request) -> Request {
         let mut buf = BytesMut::new();
-        encode_request(&mut buf, 42, &req);
+        encode_request(&mut buf, 42, 1_500, &req);
         let (payload, consumed) = codec::decode_frame(&buf, "t").unwrap();
         assert_eq!(consumed, buf.len());
-        let (id, decoded) = decode_request(payload).unwrap();
+        let (id, deadline_ms, decoded) = decode_request(payload).unwrap();
         assert_eq!(id, 42);
+        assert_eq!(deadline_ms, 1_500);
         decoded
     }
 
@@ -778,7 +890,12 @@ mod tests {
     fn error_classification_survives_the_wire() {
         let errors = vec![
             Error::Unavailable("gap".into()),
-            Error::Busy("queue full".into()),
+            Error::busy("queue full"),
+            Error::Busy {
+                detail: String::new(),
+                retry_after_micros: 1_200,
+            },
+            Error::Expired("budget ran out in the server queue".into()),
             Error::TabletMoved("moved".into()),
             Error::TabletNotServed("nope".into()),
             Error::Fenced {
@@ -841,9 +958,75 @@ mod tests {
     }
 
     #[test]
+    fn busy_retry_after_hint_survives_the_wire() {
+        let hinted = Error::Busy {
+            detail: "shed".into(),
+            retry_after_micros: 3_000,
+        };
+        let decoded = Error::from(WireError::from(&hinted));
+        assert_eq!(
+            decoded.retry_after(),
+            Some(std::time::Duration::from_micros(3_000))
+        );
+        // The allocation-free shed template decodes the same way.
+        let shed = Error::from(WireError::busy_shed(3_000));
+        assert_eq!(
+            shed.retry_after(),
+            Some(std::time::Duration::from_micros(3_000))
+        );
+        assert!(shed.is_retriable());
+        // And the expired template stays retriable with its lateness.
+        let expired = Error::from(WireError::expired(250));
+        assert!(expired.is_retriable());
+        assert!(expired.to_string().contains("250us"));
+    }
+
+    #[test]
+    fn zero_deadline_means_none() {
+        let mut buf = BytesMut::new();
+        encode_request(&mut buf, 9, 0, &Request::Ping);
+        let (payload, _) = codec::decode_frame(&buf, "t").unwrap();
+        let (_, deadline_ms, _) = decode_request(payload).unwrap();
+        assert_eq!(deadline_ms, 0);
+    }
+
+    #[test]
+    fn priority_classes_order_commits_over_fresh_reads() {
+        assert_eq!(
+            Request::TxnCommit {
+                txn: 1,
+                writes: vec![]
+            }
+            .priority(),
+            Priority::High
+        );
+        assert_eq!(Request::Routes.priority(), Priority::High);
+        assert_eq!(
+            Request::Put {
+                table: "t".into(),
+                cg: 0,
+                key: RowKey::from_static(b"k"),
+                value: Value::from_static(b"v"),
+            }
+            .priority(),
+            Priority::Normal
+        );
+        assert_eq!(
+            Request::Get {
+                table: "t".into(),
+                cg: 0,
+                key: RowKey::from_static(b"k"),
+            }
+            .priority(),
+            Priority::Low
+        );
+        assert!(Priority::Low < Priority::Normal && Priority::Normal < Priority::High);
+    }
+
+    #[test]
     fn read_frame_handles_eof_torn_and_oversized_input() {
         let mut buf = BytesMut::new();
-        encode_request(&mut buf, 1, &Request::Ping);
+        encode_request(&mut buf, 1, 0, &Request::Ping);
         let bytes = buf.freeze();
 
         // Clean decode.

@@ -478,6 +478,23 @@ impl FaultInjector {
         self.net_armed.store(true, Ordering::Release);
     }
 
+    /// Install (or replace) the transport fault spec for a single lane
+    /// of one member, leaving its other lane untouched. Load harnesses
+    /// use this to inject per-response service latency without also
+    /// throttling connection accepts.
+    pub fn set_net_spec_for(&self, member: u32, op: NetOp, spec: NetFaultSpec) {
+        let mut lanes = self.net_lanes.lock();
+        lanes.insert(
+            (member, op),
+            NetLane {
+                spec,
+                rng: SplitMix64::new(self.net_lane_seed(member, op)),
+                ops: 0,
+            },
+        );
+        self.net_armed.store(true, Ordering::Release);
+    }
+
     /// Remove every installed transport spec.
     pub fn clear_net(&self) {
         self.net_lanes.lock().clear();

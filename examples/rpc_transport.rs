@@ -105,6 +105,13 @@ fn main() -> logbase_common::Result<()> {
         m.connections_shed,
         m.routing_cache_invalidations
     );
+    println!(
+        "admission: limit={} expired={} shed_by_priority={} retry_budget_exhausted={}",
+        m.admission_limit,
+        m.requests_expired,
+        m.requests_shed_by_priority,
+        m.retry_budget_exhausted
+    );
     assert!(m.rpc_requests > 0);
     println!("rpc_transport OK");
     Ok(())
