@@ -47,6 +47,13 @@
 //!   entirely (half-open: the client's per-request deadline is the only
 //!   way out), or delay it.
 //!
+//! Shed (`Busy`) frames deliberately bypass the respond lane: the shed
+//! path models the cheapest possible rejection, and load harnesses use
+//! the lane's injected latency as simulated *service* cost — charging
+//! it to sheds would turn rejecting work into doing work. A client
+//! therefore never sees a torn or duplicated shed frame from the
+//! injector, only from a real socket failure.
+//!
 //! # Pipelining and duplicates
 //!
 //! Clients assign per-connection request ids and may have many requests
@@ -129,7 +136,9 @@ impl Default for AdaptiveConfig {
 /// acquired with a CAS loop (no overshoot window) against a limit that
 /// is fixed or AIMD-adjusted, with per-priority thresholds.
 ///
-/// Priority classes ([`Request::priority`]):
+/// Priority classes ([`Request::priority`]), adaptive mode only —
+/// fixed mode is one flat cap so it stays a faithful pre-adaptive
+/// baseline:
 /// - `High` (commits, aborts, routes, pings) may burst to
 ///   `limit + limit/4 + 1` — recovery traffic is admitted even when the
 ///   base limit is saturated (or zero).
@@ -180,8 +189,14 @@ impl AdmissionController {
     }
 
     /// The admission threshold for `priority` at base limit `limit`.
+    /// Priority classes exist only in adaptive mode; fixed mode is one
+    /// flat cap for every class, so `Fixed(64)` really is the
+    /// pre-adaptive server the ablations compare against.
     pub fn effective_limit(&self, priority: Priority) -> usize {
         let base = self.limit();
+        if self.adaptive.is_none() {
+            return base;
+        }
         match priority {
             Priority::High => base + base / 4 + 1,
             Priority::Normal => base,
@@ -213,9 +228,12 @@ impl AdmissionController {
 
     /// True when a just-shed request of `priority` would have been
     /// admitted at the `High` threshold — it was displaced by its
-    /// class, not by raw saturation.
+    /// class, not by raw saturation. Always false in fixed mode, which
+    /// has no priority classes.
     pub fn shed_by_priority(&self, priority: Priority) -> bool {
-        priority < Priority::High && self.in_flight() < self.effective_limit(Priority::High)
+        self.adaptive.is_some()
+            && priority < Priority::High
+            && self.in_flight() < self.effective_limit(Priority::High)
     }
 
     /// Release one admitted request.
@@ -225,9 +243,13 @@ impl AdmissionController {
 
     /// Feed one completion into the AIMD loop. `latency` spans
     /// admission to completion (queue wait + service time); `congested`
-    /// marks a deadline miss observed server-side. No-op in fixed mode.
-    pub fn on_done(&self, latency: Duration, congested: bool, limit_gauge: &AtomicU64) {
-        let Some(cfg) = &self.adaptive else { return };
+    /// marks a deadline miss observed server-side. Returns whether the
+    /// limit moved, so the caller can refresh any derived gauge. No-op
+    /// (always `false`) in fixed mode.
+    pub fn on_done(&self, latency: Duration, congested: bool) -> bool {
+        let Some(cfg) = &self.adaptive else {
+            return false;
+        };
         let us = (latency.as_micros() as u64).max(1);
 
         // Decaying minimum: ratchet down on faster samples, drift up a
@@ -259,13 +281,14 @@ impl AdmissionController {
         let cooled = now_us.saturating_sub(self.last_change_us.load(Ordering::Relaxed))
             >= cfg.cooldown.as_micros() as u64;
 
+        let mut changed = false;
         if (congested || spike) && cooled {
             // Multiplicative decrease.
             let cur = self.limit.load(Ordering::Acquire);
             let next = ((cur as f64 * cfg.shrink_factor) as usize).max(cfg.min_limit);
             if next < cur {
                 self.limit.store(next, Ordering::Release);
-                limit_gauge.store(next as u64, Ordering::Relaxed);
+                changed = true;
             }
             self.last_change_us.store(now_us, Ordering::Relaxed);
             self.successes.store(0, Ordering::Relaxed);
@@ -278,12 +301,13 @@ impl AdmissionController {
                 let next = (cur + 1).min(cfg.max_limit);
                 if next > cur {
                     self.limit.store(next, Ordering::Release);
-                    limit_gauge.store(next as u64, Ordering::Relaxed);
+                    changed = true;
                 }
                 self.last_change_us.store(now_us, Ordering::Relaxed);
                 self.successes.store(0, Ordering::Relaxed);
             }
         }
+        changed
     }
 
     /// Suggested client backoff when shedding: roughly the smoothed
@@ -368,6 +392,13 @@ impl NetServer {
         config: NetServerConfig,
     ) -> Result<Arc<NetServer>> {
         let stop = Arc::new(AtomicBool::new(false));
+        let admissions: Arc<[Arc<AdmissionController>]> = (0..members)
+            .map(|_| Arc::new(AdmissionController::new(&config.admission)))
+            .collect();
+        service.metrics().admission_limit.store(
+            admissions.iter().map(|a| a.limit()).min().unwrap_or(0) as u64,
+            Ordering::Relaxed,
+        );
         let mut listeners = Vec::with_capacity(members);
         let mut ctxs = Vec::with_capacity(members);
         let mut workers = Vec::new();
@@ -382,15 +413,12 @@ impl NetServer {
                 member: m,
                 service: Arc::clone(&service),
                 injector: Arc::clone(&injector),
-                admission: Arc::new(AdmissionController::new(&config.admission)),
+                admission: Arc::clone(&admissions[m as usize]),
+                peers: Arc::clone(&admissions),
                 drop_expired: config.drop_expired,
                 queue: tx,
                 stop: Arc::clone(&stop),
             });
-            service
-                .metrics()
-                .admission_limit
-                .store(ctx.admission.limit() as u64, Ordering::Relaxed);
             for w in 0..config.dispatch_threads {
                 let ctx = Arc::clone(&ctx);
                 let rx = Arc::clone(&rx);
@@ -463,6 +491,12 @@ struct MemberCtx {
     service: Arc<ClusterService>,
     injector: Arc<FaultInjector>,
     admission: Arc<AdmissionController>,
+    /// Every member's controller (self included): whenever this
+    /// member's limit moves, the shared `admission_limit` gauge is
+    /// refreshed to the *minimum* across the cluster, so the gauge has
+    /// a stable meaning (the tightest member) instead of flapping to
+    /// whichever member wrote last.
+    peers: Arc<[Arc<AdmissionController>]>,
     drop_expired: bool,
     queue: mpsc::Sender<Job>,
     stop: Arc<AtomicBool>,
@@ -619,7 +653,11 @@ fn conn_reader(mut stream: TcpStream, ctx: Arc<MemberCtx>) {
             let hint = ctx.admission.retry_after_hint_micros();
             shed_frame.clear();
             rpc_encode_shed(&mut shed_frame, &mut shed_scratch, req_id, hint);
-            if stream.write_all(&shed_frame).is_err() {
+            // Through `conn.writer` — dispatch workers write responses
+            // to the same socket, and an unserialized shed frame could
+            // interleave with a partially-written response under
+            // exactly the send-buffer pressure that makes sheds fire.
+            if conn.writer.lock().write_all(&shed_frame).is_err() {
                 break;
             }
             continue;
@@ -690,8 +728,12 @@ fn run_job(ctx: &MemberCtx, job: Job) {
     };
     let latency = job.admitted_at.elapsed();
     ctx.admission.release();
-    ctx.admission
-        .on_done(latency, expired, &metrics.admission_limit);
+    if ctx.admission.on_done(latency, expired) {
+        metrics.admission_limit.store(
+            ctx.peers.iter().map(|a| a.limit()).min().unwrap_or(0) as u64,
+            Ordering::Relaxed,
+        );
+    }
 
     // Track transaction lifecycles for disconnect cleanup. A dispatched
     // commit or abort closes its txn whatever the outcome — the service
@@ -794,10 +836,13 @@ impl Conn {
     fn call(&self, req: &Request, deadline: Instant) -> Result<Response> {
         let now = Instant::now();
         if now >= deadline {
-            return Err(Error::Io(std::io::Error::new(
-                std::io::ErrorKind::TimedOut,
-                "rpc deadline elapsed before send",
-            )));
+            // Non-retriable: `deadline` is the whole operation's
+            // budget, so a retry could only expire again — returning a
+            // retriable error here would burn a retry-budget token (and
+            // a backoff sleep) on a request that is already doomed.
+            return Err(Error::DeadlineExceeded(
+                "rpc deadline elapsed before send".into(),
+            ));
         }
         // Remaining budget, clamped to at least 1 ms so a sub-ms
         // remainder does not encode as "no deadline".
@@ -956,6 +1001,18 @@ impl Transport for TcpTransport {
 mod tests {
     use super::*;
 
+    /// Adaptive controller whose limit cannot move: priority-threshold
+    /// tests need a deterministic base limit *with* priority classes,
+    /// which fixed mode no longer has.
+    fn pinned(limit: usize) -> AdmissionController {
+        AdmissionController::new(&AdmissionMode::Adaptive(AdaptiveConfig {
+            initial_limit: limit,
+            min_limit: limit,
+            max_limit: limit,
+            ..AdaptiveConfig::default()
+        }))
+    }
+
     #[test]
     fn adaptive_limiter_shrinks_on_congestion_and_regrows() {
         let cfg = AdaptiveConfig {
@@ -966,23 +1023,24 @@ mod tests {
             ..AdaptiveConfig::default()
         };
         let a = AdmissionController::new(&AdmissionMode::Adaptive(cfg));
-        let gauge = AtomicU64::new(0);
         assert_eq!(a.limit(), 32);
         // Establish a fast floor.
         for _ in 0..8 {
-            a.on_done(Duration::from_micros(100), false, &gauge);
+            a.on_done(Duration::from_micros(100), false);
         }
         let before = a.limit();
-        // A deadline miss is a congestion signal: multiplicative shrink.
-        a.on_done(Duration::from_micros(100), true, &gauge);
+        // A deadline miss is a congestion signal: multiplicative shrink,
+        // reported to the caller so it can refresh the gauge.
+        assert!(a.on_done(Duration::from_micros(100), true));
         assert!(a.limit() < before, "limit should shrink on a miss");
-        assert_eq!(gauge.load(Ordering::Relaxed), a.limit() as u64);
         // A run of healthy completions grows it back additively.
         let shrunk = a.limit();
+        let mut grew = false;
         for _ in 0..(shrunk * 3) {
-            a.on_done(Duration::from_micros(100), false, &gauge);
+            grew |= a.on_done(Duration::from_micros(100), false);
         }
         assert!(a.limit() > shrunk, "limit should regrow on successes");
+        assert!(grew, "regrowth must be reported as a limit change");
     }
 
     #[test]
@@ -993,15 +1051,14 @@ mod tests {
             ..AdaptiveConfig::default()
         };
         let a = AdmissionController::new(&AdmissionMode::Adaptive(cfg));
-        let gauge = AtomicU64::new(0);
         for _ in 0..8 {
-            a.on_done(Duration::from_micros(200), false, &gauge);
+            a.on_done(Duration::from_micros(200), false);
         }
         let before = a.limit();
         // Latency climbs to many times the floor: the EWMA crosses the
         // gradient threshold within a few samples.
         for _ in 0..64 {
-            a.on_done(Duration::from_millis(20), false, &gauge);
+            a.on_done(Duration::from_millis(20), false);
         }
         assert!(a.limit() < before, "gradient spike should shrink the limit");
     }
@@ -1009,17 +1066,31 @@ mod tests {
     #[test]
     fn fixed_mode_never_moves() {
         let a = AdmissionController::new(&AdmissionMode::Fixed(8));
-        let gauge = AtomicU64::new(0);
         for _ in 0..100 {
-            a.on_done(Duration::from_millis(50), true, &gauge);
+            assert!(!a.on_done(Duration::from_millis(50), true));
         }
         assert_eq!(a.limit(), 8);
         assert_eq!(a.retry_after_hint_micros(), 0);
     }
 
     #[test]
-    fn priority_thresholds_shed_reads_first_and_let_commits_burst() {
+    fn fixed_mode_is_a_flat_cap_with_no_priority_classes() {
+        // The faithful pre-adaptive baseline: every priority sees the
+        // same threshold, and nothing counts as shed-by-priority.
         let a = AdmissionController::new(&AdmissionMode::Fixed(8));
+        assert_eq!(a.effective_limit(Priority::Low), 8);
+        assert_eq!(a.effective_limit(Priority::Normal), 8);
+        assert_eq!(a.effective_limit(Priority::High), 8);
+        for _ in 0..8 {
+            assert!(a.try_acquire(Priority::Low));
+        }
+        assert!(!a.try_acquire(Priority::High));
+        assert!(!a.shed_by_priority(Priority::Low));
+    }
+
+    #[test]
+    fn priority_thresholds_shed_reads_first_and_let_commits_burst() {
+        let a = pinned(8);
         assert_eq!(a.effective_limit(Priority::Normal), 8);
         assert_eq!(a.effective_limit(Priority::Low), 7);
         assert_eq!(a.effective_limit(Priority::High), 11);
@@ -1042,7 +1113,7 @@ mod tests {
 
     #[test]
     fn zero_limit_still_admits_high_priority_recovery_traffic() {
-        let a = AdmissionController::new(&AdmissionMode::Fixed(0));
+        let a = pinned(0);
         assert!(!a.try_acquire(Priority::Low));
         assert!(!a.try_acquire(Priority::Normal));
         // Routes/commits may still trickle through — failover must not

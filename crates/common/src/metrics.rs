@@ -76,8 +76,9 @@ pub struct Metrics {
     pub connections_shed: AtomicU64,
     /// Client routing-cache entries invalidated on `TabletMoved`.
     pub routing_cache_invalidations: AtomicU64,
-    /// Current adaptive admission limit (a gauge: last value stored by
-    /// the limiter, not a monotonic count).
+    /// Tightest (minimum) live admission limit across the server's
+    /// members (a gauge, not a monotonic count: refreshed whenever any
+    /// member's adaptive limiter moves its limit).
     pub admission_limit: AtomicU64,
     /// Requests dropped because their propagated deadline had already
     /// expired before dispatch (doomed work the server skipped).

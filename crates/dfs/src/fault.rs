@@ -189,7 +189,10 @@ struct Lane {
 pub enum NetOp {
     /// Accepting (or, from the client's side, establishing) a connection.
     Accept,
-    /// Writing one RPC response back to the client.
+    /// Writing one RPC response back to the client. Admission-control
+    /// shed (`Busy`) frames intentionally skip this lane: load
+    /// harnesses use its injected latency as simulated service cost,
+    /// which a shed — the cheapest possible rejection — must not pay.
     Respond,
 }
 
