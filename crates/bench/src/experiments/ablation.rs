@@ -32,7 +32,7 @@ pub fn ablation_group_commit(scale: &Scale) -> Result<Figure> {
         let mut config = ServerConfig::new("gc-srv");
         config.group_commit = GroupCommitConfig {
             max_batch,
-            poll_interval: std::time::Duration::from_millis(1),
+            ..GroupCommitConfig::default()
         };
         let server = TabletServer::create(dfs, config)?;
         server.create_table(TableSchema::single_group(BENCH_TABLE, &["v"]))?;

@@ -33,6 +33,26 @@ pub fn encode_frame(dst: &mut BytesMut, payload: &[u8]) -> usize {
     FRAME_HEADER_LEN + payload.len()
 }
 
+/// Append one frame whose payload is produced by `fill` writing directly
+/// into `dst` — the allocation-free twin of [`encode_frame`]. The header
+/// is reserved up front and backfilled with the payload length and CRC
+/// once `fill` returns, so hot paths (the group-commit encoder) never
+/// materialize the payload in a side buffer. Returns the framed length.
+pub fn encode_frame_with<F>(dst: &mut BytesMut, fill: F) -> usize
+where
+    F: FnOnce(&mut BytesMut),
+{
+    let start = dst.len();
+    dst.put_u32_le(0);
+    dst.put_u32_le(0);
+    fill(dst);
+    let payload_len = dst.len() - start - FRAME_HEADER_LEN;
+    let crc = crc32fast::hash(&dst[start + FRAME_HEADER_LEN..]);
+    dst[start..start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    dst[start + 4..start + FRAME_HEADER_LEN].copy_from_slice(&crc.to_le_bytes());
+    FRAME_HEADER_LEN + payload_len
+}
+
 /// Decode one frame starting at the front of `src`.
 ///
 /// On success returns the payload and the total number of bytes consumed.
@@ -151,6 +171,20 @@ mod tests {
         let (payload, consumed) = decode_frame(&buf, "test").unwrap();
         assert_eq!(&payload[..], b"hello world");
         assert_eq!(consumed, n);
+    }
+
+    #[test]
+    fn frame_with_closure_matches_buffered_encoding() {
+        let mut a = BytesMut::new();
+        let na = encode_frame(&mut a, b"same payload");
+        let mut b = BytesMut::new();
+        b.put_slice(b"prefix"); // backfill must be start-relative
+        let nb = encode_frame_with(&mut b, |dst| dst.put_slice(b"same payload"));
+        assert_eq!(na, nb);
+        assert_eq!(&a[..], &b[6..]);
+        let (payload, consumed) = decode_frame(&b[6..], "test").unwrap();
+        assert_eq!(&payload[..], b"same payload");
+        assert_eq!(consumed, nb);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Vendored LZ4-style block codec for per-batch log compression.
+//!
+//! The workspace builds hermetically (no registry), so the codec is
+//! implemented here rather than pulled in as a dependency. The format is
+//! the classic LZ4 block layout — token-prefixed sequences of literals
+//! and 16-bit-offset matches — produced by a greedy single-pass encoder
+//! over a small position hash table. It is self-consistent (this decoder
+//! reads exactly what this encoder writes), bounds-checked everywhere,
+//! and never panics on hostile input.
+//!
+//! ```text
+//! sequence := token | [lit-ext]* | literals | offset(u16 LE) | [match-ext]*
+//! token    := (literal_len.min(15) << 4) | (match_len - 4).min(15)
+//! ```
+//!
+//! Length nibbles of 15 extend with 255-valued continuation bytes (plus a
+//! final byte < 255), exactly like LZ4. The final sequence of a block is
+//! literals-only: the token's match nibble is unused and the block ends
+//! after the literal run.
+
+use crate::error::{Error, Result};
+
+/// Minimum match length the encoder emits (LZ4's MINMATCH).
+const MIN_MATCH: usize = 4;
+/// Maximum match offset representable in the 16-bit offset field.
+const MAX_OFFSET: usize = 0xFFFF;
+/// Position hash-table size (power of two).
+const HASH_SIZE: usize = 1 << 13;
+
+/// Supported batch-compression codecs, selected in `LogConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Entries are framed raw (the seed behavior).
+    #[default]
+    None,
+    /// Entries are compressed with the vendored LZ4-style block codec.
+    Lz4,
+}
+
+impl Compression {
+    /// Whether this codec actually compresses.
+    pub fn is_enabled(self) -> bool {
+        self != Compression::None
+    }
+}
+
+#[inline]
+fn read_u32(src: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([src[i], src[i + 1], src[i + 2], src[i + 3]])
+}
+
+#[inline]
+fn hash(v: u32) -> usize {
+    // Fibonacci hashing on the 4-byte window; top bits select the bucket.
+    (v.wrapping_mul(2_654_435_761) >> (32 - 13)) as usize & (HASH_SIZE - 1)
+}
+
+fn put_len(dst: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        dst.push(255);
+        len -= 255;
+    }
+    dst.push(len as u8);
+}
+
+/// Compress `src` into `dst` (cleared first). Returns the compressed
+/// length. The output of an incompressible input can exceed the input
+/// length by the literal-run framing overhead — callers compare sizes
+/// and keep the raw bytes when compression does not pay.
+pub fn lz4_compress(src: &[u8], dst: &mut Vec<u8>) -> usize {
+    dst.clear();
+    dst.reserve(src.len() / 2 + 16);
+    let mut table = [0u32; HASH_SIZE]; // position + 1; 0 = empty
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    // Stop the match search early enough that every match has room for
+    // the 4-byte comparison window.
+    while i + MIN_MATCH <= src.len() {
+        let window = read_u32(src, i);
+        let slot = hash(window);
+        let cand = table[slot] as usize;
+        table[slot] = (i + 1) as u32;
+        if cand > 0 {
+            let m = cand - 1;
+            if i - m <= MAX_OFFSET && read_u32(src, m) == window {
+                // Extend the match forward as far as it goes.
+                let mut len = MIN_MATCH;
+                while i + len < src.len() && src[m + len] == src[i + len] {
+                    len += 1;
+                }
+                let literals = &src[lit_start..i];
+                let lit_nibble = literals.len().min(15);
+                let match_nibble = (len - MIN_MATCH).min(15);
+                dst.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+                if lit_nibble == 15 {
+                    put_len(dst, literals.len() - 15);
+                }
+                dst.extend_from_slice(literals);
+                dst.extend_from_slice(&((i - m) as u16).to_le_bytes());
+                if match_nibble == 15 {
+                    put_len(dst, len - MIN_MATCH - 15);
+                }
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Trailing literals-only sequence (always present, possibly empty,
+    // so the decoder can rely on at least one token per block).
+    let literals = &src[lit_start..];
+    let lit_nibble = literals.len().min(15);
+    dst.push((lit_nibble as u8) << 4);
+    if lit_nibble == 15 {
+        put_len(dst, literals.len() - 15);
+    }
+    dst.extend_from_slice(literals);
+    dst.len()
+}
+
+fn get_len(src: &[u8], pos: &mut usize, base: usize, context: &str) -> Result<usize> {
+    let mut len = base;
+    if base == 15 {
+        loop {
+            let b = *src
+                .get(*pos)
+                .ok_or_else(|| Error::Corruption(format!("{context}: truncated length run")))?;
+            *pos += 1;
+            len += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompress a block produced by [`lz4_compress`] into exactly
+/// `raw_len` bytes. Every structural violation — truncated runs,
+/// out-of-range offsets, output over- or under-run — is a
+/// [`Error::Corruption`]; the decoder never reads or writes out of
+/// bounds and never panics.
+pub fn lz4_decompress(src: &[u8], raw_len: usize, context: &str) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0usize;
+    loop {
+        let token = *src
+            .get(pos)
+            .ok_or_else(|| Error::Corruption(format!("{context}: truncated token")))?;
+        pos += 1;
+        let lit_len = get_len(src, &mut pos, (token >> 4) as usize, context)?;
+        let lit_end = pos
+            .checked_add(lit_len)
+            .ok_or_else(|| Error::Corruption(format!("{context}: literal length overflow")))?;
+        if lit_end > src.len() {
+            return Err(Error::Corruption(format!(
+                "{context}: literal run past end of block"
+            )));
+        }
+        out.extend_from_slice(&src[pos..lit_end]);
+        pos = lit_end;
+        if pos == src.len() {
+            break; // final literals-only sequence
+        }
+        if pos + 2 > src.len() {
+            return Err(Error::Corruption(format!(
+                "{context}: truncated match offset"
+            )));
+        }
+        let offset = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(Error::Corruption(format!(
+                "{context}: match offset {offset} outside {} decoded bytes",
+                out.len()
+            )));
+        }
+        let match_len = get_len(src, &mut pos, (token & 0x0F) as usize, context)? + MIN_MATCH;
+        if out.len() + match_len > raw_len {
+            return Err(Error::Corruption(format!(
+                "{context}: decoded length exceeds announced {raw_len}"
+            )));
+        }
+        // Byte-wise copy: matches may overlap their own output (RLE).
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > raw_len {
+            return Err(Error::Corruption(format!(
+                "{context}: decoded length exceeds announced {raw_len}"
+            )));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(Error::Corruption(format!(
+            "{context}: decoded {} bytes, announced {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(src: &[u8]) -> Vec<u8> {
+        let mut dst = Vec::new();
+        lz4_compress(src, &mut dst);
+        lz4_decompress(&dst, src.len(), "test").unwrap()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"a"), b"a");
+        assert_eq!(round_trip(b"abc"), b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let src: Vec<u8> = b"log-entry-payload-".repeat(64);
+        let mut dst = Vec::new();
+        let n = lz4_compress(&src, &mut dst);
+        assert!(n < src.len() / 4, "{n} bytes for {} raw", src.len());
+        assert_eq!(lz4_decompress(&dst, src.len(), "t").unwrap(), src);
+    }
+
+    #[test]
+    fn long_runs_exercise_length_extensions() {
+        // >15 literals and >19-byte matches force both extension paths.
+        let mut src: Vec<u8> = (0u8..=255).collect(); // incompressible literals
+        src.extend(std::iter::repeat_n(7u8, 1000)); // one giant match
+        assert_eq!(round_trip(&src), src);
+    }
+
+    #[test]
+    fn decompress_rejects_wrong_raw_len() {
+        let src = b"abcdabcdabcdabcd".to_vec();
+        let mut dst = Vec::new();
+        lz4_compress(&src, &mut dst);
+        assert!(lz4_decompress(&dst, src.len() + 1, "t").is_err());
+        assert!(lz4_decompress(&dst, src.len().saturating_sub(1), "t").is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_bad_offset() {
+        // Token: 0 literals, match nibble 0 (len 4), offset 9 with only
+        // 0 bytes decoded so far.
+        let block = [0x00u8, 9, 0, 0];
+        assert!(lz4_decompress(&block, 4, "t").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(src in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            prop_assert_eq!(round_trip(&src), src);
+        }
+
+        #[test]
+        fn prop_structured_round_trip(
+            chunk in proptest::collection::vec(any::<u8>(), 1..32),
+            reps in 1usize..64,
+            tail in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut src = chunk.repeat(reps);
+            src.extend(tail);
+            prop_assert_eq!(round_trip(&src), src);
+        }
+
+        #[test]
+        fn prop_decompress_never_panics_on_garbage(
+            block in proptest::collection::vec(any::<u8>(), 0..256),
+            raw_len in 0usize..1024,
+        ) {
+            let _ = lz4_decompress(&block, raw_len, "garbage");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod cache;
 pub mod codec;
+pub mod compress;
 pub mod config;
 pub mod engine;
 pub mod error;

@@ -90,6 +90,22 @@ pub struct Metrics {
     /// Client retries suppressed because the token-bucket retry budget
     /// was empty (storm prevention kicked in).
     pub retry_budget_exhausted: AtomicU64,
+    /// Group-commit batches persisted by the log writer (each is one or
+    /// more replicated DFS appends; compare with `wal_batched_entries`
+    /// for the realized batch width).
+    pub wal_batches_committed: AtomicU64,
+    /// Log entries folded into committed group-commit batches.
+    pub wal_batched_entries: AtomicU64,
+    /// Bytes the per-batch log compression removed from the wire
+    /// (raw framed size minus compressed framed size, summed).
+    pub wal_compression_saved_bytes: AtomicU64,
+    /// Batches split across a segment boundary mid-encode so sealed
+    /// segments honor `segment_bytes`.
+    pub wal_mid_batch_rotations: AtomicU64,
+    /// Times the group-commit committer thread woke up to open a batch.
+    /// Stays flat while the log is idle (the committer blocks on its
+    /// channel rather than polling).
+    pub wal_committer_wakeups: AtomicU64,
 }
 
 impl Metrics {
@@ -154,6 +170,11 @@ impl Metrics {
             requests_expired: Self::get(&self.requests_expired),
             requests_shed_by_priority: Self::get(&self.requests_shed_by_priority),
             retry_budget_exhausted: Self::get(&self.retry_budget_exhausted),
+            wal_batches_committed: Self::get(&self.wal_batches_committed),
+            wal_batched_entries: Self::get(&self.wal_batched_entries),
+            wal_compression_saved_bytes: Self::get(&self.wal_compression_saved_bytes),
+            wal_mid_batch_rotations: Self::get(&self.wal_mid_batch_rotations),
+            wal_committer_wakeups: Self::get(&self.wal_committer_wakeups),
         }
     }
 
@@ -195,6 +216,11 @@ impl Metrics {
             &self.requests_expired,
             &self.requests_shed_by_priority,
             &self.retry_budget_exhausted,
+            &self.wal_batches_committed,
+            &self.wal_batched_entries,
+            &self.wal_compression_saved_bytes,
+            &self.wal_mid_batch_rotations,
+            &self.wal_committer_wakeups,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -239,6 +265,11 @@ pub struct MetricsSnapshot {
     pub requests_expired: u64,
     pub requests_shed_by_priority: u64,
     pub retry_budget_exhausted: u64,
+    pub wal_batches_committed: u64,
+    pub wal_batched_entries: u64,
+    pub wal_compression_saved_bytes: u64,
+    pub wal_mid_batch_rotations: u64,
+    pub wal_committer_wakeups: u64,
 }
 
 impl MetricsSnapshot {
@@ -325,6 +356,21 @@ impl MetricsSnapshot {
             retry_budget_exhausted: self
                 .retry_budget_exhausted
                 .saturating_sub(earlier.retry_budget_exhausted),
+            wal_batches_committed: self
+                .wal_batches_committed
+                .saturating_sub(earlier.wal_batches_committed),
+            wal_batched_entries: self
+                .wal_batched_entries
+                .saturating_sub(earlier.wal_batched_entries),
+            wal_compression_saved_bytes: self
+                .wal_compression_saved_bytes
+                .saturating_sub(earlier.wal_compression_saved_bytes),
+            wal_mid_batch_rotations: self
+                .wal_mid_batch_rotations
+                .saturating_sub(earlier.wal_mid_batch_rotations),
+            wal_committer_wakeups: self
+                .wal_committer_wakeups
+                .saturating_sub(earlier.wal_committer_wakeups),
         }
     }
 }
@@ -440,6 +486,26 @@ mod tests {
         // The limit is a gauge: the later observation wins the delta.
         assert_eq!(d.admission_limit, 48);
         assert_eq!(d.requests_expired, 5);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn wal_counters_round_trip_through_snapshot() {
+        let m = Metrics::new_handle();
+        Metrics::incr(&m.wal_batches_committed);
+        Metrics::add(&m.wal_batched_entries, 8);
+        Metrics::add(&m.wal_compression_saved_bytes, 512);
+        Metrics::incr(&m.wal_mid_batch_rotations);
+        Metrics::add(&m.wal_committer_wakeups, 3);
+        let s = m.snapshot();
+        assert_eq!(s.wal_batches_committed, 1);
+        assert_eq!(s.wal_batched_entries, 8);
+        assert_eq!(s.wal_compression_saved_bytes, 512);
+        assert_eq!(s.wal_mid_batch_rotations, 1);
+        assert_eq!(s.wal_committer_wakeups, 3);
+        let d = s.delta_since(&MetricsSnapshot::default());
+        assert_eq!(d.wal_batched_entries, 8);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

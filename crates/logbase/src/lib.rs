@@ -92,6 +92,10 @@ pub mod crash_sites {
     /// Sites inside the index spill path (memory tier merging out to
     /// the LSM disk tier).
     pub const SPILL: &[&str] = &["spill.before_merge_out", "spill.after_merge_out"];
+    /// Sites inside the log write path: fires before each chunk of a
+    /// group-commit batch reaches the DFS, so tests can crash a server
+    /// with a batch partially appended (including mid-rotation).
+    pub const WAL: &[&str] = &["wal.append_batch.chunk"];
 
     /// Every maintenance site the crash-matrix torture test must cover.
     pub fn maintenance() -> Vec<&'static str> {

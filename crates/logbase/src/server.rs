@@ -20,7 +20,9 @@ use logbase_common::{Error, LogPtr, Lsn, Record, Result, RowKey, Timestamp, Valu
 use logbase_coordination::{FencingToken, LockService, TimestampOracle};
 use logbase_dfs::Dfs;
 use logbase_index::IndexEntry;
-use logbase_wal::{GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter};
+use logbase_wal::{
+    Compression, GroupCommitConfig, GroupCommitLog, LogConfig, LogEntryKind, LogWriter,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -41,6 +43,10 @@ pub struct ServerConfig {
     pub checkpoint_threshold: u64,
     /// Group-commit batching knobs (§3.7.2).
     pub group_commit: GroupCommitConfig,
+    /// Per-batch log compression codec. Compressed and raw frames
+    /// coexist in one log, so the setting can change across restarts
+    /// without any migration of existing segments.
+    pub wal_compression: Compression,
     /// When set, indexes spill to an LSM disk tier once over budget.
     pub spill: Option<SpillConfig>,
     /// Range scans coalesce pointer reads whose gap is below this many
@@ -70,6 +76,7 @@ impl ServerConfig {
             read_buffer_bytes: 16 * 1024 * 1024,
             checkpoint_threshold: 0,
             group_commit: GroupCommitConfig::default(),
+            wal_compression: Compression::None,
             spill: None,
             scan_coalesce_gap: 64 * 1024,
             scan_threads: 0,
@@ -82,6 +89,20 @@ impl ServerConfig {
     #[must_use]
     pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
         self.segment_bytes = bytes;
+        self
+    }
+
+    /// Builder-style group-commit override.
+    #[must_use]
+    pub fn with_group_commit(mut self, group_commit: GroupCommitConfig) -> Self {
+        self.group_commit = group_commit;
+        self
+    }
+
+    /// Builder-style log-compression override.
+    #[must_use]
+    pub fn with_wal_compression(mut self, compression: Compression) -> Self {
+        self.wal_compression = compression;
         self
     }
 
@@ -206,7 +227,9 @@ impl TabletServer {
         let log_prefix = format!("{}/log", config.name);
         let writer = Arc::new(LogWriter::create(
             dfs.clone(),
-            LogConfig::new(&log_prefix).with_segment_bytes(config.segment_bytes),
+            LogConfig::new(&log_prefix)
+                .with_segment_bytes(config.segment_bytes)
+                .with_compression(config.wal_compression),
         )?);
         Ok(Arc::new(Self::assemble(dfs, config, writer, oracle, locks)))
     }
@@ -1074,7 +1097,9 @@ impl TabletServer {
         // real one and corrects it before any append happens.
         let writer = Arc::new(LogWriter::reopen(
             dfs.clone(),
-            LogConfig::new(&log_prefix).with_segment_bytes(config.segment_bytes),
+            LogConfig::new(&log_prefix)
+                .with_segment_bytes(config.segment_bytes)
+                .with_compression(config.wal_compression),
             Lsn(1),
         )?);
         let server = Self::assemble(dfs.clone(), config, Arc::clone(&writer), oracle, locks);

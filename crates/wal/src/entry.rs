@@ -64,76 +64,124 @@ const KIND_ABORT: u8 = 3;
 const KIND_CHECKPOINT: u8 = 4;
 const KIND_SCHEMA: u8 = 5;
 
+/// First payload byte of a compressed entry. Raw payloads always start
+/// with a kind byte in `1..=5`, so the marker is unambiguous; a frame
+/// whose payload opens with it continues `[raw_len: u32][lz4 block]` and
+/// decodes to the raw payload it wraps. Readers need no mode flag —
+/// compressed and uncompressed frames coexist in one log.
+pub(crate) const COMPRESSED_MARKER: u8 = 0xC5;
+
+/// Serialize the payload of entry `(lsn, table, kind)` directly into
+/// `dst` — the borrowed-parts twin of [`LogEntry::encode`], used by the
+/// batch encoder so building a [`LogEntry`] (and cloning `table`/`kind`
+/// into it) never happens on the hot path.
+pub fn encode_parts_into(dst: &mut BytesMut, lsn: Lsn, table: &str, kind: &LogEntryKind) {
+    match kind {
+        LogEntryKind::Write {
+            txn_id,
+            tablet,
+            record,
+        } => {
+            dst.extend_from_slice(&[KIND_WRITE]);
+            dst.extend_from_slice(&lsn.0.to_le_bytes());
+            codec::put_bytes(dst, table.as_bytes());
+            dst.extend_from_slice(&txn_id.to_le_bytes());
+            dst.extend_from_slice(&tablet.to_le_bytes());
+            dst.extend_from_slice(&record.meta.column_group.to_le_bytes());
+            dst.extend_from_slice(&record.meta.timestamp.0.to_le_bytes());
+            codec::put_bytes(dst, &record.meta.key);
+            match &record.value {
+                Some(v) => {
+                    dst.extend_from_slice(&[1]);
+                    codec::put_bytes(dst, v);
+                }
+                None => dst.extend_from_slice(&[0]),
+            }
+        }
+        LogEntryKind::Commit { txn_id, commit_ts } => {
+            dst.extend_from_slice(&[KIND_COMMIT]);
+            dst.extend_from_slice(&lsn.0.to_le_bytes());
+            codec::put_bytes(dst, table.as_bytes());
+            dst.extend_from_slice(&txn_id.to_le_bytes());
+            dst.extend_from_slice(&commit_ts.0.to_le_bytes());
+        }
+        LogEntryKind::Abort { txn_id } => {
+            dst.extend_from_slice(&[KIND_ABORT]);
+            dst.extend_from_slice(&lsn.0.to_le_bytes());
+            codec::put_bytes(dst, table.as_bytes());
+            dst.extend_from_slice(&txn_id.to_le_bytes());
+        }
+        LogEntryKind::Checkpoint {
+            index_lsn,
+            index_file,
+        } => {
+            dst.extend_from_slice(&[KIND_CHECKPOINT]);
+            dst.extend_from_slice(&lsn.0.to_le_bytes());
+            codec::put_bytes(dst, table.as_bytes());
+            dst.extend_from_slice(&index_lsn.0.to_le_bytes());
+            codec::put_bytes(dst, index_file.as_bytes());
+        }
+        LogEntryKind::Schema { schema_json } => {
+            dst.extend_from_slice(&[KIND_SCHEMA]);
+            dst.extend_from_slice(&lsn.0.to_le_bytes());
+            codec::put_bytes(dst, table.as_bytes());
+            codec::put_bytes(dst, schema_json.as_bytes());
+        }
+    }
+}
+
+/// Exact uncompressed payload length [`encode_parts_into`] will produce
+/// for `(table, kind)`. The group committer uses this to close batches
+/// on a byte budget without encoding anything.
+pub fn encoded_len(table: &str, kind: &LogEntryKind) -> usize {
+    // kind byte + lsn + (len-prefixed) table name.
+    let head = 1 + 8 + 4 + table.len();
+    head + match kind {
+        LogEntryKind::Write { record, .. } => {
+            8 + 4
+                + 2
+                + 8
+                + 4
+                + record.meta.key.len()
+                + 1
+                + record.value.as_ref().map_or(0, |v| 4 + v.len())
+        }
+        LogEntryKind::Commit { .. } => 8 + 8,
+        LogEntryKind::Abort { .. } => 8,
+        LogEntryKind::Checkpoint { index_file, .. } => 8 + 4 + index_file.len(),
+        LogEntryKind::Schema { schema_json } => 4 + schema_json.len(),
+    }
+}
+
 impl LogEntry {
     /// Serialize the entry payload (the caller frames it with a CRC).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64 + self.approx_payload_len());
-        match &self.kind {
-            LogEntryKind::Write {
-                txn_id,
-                tablet,
-                record,
-            } => {
-                buf.extend_from_slice(&[KIND_WRITE]);
-                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
-                codec::put_bytes(&mut buf, self.table.as_bytes());
-                buf.extend_from_slice(&txn_id.to_le_bytes());
-                buf.extend_from_slice(&tablet.to_le_bytes());
-                buf.extend_from_slice(&record.meta.column_group.to_le_bytes());
-                buf.extend_from_slice(&record.meta.timestamp.0.to_le_bytes());
-                codec::put_bytes(&mut buf, &record.meta.key);
-                match &record.value {
-                    Some(v) => {
-                        buf.extend_from_slice(&[1]);
-                        codec::put_bytes(&mut buf, v);
-                    }
-                    None => buf.extend_from_slice(&[0]),
-                }
-            }
-            LogEntryKind::Commit { txn_id, commit_ts } => {
-                buf.extend_from_slice(&[KIND_COMMIT]);
-                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
-                codec::put_bytes(&mut buf, self.table.as_bytes());
-                buf.extend_from_slice(&txn_id.to_le_bytes());
-                buf.extend_from_slice(&commit_ts.0.to_le_bytes());
-            }
-            LogEntryKind::Abort { txn_id } => {
-                buf.extend_from_slice(&[KIND_ABORT]);
-                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
-                codec::put_bytes(&mut buf, self.table.as_bytes());
-                buf.extend_from_slice(&txn_id.to_le_bytes());
-            }
-            LogEntryKind::Checkpoint {
-                index_lsn,
-                index_file,
-            } => {
-                buf.extend_from_slice(&[KIND_CHECKPOINT]);
-                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
-                codec::put_bytes(&mut buf, self.table.as_bytes());
-                buf.extend_from_slice(&index_lsn.0.to_le_bytes());
-                codec::put_bytes(&mut buf, index_file.as_bytes());
-            }
-            LogEntryKind::Schema { schema_json } => {
-                buf.extend_from_slice(&[KIND_SCHEMA]);
-                buf.extend_from_slice(&self.lsn.0.to_le_bytes());
-                codec::put_bytes(&mut buf, self.table.as_bytes());
-                codec::put_bytes(&mut buf, schema_json.as_bytes());
-            }
-        }
+        let mut buf = BytesMut::with_capacity(encoded_len(&self.table, &self.kind));
+        encode_parts_into(&mut buf, self.lsn, &self.table, &self.kind);
         buf.freeze()
     }
 
-    fn approx_payload_len(&self) -> usize {
-        match &self.kind {
-            LogEntryKind::Write { record, .. } => record.meta.key.len() + record.value_len(),
-            LogEntryKind::Checkpoint { index_file, .. } => index_file.len(),
-            _ => 0,
-        }
-    }
-
-    /// Decode an entry payload produced by [`LogEntry::encode`].
+    /// Decode an entry payload produced by [`LogEntry::encode`] or by the
+    /// batch encoder — transparently inflating compressed payloads
+    /// (leading [`COMPRESSED_MARKER`] byte) first.
     pub fn decode(mut src: Bytes) -> Result<LogEntry> {
         let ctx = "log entry";
+        if src.first() == Some(&COMPRESSED_MARKER) {
+            let _ = codec::get_u8(&mut src, ctx)?;
+            let raw_len = codec::get_u32(&mut src, ctx)? as usize;
+            if raw_len > codec::MAX_FRAME_LEN {
+                return Err(Error::Corruption(format!(
+                    "{ctx}: compressed entry announces {raw_len} raw bytes"
+                )));
+            }
+            let raw = logbase_common::compress::lz4_decompress(&src, raw_len, ctx)?;
+            src = Bytes::from(raw);
+            if src.first() == Some(&COMPRESSED_MARKER) {
+                return Err(Error::Corruption(format!(
+                    "{ctx}: nested compressed payload"
+                )));
+            }
+        }
         let kind = codec::get_u8(&mut src, ctx)?;
         let lsn = Lsn(codec::get_u64(&mut src, ctx)?);
         let table_bytes = codec::get_bytes(&mut src, ctx)?;
@@ -283,6 +331,90 @@ mod tests {
                 kind,
             };
             assert_eq!(round_trip(&e), e);
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_kind() {
+        let kinds = [
+            LogEntryKind::Write {
+                txn_id: 9,
+                tablet: 2,
+                record: Record::put(&b"key"[..], 1, Timestamp(5), &b"value"[..]),
+            },
+            LogEntryKind::Write {
+                txn_id: 0,
+                tablet: 0,
+                record: Record::tombstone(&b"gone"[..], 0, Timestamp(7)),
+            },
+            LogEntryKind::Commit {
+                txn_id: 3,
+                commit_ts: Timestamp(44),
+            },
+            LogEntryKind::Abort { txn_id: 4 },
+            LogEntryKind::Checkpoint {
+                index_lsn: Lsn(10),
+                index_file: "srv/ckpt/1".into(),
+            },
+            LogEntryKind::Schema {
+                schema_json: "{}".into(),
+            },
+        ];
+        for kind in kinds {
+            let e = LogEntry {
+                lsn: Lsn(12),
+                table: "orders".into(),
+                kind,
+            };
+            assert_eq!(
+                e.encode().len(),
+                super::encoded_len(&e.table, &e.kind),
+                "size hint drifted for {:?}",
+                e.kind
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_payload_decodes_transparently() {
+        let e = LogEntry::write(
+            Lsn(5),
+            "users",
+            1,
+            Record::put(&b"carol"[..], 0, Timestamp(9), vec![0x42u8; 600]),
+        );
+        let raw = e.encode();
+        let mut block = Vec::new();
+        logbase_common::compress::lz4_compress(&raw, &mut block);
+        let mut compressed = BytesMut::new();
+        compressed.extend_from_slice(&[super::COMPRESSED_MARKER]);
+        compressed.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        compressed.extend_from_slice(&block);
+        assert!(compressed.len() < raw.len());
+        assert_eq!(LogEntry::decode(compressed.freeze()).unwrap(), e);
+    }
+
+    #[test]
+    fn truncated_compressed_payload_is_corruption_not_panic() {
+        let e = LogEntry::write(
+            Lsn(5),
+            "users",
+            1,
+            Record::put(&b"dave"[..], 0, Timestamp(9), vec![0x17u8; 300]),
+        );
+        let raw = e.encode();
+        let mut block = Vec::new();
+        logbase_common::compress::lz4_compress(&raw, &mut block);
+        let mut compressed = BytesMut::new();
+        compressed.extend_from_slice(&[super::COMPRESSED_MARKER]);
+        compressed.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        compressed.extend_from_slice(&block);
+        let full = compressed.freeze();
+        for cut in [1, 4, 5, 8, full.len() - 1] {
+            assert!(
+                LogEntry::decode(full.slice(..cut)).is_err(),
+                "decode of {cut}-byte compressed prefix should fail"
+            );
         }
     }
 

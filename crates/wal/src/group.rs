@@ -9,29 +9,50 @@
 //! pending appends and persists them with one [`LogWriter::append_batch`]
 //! call per drain. Callers block until their entry is durable and get its
 //! `(Lsn, LogPtr)` back.
+//!
+//! The batch window is adaptive rather than count-only: a batch closes
+//! when it reaches [`GroupCommitConfig::max_batch`] entries, when its
+//! encoded size reaches [`GroupCommitConfig::max_batch_bytes`], when the
+//! linger deadline [`GroupCommitConfig::max_batch_window`] expires, or —
+//! the common case under light load — as soon as no producer is in
+//! flight, so a lone writer never pays the window as latency. While the
+//! log is idle the committer blocks on its channel and performs no work
+//! at all (no polling wakeups, no DFS traffic).
 
+use crate::entry;
 use crate::writer::LogWriter;
 use crate::LogEntryKind;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use logbase_common::codec::FRAME_HEADER_LEN;
+use logbase_common::metrics::Metrics;
 use logbase_common::{Error, LogPtr, Lsn, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Group-commit tuning knobs.
 #[derive(Debug, Clone)]
 pub struct GroupCommitConfig {
     /// Maximum entries folded into one log write.
     pub max_batch: usize,
-    /// How long the committer waits for the first entry of a batch.
-    pub poll_interval: Duration,
+    /// Encoded-bytes budget for one batch: the window closes as soon as
+    /// the pending frames would exceed this, keeping a batch at roughly
+    /// one DFS block write regardless of entry size.
+    pub max_batch_bytes: usize,
+    /// Upper bound on how long a batch lingers open waiting for more
+    /// entries once it has its first. `Duration::ZERO` disables the
+    /// linger entirely, reducing the policy to the count-only drain
+    /// (the ablation baseline in `bench_write`).
+    pub max_batch_window: Duration,
 }
 
 impl Default for GroupCommitConfig {
     fn default() -> Self {
         GroupCommitConfig {
             max_batch: 128,
-            poll_interval: Duration::from_millis(1),
+            max_batch_bytes: 256 * 1024,
+            max_batch_window: Duration::from_micros(200),
         }
     }
 }
@@ -39,28 +60,51 @@ impl Default for GroupCommitConfig {
 struct Pending {
     table: String,
     kind: LogEntryKind,
+    /// Framed encoded size, computed by the producer so the committer can
+    /// close the batch on a byte budget without encoding anything.
+    size_hint: usize,
     done: Sender<Result<(Lsn, LogPtr)>>,
+}
+
+impl Pending {
+    fn new(table: String, kind: LogEntryKind, done: Sender<Result<(Lsn, LogPtr)>>) -> Self {
+        let size_hint = FRAME_HEADER_LEN + entry::encoded_len(&table, &kind);
+        Pending {
+            table,
+            kind,
+            size_hint,
+            done,
+        }
+    }
 }
 
 /// Batching front end over a [`LogWriter`].
 pub struct GroupCommitLog {
     writer: Arc<LogWriter>,
     tx: Sender<Pending>,
+    /// Producers that have claimed a slot (incremented *before* the
+    /// channel send) but whose entry the committer has not yet drained.
+    /// The committer commits immediately when this hits zero: nobody is
+    /// racing toward the channel, so lingering would be pure latency.
+    inflight: Arc<AtomicUsize>,
     committer: Option<JoinHandle<()>>,
 }
 
 impl GroupCommitLog {
     /// Wrap `writer` with a committer thread.
     pub fn new(writer: Arc<LogWriter>, config: GroupCommitConfig) -> Self {
-        let (tx, rx) = bounded::<Pending>(config.max_batch * 4);
+        let (tx, rx) = bounded::<Pending>(config.max_batch.max(1) * 4);
+        let inflight = Arc::new(AtomicUsize::new(0));
         let committer_writer = Arc::clone(&writer);
+        let committer_inflight = Arc::clone(&inflight);
         let committer = std::thread::Builder::new()
             .name("logbase-group-commit".to_string())
-            .spawn(move || committer_loop(&committer_writer, &rx, &config))
+            .spawn(move || committer_loop(&committer_writer, &rx, &committer_inflight, &config))
             .expect("spawn group-commit thread");
         GroupCommitLog {
             writer,
             tx,
+            inflight,
             committer: Some(committer),
         }
     }
@@ -74,13 +118,12 @@ impl GroupCommitLog {
     /// Submit one entry and block until it is durable.
     pub fn append(&self, table: &str, kind: LogEntryKind) -> Result<(Lsn, LogPtr)> {
         let (done_tx, done_rx) = bounded(1);
-        self.tx
-            .send(Pending {
-                table: table.to_string(),
-                kind,
-                done: done_tx,
-            })
-            .map_err(|_| Error::Unavailable("group commit thread stopped".into()))?;
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        let sent = self.tx.send(Pending::new(table.to_string(), kind, done_tx));
+        if sent.is_err() {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(Error::Unavailable("group commit thread stopped".into()));
+        }
         done_rx
             .recv()
             .map_err(|_| Error::Unavailable("group commit thread dropped request".into()))?
@@ -93,16 +136,20 @@ impl GroupCommitLog {
         if entries.is_empty() {
             return Ok(Vec::new());
         }
-        let (done_tx, done_rx) = bounded(entries.len());
         let n = entries.len();
-        for (table, kind) in entries {
-            self.tx
-                .send(Pending {
-                    table,
-                    kind,
-                    done: done_tx.clone(),
-                })
-                .map_err(|_| Error::Unavailable("group commit thread stopped".into()))?;
+        let (done_tx, done_rx) = bounded(n);
+        // Claim all n slots up front so the committer keeps its batch
+        // open until the whole unit is in the channel.
+        self.inflight.fetch_add(n, Ordering::SeqCst);
+        for (sent, (table, kind)) in entries.into_iter().enumerate() {
+            if self
+                .tx
+                .send(Pending::new(table, kind, done_tx.clone()))
+                .is_err()
+            {
+                self.inflight.fetch_sub(n - sent, Ordering::SeqCst);
+                return Err(Error::Unavailable("group commit thread stopped".into()));
+            }
         }
         drop(done_tx);
         let mut out = Vec::with_capacity(n);
@@ -129,25 +176,98 @@ impl Drop for GroupCommitLog {
     }
 }
 
-fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupCommitConfig) {
+/// Drain one adaptive batch from `rx`, starting with `first`.
+///
+/// The batch closes on whichever bound trips first: entry count, byte
+/// budget, or linger deadline — or early, once the channel is empty, no
+/// producer is in flight, *and* the batch has reached `expect` entries.
+///
+/// `expect` is the size of the previous batch: the committer's estimate
+/// of how many producers are cycling against the log (each blocks on
+/// its `done` channel, so the cohort that just committed re-arrives
+/// almost together). Lingering until the cohort is back is what fills
+/// batches; a lone writer has `expect == 1` and never lingers at all.
+fn drain_batch(
+    first: Pending,
+    rx: &Receiver<Pending>,
+    inflight: &AtomicUsize,
+    config: &GroupCommitConfig,
+    expect: usize,
+) -> Vec<Pending> {
+    inflight.fetch_sub(1, Ordering::SeqCst);
+    let mut bytes = first.size_hint;
+    let mut batch = vec![first];
+    let deadline = Instant::now() + config.max_batch_window;
     loop {
-        // Block for the first entry of the batch.
-        let first = match rx.recv_timeout(config.poll_interval) {
-            Ok(p) => p,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-        };
-        let mut batch = vec![first];
-        while batch.len() < config.max_batch {
-            match rx.try_recv() {
-                Ok(p) => batch.push(p),
-                Err(_) => break,
-            }
+        if batch.len() >= config.max_batch || bytes >= config.max_batch_bytes {
+            break;
         }
-        let entries: Vec<(String, LogEntryKind)> = batch
-            .iter()
-            .map(|p| (p.table.clone(), p.kind.clone()))
-            .collect();
+        match rx.try_recv() {
+            Ok(p) => {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                bytes += p.size_hint;
+                batch.push(p);
+                continue;
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => {}
+            Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+        }
+        if config.max_batch_window.is_zero() {
+            break;
+        }
+        // Channel empty. Commit now unless there is a concrete reason to
+        // expect more arrivals before the deadline: a producer that has
+        // claimed a slot and is racing toward the channel, or members of
+        // the previous cohort that have not re-arrived yet.
+        if inflight.load(Ordering::SeqCst) == 0 && batch.len() >= expect {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        match rx.recv_timeout(deadline - now) {
+            Ok(p) => {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                bytes += p.size_hint;
+                batch.push(p);
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => break,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    batch
+}
+
+fn committer_loop(
+    writer: &LogWriter,
+    rx: &Receiver<Pending>,
+    inflight: &AtomicUsize,
+    config: &GroupCommitConfig,
+) {
+    // Self-clocking cohort estimate: how many producers the previous
+    // batch served (they all re-arrive together, being blocked on their
+    // `done` channels until the commit).
+    let mut expect = 1usize;
+    loop {
+        // Block for the first entry of the batch: an idle log costs no
+        // wakeups and no DFS traffic.
+        let first = match rx.recv() {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        Metrics::incr(&writer.metrics().wal_committer_wakeups);
+        let batch = drain_batch(first, rx, inflight, config, expect);
+        expect = batch.len();
+
+        // Hand the entries to the writer by value — the committer clones
+        // nothing; `Pending` carries ownership end-to-end.
+        let mut entries = Vec::with_capacity(batch.len());
+        let mut dones = Vec::with_capacity(batch.len());
+        for p in batch {
+            entries.push((p.table, p.kind));
+            dones.push(p.done);
+        }
         // A panic inside the append must not take the committer down with
         // waiters still blocked on their `done` channels — convert it into
         // an error for every member of the batch and keep serving.
@@ -156,8 +276,8 @@ fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupComm
         }));
         match outcome {
             Ok(Ok(positions)) => {
-                for (p, pos) in batch.into_iter().zip(positions) {
-                    let _ = p.done.send(Ok(pos));
+                for (done, pos) in dones.into_iter().zip(positions) {
+                    let _ = done.send(Ok(pos));
                 }
             }
             // A fenced batch must stay `Fenced` for every waiter: folding
@@ -168,8 +288,8 @@ fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupComm
                 held,
                 current,
             })) => {
-                for p in batch {
-                    let _ = p.done.send(Err(Error::Fenced {
+                for done in dones {
+                    let _ = done.send(Err(Error::Fenced {
                         server: server.clone(),
                         held,
                         current,
@@ -178,15 +298,15 @@ fn committer_loop(writer: &LogWriter, rx: &Receiver<Pending>, config: &GroupComm
             }
             Ok(Err(e)) => {
                 let msg = e.to_string();
-                for p in batch {
-                    let _ = p.done.send(Err(Error::Unavailable(format!(
+                for done in dones {
+                    let _ = done.send(Err(Error::Unavailable(format!(
                         "group commit failed: {msg}"
                     ))));
                 }
             }
             Err(_) => {
-                for p in batch {
-                    let _ = p.done.send(Err(Error::Unavailable(
+                for done in dones {
+                    let _ = done.send(Err(Error::Unavailable(
                         "group commit committer panicked".into(),
                     )));
                 }
@@ -270,6 +390,73 @@ mod tests {
         assert!(
             appends < 200,
             "group commit did not batch: {appends} appends for 200 entries"
+        );
+    }
+
+    /// Regression (ISSUE 9): the committer used to wake every
+    /// `poll_interval` (1 ms) even with nothing to commit. An idle log
+    /// must cost nothing: no committer wakeups, no DFS operations.
+    #[test]
+    fn idle_log_performs_no_dfs_operations_and_no_wakeups() {
+        let (dfs, log) = group_log();
+        log.append("t", put_kind("warm", 1)).unwrap();
+        // Give the committer time to finish the warm-up batch and park.
+        std::thread::sleep(Duration::from_millis(20));
+        let before = dfs.metrics().snapshot();
+        std::thread::sleep(Duration::from_millis(120));
+        let after = dfs.metrics().snapshot();
+        assert_eq!(
+            after.wal_committer_wakeups, before.wal_committer_wakeups,
+            "idle committer woke up"
+        );
+        assert_eq!(after.dfs_appends, before.dfs_appends);
+        assert_eq!(after.dfs_reads, before.dfs_reads);
+        drop(log);
+    }
+
+    /// The byte budget closes a batch even when the entry count is far
+    /// below `max_batch`.
+    #[test]
+    fn byte_budget_closes_batches_early() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = Arc::new(LogWriter::create(dfs.clone(), LogConfig::new("srv/log")).unwrap());
+        let log = Arc::new(GroupCommitLog::new(
+            w,
+            GroupCommitConfig {
+                max_batch: 1024,
+                max_batch_bytes: 4 * 1024,
+                max_batch_window: Duration::from_millis(50),
+            },
+        ));
+        // 64 entries of ~1 KiB from 8 threads: the byte budget (4 KiB)
+        // forces multiple batches despite the generous count and window.
+        let before = dfs.metrics().snapshot();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    for i in 0..8 {
+                        let kind = LogEntryKind::Write {
+                            txn_id: 0,
+                            tablet: 0,
+                            record: Record::put(
+                                format!("{t}-{i}").into_bytes(),
+                                0,
+                                Timestamp(i),
+                                vec![0u8; 1024],
+                            ),
+                        };
+                        log.append("t", kind).unwrap();
+                    }
+                });
+            }
+        });
+        let d = dfs.metrics().snapshot().delta_since(&before);
+        assert_eq!(d.wal_batched_entries, 64);
+        assert!(
+            d.wal_batches_committed >= 8,
+            "byte budget ignored: {} batches for 64 KiB of entries",
+            d.wal_batches_committed
         );
     }
 

@@ -23,13 +23,14 @@ mod group;
 mod reader;
 mod writer;
 
-pub use entry::{LogEntry, LogEntryKind};
+pub use entry::{encode_parts_into, encoded_len, LogEntry, LogEntryKind};
 pub use group::{GroupCommitConfig, GroupCommitLog};
+pub use logbase_common::compress::Compression;
 pub use reader::{
     decode_entry_in_window, read_entry, read_entry_in, scan_log, scan_log_tolerant, scan_segment,
     valid_prefix_len, LogCursor, SegmentScanner,
 };
-pub use writer::{LogConfig, LogWriter, WriteGate};
+pub use writer::{LogConfig, LogWriter, WriteGate, MIN_COMPRESS_BYTES};
 
 /// Name of the `i`-th log segment under `prefix`.
 pub fn segment_name(prefix: &str, seq: u32) -> String {

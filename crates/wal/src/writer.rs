@@ -1,19 +1,47 @@
 //! Log writer: framed appends with segment rotation.
+//!
+//! The batch encoder is the hot path of the whole system (the log *is*
+//! the database), so it is built around three properties:
+//!
+//! - **No per-entry allocation.** Entries are encoded straight into a
+//!   recycled [`BytesMut`] owned by the writer ([`codec::encode_frame_with`]
+//!   backfills each frame header in place), and the compression scratch
+//!   buffers are recycled the same way.
+//! - **Sealed segments honor `segment_bytes`.** A batch that would
+//!   overflow the open segment is split mid-encode: each split chunk is
+//!   flushed to its own segment with a rotation in between, so no sealed
+//!   segment overshoots the cap by more than a single oversized entry.
+//! - **Failed appends burn no LSNs.** `next_lsn` is committed to writer
+//!   state only for entries whose bytes actually reached the DFS; a batch
+//!   that fails before any chunk lands rolls back completely, keeping the
+//!   LSN sequence dense across retries.
 
-use crate::entry::LogEntry;
+use crate::entry::{self, COMPRESSED_MARKER};
 use crate::segment_name;
 use bytes::BytesMut;
 use logbase_common::codec;
+use logbase_common::compress::{lz4_compress, Compression};
 use logbase_common::config::DEFAULT_SEGMENT_BYTES;
+use logbase_common::metrics::{Metrics, MetricsHandle};
 use logbase_common::{LogPtr, Lsn, Result};
-use logbase_dfs::Dfs;
+use logbase_dfs::{crash_point, Dfs};
 use parking_lot::{Mutex, RwLock};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Pre-append admission check. Installed by the owning tablet server to
 /// carry its fencing token: a gate that returns `Error::Fenced` stops a
 /// zombie's appends before they reach the DFS.
 pub type WriteGate = Arc<dyn Fn() -> Result<()> + Send + Sync>;
+
+/// Payloads below this length are framed raw even when compression is
+/// on: the marker + raw-length preamble plus codec overhead cannot pay
+/// for itself on tiny entries.
+pub const MIN_COMPRESS_BYTES: usize = 64;
+
+/// Recycled encode buffers above this capacity are dropped instead of
+/// pooled, so one giant batch does not pin its high-water mark forever.
+const MAX_POOLED_BUF: usize = 4 * 1024 * 1024;
 
 /// Log writer configuration.
 #[derive(Debug, Clone)]
@@ -22,6 +50,14 @@ pub struct LogConfig {
     pub prefix: String,
     /// Segment rotation threshold in bytes (paper default 64 MB).
     pub segment_bytes: u64,
+    /// Per-batch entry compression codec ([`Compression::None`] frames
+    /// entries raw). Compressed and raw frames coexist in one log, so
+    /// the flag can change across reopens without migration.
+    pub compression: Compression,
+    /// Recycle the writer's encode/compression buffers across batches
+    /// (on by default; the off position exists for the buffer-reuse
+    /// ablation in `bench_write`).
+    pub pool_buffers: bool,
 }
 
 impl LogConfig {
@@ -30,6 +66,8 @@ impl LogConfig {
         LogConfig {
             prefix: prefix.into(),
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            compression: Compression::None,
+            pool_buffers: true,
         }
     }
 
@@ -37,6 +75,20 @@ impl LogConfig {
     #[must_use]
     pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
         self.segment_bytes = bytes;
+        self
+    }
+
+    /// Builder-style batch-compression override.
+    #[must_use]
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Builder-style buffer-pooling override (ablations only).
+    #[must_use]
+    pub fn with_buffer_pooling(mut self, pool: bool) -> Self {
+        self.pool_buffers = pool;
         self
     }
 }
@@ -48,15 +100,44 @@ struct WriterState {
     segment_len: u64,
     /// Next LSN to assign.
     next_lsn: Lsn,
+    /// Recycled batch encode buffer (framed bytes headed for the DFS).
+    encode_buf: BytesMut,
+    /// Recycled raw-payload scratch (compression staging).
+    payload_buf: BytesMut,
+    /// Recycled compressed-block scratch.
+    lz4_buf: Vec<u8>,
 }
 
-/// Appends framed [`LogEntry`]s to the segmented log.
+impl WriterState {
+    fn new(segment: u32, segment_len: u64, next_lsn: Lsn) -> Self {
+        WriterState {
+            segment,
+            segment_len,
+            next_lsn,
+            encode_buf: BytesMut::new(),
+            payload_buf: BytesMut::new(),
+            lz4_buf: Vec::new(),
+        }
+    }
+}
+
+/// One flush unit of a batch: a contiguous frame range bound for one
+/// segment. Batches that fit the open segment have exactly one chunk.
+struct Chunk {
+    entries: Range<usize>,
+    bytes: Range<usize>,
+    segment: u32,
+    base_offset: u64,
+}
+
+/// Appends framed [`LogEntry`](crate::LogEntry)s to the segmented log.
 ///
 /// One writer exists per tablet server (the paper's single-log-instance
 /// design choice, §3.4). The writer assigns LSNs, so entries handed to
 /// [`LogWriter::append_batch`] carry their final LSN in the result.
 pub struct LogWriter {
     dfs: Dfs,
+    metrics: MetricsHandle,
     config: LogConfig,
     state: Mutex<WriterState>,
     gate: RwLock<Option<WriteGate>>,
@@ -66,14 +147,12 @@ impl LogWriter {
     /// Create a fresh log (starts at segment 0, LSN 1).
     pub fn create(dfs: Dfs, config: LogConfig) -> Result<Self> {
         dfs.create(&segment_name(&config.prefix, 0))?;
+        let metrics = Arc::clone(dfs.metrics());
         Ok(LogWriter {
             dfs,
+            metrics,
             config,
-            state: Mutex::new(WriterState {
-                segment: 0,
-                segment_len: 0,
-                next_lsn: Lsn(1),
-            }),
+            state: Mutex::new(WriterState::new(0, 0, Lsn(1))),
             gate: RwLock::new(None),
         })
     }
@@ -110,14 +189,12 @@ impl LogWriter {
                 (0, 0)
             }
         };
+        let metrics = Arc::clone(dfs.metrics());
         Ok(LogWriter {
             dfs,
+            metrics,
             config,
-            state: Mutex::new(WriterState {
-                segment,
-                segment_len,
-                next_lsn,
-            }),
+            state: Mutex::new(WriterState::new(segment, segment_len, next_lsn)),
             gate: RwLock::new(None),
         })
     }
@@ -137,6 +214,11 @@ impl LogWriter {
     /// The DFS prefix of this log instance.
     pub fn prefix(&self) -> &str {
         &self.config.prefix
+    }
+
+    /// The shared metrics sink of the backing DFS.
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Sequence number of the currently open segment.
@@ -167,13 +249,18 @@ impl LogWriter {
     /// number of the new open segment.
     pub fn rotate(&self) -> Result<u32> {
         let mut state = self.state.lock();
+        self.rotate_locked(&mut state)?;
+        Ok(state.segment)
+    }
+
+    fn rotate_locked(&self, state: &mut WriterState) -> Result<()> {
         let old = segment_name(&self.config.prefix, state.segment);
         self.dfs.seal(&old)?;
         state.segment += 1;
         state.segment_len = 0;
         self.dfs
             .create(&segment_name(&self.config.prefix, state.segment))?;
-        Ok(state.segment)
+        Ok(())
     }
 
     /// Append one entry; see [`LogWriter::append_batch`].
@@ -182,10 +269,19 @@ impl LogWriter {
         Ok(out.pop().expect("batch of one yields one position"))
     }
 
-    /// Append a batch of entries in **one replicated DFS write** (group
-    /// commit). Returns the `(Lsn, LogPtr)` assigned to each entry, in
-    /// order. The call returns only after the bytes are replicated, so
-    /// a returned position implies durability (Guarantee 1).
+    /// Append a batch of entries (group commit). A batch that fits the
+    /// open segment is **one replicated DFS write**; a batch that would
+    /// overflow it is split across segment rotations so sealed segments
+    /// honor `segment_bytes`. Returns the `(Lsn, LogPtr)` assigned to
+    /// each entry, in order. The call returns only after the bytes are
+    /// replicated, so a returned position implies durability
+    /// (Guarantee 1).
+    ///
+    /// On error, `next_lsn` keeps only the LSNs of entries whose chunk
+    /// reached the DFS before the failure (none, in the common
+    /// single-chunk case): unacked durable entries keep their LSNs
+    /// burned — they are already in the log — while everything else is
+    /// rolled back so a retry reuses the sequence densely.
     pub fn append_batch(
         &self,
         entries: &[(String, crate::LogEntryKind)],
@@ -201,38 +297,135 @@ impl LogWriter {
             gate()?;
         }
 
-        // Rotate before the batch if the open segment is full.
-        if state.segment_len >= self.config.segment_bytes {
-            let old = segment_name(&self.config.prefix, state.segment);
-            self.dfs.seal(&old)?;
-            state.segment += 1;
-            state.segment_len = 0;
-            self.dfs
-                .create(&segment_name(&self.config.prefix, state.segment))?;
+        // Take the recycled buffers out of the state (fresh ones when
+        // pooling is ablated away); they are returned on every exit path.
+        let mut buf = std::mem::take(&mut state.encode_buf);
+        let mut payload = std::mem::take(&mut state.payload_buf);
+        let mut lz4 = std::mem::take(&mut state.lz4_buf);
+        buf.clear();
+
+        let result = self.encode_and_flush(&mut state, entries, &mut buf, &mut payload, &mut lz4);
+
+        if self.config.pool_buffers && buf.capacity() <= MAX_POOLED_BUF {
+            state.encode_buf = buf;
+        }
+        if self.config.pool_buffers && payload.capacity() <= MAX_POOLED_BUF {
+            state.payload_buf = payload;
+        }
+        if self.config.pool_buffers && lz4.capacity() <= MAX_POOLED_BUF {
+            state.lz4_buf = lz4;
+        }
+        result
+    }
+
+    /// Encode `entries` into `buf`, split into per-segment chunks, and
+    /// flush each chunk with rotations in between. Commits LSN and
+    /// segment state exactly as far as the DFS accepted bytes.
+    fn encode_and_flush(
+        &self,
+        state: &mut WriterState,
+        entries: &[(String, crate::LogEntryKind)],
+        buf: &mut BytesMut,
+        payload: &mut BytesMut,
+        lz4: &mut Vec<u8>,
+    ) -> Result<Vec<(Lsn, LogPtr)>> {
+        let lsn0 = state.next_lsn;
+        let compress = self.config.compression.is_enabled();
+        let mut saved_bytes = 0u64;
+
+        // Pass 1: encode every frame into `buf`, recording frame lengths.
+        // LSNs are assigned here but *not* committed to writer state.
+        let mut frame_lens = Vec::with_capacity(entries.len());
+        for (i, (table, kind)) in entries.iter().enumerate() {
+            let lsn = Lsn(lsn0.0 + i as u64);
+            let framed = if compress {
+                payload.clear();
+                entry::encode_parts_into(payload, lsn, table, kind);
+                if payload.len() >= MIN_COMPRESS_BYTES {
+                    let compressed_len = lz4_compress(payload, lz4);
+                    // Marker + raw-length preamble must still win.
+                    if compressed_len + 5 < payload.len() {
+                        saved_bytes += (payload.len() - compressed_len - 5) as u64;
+                        codec::encode_frame_with(buf, |dst| {
+                            dst.extend_from_slice(&[COMPRESSED_MARKER]);
+                            dst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                            dst.extend_from_slice(lz4);
+                        })
+                    } else {
+                        codec::encode_frame(buf, payload)
+                    }
+                } else {
+                    codec::encode_frame(buf, payload)
+                }
+            } else {
+                codec::encode_frame_with(buf, |dst| entry::encode_parts_into(dst, lsn, table, kind))
+            };
+            frame_lens.push(framed);
         }
 
-        let mut buf = BytesMut::new();
+        // Pass 2 (plan): split the frame sequence into chunks so no
+        // segment is pushed past `segment_bytes` by a frame that could
+        // have started a fresh one. An entry bigger than a whole segment
+        // gets a segment of its own — the one unavoidable overshoot.
+        let mut chunks: Vec<Chunk> = Vec::with_capacity(1);
+        let mut seg = state.segment;
+        let mut seg_len = state.segment_len;
         let mut positions = Vec::with_capacity(entries.len());
-        let base_offset = state.segment_len;
-        for (table, kind) in entries {
-            let lsn = state.next_lsn;
-            state.next_lsn = state.next_lsn.next();
-            let entry = LogEntry {
-                lsn,
-                table: table.clone(),
-                kind: kind.clone(),
-            };
-            let start = buf.len() as u64;
-            let framed = codec::encode_frame(&mut buf, &entry.encode());
+        let mut byte_pos = 0usize;
+        let mut open: Option<Chunk> = None;
+        for (i, &flen) in frame_lens.iter().enumerate() {
+            if seg_len > 0 && seg_len + flen as u64 > self.config.segment_bytes {
+                if let Some(c) = open.take() {
+                    chunks.push(c);
+                }
+                seg += 1;
+                seg_len = 0;
+            }
+            let chunk = open.get_or_insert(Chunk {
+                entries: i..i,
+                bytes: byte_pos..byte_pos,
+                segment: seg,
+                base_offset: seg_len,
+            });
             positions.push((
-                lsn,
-                LogPtr::new(state.segment, base_offset + start, framed as u32),
+                Lsn(lsn0.0 + i as u64),
+                LogPtr::new(seg, seg_len, flen as u32),
             ));
+            chunk.entries.end = i + 1;
+            chunk.bytes.end = byte_pos + flen;
+            seg_len += flen as u64;
+            byte_pos += flen;
         }
-        let name = segment_name(&self.config.prefix, state.segment);
-        let off = self.dfs.append(&name, &buf)?;
-        debug_assert_eq!(off, base_offset, "append landed at planned offset");
-        state.segment_len += buf.len() as u64;
+        if let Some(c) = open.take() {
+            chunks.push(c);
+        }
+
+        // Pass 3 (apply): flush chunk by chunk, rotating between chunks.
+        // Writer state advances only as far as the DFS confirmed, so an
+        // error burns exactly the LSNs that are durable in the log.
+        let rotations = chunks.len().saturating_sub(1);
+        let mut flush = || -> Result<()> {
+            for chunk in &chunks {
+                while state.segment < chunk.segment {
+                    self.rotate_locked(state)?;
+                }
+                crash_point!(self.dfs, "wal.append_batch.chunk");
+                let name = segment_name(&self.config.prefix, chunk.segment);
+                let off = self
+                    .dfs
+                    .append(&name, &buf[chunk.bytes.start..chunk.bytes.end])?;
+                debug_assert_eq!(off, chunk.base_offset, "append landed at planned offset");
+                state.segment_len = chunk.base_offset + (chunk.bytes.len() as u64);
+                state.next_lsn = Lsn(lsn0.0 + chunk.entries.end as u64);
+            }
+            Ok(())
+        };
+        flush()?;
+
+        Metrics::incr(&self.metrics.wal_batches_committed);
+        Metrics::add(&self.metrics.wal_batched_entries, entries.len() as u64);
+        Metrics::add(&self.metrics.wal_compression_saved_bytes, saved_bytes);
+        Metrics::add(&self.metrics.wal_mid_batch_rotations, rotations as u64);
         Ok(positions)
     }
 }
@@ -259,6 +452,19 @@ mod tests {
             txn_id: 0,
             tablet: 0,
             record: Record::put(key.as_bytes().to_vec(), 0, Timestamp(ts), vec![0u8; 16]),
+        }
+    }
+
+    fn put_kind_sized(key: &str, ts: u64, value_bytes: usize) -> LogEntryKind {
+        LogEntryKind::Write {
+            txn_id: 0,
+            tablet: 0,
+            record: Record::put(
+                key.as_bytes().to_vec(),
+                0,
+                Timestamp(ts),
+                vec![0x5au8; value_bytes],
+            ),
         }
     }
 
@@ -301,6 +507,190 @@ mod tests {
         for s in &segs[..segs.len() - 1] {
             assert!(dfs.append(s, b"x").is_err(), "{s} should be sealed");
         }
+    }
+
+    /// Regression (ISSUE 9): one batch bigger than a whole segment used
+    /// to land in a single segment, overshooting `segment_bytes` without
+    /// bound. The batch must now be split across rotations mid-encode.
+    #[test]
+    fn oversized_batch_is_split_so_sealed_segments_honor_the_cap() {
+        let segment_bytes = 512u64;
+        let (dfs, w) = writer(segment_bytes);
+        // ~80 bytes per frame, 40 entries ≈ 6x the segment cap.
+        let batch: Vec<_> = (0..40)
+            .map(|i| ("t".to_string(), put_kind_sized(&format!("k{i:02}"), i, 24)))
+            .collect();
+        let before = dfs.metrics().snapshot();
+        let pos = w.append_batch(&batch).unwrap();
+        let after = dfs.metrics().snapshot();
+        assert!(
+            w.current_segment() >= 4,
+            "batch was not split: still in segment {}",
+            w.current_segment()
+        );
+        assert_eq!(
+            after.wal_mid_batch_rotations - before.wal_mid_batch_rotations,
+            { u64::from(w.current_segment()) }
+        );
+        // Every sealed segment respects the cap (no frame is larger than
+        // a segment here, so no overshoot is excusable).
+        let segs = dfs.list("srv-0/log/segment-");
+        for s in &segs[..segs.len() - 1] {
+            let len = dfs.len(s).unwrap();
+            assert!(
+                len <= segment_bytes,
+                "sealed segment {s} holds {len} bytes > cap {segment_bytes}"
+            );
+        }
+        // Every pointer resolves and the scan sees everything in order.
+        for (lsn, ptr) in &pos {
+            let e = crate::read_entry(&dfs, "srv-0/log", *ptr).unwrap();
+            assert_eq!(e.lsn, *lsn);
+        }
+        let mut lsns = Vec::new();
+        crate::scan_log(&dfs, "srv-0/log", 0, 0, |_, e| {
+            lsns.push(e.lsn.0);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(lsns, (1..=40).collect::<Vec<_>>());
+    }
+
+    /// An entry larger than `segment_bytes` still lands (in a segment of
+    /// its own); neighbors are not dragged past the cap with it.
+    #[test]
+    fn entry_larger_than_segment_gets_its_own_segment() {
+        let (dfs, w) = writer(256);
+        let batch = vec![
+            ("t".to_string(), put_kind_sized("small-a", 1, 16)),
+            ("t".to_string(), put_kind_sized("huge", 2, 600)),
+            ("t".to_string(), put_kind_sized("small-b", 3, 16)),
+        ];
+        let pos = w.append_batch(&batch).unwrap();
+        assert_eq!(pos.len(), 3);
+        // The huge entry is alone in its segment.
+        assert_ne!(pos[0].1.segment, pos[1].1.segment);
+        assert_ne!(pos[1].1.segment, pos[2].1.segment);
+        for (lsn, ptr) in &pos {
+            assert_eq!(
+                crate::read_entry(&dfs, "srv-0/log", *ptr).unwrap().lsn,
+                *lsn
+            );
+        }
+    }
+
+    /// Regression (ISSUE 9): a failed append used to advance `next_lsn`
+    /// anyway, burning the whole batch's LSNs and leaving a recovery gap.
+    /// A batch that never reached the DFS must roll its LSNs back so a
+    /// retry keeps the sequence dense.
+    #[test]
+    fn failed_append_rolls_lsns_back_for_dense_retry() {
+        use logbase_common::retry::RetryPolicy;
+        let dir = tempfile::tempdir().unwrap();
+        let dfs =
+            Dfs::new(DfsConfig::on_disk(dir.path(), 3, 2).with_retry(RetryPolicy::no_delay(2)));
+        let w = LogWriter::create(dfs.clone(), LogConfig::new("srv-0/log")).unwrap();
+        w.append("t", put_kind("before", 1)).unwrap();
+        assert_eq!(w.next_lsn(), Lsn(2));
+
+        // Transient total outage: the batch append must fail...
+        for id in 0..3 {
+            dfs.kill_node(id);
+        }
+        let batch: Vec<_> = (0..5)
+            .map(|i| ("t".to_string(), put_kind(&format!("k{i}"), i)))
+            .collect();
+        assert!(w.append_batch(&batch).is_err());
+        // ...and burn nothing.
+        assert_eq!(w.next_lsn(), Lsn(2), "failed batch burned LSNs");
+
+        // The outage clears; the retry gets the same dense LSNs.
+        for id in 0..3 {
+            dfs.restart_node(id);
+        }
+        let pos = w.append_batch(&batch).unwrap();
+        assert_eq!(
+            pos.iter().map(|(l, _)| l.0).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5, 6]
+        );
+        // Dense LSNs and resolvable pointers across the whole log.
+        let mut lsns = Vec::new();
+        crate::scan_log(&dfs, "srv-0/log", 0, 0, |_, e| {
+            lsns.push(e.lsn.0);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(lsns, vec![1, 2, 3, 4, 5, 6]);
+        for (lsn, ptr) in &pos {
+            assert_eq!(
+                crate::read_entry(&dfs, "srv-0/log", *ptr).unwrap().lsn,
+                *lsn
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_batches_round_trip_and_save_bytes() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = LogWriter::create(
+            dfs.clone(),
+            LogConfig::new("srv-0/log").with_compression(Compression::Lz4),
+        )
+        .unwrap();
+        let batch: Vec<_> = (0..20)
+            .map(|i| {
+                (
+                    "t".to_string(),
+                    put_kind_sized(&format!("key-{i:03}"), i, 400),
+                )
+            })
+            .collect();
+        let before = dfs.metrics().snapshot();
+        let pos = w.append_batch(&batch).unwrap();
+        let after = dfs.metrics().snapshot();
+        assert!(
+            after.wal_compression_saved_bytes > before.wal_compression_saved_bytes,
+            "repetitive 400-byte values did not compress"
+        );
+        // Point reads and scans decode transparently.
+        for (i, (lsn, ptr)) in pos.iter().enumerate() {
+            let e = crate::read_entry(&dfs, "srv-0/log", *ptr).unwrap();
+            assert_eq!(e.lsn, *lsn);
+            let (rec, _, _) = e.as_write().unwrap();
+            assert_eq!(rec.meta.key, format!("key-{i:03}").as_bytes());
+            assert_eq!(rec.value_len(), 400);
+        }
+        let n = crate::scan_log(&dfs, "srv-0/log", 0, 0, |_, _| Ok(())).unwrap();
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn tiny_entries_stay_raw_under_compression() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = LogWriter::create(
+            dfs.clone(),
+            LogConfig::new("srv-0/log").with_compression(Compression::Lz4),
+        )
+        .unwrap();
+        let before = dfs.metrics().snapshot().wal_compression_saved_bytes;
+        // Key+value too small to clear MIN_COMPRESS_BYTES.
+        w.append("t", put_kind_sized("k", 1, 4)).unwrap();
+        assert_eq!(dfs.metrics().snapshot().wal_compression_saved_bytes, before);
+    }
+
+    #[test]
+    fn buffer_pooling_off_still_round_trips() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let w = LogWriter::create(
+            dfs.clone(),
+            LogConfig::new("srv-0/log").with_buffer_pooling(false),
+        )
+        .unwrap();
+        for i in 0..10 {
+            w.append("t", put_kind(&format!("k{i}"), i)).unwrap();
+        }
+        let n = crate::scan_log(&dfs, "srv-0/log", 0, 0, |_, _| Ok(())).unwrap();
+        assert_eq!(n, 10);
     }
 
     #[test]

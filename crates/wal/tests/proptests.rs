@@ -4,7 +4,7 @@
 
 use logbase_common::{Record, Timestamp};
 use logbase_dfs::{Dfs, DfsConfig};
-use logbase_wal::{scan_log, LogConfig, LogEntryKind, LogWriter};
+use logbase_wal::{scan_log, Compression, LogConfig, LogEntryKind, LogWriter};
 use proptest::prelude::*;
 
 fn kind_of(key: Vec<u8>, ts: u64, value: Vec<u8>, tombstone: bool) -> LogEntryKind {
@@ -68,6 +68,71 @@ proptest! {
         }
 
         // A full scan returns everything, in order, with matching LSNs.
+        let mut scanned = Vec::new();
+        scan_log(&dfs, "p/log", 0, 0, |ptr, entry| {
+            scanned.push((ptr, entry));
+            Ok(())
+        })
+        .unwrap();
+        prop_assert_eq!(scanned.len(), expected.len());
+        for (i, ((ptr, entry), kind)) in scanned.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(entry.lsn.0, i as u64 + 1);
+            prop_assert_eq!(&entry.kind, kind);
+            prop_assert_eq!(ptr, &positions[i]);
+        }
+    }
+
+    /// Compressed and raw frames coexist in one log: batches written
+    /// with compression toggling per batch (and values spanning the
+    /// compressible / incompressible / below-threshold range) round-trip
+    /// through point reads and a full scan, byte-for-byte.
+    #[test]
+    fn prop_mixed_compressed_and_raw_batches_round_trip(
+        segment_bytes in 128u64..4096,
+        batches in proptest::collection::vec(
+            (any::<bool>(), // compress this batch?
+             proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 1..16),
+                 any::<u64>(),
+                 // 0..300 straddles MIN_COMPRESS_BYTES on both sides.
+                 proptest::collection::vec(any::<u8>(), 0..300),
+                 any::<bool>()),
+                1..8)),
+            1..10),
+    ) {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let mut expected = Vec::new();
+        let mut positions = Vec::new();
+        let mut next = logbase_common::Lsn(1);
+        for (i, (compress, batch)) in batches.iter().enumerate() {
+            // Reopen the log with a different compression setting per
+            // batch: the on-disk format must not care.
+            let config = LogConfig::new("p/log")
+                .with_segment_bytes(segment_bytes)
+                .with_compression(if *compress { Compression::Lz4 } else { Compression::None });
+            let writer = if i == 0 {
+                LogWriter::create(dfs.clone(), config).unwrap()
+            } else {
+                LogWriter::reopen(dfs.clone(), config, next).unwrap()
+            };
+            let entries: Vec<(String, LogEntryKind)> = batch
+                .iter()
+                .map(|(k, ts, v, tomb)| {
+                    ("t".to_string(), kind_of(k.clone(), *ts, v.clone(), *tomb))
+                })
+                .collect();
+            let pos = writer.append_batch(&entries).unwrap();
+            positions.extend(pos.iter().map(|(_, p)| *p));
+            expected.extend(entries.into_iter().map(|(_, k)| k));
+            next = writer.next_lsn();
+        }
+        prop_assert_eq!(next.0, expected.len() as u64 + 1);
+        // Point reads decode both frame styles transparently.
+        for (ptr, kind) in positions.iter().zip(&expected) {
+            let entry = logbase_wal::read_entry(&dfs, "p/log", *ptr).unwrap();
+            prop_assert_eq!(&entry.kind, kind);
+        }
+        // So does a sequential scan.
         let mut scanned = Vec::new();
         scan_log(&dfs, "p/log", 0, 0, |ptr, entry| {
             scanned.push((ptr, entry));

@@ -1,0 +1,136 @@
+//! Write-path crash tests: a server dying mid-batch-append (via the
+//! `wal.append_batch.chunk` crash point) must never lose an acked entry,
+//! even when the surviving tail of the log is a compressed frame.
+
+use logbase_common::{Error, LogPtr, Lsn, Record, Timestamp};
+use logbase_dfs::{Dfs, DfsConfig};
+use logbase_wal::{
+    read_entry, scan_log_tolerant, segment_name, Compression, LogConfig, LogEntryKind, LogWriter,
+};
+
+fn put_sized(key: &str, ts: u64, value_bytes: usize) -> LogEntryKind {
+    LogEntryKind::Write {
+        txn_id: 0,
+        tablet: 0,
+        record: Record::put(
+            key.as_bytes().to_vec(),
+            0,
+            Timestamp(ts),
+            vec![0x6bu8; value_bytes],
+        ),
+    }
+}
+
+fn batch(tag: &str, n: u64, ts0: u64) -> Vec<(String, LogEntryKind)> {
+    (0..n)
+        .map(|i| {
+            (
+                "t".to_string(),
+                put_sized(&format!("{tag}-{i:03}"), ts0 + i, 400),
+            )
+        })
+        .collect()
+}
+
+/// Crash at the named `wal.append_batch.chunk` site before any bytes of
+/// the dying batch land, with a torn half-frame left behind by the
+/// in-flight DFS write. The tail of the surviving log is a *compressed*
+/// frame; recovery must seal past the tear and replay every acked entry.
+#[test]
+fn crash_mid_batch_append_replays_every_acked_entry_with_compressed_tail() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+    let config = LogConfig::new("srv/log").with_compression(Compression::Lz4);
+    let writer = LogWriter::create(dfs.clone(), config.clone()).unwrap();
+
+    // Two acked batches of compressible entries: the log tail is now a
+    // compressed frame.
+    let mut acked: Vec<(Lsn, LogPtr)> = Vec::new();
+    acked.extend(writer.append_batch(&batch("a", 10, 0)).unwrap());
+    acked.extend(writer.append_batch(&batch("b", 10, 100)).unwrap());
+    assert!(
+        dfs.metrics().snapshot().wal_compression_saved_bytes > 0,
+        "tail entries were not written compressed"
+    );
+
+    // The server dies mid-append of batch "c": the crash point fires
+    // before the chunk reaches the DFS, so nothing of "c" is durable and
+    // nothing of "c" was acked.
+    dfs.fault_injector()
+        .arm_crash_point("wal.append_batch.chunk");
+    let err = writer.append_batch(&batch("c", 5, 200)).unwrap_err();
+    assert!(matches!(err, Error::CrashPoint { .. }), "got {err}");
+    assert_eq!(
+        writer.next_lsn(),
+        Lsn(21),
+        "crashed batch must not burn LSNs"
+    );
+    let open_segment = writer.current_segment();
+    drop(writer);
+
+    // The in-flight DFS write the dying process never finished: half a
+    // frame of garbage at the tail, after the compressed acked frames.
+    let torn = [0xF0u8, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02];
+    dfs.append(&segment_name("srv/log", open_segment), &torn)
+        .unwrap();
+
+    // Recovery: reopen seals the damaged segment and resumes cleanly.
+    let writer = LogWriter::reopen(dfs.clone(), config, Lsn(21)).unwrap();
+    assert_eq!(writer.current_segment(), open_segment + 1);
+    let after: Vec<_> = writer.append_batch(&batch("d", 5, 300)).unwrap();
+    assert_eq!(after.first().unwrap().0, Lsn(21));
+
+    // Every acked entry — including the compressed pre-crash tail —
+    // replays exactly once, in order; the torn frame is skipped.
+    let mut lsns = Vec::new();
+    scan_log_tolerant(&dfs, "srv/log", 0, 0, |_, e| {
+        lsns.push(e.lsn.0);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(lsns, (1..=25).collect::<Vec<_>>());
+    for (lsn, ptr) in acked.iter().chain(&after) {
+        assert_eq!(read_entry(&dfs, "srv/log", *ptr).unwrap().lsn, *lsn);
+    }
+}
+
+/// Crash between the chunks of a multi-segment batch: the durable prefix
+/// keeps its LSNs (those frames are in the log), the lost suffix burns
+/// nothing, and recovery replays a dense sequence.
+#[test]
+fn crash_between_chunks_keeps_lsns_dense_across_recovery() {
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+    let config = LogConfig::new("srv/log")
+        .with_segment_bytes(2048)
+        .with_compression(Compression::Lz4);
+    let writer = LogWriter::create(dfs.clone(), config.clone()).unwrap();
+    writer.append_batch(&batch("a", 4, 0)).unwrap();
+    let durable_before = writer.next_lsn();
+
+    // A batch spanning several segments, dying on its second chunk.
+    dfs.fault_injector()
+        .arm_crash_point_at("wal.append_batch.chunk", 2);
+    let err = writer.append_batch(&batch("big", 40, 100)).unwrap_err();
+    assert!(matches!(err, Error::CrashPoint { .. }), "got {err}");
+    let durable_after = writer.next_lsn();
+    assert!(
+        durable_after > durable_before,
+        "first chunk landed, its LSNs stay burned"
+    );
+    assert!(
+        durable_after < Lsn(durable_before.0 + 40),
+        "lost chunks must roll their LSNs back"
+    );
+    drop(writer);
+
+    // Recovery continues exactly after the durable prefix; the log scans
+    // densely with no gap where the lost chunks would have been.
+    let writer = LogWriter::reopen(dfs.clone(), config, durable_after).unwrap();
+    writer.append_batch(&batch("after", 3, 900)).unwrap();
+    let mut lsns = Vec::new();
+    scan_log_tolerant(&dfs, "srv/log", 0, 0, |_, e| {
+        lsns.push(e.lsn.0);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(lsns, (1..=(durable_after.0 + 2)).collect::<Vec<_>>());
+}
