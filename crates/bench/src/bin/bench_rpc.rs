@@ -151,7 +151,7 @@ struct ArmSummary {
 
 enum Rig {
     InProc {
-        cluster: Cluster,
+        cluster: Box<Cluster>,
         net: Arc<logbase_cluster::NetServer>,
     },
     Child {
@@ -175,7 +175,10 @@ impl Rig {
             );
         }
         let net = cluster.start_net(net_cfg).expect("bind listeners");
-        Rig::InProc { cluster, net }
+        Rig::InProc {
+            cluster: Box::new(cluster),
+            net,
+        }
     }
 
     fn child(server_bin: &str, admission: &str) -> Rig {

@@ -120,10 +120,43 @@ mod tests {
 
     #[test]
     fn fig18_checkpoint_speeds_recovery() {
+        // Comparing wall-clock recovery times at tiny scale flakes when
+        // the whole suite runs in parallel (CPU contention swamps the
+        // sub-millisecond gap), so assert the mechanism instead: a
+        // checkpoint lets recovery reload compact index files and scan
+        // only the log tail, so it reads strictly fewer bytes than a
+        // full log scan.
         let fig = fig18_recovery_time(&Scale::tiny()).unwrap();
+        assert!(fig.series_total("With checkpoint") > 0.0);
+        assert!(fig.series_total("Without checkpoint") > 0.0);
+
+        let mut read_bytes = [0u64; 2];
+        for (slot, with_checkpoint) in [(0usize, true), (1usize, false)] {
+            let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+            {
+                let server = fresh_server(&dfs, "rec-srv").unwrap();
+                load_records(&server, 0, 400, 256).unwrap();
+                if with_checkpoint {
+                    server.checkpoint().unwrap();
+                }
+                load_records(&server, 400, 500, 256).unwrap();
+            }
+            let before = dfs.metrics().snapshot();
+            let recovered = TabletServer::open(
+                dfs.clone(),
+                ServerConfig::new("rec-srv").with_segment_bytes(8 * 1024 * 1024),
+            )
+            .unwrap();
+            assert_eq!(recovered.stats().index_entries, 500);
+            let delta = dfs.metrics().snapshot().delta_since(&before);
+            read_bytes[slot] = delta.seq_bytes_read + delta.rand_bytes_read;
+        }
         assert!(
-            fig.series_total("With checkpoint") < fig.series_total("Without checkpoint"),
-            "checkpointed recovery must beat full log scan"
+            read_bytes[0] < read_bytes[1],
+            "checkpointed recovery must read fewer bytes than a full log scan \
+             (with: {}, without: {})",
+            read_bytes[0],
+            read_bytes[1]
         );
     }
 }

@@ -429,3 +429,92 @@ fn oracle_monotone_across_master_failover() {
         "master never failed over (before {before:?}, after {after:?})"
     );
 }
+
+/// Tentpole regression: the background compaction scheduler (rate-
+/// limited, with periodic log GC) runs continuously *while* the
+/// concurrent transaction workload executes. Snapshot isolation must
+/// stay anomaly-free, the bank invariant must hold, and foreground
+/// point reads must keep a sane p99 — compaction yields via the token
+/// bucket instead of starving the read path.
+#[test]
+fn compaction_interference_stays_clean_and_bounded() {
+    let seed = seed_from_env();
+    let dfs = Dfs::new(DfsConfig::in_memory(3, 3));
+    let oracle = TimestampOracle::new();
+    let locks = LockService::new();
+    let server = single_server(&dfs, "srv", &oracle, &locks);
+    // Cap bulk maintenance traffic well below what the in-memory DFS
+    // can serve, so the scheduler genuinely has to wait for tokens.
+    server.set_maintenance_rate(Some(64 * 1024));
+
+    let cfg = WorkloadConfig::new(seed);
+    let route = workload::server_route(&server);
+    workload::seed_accounts(&route, &cfg).unwrap();
+    let recorder = Arc::new(HistoryRecorder::new());
+    server.set_history_recorder(Some(Arc::clone(&recorder)));
+
+    // Drive the scheduler in a tight loop for the whole workload run —
+    // far more aggressive than a production interval, to maximize
+    // interference.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scheduler_thread = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let sched = logbase::CompactionScheduler::new(logbase::CompactionSchedulerConfig {
+                gc_every: 5,
+                gc_live_fraction: 1.0,
+                ..Default::default()
+            });
+            let mut ticks = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                sched.tick(&server).expect("scheduled maintenance failed");
+                ticks += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            ticks
+        })
+    };
+
+    let outcome = workload::run(&route, &cfg);
+
+    // Foreground point-read latencies with compaction still churning.
+    let mut latencies = Vec::with_capacity(200);
+    for i in 0..200u64 {
+        let key = workload::account_key(&cfg, i % cfg.keys);
+        let ep = route(&key).unwrap();
+        let start = std::time::Instant::now();
+        ep.get(TABLE, 0, &key).unwrap();
+        latencies.push(start.elapsed());
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let ticks = scheduler_thread.join().unwrap();
+    server.set_history_recorder(None);
+
+    assert!(outcome.committed > 0, "workload committed nothing");
+    assert_eq!(outcome.errored, 0, "interference run errored: {outcome:?}");
+    assert!(ticks > 0, "scheduler never ticked");
+    let snap = server.metrics().snapshot();
+    assert!(snap.compactions > 0, "scheduler never compacted: {snap:?}");
+    assert!(
+        snap.compaction_throttle_waits > 0,
+        "rate limiter never engaged: {snap:?}"
+    );
+
+    // SI stayed clean under continuous background maintenance.
+    let report = check_recorded(&recorder);
+    assert!(report.stats.reads_checked > 0, "checker saw no reads");
+    assert_clean("compaction-interference", seed, &recorder.events(), &report);
+    workload::verify_bank_invariant(&route, &cfg).unwrap();
+
+    // Generous p99 bound: an in-memory get is microseconds; only a
+    // compaction monopolizing the server could push it past this.
+    latencies.sort();
+    let p99 = latencies[latencies.len() * 99 / 100];
+    assert!(
+        p99 < Duration::from_millis(250),
+        "foreground p99 {p99:?} under background compaction"
+    );
+    assert!(server.fsck().is_empty());
+}

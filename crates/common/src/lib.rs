@@ -23,11 +23,13 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod metrics;
+pub mod rate;
 pub mod retry;
 pub mod rpc;
 pub mod schema;
 pub mod types;
 
 pub use error::{Error, Result};
+pub use rate::RateLimiter;
 pub use retry::RetryPolicy;
 pub use types::{LogPtr, Lsn, Record, RecordMeta, RowKey, Timestamp, Value};

@@ -106,6 +106,20 @@ pub struct Metrics {
     /// Stays flat while the log is idle (the committer blocks on its
     /// channel rather than polling).
     pub wal_committer_wakeups: AtomicU64,
+    /// Bytes compaction and log GC scanned out of input segments.
+    pub compaction_bytes_read: AtomicU64,
+    /// Bytes compaction and log GC rewrote into sorted segments — the
+    /// background write traffic that write amplification measures.
+    pub compaction_bytes_written: AtomicU64,
+    /// Large values the key/value split left in their log segment
+    /// instead of rewriting (§3.6's "log as data" premise).
+    pub values_separated: AtomicU64,
+    /// Mostly-dead log segments the GC pass reclaimed.
+    pub log_gc_segments_reclaimed: AtomicU64,
+    /// Scheduler ticks that ran a policy-chosen merge or GC pass.
+    pub compaction_sched_runs: AtomicU64,
+    /// Times the maintenance token bucket made background I/O wait.
+    pub compaction_throttle_waits: AtomicU64,
 }
 
 impl Metrics {
@@ -175,6 +189,12 @@ impl Metrics {
             wal_compression_saved_bytes: Self::get(&self.wal_compression_saved_bytes),
             wal_mid_batch_rotations: Self::get(&self.wal_mid_batch_rotations),
             wal_committer_wakeups: Self::get(&self.wal_committer_wakeups),
+            compaction_bytes_read: Self::get(&self.compaction_bytes_read),
+            compaction_bytes_written: Self::get(&self.compaction_bytes_written),
+            values_separated: Self::get(&self.values_separated),
+            log_gc_segments_reclaimed: Self::get(&self.log_gc_segments_reclaimed),
+            compaction_sched_runs: Self::get(&self.compaction_sched_runs),
+            compaction_throttle_waits: Self::get(&self.compaction_throttle_waits),
         }
     }
 
@@ -221,6 +241,12 @@ impl Metrics {
             &self.wal_compression_saved_bytes,
             &self.wal_mid_batch_rotations,
             &self.wal_committer_wakeups,
+            &self.compaction_bytes_read,
+            &self.compaction_bytes_written,
+            &self.values_separated,
+            &self.log_gc_segments_reclaimed,
+            &self.compaction_sched_runs,
+            &self.compaction_throttle_waits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -270,6 +296,12 @@ pub struct MetricsSnapshot {
     pub wal_compression_saved_bytes: u64,
     pub wal_mid_batch_rotations: u64,
     pub wal_committer_wakeups: u64,
+    pub compaction_bytes_read: u64,
+    pub compaction_bytes_written: u64,
+    pub values_separated: u64,
+    pub log_gc_segments_reclaimed: u64,
+    pub compaction_sched_runs: u64,
+    pub compaction_throttle_waits: u64,
 }
 
 impl MetricsSnapshot {
@@ -371,6 +403,24 @@ impl MetricsSnapshot {
             wal_committer_wakeups: self
                 .wal_committer_wakeups
                 .saturating_sub(earlier.wal_committer_wakeups),
+            compaction_bytes_read: self
+                .compaction_bytes_read
+                .saturating_sub(earlier.compaction_bytes_read),
+            compaction_bytes_written: self
+                .compaction_bytes_written
+                .saturating_sub(earlier.compaction_bytes_written),
+            values_separated: self
+                .values_separated
+                .saturating_sub(earlier.values_separated),
+            log_gc_segments_reclaimed: self
+                .log_gc_segments_reclaimed
+                .saturating_sub(earlier.log_gc_segments_reclaimed),
+            compaction_sched_runs: self
+                .compaction_sched_runs
+                .saturating_sub(earlier.compaction_sched_runs),
+            compaction_throttle_waits: self
+                .compaction_throttle_waits
+                .saturating_sub(earlier.compaction_throttle_waits),
         }
     }
 }

@@ -22,6 +22,11 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct Dfs {
     inner: Arc<DfsInner>,
+    /// Per-handle byte token bucket. `None` (every foreground handle)
+    /// reads and writes unmetered; a handle cloned via
+    /// [`Dfs::rate_limited`] acquires tokens before each read or append
+    /// so background bulk I/O yields to foreground load.
+    limiter: Option<Arc<logbase_common::RateLimiter>>,
 }
 
 struct DfsInner {
@@ -69,6 +74,7 @@ impl Dfs {
             })
             .collect();
         let dfs = Dfs {
+            limiter: None,
             inner: Arc::new(DfsInner {
                 namenode: NameNode::new(policy),
                 datanodes,
@@ -88,7 +94,10 @@ impl Dfs {
                 loop {
                     std::thread::sleep(repair.interval);
                     let Some(inner) = weak.upgrade() else { break };
-                    let dfs = Dfs { inner };
+                    let dfs = Dfs {
+                        inner,
+                        limiter: None,
+                    };
                     if last_sweep.is_some_and(|t| t.elapsed() < repair.min_gap) {
                         continue;
                     }
@@ -116,6 +125,26 @@ impl Dfs {
     /// The cluster's fault injector (dormant unless armed with specs).
     pub fn fault_injector(&self) -> &Arc<FaultInjector> {
         &self.inner.faults
+    }
+
+    /// A handle onto the same cluster whose reads and appends first
+    /// acquire byte tokens from `limiter`. The compaction scheduler does
+    /// its bulk I/O through such a handle so background traffic is
+    /// throttled while foreground handles stay unmetered.
+    pub fn rate_limited(&self, limiter: Arc<logbase_common::RateLimiter>) -> Dfs {
+        Dfs {
+            inner: Arc::clone(&self.inner),
+            limiter: Some(limiter),
+        }
+    }
+
+    /// Meter `bytes` through this handle's limiter, if it has one.
+    fn throttle(&self, bytes: u64) {
+        if let Some(limiter) = &self.limiter {
+            if !limiter.acquire(bytes).is_zero() {
+                Metrics::incr(&self.inner.metrics.compaction_throttle_waits);
+            }
+        }
     }
 
     /// Evaluate the named crash point `site` (see [`FaultInjector`]'s
@@ -213,6 +242,7 @@ impl Dfs {
     /// identical replicas. On overall failure every partial replica write
     /// is rolled back before the error is returned.
     pub fn append(&self, name: &str, data: &[u8]) -> Result<u64> {
+        self.throttle(data.len() as u64);
         let file_lock = self.file_lock(name);
         let _guard = file_lock.lock();
 
@@ -374,6 +404,7 @@ impl Dfs {
                 size,
             });
         }
+        self.throttle(len);
         Metrics::incr(&self.inner.metrics.dfs_reads);
         Metrics::incr(&self.inner.metrics.seeks);
         Metrics::add(&self.inner.metrics.rand_bytes_read, len);
@@ -484,6 +515,7 @@ impl Dfs {
     pub fn read_all(&self, name: &str) -> Result<Bytes> {
         let meta = self.inner.namenode.stat(name)?;
         let len = meta.len();
+        self.throttle(len);
         Metrics::incr(&self.inner.metrics.dfs_reads);
         Metrics::add(&self.inner.metrics.seq_bytes_read, len);
         if len == 0 {
@@ -740,6 +772,7 @@ impl DfsFileReader {
             });
         }
         let metrics = self.dfs.metrics();
+        self.dfs.throttle(want);
         Metrics::incr(&metrics.dfs_reads);
         Metrics::add(&metrics.seq_bytes_read, want);
         let bytes = self
@@ -774,6 +807,33 @@ mod tests {
         // Spans the 16-byte chunk boundary.
         assert_eq!(&dfs.read("f", 12, 6).unwrap()[..], b"cdefgh");
         assert_eq!(&dfs.read_all("f").unwrap()[..], b"0123456789abcdefghij");
+    }
+
+    #[test]
+    fn rate_limited_handle_throttles_only_itself() {
+        let dfs = small_dfs();
+        dfs.create("f").unwrap();
+        dfs.append("f", &[7u8; 4096]).unwrap();
+        // 16 KB/s with a 1 KB burst: the second 1 KB read must wait
+        // (~60 ms — slow enough that scheduling noise cannot refill the
+        // bucket between the two reads).
+        let slow = dfs.rate_limited(std::sync::Arc::new(logbase_common::RateLimiter::new(
+            16 * 1024,
+            1024,
+        )));
+        slow.read("f", 0, 1024).unwrap();
+        slow.read("f", 1024, 1024).unwrap();
+        assert!(
+            Metrics::get(&dfs.metrics().compaction_throttle_waits) > 0,
+            "drained bucket must register a throttle wait"
+        );
+        // The foreground handle shares the cluster but never waits.
+        let before = Metrics::get(&dfs.metrics().compaction_throttle_waits);
+        dfs.read_all("f").unwrap();
+        assert_eq!(
+            Metrics::get(&dfs.metrics().compaction_throttle_waits),
+            before
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod history;
 pub mod manifest;
 pub mod partition;
 pub mod read_buffer;
+pub mod scheduler;
 pub mod secondary;
 pub mod server;
 pub mod spill;
@@ -52,6 +53,9 @@ pub mod txn;
 mod segdir;
 pub mod tablet;
 
+pub use compaction::{
+    CompactionConfig, CompactionInputs, CompactionReport, LogGcConfig, LogGcReport,
+};
 pub use endpoint::{ServerEndpoint, TxnEndpoint, TxnSession};
 pub use failover::{rebuild_range, RebuiltRecord, RebuiltTablet};
 pub use gc::{fsck, GcReport};
@@ -59,6 +63,7 @@ pub use history::{Event, EventKind, HistoryRecorder, WriteRec};
 pub use logbase_wal::GroupCommitConfig;
 pub use manifest::MaintenanceManifest;
 pub use read_buffer::ReadBuffer;
+pub use scheduler::{CompactionScheduler, CompactionSchedulerConfig, SchedulerHandle, TickOutcome};
 pub use segdir::SegmentDirectory;
 pub use server::{ServerConfig, ServerStats, TabletServer};
 pub use spill::SpillConfig;
@@ -73,7 +78,9 @@ pub mod crash_sites {
     pub const COMPACTION: &[&str] = &[
         "compaction.begin",
         "compaction.after_rotate",
+        "compaction.kv_split",
         "compaction.after_sorted_write",
+        "compaction.ptr_rewrite",
         "compaction.before_manifest",
         "compaction.after_manifest",
         "compaction.after_checkpoint",
@@ -96,9 +103,18 @@ pub mod crash_sites {
     /// group-commit batch reaches the DFS, so tests can crash a server
     /// with a batch partially appended (including mid-rotation).
     pub const WAL: &[&str] = &["wal.append_batch.chunk"];
+    /// Sites specific to the log-GC reclaim pass (fires between the
+    /// commit checkpoint and the input deletions of the force-rewrite
+    /// compaction that reclaims mostly-dead segments).
+    pub const LOG_GC: &[&str] = &["wal.gc.reclaim"];
 
     /// Every maintenance site the crash-matrix torture test must cover.
     pub fn maintenance() -> Vec<&'static str> {
-        COMPACTION.iter().chain(CHECKPOINT).copied().collect()
+        COMPACTION
+            .iter()
+            .chain(CHECKPOINT)
+            .chain(LOG_GC)
+            .copied()
+            .collect()
     }
 }

@@ -1,0 +1,327 @@
+//! Cost-aware background compaction scheduling.
+//!
+//! The scheduler turns compaction from an operator-invoked batch job
+//! into a continuously running background service. Each tick it builds
+//! a *run stack* for the policy layer ([`logbase_lsm::CompactionPolicy`]):
+//! one [`RunStat`] per sorted generation (oldest first, bytes from DFS
+//! file sizes, read heat from the segment directory's counters) plus
+//! one arrival entry bundling the sealed log segments. The policy
+//! returns a suffix to merge — newest generations plus the arrival —
+//! which maps directly onto a [`CompactionInputs::Selected`] round.
+//!
+//! Two mechanisms keep the service polite to foreground load:
+//!
+//! - **Heat trimming.** Generations whose read count grew past
+//!   [`CompactionSchedulerConfig::hot_reads_threshold`] since the last
+//!   tick are excluded by shrinking the merge suffix, so read-hot data
+//!   is not churned (and its read-buffer entries not invalidated)
+//!   while it is being hammered.
+//! - **Rate limiting.** When
+//!   [`CompactionSchedulerConfig::rate_limit_bytes_per_sec`] is set,
+//!   every bulk DFS read/write the compaction makes drains a shared
+//!   token bucket ([`logbase_common::RateLimiter`]), so compaction
+//!   yields bandwidth to foreground traffic instead of competing
+//!   head-on.
+//!
+//! Every [`CompactionSchedulerConfig::gc_every`]-th tick additionally
+//! runs a value-log GC pass ([`TabletServer::log_gc_with`]) to reclaim
+//! blob segments left behind by key/value separation.
+//!
+//! [`start`] spawns the background thread (it holds only a `Weak`
+//! server handle and exits when the server is dropped);
+//! [`CompactionScheduler::tick`] is public so tests and benchmarks can
+//! drive the exact same decision logic deterministically.
+
+use crate::compaction::{CompactionConfig, CompactionInputs, CompactionReport, LogGcConfig};
+use crate::server::TabletServer;
+use logbase_common::metrics::Metrics;
+use logbase_common::Result;
+use logbase_lsm::{PolicyKind, RunKind, RunStat};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Background-compaction knobs ([`crate::ServerConfig`] carries an
+/// optional copy; `Some` auto-starts the service).
+#[derive(Debug, Clone)]
+pub struct CompactionSchedulerConfig {
+    /// Merge policy deciding when and how much to compact.
+    pub policy: PolicyKind,
+    /// Wall-clock pause between ticks of the background thread.
+    pub interval: Duration,
+    /// Token-bucket budget for compaction's bulk DFS traffic; `None`
+    /// runs unthrottled.
+    pub rate_limit_bytes_per_sec: Option<u64>,
+    /// Key/value separation threshold passed to every scheduled round
+    /// (see [`CompactionConfig::value_threshold`]).
+    pub value_threshold: Option<usize>,
+    /// Version retention passed to every scheduled round.
+    pub max_versions: Option<usize>,
+    /// Don't schedule anything until this many sealed log segments are
+    /// waiting (avoids churning on a trickle).
+    pub min_log_segments: usize,
+    /// Live-byte fraction under which log GC reclaims a segment.
+    pub gc_live_fraction: f64,
+    /// Run a log-GC pass every this many ticks; 0 disables GC.
+    pub gc_every: u64,
+    /// A sorted generation whose reads since the last tick exceed this
+    /// is considered hot and kept out of the merge.
+    pub hot_reads_threshold: u64,
+}
+
+impl Default for CompactionSchedulerConfig {
+    fn default() -> Self {
+        CompactionSchedulerConfig {
+            policy: PolicyKind::default(),
+            interval: Duration::from_millis(250),
+            rate_limit_bytes_per_sec: None,
+            value_threshold: None,
+            max_versions: None,
+            min_log_segments: 1,
+            gc_live_fraction: 0.25,
+            gc_every: 0,
+            hot_reads_threshold: u64::MAX,
+        }
+    }
+}
+
+/// One scheduling decision (returned by [`CompactionScheduler::tick`]
+/// so tests can assert on what ran).
+#[derive(Debug, Default)]
+pub struct TickOutcome {
+    /// The compaction that ran, if the policy asked for one.
+    pub compaction: Option<CompactionReport>,
+    /// Segments reclaimed by the log-GC pass, if one ran this tick.
+    pub gc_reclaimed: u64,
+    /// Sorted generations excluded from the merge for being read-hot.
+    pub hot_generations_skipped: u64,
+}
+
+/// The decision engine. Owns no thread — [`start`] wraps it in one, and
+/// tests call [`CompactionScheduler::tick`] directly.
+pub struct CompactionScheduler {
+    config: CompactionSchedulerConfig,
+    policy: Box<dyn logbase_lsm::CompactionPolicy>,
+    ticks: AtomicU64,
+    /// Heat reading per sorted-segment id at the previous tick, for
+    /// computing per-tick deltas.
+    last_heat: Mutex<HashMap<u32, u64>>,
+}
+
+/// A sorted generation as the scheduler sees it.
+struct GenStat {
+    ids: Vec<u32>,
+    bytes: u64,
+    heat_delta: u64,
+}
+
+impl CompactionScheduler {
+    /// Build a scheduler from its config.
+    pub fn new(config: CompactionSchedulerConfig) -> Self {
+        let policy = config.policy.build();
+        CompactionScheduler {
+            config,
+            policy,
+            ticks: AtomicU64::new(0),
+            last_heat: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The config this scheduler runs with.
+    pub fn config(&self) -> &CompactionSchedulerConfig {
+        &self.config
+    }
+
+    /// One scheduling round: consult the policy over the current run
+    /// stack and execute whatever it asks for, then (periodically) a
+    /// log-GC pass. Synchronous, so benchmarks and tests get
+    /// deterministic behavior by calling it directly.
+    pub fn tick(&self, server: &TabletServer) -> Result<TickOutcome> {
+        let mut outcome = TickOutcome::default();
+        let tick_no = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        Metrics::incr(&server.metrics().compaction_sched_runs);
+
+        let log_prefix = format!("{}/log", server.name());
+        let open = server.open_log_segment();
+        let sealed: Vec<(u32, u64)> = logbase_wal::list_segments(server.dfs(), &log_prefix)
+            .into_iter()
+            .filter(|(seq, _, _)| *seq < open)
+            .map(|(seq, _, bytes)| (seq, bytes))
+            .collect();
+
+        // Group sorted segments into generations by directory prefix;
+        // generation numbers come from the checkpoint sequence, so
+        // ascending id order is age order (oldest first).
+        let mut gens: Vec<(String, GenStat)> = Vec::new();
+        let mut heat_now: HashMap<u32, u64> = HashMap::new();
+        {
+            let last = self.last_heat.lock();
+            for (id, name) in server.sorted_snapshot() {
+                let bytes = server.dfs().len(&name).unwrap_or(0);
+                let heat = server.segment_heat(id);
+                heat_now.insert(id, heat);
+                let delta = heat.saturating_sub(last.get(&id).copied().unwrap_or(0));
+                let gen_dir = name
+                    .rsplit_once('/')
+                    .map(|(d, _)| d.to_string())
+                    .unwrap_or(name);
+                match gens.last_mut() {
+                    Some((dir, stat)) if *dir == gen_dir => {
+                        stat.ids.push(id);
+                        stat.bytes += bytes;
+                        stat.heat_delta += delta;
+                    }
+                    _ => gens.push((
+                        gen_dir,
+                        GenStat {
+                            ids: vec![id],
+                            bytes,
+                            heat_delta: delta,
+                        },
+                    )),
+                }
+            }
+        }
+        *self.last_heat.lock() = heat_now;
+
+        if sealed.len() >= self.config.min_log_segments || gens.len() >= 2 {
+            // Run stack for the policy: generations oldest→newest, then
+            // the sealed-log bundle as the newest arrival.
+            let mut stack: Vec<RunStat> = gens
+                .iter()
+                .enumerate()
+                .map(|(i, (_, g))| RunStat {
+                    id: i as u64,
+                    bytes: g.bytes.max(1),
+                    age: (gens.len() - i) as u64,
+                    reads: g.heat_delta,
+                    kind: RunKind::Sorted,
+                })
+                .collect();
+            stack.push(RunStat {
+                id: gens.len() as u64,
+                bytes: sealed.iter().map(|(_, b)| *b).sum::<u64>().max(1),
+                age: 0,
+                reads: 0,
+                kind: RunKind::Log,
+            });
+            if let Some(plan) = self.policy.plan(&stack) {
+                // The suffix covers the arrival plus the newest
+                // `suffix - 1` generations; shrink it until every
+                // included generation is cold.
+                let mut merge_gens = plan.suffix.saturating_sub(1).min(gens.len());
+                while merge_gens > 0 {
+                    let oldest_included = &gens[gens.len() - merge_gens].1;
+                    if oldest_included.heat_delta <= self.config.hot_reads_threshold {
+                        break;
+                    }
+                    merge_gens -= 1;
+                    outcome.hot_generations_skipped += 1;
+                }
+                let sorted_ids: Vec<u32> = gens[gens.len() - merge_gens..]
+                    .iter()
+                    .flat_map(|(_, g)| g.ids.iter().copied())
+                    .collect();
+                let log_segments: Vec<u32> = sealed.iter().map(|(seq, _)| *seq).collect();
+                if !log_segments.is_empty() || !sorted_ids.is_empty() {
+                    let report = server.compact_with(&CompactionConfig {
+                        max_versions: self.config.max_versions,
+                        value_threshold: self.config.value_threshold,
+                        inputs: CompactionInputs::Selected {
+                            log_segments,
+                            sorted: sorted_ids,
+                        },
+                        force_rewrite: false,
+                    })?;
+                    outcome.compaction = Some(report);
+                }
+            }
+        }
+
+        if self.config.gc_every > 0 && tick_no % self.config.gc_every == 0 {
+            let gc = server.log_gc_with(&LogGcConfig {
+                live_fraction: self.config.gc_live_fraction,
+                ..LogGcConfig::default()
+            })?;
+            outcome.gc_reclaimed = gc.segments_reclaimed;
+        }
+        Ok(outcome)
+    }
+}
+
+/// Handle to a running background scheduler. Dropping it (or the
+/// server) stops the thread; [`SchedulerHandle::stop`] does so
+/// synchronously.
+pub struct SchedulerHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SchedulerHandle {
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.signal();
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn signal(&self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock() = true;
+        cvar.notify_all();
+    }
+}
+
+impl Drop for SchedulerHandle {
+    fn drop(&mut self) {
+        self.signal();
+        if let Some(h) = self.thread.take() {
+            // The handle can be dropped *on* the scheduler thread (the
+            // thread's upgraded Arc may be the last one, so the server —
+            // which owns this handle — drops there); joining yourself
+            // deadlocks, so detach in that case.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Spawn the background scheduling thread for `server`. The thread
+/// keeps only a `Weak` reference: once every strong handle is gone it
+/// exits on its next tick, so the service never keeps a server alive.
+pub fn start(server: &Arc<TabletServer>, config: CompactionSchedulerConfig) -> SchedulerHandle {
+    let interval = config.interval;
+    let scheduler = CompactionScheduler::new(config);
+    let weak: Weak<TabletServer> = Arc::downgrade(server);
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("compaction-sched".into())
+        .spawn(move || loop {
+            {
+                let (lock, cvar) = &*stop2;
+                let mut stopped = lock.lock();
+                if !*stopped {
+                    cvar.wait_for(&mut stopped, interval);
+                }
+                if *stopped {
+                    return;
+                }
+            }
+            let Some(server) = weak.upgrade() else {
+                return;
+            };
+            // Maintenance errors (e.g. fencing) are not fatal to the
+            // service; the next tick retries.
+            let _ = scheduler.tick(&server);
+        })
+        .expect("spawn compaction scheduler thread");
+    SchedulerHandle {
+        stop,
+        thread: Some(thread),
+    }
+}

@@ -8,7 +8,8 @@
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// First segment id reserved for sorted (compacted) segments.
 pub const SORTED_BASE: u32 = 0x8000_0000;
@@ -19,6 +20,9 @@ pub struct SegmentDirectory {
     log_prefix: String,
     sorted: RwLock<HashMap<u32, String>>,
     next_sorted: AtomicU32,
+    /// Per-segment read counters fed from the read path; the compaction
+    /// scheduler consults them to keep hot segments out of merge plans.
+    heat: RwLock<HashMap<u32, Arc<AtomicU64>>>,
 }
 
 impl SegmentDirectory {
@@ -28,7 +32,30 @@ impl SegmentDirectory {
             log_prefix: log_prefix.into(),
             sorted: RwLock::new(HashMap::new()),
             next_sorted: AtomicU32::new(SORTED_BASE),
+            heat: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Record one read against `segment` (hot/cold accounting for the
+    /// compaction scheduler). Lock-free on the steady-state path.
+    pub fn record_read(&self, segment: u32) {
+        if let Some(ctr) = self.heat.read().get(&segment) {
+            ctr.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.heat
+            .write()
+            .entry(segment)
+            .or_default()
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative reads recorded against `segment`.
+    pub fn heat(&self, segment: u32) -> u64 {
+        self.heat
+            .read()
+            .get(&segment)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Resolve a pointer's segment id to a DFS file name.
@@ -88,6 +115,20 @@ impl SegmentDirectory {
             .collect();
         v.sort_unstable_by_key(|(k, _)| *k);
         v
+    }
+
+    /// Drop exactly the mappings named in `ids` (partial compaction
+    /// retires a chosen set of sorted segments; untouched generations
+    /// survive). Returns the retired file names.
+    pub fn remove(&self, ids: &[u32]) -> Vec<String> {
+        let mut sorted = self.sorted.write();
+        let mut heat = self.heat.write();
+        ids.iter()
+            .filter_map(|id| {
+                heat.remove(id);
+                sorted.remove(id)
+            })
+            .collect()
     }
 
     /// Drop mappings for ids not in `keep` (after compaction retires a
@@ -163,6 +204,33 @@ mod tests {
         assert_eq!(dropped, vec!["gen1/a".to_string()]);
         assert_eq!(d.resolve(b), "gen2/b");
         assert!(d.resolve(a).contains("missing-sorted"));
+    }
+
+    #[test]
+    fn remove_drops_only_named_ids() {
+        let d = SegmentDirectory::new("srv/log");
+        let a = d.register_sorted("gen1/a".to_string());
+        let b = d.register_sorted("gen2/b".to_string());
+        let dropped = d.remove(&[a]);
+        assert_eq!(dropped, vec!["gen1/a".to_string()]);
+        assert_eq!(d.resolve(b), "gen2/b");
+        assert!(d.resolve(a).contains("missing-sorted"));
+        // Removing an unknown id is a no-op.
+        assert!(d.remove(&[a]).is_empty());
+    }
+
+    #[test]
+    fn heat_counts_reads_and_resets_on_remove() {
+        let d = SegmentDirectory::new("srv/log");
+        let a = d.register_sorted("gen1/a".to_string());
+        assert_eq!(d.heat(a), 0);
+        d.record_read(a);
+        d.record_read(a);
+        d.record_read(7); // plain log segments are tracked too
+        assert_eq!(d.heat(a), 2);
+        assert_eq!(d.heat(7), 1);
+        d.remove(&[a]);
+        assert_eq!(d.heat(a), 0);
     }
 
     #[test]

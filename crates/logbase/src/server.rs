@@ -65,6 +65,10 @@ pub struct ServerConfig {
     /// each checkpoint and at startup. Recovery only ever reads the
     /// latest — the rest are bounded history. Minimum 1.
     pub retain_checkpoints: usize,
+    /// When set, a cost-aware background compaction service starts with
+    /// the server (see [`crate::scheduler`]); its rate limit is
+    /// installed as the maintenance I/O budget.
+    pub compaction_scheduler: Option<crate::scheduler::CompactionSchedulerConfig>,
 }
 
 impl ServerConfig {
@@ -82,6 +86,7 @@ impl ServerConfig {
             scan_threads: 0,
             read_buffer_shards: 0,
             retain_checkpoints: 2,
+            compaction_scheduler: None,
         }
     }
 
@@ -148,6 +153,16 @@ impl ServerConfig {
         self.read_buffer_shards = shards;
         self
     }
+
+    /// Builder-style background-compaction service override.
+    #[must_use]
+    pub fn with_compaction_scheduler(
+        mut self,
+        scheduler: crate::scheduler::CompactionSchedulerConfig,
+    ) -> Self {
+        self.compaction_scheduler = Some(scheduler);
+        self
+    }
 }
 
 /// Released tablet contents: `(column group, latest records)` pairs.
@@ -209,6 +224,11 @@ pub struct TabletServer {
     /// What startup GC did when this server was opened (all-zero for a
     /// freshly created server).
     gc_report: Mutex<crate::gc::GcReport>,
+    /// Token bucket draining compaction/log-GC bulk I/O; `None` runs
+    /// maintenance unthrottled.
+    maintenance_limiter: RwLock<Option<Arc<logbase_common::RateLimiter>>>,
+    /// Handle of the auto-started background compaction service.
+    scheduler: Mutex<Option<crate::scheduler::SchedulerHandle>>,
 }
 
 impl TabletServer {
@@ -231,7 +251,9 @@ impl TabletServer {
                 .with_segment_bytes(config.segment_bytes)
                 .with_compression(config.wal_compression),
         )?);
-        Ok(Arc::new(Self::assemble(dfs, config, writer, oracle, locks)))
+        let server = Arc::new(Self::assemble(dfs, config, writer, oracle, locks));
+        Self::start_services(&server);
+        Ok(server)
     }
 
     fn assemble(
@@ -267,9 +289,64 @@ impl TabletServer {
             fencing: RwLock::new(None),
             secondary: crate::secondary::SecondaryRegistry::default(),
             gc_report: Mutex::new(crate::gc::GcReport::default()),
+            maintenance_limiter: RwLock::new(None),
+            scheduler: Mutex::new(None),
             dfs,
             config,
         }
+    }
+
+    /// Install the configured maintenance rate limit and start the
+    /// background compaction service, when the config asks for one.
+    fn start_services(server: &Arc<Self>) {
+        let Some(sched) = server.config.compaction_scheduler.clone() else {
+            return;
+        };
+        server.set_maintenance_rate(sched.rate_limit_bytes_per_sec);
+        let handle = crate::scheduler::start(server, sched);
+        *server.scheduler.lock() = Some(handle);
+    }
+
+    /// Cap compaction/log-GC bulk I/O at `bytes_per_sec` (token bucket
+    /// with a one-second burst); `None` removes the cap. Foreground
+    /// reads and writes are never throttled.
+    pub fn set_maintenance_rate(&self, bytes_per_sec: Option<u64>) {
+        *self.maintenance_limiter.write() =
+            bytes_per_sec.map(|bps| Arc::new(logbase_common::RateLimiter::per_sec(bps)));
+    }
+
+    /// DFS handle maintenance bulk I/O should go through: rate-limited
+    /// when a maintenance budget is installed, the plain handle
+    /// otherwise.
+    pub(crate) fn maintenance_dfs(&self) -> Dfs {
+        match &*self.maintenance_limiter.read() {
+            Some(l) => self.dfs.rate_limited(Arc::clone(l)),
+            None => self.dfs.clone(),
+        }
+    }
+
+    /// Stop the background compaction service, if one is running
+    /// (idempotent; also happens implicitly when the server drops).
+    pub fn stop_scheduler(&self) {
+        if let Some(handle) = self.scheduler.lock().take() {
+            handle.stop();
+        }
+    }
+
+    /// Sequence number of the currently open (append-target) log
+    /// segment; everything below it is sealed.
+    pub(crate) fn open_log_segment(&self) -> u32 {
+        self.log.writer().current_segment()
+    }
+
+    /// Snapshot of the sorted-segment directory (scheduler input).
+    pub(crate) fn sorted_snapshot(&self) -> Vec<(u32, String)> {
+        self.segdir.snapshot()
+    }
+
+    /// Cumulative reads recorded against `segment` (scheduler input).
+    pub(crate) fn segment_heat(&self, segment: u32) -> u64 {
+        self.segdir.heat(segment)
     }
 
     /// The report from the startup GC pass [`TabletServer::open`] ran
@@ -623,6 +700,9 @@ impl TabletServer {
             return Ok(None);
         };
         Metrics::incr(&self.metrics().records_read);
+        // Hot/cold accounting for the compaction scheduler: the visible
+        // version's segment took read interest, cache hit or not.
+        self.segdir.record_read(vp.ptr.segment);
         // Read-buffer hit only when it caches exactly the visible version.
         if let Some(rb) = &self.read_buffer {
             if let Some((ts, value)) = rb.get(&table_state.name, cg, key) {
@@ -842,6 +922,7 @@ impl TabletServer {
         // One batched DFS read per run; decode every entry in the window.
         let exec_run = |run: &[usize]| -> Result<Vec<(usize, ScanItem)>> {
             let seg = entries[run[0]].ptr.segment;
+            self.segdir.record_read(seg);
             let name = self.segdir.resolve(seg);
             let start = entries[run[0]].ptr.offset;
             let last = &entries[*run.last().expect("non-empty run")];
@@ -1208,7 +1289,9 @@ impl TabletServer {
 
         server.oracle.advance_to(Timestamp(max_ts));
         writer.set_next_lsn(Lsn(max_lsn + 1));
-        Ok(Arc::new(server))
+        let server = Arc::new(server);
+        Self::start_services(&server);
+        Ok(server)
     }
 
     /// Apply one logged write during redo.

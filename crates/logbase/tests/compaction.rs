@@ -80,6 +80,7 @@ fn compaction_reclaims_log_space() {
     let report = s
         .compact_with(&CompactionConfig {
             max_versions: Some(1),
+            ..CompactionConfig::default()
         })
         .unwrap();
     assert_eq!(report.output_entries, 20);
@@ -117,6 +118,7 @@ fn version_retention_prunes_index_too() {
     let t3 = s.put("t", 0, key("k"), val("v3")).unwrap();
     s.compact_with(&CompactionConfig {
         max_versions: Some(2),
+        ..CompactionConfig::default()
     })
     .unwrap();
     assert!(s.get_at("t", 0, b"k", t1).unwrap().is_none());

@@ -410,6 +410,7 @@ fn visible_version_at_compaction_boundary() {
     assert!(ts2 > txn.snapshot());
     s.compact_with(&CompactionConfig {
         max_versions: Some(1),
+        ..CompactionConfig::default()
     })
     .unwrap();
 

@@ -17,7 +17,12 @@
 //! tables. When L0 grows past `l0_compaction_trigger`, L0∪L1 merge into
 //! a fresh L1.
 
+pub mod policy;
 mod tree;
 
 pub use logbase_sstable::merge_entries;
+pub use policy::{
+    simulate, CompactionPolicy, LazyLeveling, MergePlan, OnlineMerge, PolicyKind, RunKind, RunStat,
+    SizeTiered,
+};
 pub use tree::{LsmConfig, LsmStats, LsmTree};

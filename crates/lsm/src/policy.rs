@@ -1,0 +1,404 @@
+//! Cost-aware merge policies (after the Bigtable merge-compaction
+//! model, arXiv:1407.3008).
+//!
+//! The model: sorted runs form an age-ordered **stack** — oldest first,
+//! and the last element is the run that just arrived (a memtable flush
+//! for the LSM tier, the bundle of sealed log segments for LogBase's
+//! compaction scheduler). Each scheduling step the policy may merge a
+//! contiguous **suffix** of the stack (the newest `r` runs, always
+//! including the arrival) into one run, paying the total size of the
+//! merged runs. Merging only suffixes preserves the stack's age order —
+//! and therefore key-version order when the stack is read newest-first
+//! — which the property tests model-check.
+//!
+//! Three policies:
+//!
+//! - [`SizeTiered`] — merge the longest suffix of similar-sized runs
+//!   once enough of them pile up (Cassandra's STCS shape): cheap writes,
+//!   more runs for reads to visit.
+//! - [`LazyLeveling`] — tier the small runs but keep one big base run,
+//!   folding the tiered middle into the base only when it grows to a
+//!   fraction of it (Dostoevsky's hybrid): read cost close to leveling
+//!   at a fraction of its write amplification.
+//! - [`OnlineMerge`] — the paper's online rule: fold an older run into
+//!   the merge whenever it is no bigger than `alpha ×` the suffix
+//!   already being merged, and never let the stack exceed `k` runs. The
+//!   competitive-cost property test checks its schedule against a
+//!   brute-force optimum on small inputs.
+
+use std::fmt;
+
+/// Where a candidate run came from (policies may treat unsorted log
+/// bundles differently from already-sorted generations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunKind {
+    /// Sealed, unsorted log segments awaiting their first sort.
+    Log,
+    /// A sorted generation produced by an earlier merge.
+    Sorted,
+}
+
+/// Statistics of one run in the stack, as the scheduler observed them.
+#[derive(Debug, Clone)]
+pub struct RunStat {
+    /// Opaque id the scheduler uses to map the plan back to files.
+    pub id: u64,
+    /// Total bytes in the run.
+    pub bytes: u64,
+    /// Scheduling rounds since the run was created.
+    pub age: u64,
+    /// Reads served from the run since the last scheduling round (the
+    /// hot/cold counter fed from the read path).
+    pub reads: u64,
+    /// Provenance of the run.
+    pub kind: RunKind,
+}
+
+impl RunStat {
+    /// A bare run for model tests: `id`/`bytes`, everything else zeroed.
+    pub fn sized(id: u64, bytes: u64) -> Self {
+        RunStat {
+            id,
+            bytes,
+            age: 0,
+            reads: 0,
+            kind: RunKind::Sorted,
+        }
+    }
+}
+
+/// A merge decision: fold the newest `suffix` runs of the stack into
+/// one. `suffix == 1` sorts the arrival into its own run; `suffix ==
+/// stack.len()` is a full merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergePlan {
+    /// How many of the newest runs to merge (`1..=stack.len()`).
+    pub suffix: usize,
+}
+
+/// A merge-scheduling policy over an age-ordered stack of runs.
+pub trait CompactionPolicy: Send + Sync + fmt::Debug {
+    /// Display name (reports, bench arms).
+    fn name(&self) -> &'static str;
+
+    /// Decide what to merge given the current stack (oldest first, the
+    /// arrival last). `None` means "do nothing this round" (only
+    /// meaningful when there is no fresh arrival to place); `Some(plan)`
+    /// must satisfy `1 <= plan.suffix <= stack.len()`.
+    fn plan(&self, stack: &[RunStat]) -> Option<MergePlan>;
+}
+
+/// Size-tiered: merge the longest suffix whose run sizes are within
+/// `ratio` of each other, once it is at least `min_width` runs long; cap
+/// the stack at `max_runs` regardless.
+#[derive(Debug, Clone)]
+pub struct SizeTiered {
+    /// Runs in a tier must be within this size factor of each other.
+    pub ratio: f64,
+    /// Smallest tier worth merging.
+    pub min_width: usize,
+    /// Hard cap on stack depth: force a merge that restores it.
+    pub max_runs: usize,
+}
+
+impl Default for SizeTiered {
+    fn default() -> Self {
+        SizeTiered {
+            ratio: 4.0,
+            min_width: 4,
+            max_runs: 12,
+        }
+    }
+}
+
+impl CompactionPolicy for SizeTiered {
+    fn name(&self) -> &'static str {
+        "size_tiered"
+    }
+
+    fn plan(&self, stack: &[RunStat]) -> Option<MergePlan> {
+        if stack.is_empty() {
+            return None;
+        }
+        // Longest suffix forming one size tier.
+        let mut lo = stack[stack.len() - 1].bytes.max(1);
+        let mut hi = lo;
+        let mut width = 1;
+        for s in stack.iter().rev().skip(1) {
+            let b = s.bytes.max(1);
+            let new_lo = lo.min(b);
+            let new_hi = hi.max(b);
+            if new_hi as f64 > new_lo as f64 * self.ratio {
+                break;
+            }
+            lo = new_lo;
+            hi = new_hi;
+            width += 1;
+        }
+        let mut suffix = if width >= self.min_width { width } else { 1 };
+        // Depth cap: merge enough to get back under `max_runs`.
+        let after = stack.len() - suffix + 1;
+        if after > self.max_runs {
+            suffix += after - self.max_runs;
+        }
+        Some(MergePlan {
+            suffix: suffix.min(stack.len()),
+        })
+    }
+}
+
+/// Lazy leveling: the oldest run is the *base level*; newer runs tier up
+/// in the middle. Merge the middle (everything but the base) once it
+/// holds `tier_width` runs, and fold into the base only when the middle
+/// has grown past `base_fraction` of it.
+#[derive(Debug, Clone)]
+pub struct LazyLeveling {
+    /// Middle-run count that triggers a middle merge.
+    pub tier_width: usize,
+    /// Middle-to-base size ratio that triggers a full merge.
+    pub base_fraction: f64,
+}
+
+impl Default for LazyLeveling {
+    fn default() -> Self {
+        LazyLeveling {
+            tier_width: 4,
+            base_fraction: 0.3,
+        }
+    }
+}
+
+impl CompactionPolicy for LazyLeveling {
+    fn name(&self) -> &'static str {
+        "lazy_leveling"
+    }
+
+    fn plan(&self, stack: &[RunStat]) -> Option<MergePlan> {
+        if stack.is_empty() {
+            return None;
+        }
+        if stack.len() == 1 {
+            return Some(MergePlan { suffix: 1 });
+        }
+        let base = stack[0].bytes.max(1);
+        let middle_bytes: u64 = stack[1..].iter().map(|s| s.bytes).sum();
+        if middle_bytes as f64 >= self.base_fraction * base as f64 {
+            // The middle caught up with the base: merge everything.
+            return Some(MergePlan {
+                suffix: stack.len(),
+            });
+        }
+        if stack.len() > self.tier_width {
+            // Collapse the tiered middle, leave the base alone.
+            return Some(MergePlan {
+                suffix: stack.len() - 1,
+            });
+        }
+        Some(MergePlan { suffix: 1 })
+    }
+}
+
+/// The online merge rule of the Bigtable merge-compaction paper: grow
+/// the merge suffix while the next-older run is no bigger than `alpha ×`
+/// the bytes already being merged (folding it in costs at most a
+/// constant factor of what the suffix pays anyway), and force the suffix
+/// longer whenever the stack would exceed `k` runs.
+///
+/// With `alpha = 1` this is the classic logarithmic method: run sizes
+/// along the stack at least double going older, so each byte is
+/// rewritten O(log n) times; the `k` cap trades stack depth (read cost)
+/// against extra rewrites exactly as the paper's K-file constraint does.
+/// The property suite checks the schedule's total cost against a
+/// brute-force optimal schedule on small inputs (see
+/// `tests/policy_props.rs` for the bound).
+#[derive(Debug, Clone)]
+pub struct OnlineMerge {
+    /// Fold-in threshold: merge grows while `older.bytes <= alpha *
+    /// suffix_bytes`.
+    pub alpha: f64,
+    /// Maximum stack depth (the paper's K).
+    pub k: usize,
+}
+
+impl Default for OnlineMerge {
+    fn default() -> Self {
+        OnlineMerge { alpha: 1.0, k: 6 }
+    }
+}
+
+impl CompactionPolicy for OnlineMerge {
+    fn name(&self) -> &'static str {
+        "online_merge"
+    }
+
+    fn plan(&self, stack: &[RunStat]) -> Option<MergePlan> {
+        if stack.is_empty() {
+            return None;
+        }
+        let mut suffix = 1usize;
+        let mut suffix_bytes = stack[stack.len() - 1].bytes.max(1);
+        while suffix < stack.len() {
+            let older = stack[stack.len() - suffix - 1].bytes.max(1);
+            let depth_violated = stack.len() - suffix + 1 > self.k;
+            if !depth_violated && older as f64 > self.alpha * suffix_bytes as f64 {
+                break;
+            }
+            suffix += 1;
+            suffix_bytes += older;
+        }
+        Some(MergePlan { suffix })
+    }
+}
+
+/// Config-friendly policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// [`SizeTiered`] with defaults.
+    SizeTiered,
+    /// [`LazyLeveling`] with defaults.
+    LazyLeveling,
+    /// [`OnlineMerge`] with defaults.
+    #[default]
+    OnlineMerge,
+}
+
+impl PolicyKind {
+    /// Instantiate the policy with its default tuning.
+    pub fn build(self) -> Box<dyn CompactionPolicy> {
+        match self {
+            PolicyKind::SizeTiered => Box::new(SizeTiered::default()),
+            PolicyKind::LazyLeveling => Box::new(LazyLeveling::default()),
+            PolicyKind::OnlineMerge => Box::new(OnlineMerge::default()),
+        }
+    }
+
+    /// Parse a config string (`size_tiered` / `lazy_leveling` /
+    /// `online_merge`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "size_tiered" => Some(PolicyKind::SizeTiered),
+            "lazy_leveling" => Some(PolicyKind::LazyLeveling),
+            "online_merge" => Some(PolicyKind::OnlineMerge),
+            _ => None,
+        }
+    }
+}
+
+/// Replay a size sequence through `policy`, maintaining the stack and
+/// summing merge cost (bytes moved). Returns `(total_cost, final stack
+/// sizes)`. Shared by the unit tests, the property suite's oracle
+/// comparison, and the bench harness's policy ablation.
+pub fn simulate(policy: &dyn CompactionPolicy, arrivals: &[u64]) -> (u64, Vec<u64>) {
+    let mut stack: Vec<RunStat> = Vec::new();
+    let mut cost = 0u64;
+    for (i, &bytes) in arrivals.iter().enumerate() {
+        for s in &mut stack {
+            s.age += 1;
+        }
+        stack.push(RunStat::sized(i as u64, bytes));
+        let Some(plan) = policy.plan(&stack) else {
+            continue;
+        };
+        assert!(
+            plan.suffix >= 1 && plan.suffix <= stack.len(),
+            "{}: plan suffix {} out of range for stack of {}",
+            policy.name(),
+            plan.suffix,
+            stack.len()
+        );
+        if plan.suffix > 1 {
+            let merged: u64 = stack[stack.len() - plan.suffix..]
+                .iter()
+                .map(|s| s.bytes)
+                .sum();
+            cost += merged;
+            stack.truncate(stack.len() - plan.suffix);
+            stack.push(RunStat::sized(i as u64, merged));
+        }
+    }
+    (cost, stack.iter().map(|s| s.bytes).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_merge_keeps_stack_under_k() {
+        let p = OnlineMerge { alpha: 1.0, k: 4 };
+        let arrivals: Vec<u64> = (0..64).map(|i| 1 + (i % 7)).collect();
+        let (_, stack) = simulate(&p, &arrivals);
+        assert!(stack.len() <= 4, "stack {stack:?} exceeds k");
+    }
+
+    #[test]
+    fn online_merge_doubles_down_the_stack() {
+        // Unit arrivals under alpha=1 reproduce the logarithmic method:
+        // every run is at least the sum of all newer runs.
+        let p = OnlineMerge { alpha: 1.0, k: 64 };
+        let (_, stack) = simulate(&p, &vec![1u64; 100]);
+        for w in stack.windows(2) {
+            assert!(w[0] >= w[1], "stack must be size-ordered: {stack:?}");
+        }
+    }
+
+    #[test]
+    fn size_tiered_merges_similar_sizes() {
+        let p = SizeTiered {
+            ratio: 2.0,
+            min_width: 3,
+            max_runs: 100,
+        };
+        // Three equal runs form a tier.
+        let stack: Vec<RunStat> = (0..3).map(|i| RunStat::sized(i, 100)).collect();
+        assert_eq!(p.plan(&stack).unwrap().suffix, 3);
+        // A big base run does not join the tier.
+        let mut stack2 = vec![RunStat::sized(9, 100_000)];
+        stack2.extend((0..3).map(|i| RunStat::sized(i, 100)));
+        assert_eq!(p.plan(&stack2).unwrap().suffix, 3);
+    }
+
+    #[test]
+    fn size_tiered_enforces_depth_cap() {
+        let p = SizeTiered {
+            ratio: 1.1,
+            min_width: 99,
+            max_runs: 3,
+        };
+        // Wildly different sizes — no tier forms — but the cap forces a
+        // merge once depth exceeds max_runs.
+        let stack: Vec<RunStat> = (0..6)
+            .map(|i| RunStat::sized(i, 10u64.pow(i as u32 + 1)))
+            .collect();
+        let plan = p.plan(&stack).unwrap();
+        assert_eq!(stack.len() - plan.suffix + 1, 3);
+    }
+
+    #[test]
+    fn lazy_leveling_protects_the_base() {
+        let p = LazyLeveling {
+            tier_width: 3,
+            base_fraction: 0.5,
+        };
+        let mut stack = vec![RunStat::sized(0, 10_000)];
+        stack.extend((1..4).map(|i| RunStat::sized(i, 100)));
+        // Middle is 300 bytes ≪ half the base: merge only the middle.
+        assert_eq!(p.plan(&stack).unwrap().suffix, 3);
+        // Middle caught up: everything merges.
+        stack.push(RunStat::sized(9, 6_000));
+        assert_eq!(p.plan(&stack).unwrap().suffix, stack.len());
+    }
+
+    #[test]
+    fn policy_kind_round_trips() {
+        for kind in [
+            PolicyKind::SizeTiered,
+            PolicyKind::LazyLeveling,
+            PolicyKind::OnlineMerge,
+        ] {
+            let built = kind.build();
+            assert_eq!(PolicyKind::parse(built.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("nope"), None);
+    }
+}

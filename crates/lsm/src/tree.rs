@@ -23,6 +23,11 @@ pub struct LsmConfig {
     pub block_cache_bytes: u64,
     /// L0 table count that triggers an L0→L1 merge.
     pub l0_compaction_trigger: usize,
+    /// Cost-aware merge policy. When set it supersedes the fixed
+    /// `l0_compaction_trigger`: after every flush the policy sees the
+    /// run stack (L1 base plus L0 tables, oldest first) and schedules
+    /// suffix merges — partial L0 runs or the full L0∪L1 merge.
+    pub policy: Option<crate::policy::PolicyKind>,
     /// SSTable layout knobs.
     pub table: SsTableConfig,
 }
@@ -35,6 +40,7 @@ impl LsmConfig {
             write_buffer_bytes: 4 * 1024 * 1024,
             block_cache_bytes: 8 * 1024 * 1024,
             l0_compaction_trigger: 4,
+            policy: None,
             table: SsTableConfig::default(),
         }
     }
@@ -50,6 +56,13 @@ impl LsmConfig {
     #[must_use]
     pub fn with_l0_trigger(mut self, n: usize) -> Self {
         self.l0_compaction_trigger = n;
+        self
+    }
+
+    /// Builder-style merge-policy override.
+    #[must_use]
+    pub fn with_policy(mut self, kind: crate::policy::PolicyKind) -> Self {
+        self.policy = Some(kind);
         self
     }
 }
@@ -88,12 +101,16 @@ pub struct LsmTree {
     compactions: AtomicU64,
     /// Serializes flush/compaction against each other.
     maintenance: Mutex<()>,
+    /// Instantiated from `config.policy`; `None` keeps the fixed
+    /// trigger behavior.
+    policy: Option<Box<dyn crate::policy::CompactionPolicy>>,
 }
 
 impl LsmTree {
     /// Create an empty tree.
     pub fn new(dfs: Dfs, config: LsmConfig) -> Self {
         let cache = BlockCache::new(config.block_cache_bytes);
+        let policy = config.policy.map(crate::policy::PolicyKind::build);
         LsmTree {
             dfs,
             config,
@@ -105,6 +122,7 @@ impl LsmTree {
             flushes: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             maintenance: Mutex::new(()),
+            policy,
         }
     }
 
@@ -168,9 +186,93 @@ impl LsmTree {
         self.flushes.fetch_add(1, Ordering::Relaxed);
         logbase_common::metrics::Metrics::incr(&self.dfs.metrics().flushes);
 
-        if self.l0.read().len() >= self.config.l0_compaction_trigger {
+        if let Some(policy) = &self.policy {
+            if let Some(plan) = policy.plan(&self.run_stack()) {
+                self.apply_plan_locked(plan)?;
+            }
+        } else if self.l0.read().len() >= self.config.l0_compaction_trigger {
             self.compact_locked()?;
         }
+        Ok(())
+    }
+
+    /// The run stack as a policy sees it: the L1 base (if any) oldest,
+    /// then L0 tables oldest → newest, the just-flushed table last.
+    fn run_stack(&self) -> Vec<crate::policy::RunStat> {
+        use crate::policy::{RunKind, RunStat};
+        let mut stack = Vec::new();
+        let l1_bytes: u64 = self.l1.read().iter().map(|t| t.file_bytes()).sum();
+        if l1_bytes > 0 {
+            stack.push(RunStat {
+                id: u64::MAX,
+                bytes: l1_bytes,
+                age: u64::MAX,
+                reads: 0,
+                kind: RunKind::Sorted,
+            });
+        }
+        for t in self.l0.read().iter().rev() {
+            stack.push(RunStat {
+                id: table_seq(t.name()).unwrap_or(0),
+                bytes: t.file_bytes(),
+                age: 0,
+                reads: 0,
+                kind: RunKind::Sorted,
+            });
+        }
+        stack
+    }
+
+    /// Execute a policy decision. A suffix covering the whole stack is
+    /// the full L0∪L1 merge; a shorter suffix merges the newest L0
+    /// tables into one (the suffix never straddles L1 without covering
+    /// the whole stack, because L1 is the stack's bottom element).
+    fn apply_plan_locked(&self, plan: crate::policy::MergePlan) -> Result<()> {
+        if plan.suffix <= 1 {
+            return Ok(());
+        }
+        let l0_len = self.l0.read().len();
+        let l1_runs = usize::from(!self.l1.read().is_empty());
+        if plan.suffix >= l0_len + l1_runs {
+            return self.compact_locked();
+        }
+        self.merge_l0_run_locked(plan.suffix.min(l0_len))
+    }
+
+    /// Merge the newest `n` L0 tables into a single L0 table, keeping
+    /// its slot in the newest-first order.
+    fn merge_l0_run_locked(&self, n: usize) -> Result<()> {
+        if n <= 1 {
+            return Ok(());
+        }
+        let victims: Vec<Arc<SsTableReader>> = self.l0.read()[..n].to_vec();
+        let mut inputs = Vec::new();
+        for t in &victims {
+            let mut it = t.iter(Some(&self.cache));
+            let mut v = Vec::with_capacity(t.count() as usize);
+            while let Some(e) = it.next()? {
+                v.push(e);
+            }
+            inputs.push(v);
+        }
+        let merged = merge_entries(inputs);
+        let seq = self.next_table.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{}/l0-{seq:06}", self.config.prefix);
+        let mut w = SsTableWriter::create(self.dfs.clone(), &name, self.config.table.clone())?;
+        for e in &merged {
+            w.add(e)?;
+        }
+        w.finish()?;
+        let reader = Arc::new(SsTableReader::open(self.dfs.clone(), &name)?);
+        {
+            let mut l0 = self.l0.write();
+            l0.splice(..n, [reader]);
+        }
+        for t in &victims {
+            self.dfs.delete(t.name())?;
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        logbase_common::metrics::Metrics::incr(&self.dfs.metrics().compactions);
         Ok(())
     }
 
@@ -459,6 +561,43 @@ mod tests {
             Some(val("v1"))
         );
         assert_eq!(t.scan_all_versions().unwrap(), 150);
+    }
+
+    #[test]
+    fn policy_driven_tree_bounds_runs_and_keeps_reads_correct() {
+        let dfs = Dfs::new(DfsConfig::in_memory(3, 2));
+        let t = LsmTree::new(
+            dfs,
+            LsmConfig::new("lsm").with_policy(crate::policy::PolicyKind::OnlineMerge),
+        );
+        for round in 0..12u64 {
+            for i in 0..40u64 {
+                t.put(
+                    key(&format!("k{i:03}")),
+                    Timestamp(round * 100 + i + 1),
+                    Some(val(&format!("r{round}"))),
+                )
+                .unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let s = t.stats();
+        // The online policy (k = 6) keeps the run stack bounded where
+        // the fixed trigger would never fire partial merges.
+        assert!(
+            s.l0_tables + s.l1_tables <= 6,
+            "stack too deep: {} L0 + {} L1",
+            s.l0_tables,
+            s.l1_tables
+        );
+        assert!(s.compactions > 0, "policy never scheduled a merge");
+        // Latest and historical reads survive the suffix merges.
+        assert_eq!(t.get(b"k010").unwrap(), Some(val("r11")));
+        assert_eq!(
+            t.get_at(b"k010", Timestamp(311)).unwrap().unwrap().1,
+            Some(val("r3"))
+        );
+        assert_eq!(t.scan_all_versions().unwrap(), 12 * 40);
     }
 
     #[test]

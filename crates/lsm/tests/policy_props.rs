@@ -1,0 +1,270 @@
+//! Property tests for the compaction policies (§3.6.5 scheduling layer).
+//!
+//! Three families of properties:
+//!
+//! 1. **Validity / conservation** — any random arrival sequence replayed
+//!    through any policy yields only in-range merge plans (checked
+//!    inside [`simulate`]) and never creates or destroys bytes.
+//! 2. **Key-order** — merging only stack *suffixes* must preserve the
+//!    age order of runs, and therefore newest-first version resolution.
+//!    A keyed model replays the schedule and checks that every key's
+//!    latest version is found first and that run age intervals stay
+//!    contiguous and disjoint.
+//! 3. **Competitive cost** — the online merge rule's total bytes moved
+//!    stays within its competitive bound of a brute-force optimal
+//!    offline schedule (dynamic program over all suffix-merge schedules
+//!    honoring the same stack-depth cap) on small inputs, and within
+//!    the logarithmic-method write-amplification bound when the depth
+//!    cap is slack.
+
+use logbase_lsm::{simulate, CompactionPolicy, LazyLeveling, OnlineMerge, RunStat, SizeTiered};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+fn policies() -> Vec<Box<dyn CompactionPolicy>> {
+    vec![
+        Box::new(SizeTiered::default()),
+        Box::new(LazyLeveling::default()),
+        Box::new(OnlineMerge::default()),
+    ]
+}
+
+/// Brute-force optimal total merge cost over *all* suffix-merge
+/// schedules for `arrivals`, subject to the stack never exceeding `k`
+/// runs after each step. The state space is tiny (a stack is always a
+/// contiguous composition of the arrival prefix), so plain memoized
+/// search is exact.
+fn oracle_min_cost(arrivals: &[u64], k: usize) -> u64 {
+    fn go(
+        i: usize,
+        stack: &mut Vec<u64>,
+        arrivals: &[u64],
+        k: usize,
+        memo: &mut HashMap<(usize, Vec<u64>), u64>,
+    ) -> u64 {
+        if i == arrivals.len() {
+            return 0;
+        }
+        let key = (i, stack.clone());
+        if let Some(&c) = memo.get(&key) {
+            return c;
+        }
+        stack.push(arrivals[i]);
+        let mut best = u64::MAX;
+        for s in 1..=stack.len() {
+            if stack.len() - s + 1 > k {
+                continue; // would leave the stack too deep
+            }
+            let merged: u64 = stack[stack.len() - s..].iter().sum();
+            let step_cost = if s > 1 { merged } else { 0 };
+            let mut next = stack[..stack.len() - s].to_vec();
+            next.push(merged);
+            let sub = go(i + 1, &mut next, arrivals, k, memo);
+            best = best.min(step_cost + sub);
+        }
+        stack.pop();
+        memo.insert(key, best);
+        best
+    }
+    go(0, &mut Vec::new(), arrivals, k, &mut HashMap::new())
+}
+
+/// A sorted run in the keyed model: which arrival interval it covers
+/// and, for each key, the latest version the run holds.
+struct ModelRun {
+    lo: usize,
+    hi: usize, // arrival interval [lo, hi], inclusive
+    latest: BTreeMap<u64, u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Any policy, any arrival sequence: plans are in range (asserted
+    /// inside `simulate`), bytes are conserved, the stack never ends
+    /// deeper than the number of arrivals.
+    #[test]
+    fn prop_schedules_are_valid_and_conserve_bytes(
+        arrivals in proptest::collection::vec(1u64..5000, 1..40),
+    ) {
+        let total: u64 = arrivals.iter().sum();
+        for policy in policies() {
+            let (cost, stack) = simulate(policy.as_ref(), &arrivals);
+            prop_assert_eq!(
+                stack.iter().sum::<u64>(), total,
+                "{} lost bytes", policy.name()
+            );
+            prop_assert!(!stack.is_empty());
+            prop_assert!(stack.len() <= arrivals.len());
+            // Cost only comes from merges, each bounded by total bytes.
+            prop_assert!(cost <= total * arrivals.len() as u64);
+        }
+    }
+
+    /// Suffix-only merging preserves key-version order: replaying any
+    /// schedule over a keyed model, run age intervals stay contiguous
+    /// and disjoint (oldest first), and a newest-first walk finds every
+    /// key's latest version before any stale one.
+    #[test]
+    fn prop_merge_schedules_preserve_key_order(
+        writes in proptest::collection::vec((0u64..12, 1u64..300), 1..60),
+    ) {
+        for policy in policies() {
+            let mut stack: Vec<RunStat> = Vec::new();
+            let mut model: Vec<ModelRun> = Vec::new();
+            let mut global_latest: BTreeMap<u64, u64> = BTreeMap::new();
+            for (i, (key, bytes)) in writes.iter().enumerate() {
+                let version = i as u64 + 1;
+                global_latest.insert(*key, version);
+                for s in &mut stack {
+                    s.age += 1;
+                }
+                stack.push(RunStat::sized(i as u64, *bytes));
+                model.push(ModelRun {
+                    lo: i,
+                    hi: i,
+                    latest: BTreeMap::from([(*key, version)]),
+                });
+                if let Some(plan) = policy.plan(&stack) {
+                    prop_assert!(plan.suffix >= 1 && plan.suffix <= stack.len());
+                    if plan.suffix > 1 {
+                        let at = stack.len() - plan.suffix;
+                        let merged_bytes: u64 =
+                            stack[at..].iter().map(|s| s.bytes).sum();
+                        stack.truncate(at);
+                        stack.push(RunStat::sized(i as u64, merged_bytes));
+                        // Merge the model runs newest-last so newer
+                        // versions win, as a real merge would resolve.
+                        let tail: Vec<ModelRun> = model.split_off(at);
+                        let mut merged = ModelRun {
+                            lo: tail.first().unwrap().lo,
+                            hi: tail.last().unwrap().hi,
+                            latest: BTreeMap::new(),
+                        };
+                        for run in tail {
+                            // later (newer) runs overwrite earlier ones
+                            merged.latest.extend(run.latest);
+                        }
+                        model.push(merged);
+                    }
+                }
+                // Invariant A: the model runs partition [0, i]
+                // contiguously, oldest first.
+                prop_assert_eq!(model.first().unwrap().lo, 0);
+                prop_assert_eq!(model.last().unwrap().hi, i);
+                for w in model.windows(2) {
+                    prop_assert_eq!(
+                        w[0].hi + 1, w[1].lo,
+                        "{}: runs out of age order", policy.name()
+                    );
+                }
+                // Invariant B: newest-first resolution finds the true
+                // latest version of every key first.
+                for (key, want) in &global_latest {
+                    let got = model
+                        .iter()
+                        .rev()
+                        .find_map(|r| r.latest.get(key))
+                        .copied();
+                    prop_assert_eq!(
+                        got, Some(*want),
+                        "{}: key {} resolves stale version", policy.name(), key
+                    );
+                }
+                // Invariant C: a key's versions strictly decrease going
+                // older down the stack.
+                for key in global_latest.keys() {
+                    let vs: Vec<u64> = model
+                        .iter()
+                        .filter_map(|r| r.latest.get(key))
+                        .copied()
+                        .collect();
+                    for w in vs.windows(2) {
+                        prop_assert!(w[0] < w[1]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The online rule respects its stack-depth cap `k` after every
+    /// arrival, not just at the end.
+    #[test]
+    fn prop_online_respects_depth_cap(
+        arrivals in proptest::collection::vec(1u64..2000, 1..48),
+        k in 2usize..7,
+    ) {
+        let policy = OnlineMerge { alpha: 1.0, k };
+        let mut stack: Vec<RunStat> = Vec::new();
+        for (i, &bytes) in arrivals.iter().enumerate() {
+            stack.push(RunStat::sized(i as u64, bytes));
+            if let Some(plan) = policy.plan(&stack) {
+                if plan.suffix > 1 {
+                    let merged: u64 = stack[stack.len() - plan.suffix..]
+                        .iter()
+                        .map(|s| s.bytes)
+                        .sum();
+                    stack.truncate(stack.len() - plan.suffix);
+                    stack.push(RunStat::sized(i as u64, merged));
+                }
+            }
+            prop_assert!(stack.len() <= k, "depth {} > k {}", stack.len(), k);
+        }
+    }
+
+    /// With a slack depth cap, `alpha = 1` is the logarithmic method:
+    /// run sizes at least double going older, so total bytes moved are
+    /// bounded by `total × (log2(total) + 1)`.
+    #[test]
+    fn prop_online_write_amp_is_logarithmic(
+        arrivals in proptest::collection::vec(1u64..500, 1..64),
+    ) {
+        let policy = OnlineMerge { alpha: 1.0, k: usize::MAX };
+        let (cost, stack) = simulate(&policy, &arrivals);
+        let total: u64 = arrivals.iter().sum();
+        let bound = total * (64 - u64::leading_zeros(total) as u64 + 1);
+        prop_assert!(
+            cost <= bound,
+            "cost {} exceeds logarithmic bound {} (total {})", cost, bound, total
+        );
+        // Doubling invariant that underlies the bound.
+        for w in stack.windows(2) {
+            prop_assert!(w[0] >= w[1], "stack not size-ordered: {:?}", stack);
+        }
+    }
+
+    /// Competitive cost: on small inputs the online schedule's total
+    /// cost stays within `(log2(n) + 2) ×` the brute-force optimum plus
+    /// one stack's worth of bytes (the additive slack covers eager
+    /// merges the offline schedule can defer past the horizon).
+    #[test]
+    fn prop_online_cost_is_competitive_with_oracle(
+        arrivals in proptest::collection::vec(1u64..64, 2..9),
+        k in 2usize..5,
+    ) {
+        let policy = OnlineMerge { alpha: 1.0, k };
+        let (online, _) = simulate(&policy, &arrivals);
+        let opt = oracle_min_cost(&arrivals, k);
+        let total: u64 = arrivals.iter().sum();
+        let n = arrivals.len() as u64;
+        let factor = 64 - u64::leading_zeros(n) as u64 + 2;
+        prop_assert!(
+            online <= factor * opt + factor * total,
+            "online {} vs opt {} (factor {}, total {})", online, opt, factor, total
+        );
+        prop_assert!(opt <= online, "oracle must not exceed the online cost");
+    }
+}
+
+/// The oracle itself is sane: never merging is optimal when the depth
+/// cap is slack, and a forced merge is charged when it is not.
+#[test]
+fn oracle_sanity() {
+    assert_eq!(oracle_min_cost(&[5, 7, 9], 3), 0);
+    // k=1: every arrival after the first forces a full merge.
+    // [a] -> merge(a,b)=a+b -> merge(a+b,c)=a+b+c
+    assert_eq!(oracle_min_cost(&[1, 1, 1], 1), 2 + 3);
+    // k=2 over four unit arrivals: merge all three at step 3 (cost 3),
+    // then the fourth arrival fits — cheaper than two partial merges.
+    assert_eq!(oracle_min_cost(&[1, 1, 1, 1], 2), 3);
+}

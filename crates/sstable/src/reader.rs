@@ -66,6 +66,7 @@ pub struct SsTableReader {
     index: Vec<(RowKey, u64, u64)>,
     filter: BloomFilter,
     count: u64,
+    file_bytes: u64,
 }
 
 impl SsTableReader {
@@ -114,6 +115,7 @@ impl SsTableReader {
             index,
             filter,
             count,
+            file_bytes: file_len,
         })
     }
 
@@ -125,6 +127,12 @@ impl SsTableReader {
     /// Total entries in the table.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// On-DFS size of the table at open time (merge policies weigh
+    /// runs by bytes).
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
     }
 
     /// Number of data blocks.

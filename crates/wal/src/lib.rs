@@ -44,6 +44,24 @@ pub fn parse_segment_name(prefix: &str, name: &str) -> Option<u32> {
     rest.parse().ok()
 }
 
+/// Enumerate the log segments under `prefix` as `(seq, name, bytes)`,
+/// ordered by sequence number. Foreign files under the prefix are
+/// skipped. The compaction scheduler uses this to size its candidate
+/// stack without opening any segment.
+pub fn list_segments(dfs: &logbase_dfs::Dfs, prefix: &str) -> Vec<(u32, String, u64)> {
+    let mut out: Vec<(u32, String, u64)> = dfs
+        .list(&format!("{prefix}/segment-"))
+        .into_iter()
+        .filter_map(|name| {
+            let seq = parse_segment_name(prefix, &name)?;
+            let bytes = dfs.len(&name).ok()?;
+            Some((seq, name, bytes))
+        })
+        .collect();
+    out.sort_unstable_by_key(|(seq, _, _)| *seq);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +75,26 @@ mod tests {
         assert_eq!(
             parse_segment_name("srv-0/log", "srv-0/log/index-000001"),
             None
+        );
+    }
+
+    #[test]
+    fn list_segments_orders_and_sizes() {
+        let dfs = logbase_dfs::Dfs::new(logbase_dfs::DfsConfig::in_memory(3, 2));
+        for (seq, bytes) in [(2u32, 10usize), (0, 4), (1, 7)] {
+            let name = segment_name("srv/log", seq);
+            dfs.create(&name).unwrap();
+            dfs.append(&name, &vec![0u8; bytes]).unwrap();
+        }
+        dfs.create("srv/log/other").unwrap();
+        let got = list_segments(&dfs, "srv/log");
+        assert_eq!(
+            got,
+            vec![
+                (0, segment_name("srv/log", 0), 4),
+                (1, segment_name("srv/log", 1), 7),
+                (2, segment_name("srv/log", 2), 10),
+            ]
         );
     }
 }

@@ -67,6 +67,7 @@ fn main() -> logbase_common::Result<()> {
     // End of day: compact, keeping only the last 10 versions per symbol.
     let report = server.compact_with(&CompactionConfig {
         max_versions: Some(10),
+        ..CompactionConfig::default()
     })?;
     println!(
         "\ncompaction: {} entries in, {} kept, {} segments reclaimed",

@@ -9,7 +9,9 @@
 //! the test drops the server. Whatever the DFS holds at that moment is
 //! the crash image recovery must cope with.
 
-use logbase::{crash_sites, ServerConfig, SpillConfig, TabletServer};
+use logbase::{
+    crash_sites, CompactionConfig, LogGcConfig, ServerConfig, SpillConfig, TabletServer,
+};
 use logbase_common::schema::TableSchema;
 use logbase_common::{Error, Timestamp, Value};
 use logbase_dfs::{Dfs, DfsConfig};
@@ -27,9 +29,43 @@ fn run_compact(s: &TabletServer) -> Result<(), Error> {
     s.compact().map(|_| ())
 }
 
+/// Compaction with key/value separation on: large values stay in their
+/// log segment (retained as a blob segment) and only keys/small values
+/// are rewritten — the `compaction.kv_split` path with a non-empty
+/// separated set.
+fn run_compact_separated(s: &TabletServer) -> Result<(), Error> {
+    s.compact_with(&CompactionConfig {
+        value_threshold: Some(SEPARATION_THRESHOLD),
+        ..CompactionConfig::default()
+    })
+    .map(|_| ())
+}
+
 fn run_checkpoint(s: &TabletServer) -> Result<(), Error> {
     s.checkpoint().map(|_| ())
 }
+
+/// Value-log GC. Writes enough filler (outside every workload key
+/// space) to force a segment rotation, so the reclaim pass always has
+/// a sealed segment to chew on and `wal.gc.reclaim` reliably fires.
+fn run_log_gc(s: &TabletServer) -> Result<(), Error> {
+    static FILLER_KEY: AtomicU64 = AtomicU64::new(9_000_000);
+    let filler = Value::from(vec![b'f'; 512]);
+    for _ in 0..12 {
+        let k = FILLER_KEY.fetch_add(1, Ordering::Relaxed);
+        s.put("t", 0, encode_key(k), filler.clone())?;
+    }
+    s.log_gc_with(&LogGcConfig {
+        live_fraction: 1.0,
+        max_segments: usize::MAX,
+        max_versions: None,
+    })
+    .map(|_| ())
+}
+
+/// Values at least this long are separated by [`run_compact_separated`]
+/// (the workload writes some values above and some below it).
+const SEPARATION_THRESHOLD: usize = 256;
 
 fn config(name: &str) -> ServerConfig {
     // Small segments so every round leaves multiple compaction inputs.
@@ -102,6 +138,9 @@ fn expected_outcome(site: &str) -> (bool, bool) {
         "compaction.after_checkpoint",
         "compaction.mid_delete",
         "compaction.before_manifest_remove",
+        // Fires between the reclaim compaction's commit checkpoint and
+        // its input deletions.
+        "wal.gc.reclaim",
     ];
     (resumed.contains(&site), rolled_back.contains(&site))
 }
@@ -113,7 +152,14 @@ fn crash_at_site(site: &str, seed: u64) -> Result<(), String> {
     let server = new_server(&dfs, "srv");
     let mut ledger: Vec<Acked> = Vec::new();
     let put = |server: &TabletServer, ledger: &mut Vec<Acked>, i: u64, tag: &str| {
-        let v = format!("{tag}-{i}-{}", splitmix64(seed ^ i));
+        // Every third value is large enough to be separated by
+        // `run_compact_separated`, so the digest also proves separated
+        // blob values survive bit-for-bit.
+        let mut v = format!("{tag}-{i}-{}", splitmix64(seed ^ i));
+        if i % 3 == 0 {
+            v.push('/');
+            v.push_str(&"X".repeat(SEPARATION_THRESHOLD + 64));
+        }
         let ts = server
             .put("t", 0, encode_key(i), Value::from(v.clone().into_bytes()))
             .unwrap();
@@ -139,7 +185,11 @@ fn crash_at_site(site: &str, seed: u64) -> Result<(), String> {
             put(&server, &mut ledger, next_key, "mid");
             next_key += 1;
         }
-        for maintenance in [run_compact as MaintenanceOp, run_checkpoint] {
+        for maintenance in [
+            run_compact_separated as MaintenanceOp,
+            run_checkpoint,
+            run_log_gc,
+        ] {
             match maintenance(&server) {
                 Ok(()) => {}
                 Err(Error::CrashPoint { site: s }) if s == site => {
@@ -253,11 +303,26 @@ fn recording_mode_traverses_every_registered_site() {
     }
     server.compact().unwrap();
     server.checkpoint().unwrap();
+    // Rotate the log (bulky writes past the 4 KiB segment threshold)
+    // so the GC pass has sealed input and its reclaim site fires.
+    for i in 200..400u64 {
+        server
+            .put("t", 0, encode_key(i), Value::from(vec![b'g'; 64]))
+            .unwrap();
+    }
+    server
+        .log_gc_with(&LogGcConfig {
+            live_fraction: 1.0,
+            max_segments: usize::MAX,
+            max_versions: None,
+        })
+        .unwrap();
     let seen = dfs.fault_injector().crash_points_seen();
     for site in crash_sites::COMPACTION
         .iter()
         .chain(crash_sites::CHECKPOINT)
         .chain(crash_sites::SPILL)
+        .chain(crash_sites::LOG_GC)
     {
         assert!(
             seen.iter().any(|s| s == site),
@@ -364,7 +429,7 @@ fn concurrent_run(seed: u64) {
         let site = site.to_string();
         std::thread::spawn(move || {
             for round in 0..200 {
-                for op in [run_compact as MaintenanceOp, run_checkpoint] {
+                for op in [run_compact as MaintenanceOp, run_checkpoint, run_log_gc] {
                     match op(&server) {
                         Ok(()) => {}
                         Err(Error::CrashPoint { site: s }) => {
